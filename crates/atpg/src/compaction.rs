@@ -1,0 +1,137 @@
+//! Static test-set compaction.
+//!
+//! PODEM cubes are mostly don't-care; two cubes whose specified bits
+//! never conflict can be merged into one pattern, shrinking test time on
+//! the scan chain (each pattern costs a full shift). This is the classic
+//! greedy static compaction pass: sort by specified-bit count, merge each
+//! cube into the first compatible survivor.
+
+use crate::view::TestCube;
+
+
+/// Whether two cubes agree on every commonly-specified input.
+pub fn compatible(a: &TestCube, b: &TestCube) -> bool {
+    a.assignments().iter().all(|&(net, va)| {
+        let vb = b.get(net);
+        !va.is_known() || !vb.is_known() || va == vb
+    })
+}
+
+/// Merges `b` into `a` (union of specified bits; caller checks
+/// [`compatible`] first).
+pub fn merge(a: &mut TestCube, b: &TestCube) {
+    for &(net, v) in b.assignments() {
+        if v.is_known() && !a.get(net).is_known() {
+            a.set(net, v);
+        }
+    }
+}
+
+/// Greedy static compaction: returns a smaller test set covering the
+/// union of the inputs' specified bits. Detection is preserved for any
+/// fault detected via the specified bits of a member cube: merging only
+/// *adds* specified values, and in the ternary fault model extra known
+/// inputs can only sharpen (never flip) an already-known observation.
+/// The cross-check against the fault simulator lives in the tests.
+///
+/// # Example
+///
+/// ```
+/// use tpi_atpg::{compact_tests, TestCube};
+/// use tpi_netlist::GateId;
+/// use tpi_sim::Trit;
+/// let a: TestCube = [(GateId::from_index(0), Trit::One)].into_iter().collect();
+/// let b: TestCube = [(GateId::from_index(1), Trit::Zero)].into_iter().collect();
+/// let c: TestCube = [(GateId::from_index(0), Trit::Zero)].into_iter().collect();
+/// let out = compact_tests(vec![a, b, c]);
+/// assert_eq!(out.len(), 2); // a+b merge; c conflicts on input 0
+/// ```
+pub fn compact_tests(mut cubes: Vec<TestCube>) -> Vec<TestCube> {
+    // Most-specified first: dense cubes seed the bins, sparse ones fill.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.specified()));
+    let mut out: Vec<TestCube> = Vec::new();
+    for cube in cubes {
+        match out.iter_mut().find(|s| compatible(s, &cube)) {
+            Some(slot) => merge(slot, &cube),
+            None => out.push(cube),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::fault_list;
+    use crate::generate::generate_tests;
+    use crate::sim_fault::FaultSim;
+    use crate::view::CombView;
+    use tpi_netlist::{GateKind, NetlistBuilder};
+    use tpi_sim::Trit;
+
+    fn cube(bits: &[(usize, bool)]) -> TestCube {
+        bits.iter()
+            .map(|&(i, b)| (tpi_netlist::GateId::from_index(i), Trit::from(b)))
+            .collect()
+    }
+
+    #[test]
+    fn compatibility_is_symmetric_and_respects_conflicts() {
+        let a = cube(&[(0, true), (1, false)]);
+        let b = cube(&[(1, false), (2, true)]);
+        let c = cube(&[(1, true)]);
+        assert!(compatible(&a, &b) && compatible(&b, &a));
+        assert!(!compatible(&a, &c) && !compatible(&c, &a));
+    }
+
+    #[test]
+    fn merge_unions_specified_bits() {
+        let mut a = cube(&[(0, true)]);
+        let b = cube(&[(1, false)]);
+        merge(&mut a, &b);
+        assert_eq!(a.specified(), 2);
+    }
+
+    #[test]
+    fn compaction_never_loses_detection() {
+        // Generate, compact, re-simulate: the compacted set must detect
+        // at least every fault the original set detected.
+        let mut b = NetlistBuilder::new("c17ish");
+        for i in 1..=5 {
+            b.input(format!("i{i}"));
+        }
+        b.gate(GateKind::Nand, "g1", &["i1", "i3"]);
+        b.gate(GateKind::Nand, "g2", &["i3", "i4"]);
+        b.gate(GateKind::Nand, "g3", &["i2", "g2"]);
+        b.gate(GateKind::Nand, "g4", &["g2", "i5"]);
+        b.gate(GateKind::Nand, "g5", &["g1", "g3"]);
+        b.gate(GateKind::Nand, "g6", &["g3", "g4"]);
+        b.output("o1", "g5");
+        b.output("o2", "g6");
+        let n = b.finish().unwrap();
+        let view = CombView::full_scan(&n);
+        let faults = fault_list(&n);
+        // Deterministic-only generation for maximum don't-cares.
+        let ts = generate_tests(&n, &view, &faults, 0, 0);
+        let sim = FaultSim::new(&n, &view);
+        let detected = |cubes: &[TestCube]| {
+            let mut hit = vec![false; faults.len()];
+            for c in cubes {
+                for i in sim.detected(c, &faults) {
+                    hit[i] = true;
+                }
+            }
+            hit.iter().filter(|&&h| h).count()
+        };
+        let before = detected(&ts.cubes);
+        let compacted = compact_tests(ts.cubes.clone());
+        let after = detected(&compacted);
+        assert!(compacted.len() <= ts.cubes.len());
+        assert!(after >= before, "compaction lost detection: {after} < {before}");
+    }
+
+    #[test]
+    fn empty_set_stays_empty() {
+        assert!(compact_tests(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Single stuck-at fault model with structural equivalence collapsing.
+
+use std::fmt;
+use tpi_netlist::{GateId, GateKind, Netlist};
+
+/// Stuck-at polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StuckAt {
+    /// Net stuck at logic 0.
+    Zero,
+    /// Net stuck at logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// The faulty logic value.
+    pub fn value(self) -> tpi_sim::Trit {
+        match self {
+            StuckAt::Zero => tpi_sim::Trit::Zero,
+            StuckAt::One => tpi_sim::Trit::One,
+        }
+    }
+
+    /// The value that activates (excites) the fault.
+    pub fn activation(self) -> tpi_sim::Trit {
+        match self {
+            StuckAt::Zero => tpi_sim::Trit::One,
+            StuckAt::One => tpi_sim::Trit::Zero,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StuckAt::Zero => "SA0",
+            StuckAt::One => "SA1",
+        })
+    }
+}
+
+/// A single stuck-at fault on a net (gate output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// The faulty net.
+    pub net: GateId,
+    /// Stuck polarity.
+    pub stuck: StuckAt,
+}
+
+impl Fault {
+    /// Creates a fault value.
+    pub fn new(net: GateId, stuck: StuckAt) -> Self {
+        Fault { net, stuck }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.net, self.stuck)
+    }
+}
+
+/// Enumerates the collapsed single-stuck-at fault list on gate-output
+/// nets of the combinational network (plus primary inputs).
+///
+/// Collapsing uses the classic structural equivalences through
+/// single-input gates: a fault on an inverter's output is equivalent to
+/// the complementary fault on its input, and a buffer's output faults to
+/// the same faults on its input — so faults are kept only at the
+/// *representative* (the furthest-upstream net through INV/BUF chains),
+/// with polarity adjusted.
+///
+/// Output ports and flip-flop outputs are excluded as fault sites
+/// (flip-flop output faults are the D-net faults of the previous cycle
+/// in the scan-exposed view; port faults are input faults of the driver).
+pub fn fault_list(n: &Netlist) -> Vec<Fault> {
+    let mut list = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for g in n.gate_ids() {
+        let kind = n.kind(g);
+        let site_ok = kind.is_combinational() || kind == GateKind::Input;
+        if !site_ok {
+            continue;
+        }
+        for stuck in [StuckAt::Zero, StuckAt::One] {
+            let f = collapse(n, Fault::new(g, stuck));
+            if seen.insert(f) {
+                list.push(f);
+            }
+        }
+    }
+    list.sort_unstable();
+    list
+}
+
+/// Follows INV/BUF chains upstream to the representative fault.
+pub fn collapse(n: &Netlist, mut f: Fault) -> Fault {
+    loop {
+        match n.kind(f.net) {
+            GateKind::Buf => {
+                f.net = n.fanin(f.net)[0];
+            }
+            GateKind::Inv => {
+                f.net = n.fanin(f.net)[0];
+                f.stuck = match f.stuck {
+                    StuckAt::Zero => StuckAt::One,
+                    StuckAt::One => StuckAt::Zero,
+                };
+            }
+            _ => return f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    #[test]
+    fn list_covers_every_gate_both_polarities() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("bb");
+        b.gate(GateKind::Nand, "g", &["a", "bb"]);
+        b.output("o", "g");
+        let n = b.finish().unwrap();
+        let list = fault_list(&n);
+        // a, bb, g: 3 sites x 2 polarities, no collapsible chains.
+        assert_eq!(list.len(), 6);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_with_polarity_flip() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.gate(GateKind::Inv, "i1", &["a"]);
+        b.gate(GateKind::Buf, "b1", &["i1"]);
+        b.output("o", "b1");
+        let n = b.finish().unwrap();
+        let a = n.find("a").unwrap();
+        let list = fault_list(&n);
+        // every fault collapses onto `a`: exactly 2 representatives.
+        assert_eq!(list.len(), 2);
+        assert!(list.iter().all(|f| f.net == a));
+        // polarity: b1/SA0 == i1/SA0 == a/SA1
+        let b1 = n.find("b1").unwrap();
+        let rep = collapse(&n, Fault::new(b1, StuckAt::Zero));
+        assert_eq!(rep, Fault::new(a, StuckAt::One));
+    }
+
+    #[test]
+    fn ff_outputs_are_not_fault_sites() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("d");
+        b.dff("q", "d");
+        b.output("o", "q");
+        let n = b.finish().unwrap();
+        let q = n.find("q").unwrap();
+        assert!(fault_list(&n).iter().all(|f| f.net != q));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let f = Fault::new(GateId::from_index(3), StuckAt::One);
+        assert_eq!(f.to_string(), "g3/SA1");
+    }
+}

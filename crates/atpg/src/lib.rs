@@ -1,0 +1,45 @@
+//! Stuck-at test generation and fault simulation — the *payoff* side of
+//! the DAC'96 scan methodology.
+//!
+//! The paper's opening sentence: "Automatic test pattern generation for
+//! sequential circuits is a difficult problem because of the lack of
+//! direct controllability of the present state lines and direct
+//! observability of the next state lines." Scan (whether by muxes or by
+//! the paper's test-point paths) turns the sequential ATPG problem into
+//! a combinational one: flip-flop outputs become pseudo-primary inputs,
+//! flip-flop D nets become pseudo-primary outputs.
+//!
+//! This crate provides that combinational ATPG stack:
+//!
+//! * [`Fault`] / [`fault_list`] — single stuck-at faults on gate outputs,
+//!   with inverter/buffer equivalence collapsing;
+//! * [`FaultSim`] — a cone-bounded serial fault simulator over the
+//!   scan-exposed combinational view;
+//! * [`Podem`] — the classic PODEM test generator (objective, backtrace,
+//!   imply, D-frontier) on a (good, faulty) value-pair encoding;
+//! * [`generate_tests`] — random patterns + PODEM top-up with fault
+//!   dropping, reporting coverage;
+//! * [`scan_apply`] — end-to-end application of one test through a real
+//!   stitched scan chain (shift in, launch, capture, shift out) on the
+//!   transformed netlist, closing the loop the paper's §V opens;
+//! * [`seq`] — the no-scan baseline: random input *sequences* against a
+//!   lock-step sequential good/faulty machine pair, quantifying how much
+//!   the missing state controllability/observability costs.
+
+mod compaction;
+mod fault;
+mod generate;
+mod podem;
+mod scan_apply;
+pub mod seq;
+mod sim_fault;
+mod view;
+
+pub use compaction::{compact_tests, compatible, merge};
+pub use fault::{fault_list, Fault, StuckAt};
+pub use generate::{generate_tests, CoverageReport, TestSet};
+pub use podem::{Podem, PodemConfig, PodemResult};
+pub use scan_apply::{scan_apply, ScanApplyOutcome};
+pub use seq::{sequential_random_coverage, SeqCoverage};
+pub use sim_fault::FaultSim;
+pub use view::{CombView, TestCube};

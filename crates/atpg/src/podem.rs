@@ -1,0 +1,469 @@
+//! PODEM test generation on the scan-exposed combinational view.
+//!
+//! Classic Goel-style PODEM: decisions are made only at the view's
+//! controllable inputs; each decision is followed by forward implication
+//! of (good, faulty) value pairs; the *objective* is fault activation
+//! first, then D-frontier propagation; objectives are *backtraced* to an
+//! unassigned input through the easiest path; a dead D-frontier or an
+//! unactivatable fault triggers chronological backtracking.
+
+use crate::fault::Fault;
+use crate::view::{CombView, TestCube};
+use std::collections::HashSet;
+use tpi_netlist::{GateId, GateKind, Netlist};
+use tpi_sim::{eval_gate, Trit};
+
+/// Configuration for [`Podem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Chronological backtrack budget per fault.
+    pub max_backtracks: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig { max_backtracks: 2000 }
+    }
+}
+
+/// Outcome of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemResult {
+    /// A test cube detecting the fault.
+    Test(TestCube),
+    /// Proven untestable within the view (exhausted decision space).
+    Untestable,
+    /// Backtrack budget exhausted — undecided.
+    Aborted,
+}
+
+/// (good, faulty) value pair — the 5-valued D-calculus encoded as two
+/// ternary machines evaluated in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pair {
+    good: Trit,
+    faulty: Trit,
+}
+
+impl Pair {
+    const X: Pair = Pair { good: Trit::X, faulty: Trit::X };
+    fn is_d(self) -> bool {
+        self.good.is_known() && self.faulty.is_known() && self.good != self.faulty
+    }
+}
+
+/// The PODEM engine. One instance per (netlist, view); reusable across
+/// faults.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{NetlistBuilder, GateKind};
+/// use tpi_atpg::{CombView, Fault, Podem, PodemConfig, PodemResult, StuckAt};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a");
+/// b.input("c");
+/// b.gate(GateKind::And, "g", &["a", "c"]);
+/// b.output("o", "g");
+/// let n = b.finish()?;
+/// let view = CombView::full_scan(&n);
+/// let mut podem = Podem::new(&n, &view, PodemConfig::default());
+/// let g = n.find("g").unwrap();
+/// match podem.generate(Fault::new(g, StuckAt::Zero)) {
+///     PodemResult::Test(cube) => assert!(cube.specified() >= 2),
+///     other => panic!("expected a test, got {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Podem<'a> {
+    n: &'a Netlist,
+    cfg: PodemConfig,
+    order: Vec<GateId>,
+    controllable: HashSet<GateId>,
+    observe: HashSet<GateId>,
+    values: Vec<Pair>,
+    assigned: Vec<(GateId, Trit)>,
+}
+
+impl<'a> Podem<'a> {
+    /// Builds an engine for `n` under `view`.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle.
+    pub fn new(n: &'a Netlist, view: &'a CombView, cfg: PodemConfig) -> Self {
+        Podem {
+            n,
+            cfg,
+            order: n.topo_order().expect("netlist must be acyclic"),
+            controllable: view.inputs().iter().copied().collect(),
+            observe: view.observe().iter().copied().collect(),
+            values: vec![Pair::X; n.gate_count()],
+            assigned: Vec::new(),
+        }
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&mut self, fault: Fault) -> PodemResult {
+        self.assigned.clear();
+        self.imply(fault);
+        // Decision stack: (input, value, flipped_already).
+        let mut stack: Vec<(GateId, Trit, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+        loop {
+            if self.detected() {
+                let cube: TestCube = self.assigned.iter().copied().collect();
+                return PodemResult::Test(cube);
+            }
+            match self.objective(fault).and_then(|obj| self.backtrace(obj)) {
+                Some((pi, v)) => {
+                    stack.push((pi, v, false));
+                    self.assigned.push((pi, v));
+                    self.imply(fault);
+                }
+                None => {
+                    // Dead end: flip the most recent unflipped decision.
+                    loop {
+                        match stack.pop() {
+                            Some((pi, v, false)) => {
+                                backtracks += 1;
+                                if backtracks > self.cfg.max_backtracks {
+                                    return PodemResult::Aborted;
+                                }
+                                self.assigned.pop();
+                                let nv = !v;
+                                stack.push((pi, nv, true));
+                                self.assigned.push((pi, nv));
+                                self.imply(fault);
+                                break;
+                            }
+                            Some((_, _, true)) => {
+                                self.assigned.pop();
+                                continue;
+                            }
+                            None => return PodemResult::Untestable,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full forward implication of the current input assignment in both
+    /// machines (the faulty machine pins the fault site).
+    fn imply(&mut self, fault: Fault) {
+        for v in &mut self.values {
+            *v = Pair::X;
+        }
+        for &(pi, v) in &self.assigned {
+            self.values[pi.index()] = Pair { good: v, faulty: v };
+        }
+        for idx in 0..self.order.len() {
+            let g = self.order[idx];
+            let kind = self.n.kind(g);
+            let pair = match kind {
+                GateKind::Input | GateKind::Dff => self.values[g.index()],
+                GateKind::Output => self.values[self.n.fanin(g)[0].index()],
+                _ => {
+                    let fanin = self.n.fanin(g);
+                    let goods: Vec<Trit> =
+                        fanin.iter().map(|&f| self.values[f.index()].good).collect();
+                    let faults: Vec<Trit> =
+                        fanin.iter().map(|&f| self.values[f.index()].faulty).collect();
+                    Pair { good: eval_gate(kind, &goods), faulty: eval_gate(kind, &faults) }
+                }
+            };
+            let mut pair = pair;
+            if g == fault.net {
+                pair.faulty = fault.stuck.value();
+            }
+            self.values[g.index()] = pair;
+        }
+    }
+
+    /// True when a D/D' reaches an observable net.
+    fn detected(&self) -> bool {
+        self.observe.iter().any(|&g| self.values[g.index()].is_d())
+    }
+
+    /// The next objective `(net, good-machine value)`.
+    fn objective(&self, fault: Fault) -> Option<(GateId, Trit)> {
+        let site = self.values[fault.net.index()];
+        // 1. Activate the fault.
+        if !site.good.is_known() {
+            return Some((fault.net, fault.stuck.activation()));
+        }
+        if !site.is_d() {
+            return None; // activation failed: good machine equals stuck value
+        }
+        // 2. Propagate: pick a D-frontier gate (an undetermined gate with
+        //    a D input) and demand the sensitizing value on one X input.
+        for &g in &self.order {
+            let kind = self.n.kind(g);
+            if !kind.is_combinational() {
+                continue;
+            }
+            let out = self.values[g.index()];
+            if out.good.is_known() && out.faulty.is_known() {
+                continue;
+            }
+            let fanin = self.n.fanin(g);
+            if !fanin.iter().any(|&f| self.values[f.index()].is_d()) {
+                continue;
+            }
+            // D-frontier member: find an X side input to sensitize.
+            for &f in fanin {
+                let p = self.values[f.index()];
+                if !p.good.is_known() && !p.is_d() {
+                    let want = match kind.sensitizing_value() {
+                        Some(s) => Trit::from(s),
+                        // XOR/XNOR/MUX side: either value propagates; pick 0.
+                        None => Trit::Zero,
+                    };
+                    return Some((f, want));
+                }
+            }
+        }
+        None // no D-frontier left
+    }
+
+    /// Walks an objective back to an unassigned controllable input.
+    fn backtrace(&self, (mut net, mut want): (GateId, Trit)) -> Option<(GateId, Trit)> {
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > self.n.gate_count() {
+                return None; // safety: should not happen on acyclic nets
+            }
+            if self.controllable.contains(&net) {
+                if self.values[net.index()].good.is_known() {
+                    return None; // already decided: objective unreachable
+                }
+                return Some((net, want));
+            }
+            let kind = self.n.kind(net);
+            match kind {
+                GateKind::Dff | GateKind::Input => return None, // uncontrollable state
+                GateKind::Const0 | GateKind::Const1 => return None,
+                GateKind::Inv => {
+                    net = self.n.fanin(net)[0];
+                    want = !want;
+                }
+                GateKind::Buf | GateKind::Output => {
+                    net = self.n.fanin(net)[0];
+                }
+                GateKind::Xor | GateKind::Xnor | GateKind::Mux => {
+                    // Pick the first X input and aim for `want` directly
+                    // (coarse but effective; corrected by implication).
+                    let next = self
+                        .n
+                        .fanin(net)
+                        .iter()
+                        .copied()
+                        .find(|&f| !self.values[f.index()].good.is_known())?;
+                    net = next;
+                }
+                GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => {
+                    let ctrl = Trit::from(kind.controlling_value().expect("and/or family"));
+                    let inverted = kind.inverts();
+                    let out_for_ctrl = if inverted { !ctrl } else { ctrl };
+                    let xs: Vec<GateId> = self
+                        .n
+                        .fanin(net)
+                        .iter()
+                        .copied()
+                        .filter(|&f| !self.values[f.index()].good.is_known())
+                        .collect();
+                    let next = *xs.first()?;
+                    want = if want == out_for_ctrl {
+                        // One controlling input suffices.
+                        ctrl
+                    } else {
+                        // All inputs must be sensitizing; aim at one.
+                        !ctrl
+                    };
+                    net = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{fault_list, StuckAt};
+    use crate::sim_fault::FaultSim;
+    use tpi_netlist::NetlistBuilder;
+
+    fn c17ish() -> Netlist {
+        // A small reconvergent circuit in the spirit of c17.
+        let mut b = NetlistBuilder::new("c17ish");
+        for i in 1..=5 {
+            b.input(format!("i{i}"));
+        }
+        b.gate(GateKind::Nand, "g1", &["i1", "i3"]);
+        b.gate(GateKind::Nand, "g2", &["i3", "i4"]);
+        b.gate(GateKind::Nand, "g3", &["i2", "g2"]);
+        b.gate(GateKind::Nand, "g4", &["g2", "i5"]);
+        b.gate(GateKind::Nand, "g5", &["g1", "g3"]);
+        b.gate(GateKind::Nand, "g6", &["g3", "g4"]);
+        b.output("o1", "g5");
+        b.output("o2", "g6");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn every_c17_fault_gets_a_verified_test() {
+        let n = c17ish();
+        let view = CombView::full_scan(&n);
+        let sim = FaultSim::new(&n, &view);
+        let mut podem = Podem::new(&n, &view, PodemConfig::default());
+        for fault in fault_list(&n) {
+            match podem.generate(fault) {
+                PodemResult::Test(cube) => {
+                    let good = sim.good_values(&cube);
+                    assert!(sim.detects(&good, fault), "{fault}: cube does not verify");
+                }
+                other => panic!("{fault}: expected test, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_fault_is_proven_untestable() {
+        // y = a OR (a AND c): the AND's output SA0 is undetectable
+        // (y = a regardless).
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("c");
+        b.gate(GateKind::And, "g", &["a", "c"]);
+        b.gate(GateKind::Or, "y", &["a", "g"]);
+        b.output("o", "y");
+        let n = b.finish().unwrap();
+        let view = CombView::full_scan(&n);
+        let mut podem = Podem::new(&n, &view, PodemConfig::default());
+        let g = n.find("g").unwrap();
+        assert_eq!(podem.generate(Fault::new(g, StuckAt::Zero)), PodemResult::Untestable);
+        // ...while SA1 on the same net is testable (a=0, c=0 -> y flips).
+        assert!(matches!(podem.generate(Fault::new(g, StuckAt::One)), PodemResult::Test(_)));
+    }
+
+    #[test]
+    fn state_faults_need_the_scan_view() {
+        // Fault behind an unscanned FF boundary: only the full-scan view
+        // can control the state side.
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("d");
+        b.dff("q", "d");
+        b.gate(GateKind::And, "g", &["a", "q"]);
+        b.output("o", "g");
+        let n = b.finish().unwrap();
+        let g = n.find("g").unwrap();
+        let fault = Fault::new(g, StuckAt::Zero); // needs a = 1 AND q = 1
+        let full = CombView::full_scan(&n);
+        let none = CombView::unscanned(&n);
+        let mut p_full = Podem::new(&n, &full, PodemConfig::default());
+        assert!(matches!(p_full.generate(fault), PodemResult::Test(_)));
+        let mut p_none = Podem::new(&n, &none, PodemConfig::default());
+        assert_eq!(p_none.generate(fault), PodemResult::Untestable);
+    }
+
+    #[test]
+    fn generated_cubes_only_touch_view_inputs() {
+        let n = c17ish();
+        let view = CombView::full_scan(&n);
+        let mut podem = Podem::new(&n, &view, PodemConfig::default());
+        let f = fault_list(&n)[0];
+        if let PodemResult::Test(cube) = podem.generate(f) {
+            for &(g, _) in cube.assignments() {
+                assert!(view.inputs().contains(&g));
+            }
+        } else {
+            panic!("expected a test");
+        }
+    }
+}
+
+#[cfg(test)]
+mod exhaustive_tests {
+    use super::*;
+    use crate::fault::fault_list;
+    use crate::sim_fault::FaultSim;
+    use crate::view::TestCube;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tpi_netlist::NetlistBuilder;
+
+    /// Random small combinational circuits; PODEM's verdicts are checked
+    /// against exhaustive 2^n simulation: a returned test must detect,
+    /// and "untestable" must mean *no* cube detects.
+    #[test]
+    fn podem_is_exhaustively_sound_and_complete_on_small_circuits() {
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n_inputs = 4 + (seed as usize % 3);
+            let mut b = NetlistBuilder::new(format!("x{seed}"));
+            let mut nets: Vec<String> = Vec::new();
+            for i in 0..n_inputs {
+                b.input(format!("i{i}"));
+                nets.push(format!("i{i}"));
+            }
+            for gi in 0..8 {
+                let kind = match rng.gen_range(0..5) {
+                    0 => GateKind::And,
+                    1 => GateKind::Or,
+                    2 => GateKind::Nand,
+                    3 => GateKind::Nor,
+                    _ => GateKind::Xor,
+                };
+                let arity = if kind == GateKind::Xor { 2 } else { 2 + rng.gen_range(0..2) };
+                let name = format!("g{gi}");
+                let picks: Vec<String> = (0..arity)
+                    .map(|_| nets[rng.gen_range(0..nets.len())].clone())
+                    .collect();
+                let refs: Vec<&str> = picks.iter().map(String::as_str).collect();
+                b.gate(kind, name.clone(), &refs);
+                nets.push(name);
+            }
+            b.output("o", nets.last().unwrap());
+            let n = b.finish().unwrap();
+            let view = CombView::full_scan(&n);
+            let sim = FaultSim::new(&n, &view);
+            let mut podem = Podem::new(&n, &view, PodemConfig::default());
+            let inputs: Vec<_> = view.inputs().to_vec();
+            for fault in fault_list(&n) {
+                let exhaustive_detectable = (0..1u32 << inputs.len()).any(|m| {
+                    let cube: TestCube = inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &g)| (g, Trit::from(m >> i & 1 == 1)))
+                        .collect();
+                    sim.detects(&sim.good_values(&cube), fault)
+                });
+                match podem.generate(fault) {
+                    PodemResult::Test(cube) => {
+                        assert!(
+                            sim.detects(&sim.good_values(&cube), fault),
+                            "seed {seed} {fault}: returned cube must detect"
+                        );
+                        assert!(
+                            exhaustive_detectable,
+                            "seed {seed} {fault}: PODEM found a test for an undetectable fault"
+                        );
+                    }
+                    PodemResult::Untestable => {
+                        assert!(
+                            !exhaustive_detectable,
+                            "seed {seed} {fault}: PODEM claims untestable but a cube exists"
+                        );
+                    }
+                    PodemResult::Aborted => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end application of one combinational test through a physical
+//! scan chain: shift in the state part, launch the PI part in mission
+//! mode, capture, shift out — the full protocol the paper's DFT
+//! transformations exist to enable.
+
+use crate::view::TestCube;
+use tpi_netlist::{GateId, GateKind, Netlist};
+use tpi_scan::ScanChain;
+use tpi_sim::{Simulator, Trit};
+
+/// What one scan-test application produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanApplyOutcome {
+    /// Primary-output values observed during the capture cycle,
+    /// `(po_port, value)`.
+    pub po_values: Vec<(GateId, Trit)>,
+    /// Captured next-state values per chain link (in chain order),
+    /// decoded back through the chain's inversion parities — i.e. the
+    /// values the flip-flops' D nets carried at capture.
+    pub captured: Vec<Trit>,
+}
+
+/// Applies `cube` to the transformed netlist `n` through `chain`.
+///
+/// Protocol:
+/// 1. **Shift-in** (test mode, `T = 0`, DFT constants held): the cube's
+///    flip-flop values enter through `scan_in`, pre-compensated for each
+///    stage's inversion parity;
+/// 2. **Capture** (mission mode, `T = 1`): the cube's primary-input
+///    values are applied, one clock captures the functional next state;
+/// 3. **Shift-out** (test mode again): the captured state drains through
+///    `scan_out`, decoded against the chain parities.
+///
+/// Because `T = 1` makes every test point and scan mux transparent, the
+/// capture cycle computes exactly the *original* circuit's function — a
+/// property the round-trip tests assert.
+///
+/// `dft_constants` are the test-mode primary-input values the DFT flow
+/// requires (input-assignment results); they are held during the shift
+/// phases and released during capture.
+pub fn scan_apply(
+    n: &Netlist,
+    chain: &ScanChain,
+    dft_constants: &[(GateId, Trit)],
+    cube: &TestCube,
+) -> ScanApplyOutcome {
+    let t = n.test_input().expect("transformed netlists carry a test input");
+    let len = chain.len();
+    let mut sim = Simulator::new(n);
+
+    // ---- Phase 1: shift-in. ----
+    sim.set_input(t, Trit::Zero);
+    for &(pi, v) in dft_constants {
+        sim.set_input(pi, v);
+    }
+    // Desired state values per chain stage.
+    let desired: Vec<Trit> = chain.links().iter().map(|l| cube.get(l.ff())).collect();
+    for cycle in 0..len {
+        // The bit injected at cycle c lands in stage (len-1-c), having
+        // accumulated parity_through(len-1-c).
+        let stage = len - 1 - cycle;
+        let v = desired[stage];
+        let inject = if chain.parity_through(stage) { !v } else { v };
+        sim.set_input(chain.scan_in(), inject);
+        sim.step();
+    }
+
+    // ---- Phase 2: capture. ----
+    sim.set_input(t, Trit::One);
+    // Release DFT shift constants, apply the cube's PI part.
+    for &(pi, _) in dft_constants {
+        sim.set_input(pi, Trit::X);
+    }
+    for &(g, v) in cube.assignments() {
+        if n.kind(g) == GateKind::Input {
+            sim.set_input(g, v);
+        }
+    }
+    // Observe primary outputs combinationally, then clock once.
+    let po_values: Vec<(GateId, Trit)> = n
+        .outputs()
+        .into_iter()
+        .filter(|&o| o != chain.scan_out())
+        .map(|o| (o, sim.output(o)))
+        .collect();
+    sim.step();
+
+    // ---- Phase 3: shift-out. ----
+    sim.set_input(t, Trit::Zero);
+    for &(pi, v) in dft_constants {
+        sim.set_input(pi, v);
+    }
+    sim.set_input(chain.scan_in(), Trit::Zero);
+    let last = len - 1;
+    let mut captured = vec![Trit::X; len];
+    // Stage `last` is visible immediately; each further stage appears
+    // after one more shift, accumulating the parities of the links it
+    // traverses on the way out.
+    for out_cycle in 0..len {
+        let stage = last - out_cycle;
+        let raw = sim.value(chain.links()[last].ff());
+        let tail_parity = chain.parity_through(last) != chain.parity_through(stage);
+        captured[stage] = if tail_parity { !raw } else { raw };
+        if out_cycle + 1 < len {
+            sim.step();
+        }
+    }
+    ScanApplyOutcome { po_values, captured }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::CombView;
+    use crate::FaultSim;
+    use tpi_core::flow::FullScanFlow;
+    use tpi_netlist::NetlistBuilder;
+    use tpi_workloads::iscas::s27;
+
+    /// Full-scan a circuit, apply a cube through the real chain, and
+    /// check PO + captured state against the good-machine simulation of
+    /// the ORIGINAL netlist.
+    fn round_trip(n: &Netlist, bits: &[(&str, Trit)]) {
+        let view = CombView::full_scan(n);
+        let sim = FaultSim::new(n, &view);
+        let cube: TestCube = bits
+            .iter()
+            .map(|&(name, v)| (n.find(name).unwrap(), v))
+            .collect();
+        let good = sim.good_values(&cube);
+
+        let r = FullScanFlow::default().run(n);
+        assert!(r.flush.passed());
+        let outcome = scan_apply(&r.netlist, &r.chain, &r.pi_values, &cube);
+
+        // Captured state must equal the original next-state function.
+        for (k, link) in r.chain.links().iter().enumerate() {
+            let d_net = n.fanin(link.ff())[0];
+            let want = good[d_net.index()];
+            if want.is_known() {
+                assert_eq!(
+                    outcome.captured[k],
+                    want,
+                    "stage {k} ({}) captured wrong next state",
+                    n.gate_name(link.ff())
+                );
+            }
+        }
+        // POs of the transformed circuit in mission mode = original POs.
+        for &(port, got) in &outcome.po_values {
+            let name = r.netlist.gate_name(port);
+            if let Some(orig_port) = n.find(name) {
+                let want = good[n.fanin(orig_port)[0].index()];
+                if want.is_known() {
+                    assert_eq!(got, want, "PO {name} mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capture_matches_original_function_on_small_circuit() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("c");
+        b.dff("q0", "g1");
+        b.dff("q1", "q0");
+        b.gate(tpi_netlist::GateKind::Nand, "g1", &["a", "q1"]);
+        b.gate(tpi_netlist::GateKind::Or, "y", &["g1", "c"]);
+        b.output("o", "y");
+        let n = b.finish().unwrap();
+        round_trip(
+            &n,
+            &[
+                ("a", Trit::One),
+                ("c", Trit::Zero),
+                ("q0", Trit::One),
+                ("q1", Trit::One),
+            ],
+        );
+        round_trip(
+            &n,
+            &[
+                ("a", Trit::Zero),
+                ("c", Trit::One),
+                ("q0", Trit::Zero),
+                ("q1", Trit::One),
+            ],
+        );
+    }
+
+    #[test]
+    fn capture_matches_original_function_on_s27() {
+        let n = s27();
+        round_trip(
+            &n,
+            &[
+                ("G0", Trit::Zero),
+                ("G1", Trit::One),
+                ("G2", Trit::Zero),
+                ("G3", Trit::One),
+                ("G5", Trit::One),
+                ("G6", Trit::Zero),
+                ("G7", Trit::One),
+            ],
+        );
+        round_trip(
+            &n,
+            &[
+                ("G0", Trit::One),
+                ("G1", Trit::Zero),
+                ("G2", Trit::One),
+                ("G3", Trit::Zero),
+                ("G5", Trit::Zero),
+                ("G6", Trit::One),
+                ("G7", Trit::Zero),
+            ],
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Serial stuck-at fault simulation over a scan-exposed view.
+
+use crate::fault::Fault;
+use crate::view::{CombView, TestCube};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tpi_netlist::{GateId, GateKind, Netlist};
+use tpi_sim::{eval_gate, Trit};
+
+/// A cone-bounded serial fault simulator.
+///
+/// One good-machine evaluation per test cube, then per fault a forward
+/// propagation of the faulty difference restricted to the fault's fanout
+/// cone, stopping at flip-flops (their D nets are the observation points
+/// of the scan-exposed view). Detection requires a *known* good/faulty
+/// difference at an observable net — an `X` never detects.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{NetlistBuilder, GateKind};
+/// use tpi_sim::Trit;
+/// use tpi_atpg::{CombView, Fault, FaultSim, StuckAt, TestCube};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a");
+/// b.input("c");
+/// b.gate(GateKind::And, "g", &["a", "c"]);
+/// b.output("o", "g");
+/// let n = b.finish()?;
+/// let view = CombView::full_scan(&n);
+/// let sim = FaultSim::new(&n, &view);
+/// let a = n.find("a").unwrap();
+/// let c = n.find("c").unwrap();
+/// let g = n.find("g").unwrap();
+/// let cube: TestCube = [(a, Trit::One), (c, Trit::One)].into_iter().collect();
+/// let good = sim.good_values(&cube);
+/// assert!(sim.detects(&good, Fault::new(g, StuckAt::Zero)));
+/// assert!(!sim.detects(&good, Fault::new(g, StuckAt::One)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultSim<'a> {
+    n: &'a Netlist,
+    order: Vec<GateId>,
+    topo_pos: Vec<u32>,
+    observe: HashSet<GateId>,
+    scanned: HashSet<GateId>,
+}
+
+impl<'a> FaultSim<'a> {
+    /// Builds a simulator for `n` under `view`.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle.
+    pub fn new(n: &'a Netlist, view: &'a CombView) -> Self {
+        let order = n.topo_order().expect("netlist must be acyclic");
+        let mut topo_pos = vec![0u32; n.gate_count()];
+        for (i, g) in order.iter().enumerate() {
+            topo_pos[g.index()] = i as u32;
+        }
+        FaultSim {
+            n,
+            order,
+            topo_pos,
+            observe: view.observe().iter().copied().collect(),
+            scanned: view.scanned().iter().copied().collect(),
+        }
+    }
+
+    /// Good-machine net values under `cube` (don't-cares stay `X`).
+    pub fn good_values(&self, cube: &TestCube) -> Vec<Trit> {
+        let mut values = vec![Trit::X; self.n.gate_count()];
+        for &g in &self.order {
+            let kind = self.n.kind(g);
+            values[g.index()] = match kind {
+                GateKind::Input => cube.get(g),
+                GateKind::Dff => {
+                    if self.scanned.contains(&g) {
+                        cube.get(g)
+                    } else {
+                        Trit::X
+                    }
+                }
+                GateKind::Output => values[self.n.fanin(g)[0].index()],
+                _ => {
+                    let ins: Vec<Trit> =
+                        self.n.fanin(g).iter().map(|&f| values[f.index()]).collect();
+                    eval_gate(kind, &ins)
+                }
+            };
+        }
+        values
+    }
+
+    /// Whether the pattern behind `good` detects `fault`: the faulty
+    /// difference reaches an observable net with both machines known.
+    pub fn detects(&self, good: &[Trit], fault: Fault) -> bool {
+        let site = fault.net;
+        // Activation: the good machine must drive the opposite value.
+        if good[site.index()] != fault.stuck.activation() {
+            return false;
+        }
+        // Faulty overlay, propagated through the fanout cone.
+        let mut faulty: HashMap<GateId, Trit> = HashMap::new();
+        faulty.insert(site, fault.stuck.value());
+        if self.observe.contains(&site) {
+            return true; // directly observable difference
+        }
+        let mut work: BTreeSet<(u32, GateId)> = BTreeSet::new();
+        let push_sinks = |work: &mut BTreeSet<(u32, GateId)>, g: GateId| {
+            for &(sink, _) in self.n.fanout(g) {
+                if self.n.kind(sink).is_combinational() {
+                    work.insert((self.topo_pos[sink.index()], sink));
+                }
+            }
+        };
+        push_sinks(&mut work, site);
+        while let Some((_, g)) = work.pop_first() {
+            let ins: Vec<Trit> = self
+                .n
+                .fanin(g)
+                .iter()
+                .map(|&f| faulty.get(&f).copied().unwrap_or(good[f.index()]))
+                .collect();
+            let fv = eval_gate(self.n.kind(g), &ins);
+            if fv == good[g.index()] {
+                continue; // difference masked here
+            }
+            faulty.insert(g, fv);
+            if self.observe.contains(&g) && fv.is_known() && good[g.index()].is_known() {
+                return true;
+            }
+            push_sinks(&mut work, g);
+        }
+        false
+    }
+
+    /// Simulates `cube` against `faults`, returning the detected subset's
+    /// indices (for fault dropping).
+    pub fn detected(&self, cube: &TestCube, faults: &[Fault]) -> Vec<usize> {
+        let good = self.good_values(cube);
+        faults
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| self.detects(&good, f))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StuckAt;
+    use tpi_netlist::NetlistBuilder;
+
+    /// a AND b -> g ; g observed at a PO and at a FF D.
+    fn and_circuit() -> (Netlist, GateId, GateId, GateId) {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("c");
+        b.gate(GateKind::And, "g", &["a", "c"]);
+        b.dff("q", "g");
+        b.output("o", "g");
+        let n = b.finish().unwrap();
+        let (a, c, g) = (n.find("a").unwrap(), n.find("c").unwrap(), n.find("g").unwrap());
+        (n, a, c, g)
+    }
+
+    #[test]
+    fn activation_is_required() {
+        let (n, a, c, g) = and_circuit();
+        let view = CombView::full_scan(&n);
+        let sim = FaultSim::new(&n, &view);
+        // a=0 gives g=0: SA0 at g cannot be excited.
+        let cube: TestCube = [(a, Trit::Zero), (c, Trit::One)].into_iter().collect();
+        let good = sim.good_values(&cube);
+        assert!(!sim.detects(&good, Fault::new(g, StuckAt::Zero)));
+        assert!(sim.detects(&good, Fault::new(g, StuckAt::One)));
+    }
+
+    #[test]
+    fn propagation_requires_sensitized_path() {
+        // fault on `a` with c = 0: the AND masks the difference.
+        let (n, a, c, _g) = and_circuit();
+        let view = CombView::full_scan(&n);
+        let sim = FaultSim::new(&n, &view);
+        let cube: TestCube = [(a, Trit::One), (c, Trit::Zero)].into_iter().collect();
+        let good = sim.good_values(&cube);
+        assert!(!sim.detects(&good, Fault::new(a, StuckAt::Zero)));
+        // with c = 1 the path is open.
+        let cube: TestCube = [(a, Trit::One), (c, Trit::One)].into_iter().collect();
+        let good = sim.good_values(&cube);
+        assert!(sim.detects(&good, Fault::new(a, StuckAt::Zero)));
+    }
+
+    #[test]
+    fn x_at_observation_never_detects() {
+        let (n, a, _c, g) = and_circuit();
+        let view = CombView::full_scan(&n);
+        let sim = FaultSim::new(&n, &view);
+        // c unassigned: good g is X, no detection possible.
+        let cube: TestCube = [(a, Trit::One)].into_iter().collect();
+        let good = sim.good_values(&cube);
+        assert!(!sim.detects(&good, Fault::new(g, StuckAt::Zero)));
+    }
+
+    #[test]
+    fn unscanned_state_is_uncontrollable() {
+        // q (FF) feeds the AND: without scan, the AND side is X and the
+        // input fault cannot be propagated.
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("d");
+        b.dff("q", "d");
+        b.gate(GateKind::And, "g", &["a", "q"]);
+        b.output("o", "g");
+        let n = b.finish().unwrap();
+        let a = n.find("a").unwrap();
+        let q = n.find("q").unwrap();
+        let full = CombView::full_scan(&n);
+        let none = CombView::unscanned(&n);
+        let f = Fault::new(a, StuckAt::Zero);
+        // Full scan: set q = 1, a = 1 -> detected.
+        let sim = FaultSim::new(&n, &full);
+        let cube: TestCube = [(a, Trit::One), (q, Trit::One)].into_iter().collect();
+        assert!(sim.detects(&sim.good_values(&cube), f));
+        // No scan: q is X, not detectable by any PI-only cube.
+        let sim = FaultSim::new(&n, &none);
+        let cube: TestCube = [(a, Trit::One)].into_iter().collect();
+        assert!(!sim.detects(&sim.good_values(&cube), f));
+    }
+
+    #[test]
+    fn detected_returns_indices_for_dropping() {
+        let (n, a, c, g) = and_circuit();
+        let view = CombView::full_scan(&n);
+        let sim = FaultSim::new(&n, &view);
+        let faults =
+            vec![Fault::new(g, StuckAt::Zero), Fault::new(g, StuckAt::One), Fault::new(a, StuckAt::Zero)];
+        let cube: TestCube = [(a, Trit::One), (c, Trit::One)].into_iter().collect();
+        let hit = sim.detected(&cube, &faults);
+        assert_eq!(hit, vec![0, 2]);
+    }
+}

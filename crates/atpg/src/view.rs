@@ -1,0 +1,167 @@
+//! The scan-exposed combinational view of a sequential circuit.
+
+use tpi_netlist::{GateId, GateKind, Netlist};
+use tpi_sim::Trit;
+
+/// A combinational test view: primary inputs plus scanned flip-flop
+/// outputs are controllable; primary outputs plus scanned flip-flop D
+/// nets are observable.
+///
+/// For a *full-scan* design every flip-flop is scanned ([`CombView::full_scan`]);
+/// a partial-scan view lists only the scanned subset — unscanned
+/// flip-flops stay uncontrollable/unobservable, which is exactly why
+/// their faults are harder to test.
+#[derive(Debug, Clone)]
+pub struct CombView {
+    inputs: Vec<GateId>,
+    observe: Vec<GateId>,
+    /// Scanned flip-flops (controllable state).
+    scanned: Vec<GateId>,
+}
+
+impl CombView {
+    /// Builds the view for a design where `scanned` flip-flops are on a
+    /// scan chain.
+    pub fn new(n: &Netlist, scanned: &[GateId]) -> Self {
+        let inputs: Vec<GateId> =
+            n.inputs().into_iter().chain(scanned.iter().copied()).collect();
+        let mut observe: Vec<GateId> = n
+            .outputs()
+            .iter()
+            .map(|&o| n.fanin(o)[0])
+            .collect();
+        for &ff in scanned {
+            debug_assert_eq!(n.kind(ff), GateKind::Dff);
+            observe.push(n.fanin(ff)[0]);
+        }
+        observe.sort_unstable();
+        observe.dedup();
+        CombView { inputs, observe, scanned: scanned.to_vec() }
+    }
+
+    /// The full-scan view: every flip-flop scanned.
+    pub fn full_scan(n: &Netlist) -> Self {
+        Self::new(n, &n.dffs())
+    }
+
+    /// The no-scan view: only real PIs/POs (for contrast experiments).
+    pub fn unscanned(n: &Netlist) -> Self {
+        Self::new(n, &[])
+    }
+
+    /// Controllable nets (PIs and scanned FF outputs), in a fixed order.
+    #[inline]
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Observable nets (PO drivers and scanned FF D nets).
+    #[inline]
+    pub fn observe(&self) -> &[GateId] {
+        &self.observe
+    }
+
+    /// The scanned flip-flops.
+    #[inline]
+    pub fn scanned(&self) -> &[GateId] {
+        &self.scanned
+    }
+}
+
+/// One combinational test: values for the view's controllable nets.
+/// Unlisted inputs are don't-care.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestCube {
+    assignments: Vec<(GateId, Trit)>,
+}
+
+impl TestCube {
+    /// An empty (all don't-care) cube.
+    pub fn new() -> Self {
+        TestCube::default()
+    }
+
+    /// Sets one controllable net.
+    pub fn set(&mut self, net: GateId, value: Trit) {
+        if let Some(slot) = self.assignments.iter_mut().find(|(g, _)| *g == net) {
+            slot.1 = value;
+        } else {
+            self.assignments.push((net, value));
+        }
+    }
+
+    /// The value assigned to `net`, or `X`.
+    pub fn get(&self, net: GateId) -> Trit {
+        self.assignments
+            .iter()
+            .find(|(g, _)| *g == net)
+            .map(|&(_, v)| v)
+            .unwrap_or(Trit::X)
+    }
+
+    /// The explicit assignments.
+    pub fn assignments(&self) -> &[(GateId, Trit)] {
+        &self.assignments
+    }
+
+    /// Number of specified bits.
+    pub fn specified(&self) -> usize {
+        self.assignments.iter().filter(|(_, v)| v.is_known()).count()
+    }
+}
+
+impl FromIterator<(GateId, Trit)> for TestCube {
+    fn from_iter<T: IntoIterator<Item = (GateId, Trit)>>(iter: T) -> Self {
+        let mut c = TestCube::new();
+        for (g, v) in iter {
+            c.set(g, v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.dff("q", "g");
+        b.gate(GateKind::And, "g", &["a", "q"]);
+        b.output("o", "g");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_scan_view_exposes_state() {
+        let n = sample();
+        let v = CombView::full_scan(&n);
+        assert_eq!(v.inputs().len(), 2, "PI a + pseudo-PI q");
+        // observable: g (PO driver) and g (q's D) dedup to one net
+        assert_eq!(v.observe().len(), 1);
+        assert_eq!(v.scanned().len(), 1);
+    }
+
+    #[test]
+    fn unscanned_view_hides_state() {
+        let n = sample();
+        let v = CombView::unscanned(&n);
+        assert_eq!(v.inputs().len(), 1);
+        assert_eq!(v.observe().len(), 1);
+    }
+
+    #[test]
+    fn cube_set_get_overwrite() {
+        let n = sample();
+        let a = n.find("a").unwrap();
+        let mut c = TestCube::new();
+        assert_eq!(c.get(a), Trit::X);
+        c.set(a, Trit::One);
+        assert_eq!(c.get(a), Trit::One);
+        c.set(a, Trit::Zero);
+        assert_eq!(c.get(a), Trit::Zero);
+        assert_eq!(c.specified(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Ablation A2 (§III.D): the effect of `K_bound` on path-enumeration
+//! cost. The paper attributes s38584's high CPU time to its 270463
+//! candidate paths and suggests a smaller `K_bound` as the remedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_core::paths::enumerate_paths;
+use tpi_workloads::{generate, suite};
+
+fn bench_kbound(c: &mut Criterion) {
+    let spec = suite().into_iter().find(|s| s.name == "s13207").expect("suite circuit");
+    let n = generate(&spec);
+    let mut group = c.benchmark_group("enumerate_paths_kbound_s13207");
+    for k in [2usize, 4, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| enumerate_paths(&n, k, usize::MAX));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kbound);
+criterion_main!(benches);

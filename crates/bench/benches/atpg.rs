@@ -1,0 +1,40 @@
+//! ATPG substrate throughput: fault simulation and PODEM over the
+//! scan-exposed view of a suite circuit (the payoff the paper's DFT
+//! makes possible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_atpg::{fault_list, generate_tests, CombView, FaultSim, Podem, PodemConfig, TestCube};
+use tpi_netlist::transform::compact;
+use tpi_sim::Trit;
+use tpi_workloads::{generate, suite};
+
+fn bench_atpg(c: &mut Criterion) {
+    let spec = suite().into_iter().find(|s| s.name == "s5378").expect("suite circuit");
+    let n = compact(&generate(&spec)).netlist;
+    let view = CombView::full_scan(&n);
+    let faults = fault_list(&n);
+    let sim = FaultSim::new(&n, &view);
+    let cube: TestCube = view.inputs().iter().map(|&g| (g, Trit::One)).collect();
+
+    let mut group = c.benchmark_group("atpg_s5378");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("fault_sim_one_pattern"), |b| {
+        b.iter(|| sim.detected(&cube, &faults).len());
+    });
+    group.bench_function(BenchmarkId::from_parameter("podem_100_faults"), |b| {
+        b.iter(|| {
+            let mut podem = Podem::new(&n, &view, PodemConfig::default());
+            faults.iter().take(100).map(|&f| podem.generate(f)).count()
+        });
+    });
+    // Bounded slice of the fault list keeps the end-to-end point cheap
+    // enough for criterion's sampling.
+    let slice: Vec<_> = faults.iter().copied().take(400).collect();
+    group.bench_function(BenchmarkId::from_parameter("testgen_400_faults"), |b| {
+        b.iter(|| generate_tests(&n, &view, &slice, 32, 7).report.detected);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

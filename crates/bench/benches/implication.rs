@@ -1,0 +1,45 @@
+//! Forward-implication cost: the inner loop of TPGREED's gain function.
+//! Compares a forced assignment with full propagation against the
+//! preview/undo trial primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_sim::{Implication, Trit};
+use tpi_workloads::{generate, suite};
+
+fn bench_implication(c: &mut Criterion) {
+    let spec = suite().into_iter().find(|s| s.name == "s13207").expect("suite circuit");
+    let n = generate(&spec);
+    let nets: Vec<_> = n.gate_ids().step_by(37).collect();
+    let mut group = c.benchmark_group("implication_s13207");
+    group.bench_function(BenchmarkId::from_parameter("force_clone"), |b| {
+        b.iter_batched(
+            || Implication::new(&n),
+            |mut imp| {
+                for &g in &nets {
+                    let mut scratch = imp.clone();
+                    scratch.force(g, Trit::Zero);
+                }
+                imp.force(nets[0], Trit::Zero);
+                imp
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("preview_undo"), |b| {
+        b.iter_batched(
+            || Implication::new(&n),
+            |mut imp| {
+                for &g in &nets {
+                    let p = imp.preview_force(g, Trit::Zero);
+                    imp.undo_preview(p);
+                }
+                imp
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_implication);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Path-matrix construction cost (§III.A's sparse matrix `A`) across the
+//! suite's structural classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_core::paths::enumerate_paths;
+use tpi_workloads::{generate, suite};
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_paths");
+    for name in ["s5378", "dsip", "bigkey", "mult32b"] {
+        let spec = suite().into_iter().find(|s| s.name == name).expect("suite circuit");
+        let n = generate(&spec);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, n| {
+            b.iter(|| enumerate_paths(n, 10, usize::MAX));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

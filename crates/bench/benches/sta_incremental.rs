@@ -1,0 +1,55 @@
+//! §IV.B ablation: incremental STA repair after a test-point insertion
+//! versus a from-scratch recomputation. The paper relies on incremental
+//! updates to keep TPTIME's per-flip-flop iteration cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_netlist::TechLibrary;
+use tpi_sta::{ClockConstraint, Sta};
+use tpi_workloads::{generate, suite};
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = TechLibrary::paper();
+    let mut group = c.benchmark_group("sta_update_after_test_point");
+    group.sample_size(20);
+    for name in ["s5378", "s13207"] {
+        let spec = suite().into_iter().find(|s| s.name == name).expect("suite circuit");
+        let base = generate(&spec);
+        // Pre-build the edited netlist once; measure only the timing work.
+        let mut edited = base.clone();
+        let victim = edited.comb_gates()[edited.comb_gates().len() / 2];
+        let tp = edited.insert_and_test_point(victim).expect("valid net");
+        let seeds = {
+            let mut s = vec![tp, victim];
+            s.extend(edited.fanin(tp).iter().copied());
+            s.push(edited.test_input().expect("test point created T"));
+            s
+        };
+        let mut warm = Sta::analyze(&base, &lib, ClockConstraint::LongestPath);
+        warm.freeze_clock();
+
+        group.bench_with_input(BenchmarkId::new("incremental", name), &edited, |b, n| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut sta| {
+                    sta.update_after_edit(n, &seeds);
+                    sta
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("full", name), &edited, |b, n| {
+            b.iter_batched(
+                || warm.clone(),
+                |mut sta| {
+                    sta.recompute(n);
+                    sta
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmark behind Table I: full TPGREED runs on the small
+//! and mid-size suite circuits (run the `table1` binary for the full
+//! suite including the large circuits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_core::tpgreed::{TpGreed, TpGreedConfig};
+use tpi_workloads::{generate, suite};
+
+fn bench_tpgreed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpgreed");
+    group.sample_size(10);
+    for spec in suite() {
+        if !matches!(spec.name.as_str(), "s5378" | "s9234" | "mult32a" | "mult32b" | "dsip") {
+            continue;
+        }
+        let n = generate(&spec);
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &n, |b, n| {
+            b.iter(|| TpGreed::new(n, TpGreedConfig::default()).run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpgreed);
+criterion_main!(benches);

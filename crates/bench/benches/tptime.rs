@@ -1,0 +1,22 @@
+//! Criterion benchmark behind Table III: one full partial-scan run per
+//! method on a mid-size circuit (the `table3` binary covers the suite).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_core::flow::{PartialScanFlow, PartialScanMethod};
+use tpi_workloads::{generate, suite};
+
+fn bench_partial_scan(c: &mut Criterion) {
+    let spec = suite().into_iter().find(|s| s.name == "s5378").expect("suite circuit");
+    let n = generate(&spec);
+    let mut group = c.benchmark_group("partial_scan_s5378");
+    group.sample_size(10);
+    for method in [PartialScanMethod::Cb, PartialScanMethod::TdCb, PartialScanMethod::TpTime] {
+        group.bench_with_input(BenchmarkId::from_parameter(method.label()), &n, |b, n| {
+            b.iter(|| PartialScanFlow::new(method).run(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_scan);
+criterion_main!(benches);

@@ -1,0 +1,419 @@
+//! End-to-end DFT flows: the paper's two experiments.
+//!
+//! * [`FullScanFlow`] (§III, Table I): TPGREED + input assignment +
+//!   physical insertion + conventional muxes for the uncovered flip-flops
+//!   + chain stitching + flush verification.
+//! * [`PartialScanFlow`] (§IV, Table III): cycle-breaking partial scan in
+//!   three flavors — CB (Lee–Reddy, timing-oblivious), TD-CB (Jou–Cheng,
+//!   timing-driven selection) and TPTIME (this paper: test points route
+//!   scan paths around the critical logic).
+
+use crate::input_assign::assign_inputs;
+use crate::report::{Table1Row, Table3Row};
+use crate::tpgreed::{verify_outcome, TpGreed, TpGreedConfig};
+use crate::tptime::ScanPlanner;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use tpi_netlist::{GateId, Netlist, NetlistStats, TechLibrary};
+use tpi_scan::{break_cycles, flush_test, ChainLink, CycleBreakOptions, FlushReport, SGraph, ScanChain};
+use tpi_sim::Trit;
+use tpi_sta::{ClockConstraint, Sta};
+
+/// The full-scan flow of §III.
+#[derive(Debug, Clone)]
+pub struct FullScanFlow {
+    /// TPGREED parameters.
+    pub config: TpGreedConfig,
+    /// Technology library (defaults to the paper's).
+    pub lib: TechLibrary,
+}
+
+impl Default for FullScanFlow {
+    fn default() -> Self {
+        FullScanFlow { config: TpGreedConfig::default(), lib: TechLibrary::paper() }
+    }
+}
+
+/// Everything the full-scan flow produces.
+#[derive(Debug)]
+pub struct FullScanResult {
+    /// The Table-I-shaped summary.
+    pub row: Table1Row,
+    /// The transformed netlist (test points + scan muxes + chain).
+    pub netlist: Netlist,
+    /// The stitched scan chain.
+    pub chain: ScanChain,
+    /// Flush-test verdict for the chain (§V).
+    pub flush: FlushReport,
+    /// Primary-input values required in test mode.
+    pub pi_values: Vec<(GateId, Trit)>,
+}
+
+impl FullScanFlow {
+    /// Runs the flow on (a copy of) `n`.
+    ///
+    /// # Panics
+    /// Panics if the netlist is invalid (validate first) or if internal
+    /// verification of the produced scan structure fails — both indicate
+    /// bugs, not user errors.
+    pub fn run(&self, n: &Netlist) -> FullScanResult {
+        let t0 = Instant::now();
+        let (outcome, paths) =
+            TpGreed::new(n, self.config.clone()).run_with_paths();
+        verify_outcome(n, &paths, &outcome).expect("TPGREED must produce a verifiable outcome");
+        let assignment = assign_inputs(n, &paths, &outcome);
+
+        // --- Physical realization on a working copy. ---
+        let mut work = n.clone();
+        work.ensure_test_input();
+        for &(net, v) in &assignment.physical {
+            match v {
+                Trit::Zero => {
+                    work.insert_and_test_point(net).expect("tpgreed nets are valid");
+                }
+                Trit::One => {
+                    work.insert_or_test_point(net).expect("tpgreed nets are valid");
+                }
+                Trit::X => unreachable!("test points always carry constants"),
+            }
+        }
+
+        // --- Chain construction. ---
+        // Established paths dictate `from -> to` links; every fragment
+        // head (and every uncovered flip-flop) gets a conventional mux.
+        let succ: HashMap<GateId, (GateId, bool)> = outcome
+            .scan_paths
+            .iter()
+            .map(|&id| {
+                let p = paths.path(id);
+                (p.from, (p.to, p.inverting))
+            })
+            .collect();
+        let has_incoming: HashSet<GateId> =
+            outcome.scan_paths.iter().map(|&id| paths.path(id).to).collect();
+        let mut links: Vec<ChainLink> = Vec::new();
+        let stub = work.add_input("scan_stub");
+        for ff in n.dffs() {
+            if has_incoming.contains(&ff) {
+                continue; // covered by a test-point path; not a head
+            }
+            // Head of a fragment: conventional mux entry, then follow the
+            // established paths.
+            let mux = work
+                .insert_scan_mux_at_pin(ff, 0, stub)
+                .expect("flip-flops always have a D pin");
+            links.push(ChainLink::Mux { mux, ff, inverting: false });
+            let mut cur = ff;
+            while let Some(&(next, inverting)) = succ.get(&cur) {
+                links.push(ChainLink::Path { from: cur, ff: next, inverting });
+                cur = next;
+            }
+        }
+        let chain = ScanChain::stitch(&mut work, links).expect("chain fragments are consistent");
+        work.validate().expect("transformed netlist must stay valid");
+
+        // --- Flush verification (§V). ---
+        let pi_values = assignment.pi_values.clone();
+        let flush = flush_test(&work, &chain, &pi_values).expect("test input exists");
+        let cpu_seconds = t0.elapsed().as_secs_f64();
+
+        let row = Table1Row {
+            circuit: n.name().to_string(),
+            ff_count: n.dffs().len(),
+            insertions: outcome.test_points.len(),
+            free: assignment.free.len(),
+            scan_paths: outcome.scan_paths.len(),
+            cpu_seconds,
+        };
+        FullScanResult { row, netlist: work, chain, flush, pi_values }
+    }
+}
+
+/// Which partial-scan method to run (the three columns of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialScanMethod {
+    /// Lee–Reddy cycle breaking, timing-oblivious (paper ref. \[6\]).
+    Cb,
+    /// Timing-driven cycle breaking (paper ref. \[7\]).
+    TdCb,
+    /// This paper: cycle breaking + test-point scan routing.
+    TpTime,
+}
+
+impl PartialScanMethod {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PartialScanMethod::Cb => "CB",
+            PartialScanMethod::TdCb => "TD-CB",
+            PartialScanMethod::TpTime => "TPTIME",
+        }
+    }
+}
+
+/// The timing-driven partial-scan flow of §IV.
+#[derive(Debug, Clone)]
+pub struct PartialScanFlow {
+    /// Method under evaluation.
+    pub method: PartialScanMethod,
+    /// Technology library (defaults to the paper's).
+    pub lib: TechLibrary,
+}
+
+impl PartialScanFlow {
+    /// Creates a flow for `method` with the paper's library.
+    pub fn new(method: PartialScanMethod) -> Self {
+        PartialScanFlow { method, lib: TechLibrary::paper() }
+    }
+}
+
+/// Everything a partial-scan run produces.
+#[derive(Debug)]
+pub struct PartialScanResult {
+    /// The Table-III-shaped summary.
+    pub row: Table3Row,
+    /// The transformed netlist.
+    pub netlist: Netlist,
+    /// The stitched scan chain (absent when no flip-flop was selected).
+    pub chain: Option<ScanChain>,
+    /// Flush verdict (absent when no chain exists).
+    pub flush: Option<FlushReport>,
+    /// Whether every cycle in the s-graph was broken.
+    pub acyclic: bool,
+}
+
+impl PartialScanFlow {
+    /// Runs the selected method on (a copy of) `n`.
+    ///
+    /// # Panics
+    /// Panics on invalid input netlists or internal verification
+    /// failures.
+    pub fn run(&self, n: &Netlist) -> PartialScanResult {
+        let t0 = Instant::now();
+        let base_stats = NetlistStats::compute(n, &self.lib);
+        let base_delay =
+            Sta::analyze(n, &self.lib, ClockConstraint::LongestPath).circuit_delay();
+        let sgraph = SGraph::build(n);
+        let mut planner = ScanPlanner::new(n.clone(), self.lib.clone());
+
+        match self.method {
+            PartialScanMethod::Cb => {
+                let r = break_cycles(&sgraph, &CycleBreakOptions::classic());
+                for ff in r.selected {
+                    planner.scan_conventionally(ff);
+                }
+            }
+            PartialScanMethod::TdCb => {
+                // Ref. [7]: re-time after each conversion; a flip-flop is
+                // selectable only while its D slack absorbs the mux.
+                Self::selection_loop(&sgraph, &mut planner, |planner, ff| {
+                    if planner.mux_fits_directly(ff) {
+                        planner.scan_conventionally(ff);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+            PartialScanMethod::TpTime => {
+                // This paper: when the mux does not fit, search the
+                // non-reconvergent fanin region for a test-point plan.
+                Self::selection_loop(&sgraph, &mut planner, |planner, ff| {
+                    if let Some(plan) = planner.plan_zero_degradation(ff) {
+                        planner.commit(&plan);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+        }
+
+        let scanned: Vec<GateId> = planner.links().iter().map(|l| l.ff()).collect();
+        let acyclic = !sgraph.has_cycle(&scanned);
+        let selected = scanned.len();
+        let links = planner.links().to_vec();
+        let (mut netlist, _, _, pi_values) = planner.into_parts();
+
+        let (chain, flush) = if links.is_empty() {
+            (None, None)
+        } else {
+            let chain =
+                ScanChain::stitch(&mut netlist, links).expect("mux links always stitch");
+            let flush = flush_test(&netlist, &chain, &pi_values).expect("test input exists");
+            (Some(chain), Some(flush))
+        };
+        netlist.validate().expect("transformed netlist must stay valid");
+
+        let final_stats = NetlistStats::compute(&netlist, &self.lib);
+        let final_delay =
+            Sta::analyze(&netlist, &self.lib, ClockConstraint::LongestPath).circuit_delay();
+        let row = Table3Row {
+            circuit: n.name().to_string(),
+            method: self.method.label().to_string(),
+            selected_ffs: selected,
+            area: final_stats.area,
+            area_pct: 0.0,
+            delay: final_delay,
+            delay_pct: 0.0,
+            cpu_seconds: t0.elapsed().as_secs_f64(),
+        }
+        .with_baselines(base_stats.area, base_delay);
+        PartialScanResult { row, netlist, chain, flush, acyclic }
+    }
+
+    /// §IV.B's interleaved loop, shared by TD-CB and TPTIME: run the
+    /// cycle-breaking selection, attempt a zero-degradation conversion
+    /// with `try_scan`, mark flip-flops the method cannot scan cleanly
+    /// and re-select; when no marked-free selection remains, fall back to
+    /// minimal-degradation conventional scan (largest D slack first).
+    fn selection_loop(
+        sgraph: &SGraph,
+        planner: &mut ScanPlanner,
+        mut try_scan: impl FnMut(&mut ScanPlanner, GateId) -> bool,
+    ) {
+        let mut scanned: Vec<GateId> = Vec::new();
+        let mut marked: HashSet<GateId> = HashSet::new();
+        loop {
+            let remaining = sgraph.without(&scanned);
+            if !remaining.has_cycle(&[]) {
+                break;
+            }
+            let r = {
+                let marked_view = &marked;
+                let opts = CycleBreakOptions::timing_driven(move |ff| !marked_view.contains(&ff));
+                break_cycles(&remaining, &opts)
+            };
+            let mut progressed = false;
+            let mut newly_marked = false;
+            for ff in r.selected {
+                if try_scan(planner, ff) {
+                    scanned.push(ff);
+                    progressed = true;
+                    break; // re-derive the remaining graph
+                }
+                newly_marked |= marked.insert(ff);
+            }
+            if progressed || newly_marked {
+                // Fresh marks change the selectability landscape: let the
+                // cycle breaker propose alternates before giving up
+                // ("instruct cycle breaking procedure to choose another").
+                continue;
+            }
+            // No zero-degradation selection possible: minimal-degradation
+            // fallback — among the flip-flops actually on remaining
+            // cycles, scan the one whose D connection has the largest
+            // slack (≈ smallest degradation), per §IV.B.
+            let candidates: Vec<GateId> = remaining.cyclic_nodes();
+            let Some(&victim) = candidates.iter().max_by(|&&a, &&b| {
+                let sa = planner.sta().endpoint_slack(planner.netlist(), a);
+                let sb = planner.sta().endpoint_slack(planner.netlist(), b);
+                sa.partial_cmp(&sb).expect("slacks are finite")
+            }) else {
+                break; // nothing left to try
+            };
+            if std::env::var_os("TPI_TRACE").is_some() {
+                eprintln!(
+                    "[selection_loop] fallback scans {} (D slack {:.2})",
+                    planner.netlist().gate_name(victim),
+                    planner.sta().endpoint_slack(planner.netlist(), victim)
+                );
+            }
+            planner.scan_conventionally(victim);
+            scanned.push(victim);
+            marked.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{GateKind, NetlistBuilder};
+
+    /// A small circuit with one FF ring (needs breaking) and a FF pair
+    /// connected by sensitizable logic (good for test-point paths).
+    fn mixed_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("mixed");
+        b.input("a");
+        b.input("en");
+        b.input("d");
+        // ring f0 -> f1 -> f0 through inverters
+        b.gate(GateKind::Inv, "r0", &["f0"]);
+        b.dff("f1", "r0");
+        b.gate(GateKind::Inv, "r1", &["f1"]);
+        b.dff("f0", "r1");
+        // pipeline f2 -> AND(en) -> f3
+        b.dff("f2", "d");
+        b.gate(GateKind::And, "p0", &["f2", "en"]);
+        b.dff("f3", "p0");
+        // some combinational depth for timing texture
+        b.gate(GateKind::Inv, "x0", &["a"]);
+        b.gate(GateKind::Inv, "x1", &["x0"]);
+        b.gate(GateKind::And, "x2", &["x1", "f3"]);
+        b.output("o", "x2");
+        b.output("o1", "f0");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_scan_flow_produces_verified_chain() {
+        let n = mixed_circuit();
+        let flow = FullScanFlow::default();
+        let r = flow.run(&n);
+        assert_eq!(r.row.ff_count, 4);
+        assert_eq!(r.chain.len(), 4, "full scan covers every FF");
+        assert!(r.flush.passed(), "flush must pass: {:?}", r.flush);
+        assert!(r.row.scan_paths >= 1, "f2->f3 (at least) rides through logic");
+        assert!(r.row.reduction() > 0.0);
+    }
+
+    #[test]
+    fn partial_scan_cb_breaks_all_cycles() {
+        let n = mixed_circuit();
+        let r = PartialScanFlow::new(PartialScanMethod::Cb).run(&n);
+        assert!(r.acyclic);
+        assert_eq!(r.row.selected_ffs, 1, "one FF breaks the 2-ring");
+        if let Some(f) = &r.flush {
+            assert!(f.passed());
+        }
+    }
+
+    #[test]
+    fn partial_scan_methods_are_ordered_on_delay() {
+        let n = mixed_circuit();
+        let cb = PartialScanFlow::new(PartialScanMethod::Cb).run(&n);
+        let td = PartialScanFlow::new(PartialScanMethod::TdCb).run(&n);
+        let tp = PartialScanFlow::new(PartialScanMethod::TpTime).run(&n);
+        assert!(cb.acyclic && td.acyclic && tp.acyclic);
+        // The paper's headline ordering: TPTIME's delay never exceeds
+        // TD-CB's, which never exceeds CB's... on circuits where it
+        // matters. Here we only require TPTIME to be no worse than CB.
+        assert!(tp.row.delay <= cb.row.delay + 1e-9);
+        assert!(td.row.delay <= cb.row.delay + 1e-9);
+    }
+
+    #[test]
+    fn tptime_flush_passes() {
+        let n = mixed_circuit();
+        let r = PartialScanFlow::new(PartialScanMethod::TpTime).run(&n);
+        assert!(r.acyclic);
+        let f = r.flush.expect("a chain exists");
+        assert!(f.passed(), "{:?} vs {:?}", f.observed, f.expected);
+    }
+
+    #[test]
+    fn acyclic_circuit_needs_no_partial_scan() {
+        let mut b = NetlistBuilder::new("pipe");
+        b.input("d");
+        b.dff("f0", "d");
+        b.dff("f1", "f0");
+        b.output("o", "f1");
+        let n = b.finish().unwrap();
+        let r = PartialScanFlow::new(PartialScanMethod::TpTime).run(&n);
+        assert!(r.acyclic);
+        assert_eq!(r.row.selected_ffs, 0);
+        assert!(r.chain.is_none());
+        assert!((r.row.delay_pct).abs() < 1e-9);
+    }
+}

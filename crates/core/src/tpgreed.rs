@@ -1,0 +1,934 @@
+//! TPGREED: greedy test-point insertion for full scan (§III).
+//!
+//! The algorithm examines the combinational paths between flip-flops and
+//! sequentially inserts test points `(connection, value)` with the
+//! highest *gain* (Equation 1):
+//!
+//! ```text
+//! gain(c, v) = Σ_j  max_i  max_{p ∈ A_ij ∩ S_c}  1 / w_p
+//! ```
+//!
+//! where `S_c` is the set of paths whose side inputs receive sensitizing
+//! values from the forward implication of `v` at `c`, and `w_p` is the
+//! number of side inputs of path `p` still carrying unknown values. Paths
+//! that receive a controlling value on a side input, or a constant on a
+//! path gate, are *nullified* and removed. When `w_p` reaches zero the
+//! path becomes a scan path; the scan chain is kept acyclic with at most
+//! one incoming and one outgoing path per flip-flop.
+//!
+//! §III.C notes the full gain recomputation after each insertion is
+//! expensive and suggests an incremental alternative; both are available
+//! via [`GainUpdate`] and produce identical selections (see the
+//! `ablation_gain` bench and the equivalence tests).
+
+use crate::paths::{enumerate_paths, PathId, PathSet};
+use std::collections::{BinaryHeap, HashMap};
+use tpi_netlist::{GateId, GateKind, Netlist};
+use tpi_sim::{Implication, Trit};
+
+/// Gain bookkeeping strategy (§III.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GainUpdate {
+    /// Recompute the gain of every candidate after each insertion — the
+    /// paper's "current implementation".
+    Full,
+    /// Only recompute candidates whose implication cone or touched paths
+    /// were affected by the last insertion — the paper's proposed
+    /// improvement. Selections are identical to [`GainUpdate::Full`].
+    #[default]
+    Incremental,
+}
+
+/// Configuration for [`TpGreed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpGreedConfig {
+    /// Maximum number of side inputs for a path to be considered
+    /// (the paper's `K_bound`; experiments use 10).
+    pub k_bound: usize,
+    /// Stop when the best gain falls below this value (the paper's
+    /// `gain_bound`; experiments use 0.5).
+    pub gain_bound: f64,
+    /// Gain bookkeeping strategy.
+    pub gain_update: GainUpdate,
+    /// Safety cap on the number of enumerated paths.
+    pub max_paths: usize,
+}
+
+impl Default for TpGreedConfig {
+    /// The paper's experimental setup: `K_bound = 10`, `gain_bound = 0.5`.
+    fn default() -> Self {
+        TpGreedConfig {
+            k_bound: 10,
+            gain_bound: 0.5,
+            gain_update: GainUpdate::Incremental,
+            max_paths: 1 << 22,
+        }
+    }
+}
+
+/// Result of a TPGREED run.
+#[derive(Debug, Clone)]
+pub struct TpGreedOutcome {
+    /// Chosen test points `(net, value)` in insertion order. These are
+    /// *virtual* until physically applied (an AND gate for 0, an OR gate
+    /// for 1) by the full-scan flow.
+    pub test_points: Vec<(GateId, Trit)>,
+    /// Established scan paths.
+    pub scan_paths: Vec<PathId>,
+    /// Number of greedy iterations executed.
+    pub iterations: usize,
+    /// Number of candidate paths enumerated (the paper reports this
+    /// figure for s38584: 270463).
+    pub paths_considered: usize,
+    /// Final per-net test-mode constants implied by the test points
+    /// (useful for input assignment and verification).
+    pub implied: Vec<(GateId, Trit)>,
+}
+
+impl TpGreedOutcome {
+    /// Scan-path endpoints `(from, to)` in establishment order.
+    pub fn scan_path_endpoints(&self, paths: &PathSet) -> Vec<(GateId, GateId)> {
+        self.scan_paths.iter().map(|&id| (paths.path(id).from, paths.path(id).to)).collect()
+    }
+}
+
+/// Per-path mutable state.
+#[derive(Debug, Clone, Copy)]
+struct PathState {
+    alive: bool,
+    established: bool,
+    /// Unknown side inputs remaining (the paper's `w_k`).
+    w: u32,
+}
+
+/// Union-find over flip-flops for chain-cycle prevention.
+#[derive(Debug, Clone)]
+struct Fragments {
+    parent: Vec<usize>,
+}
+
+impl Fragments {
+    fn new(n: usize) -> Self {
+        Fragments { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The TPGREED runner. Construct with [`TpGreed::new`], execute with
+/// [`TpGreed::run`].
+///
+/// # Example
+///
+/// Reproduce the paper's Figure 1: one AND test point at the output of
+/// `F4` establishes the chain `F1 -> F2 -> F3` through existing gates.
+/// See `tpi-workloads`' `fig1()` and the `figures` binary for the full
+/// construction; the doctest below shows the API shape on a small case.
+///
+/// ```
+/// use tpi_netlist::{Netlist, GateKind};
+/// use tpi_core::tpgreed::{TpGreed, TpGreedConfig};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let f1 = n.add_gate(GateKind::Dff, "f1");
+/// let x = n.add_input("x");
+/// let g = n.add_gate(GateKind::And, "g");
+/// n.connect(f1, g)?;
+/// n.connect(x, g)?;
+/// let f2 = n.add_gate(GateKind::Dff, "f2");
+/// n.connect(g, f2)?;
+/// n.connect(x, f1)?;
+/// let outcome = TpGreed::new(&n, TpGreedConfig::default()).run();
+/// assert_eq!(outcome.scan_paths.len(), 1);
+/// assert_eq!(outcome.test_points.len(), 1); // x = 1 forced by one point
+/// # Ok(())
+/// # }
+/// ```
+pub struct TpGreed<'a> {
+    n: &'a Netlist,
+    cfg: TpGreedConfig,
+    paths: PathSet,
+    imp: Implication<'a>,
+    state: Vec<PathState>,
+    /// FF -> dense index.
+    ff_index: HashMap<GateId, usize>,
+    out_taken: Vec<bool>,
+    in_taken: Vec<bool>,
+    frags: Fragments,
+    /// Nets whose values are pinned by established paths (desired
+    /// constants); value recorded for conflict detection.
+    protected: HashMap<GateId, Trit>,
+    /// Nets lying on an established path (must stay unknown).
+    established_net: Vec<bool>,
+    // --- outcome accumulators ---
+    test_points: Vec<(GateId, Trit)>,
+    established: Vec<PathId>,
+    iterations: usize,
+    // --- incremental-gain machinery ---
+    gains: Vec<f64>,
+    dirty: Vec<bool>,
+    path_watchers: HashMap<PathId, Vec<usize>>,
+    net_watchers: HashMap<GateId, Vec<usize>>,
+    /// Frontier gates per candidate: a candidate's implication wave can
+    /// *extend* through these gates once another insertion determines one
+    /// of their inputs, so commits that touch their fanins re-dirty the
+    /// registered candidates.
+    gate_watchers: HashMap<GateId, Vec<usize>>,
+}
+
+const GAIN_INVALID: f64 = -1.0;
+
+impl<'a> TpGreed<'a> {
+    /// Prepares a run over `n`: enumerates paths and initializes state.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle.
+    pub fn new(n: &'a Netlist, cfg: TpGreedConfig) -> Self {
+        let paths = enumerate_paths(n, cfg.k_bound, cfg.max_paths);
+        Self::with_paths(n, cfg, paths)
+    }
+
+    /// Like [`TpGreed::new`] but reuses a pre-enumerated [`PathSet`].
+    pub fn with_paths(n: &'a Netlist, cfg: TpGreedConfig, paths: PathSet) -> Self {
+        let imp = Implication::new(n);
+        let ffs = n.dffs();
+        let ff_index: HashMap<GateId, usize> =
+            ffs.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let mut state = Vec::with_capacity(paths.len());
+        for id in paths.ids() {
+            let p = paths.path(id);
+            let mut alive = true;
+            let mut w = 0u32;
+            for c in &p.side_inputs {
+                let sens = sensitizing_for(n.kind(c.sink));
+                match imp.value(c.source) {
+                    Trit::X => w += 1,
+                    v if Some(v) == sens => {}
+                    _ => alive = false, // controlling constant at init
+                }
+            }
+            // A constant on a path gate nullifies too.
+            if p.gates.iter().any(|&g| imp.value(g).is_known()) {
+                alive = false;
+            }
+            state.push(PathState { alive, established: false, w });
+        }
+        let candidate_count = n.gate_count() * 2;
+        TpGreed {
+            n,
+            cfg,
+            imp,
+            state,
+            ff_index,
+            out_taken: vec![false; ffs.len()],
+            in_taken: vec![false; ffs.len()],
+            frags: Fragments::new(ffs.len()),
+            protected: HashMap::new(),
+            established_net: vec![false; n.gate_count()],
+            test_points: Vec::new(),
+            established: Vec::new(),
+            iterations: 0,
+            gains: vec![0.0; candidate_count],
+            dirty: vec![true; candidate_count],
+            path_watchers: HashMap::new(),
+            net_watchers: HashMap::new(),
+            gate_watchers: HashMap::new(),
+            paths,
+        }
+    }
+
+    /// Access to the enumerated path set.
+    pub fn paths(&self) -> &PathSet {
+        &self.paths
+    }
+
+    /// Runs the greedy loop to completion and returns the outcome.
+    pub fn run(self) -> TpGreedOutcome {
+        self.run_with_paths().0
+    }
+
+    /// Like [`TpGreed::run`] but also hands back the enumerated
+    /// [`PathSet`] (the flows need it for input assignment, stitching and
+    /// verification).
+    pub fn run_with_paths(mut self) -> (TpGreedOutcome, PathSet) {
+        // Free paths (w == 0, e.g. direct FF->FF connections) cost
+        // nothing: establish them before any insertion, as ref. [13]'s
+        // cost-free scan does.
+        self.establish_ready_paths();
+
+        match self.cfg.gain_update {
+            GainUpdate::Full => self.run_full(),
+            GainUpdate::Incremental => self.run_incremental(),
+        }
+
+        let implied = self
+            .n
+            .gate_ids()
+            .filter(|g| self.imp.value(*g).is_known())
+            .map(|g| (g, self.imp.value(g)))
+            .collect();
+        (
+            TpGreedOutcome {
+                test_points: self.test_points,
+                scan_paths: self.established,
+                iterations: self.iterations,
+                paths_considered: self.paths.len(),
+                implied,
+            },
+            self.paths,
+        )
+    }
+
+    fn run_full(&mut self) {
+        loop {
+            self.iterations += 1;
+            let mut best: Option<(f64, usize)> = None;
+            for cand in 0..self.gains.len() {
+                let g = self.compute_gain(cand, false);
+                self.gains[cand] = g;
+                if g > 0.0 && g >= self.cfg.gain_bound && best.is_none_or(|(bg, _)| g > bg) {
+                    best = Some((g, cand));
+                }
+            }
+            let Some((_, cand)) = best else { break };
+            self.commit(cand);
+        }
+    }
+
+    fn run_incremental(&mut self) {
+        let mut heap: BinaryHeap<(OrdF64, std::cmp::Reverse<usize>)> = BinaryHeap::new();
+        loop {
+            self.iterations += 1;
+            // Refresh dirty candidates.
+            for cand in 0..self.gains.len() {
+                if self.dirty[cand] {
+                    self.dirty[cand] = false;
+                    let g = self.compute_gain(cand, true);
+                    self.gains[cand] = g;
+                    if g > 0.0 && g >= self.cfg.gain_bound {
+                        heap.push((OrdF64(g), std::cmp::Reverse(cand)));
+                    }
+                }
+            }
+            // Pop the best non-stale entry.
+            let mut chosen = None;
+            while let Some((OrdF64(g), std::cmp::Reverse(cand))) = heap.pop() {
+                if (self.gains[cand] - g).abs() > 1e-12 {
+                    continue; // stale
+                }
+                chosen = Some(cand);
+                break;
+            }
+            let Some(cand) = chosen else { break };
+            self.commit(cand);
+            // The committed candidate's own entries are now meaningless.
+            let (net, _) = decode(cand);
+            self.dirty[encode(net, Trit::Zero)] = true;
+            self.dirty[encode(net, Trit::One)] = true;
+        }
+    }
+
+    /// Evaluates Equation 1 for candidate `cand`. With `register`, records
+    /// watcher entries so the incremental mode knows what to re-examine.
+    fn compute_gain(&mut self, cand: usize, register: bool) -> f64 {
+        let (net, value) = decode(cand);
+        if !self.is_candidate_net(net) {
+            return GAIN_INVALID;
+        }
+        // A net already carrying a committed test point is off-limits:
+        // physically, stacked gates at one net resolve in insertion
+        // order (the outermost wins), which would diverge from the
+        // implication model's last-write-wins override.
+        if self.imp.is_forced(net) {
+            return GAIN_INVALID; // force set is monotone; stays invalid
+        }
+        if self.imp.value(net) == value {
+            // No effect *now* — but a later override can revert this
+            // net's implied value, so the incremental mode must know to
+            // re-examine the candidate when the net changes.
+            if register {
+                self.net_watchers.entry(net).or_default().push(cand);
+            }
+            return 0.0;
+        }
+        let preview = self.imp.preview_force(net, value);
+
+        // Validity: the implication must not disturb protected constants
+        // or put a constant on an established path.
+        let mut valid = true;
+        for a in preview.changes() {
+            if let Some(&want) = self.protected.get(&a.net) {
+                if want != a.value {
+                    valid = false;
+                    break;
+                }
+            }
+            if self.established_net[a.net.index()] {
+                valid = false;
+                break;
+            }
+        }
+
+        let mut gain = 0.0;
+        let mut touched: Vec<PathId> = Vec::new();
+        if valid {
+            // Collect paths affected by the implied constants.
+            let mut affected: Vec<PathId> = Vec::new();
+            for a in preview.changes() {
+                affected.extend_from_slice(self.paths.paths_with_side_source(a.net));
+                affected.extend_from_slice(self.paths.paths_through(a.net));
+                affected.extend_from_slice(self.paths.paths_from(a.net));
+            }
+            affected.sort_unstable();
+            affected.dedup();
+            // Per-destination maxima (Equation 1's  Σ_j max_i max_p).
+            // BTreeMap: the float sum must accumulate in a fixed order,
+            // or exact gain ties break differently across runs.
+            let mut best_per_dest: std::collections::BTreeMap<GateId, f64> = Default::default();
+            let mut kills = 0usize;
+            for id in affected {
+                touched.push(id);
+                let st = self.state[id.index()];
+                if !st.alive || st.established || !self.pair_usable(id) {
+                    continue;
+                }
+                let (nullified, new_w) = self.path_status(id);
+                if nullified {
+                    kills += 1;
+                    continue;
+                }
+                if new_w >= st.w {
+                    continue; // no progress under this preview
+                }
+                let contribution = 1.0 / st.w as f64;
+                let dest = self.paths.path(id).to;
+                let e = best_per_dest.entry(dest).or_insert(0.0);
+                if contribution > *e {
+                    *e = contribution;
+                }
+            }
+            gain = best_per_dest.values().sum();
+            // Tie-breaker only (Equation 1 stays dominant): between
+            // equal-gain candidates, prefer the one that nullifies fewer
+            // still-usable paths.
+            if gain > 0.0 {
+                gain -= 1e-6 * kills as f64;
+            }
+        }
+
+        if register {
+            for id in &touched {
+                self.path_watchers.entry(*id).or_default().push(cand);
+            }
+            for a in preview.changes() {
+                self.net_watchers.entry(a.net).or_default().push(cand);
+            }
+            for &g in preview.frontier() {
+                self.gate_watchers.entry(g).or_default().push(cand);
+            }
+        }
+        self.imp.undo_preview(preview);
+        if !valid {
+            return GAIN_INVALID;
+        }
+        gain
+    }
+
+    /// Current (possibly previewed) status of a path: (nullified, w).
+    fn path_status(&self, id: PathId) -> (bool, u32) {
+        let p = self.paths.path(id);
+        // A constant at the source FF's output (a test point spliced
+        // there) or on any path gate blocks shifting.
+        if self.imp.value(p.from).is_known()
+            || p.gates.iter().any(|&g| self.imp.value(g).is_known())
+        {
+            return (true, 0);
+        }
+        let mut w = 0;
+        for c in &p.side_inputs {
+            let sens = sensitizing_for(self.n.kind(c.sink));
+            match self.imp.value(c.source) {
+                Trit::X => w += 1,
+                v if Some(v) == sens => {}
+                _ => return (true, 0),
+            }
+        }
+        (false, w)
+    }
+
+    fn pair_usable(&mut self, id: PathId) -> bool {
+        let p = self.paths.path(id);
+        let (Some(&i), Some(&j)) = (self.ff_index.get(&p.from), self.ff_index.get(&p.to)) else {
+            return false;
+        };
+        !self.out_taken[i] && !self.in_taken[j] && self.frags.find(i) != self.frags.find(j)
+    }
+
+    fn is_candidate_net(&self, net: GateId) -> bool {
+        let kind = self.n.kind(net);
+        if matches!(kind, GateKind::Output | GateKind::Const0 | GateKind::Const1) {
+            return false;
+        }
+        if self.protected.contains_key(&net) || self.established_net[net.index()] {
+            return false;
+        }
+        true
+    }
+
+    /// Commits the candidate: forces the constant, prunes nullified
+    /// paths, updates `w`s, establishes completed paths, and marks
+    /// incremental dirt.
+    fn commit(&mut self, cand: usize) {
+        let (net, value) = decode(cand);
+        let delta = self.imp.force(net, value);
+        self.test_points.push((net, value));
+
+        let mut affected: Vec<PathId> = Vec::new();
+        for a in &delta {
+            affected.extend_from_slice(self.paths.paths_with_side_source(a.net));
+            affected.extend_from_slice(self.paths.paths_through(a.net));
+            affected.extend_from_slice(self.paths.paths_from(a.net));
+            if let Some(watchers) = self.net_watchers.get(&a.net) {
+                for &c in watchers {
+                    self.dirty[c] = true;
+                }
+            }
+            // A newly determined net can unblock a frontier gate of some
+            // candidate's wave: re-examine candidates watching any sink
+            // of this net.
+            for &(sink, _) in self.n.fanout(a.net) {
+                if let Some(watchers) = self.gate_watchers.get(&sink) {
+                    for &c in watchers {
+                        self.dirty[c] = true;
+                    }
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for id in affected {
+            let st = self.state[id.index()];
+            if !st.alive || st.established {
+                continue;
+            }
+            let (nullified, w) = self.path_status(id);
+            let changed = nullified || w != st.w;
+            if nullified {
+                self.state[id.index()].alive = false;
+            } else {
+                self.state[id.index()].w = w;
+            }
+            if changed {
+                self.mark_path_dirty(id);
+            }
+        }
+        self.establish_ready_paths();
+    }
+
+    fn mark_path_dirty(&mut self, id: PathId) {
+        if let Some(watchers) = self.path_watchers.get(&id) {
+            for &c in watchers {
+                self.dirty[c] = true;
+            }
+        }
+    }
+
+    /// Establishes every alive, usable path with `w == 0`, updating chain
+    /// constraints and protections; repeats until none remains.
+    fn establish_ready_paths(&mut self) {
+        for raw in 0..self.state.len() {
+            let id = PathId(raw as u32);
+            let st = self.state[raw];
+            if !st.alive || st.established || st.w != 0 {
+                continue;
+            }
+            if !self.pair_usable(id) {
+                continue;
+            }
+            // Double-check liveness against the current implication state
+            // (the cached state is authoritative, but cheap to re-verify).
+            let (nullified, w) = self.path_status(id);
+            if nullified || w != 0 {
+                self.state[raw].alive = !nullified;
+                self.state[raw].w = w;
+                continue;
+            }
+            self.establish(id);
+        }
+    }
+
+    fn establish(&mut self, id: PathId) {
+        self.state[id.index()].established = true;
+        self.established.push(id);
+        let p = self.paths.path(id).clone();
+        let i = self.ff_index[&p.from];
+        let j = self.ff_index[&p.to];
+        // Degree and acyclicity bookkeeping (the A_i* / A_*j / cycle
+        // removals of §III.A).
+        self.out_taken[i] = true;
+        self.in_taken[j] = true;
+        // Paths whose usability may flip get their watchers dirtied
+        // (conservative superset; `pair_usable` is authoritative).
+        let root_a = self.frags.find(i);
+        let root_b = self.frags.find(j);
+        let mut flipped: Vec<PathId> = Vec::new();
+        {
+            let frags = &mut self.frags;
+            let ff_index = &self.ff_index;
+            for (&(from, to), ids) in self.paths.pairs_with_ids() {
+                let fi = ff_index[&from];
+                let fj = ff_index[&to];
+                let (ra, rb) = (frags.find(fi), frags.find(fj));
+                let crosses = (ra == root_a && rb == root_b) || (ra == root_b && rb == root_a);
+                if fi == i || fj == j || crosses {
+                    flipped.extend(ids.iter().copied());
+                }
+            }
+        }
+        self.frags.union(i, j);
+        for f in flipped {
+            self.mark_path_dirty(f);
+        }
+        // Protect the sensitized side inputs; pin the path nets and the
+        // source FF's output as must-stay-unknown.
+        for c in &p.side_inputs {
+            let v = self.imp.value(c.source);
+            debug_assert!(v.is_known());
+            self.protected.insert(c.source, v);
+        }
+        self.established_net[p.from.index()] = true;
+        for &g in &p.gates {
+            self.established_net[g.index()] = true;
+        }
+    }
+}
+
+fn sensitizing_for(kind: GateKind) -> Option<Trit> {
+    kind.sensitizing_value().map(Trit::from)
+}
+
+#[inline]
+fn encode(net: GateId, value: Trit) -> usize {
+    net.index() * 2 + usize::from(value == Trit::One)
+}
+
+#[inline]
+fn decode(cand: usize) -> (GateId, Trit) {
+    let net = GateId::from_index(cand / 2);
+    let value = if cand % 2 == 1 { Trit::One } else { Trit::Zero };
+    (net, value)
+}
+
+/// Total-order wrapper for gain values (never NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("gain values are never NaN")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verification
+// ---------------------------------------------------------------------
+
+/// Re-verifies an outcome from scratch on a fresh implication engine:
+/// every reported scan path must be fully sensitized by the test points,
+/// keep unknown values on its path gates, and the set of `(from, to)`
+/// edges must form vertex-disjoint simple paths (no FF with two incoming
+/// or two outgoing scan edges, no cycles).
+///
+/// Returns a human-readable description of the first violation, if any.
+pub fn verify_outcome(n: &Netlist, paths: &PathSet, outcome: &TpGreedOutcome) -> Result<(), String> {
+    let mut imp = Implication::new(n);
+    for &(net, v) in &outcome.test_points {
+        imp.force(net, v);
+    }
+    let mut out_deg: HashMap<GateId, u32> = HashMap::new();
+    let mut in_deg: HashMap<GateId, u32> = HashMap::new();
+    let mut edges = Vec::new();
+    for &id in &outcome.scan_paths {
+        let p = paths.path(id);
+        for c in &p.side_inputs {
+            let sens = Trit::from(
+                n.kind(c.sink)
+                    .sensitizing_value()
+                    .ok_or_else(|| format!("side input into non-sensitizable gate {}", c.sink))?,
+            );
+            if imp.value(c.source) != sens {
+                return Err(format!(
+                    "path {}->{} side input {} carries {:?}, want {:?}",
+                    n.gate_name(p.from),
+                    n.gate_name(p.to),
+                    n.gate_name(c.source),
+                    imp.value(c.source),
+                    sens
+                ));
+            }
+        }
+        if imp.value(p.from).is_known() {
+            return Err(format!(
+                "source flip-flop {} is forced constant in test mode",
+                n.gate_name(p.from)
+            ));
+        }
+        for &g in &p.gates {
+            if imp.value(g).is_known() {
+                return Err(format!(
+                    "path {}->{} gate {} is stuck at {:?} in test mode",
+                    n.gate_name(p.from),
+                    n.gate_name(p.to),
+                    n.gate_name(g),
+                    imp.value(g)
+                ));
+            }
+        }
+        *out_deg.entry(p.from).or_default() += 1;
+        *in_deg.entry(p.to).or_default() += 1;
+        edges.push((p.from, p.to));
+    }
+    if let Some((ff, _)) = out_deg.iter().find(|(_, &d)| d > 1) {
+        return Err(format!("{} has two outgoing scan edges", n.gate_name(*ff)));
+    }
+    if let Some((ff, _)) = in_deg.iter().find(|(_, &d)| d > 1) {
+        return Err(format!("{} has two incoming scan edges", n.gate_name(*ff)));
+    }
+    // Cycle check: follow successor links.
+    let succ: HashMap<GateId, GateId> = edges.iter().copied().collect();
+    for &(start, _) in &edges {
+        let mut cur = start;
+        let mut hops = 0;
+        while let Some(&next) = succ.get(&cur) {
+            cur = next;
+            hops += 1;
+            if cur == start {
+                return Err(format!("scan edges form a cycle through {}", n.gate_name(start)));
+            }
+            if hops > edges.len() {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    /// The paper's Figure 1 skeleton: F1 -OR(x)-> F2 -AND(F4)-> F3, with
+    /// F4 driven by x. One AND test point at F4's output (or the PI value
+    /// x = 0) sensitizes both hops.
+    fn fig1_like() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.input("x");
+        b.input("d1");
+        b.input("d4");
+        b.dff("f1", "d1");
+        b.dff("f4", "d4");
+        b.gate(tpi_netlist::GateKind::Or, "g1", &["f1", "x"]);
+        b.dff("f2", "g1");
+        b.gate(tpi_netlist::GateKind::And, "g2", &["f2", "f4"]);
+        b.dff("f3", "g2");
+        b.output("o", "f3");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fig1_needs_few_test_points_for_two_paths() {
+        let n = fig1_like();
+        let outcome = TpGreed::new(&n, TpGreedConfig::default()).run();
+        assert_eq!(outcome.scan_paths.len(), 2, "F1->F2 and F2->F3");
+        assert!(
+            outcome.test_points.len() <= 2,
+            "x=0 and F4=1 (or just x=0 when implication covers)"
+        );
+        let paths = enumerate_paths(&n, 10, usize::MAX);
+        verify_outcome(&n, &paths, &outcome).unwrap();
+    }
+
+    #[test]
+    fn full_and_incremental_agree() {
+        let n = fig1_like();
+        let full = TpGreed::new(
+            &n,
+            TpGreedConfig { gain_update: GainUpdate::Full, ..TpGreedConfig::default() },
+        )
+        .run();
+        let inc = TpGreed::new(
+            &n,
+            TpGreedConfig { gain_update: GainUpdate::Incremental, ..TpGreedConfig::default() },
+        )
+        .run();
+        assert_eq!(full.test_points, inc.test_points);
+        assert_eq!(full.scan_paths, inc.scan_paths);
+    }
+
+    #[test]
+    fn free_paths_are_established_without_insertions() {
+        // Pure shift register: every hop is free.
+        let mut b = NetlistBuilder::new("sr");
+        b.input("d");
+        b.dff("f0", "d");
+        b.dff("f1", "f0");
+        b.dff("f2", "f1");
+        b.output("o", "f2");
+        let n = b.finish().unwrap();
+        let outcome = TpGreed::new(&n, TpGreedConfig::default()).run();
+        assert_eq!(outcome.scan_paths.len(), 2);
+        assert!(outcome.test_points.is_empty());
+    }
+
+    #[test]
+    fn chain_degree_constraints_hold() {
+        // f0 feeds both f1 and f2 directly: only one free path may be
+        // taken from f0.
+        let mut b = NetlistBuilder::new("fanout");
+        b.input("d");
+        b.dff("f0", "d");
+        b.dff("f1", "f0");
+        b.dff("f2", "f0");
+        b.output("o1", "f1");
+        b.output("o2", "f2");
+        let n = b.finish().unwrap();
+        let outcome = TpGreed::new(&n, TpGreedConfig::default()).run();
+        assert_eq!(outcome.scan_paths.len(), 1, "one outgoing edge per FF");
+        let paths = enumerate_paths(&n, 10, usize::MAX);
+        verify_outcome(&n, &paths, &outcome).unwrap();
+    }
+
+    #[test]
+    fn cycle_is_never_formed() {
+        // f0 <-> f1 direct connections: both free, but taking both would
+        // close a cycle.
+        let mut b = NetlistBuilder::new("ring2");
+        b.dff("f0", "f1");
+        b.dff("f1", "f0");
+        let n = b.finish().unwrap();
+        let outcome = TpGreed::new(&n, TpGreedConfig::default()).run();
+        assert_eq!(outcome.scan_paths.len(), 1);
+        let paths = enumerate_paths(&n, 10, usize::MAX);
+        verify_outcome(&n, &paths, &outcome).unwrap();
+    }
+
+    #[test]
+    fn gain_bound_terminates_early() {
+        let n = fig1_like();
+        let outcome = TpGreed::new(
+            &n,
+            TpGreedConfig { gain_bound: 10.0, ..TpGreedConfig::default() },
+        )
+        .run();
+        assert!(outcome.test_points.is_empty(), "no candidate reaches gain 10");
+    }
+
+    #[test]
+    fn established_paths_survive_later_insertions() {
+        let n = fig1_like();
+        let outcome = TpGreed::new(&n, TpGreedConfig::default()).run();
+        let paths = enumerate_paths(&n, 10, usize::MAX);
+        // verify_outcome re-plays everything from scratch: if a later
+        // insertion had nullified an earlier path, this would fail.
+        verify_outcome(&n, &paths, &outcome).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use tpi_workloads::{generate, CircuitSpec, StructureClass};
+
+    fn workload(seed: u64) -> tpi_netlist::Netlist {
+        generate(&CircuitSpec {
+            name: format!("cfg{seed}"),
+            inputs: 6,
+            outputs: 3,
+            ffs: 20,
+            target_gates: 80,
+            structure: StructureClass::mixed(0.6, 4, 3, 1),
+            seed,
+        })
+    }
+
+    /// Raising `gain_bound` can only reduce the number of insertions:
+    /// every candidate accepted at a higher bound is accepted at a lower
+    /// one too (the greedy sequences share a prefix until the higher
+    /// bound cuts off).
+    #[test]
+    fn higher_gain_bound_means_fewer_insertions() {
+        let n = workload(3);
+        let mut prev = usize::MAX;
+        for bound in [0.25, 0.5, 1.0, 2.0] {
+            let outcome = TpGreed::new(
+                &n,
+                TpGreedConfig { gain_bound: bound, ..TpGreedConfig::default() },
+            )
+            .run();
+            assert!(
+                outcome.test_points.len() <= prev,
+                "bound {bound}: {} > {}",
+                outcome.test_points.len(),
+                prev
+            );
+            prev = outcome.test_points.len();
+        }
+    }
+
+    /// Shrinking `K_bound` can only shrink the *candidate* path set.
+    /// (The greedy's established count is not monotone — extra candidates
+    /// can redirect its choices — but it is always bounded by the
+    /// candidates, and every outcome must verify.)
+    #[test]
+    fn smaller_k_bound_never_enumerates_more_candidates() {
+        let n = workload(4);
+        let mut prev = 0usize;
+        for k in [0usize, 1, 2, 4, 10] {
+            let cfg = TpGreedConfig { k_bound: k, ..TpGreedConfig::default() };
+            let (outcome, paths) = TpGreed::new(&n, cfg).run_with_paths();
+            assert!(
+                paths.len() >= prev,
+                "k {k}: candidate count {} < {}",
+                paths.len(),
+                prev
+            );
+            assert!(outcome.scan_paths.len() <= paths.len());
+            verify_outcome(&n, &paths, &outcome).unwrap();
+            prev = paths.len();
+        }
+    }
+
+    /// The `max_paths` safety cap truncates enumeration but never breaks
+    /// the invariants: the outcome still verifies.
+    #[test]
+    fn max_paths_cap_degrades_gracefully() {
+        let n = workload(5);
+        let (outcome, paths) = TpGreed::new(
+            &n,
+            TpGreedConfig { max_paths: 8, ..TpGreedConfig::default() },
+        )
+        .run_with_paths();
+        assert!(paths.len() <= 8);
+        assert!(paths.truncated() > 0);
+        verify_outcome(&n, &paths, &outcome).unwrap();
+    }
+}

@@ -1,0 +1,842 @@
+//! TPTIME: timing-driven scan-path design by test point insertion (§IV).
+//!
+//! To scan a flip-flop whose D input has insufficient slack for a scan
+//! multiplexer, the recursive cost functions of Equations 2–4 search the
+//! flip-flop's *non-reconvergent fanin region* for the cheapest placement
+//! of one MUX (the scan entry, possibly far upstream of the flip-flop,
+//! Fig. 4) plus AND/OR test points or primary-input values that sensitize
+//! the logic between the MUX and the flip-flop — all on nets whose slack
+//! can absorb the inserted gate, so the clock period is untouched.
+//!
+//! Constants created along the chosen justification are **desired
+//! constants** and are protected from later insertions; constants merely
+//! implied as a by-product are **side-effect constants** and may be
+//! overridden (§IV.A, Fig. 6).
+
+use crate::region::Region;
+use std::collections::{HashMap, HashSet};
+use tpi_netlist::{GateId, GateKind, Netlist, TechLibrary};
+use tpi_scan::ChainLink;
+use tpi_sim::{Implication, Trit};
+use tpi_sta::{ClockConstraint, Sta};
+
+/// One structural action of a [`ScanPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanAction {
+    /// Splice a scan multiplexer into the net (the scan entry point).
+    InsertMux {
+        /// Net to splice at.
+        at: GateId,
+    },
+    /// Splice an AND test point (forces 0 in test mode).
+    InsertAnd {
+        /// Net to splice at.
+        at: GateId,
+    },
+    /// Splice an OR test point (forces 1 in test mode).
+    InsertOr {
+        /// Net to splice at.
+        at: GateId,
+    },
+    /// Hold a primary input at a constant in test mode (free).
+    AssignPi {
+        /// The primary input.
+        pi: GateId,
+        /// The held value.
+        value: Trit,
+    },
+}
+
+/// A zero-degradation plan to scan one flip-flop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPlan {
+    /// The flip-flop being scanned.
+    pub ff: GateId,
+    /// Structural edits, in application order.
+    pub actions: Vec<PlanAction>,
+    /// Area cost (library units) of the inserted gates.
+    pub area: f64,
+    /// Polarity of the scan data from the MUX to the flip-flop.
+    pub inverting: bool,
+    /// Desired constants `(net, value)` this plan relies on; protected
+    /// from later insertions.
+    pub desired: Vec<(GateId, Trit)>,
+    /// Nets the scan data rides through; must stay non-constant and
+    /// unshared.
+    pub route: Vec<GateId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Want {
+    Scan,
+    C0,
+    C1,
+}
+
+impl Want {
+    fn of(v: Trit) -> Want {
+        match v {
+            Trit::Zero => Want::C0,
+            Trit::One => Want::C1,
+            Trit::X => unreachable!("constants are always known"),
+        }
+    }
+    fn value(self) -> Trit {
+        match self {
+            Want::C0 => Trit::Zero,
+            Want::C1 => Trit::One,
+            Want::Scan => Trit::X,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Solution {
+    cost: f64,
+    actions: Vec<PlanAction>,
+    desired: Vec<(GateId, Trit)>,
+    route: Vec<GateId>,
+    inverting: bool,
+}
+
+impl Solution {
+    fn free(net: GateId, v: Trit) -> Self {
+        Solution { cost: 0.0, actions: vec![], desired: vec![(net, v)], route: vec![], inverting: false }
+    }
+    fn merge(mut self, other: Solution) -> Self {
+        self.cost += other.cost;
+        self.actions.extend(other.actions);
+        self.desired.extend(other.desired);
+        self.route.extend(other.route);
+        self.inverting ^= other.inverting;
+        self
+    }
+}
+
+fn better(a: Option<Solution>, b: Option<Solution>) -> Option<Solution> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if y.cost < x.cost { y } else { x }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The evolving TPTIME state: owns the netlist, the (frozen-clock) STA,
+/// the test-mode constant state, and the protections.
+///
+/// Typical use: [`ScanPlanner::new`], then per flip-flop either
+/// [`ScanPlanner::plan_zero_degradation`] + [`ScanPlanner::commit`] or
+/// the fallback [`ScanPlanner::scan_conventionally`]; finally
+/// [`ScanPlanner::into_parts`] to stitch the chain.
+///
+/// # Example
+///
+/// See the `timing_driven_partial_scan` example and
+/// `tpi_core::flow::PartialScanFlow` for end-to-end use.
+#[derive(Debug)]
+pub struct ScanPlanner {
+    n: Netlist,
+    lib: TechLibrary,
+    sta: Sta,
+    baseline_delay: f64,
+    protected: HashMap<GateId, Trit>,
+    route: HashSet<GateId>,
+    pi_assign: HashMap<GateId, Trit>,
+    values: Vec<Trit>,
+    links: Vec<ChainLink>,
+    test_points_inserted: usize,
+    /// Dangling-input placeholder wired to every scan mux's d0 pin until
+    /// chain stitching rewires it; stays X in test mode so the constant
+    /// analysis sees the mux output as (unknown) scan data.
+    scan_stub: Option<GateId>,
+}
+
+impl ScanPlanner {
+    /// Takes ownership of the netlist, runs the baseline STA (longest
+    /// path as the constraint, per the paper's setup) and freezes the
+    /// clock.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle.
+    pub fn new(n: Netlist, lib: TechLibrary) -> Self {
+        let mut sta = Sta::analyze(&n, &lib, ClockConstraint::LongestPath);
+        let baseline_delay = sta.circuit_delay();
+        sta.freeze_clock();
+        let values = compute_values(&n, &HashMap::new());
+        ScanPlanner {
+            n,
+            lib,
+            sta,
+            baseline_delay,
+            protected: HashMap::new(),
+            route: HashSet::new(),
+            pi_assign: HashMap::new(),
+            values,
+            links: Vec::new(),
+            test_points_inserted: 0,
+            scan_stub: None,
+        }
+    }
+
+    fn ensure_scan_stub(n: &mut Netlist, slot: &mut Option<GateId>) -> GateId {
+        *slot.get_or_insert_with(|| n.add_input("scan_stub"))
+    }
+
+    /// The circuit delay before any DFT edit.
+    #[inline]
+    pub fn baseline_delay(&self) -> f64 {
+        self.baseline_delay
+    }
+
+    /// The current circuit delay.
+    #[inline]
+    pub fn current_delay(&self) -> f64 {
+        self.sta.circuit_delay()
+    }
+
+    /// The evolving netlist.
+    #[inline]
+    pub fn netlist(&self) -> &Netlist {
+        &self.n
+    }
+
+    /// The current timing view.
+    #[inline]
+    pub fn sta(&self) -> &Sta {
+        &self.sta
+    }
+
+    /// Chain links committed so far.
+    #[inline]
+    pub fn links(&self) -> &[ChainLink] {
+        &self.links
+    }
+
+    /// Primary-input constants required in test mode.
+    pub fn pi_assignments(&self) -> Vec<(GateId, Trit)> {
+        let mut v: Vec<_> = self.pi_assign.iter().map(|(&k, &x)| (k, x)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Test points physically inserted so far.
+    #[inline]
+    pub fn test_point_count(&self) -> usize {
+        self.test_points_inserted
+    }
+
+    /// True when a conventional scan mux fits the flip-flop's D
+    /// connection without touching the clock (the TD-CB selectability
+    /// rule of ref. \[7\]).
+    pub fn mux_fits_directly(&self, ff: GateId) -> bool {
+        let t_mux = self.lib.cell(GateKind::Mux).delay(1.0);
+        self.sta.endpoint_slack(&self.n, ff) > t_mux
+    }
+
+    /// Searches the flip-flop's non-reconvergent fanin region for a
+    /// zero-degradation scan plan (Equations 2–4). Returns `None` when no
+    /// such plan exists; the caller then marks the flip-flop, as §IV.B
+    /// prescribes.
+    pub fn plan_zero_degradation(&self, ff: GateId) -> Option<ScanPlan> {
+        debug_assert_eq!(self.n.kind(ff), GateKind::Dff);
+        let d = self.n.fanin(ff)[0];
+        let region = Region::build(&self.n, d);
+        let mut memo: HashMap<(GateId, Want), Option<Solution>> = HashMap::new();
+        let sol = self.solve(d, Want::Scan, &region, &mut memo)?;
+        // Reject plans whose PI requirements conflict internally or with
+        // the accumulated assignment.
+        let mut pis: HashMap<GateId, Trit> = self.pi_assign.clone();
+        for a in &sol.actions {
+            if let PlanAction::AssignPi { pi, value } = *a {
+                if let Some(&prev) = pis.get(&pi) {
+                    if prev != value {
+                        return None;
+                    }
+                }
+                pis.insert(pi, value);
+            }
+        }
+        let mut route = sol.route.clone();
+        route.push(d);
+        route.sort_unstable();
+        route.dedup();
+        // A memoized sub-solution can appear in several branches of the
+        // same plan (e.g. one shared control pin sensitizing two side
+        // inputs): keep the first occurrence of each action so the
+        // physical edit happens exactly once.
+        let mut seen = HashSet::new();
+        let actions: Vec<PlanAction> =
+            sol.actions.iter().copied().filter(|a| seen.insert(*a)).collect();
+        let plan = ScanPlan {
+            ff,
+            actions,
+            area: sol.cost,
+            inverting: sol.inverting,
+            desired: sol.desired,
+            route,
+        };
+        // Global validation on a scratch copy: the plan's physical
+        // side effects must not disturb any earlier desired constant or
+        // put a constant on any scan route (the paper's rule that
+        // subsequent insertions never destroy previous efforts).
+        if self.plan_globally_consistent(&plan, &pis) {
+            Some(plan)
+        } else {
+            None
+        }
+    }
+
+    /// Applies `plan` to a clone of the netlist and re-derives the
+    /// test-mode constants; checks every protection.
+    fn plan_globally_consistent(&self, plan: &ScanPlan, pis: &HashMap<GateId, Trit>) -> bool {
+        let mut trial = self.n.clone();
+        let mut stub_slot = self.scan_stub;
+        let mut renames: HashMap<GateId, GateId> = HashMap::new();
+        for action in &plan.actions {
+            let ok = match *action {
+                PlanAction::InsertMux { at } => {
+                    trial.ensure_test_input();
+                    let stub = Self::ensure_scan_stub(&mut trial, &mut stub_slot);
+                    trial.insert_scan_mux(at, stub).is_ok()
+                }
+                PlanAction::InsertAnd { at } => match trial.insert_and_test_point(at) {
+                    Ok(tp) => {
+                        renames.insert(at, tp);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                PlanAction::InsertOr { at } => match trial.insert_or_test_point(at) {
+                    Ok(tp) => {
+                        renames.insert(at, tp);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                PlanAction::AssignPi { .. } => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        let values = compute_values(&trial, pis);
+        // Earlier desired constants must survive.
+        for (&net, &v) in &self.protected {
+            if values[net.index()] != v {
+                return false;
+            }
+        }
+        // This plan's own desired constants must be realized.
+        for &(net, v) in &plan.desired {
+            let eff = renames.get(&net).copied().unwrap_or(net);
+            if values[eff.index()] != v {
+                return false;
+            }
+        }
+        // No constant may land on any scan route, old or new.
+        for &r in self.route.iter().chain(plan.route.iter()) {
+            if values[r.index()].is_known() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The Eq. 2–4 recursion. `want` selects the equation: `Scan` for
+    /// Eq. 2, `C0`/`C1` for Eqs. 3 and 4.
+    fn solve(
+        &self,
+        net: GateId,
+        want: Want,
+        region: &Region,
+        memo: &mut HashMap<(GateId, Want), Option<Solution>>,
+    ) -> Option<Solution> {
+        if let Some(hit) = memo.get(&(net, want)) {
+            return hit.clone();
+        }
+        let sol = self.solve_uncached(net, want, region, memo);
+        memo.insert((net, want), sol.clone());
+        sol
+    }
+
+    fn solve_uncached(
+        &self,
+        net: GateId,
+        want: Want,
+        region: &Region,
+        memo: &mut HashMap<(GateId, Want), Option<Solution>>,
+    ) -> Option<Solution> {
+        let kind = self.n.kind(net);
+        let cur = self.values[net.index()];
+        let prot = self.protected.get(&net).copied();
+        let on_route = self.route.contains(&net);
+
+        if want != Want::Scan {
+            let v = want.value();
+            // Already carried (desired or side-effect constant of the
+            // right polarity): free.
+            if cur == v {
+                return Some(Solution::free(net, v));
+            }
+            // A desired constant of the opposite polarity, or a net
+            // already carrying scan data, must not be disturbed.
+            if prot.is_some_and(|p| p != v) || on_route {
+                return None;
+            }
+        } else {
+            // Scan data cannot ride a net another chain element uses, nor
+            // a net pinned to a desired constant.
+            if on_route || prot.is_some() {
+                return None;
+            }
+        }
+
+        // Case 1 of each equation: splice a gate here if the slack
+        // absorbs it (and the net is not protected — checked above).
+        let direct: Option<Solution> = {
+            let (gk, act): (GateKind, fn(GateId) -> PlanAction) = match want {
+                Want::Scan => (GateKind::Mux, |g| PlanAction::InsertMux { at: g }),
+                Want::C0 => (GateKind::And, |g| PlanAction::InsertAnd { at: g }),
+                Want::C1 => (GateKind::Or, |g| PlanAction::InsertOr { at: g }),
+            };
+            if self.sta.can_insert(net, gk) {
+                let mut s = Solution {
+                    cost: self.lib.cell(gk).area,
+                    actions: vec![act(net)],
+                    desired: vec![],
+                    route: vec![],
+                    inverting: false,
+                };
+                match want {
+                    Want::Scan => s.route.push(net),
+                    _ => s.desired.push((net, want.value())),
+                }
+                Some(s)
+            } else {
+                None
+            }
+        };
+
+        // Recursive cases: only within the non-reconvergent fanin region
+        // (Theorem 1 lets us treat slack() as constant there).
+        let recursive: Option<Solution> = if !region.single_path(net) {
+            None
+        } else {
+            let fanins: Vec<GateId> = self.n.fanin(net).to_vec();
+            match (kind, want) {
+                (GateKind::Input, Want::C0 | Want::C1) => {
+                    let v = want.value();
+                    match self.pi_assign.get(&net) {
+                        Some(&p) if p != v => None,
+                        _ => Some(Solution {
+                            cost: 0.0,
+                            actions: vec![PlanAction::AssignPi { pi: net, value: v }],
+                            desired: vec![(net, v)],
+                            route: vec![],
+                            inverting: false,
+                        }),
+                    }
+                }
+                (GateKind::Const0, Want::C0) | (GateKind::Const1, Want::C1) => {
+                    Some(Solution::free(net, want.value()))
+                }
+                (GateKind::Inv, w) => {
+                    let inner = match w {
+                        Want::Scan => Want::Scan,
+                        Want::C0 => Want::C1,
+                        Want::C1 => Want::C0,
+                    };
+                    self.solve(fanins[0], inner, region, memo).map(|mut s| {
+                        if w == Want::Scan {
+                            s.inverting = !s.inverting;
+                            s.route.push(net);
+                        } else {
+                            s.desired.push((net, w.value()));
+                        }
+                        s
+                    })
+                }
+                (GateKind::Buf, w) => self.solve(fanins[0], w, region, memo).map(|mut s| {
+                    if w == Want::Scan {
+                        s.route.push(net);
+                    } else {
+                        s.desired.push((net, w.value()));
+                    }
+                    s
+                }),
+                (GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor, Want::Scan) => {
+                    let sens = Trit::from(!kind.controlling_value().expect("and/or family"));
+                    let mut best: Option<Solution> = None;
+                    for (j, &fj) in fanins.iter().enumerate() {
+                        let Some(ride) = self.solve(fj, Want::Scan, region, memo) else { continue };
+                        let mut total = Some(ride);
+                        for (k, &fk) in fanins.iter().enumerate() {
+                            if k == j {
+                                continue;
+                            }
+                            total = match (total, self.solve(fk, Want::of(sens), region, memo)) {
+                                (Some(t), Some(s)) => Some(t.merge(s)),
+                                _ => None,
+                            };
+                        }
+                        best = better(best, total);
+                    }
+                    best.map(|mut s| {
+                        if kind.inverts() {
+                            s.inverting = !s.inverting;
+                        }
+                        s.route.push(net);
+                        s
+                    })
+                }
+                (GateKind::Xor | GateKind::Xnor, Want::Scan) => {
+                    // The side value picks the polarity: XOR with side 0
+                    // buffers, with side 1 inverts (XNOR is the mirror).
+                    let mut best: Option<Solution> = None;
+                    for (j, &fj) in fanins.iter().enumerate() {
+                        let Some(ride) = self.solve(fj, Want::Scan, region, memo) else { continue };
+                        let fk = fanins[1 - j];
+                        for side in [Trit::Zero, Trit::One] {
+                            let Some(cst) = self.solve(fk, Want::of(side), region, memo) else {
+                                continue;
+                            };
+                            let mut t = ride.clone().merge(cst);
+                            let flips = (side == Trit::One) ^ (kind == GateKind::Xnor);
+                            if flips {
+                                t.inverting = !t.inverting;
+                            }
+                            best = better(best, Some(t));
+                        }
+                    }
+                    best.map(|mut s| {
+                        s.route.push(net);
+                        s
+                    })
+                }
+                (GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor, w) => {
+                    let v = w.value();
+                    let ctrl = Trit::from(kind.controlling_value().expect("and/or family"));
+                    let out_for_ctrl = if kind.inverts() { !ctrl } else { ctrl };
+                    let sol = if v == out_for_ctrl {
+                        // One controlling input suffices: pick cheapest.
+                        let mut best: Option<Solution> = None;
+                        for &f in &fanins {
+                            best = better(best, self.solve(f, Want::of(ctrl), region, memo));
+                        }
+                        best
+                    } else {
+                        // Every input must be sensitizing.
+                        let mut total = Some(Solution { cost: 0.0, actions: vec![], desired: vec![], route: vec![], inverting: false });
+                        for &f in &fanins {
+                            total = match (total, self.solve(f, Want::of(!ctrl), region, memo)) {
+                                (Some(t), Some(s)) => Some(t.merge(s)),
+                                _ => None,
+                            };
+                        }
+                        total
+                    };
+                    sol.map(|mut s| {
+                        s.desired.push((net, v));
+                        s
+                    })
+                }
+                (GateKind::Xor | GateKind::Xnor, w) => {
+                    let vwant = w.value();
+                    let mut best: Option<Solution> = None;
+                    for first in [Trit::Zero, Trit::One] {
+                        let second = match kind {
+                            GateKind::Xor => first.xor(vwant),
+                            _ => !first.xor(vwant),
+                        };
+                        let t = match (
+                            self.solve(fanins[0], Want::of(first), region, memo),
+                            self.solve(fanins[1], Want::of(second), region, memo),
+                        ) {
+                            (Some(a), Some(b)) => Some(a.merge(b)),
+                            _ => None,
+                        };
+                        best = better(best, t);
+                    }
+                    best.map(|mut s| {
+                        s.desired.push((net, vwant));
+                        s
+                    })
+                }
+                // FLIP-FLOP (Eqs. 2–4 last row), MUX, ports: no recursion.
+                _ => None,
+            }
+        };
+
+        better(direct, recursive)
+    }
+
+    /// Applies a plan physically: splices the gates, records protections,
+    /// updates timing incrementally, recomputes the test-mode constants
+    /// and appends the resulting chain link.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the committed plan fails its own
+    /// post-conditions: desired constants not realized or clock period
+    /// degraded.
+    pub fn commit(&mut self, plan: &ScanPlan) -> ChainLink {
+        let mut mux: Option<GateId> = None;
+        // Net translation: inserting a gate at `net` moves the constant
+        // seen by consumers to the new gate's output.
+        let mut renames: HashMap<GateId, GateId> = HashMap::new();
+        for action in &plan.actions {
+            match *action {
+                PlanAction::InsertMux { at } => {
+                    self.n.ensure_test_input();
+                    let stub = Self::ensure_scan_stub(&mut self.n, &mut self.scan_stub);
+                    let m = self
+                        .n
+                        .insert_scan_mux(at, stub)
+                        .expect("plan nets are valid");
+                    self.seed_sta(m, at);
+                    mux = Some(m);
+                    self.route.insert(m);
+                }
+                PlanAction::InsertAnd { at } => {
+                    let tp = self.n.insert_and_test_point(at).expect("plan nets are valid");
+                    self.seed_sta(tp, at);
+                    renames.insert(at, tp);
+                    self.test_points_inserted += 1;
+                }
+                PlanAction::InsertOr { at } => {
+                    let tp = self.n.insert_or_test_point(at).expect("plan nets are valid");
+                    self.seed_sta(tp, at);
+                    renames.insert(at, tp);
+                    self.test_points_inserted += 1;
+                }
+                PlanAction::AssignPi { pi, value } => {
+                    self.pi_assign.insert(pi, value);
+                }
+            }
+        }
+        for &(net, v) in &plan.desired {
+            // Splicing a gate at `net` moves the constant consumers see to
+            // the new gate's output; protect the effective net.
+            let effective = renames.get(&net).copied().unwrap_or(net);
+            self.protected.insert(effective, v);
+        }
+        for &r in &plan.route {
+            self.route.insert(r);
+        }
+        self.values = compute_values(&self.n, &self.pi_assign);
+        debug_assert!(self.verify_desired(), "desired constants must hold after commit");
+        debug_assert!(
+            self.sta.circuit_delay() <= self.baseline_delay + 1e-9,
+            "zero-degradation plan must not move the clock: {} -> {}",
+            self.baseline_delay,
+            self.sta.circuit_delay()
+        );
+        let link = ChainLink::Mux {
+            mux: mux.expect("every scan plan contains exactly one mux"),
+            ff: plan.ff,
+            inverting: plan.inverting,
+        };
+        self.links.push(link);
+        link
+    }
+
+    /// Conventional MUXed-D conversion at the flip-flop's D pin,
+    /// regardless of slack (the CB baseline and the minimal-degradation
+    /// fallback both use this).
+    pub fn scan_conventionally(&mut self, ff: GateId) -> ChainLink {
+        self.n.ensure_test_input();
+        let stub = Self::ensure_scan_stub(&mut self.n, &mut self.scan_stub);
+        let mux = self
+            .n
+            .insert_scan_mux_at_pin(ff, 0, stub)
+            .expect("flip-flops always have a D pin");
+        self.seed_sta(mux, ff);
+        self.values = compute_values(&self.n, &self.pi_assign);
+        let link = ChainLink::Mux { mux, ff, inverting: false };
+        self.links.push(link);
+        link
+    }
+
+    fn seed_sta(&mut self, new_gate: GateId, spliced_at: GateId) {
+        let mut seeds = vec![new_gate, spliced_at];
+        seeds.extend(self.n.fanin(new_gate).iter().copied());
+        if let Some(t) = self.n.test_input() {
+            seeds.push(t);
+        }
+        if let Some(tb) = self.n.test_input_bar() {
+            seeds.push(tb);
+        }
+        self.sta.update_after_edit(&self.n, &seeds);
+    }
+
+    fn verify_desired(&self) -> bool {
+        self.protected.iter().all(|(&net, &v)| self.values[net.index()] == v)
+    }
+
+    /// Decomposes the planner into the transformed netlist, the chain
+    /// links, the final timing view and the PI assignments.
+    pub fn into_parts(self) -> (Netlist, Vec<ChainLink>, Sta, Vec<(GateId, Trit)>) {
+        let pis = self.pi_assignments();
+        (self.n, self.links, self.sta, pis)
+    }
+}
+
+/// Test-mode constant state: `T = 0` (and therefore `T' = 1`) plus the
+/// accumulated PI assignments, propagated through the netlist.
+fn compute_values(n: &Netlist, pi_assign: &HashMap<GateId, Trit>) -> Vec<Trit> {
+    let mut imp = Implication::new(n);
+    if let Some(t) = n.test_input() {
+        imp.force(t, Trit::Zero);
+    }
+    for (&pi, &v) in pi_assign {
+        imp.force(pi, v);
+    }
+    n.gate_ids().map(|g| imp.value(g)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    /// The paper's Figure 3 shape: a critical path runs through g1/g2
+    /// into F2, so a mux directly at F2's D would degrade timing; but
+    /// side inputs a (OR-able) and c (via b) have slack, so test points
+    /// establish F1 -> g1 -> g2 -> F2 with zero degradation.
+    fn fig3_like() -> (Netlist, GateId) {
+        let mut b = NetlistBuilder::new("fig3");
+        b.input("pi_a");
+        b.input("pi_b");
+        b.input("crit");
+        b.input("d1");
+        b.dff("f1", "d1");
+        // long critical chain from `crit`
+        b.gate(GateKind::Inv, "c1", &["crit"]);
+        b.gate(GateKind::Inv, "c2", &["c1"]);
+        b.gate(GateKind::Inv, "c3", &["c2"]);
+        b.gate(GateKind::Inv, "c4", &["c3"]);
+        b.gate(GateKind::Inv, "c5", &["c4"]);
+        // b -> c side logic (short: has slack)
+        b.gate(GateKind::Inv, "cnet", &["pi_b"]);
+        // g1 = OR(f1, a-side) ; g2 = AND(g1, cnet, critical)
+        b.gate(GateKind::Or, "g1", &["f1", "pi_a"]);
+        b.gate(GateKind::And, "g2", &["g1", "cnet", "c5"]);
+        b.dff("f2", "g2");
+        b.output("o", "f2");
+        let n = b.finish().unwrap();
+        let f2 = n.find("f2").unwrap();
+        (n, f2)
+    }
+
+    #[test]
+    fn conventional_mux_fits_when_slack_allows() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("d");
+        b.input("crit");
+        b.dff("fa", "d");
+        // make a long path elsewhere so `fa`'s D has slack
+        b.gate(GateKind::Inv, "i1", &["crit"]);
+        b.gate(GateKind::Inv, "i2", &["i1"]);
+        b.gate(GateKind::Inv, "i3", &["i2"]);
+        b.gate(GateKind::Inv, "i4", &["i3"]);
+        b.dff("fb", "i4");
+        b.output("o", "fb");
+        let n = b.finish().unwrap();
+        let fa = n.find("fa").unwrap();
+        let fb = n.find("fb").unwrap();
+        let planner = ScanPlanner::new(n, TechLibrary::paper());
+        assert!(planner.mux_fits_directly(fa));
+        assert!(!planner.mux_fits_directly(fb), "fb's D is the critical endpoint");
+    }
+
+    #[test]
+    fn zero_degradation_plan_exists_for_fig3() {
+        let (n, f2) = fig3_like();
+        let planner = ScanPlanner::new(n, TechLibrary::paper());
+        assert!(!planner.mux_fits_directly(f2), "f2 sits at the end of the critical path");
+        let plan = planner.plan_zero_degradation(f2).expect("fig3 has a zero-cost route");
+        assert!(plan.actions.iter().any(|a| matches!(a, PlanAction::InsertMux { .. })));
+        assert!(plan.area > 0.0);
+    }
+
+    #[test]
+    fn committed_plan_keeps_the_clock() {
+        let (n, f2) = fig3_like();
+        let mut planner = ScanPlanner::new(n, TechLibrary::paper());
+        let d0 = planner.baseline_delay();
+        let plan = planner.plan_zero_degradation(f2).unwrap();
+        let link = planner.commit(&plan);
+        assert!(matches!(link, ChainLink::Mux { ff, .. } if ff == f2));
+        assert!(planner.current_delay() <= d0 + 1e-9, "{} > {}", planner.current_delay(), d0);
+        planner.netlist().validate().unwrap();
+    }
+
+    #[test]
+    fn conventional_conversion_may_degrade() {
+        let (n, f2) = fig3_like();
+        let mut planner = ScanPlanner::new(n, TechLibrary::paper());
+        let d0 = planner.baseline_delay();
+        planner.scan_conventionally(f2);
+        assert!(planner.current_delay() > d0, "mux on the critical D must slow the clock");
+    }
+
+    #[test]
+    fn desired_constants_block_later_conflicting_plans() {
+        let (n, f2) = fig3_like();
+        let mut planner = ScanPlanner::new(n, TechLibrary::paper());
+        let plan = planner.plan_zero_degradation(f2).unwrap();
+        planner.commit(&plan);
+        // Re-planning the same FF must fail: its D net is now on a route.
+        assert!(planner.plan_zero_degradation(f2).is_none());
+    }
+
+    #[test]
+    fn pi_assignment_is_used_when_cheapest() {
+        // F1 -> OR(f1, pi_a) -> F2, where g1 carries a heavy fanout load
+        // (mux there would cost 3.0 slack against 2.8 available) but F1's
+        // net has room for the 2.2 mux. The cheapest plan rides from F1
+        // and sensitizes the OR's side input by assigning pi_a = 0 for
+        // free: exactly one paid gate (the MUX, Fig. 4's transformation).
+        let mut b = NetlistBuilder::new("t");
+        b.input("pi_a");
+        b.input("d1");
+        b.input("crit");
+        b.dff("f1", "d1");
+        b.gate(GateKind::Or, "g1", &["f1", "pi_a"]);
+        b.dff("f2", "g1");
+        // Extra fanout load on g1 (dangling sinks are fine for STA).
+        b.gate(GateKind::Inv, "l1", &["g1"]);
+        b.gate(GateKind::Inv, "l2", &["g1"]);
+        b.gate(GateKind::Inv, "l3", &["g1"]);
+        b.gate(GateKind::Inv, "l4", &["g1"]);
+        // Critical path elsewhere: 10 inverters set the clock to 7.0.
+        b.gate(GateKind::Inv, "i1", &["crit"]);
+        b.gate(GateKind::Inv, "i2", &["i1"]);
+        b.gate(GateKind::Inv, "i3", &["i2"]);
+        b.gate(GateKind::Inv, "i4", &["i3"]);
+        b.gate(GateKind::Inv, "i5", &["i4"]);
+        b.gate(GateKind::Inv, "i6", &["i5"]);
+        b.gate(GateKind::Inv, "i7", &["i6"]);
+        b.gate(GateKind::Inv, "i8", &["i7"]);
+        b.gate(GateKind::Inv, "i9", &["i8"]);
+        b.gate(GateKind::Inv, "i10", &["i9"]);
+        b.dff("f3", "i10");
+        b.output("o", "f2");
+        b.output("o2", "f3");
+        let n = b.finish().unwrap();
+        let f2 = n.find("f2").unwrap();
+        let f1 = n.find("f1").unwrap();
+        let pi_a = n.find("pi_a").unwrap();
+        let planner = ScanPlanner::new(n, TechLibrary::paper());
+        let plan = planner.plan_zero_degradation(f2).unwrap();
+        let mux_area = TechLibrary::paper().cell(GateKind::Mux).area;
+        assert!((plan.area - mux_area).abs() < 1e-9, "one mux, PI side free: {}", plan.area);
+        assert!(plan
+            .actions
+            .iter()
+            .any(|a| matches!(a, PlanAction::AssignPi { pi, value } if *pi == pi_a && *value == Trit::Zero)));
+        assert!(plan
+            .actions
+            .iter()
+            .any(|a| matches!(a, PlanAction::InsertMux { at } if *at == f1)));
+    }
+}

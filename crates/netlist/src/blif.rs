@@ -1,0 +1,647 @@
+//! Berkeley Logic Interchange Format (BLIF) reader and writer.
+//!
+//! The paper's prototypes were built on SIS-1.2, whose native netlist
+//! format is BLIF. This module supports the structural subset SIS emits
+//! after technology mapping — `.model`, `.inputs`, `.outputs`, `.names`
+//! (single-output sum-of-products covers) and `.latch` — which is enough
+//! to round-trip every netlist this workspace produces and to import
+//! mapped circuits from SIS-lineage tools.
+//!
+//! On import, each `.names` cover is decomposed into the primitive gate
+//! network the rest of the workspace understands: one AND per product
+//! term, an OR across terms, shared input inverters, and a trailing
+//! inverter for covers written in the off-set (output value `0`).
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`parse_blif`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBlifError {
+    /// A malformed line; carries the 1-based line number and text.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A cover row whose width disagrees with the `.names` header.
+    CubeWidth {
+        /// 1-based source line.
+        line: usize,
+        /// Expected number of input literals.
+        expected: usize,
+        /// Literals found.
+        actual: usize,
+    },
+    /// A cover mixes output values 0 and 1 (unsupported and ambiguous).
+    MixedCover {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// The resulting structure failed netlist validation.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBlifError::Syntax { line, text } => {
+                write!(f, "syntax error on line {line}: `{text}`")
+            }
+            ParseBlifError::CubeWidth { line, expected, actual } => {
+                write!(f, "cube on line {line} has {actual} literals, header promises {expected}")
+            }
+            ParseBlifError::MixedCover { line } => {
+                write!(f, "cover ending on line {line} mixes on-set and off-set rows")
+            }
+            ParseBlifError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBlifError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBlifError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ParseBlifError {
+    fn from(e: NetlistError) -> Self {
+        ParseBlifError::Netlist(e)
+    }
+}
+
+/// One parsed `.names` cover, pre-decomposition.
+struct Cover {
+    inputs: Vec<String>,
+    output: String,
+    /// Product terms: one literal per input, '0' / '1' / '-'.
+    cubes: Vec<Vec<u8>>,
+    /// True when rows are on-set (`1`), false when off-set (`0`).
+    on_set: bool,
+    line: usize,
+}
+
+/// Parses BLIF text into a validated [`Netlist`].
+///
+/// Supported directives: `.model`, `.inputs`, `.outputs`, `.names`,
+/// `.latch`, `.end`, comments (`#`) and line continuations (`\`).
+/// Latch types/controls/init values are accepted and ignored (the
+/// workspace models an ideal single-clock DFF).
+///
+/// # Errors
+/// Returns [`ParseBlifError`] on malformed input or structural
+/// violations.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), tpi_netlist::ParseBlifError> {
+/// let src = "\
+/// .model tiny
+/// .inputs a b
+/// .outputs y
+/// .names a b w
+/// 11 1
+/// .latch w y 2
+/// .end
+/// ";
+/// let n = tpi_netlist::parse_blif(src)?;
+/// assert_eq!(n.name(), "tiny");
+/// assert_eq!(n.dffs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
+    // Stitch continuations, strip comments.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (i, raw) in src.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        if pending.is_empty() {
+            pending_line = i + 1;
+        }
+        if let Some(stripped) = line.trim_end().strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(line);
+        let full = pending.trim().to_string();
+        pending.clear();
+        if !full.is_empty() {
+            logical.push((pending_line, full));
+        }
+    }
+
+    let mut model = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(String, String)> = Vec::new();
+    let mut covers: Vec<Cover> = Vec::new();
+    let mut current: Option<Cover> = None;
+
+    let flush = |current: &mut Option<Cover>, covers: &mut Vec<Cover>| {
+        if let Some(c) = current.take() {
+            covers.push(c);
+        }
+    };
+
+    for (lineno, text) in logical {
+        let mut toks = text.split_whitespace();
+        let head = toks.next().expect("non-empty line");
+        match head {
+            ".model" => {
+                flush(&mut current, &mut covers);
+                if let Some(name) = toks.next() {
+                    model = name.to_string();
+                }
+            }
+            ".inputs" => {
+                flush(&mut current, &mut covers);
+                inputs.extend(toks.map(str::to_string));
+            }
+            ".outputs" => {
+                flush(&mut current, &mut covers);
+                outputs.extend(toks.map(str::to_string));
+            }
+            ".latch" => {
+                flush(&mut current, &mut covers);
+                let args: Vec<&str> = toks.collect();
+                if args.len() < 2 {
+                    return Err(ParseBlifError::Syntax { line: lineno, text });
+                }
+                latches.push((args[0].to_string(), args[1].to_string()));
+            }
+            ".names" => {
+                flush(&mut current, &mut covers);
+                let mut names: Vec<String> = toks.map(str::to_string).collect();
+                if names.is_empty() {
+                    return Err(ParseBlifError::Syntax { line: lineno, text });
+                }
+                let output = names.pop().expect("at least one name");
+                current = Some(Cover { inputs: names, output, cubes: Vec::new(), on_set: true, line: lineno });
+            }
+            ".end" => {
+                flush(&mut current, &mut covers);
+            }
+            ".exdc" | ".wire_load_slope" | ".default_input_arrival" | ".clock" => {
+                // Accepted and ignored extensions.
+                flush(&mut current, &mut covers);
+            }
+            _ if head.starts_with('.') => {
+                return Err(ParseBlifError::Syntax { line: lineno, text });
+            }
+            _ => {
+                // A cover row: `<literals> <output>` or `<output>` for a
+                // zero-input constant.
+                let Some(cover) = current.as_mut() else {
+                    return Err(ParseBlifError::Syntax { line: lineno, text });
+                };
+                let mut parts: Vec<&str> = text.split_whitespace().collect();
+                let out_tok = parts.pop().expect("non-empty");
+                let on = match out_tok {
+                    "1" => true,
+                    "0" => false,
+                    _ => return Err(ParseBlifError::Syntax { line: lineno, text }),
+                };
+                let lits: Vec<u8> = parts.concat().bytes().collect();
+                if lits.len() != cover.inputs.len() {
+                    return Err(ParseBlifError::CubeWidth {
+                        line: lineno,
+                        expected: cover.inputs.len(),
+                        actual: lits.len(),
+                    });
+                }
+                if !lits.iter().all(|b| matches!(b, b'0' | b'1' | b'-')) {
+                    return Err(ParseBlifError::Syntax { line: lineno, text });
+                }
+                if cover.cubes.is_empty() {
+                    cover.on_set = on;
+                } else if cover.on_set != on {
+                    return Err(ParseBlifError::MixedCover { line: lineno });
+                }
+                cover.cubes.push(lits);
+            }
+        }
+    }
+    flush(&mut current, &mut covers);
+
+    // ---- Decompose covers into primitive gates. ----
+    let mut b = NetlistBuilder::new(model);
+    for i in &inputs {
+        b.input(i.clone());
+    }
+    for (d, q) in &latches {
+        b.dff(q.clone(), d.clone());
+    }
+    let mut aux = 0usize;
+    let mut inverter_of: HashMap<String, String> = HashMap::new();
+    for cover in &covers {
+        decompose_cover(&mut b, cover, &mut aux, &mut inverter_of)?;
+    }
+    for o in &outputs {
+        b.output(o.to_string(), o.clone());
+    }
+    b.finish().map_err(ParseBlifError::from)
+}
+
+/// Emits gates computing one SOP cover, naming the final gate after the
+/// cover's output signal.
+fn decompose_cover(
+    b: &mut NetlistBuilder,
+    cover: &Cover,
+    aux: &mut usize,
+    inverter_of: &mut HashMap<String, String>,
+) -> Result<(), ParseBlifError> {
+    // Constant covers.
+    if cover.inputs.is_empty() || cover.cubes.is_empty() {
+        let one = !cover.cubes.is_empty() && cover.on_set;
+        // `.names f` with a `1` row is constant one; an empty cover (or
+        // off-set-only degenerate forms) is constant zero.
+        let kind = if one { GateKind::Const1 } else { GateKind::Const0 };
+        b.gate(kind, cover.output.clone(), &[]);
+        return Ok(());
+    }
+    // Single-cube, single-literal covers map directly to BUF / INV named
+    // after the output — this also makes a write/parse round trip stable.
+    if cover.cubes.len() == 1 {
+        let lits: Vec<(usize, u8)> = cover.cubes[0]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != b'-')
+            .map(|(i, &v)| (i, v))
+            .collect();
+        if lits.is_empty() {
+            let kind = if cover.on_set { GateKind::Const1 } else { GateKind::Const0 };
+            b.gate(kind, cover.output.clone(), &[]);
+            return Ok(());
+        }
+        if lits.len() == 1 {
+            let (i, v) = lits[0];
+            let invert = (v == b'0') == cover.on_set;
+            let kind = if invert { GateKind::Inv } else { GateKind::Buf };
+            b.gate(kind, cover.output.clone(), &[cover.inputs[i].as_str()]);
+            return Ok(());
+        }
+    }
+    // Literal factory: returns the signal name for var / var'. Inverters
+    // are shared per variable and named with a global counter, so they
+    // can never collide with re-parsed gate names.
+    let literal = |b: &mut NetlistBuilder,
+                       inverter_of: &mut HashMap<String, String>,
+                       aux: &mut usize,
+                       var: &str,
+                       positive: bool| {
+        if positive {
+            var.to_string()
+        } else if let Some(n) = inverter_of.get(var) {
+            n.clone()
+        } else {
+            *aux += 1;
+            let name = format!("{var}__not{aux}");
+            b.gate(GateKind::Inv, name.clone(), &[var]);
+            inverter_of.insert(var.to_string(), name.clone());
+            name
+        }
+    };
+    // One AND (or passthrough) per cube; term names derive from the
+    // cover's own output name to stay collision-free across re-parses.
+    let mut terms: Vec<String> = Vec::new();
+    for (k, cube) in cover.cubes.iter().enumerate() {
+        let mut lits: Vec<String> = Vec::new();
+        for (var, &v) in cover.inputs.iter().zip(cube) {
+            match v {
+                b'1' => lits.push(literal(b, inverter_of, aux, var, true)),
+                b'0' => lits.push(literal(b, inverter_of, aux, var, false)),
+                _ => {}
+            }
+        }
+        match lits.len() {
+            0 => {
+                // An all-don't-care cube makes the cover a tautology.
+                let name = format!("{}__t{k}", cover.output);
+                b.gate(GateKind::Const1, name.clone(), &[]);
+                terms.push(name);
+            }
+            1 => terms.push(lits.remove(0)),
+            _ => {
+                let name = format!("{}__t{k}", cover.output);
+                let refs: Vec<&str> = lits.iter().map(String::as_str).collect();
+                b.gate(GateKind::And, name.clone(), &refs);
+                terms.push(name);
+            }
+        }
+    }
+    // OR across terms, inverted when the cover was written in the off-set.
+    let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    match (terms.len(), cover.on_set) {
+        (1, true) => {
+            b.gate(GateKind::Buf, cover.output.clone(), &[refs[0]]);
+        }
+        (1, false) => {
+            b.gate(GateKind::Inv, cover.output.clone(), &[refs[0]]);
+        }
+        (_, true) => {
+            b.gate(GateKind::Or, cover.output.clone(), &refs);
+        }
+        (_, false) => {
+            b.gate(GateKind::Nor, cover.output.clone(), &refs);
+        }
+    }
+    let _ = cover.line;
+    Ok(())
+}
+
+/// Serializes a netlist as BLIF. Every primitive gate is emitted as a
+/// `.names` cover, flip-flops as `.latch` lines; a round trip through
+/// [`parse_blif`] preserves the logic function (structure may differ for
+/// XOR/XNOR/MUX, which BLIF has no primitive for).
+pub fn write_blif(n: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", n.name()));
+    let mut ins: Vec<&str> = n.inputs().iter().map(|&g| n.gate_name(g)).collect();
+    if let Some(t) = n.test_input() {
+        ins.push(n.gate_name(t));
+    }
+    out.push_str(&format!(".inputs {}\n", ins.join(" ")));
+    let outs: Vec<&str> = n
+        .outputs()
+        .iter()
+        .map(|&o| n.gate_name(n.fanin(o)[0]))
+        .collect();
+    out.push_str(&format!(".outputs {}\n", outs.join(" ")));
+    for g in n.gate_ids() {
+        let name = n.gate_name(g);
+        let fanins: Vec<&str> = n.fanin(g).iter().map(|&f| n.gate_name(f)).collect();
+        match n.kind(g) {
+            GateKind::Input | GateKind::Output => {}
+            GateKind::Dff => {
+                out.push_str(&format!(".latch {} {} 2\n", fanins[0], name));
+            }
+            GateKind::Const0 => out.push_str(&format!(".names {name}\n")),
+            GateKind::Const1 => out.push_str(&format!(".names {name}\n1\n")),
+            GateKind::Buf => out.push_str(&format!(".names {} {}\n1 1\n", fanins[0], name)),
+            GateKind::Inv => out.push_str(&format!(".names {} {}\n0 1\n", fanins[0], name)),
+            GateKind::And => {
+                out.push_str(&format!(".names {} {}\n{} 1\n", fanins.join(" "), name, "1".repeat(fanins.len())));
+            }
+            GateKind::Nand => {
+                out.push_str(&format!(".names {} {}\n", fanins.join(" "), name));
+                for i in 0..fanins.len() {
+                    out.push_str(&one_hot_row(fanins.len(), i, b'0'));
+                    out.push_str(" 1\n");
+                }
+            }
+            GateKind::Or => {
+                out.push_str(&format!(".names {} {}\n", fanins.join(" "), name));
+                for i in 0..fanins.len() {
+                    out.push_str(&one_hot_row(fanins.len(), i, b'1'));
+                    out.push_str(" 1\n");
+                }
+            }
+            GateKind::Nor => {
+                out.push_str(&format!(
+                    ".names {} {}\n{} 1\n",
+                    fanins.join(" "),
+                    name,
+                    "0".repeat(fanins.len())
+                ));
+            }
+            GateKind::Xor => {
+                out.push_str(&format!(".names {} {}\n10 1\n01 1\n", fanins.join(" "), name));
+            }
+            GateKind::Xnor => {
+                out.push_str(&format!(".names {} {}\n11 1\n00 1\n", fanins.join(" "), name));
+            }
+            GateKind::Mux => {
+                // fanins = [sel, d0, d1]; f = sel' d0 + sel d1
+                out.push_str(&format!(".names {} {}\n01- 1\n1-1 1\n", fanins.join(" "), name));
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn one_hot_row(width: usize, position: usize, hot: u8) -> String {
+    (0..width)
+        .map(|i| if i == position { hot as char } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+.model tiny
+.inputs a b c
+.outputs y z
+# two-level logic
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-1 1
+.latch y z 2
+.end
+";
+
+    #[test]
+    fn parse_counts_structure() {
+        let n = parse_blif(TINY).unwrap();
+        assert_eq!(n.name(), "tiny");
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.dffs().len(), 1);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn single_cube_cover_becomes_and() {
+        let n = parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n").unwrap();
+        let y = n.find("y").unwrap();
+        // passthrough Buf over an AND, or the AND itself named y
+        assert!(matches!(n.kind(y), GateKind::Buf | GateKind::And));
+    }
+
+    #[test]
+    fn negative_literals_share_inverters() {
+        let n = parse_blif(
+            ".model t\n.inputs a b c\n.outputs y z\n.names a b y\n01 1\n.names a c z\n01 1\n.end\n",
+        )
+        .unwrap();
+        let invs = n
+            .gate_ids()
+            .filter(|&g| n.kind(g) == GateKind::Inv)
+            .count();
+        assert_eq!(invs, 1, "the inverter on `a` must be shared");
+    }
+
+    #[test]
+    fn off_set_cover_inverts() {
+        use tpi::{eval3, V};
+        // y = (a b)' expressed with output value 0 rows.
+        let n =
+            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n").unwrap();
+        let table = [
+            (V::Zero, V::Zero, V::One),
+            (V::Zero, V::One, V::One),
+            (V::One, V::Zero, V::One),
+            (V::One, V::One, V::Zero),
+        ];
+        for (a, bv, want) in table {
+            assert_eq!(eval3(&n, &[("a", a), ("b", bv)], "y"), want);
+        }
+    }
+
+    #[test]
+    fn constant_covers() {
+        let n = parse_blif(".model t\n.inputs a\n.outputs one zero q\n.names one\n1\n.names zero\n.names a q\n1 1\n.end\n").unwrap();
+        assert_eq!(n.kind(n.find("one").unwrap()), GateKind::Const1);
+        assert_eq!(n.kind(n.find("zero").unwrap()), GateKind::Const0);
+    }
+
+    #[test]
+    fn continuation_lines_are_stitched() {
+        let n = parse_blif(".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n")
+            .unwrap();
+        assert_eq!(n.inputs().len(), 2);
+    }
+
+    #[test]
+    fn cube_width_mismatch_is_reported() {
+        let err = parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n")
+            .unwrap_err();
+        assert!(matches!(err, ParseBlifError::CubeWidth { expected: 2, actual: 3, .. }));
+    }
+
+    #[test]
+    fn mixed_cover_is_rejected() {
+        let err =
+            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n")
+                .unwrap_err();
+        assert!(matches!(err, ParseBlifError::MixedCover { .. }));
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        use tpi::{eval3, exhaustive_equal, V};
+        let n1 = parse_blif(TINY).unwrap();
+        let text = write_blif(&n1);
+        let n2 = parse_blif(&text).unwrap();
+        assert!(exhaustive_equal(&n1, &n2, &["a", "b", "c"], "y"));
+        let _ = (eval3 as fn(&Netlist, &[(&str, V)], &str) -> V, V::X);
+    }
+
+    #[test]
+    fn round_trip_covers_every_gate_kind() {
+        use tpi::exhaustive_equal;
+        let mut b = NetlistBuilder::new("kinds");
+        b.input("a");
+        b.input("b");
+        b.input("s");
+        b.gate(GateKind::Nand, "w_nand", &["a", "b"]);
+        b.gate(GateKind::Nor, "w_nor", &["a", "b"]);
+        b.gate(GateKind::Xor, "w_xor", &["a", "b"]);
+        b.gate(GateKind::Xnor, "w_xnor", &["a", "b"]);
+        b.gate(GateKind::Mux, "w_mux", &["s", "w_nand", "w_nor"]);
+        b.gate(GateKind::Or, "y", &["w_mux", "w_xor", "w_xnor"]);
+        b.output("y", "y");
+        let n1 = b.finish().unwrap();
+        let n2 = parse_blif(&write_blif(&n1)).unwrap();
+        assert!(exhaustive_equal(&n1, &n2, &["a", "b", "s"], "y"));
+    }
+
+    /// Tiny ternary evaluator used by the functional round-trip tests.
+    mod tpi {
+        use crate::gate::GateKind;
+        use crate::netlist::Netlist;
+
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum V {
+            Zero,
+            One,
+            X,
+        }
+
+        pub fn eval3(n: &Netlist, assign: &[(&str, V)], out: &str) -> V {
+            let order = n.topo_order().unwrap();
+            let mut vals = vec![V::X; n.gate_count()];
+            for &(name, v) in assign {
+                vals[n.find(name).unwrap().index()] = v;
+            }
+            for g in order {
+                let k = n.kind(g);
+                if matches!(k, GateKind::Input | GateKind::Dff) {
+                    continue;
+                }
+                let ins: Vec<V> = n.fanin(g).iter().map(|&f| vals[f.index()]).collect();
+                vals[g.index()] = eval_kind(k, &ins);
+            }
+            vals[n.find(out).unwrap().index()]
+        }
+
+        fn b2v(b: bool) -> V {
+            if b {
+                V::One
+            } else {
+                V::Zero
+            }
+        }
+
+        fn eval_kind(k: GateKind, ins: &[V]) -> V {
+            let known: Option<Vec<bool>> = ins
+                .iter()
+                .map(|v| match v {
+                    V::Zero => Some(false),
+                    V::One => Some(true),
+                    V::X => None,
+                })
+                .collect();
+            let Some(bits) = known else { return V::X };
+            match k {
+                GateKind::And => b2v(bits.iter().all(|&x| x)),
+                GateKind::Or => b2v(bits.iter().any(|&x| x)),
+                GateKind::Nand => b2v(!bits.iter().all(|&x| x)),
+                GateKind::Nor => b2v(!bits.iter().any(|&x| x)),
+                GateKind::Inv => b2v(!bits[0]),
+                GateKind::Buf => b2v(bits[0]),
+                GateKind::Xor => b2v(bits[0] ^ bits[1]),
+                GateKind::Xnor => b2v(!(bits[0] ^ bits[1])),
+                GateKind::Mux => b2v(if bits[0] { bits[2] } else { bits[1] }),
+                GateKind::Const0 => V::Zero,
+                GateKind::Const1 => V::One,
+                _ => V::X,
+            }
+        }
+
+        /// Exhaustive 2-valued equivalence over the named inputs.
+        pub fn exhaustive_equal(a: &Netlist, b: &Netlist, inputs: &[&str], out: &str) -> bool {
+            for m in 0..(1u32 << inputs.len()) {
+                let assign: Vec<(&str, V)> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &name)| (name, b2v(m >> i & 1 == 1)))
+                    .collect();
+                if eval3(a, &assign, out) != eval3(b, &assign, out) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Ergonomic name-based netlist construction.
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// A builder that wires gates by *name*, deferring resolution so gates can
+/// be referenced before they are declared (as `.bench` files do).
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{NetlistBuilder, GateKind};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("c17ish");
+/// b.input("a");
+/// b.input("b");
+/// b.gate(GateKind::Nand, "g", &["a", "b"]);
+/// b.gate(GateKind::Dff, "q", &["g"]);
+/// b.output("o", "q");
+/// let n = b.finish()?;
+/// assert_eq!(n.dffs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<(String, String)>,
+    gates: Vec<(GateKind, String, Vec<String>)>,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for a design named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder { name: name.into(), inputs: Vec::new(), outputs: Vec::new(), gates: Vec::new() }
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> &mut Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Declares a primary output port `name` driven by net `src`.
+    pub fn output(&mut self, name: impl Into<String>, src: impl Into<String>) -> &mut Self {
+        self.outputs.push((name.into(), src.into()));
+        self
+    }
+
+    /// Declares a gate `name = kind(fanins...)`.
+    pub fn gate(&mut self, kind: GateKind, name: impl Into<String>, fanins: &[&str]) -> &mut Self {
+        self.gates
+            .push((kind, name.into(), fanins.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Shorthand for a D flip-flop `name = DFF(d)`.
+    pub fn dff(&mut self, name: impl Into<String>, d: impl Into<String>) -> &mut Self {
+        let d = d.into();
+        self.gates.push((GateKind::Dff, name.into(), vec![d]));
+        self
+    }
+
+    /// Resolves all names and produces a validated [`Netlist`].
+    ///
+    /// # Errors
+    /// Fails on unknown or duplicate names, arity violations, or
+    /// combinational cycles.
+    pub fn finish(&self) -> Result<Netlist, NetlistError> {
+        let mut n = Netlist::new(self.name.clone());
+        for name in &self.inputs {
+            if n.find(name).is_some() {
+                return Err(NetlistError::DuplicateName(name.clone()));
+            }
+            n.add_input(name.clone());
+        }
+        for (kind, name, _) in &self.gates {
+            if n.find(name).is_some() {
+                return Err(NetlistError::DuplicateName(name.clone()));
+            }
+            n.add_gate(*kind, name.clone());
+        }
+        for (_, name, fanins) in &self.gates {
+            let g = n.find_required(name)?;
+            for fin in fanins {
+                let src = n.find_required(fin)?;
+                n.connect(src, g)?;
+            }
+        }
+        for (name, src) in &self.outputs {
+            let s = n.find_required(src)?;
+            let port_name = if n.find(name).is_some() {
+                // ISCAS89 benches name the output port after the net that
+                // drives it; uniquify with a suffix.
+                format!("{name}__po")
+            } else {
+                name.clone()
+            };
+            n.add_output(port_name, s)?;
+        }
+        n.validate()?;
+        Ok(n)
+    }
+
+    /// Resolves a name in a finished netlist; convenience for tests.
+    pub fn resolve(n: &Netlist, name: &str) -> Option<GateId> {
+        n.find(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = NetlistBuilder::new("t");
+        b.gate(GateKind::Inv, "g", &["a"]); // `a` declared after use
+        b.input("a");
+        b.output("o", "g");
+        let n = b.finish().unwrap();
+        assert_eq!(n.fanin(n.find("g").unwrap()), &[n.find("a").unwrap()]);
+    }
+
+    #[test]
+    fn unknown_name_is_reported() {
+        let mut b = NetlistBuilder::new("t");
+        b.gate(GateKind::Inv, "g", &["nope"]);
+        assert!(matches!(b.finish(), Err(NetlistError::UnknownName(_))));
+    }
+
+    #[test]
+    fn duplicate_gate_name_is_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.gate(GateKind::Inv, "a", &["a"]);
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn output_port_sharing_net_name_is_uniquified() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.gate(GateKind::Inv, "g17", &["a"]);
+        b.output("g17", "g17"); // bench style: OUTPUT(G17)
+        let n = b.finish().unwrap();
+        assert_eq!(n.outputs().len(), 1);
+        let port = n.outputs()[0];
+        assert_eq!(n.fanin(port), &[n.find("g17").unwrap()]);
+    }
+
+    #[test]
+    fn dff_shorthand() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("d");
+        b.dff("q", "d");
+        b.output("o", "q");
+        let n = b.finish().unwrap();
+        assert_eq!(n.dffs().len(), 1);
+    }
+}

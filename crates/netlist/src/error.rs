@@ -1,0 +1,73 @@
+//! Error type for netlist construction and editing.
+
+use crate::gate::{GateId, GateKind};
+use std::fmt;
+
+/// Errors raised by [`crate::Netlist`] editing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate id referenced a gate that does not exist.
+    UnknownGate(GateId),
+    /// A gate name was used twice.
+    DuplicateName(String),
+    /// A name lookup failed.
+    UnknownName(String),
+    /// A gate received more fanins than its kind allows.
+    ArityExceeded { gate: GateId, kind: GateKind, arity: usize },
+    /// A gate has fewer fanins than its kind requires (checked by
+    /// [`crate::Netlist::validate`]).
+    ArityUnderflow { gate: GateId, kind: GateKind, expected: usize, actual: usize },
+    /// A pin index was out of range for the sink gate.
+    NoSuchPin { gate: GateId, pin: u32 },
+    /// The combinational part of the netlist contains a cycle through the
+    /// listed gate (cycles must pass through a flip-flop).
+    CombinationalCycle(GateId),
+    /// An `Input`/`Const` gate was used as a connection sink.
+    NotASink(GateId),
+    /// An `Output` gate was used as a fanin source.
+    NotASource(GateId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownGate(g) => write!(f, "unknown gate {g}"),
+            NetlistError::DuplicateName(n) => write!(f, "duplicate gate name `{n}`"),
+            NetlistError::UnknownName(n) => write!(f, "unknown gate name `{n}`"),
+            NetlistError::ArityExceeded { gate, kind, arity } => {
+                write!(f, "gate {gate} of kind {kind} accepts at most {arity} fanins")
+            }
+            NetlistError::ArityUnderflow { gate, kind, expected, actual } => write!(
+                f,
+                "gate {gate} of kind {kind} requires {expected} fanins, has {actual}"
+            ),
+            NetlistError::NoSuchPin { gate, pin } => write!(f, "gate {gate} has no pin {pin}"),
+            NetlistError::CombinationalCycle(g) => {
+                write!(f, "combinational cycle through gate {g}")
+            }
+            NetlistError::NotASink(g) => write!(f, "gate {g} cannot receive fanins"),
+            NetlistError::NotASource(g) => write!(f, "gate {g} cannot drive fanouts"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = NetlistError::UnknownName("foo".into());
+        let s = e.to_string();
+        assert!(s.starts_with("unknown"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Technology library with the paper's linear delay model.
+//!
+//! §II of the paper adopts the SIS timing model
+//! `delay(g) = block(g) + drive(g) * load`, where `load` is the total
+//! capacitive load driven by gate `g` and the per-cell parameters come
+//! from the technology library. §IV.C pins the constants we mirror here:
+//! every cell's `drive` is 0.2, every input pin presents a load of 1, and
+//! a multiplexer has block delay 2.0 — so inserting a MUX on a
+//! single-fanout connection costs exactly `2.0 + 0.2 * 1 = 2.2` slack.
+
+use crate::gate::GateKind;
+
+/// Timing/area parameters for one cell (one [`GateKind`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Cell area in library units.
+    pub area: f64,
+    /// Intrinsic (block) delay.
+    pub block: f64,
+    /// Load-dependent delay coefficient.
+    pub drive: f64,
+    /// Capacitive load presented by each input pin.
+    pub input_load: f64,
+}
+
+impl Cell {
+    /// Delay through the cell when driving `load` units of capacitance.
+    ///
+    /// ```
+    /// use tpi_netlist::{TechLibrary, GateKind};
+    /// let lib = TechLibrary::paper();
+    /// // The paper's §IV.C example: a MUX driving one input pin adds 2.2.
+    /// assert!((lib.cell(GateKind::Mux).delay(1.0) - 2.2).abs() < 1e-9);
+    /// ```
+    #[inline]
+    pub fn delay(&self, load: f64) -> f64 {
+        self.block + self.drive * load
+    }
+}
+
+/// A technology library: one [`Cell`] per gate kind.
+///
+/// The default ([`TechLibrary::paper`]) mirrors the `nand-nor.genlib` +
+/// `mcnc_latch.genlib` setup of the paper, with areas chosen so that the
+/// MUX : test-point cost ratio is the 2 : 1 assumed by the Table I
+/// area-overhead-reduction formula (MUX area 5, AND/OR area 2.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechLibrary {
+    cells: [Cell; 14],
+    /// Load presented by a primary output port.
+    pub output_load: f64,
+}
+
+impl TechLibrary {
+    /// The library used throughout the reproduction; see type docs.
+    pub fn paper() -> Self {
+        const DRIVE: f64 = 0.2;
+        const LOAD: f64 = 1.0;
+        let mk = |area: f64, block: f64| Cell { area, block, drive: DRIVE, input_load: LOAD };
+        let mut cells = [mk(0.0, 0.0); 14];
+        let set = |cells: &mut [Cell; 14], k: GateKind, c: Cell| {
+            cells[Self::slot(k)] = c;
+        };
+        set(&mut cells, GateKind::Input, mk(0.0, 0.0));
+        set(&mut cells, GateKind::Output, mk(0.0, 0.0));
+        set(&mut cells, GateKind::And, mk(2.5, 1.0));
+        set(&mut cells, GateKind::Or, mk(2.5, 1.0));
+        set(&mut cells, GateKind::Nand, mk(2.0, 1.0));
+        set(&mut cells, GateKind::Nor, mk(2.0, 1.0));
+        set(&mut cells, GateKind::Inv, mk(1.0, 0.5));
+        set(&mut cells, GateKind::Buf, mk(1.5, 0.7));
+        set(&mut cells, GateKind::Xor, mk(5.0, 1.8));
+        set(&mut cells, GateKind::Xnor, mk(5.0, 1.8));
+        set(&mut cells, GateKind::Mux, mk(5.0, 2.0));
+        set(&mut cells, GateKind::Dff, mk(8.0, 2.0));
+        set(&mut cells, GateKind::Const0, mk(0.0, 0.0));
+        set(&mut cells, GateKind::Const1, mk(0.0, 0.0));
+        TechLibrary { cells, output_load: 1.0 }
+    }
+
+    #[inline]
+    fn slot(k: GateKind) -> usize {
+        match k {
+            GateKind::Input => 0,
+            GateKind::Output => 1,
+            GateKind::And => 2,
+            GateKind::Or => 3,
+            GateKind::Nand => 4,
+            GateKind::Nor => 5,
+            GateKind::Inv => 6,
+            GateKind::Buf => 7,
+            GateKind::Xor => 8,
+            GateKind::Xnor => 9,
+            GateKind::Mux => 10,
+            GateKind::Dff => 11,
+            GateKind::Const0 => 12,
+            GateKind::Const1 => 13,
+        }
+    }
+
+    /// The cell parameters for `kind`.
+    #[inline]
+    pub fn cell(&self, kind: GateKind) -> &Cell {
+        &self.cells[Self::slot(kind)]
+    }
+
+    /// Replaces the cell for `kind` (for experiments that vary the model).
+    pub fn set_cell(&mut self, kind: GateKind, cell: Cell) {
+        self.cells[Self::slot(kind)] = cell;
+    }
+
+    /// Slack cost of splicing a gate of `kind` into a net currently
+    /// driving `load` units: the inserted gate's own delay. (The source
+    /// gate's load can only shrink — the new gate presents one pin where
+    /// several sinks may have hung — so this bound is conservative.)
+    #[inline]
+    pub fn insertion_delay(&self, kind: GateKind, load: f64) -> f64 {
+        self.cell(kind).delay(load)
+    }
+}
+
+impl Default for TechLibrary {
+    fn default() -> Self {
+        TechLibrary::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_hold() {
+        let lib = TechLibrary::paper();
+        // §IV.C: inserting a multiplexer decreases slack by 2.2.
+        assert!((lib.insertion_delay(GateKind::Mux, 1.0) - 2.2).abs() < 1e-12);
+        // §III.D cost model: MUX : test point = 2 : 1 in area.
+        let mux = lib.cell(GateKind::Mux).area;
+        let and = lib.cell(GateKind::And).area;
+        let or = lib.cell(GateKind::Or).area;
+        assert!((mux / and - 2.0).abs() < 1e-12);
+        assert!((mux / or - 2.0).abs() < 1e-12);
+        // Every cell drives with coefficient 0.2 and unit input load.
+        for k in GateKind::ALL {
+            let c = lib.cell(k);
+            if c.area > 0.0 {
+                assert!((c.drive - 0.2).abs() < 1e-12, "{k}");
+                assert!((c.input_load - 1.0).abs() < 1e-12, "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_cell_overrides() {
+        let mut lib = TechLibrary::paper();
+        lib.set_cell(GateKind::Inv, Cell { area: 9.0, block: 9.0, drive: 9.0, input_load: 9.0 });
+        assert_eq!(lib.cell(GateKind::Inv).area, 9.0);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(TechLibrary::default(), TechLibrary::paper());
+    }
+}
+
+#[cfg(test)]
+mod insertion_tests {
+    use super::*;
+
+    #[test]
+    fn insertion_delay_scales_with_load() {
+        let lib = TechLibrary::paper();
+        // A MUX absorbing a 4-pin net pays 2.0 + 0.2 * 4 = 2.8.
+        assert!((lib.insertion_delay(GateKind::Mux, 4.0) - 2.8).abs() < 1e-12);
+        // AND/OR test points: 1.0 + 0.2 * load.
+        assert!((lib.insertion_delay(GateKind::And, 1.0) - 1.2).abs() < 1e-12);
+        assert!((lib.insertion_delay(GateKind::Or, 3.0) - 1.6).abs() < 1e-12);
+    }
+}

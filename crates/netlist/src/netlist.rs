@@ -1,0 +1,699 @@
+//! The mutable gate-level netlist graph.
+
+use crate::error::NetlistError;
+use crate::gate::{Conn, Gate, GateId, GateKind};
+use std::collections::HashMap;
+
+/// A gate-level sequential circuit.
+///
+/// Gates are stored densely and identified by [`GateId`]; each gate drives
+/// exactly one net, named after the gate. The structure maintains the
+/// invariant that `fanins` and `fanouts` mirror each other:
+/// `n.fanin(g)[p] == s` if and only if `(g, p)` appears in `n.fanout(s)`.
+///
+/// The editing vocabulary is deliberately small and matches what the
+/// paper's transformations need: adding gates, wiring pins, and *splicing*
+/// a new gate into an existing net or connection (test points, scan
+/// multiplexers).
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{Netlist, GateKind};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut n = Netlist::new("demo");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.add_gate(GateKind::Nand, "g");
+/// n.connect(a, g)?;
+/// n.connect(b, g)?;
+/// let o = n.add_output("o", g)?;
+/// n.validate()?;
+/// assert_eq!(n.fanin(g), &[a, b]);
+/// assert_eq!(n.fanin(o), &[g]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    names: HashMap<String, GateId>,
+    /// The dedicated test input `T` (1 = mission mode, 0 = test mode),
+    /// created lazily by [`Netlist::ensure_test_input`].
+    test_input: Option<GateId>,
+    /// Lazily created inverter producing `T'`.
+    test_input_bar: Option<GateId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            gates: Vec::new(),
+            names: HashMap::new(),
+            test_input: None,
+            test_input_bar: None,
+        }
+    }
+
+    /// The design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gates (including ports, flip-flops and constants).
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Iterates over all gate ids in creation order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a gate of `kind` named `name`. If `name` is empty or already
+    /// taken, a unique name derived from it (or from the kind) is used.
+    pub fn add_gate(&mut self, kind: GateKind, name: impl Into<String>) -> GateId {
+        let mut name = name.into();
+        if name.is_empty() {
+            name = format!("{}_{}", kind.to_string().to_lowercase(), self.gates.len());
+        }
+        if self.names.contains_key(&name) {
+            let mut i = self.gates.len();
+            loop {
+                let candidate = format!("{name}_{i}");
+                if !self.names.contains_key(&candidate) {
+                    name = candidate;
+                    break;
+                }
+                i += 1;
+            }
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.names.insert(name.clone(), id);
+        self.gates.push(Gate { kind, name, fanins: Vec::new(), fanouts: Vec::new() });
+        id
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        self.add_gate(GateKind::Input, name)
+    }
+
+    /// Adds a primary output port driven by `src`.
+    ///
+    /// # Errors
+    /// Fails if `src` does not exist or cannot drive fanouts.
+    pub fn add_output(&mut self, name: impl Into<String>, src: GateId) -> Result<GateId, NetlistError> {
+        self.check(src)?;
+        let id = self.add_gate(GateKind::Output, name);
+        self.connect(src, id)?;
+        Ok(id)
+    }
+
+    /// Appends `src` as the next fanin pin of `sink`.
+    ///
+    /// # Errors
+    /// Fails if either gate is unknown, `sink` cannot take another fanin,
+    /// or `src` is an output port.
+    pub fn connect(&mut self, src: GateId, sink: GateId) -> Result<u32, NetlistError> {
+        self.check(src)?;
+        self.check(sink)?;
+        let sg = &self.gates[src.index()];
+        if sg.kind == GateKind::Output {
+            return Err(NetlistError::NotASource(src));
+        }
+        let kind = self.gates[sink.index()].kind;
+        if matches!(kind, GateKind::Input | GateKind::Const0 | GateKind::Const1) {
+            return Err(NetlistError::NotASink(sink));
+        }
+        let pin = self.gates[sink.index()].fanins.len();
+        if let Some(max) = kind.fixed_arity() {
+            if pin >= max {
+                return Err(NetlistError::ArityExceeded { gate: sink, kind, arity: max });
+            }
+        }
+        self.gates[sink.index()].fanins.push(src);
+        self.gates[src.index()].fanouts.push((sink, pin as u32));
+        Ok(pin as u32)
+    }
+
+    /// Rewires pin `pin` of `sink` from its current source to `new_src`.
+    ///
+    /// # Errors
+    /// Fails if the pin does not exist or `new_src` cannot drive fanouts.
+    pub fn replace_fanin(&mut self, sink: GateId, pin: u32, new_src: GateId) -> Result<(), NetlistError> {
+        self.check(sink)?;
+        self.check(new_src)?;
+        if self.gates[new_src.index()].kind == GateKind::Output {
+            return Err(NetlistError::NotASource(new_src));
+        }
+        let p = pin as usize;
+        if p >= self.gates[sink.index()].fanins.len() {
+            return Err(NetlistError::NoSuchPin { gate: sink, pin });
+        }
+        let old_src = self.gates[sink.index()].fanins[p];
+        if old_src == new_src {
+            return Ok(());
+        }
+        // Remove (sink, pin) from old source's fanout list.
+        let outs = &mut self.gates[old_src.index()].fanouts;
+        if let Some(i) = outs.iter().position(|&(s, q)| s == sink && q == pin) {
+            outs.swap_remove(i);
+        }
+        self.gates[sink.index()].fanins[p] = new_src;
+        self.gates[new_src.index()].fanouts.push((sink, pin));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn check(&self, g: GateId) -> Result<(), NetlistError> {
+        if g.index() < self.gates.len() {
+            Ok(())
+        } else {
+            Err(NetlistError::UnknownGate(g))
+        }
+    }
+
+    /// The gate record for `g`.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of range.
+    #[inline]
+    pub fn gate(&self, g: GateId) -> &Gate {
+        &self.gates[g.index()]
+    }
+
+    /// The kind of gate `g`.
+    #[inline]
+    pub fn kind(&self, g: GateId) -> GateKind {
+        self.gates[g.index()].kind
+    }
+
+    /// The name of gate `g` (also the name of the net it drives).
+    #[inline]
+    pub fn gate_name(&self, g: GateId) -> &str {
+        &self.gates[g.index()].name
+    }
+
+    /// Fanin nets of `g` in pin order.
+    #[inline]
+    pub fn fanin(&self, g: GateId) -> &[GateId] {
+        &self.gates[g.index()].fanins
+    }
+
+    /// Fanout `(sink, pin)` pairs of the net driven by `g`.
+    #[inline]
+    pub fn fanout(&self, g: GateId) -> &[(GateId, u32)] {
+        &self.gates[g.index()].fanouts
+    }
+
+    /// Looks a gate up by name.
+    pub fn find(&self, name: &str) -> Option<GateId> {
+        self.names.get(name).copied()
+    }
+
+    /// Like [`Netlist::find`] but returns a descriptive error.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::UnknownName`] when absent.
+    pub fn find_required(&self, name: &str) -> Result<GateId, NetlistError> {
+        self.find(name).ok_or_else(|| NetlistError::UnknownName(name.to_string()))
+    }
+
+    /// All primary inputs, in creation order (excluding the test input).
+    pub fn inputs(&self) -> Vec<GateId> {
+        self.gate_ids()
+            .filter(|&g| self.kind(g) == GateKind::Input && Some(g) != self.test_input)
+            .collect()
+    }
+
+    /// All primary output ports.
+    pub fn outputs(&self) -> Vec<GateId> {
+        self.gate_ids().filter(|&g| self.kind(g) == GateKind::Output).collect()
+    }
+
+    /// All D flip-flops.
+    pub fn dffs(&self) -> Vec<GateId> {
+        self.gate_ids().filter(|&g| self.kind(g) == GateKind::Dff).collect()
+    }
+
+    /// All combinational gates.
+    pub fn comb_gates(&self) -> Vec<GateId> {
+        self.gate_ids().filter(|&g| self.kind(g).is_combinational()).collect()
+    }
+
+    /// All connections `[source, sink, pin]` in the netlist.
+    pub fn connections(&self) -> Vec<Conn> {
+        let mut v = Vec::new();
+        for g in self.gate_ids() {
+            for (pin, &src) in self.gates[g.index()].fanins.iter().enumerate() {
+                v.push(Conn::new(src, g, pin as u32));
+            }
+        }
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Test input and splicing (the paper's structural edits)
+    // ------------------------------------------------------------------
+
+    /// The dedicated test input `T`, if it has been created.
+    #[inline]
+    pub fn test_input(&self) -> Option<GateId> {
+        self.test_input
+    }
+
+    /// The inverter output `T'`, if it has been created.
+    #[inline]
+    pub fn test_input_bar(&self) -> Option<GateId> {
+        self.test_input_bar
+    }
+
+    /// Returns the test input `T`, creating it on first use.
+    ///
+    /// `T` carries 1 in mission mode and 0 in test mode (§III).
+    pub fn ensure_test_input(&mut self) -> GateId {
+        if let Some(t) = self.test_input {
+            return t;
+        }
+        let t = self.add_gate(GateKind::Input, "T_test");
+        self.test_input = Some(t);
+        t
+    }
+
+    /// Returns `T'` (an inverter on the test input), creating both lazily.
+    pub fn ensure_test_input_bar(&mut self) -> GateId {
+        if let Some(tb) = self.test_input_bar {
+            return tb;
+        }
+        let t = self.ensure_test_input();
+        let tb = self.add_gate(GateKind::Inv, "T_test_bar");
+        self.connect(t, tb).expect("inverter accepts one fanin");
+        self.test_input_bar = Some(tb);
+        tb
+    }
+
+    /// Splices `new_gate` into the net driven by `target`: every existing
+    /// fanout of `target` is rewired to be driven by `new_gate` instead.
+    /// `new_gate` must subsequently (or previously) be connected to
+    /// `target` by the caller — the helpers
+    /// [`Netlist::insert_and_test_point`] / [`Netlist::insert_or_test_point`]
+    /// do the full job.
+    ///
+    /// Fanouts that `new_gate` already has (e.g. the feed-through pin)
+    /// are not touched.
+    ///
+    /// # Errors
+    /// Fails if either gate is unknown.
+    pub fn splice_on_net(&mut self, target: GateId, new_gate: GateId) -> Result<(), NetlistError> {
+        self.check(target)?;
+        self.check(new_gate)?;
+        let outs: Vec<(GateId, u32)> = self
+            .gates[target.index()]
+            .fanouts
+            .iter()
+            .copied()
+            .filter(|&(s, _)| s != new_gate)
+            .collect();
+        for (sink, pin) in outs {
+            self.replace_fanin(sink, pin, new_gate)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a 2-input AND test point at the net driven by `target`
+    /// (forces the net to 0 in test mode). Returns the new AND gate.
+    ///
+    /// The transformation of §III: all fanouts of `target` become fanouts
+    /// of `AND(target, T)`; in test mode `T = 0` so the net reads 0, and
+    /// in mission mode `T = 1` so the AND is transparent.
+    ///
+    /// # Errors
+    /// Fails if `target` is unknown or is an output port.
+    pub fn insert_and_test_point(&mut self, target: GateId) -> Result<GateId, NetlistError> {
+        self.check(target)?;
+        if self.kind(target) == GateKind::Output {
+            return Err(NetlistError::NotASource(target));
+        }
+        let t = self.ensure_test_input();
+        let tp = self.add_gate(GateKind::And, format!("tp0_{}", self.gate_name(target)));
+        self.splice_on_net(target, tp)?;
+        self.connect(target, tp)?;
+        self.connect(t, tp)?;
+        Ok(tp)
+    }
+
+    /// Inserts a 2-input OR test point at the net driven by `target`
+    /// (forces the net to 1 in test mode, using `T'`). Returns the new OR.
+    ///
+    /// # Errors
+    /// Fails if `target` is unknown or is an output port.
+    pub fn insert_or_test_point(&mut self, target: GateId) -> Result<GateId, NetlistError> {
+        self.check(target)?;
+        if self.kind(target) == GateKind::Output {
+            return Err(NetlistError::NotASource(target));
+        }
+        let tb = self.ensure_test_input_bar();
+        let tp = self.add_gate(GateKind::Or, format!("tp1_{}", self.gate_name(target)));
+        self.splice_on_net(target, tp)?;
+        self.connect(target, tp)?;
+        self.connect(tb, tp)?;
+        Ok(tp)
+    }
+
+    /// Inserts a scan multiplexer at the net driven by `target`: all
+    /// fanouts of `target` are rewired to `MUX(T, scan_src, target)`.
+    /// In mission mode (`T = 1`) the mux passes `target`; in test mode
+    /// (`T = 0`) it injects `scan_src` (§IV, Fig. 4). Returns the mux.
+    ///
+    /// # Errors
+    /// Fails if either gate is unknown or `target` is an output port.
+    pub fn insert_scan_mux(&mut self, target: GateId, scan_src: GateId) -> Result<GateId, NetlistError> {
+        self.check(target)?;
+        self.check(scan_src)?;
+        if self.kind(target) == GateKind::Output {
+            return Err(NetlistError::NotASource(target));
+        }
+        let t = self.ensure_test_input();
+        let mux = self.add_gate(GateKind::Mux, format!("smux_{}", self.gate_name(target)));
+        self.splice_on_net(target, mux)?;
+        self.connect(t, mux)?; // sel
+        self.connect(scan_src, mux)?; // d0 : test mode
+        self.connect(target, mux)?; // d1 : mission mode
+        Ok(mux)
+    }
+
+    /// Inserts a scan multiplexer in front of a single input pin
+    /// (conventional MUXed-D scan conversion when `sink` is a flip-flop
+    /// and `pin` is its D input). Unlike [`Netlist::insert_scan_mux`],
+    /// other fanouts of the original driver are untouched.
+    ///
+    /// Returns the mux, wired `MUX(T, scan_src, original_driver)`.
+    ///
+    /// # Errors
+    /// Fails if the pin does not exist or `scan_src` is invalid.
+    pub fn insert_scan_mux_at_pin(
+        &mut self,
+        sink: GateId,
+        pin: u32,
+        scan_src: GateId,
+    ) -> Result<GateId, NetlistError> {
+        self.check(sink)?;
+        self.check(scan_src)?;
+        let p = pin as usize;
+        if p >= self.gates[sink.index()].fanins.len() {
+            return Err(NetlistError::NoSuchPin { gate: sink, pin });
+        }
+        let orig = self.gates[sink.index()].fanins[p];
+        let t = self.ensure_test_input();
+        let mux = self.add_gate(GateKind::Mux, format!("smux_{}", self.gate_name(sink)));
+        self.connect(t, mux)?; // sel
+        self.connect(scan_src, mux)?; // d0 : test mode
+        self.connect(orig, mux)?; // d1 : mission mode
+        self.replace_fanin(sink, pin, mux)?;
+        Ok(mux)
+    }
+
+    /// Rewires the scan-source pin (`d0`) of a scan mux created by
+    /// [`Netlist::insert_scan_mux`].
+    ///
+    /// # Errors
+    /// Fails if `mux` is not a MUX gate or `scan_src` is invalid.
+    pub fn set_scan_source(&mut self, mux: GateId, scan_src: GateId) -> Result<(), NetlistError> {
+        self.check(mux)?;
+        if self.kind(mux) != GateKind::Mux {
+            return Err(NetlistError::NoSuchPin { gate: mux, pin: 1 });
+        }
+        self.replace_fanin(mux, 1, scan_src)
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Checks structural sanity: fanin arities, fanin/fanout mirror
+    /// consistency, and absence of combinational cycles.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for g in self.gate_ids() {
+            let gate = &self.gates[g.index()];
+            let actual = gate.fanins.len();
+            match gate.kind.fixed_arity() {
+                Some(expected) if actual != expected => {
+                    return Err(NetlistError::ArityUnderflow {
+                        gate: g,
+                        kind: gate.kind,
+                        expected,
+                        actual,
+                    });
+                }
+                None if actual == 0 => {
+                    return Err(NetlistError::ArityUnderflow {
+                        gate: g,
+                        kind: gate.kind,
+                        expected: 1,
+                        actual,
+                    });
+                }
+                _ => {}
+            }
+            for (pin, &src) in gate.fanins.iter().enumerate() {
+                self.check(src)?;
+                if !self.gates[src.index()].fanouts.contains(&(g, pin as u32)) {
+                    return Err(NetlistError::NoSuchPin { gate: g, pin: pin as u32 });
+                }
+            }
+            for &(sink, pin) in &gate.fanouts {
+                self.check(sink)?;
+                if self.gates[sink.index()].fanins.get(pin as usize) != Some(&g) {
+                    return Err(NetlistError::NoSuchPin { gate: sink, pin });
+                }
+            }
+        }
+        crate::topo::topo_order(self).map_err(|e| NetlistError::CombinationalCycle(e.gate()))?;
+        Ok(())
+    }
+
+    /// Topological order of the combinational gates (sources first).
+    /// Sources (inputs, flip-flop outputs, constants) come first; every
+    /// combinational gate follows all of its fanins.
+    ///
+    /// # Errors
+    /// Fails when the combinational part contains a cycle.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        crate::topo::topo_order(self).map_err(|e| NetlistError::CombinationalCycle(e.gate()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nand() -> (Netlist, GateId, GateId, GateId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, "g");
+        n.connect(a, g).unwrap();
+        n.connect(b, g).unwrap();
+        (n, a, b, g)
+    }
+
+    #[test]
+    fn connect_maintains_mirror_invariant() {
+        let (n, a, b, g) = two_nand();
+        assert_eq!(n.fanin(g), &[a, b]);
+        assert_eq!(n.fanout(a), &[(g, 0)]);
+        assert_eq!(n.fanout(b), &[(g, 1)]);
+    }
+
+    #[test]
+    fn replace_fanin_moves_fanout_bookkeeping() {
+        let (mut n, a, _b, g) = two_nand();
+        let c = n.add_input("c");
+        n.replace_fanin(g, 0, c).unwrap();
+        assert_eq!(n.fanin(g)[0], c);
+        assert!(n.fanout(a).is_empty());
+        assert_eq!(n.fanout(c), &[(g, 0)]);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i = n.add_gate(GateKind::Inv, "i");
+        n.connect(a, i).unwrap();
+        let err = n.connect(a, i).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityExceeded { .. }));
+    }
+
+    #[test]
+    fn inputs_cannot_be_sinks_outputs_cannot_be_sources() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        assert!(matches!(n.connect(a, b), Err(NetlistError::NotASink(_))));
+        let o = n.add_output("o", a).unwrap();
+        let i = n.add_gate(GateKind::Inv, "i");
+        assert!(matches!(n.connect(o, i), Err(NetlistError::NotASource(_))));
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("x");
+        let b = n.add_input("x");
+        assert_ne!(n.gate_name(a), n.gate_name(b));
+        assert_eq!(n.find("x"), Some(a));
+    }
+
+    #[test]
+    fn and_test_point_splices_all_fanouts() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i1 = n.add_gate(GateKind::Inv, "i1");
+        let i2 = n.add_gate(GateKind::Inv, "i2");
+        n.connect(a, i1).unwrap();
+        n.connect(a, i2).unwrap();
+        let tp = n.insert_and_test_point(a).unwrap();
+        assert_eq!(n.kind(tp), GateKind::And);
+        assert_eq!(n.fanin(i1), &[tp]);
+        assert_eq!(n.fanin(i2), &[tp]);
+        let t = n.test_input().unwrap();
+        assert_eq!(n.fanin(tp), &[a, t]);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn or_test_point_uses_t_bar() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i1 = n.add_gate(GateKind::Inv, "i1");
+        n.connect(a, i1).unwrap();
+        let tp = n.insert_or_test_point(a).unwrap();
+        assert_eq!(n.kind(tp), GateKind::Or);
+        let tb = n.test_input_bar().unwrap();
+        assert_eq!(n.kind(tb), GateKind::Inv);
+        assert_eq!(n.fanin(tp), &[a, tb]);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn scan_mux_wiring_matches_documented_pin_order() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        n.connect(a, ff).unwrap();
+        let si = n.add_input("scan_in");
+        let mux = n.insert_scan_mux(a, si).unwrap();
+        let t = n.test_input().unwrap();
+        // [sel, d0 = scan (test mode), d1 = functional (mission mode)]
+        assert_eq!(n.fanin(mux), &[t, si, a]);
+        assert_eq!(n.fanin(ff), &[mux]);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn scan_mux_at_pin_leaves_other_fanouts_alone() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        n.connect(a, ff).unwrap();
+        let i = n.add_gate(GateKind::Inv, "i");
+        n.connect(a, i).unwrap();
+        let si = n.add_input("si");
+        let mux = n.insert_scan_mux_at_pin(ff, 0, si).unwrap();
+        let t = n.test_input().unwrap();
+        assert_eq!(n.fanin(ff), &[mux]);
+        assert_eq!(n.fanin(mux), &[t, si, a]);
+        assert_eq!(n.fanin(i), &[a], "sibling fanout untouched");
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn set_scan_source_rewires_d0() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        n.connect(a, ff).unwrap();
+        let si = n.add_input("si");
+        let si2 = n.add_input("si2");
+        let mux = n.insert_scan_mux(a, si).unwrap();
+        n.set_scan_source(mux, si2).unwrap();
+        assert_eq!(n.fanin(mux)[1], si2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_comb_cycle() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        let g2 = n.add_gate(GateKind::And, "g2");
+        n.connect(a, g1).unwrap();
+        n.connect(g2, g1).unwrap();
+        n.connect(a, g2).unwrap();
+        n.connect(g1, g2).unwrap();
+        assert!(matches!(n.validate(), Err(NetlistError::CombinationalCycle(_))));
+    }
+
+    #[test]
+    fn cycle_through_dff_is_legal() {
+        let mut n = Netlist::new("t");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        let i = n.add_gate(GateKind::Inv, "i");
+        n.connect(ff, i).unwrap();
+        n.connect(i, ff).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_underflow() {
+        let mut n = Netlist::new("t");
+        n.add_gate(GateKind::And, "g");
+        assert!(matches!(n.validate(), Err(NetlistError::ArityUnderflow { .. })));
+    }
+
+    #[test]
+    fn inputs_listing_excludes_test_input() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.ensure_test_input();
+        assert_eq!(n.inputs(), vec![a]);
+    }
+
+    #[test]
+    fn connections_enumerates_every_edge() {
+        let (n, a, b, g) = two_nand();
+        let conns = n.connections();
+        assert_eq!(conns.len(), 2);
+        assert!(conns.contains(&Conn::new(a, g, 0)));
+        assert!(conns.contains(&Conn::new(b, g, 1)));
+    }
+
+    #[test]
+    fn ensure_test_input_is_idempotent() {
+        let mut n = Netlist::new("t");
+        let t1 = n.ensure_test_input();
+        let t2 = n.ensure_test_input();
+        assert_eq!(t1, t2);
+        let b1 = n.ensure_test_input_bar();
+        let b2 = n.ensure_test_input_bar();
+        assert_eq!(b1, b2);
+    }
+}

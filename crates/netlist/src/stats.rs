@@ -1,0 +1,151 @@
+//! Circuit statistics, matching the columns of the paper's Table II.
+
+use crate::gate::GateKind;
+use crate::library::TechLibrary;
+use crate::netlist::Netlist;
+use crate::topo::levelize;
+use std::fmt;
+
+/// Interface and size statistics of a netlist.
+///
+/// The `area` is the sum of cell areas under a [`TechLibrary`]; `levels`
+/// is the unit-delay combinational depth. The timing-model delay (Table
+/// II's `delay (ns)`) lives in the `tpi-sta` crate because it needs the
+/// full arrival-time computation.
+///
+/// ```
+/// use tpi_netlist::{Netlist, NetlistStats, TechLibrary, GateKind};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let g = n.add_gate(GateKind::Inv, "g");
+/// n.connect(a, g)?;
+/// n.add_output("o", g)?;
+/// let s = NetlistStats::compute(&n, &TechLibrary::paper());
+/// assert_eq!((s.inputs, s.outputs, s.ffs), (1, 1, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetlistStats {
+    /// Primary inputs (excluding the dedicated test input).
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// Combinational gates.
+    pub comb_gates: usize,
+    /// Total connections (edges).
+    pub connections: usize,
+    /// Total cell area.
+    pub area: f64,
+    /// Unit-delay combinational depth.
+    pub levels: u32,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `n` under `lib`.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle (validate first).
+    pub fn compute(n: &Netlist, lib: &TechLibrary) -> Self {
+        let mut area = 0.0;
+        let mut comb = 0;
+        let mut conns = 0;
+        for g in n.gate_ids() {
+            let k = n.kind(g);
+            area += lib.cell(k).area;
+            if k.is_combinational() {
+                comb += 1;
+            }
+            conns += n.fanin(g).len();
+        }
+        let levels = levelize(n)
+            .expect("netlist must be acyclic to levelize")
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        NetlistStats {
+            inputs: n.inputs().len(),
+            outputs: n.outputs().len(),
+            ffs: n.dffs().len(),
+            comb_gates: comb,
+            connections: conns,
+            area,
+            levels,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#I={} #O={} #FF={} gates={} conns={} area={:.1} levels={}",
+            self.inputs, self.outputs, self.ffs, self.comb_gates, self.connections, self.area, self.levels
+        )
+    }
+}
+
+/// Returns the per-gate load (sum of sink input-pin capacitances plus the
+/// output-port load) under `lib`. Shared by STA and workload calibration.
+pub fn net_loads(n: &Netlist, lib: &TechLibrary) -> Vec<f64> {
+    let mut loads = vec![0.0; n.gate_count()];
+    for g in n.gate_ids() {
+        let mut load = 0.0;
+        for &(sink, _) in n.fanout(g) {
+            load += if n.kind(sink) == GateKind::Output {
+                lib.output_load
+            } else {
+                lib.cell(n.kind(sink)).input_load
+            };
+        }
+        loads[g.index()] = load;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn stats_count_everything_once() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, "g");
+        n.connect(a, g).unwrap();
+        n.connect(b, g).unwrap();
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        n.connect(g, ff).unwrap();
+        n.add_output("o", ff).unwrap();
+        let lib = TechLibrary::paper();
+        let s = NetlistStats::compute(&n, &lib);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.ffs, 1);
+        assert_eq!(s.comb_gates, 1);
+        assert_eq!(s.connections, 4);
+        assert!((s.area - (2.0 + 8.0)).abs() < 1e-12);
+        assert_eq!(s.levels, 1);
+    }
+
+    #[test]
+    fn loads_sum_pin_caps() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i1 = n.add_gate(GateKind::Inv, "i1");
+        let i2 = n.add_gate(GateKind::Inv, "i2");
+        n.connect(a, i1).unwrap();
+        n.connect(a, i2).unwrap();
+        n.add_output("o", i1).unwrap();
+        let lib = TechLibrary::paper();
+        let loads = net_loads(&n, &lib);
+        assert!((loads[a.index()] - 2.0).abs() < 1e-12);
+        assert!((loads[i1.index()] - 1.0).abs() < 1e-12);
+        assert!((loads[i2.index()] - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Topological ordering of the combinational network.
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+use std::fmt;
+
+/// Error: a cycle exists in the combinational part of the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoError(GateId);
+
+impl TopoError {
+    /// A gate that participates in the cycle.
+    pub fn gate(self) -> GateId {
+        self.0
+    }
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "combinational cycle through gate {}", self.0)
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Computes a topological order over **all** gates, where sequential
+/// elements (flip-flops), primary inputs and constants are treated as
+/// sources (their fanins do not create ordering edges).
+///
+/// The returned order lists every gate exactly once: sources first, then
+/// combinational gates such that every combinational gate appears after
+/// all of its fanins, then nothing special for outputs (output ports are
+/// ordinary sinks and appear after their fanin).
+///
+/// # Errors
+/// Returns [`TopoError`] naming a gate on a purely combinational cycle.
+pub fn topo_order(n: &Netlist) -> Result<Vec<GateId>, TopoError> {
+    let count = n.gate_count();
+    let mut indeg = vec![0u32; count];
+    for g in n.gate_ids() {
+        let kind = n.kind(g);
+        if kind.is_source() {
+            continue; // source: fanins (e.g. DFF D pin) don't order it
+        }
+        indeg[g.index()] = n.fanin(g).len() as u32;
+    }
+    let mut order = Vec::with_capacity(count);
+    let mut queue: Vec<GateId> = n
+        .gate_ids()
+        .filter(|&g| indeg[g.index()] == 0)
+        .collect();
+    while let Some(g) = queue.pop() {
+        order.push(g);
+        if n.kind(g) == GateKind::Output {
+            continue;
+        }
+        for &(sink, _) in n.fanout(g) {
+            if n.kind(sink).is_source() {
+                continue;
+            }
+            let d = &mut indeg[sink.index()];
+            *d -= 1;
+            if *d == 0 {
+                queue.push(sink);
+            }
+        }
+    }
+    if order.len() != count {
+        // Some gate never reached in-degree zero: cycle.
+        let culprit = n
+            .gate_ids()
+            .find(|&g| indeg[g.index()] > 0)
+            .expect("missing gates imply positive in-degree somewhere");
+        return Err(TopoError(culprit));
+    }
+    Ok(order)
+}
+
+/// Levelizes the combinational network: `level[g]` is 0 for sources and
+/// `1 + max(level of fanins)` for combinational gates and output ports.
+/// This is the unit-delay depth used by workload statistics.
+///
+/// # Errors
+/// Returns [`TopoError`] on a combinational cycle.
+pub fn levelize(n: &Netlist) -> Result<Vec<u32>, TopoError> {
+    let order = topo_order(n)?;
+    let mut level = vec![0u32; n.gate_count()];
+    for g in order {
+        if n.kind(g).is_source() {
+            level[g.index()] = 0;
+            continue;
+        }
+        let l = n
+            .fanin(g)
+            .iter()
+            .map(|&f| level[f.index()])
+            .max()
+            .unwrap_or(0);
+        level[g.index()] = l + 1;
+    }
+    Ok(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        n.connect(a, g1).unwrap();
+        n.connect(b, g1).unwrap();
+        let g2 = n.add_gate(GateKind::Inv, "g2");
+        n.connect(g1, g2).unwrap();
+        let o = n.add_output("o", g2).unwrap();
+        let order = topo_order(&n).unwrap();
+        let pos = |g: GateId| order.iter().position(|&x| x == g).unwrap();
+        assert!(pos(a) < pos(g1));
+        assert!(pos(b) < pos(g1));
+        assert!(pos(g1) < pos(g2));
+        assert!(pos(g2) < pos(o));
+        assert_eq!(order.len(), n.gate_count());
+    }
+
+    #[test]
+    fn dff_breaks_ordering_edges() {
+        let mut n = Netlist::new("t");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        let i = n.add_gate(GateKind::Inv, "i");
+        n.connect(ff, i).unwrap();
+        n.connect(i, ff).unwrap();
+        let order = topo_order(&n).unwrap();
+        let pos = |g: GateId| order.iter().position(|&x| x == g).unwrap();
+        assert!(pos(ff) < pos(i));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        let g2 = n.add_gate(GateKind::And, "g2");
+        n.connect(a, g1).unwrap();
+        n.connect(g2, g1).unwrap();
+        n.connect(a, g2).unwrap();
+        n.connect(g1, g2).unwrap();
+        assert!(topo_order(&n).is_err());
+    }
+
+    #[test]
+    fn levels_increase_along_paths() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i1 = n.add_gate(GateKind::Inv, "i1");
+        let i2 = n.add_gate(GateKind::Inv, "i2");
+        n.connect(a, i1).unwrap();
+        n.connect(i1, i2).unwrap();
+        let lv = levelize(&n).unwrap();
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[i1.index()], 1);
+        assert_eq!(lv[i2.index()], 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! Cycle-breaking flip-flop selection for partial scan.
+//!
+//! Implements the Lee–Reddy algorithm (paper ref. \[6\]) as modified by
+//! Jou–Cheng for timing-driven selection (ref. \[7\]), exactly as §IV.B of
+//! the paper describes: a graph-reduction phase with five operations
+//! (source, sink, self-loop, unit-in, unit-out) interleaved with a
+//! heuristic phase that selects the vertex with the maximal sum of fanins
+//! and fanouts.
+//!
+//! The timing-driven flavor is expressed through the `selectable`
+//! predicate of [`CycleBreakOptions`]: a flip-flop whose slack cannot
+//! absorb a scan mux is never selected, and the unit-in/unit-out
+//! contractions are only applied to unselectable vertices so that
+//! selectable ones stay available for the heuristic (the ref. \[7\]
+//! modification).
+
+use crate::sgraph::SGraph;
+use std::collections::BTreeSet;
+use tpi_netlist::GateId;
+
+/// Options controlling [`break_cycles`].
+pub struct CycleBreakOptions<'a> {
+    /// Whether a flip-flop may be selected for scan. The classic
+    /// area-driven CB passes `|_| true`; TD-CB passes a slack check.
+    pub selectable: Box<dyn Fn(GateId) -> bool + 'a>,
+    /// Apply unit-in/unit-out contractions to *selectable* vertices too
+    /// (classic Lee–Reddy behavior). TD-CB sets this to `false`.
+    pub contract_selectable: bool,
+}
+
+impl<'a> CycleBreakOptions<'a> {
+    /// Classic area-driven configuration (the paper's "CB" column).
+    pub fn classic() -> Self {
+        CycleBreakOptions { selectable: Box::new(|_| true), contract_selectable: true }
+    }
+
+    /// Timing-driven configuration (the paper's "TD-CB" column): only
+    /// flip-flops passing `selectable` may be chosen.
+    pub fn timing_driven(selectable: impl Fn(GateId) -> bool + 'a) -> Self {
+        CycleBreakOptions { selectable: Box::new(selectable), contract_selectable: false }
+    }
+}
+
+impl std::fmt::Debug for CycleBreakOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleBreakOptions")
+            .field("contract_selectable", &self.contract_selectable)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Result of [`break_cycles`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleBreakResult {
+    /// Flip-flops selected for scan, in selection order.
+    pub selected: Vec<GateId>,
+    /// Flip-flops whose cycles could not be broken under the
+    /// selectability constraint (empty when a full solution was found).
+    /// These are exactly the vertices the paper hands to the
+    /// minimal-degradation fallback of §IV.B.
+    pub unresolved: Vec<GateId>,
+}
+
+impl CycleBreakResult {
+    /// True when every cycle was broken.
+    pub fn complete(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+}
+
+/// Mutable working copy of the s-graph during reduction.
+struct Work {
+    succ: Vec<BTreeSet<usize>>,
+    pred: Vec<BTreeSet<usize>>,
+    alive: Vec<bool>,
+}
+
+impl Work {
+    fn remove_vertex(&mut self, v: usize) {
+        self.alive[v] = false;
+        let outs: Vec<usize> = self.succ[v].iter().copied().collect();
+        for s in outs {
+            self.pred[s].remove(&v);
+        }
+        let ins: Vec<usize> = self.pred[v].iter().copied().collect();
+        for p in ins {
+            self.succ[p].remove(&v);
+        }
+        self.succ[v].clear();
+        self.pred[v].clear();
+    }
+
+    /// Contracts `v` into the graph: `v`'s predecessors gain edges to all
+    /// of `v`'s successors, then `v` disappears. Preserves cycles that run
+    /// through `v` (used by the unit-in / unit-out operations, where one
+    /// side is a single vertex).
+    fn contract(&mut self, v: usize) {
+        let preds: Vec<usize> = self.pred[v].iter().copied().collect();
+        let succs: Vec<usize> = self.succ[v].iter().copied().collect();
+        for &p in &preds {
+            for &s in &succs {
+                if p == v || s == v {
+                    continue;
+                }
+                self.succ[p].insert(s);
+                self.pred[s].insert(p);
+            }
+        }
+        self.remove_vertex(v);
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.succ[v].len() + self.pred[v].len()
+    }
+}
+
+/// Runs the cycle-breaking selection on `g` under `options`.
+///
+/// Returns the selected feedback set and any unresolved vertices (see
+/// [`CycleBreakResult`]). When `options.selectable` always returns true
+/// the result is a complete feedback vertex set: removing `selected` from
+/// `g` leaves an acyclic graph (property-tested).
+pub fn break_cycles(g: &SGraph, options: &CycleBreakOptions<'_>) -> CycleBreakResult {
+    let nn = g.node_count();
+    let mut w = Work {
+        succ: (0..nn).map(|v| g.succ(v).clone()).collect(),
+        pred: (0..nn).map(|v| g.pred(v).clone()).collect(),
+        alive: vec![true; nn],
+    };
+    let mut selected = Vec::new();
+    let mut unresolved = Vec::new();
+    let selectable = |v: usize| (options.selectable)(g.ffs()[v]);
+
+    loop {
+        // --- Reduction phase: run to a fixed point.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..nn {
+                if !w.alive[v] {
+                    continue;
+                }
+                let has_self = w.succ[v].contains(&v);
+                // Self-loop operation: the vertex must be scanned.
+                if has_self {
+                    if selectable(v) {
+                        selected.push(g.ffs()[v]);
+                    } else {
+                        unresolved.push(g.ffs()[v]);
+                    }
+                    w.remove_vertex(v);
+                    changed = true;
+                    continue;
+                }
+                // Source / sink operations: acyclic fringe.
+                if w.pred[v].is_empty() || w.succ[v].is_empty() {
+                    w.remove_vertex(v);
+                    changed = true;
+                    continue;
+                }
+                // Unit-in / unit-out operations (contractions). The
+                // timing-driven variant only contracts unselectable
+                // vertices, keeping selectable ones for the heuristic.
+                if (w.pred[v].len() == 1 || w.succ[v].len() == 1)
+                    && (options.contract_selectable || !selectable(v))
+                {
+                    w.contract(v);
+                    changed = true;
+                }
+            }
+        }
+
+        // --- Heuristic phase: pick the best selectable vertex.
+        let Some(best) = (0..nn)
+            .filter(|&v| w.alive[v] && selectable(v))
+            .max_by_key(|&v| w.degree(v))
+        else {
+            // No selectable vertex left; whatever remains is stuck in
+            // cycles that need the minimal-degradation fallback.
+            for v in 0..nn {
+                if w.alive[v] && !w.succ[v].is_empty() {
+                    unresolved.push(g.ffs()[v]);
+                }
+            }
+            break;
+        };
+        selected.push(g.ffs()[best]);
+        w.remove_vertex(best);
+        if !w.alive.iter().any(|&a| a) {
+            break;
+        }
+    }
+
+    CycleBreakResult { selected, unresolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{GateKind, Netlist};
+
+    /// Builds `k` flip-flops, each fed by a variadic OR "merge" gate so
+    /// tests can add any number of FF->FF edges.
+    fn ff_bank(k: usize) -> (Netlist, Vec<GateId>, Vec<GateId>) {
+        let mut n = Netlist::new("bank");
+        let mut ffs = Vec::new();
+        let mut merges = Vec::new();
+        for i in 0..k {
+            let or = n.add_gate(GateKind::Or, format!("m{i}"));
+            let f = n.add_gate(GateKind::Dff, format!("f{i}"));
+            n.connect(or, f).unwrap();
+            ffs.push(f);
+            merges.push(or);
+        }
+        (n, ffs, merges)
+    }
+
+    fn edge(n: &mut Netlist, ffs: &[GateId], merges: &[GateId], a: usize, b: usize) {
+        n.connect(ffs[a], merges[b]).unwrap();
+    }
+
+    fn ring(k: usize) -> (Netlist, Vec<GateId>) {
+        let (mut n, ffs, merges) = ff_bank(k);
+        for i in 0..k {
+            edge(&mut n, &ffs, &merges, i, (i + 1) % k);
+        }
+        (n, ffs)
+    }
+
+    #[test]
+    fn single_ring_needs_one_ff() {
+        let (n, _f) = ring(5);
+        let g = SGraph::build(&n);
+        let r = break_cycles(&g, &CycleBreakOptions::classic());
+        assert!(r.complete());
+        assert_eq!(r.selected.len(), 1);
+        assert!(!g.has_cycle(&r.selected));
+    }
+
+    #[test]
+    fn self_loop_forces_selection() {
+        let (mut n, ffs, merges) = ff_bank(1);
+        edge(&mut n, &ffs, &merges, 0, 0);
+        let g = SGraph::build(&n);
+        let r = break_cycles(&g, &CycleBreakOptions::classic());
+        assert_eq!(r.selected, vec![ffs[0]]);
+    }
+
+    #[test]
+    fn acyclic_graph_selects_nothing() {
+        let (mut n, ffs, merges) = ff_bank(2);
+        edge(&mut n, &ffs, &merges, 0, 1);
+        let d = n.add_input("d");
+        n.connect(d, merges[0]).unwrap();
+        let g = SGraph::build(&n);
+        let r = break_cycles(&g, &CycleBreakOptions::classic());
+        assert!(r.complete());
+        assert!(r.selected.is_empty());
+    }
+
+    #[test]
+    fn two_rings_sharing_a_vertex_need_one_selection() {
+        // f0->f1->f0 and f0->f2->f0 : selecting f0 breaks both.
+        let (mut n, f, merges) = ff_bank(3);
+        edge(&mut n, &f, &merges, 0, 1);
+        edge(&mut n, &f, &merges, 1, 0);
+        edge(&mut n, &f, &merges, 0, 2);
+        edge(&mut n, &f, &merges, 2, 0);
+        let g = SGraph::build(&n);
+        let r = break_cycles(&g, &CycleBreakOptions::classic());
+        assert!(r.complete());
+        assert_eq!(r.selected, vec![f[0]], "max-degree heuristic picks the hub");
+        assert!(!g.has_cycle(&r.selected));
+    }
+
+    #[test]
+    fn timing_constraint_shifts_selection() {
+        // Ring of 3 where f0 is not selectable: TD-CB must pick another.
+        let (n, f) = ring(3);
+        let g = SGraph::build(&n);
+        let banned = f[0];
+        let opts = CycleBreakOptions::timing_driven(move |ff| ff != banned);
+        let r = break_cycles(&g, &opts);
+        assert!(r.complete());
+        assert_eq!(r.selected.len(), 1);
+        assert_ne!(r.selected[0], f[0]);
+        assert!(!g.has_cycle(&r.selected));
+    }
+
+    #[test]
+    fn unselectable_self_loop_is_unresolved() {
+        let (mut n, ffs, merges) = ff_bank(1);
+        edge(&mut n, &ffs, &merges, 0, 0);
+        let g = SGraph::build(&n);
+        let opts = CycleBreakOptions::timing_driven(|_| false);
+        let r = break_cycles(&g, &opts);
+        assert!(!r.complete());
+        assert_eq!(r.unresolved, vec![ffs[0]]);
+        assert!(r.selected.is_empty());
+    }
+
+    #[test]
+    fn nothing_selectable_reports_all_cyclic_vertices() {
+        let (n, _f) = ring(4);
+        let g = SGraph::build(&n);
+        let opts = CycleBreakOptions::timing_driven(|_| false);
+        let r = break_cycles(&g, &opts);
+        assert!(!r.complete());
+        assert!(!r.unresolved.is_empty());
+    }
+
+    #[test]
+    fn classic_always_produces_a_feedback_vertex_set() {
+        // Deterministic pseudo-random digraphs; FVS property must hold.
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..20 {
+            let k = 4 + (trial % 8);
+            let (mut n, f, merges) = ff_bank(k);
+            for i in 0..k {
+                for j in 0..k {
+                    if next() % 4 == 0 {
+                        edge(&mut n, &f, &merges, i, j);
+                    }
+                }
+            }
+            let g = SGraph::build(&n);
+            let r = break_cycles(&g, &CycleBreakOptions::classic());
+            assert!(r.complete(), "classic CB must always complete");
+            assert!(!g.has_cycle(&r.selected), "selected set must be an FVS (trial {trial})");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The scan-chain flush test (§V of the paper).
+//!
+//! Because the paper's scan paths run *through functional logic*, the
+//! chain itself must be verified before it can be trusted to deliver scan
+//! patterns: "this can be accomplished by scanning in a sequence of
+//! alternating 0's and 1's and scanning them out. If there is some
+//! discrepancy between the scan-in and scan-out data, we know that the
+//! circuit is faulty."
+
+use crate::chain::ScanChain;
+use std::fmt;
+use tpi_netlist::{GateId, Netlist};
+use tpi_sim::{Simulator, Trit};
+
+/// Outcome of a flush test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Chain length (number of flip-flops).
+    pub chain_len: usize,
+    /// Bits driven into `scan_in`, cycle by cycle.
+    pub driven: Vec<bool>,
+    /// Bits observed at `scan_out` once the pipe is full.
+    pub observed: Vec<Trit>,
+    /// Bits expected at `scan_out` (driven bits, delayed by the chain
+    /// length and complemented by the chain's inversion parity).
+    pub expected: Vec<bool>,
+}
+
+impl FlushReport {
+    /// True when every observed bit matched its expectation.
+    pub fn passed(&self) -> bool {
+        self.observed.len() == self.expected.len()
+            && self
+                .observed
+                .iter()
+                .zip(&self.expected)
+                .all(|(o, &e)| *o == Trit::from(e))
+    }
+}
+
+impl fmt::Display for FlushReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flush of {}-FF chain: {}",
+            self.chain_len,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Errors from [`flush_test`] (conditions that prevent the test from even
+/// running; a miscomparing chain is reported in [`FlushReport`], not here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlushError {
+    /// The netlist has no test input, so test mode cannot be entered.
+    NoTestInput,
+}
+
+impl fmt::Display for FlushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlushError::NoTestInput => write!(f, "netlist has no test input"),
+        }
+    }
+}
+
+impl std::error::Error for FlushError {}
+
+/// Shifts an alternating 0/1 pattern through `chain` in test mode and
+/// compares the scan-out stream.
+///
+/// `pi_constants` are the primary-input values the test mode requires
+/// (the paper's §III.B input assignment); they are held for the whole
+/// test. The flush drives `2 * chain_len + extra` cycles so every stage
+/// is exercised with both polarities.
+///
+/// # Errors
+/// Returns [`FlushError::NoTestInput`] when the netlist was never put
+/// through a scan transformation.
+///
+/// # Example
+///
+/// See `tests/flush.rs` in the repository root and the
+/// `scan_chain_flush` example.
+pub fn flush_test(
+    n: &Netlist,
+    chain: &ScanChain,
+    pi_constants: &[(GateId, Trit)],
+) -> Result<FlushReport, FlushError> {
+    let t = n.test_input().ok_or(FlushError::NoTestInput)?;
+    let mut sim = Simulator::new(n);
+    sim.set_input(t, Trit::Zero); // enter test mode
+    for &(pi, v) in pi_constants {
+        sim.set_input(pi, v);
+    }
+    let len = chain.len();
+    let total = 2 * len + 4;
+    let driven: Vec<bool> = (0..total).map(|i| i % 2 == 0).collect();
+    let parity = chain.parity();
+    let last_ff = chain.links().last().expect("stitch rejects empty chains").ff();
+
+    let mut observed = Vec::new();
+    let mut expected = Vec::new();
+    for (cycle, &bit) in driven.iter().enumerate() {
+        sim.set_input(chain.scan_in(), Trit::from(bit));
+        sim.step();
+        // After `len` cycles the first driven bit occupies the last FF.
+        if cycle + 1 >= len {
+            let src = driven[cycle + 1 - len];
+            observed.push(sim.value(last_ff));
+            expected.push(src ^ parity);
+        }
+    }
+    Ok(FlushReport { chain_len: len, driven, observed, expected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainLink;
+    use tpi_netlist::GateKind;
+
+    /// Conventional 3-FF scan chain: functional D inputs, muxed.
+    fn conventional_chain() -> (Netlist, ScanChain) {
+        let mut n = Netlist::new("t");
+        let mut links = Vec::new();
+        for i in 0..3 {
+            let d = n.add_input(format!("d{i}"));
+            let ff = n.add_gate(GateKind::Dff, format!("f{i}"));
+            n.connect(d, ff).unwrap();
+            let mux = n.insert_scan_mux_at_pin(ff, 0, d).unwrap();
+            links.push(ChainLink::Mux { mux, ff, inverting: false });
+        }
+        let chain = ScanChain::stitch(&mut n, links).unwrap();
+        n.validate().unwrap();
+        (n, chain)
+    }
+
+    #[test]
+    fn conventional_chain_flushes_clean() {
+        let (n, chain) = conventional_chain();
+        let report = flush_test(&n, &chain, &[]).unwrap();
+        assert!(report.passed(), "{report}: {:?} vs {:?}", report.observed, report.expected);
+        assert_eq!(report.chain_len, 3);
+    }
+
+    #[test]
+    fn chain_through_sensitized_logic_flushes_clean() {
+        // f0 --NAND(side=1)--> f1 : a real "scan path through logic".
+        let mut n = Netlist::new("t");
+        let d0 = n.add_input("d0");
+        let f0 = n.add_gate(GateKind::Dff, "f0");
+        n.connect(d0, f0).unwrap();
+        let side = n.add_input("side");
+        let g = n.add_gate(GateKind::Nand, "g");
+        n.connect(f0, g).unwrap();
+        n.connect(side, g).unwrap();
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        n.connect(g, f1).unwrap();
+        let mux0 = n.insert_scan_mux_at_pin(f0, 0, d0).unwrap();
+        let links = vec![
+            ChainLink::Mux { mux: mux0, ff: f0, inverting: false },
+            // NAND inverts the shifted bit.
+            ChainLink::Path { from: f0, ff: f1, inverting: true },
+        ];
+        let chain = ScanChain::stitch(&mut n, links).unwrap();
+        n.validate().unwrap();
+        // side input must be held at the NAND's sensitizing value 1.
+        let report = flush_test(&n, &chain, &[(side, Trit::One)]).unwrap();
+        assert!(report.passed(), "{:?} vs {:?}", report.observed, report.expected);
+        assert!(chain.parity());
+    }
+
+    #[test]
+    fn desensitized_side_input_fails_the_flush() {
+        // Same circuit, but the side input holds the controlling value 0:
+        // the NAND output is stuck at 1 and the flush must fail.
+        let mut n = Netlist::new("t");
+        let d0 = n.add_input("d0");
+        let f0 = n.add_gate(GateKind::Dff, "f0");
+        n.connect(d0, f0).unwrap();
+        let side = n.add_input("side");
+        let g = n.add_gate(GateKind::Nand, "g");
+        n.connect(f0, g).unwrap();
+        n.connect(side, g).unwrap();
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        n.connect(g, f1).unwrap();
+        let mux0 = n.insert_scan_mux_at_pin(f0, 0, d0).unwrap();
+        let links = vec![
+            ChainLink::Mux { mux: mux0, ff: f0, inverting: false },
+            ChainLink::Path { from: f0, ff: f1, inverting: true },
+        ];
+        let chain = ScanChain::stitch(&mut n, links).unwrap();
+        let report = flush_test(&n, &chain, &[(side, Trit::Zero)]).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn missing_test_input_is_an_error() {
+        let (n, chain) = conventional_chain();
+        // Build a fresh netlist without any scan structure but reuse the
+        // chain object: simulate the error path by stripping T.
+        let mut bare = Netlist::new("bare");
+        bare.add_input("x");
+        assert_eq!(flush_test(&bare, &chain, &[]), Err(FlushError::NoTestInput));
+        let _ = n;
+    }
+}

@@ -1,0 +1,338 @@
+//! The flip-flop connectivity graph (s-graph).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use tpi_netlist::{GateId, GateKind, Netlist};
+
+/// The s-graph of a sequential circuit: one node per flip-flop, one edge
+/// `i -> j` when a combinational path runs from `F_i`'s output to `F_j`'s
+/// D input. Partial-scan cycle breaking (refs. \[4, 6, 7\] of the paper)
+/// operates on this graph.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{Netlist, GateKind};
+/// use tpi_scan::SGraph;
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut n = Netlist::new("loop2");
+/// let f1 = n.add_gate(GateKind::Dff, "f1");
+/// let f2 = n.add_gate(GateKind::Dff, "f2");
+/// let i1 = n.add_gate(GateKind::Inv, "i1");
+/// let i2 = n.add_gate(GateKind::Inv, "i2");
+/// n.connect(f1, i1)?;
+/// n.connect(i1, f2)?;
+/// n.connect(f2, i2)?;
+/// n.connect(i2, f1)?;
+/// let g = SGraph::build(&n);
+/// assert!(g.has_edge(f1, f2) && g.has_edge(f2, f1));
+/// assert!(g.has_cycle(&[]));
+/// assert!(!g.has_cycle(&[f1]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SGraph {
+    ffs: Vec<GateId>,
+    index: HashMap<GateId, usize>,
+    succs: Vec<BTreeSet<usize>>,
+    preds: Vec<BTreeSet<usize>>,
+}
+
+impl SGraph {
+    /// Builds the s-graph of `n` by forward reachability through the
+    /// combinational network from each flip-flop output.
+    pub fn build(n: &Netlist) -> Self {
+        let ffs = n.dffs();
+        let index: HashMap<GateId, usize> = ffs.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let mut succs = vec![BTreeSet::new(); ffs.len()];
+        let mut preds = vec![BTreeSet::new(); ffs.len()];
+        let mut seen = vec![u32::MAX; n.gate_count()];
+        for (i, &ff) in ffs.iter().enumerate() {
+            let mut queue = VecDeque::new();
+            queue.push_back(ff);
+            seen[ff.index()] = i as u32;
+            while let Some(g) = queue.pop_front() {
+                for &(sink, _) in n.fanout(g) {
+                    match n.kind(sink) {
+                        GateKind::Dff => {
+                            let j = index[&sink];
+                            succs[i].insert(j);
+                            preds[j].insert(i);
+                        }
+                        k if k.is_combinational()
+                            && seen[sink.index()] != i as u32 => {
+                                seen[sink.index()] = i as u32;
+                                queue.push_back(sink);
+                            }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        SGraph { ffs, index, succs, preds }
+    }
+
+    /// The flip-flops (nodes), in netlist order.
+    #[inline]
+    pub fn ffs(&self) -> &[GateId] {
+        &self.ffs
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Number of directed edges (self-loops included).
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(BTreeSet::len).sum()
+    }
+
+    /// The dense node index of a flip-flop.
+    pub fn node(&self, ff: GateId) -> Option<usize> {
+        self.index.get(&ff).copied()
+    }
+
+    /// Successor node indices of node `i`.
+    #[inline]
+    pub fn succ(&self, i: usize) -> &BTreeSet<usize> {
+        &self.succs[i]
+    }
+
+    /// Predecessor node indices of node `i`.
+    #[inline]
+    pub fn pred(&self, i: usize) -> &BTreeSet<usize> {
+        &self.preds[i]
+    }
+
+    /// Whether the edge `from -> to` exists.
+    pub fn has_edge(&self, from: GateId, to: GateId) -> bool {
+        match (self.node(from), self.node(to)) {
+            (Some(i), Some(j)) => self.succs[i].contains(&j),
+            _ => false,
+        }
+    }
+
+    /// Returns the subgraph with `removed` flip-flops deleted (used when
+    /// already-scanned flip-flops no longer participate in cycles).
+    pub fn without(&self, removed: &[GateId]) -> SGraph {
+        let gone: BTreeSet<usize> = removed.iter().filter_map(|f| self.node(*f)).collect();
+        let mut g = self.clone();
+        for &v in &gone {
+            let outs: Vec<usize> = g.succs[v].iter().copied().collect();
+            for s in outs {
+                g.preds[s].remove(&v);
+            }
+            let ins: Vec<usize> = g.preds[v].iter().copied().collect();
+            for p in ins {
+                g.succs[p].remove(&v);
+            }
+            g.succs[v].clear();
+            g.preds[v].clear();
+        }
+        g
+    }
+
+    /// Flip-flops that lie on at least one directed cycle: members of a
+    /// strongly connected component of size >= 2, plus self-loop nodes.
+    /// Computed by an iterative Kosaraju pass.
+    pub fn cyclic_nodes(&self) -> Vec<GateId> {
+        let nn = self.ffs.len();
+        // Pass 1: finish order on the forward graph.
+        let mut visited = vec![false; nn];
+        let mut order: Vec<usize> = Vec::with_capacity(nn);
+        for start in 0..nn {
+            if visited[start] {
+                continue;
+            }
+            // (node, child iterator position)
+            let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            visited[start] = true;
+            stack.push((start, self.succs[start].iter().copied().collect(), 0));
+            while let Some((v, children, pos)) = stack.last_mut() {
+                if *pos < children.len() {
+                    let c = children[*pos];
+                    *pos += 1;
+                    if !visited[c] {
+                        visited[c] = true;
+                        stack.push((c, self.succs[c].iter().copied().collect(), 0));
+                    }
+                } else {
+                    order.push(*v);
+                    stack.pop();
+                }
+            }
+        }
+        // Pass 2: components on the reverse graph, in reverse finish order.
+        let mut comp = vec![usize::MAX; nn];
+        let mut comp_size = Vec::new();
+        for &start in order.iter().rev() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = comp_size.len();
+            comp_size.push(0usize);
+            let mut stack = vec![start];
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                comp_size[c] += 1;
+                for &p in &self.preds[v] {
+                    if comp[p] == usize::MAX {
+                        comp[p] = c;
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        (0..nn)
+            .filter(|&v| comp_size[comp[v]] >= 2 || self.succs[v].contains(&v))
+            .map(|v| self.ffs[v])
+            .collect()
+    }
+
+    /// Whether a directed cycle survives after deleting `removed` nodes.
+    /// (An empty `removed` asks whether the circuit has feedback at all;
+    /// a feedback vertex set makes this return false.)
+    pub fn has_cycle(&self, removed: &[GateId]) -> bool {
+        let gone: BTreeSet<usize> = removed.iter().filter_map(|f| self.node(*f)).collect();
+        let nn = self.ffs.len();
+        let mut indeg = vec![0usize; nn];
+        let mut alive = 0usize;
+        for (v, slot) in indeg.iter_mut().enumerate() {
+            if gone.contains(&v) {
+                continue;
+            }
+            alive += 1;
+            *slot = self.preds[v].iter().filter(|p| !gone.contains(p)).count();
+        }
+        let mut queue: VecDeque<usize> =
+            (0..nn).filter(|v| !gone.contains(v) && indeg[*v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop_front() {
+            seen += 1;
+            for &s in &self.succs[v] {
+                if gone.contains(&s) {
+                    continue;
+                }
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        seen != alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{GateKind, Netlist};
+
+    /// f1 -> f2 -> f3 -> f1 ring plus a self-loop on f4.
+    fn ring_and_self_loop() -> (Netlist, Vec<GateId>) {
+        let mut n = Netlist::new("t");
+        let f: Vec<GateId> = (0..4).map(|i| n.add_gate(GateKind::Dff, format!("f{i}"))).collect();
+        let via = |n: &mut Netlist, a: GateId, b: GateId| {
+            let inv = n.add_gate(GateKind::Inv, "");
+            n.connect(a, inv).unwrap();
+            n.connect(inv, b).unwrap();
+        };
+        via(&mut n, f[0], f[1]);
+        via(&mut n, f[1], f[2]);
+        via(&mut n, f[2], f[0]);
+        via(&mut n, f[3], f[3]);
+        (n, f)
+    }
+
+    #[test]
+    fn edges_follow_combinational_reachability() {
+        let (n, f) = ring_and_self_loop();
+        let g = SGraph::build(&n);
+        assert!(g.has_edge(f[0], f[1]));
+        assert!(g.has_edge(f[1], f[2]));
+        assert!(g.has_edge(f[2], f[0]));
+        assert!(g.has_edge(f[3], f[3]));
+        assert!(!g.has_edge(f[0], f[2]));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn multi_gate_paths_create_single_edge() {
+        let mut n = Netlist::new("t");
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        let f2 = n.add_gate(GateKind::Dff, "f2");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        let g2 = n.add_gate(GateKind::Or, "g2");
+        n.connect(f1, g1).unwrap();
+        n.connect(a, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.connect(a, g2).unwrap();
+        n.connect(g2, f2).unwrap();
+        let g = SGraph::build(&n);
+        assert!(g.has_edge(f1, f2));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn cycle_detection_and_fvs_check() {
+        let (n, f) = ring_and_self_loop();
+        let g = SGraph::build(&n);
+        assert!(g.has_cycle(&[]));
+        assert!(g.has_cycle(&[f[0]]), "self-loop on f3 remains");
+        assert!(!g.has_cycle(&[f[0], f[3]]));
+        assert!(!g.has_cycle(&[f[1], f[3]]));
+    }
+
+    #[test]
+    fn cyclic_nodes_are_exactly_the_cycle_members() {
+        // ring f0->f1->f2->f0, self-loop f3, plus a dangling feeder f4
+        // and a vertex f5 between nothing (acyclic).
+        let (n, f) = ring_self_loop_and_tail();
+        let g = SGraph::build(&n);
+        let mut cyc = g.cyclic_nodes();
+        cyc.sort();
+        let mut expect = vec![f[0], f[1], f[2], f[3]];
+        expect.sort();
+        assert_eq!(cyc, expect);
+    }
+
+    /// ring f0..f2, self-loop f3, f4 -> f0 feeder, f2 -> f5 sink.
+    fn ring_self_loop_and_tail() -> (Netlist, Vec<GateId>) {
+        let mut n = Netlist::new("t");
+        let mut ffs = Vec::new();
+        let mut merges = Vec::new();
+        for i in 0..6 {
+            let or = n.add_gate(GateKind::Or, format!("m{i}"));
+            let f = n.add_gate(GateKind::Dff, format!("f{i}"));
+            n.connect(or, f).unwrap();
+            ffs.push(f);
+            merges.push(or);
+        }
+        let edge = |n: &mut Netlist, a: usize, b: usize| {
+            n.connect(ffs[a], merges[b]).unwrap();
+        };
+        edge(&mut n, 0, 1);
+        edge(&mut n, 1, 2);
+        edge(&mut n, 2, 0);
+        edge(&mut n, 3, 3);
+        edge(&mut n, 4, 0);
+        edge(&mut n, 2, 5);
+        (n, ffs)
+    }
+
+    #[test]
+    fn pipeline_has_no_cycle() {
+        let mut n = Netlist::new("t");
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        let f2 = n.add_gate(GateKind::Dff, "f2");
+        n.connect(f1, f2).unwrap();
+        let d = n.add_input("d");
+        n.connect(d, f1).unwrap();
+        let g = SGraph::build(&n);
+        assert!(!g.has_cycle(&[]));
+        assert!(g.has_edge(f1, f2));
+    }
+}

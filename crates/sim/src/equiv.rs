@@ -1,0 +1,220 @@
+//! Mission-mode equivalence checking by lock-step random simulation.
+//!
+//! Every transformation in this workspace claims to be *transparent in
+//! mission mode*: with the test input `T = 1`, AND test points pass
+//! their functional input, OR test points see `T' = 0`, and scan muxes
+//! select their functional data. This module checks that claim by
+//! simulating the original and the transformed netlist side by side
+//! under shared random stimulus and comparing primary outputs and
+//! (name-matched) flip-flop states every cycle.
+//!
+//! Random simulation is a falsifier, not a prover — but across seeds and
+//! cycles it catches every class of wiring mistake the DFT edits could
+//! make, and it needs no SAT substrate.
+
+use crate::simulator::Simulator;
+use crate::trit::Trit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use tpi_netlist::{GateId, GateKind, Netlist};
+
+/// A mission-mode mismatch found by [`mission_equivalent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Cycle at which the divergence was observed.
+    pub cycle: usize,
+    /// Name of the diverging output port or flip-flop.
+    pub signal: String,
+    /// Value in the original netlist.
+    pub original: Trit,
+    /// Value in the transformed netlist.
+    pub transformed: Trit,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: `{}` reads {} in the original but {} after transformation",
+            self.cycle, self.signal, self.original, self.transformed
+        )
+    }
+}
+
+/// Checks that `transformed` behaves like `original` in mission mode.
+///
+/// Stimulus: `cycles` clock cycles of random values on the *original*
+/// netlist's primary inputs (matched by name in the transformed one);
+/// the transformed netlist's test input is held at 1 and any extra
+/// inputs (scan-in, stubs) at `X`. Comparison covers every primary
+/// output and every name-matched flip-flop, ignoring cycles where the
+/// original itself reads `X` (unknowns are allowed to differ — the mux
+/// `X`-merging rules make the transformed side at least as defined).
+///
+/// Returns the first mismatch, or `None` when the run is clean.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{NetlistBuilder, GateKind};
+/// use tpi_sim::mission_equivalent;
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a");
+/// b.dff("q", "g");
+/// b.gate(GateKind::Nand, "g", &["a", "q"]);
+/// b.output("o", "g");
+/// let original = b.finish()?;
+/// let mut transformed = original.clone();
+/// let a = transformed.find("a").unwrap();
+/// transformed.insert_and_test_point(a)?; // transparent when T = 1
+/// assert!(mission_equivalent(&original, &transformed, 32, 0xfeed).is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn mission_equivalent(
+    original: &Netlist,
+    transformed: &Netlist,
+    cycles: usize,
+    seed: u64,
+) -> Option<Mismatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim_a = Simulator::new(original);
+    let mut sim_b = Simulator::new(transformed);
+    if let Some(t) = transformed.test_input() {
+        sim_b.set_input(t, Trit::One); // mission mode
+    }
+    // Name-matched interface.
+    let pis: Vec<(GateId, GateId)> = original
+        .inputs()
+        .into_iter()
+        .filter_map(|g| transformed.find(original.gate_name(g)).map(|h| (g, h)))
+        .collect();
+    let ffs: Vec<(GateId, GateId)> = original
+        .dffs()
+        .into_iter()
+        .filter_map(|g| {
+            transformed
+                .find(original.gate_name(g))
+                .filter(|&h| transformed.kind(h) == GateKind::Dff)
+                .map(|h| (g, h))
+        })
+        .collect();
+    let pos: Vec<(GateId, GateId)> = original
+        .outputs()
+        .into_iter()
+        .filter_map(|g| {
+            transformed
+                .find(original.gate_name(g))
+                .filter(|&h| transformed.kind(h) == GateKind::Output)
+                .map(|h| (g, h))
+        })
+        .collect();
+
+    // Shared random reset state, so the comparison is not drowned in X.
+    for &(fa, fb) in &ffs {
+        let v = Trit::from(rng.gen_bool(0.5));
+        sim_a.set_state(fa, v);
+        sim_b.set_state(fb, v);
+    }
+
+    for cycle in 0..cycles {
+        for &(pa, pb) in &pis {
+            let v = Trit::from(rng.gen_bool(0.5));
+            sim_a.set_input(pa, v);
+            sim_b.set_input(pb, v);
+        }
+        // Compare outputs combinationally before the clock edge.
+        for &(oa, ob) in &pos {
+            let (va, vb) = (sim_a.output(oa), sim_b.output(ob));
+            if va.is_known() && va != vb {
+                return Some(Mismatch {
+                    cycle,
+                    signal: original.gate_name(oa).to_string(),
+                    original: va,
+                    transformed: vb,
+                });
+            }
+        }
+        sim_a.step();
+        sim_b.step();
+        for &(fa, fb) in &ffs {
+            let (va, vb) = (sim_a.value(fa), sim_b.value(fb));
+            if va.is_known() && va != vb {
+                return Some(Mismatch {
+                    cycle,
+                    signal: original.gate_name(fa).to_string(),
+                    original: va,
+                    transformed: vb,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    fn seq_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("c");
+        b.dff("q0", "g1");
+        b.dff("q1", "q0");
+        b.gate(GateKind::Nand, "g1", &["a", "q1"]);
+        b.gate(GateKind::Or, "y", &["g1", "c"]);
+        b.output("o", "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn test_points_are_mission_transparent() {
+        let original = seq_circuit();
+        let mut t = original.clone();
+        t.insert_and_test_point(original.find("g1").unwrap()).unwrap();
+        t.insert_or_test_point(original.find("a").unwrap()).unwrap();
+        assert_eq!(mission_equivalent(&original, &t, 64, 1), None);
+    }
+
+    #[test]
+    fn scan_muxes_are_mission_transparent() {
+        let original = seq_circuit();
+        let mut t = original.clone();
+        let si = t.add_input("si");
+        let q0 = t.find("q0").unwrap();
+        t.insert_scan_mux_at_pin(q0, 0, si).unwrap();
+        assert_eq!(mission_equivalent(&original, &t, 64, 2), None);
+    }
+
+    #[test]
+    fn a_real_wiring_bug_is_caught() {
+        let original = seq_circuit();
+        let mut t = original.clone();
+        // Sabotage: swap g1's fanin from `a` to `c` — functionally different.
+        let g1 = t.find("g1").unwrap();
+        let c = t.find("c").unwrap();
+        t.replace_fanin(g1, 0, c).unwrap();
+        let m = mission_equivalent(&original, &t, 64, 3);
+        assert!(m.is_some(), "sabotage must be detected");
+    }
+
+    #[test]
+    fn miswired_scan_mux_is_caught() {
+        let original = seq_circuit();
+        let mut t = original.clone();
+        let si = t.add_input("si");
+        let q0 = t.find("q0").unwrap();
+        let mux = t.insert_scan_mux_at_pin(q0, 0, si).unwrap();
+        // Sabotage: swap the mux's data pins (functional data on d0).
+        let d1 = t.fanin(mux)[2];
+        let d0 = t.fanin(mux)[1];
+        t.replace_fanin(mux, 1, d1).unwrap();
+        t.replace_fanin(mux, 2, d0).unwrap();
+        let m = mission_equivalent(&original, &t, 64, 4);
+        assert!(m.is_some(), "swapped mux pins must be detected");
+    }
+}

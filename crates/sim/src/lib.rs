@@ -1,0 +1,29 @@
+//! Three-valued logic, constant implication and sequential simulation.
+//!
+//! This crate provides the logic-domain substrate of the DAC'96
+//! test-point-insertion reproduction:
+//!
+//! * [`Trit`] — the 0/1/X value domain and per-gate ternary evaluation
+//!   ([`eval_gate`]);
+//! * [`Implication`] — the forward constant-implication engine of §III:
+//!   assigning a constant at a net (as a test point or a primary-input
+//!   value would) implies constants in its fanout cone; forced values
+//!   *override* previously implied ones, which is exactly the paper's
+//!   "side-effect constants may be changed by subsequent insertions"
+//!   semantics (§IV.A, Fig. 6);
+//! * [`Simulator`] — a ternary cycle-based sequential simulator used to
+//!   verify established scan chains by shifting patterns through them
+//!   (the paper's §V flush test);
+//! * [`mission_equivalent`] — lock-step random-simulation equivalence of
+//!   a transformed netlist against its original in mission mode
+//!   (`T = 1`), the transparency contract every DFT edit must honor.
+
+mod equiv;
+mod implication;
+mod simulator;
+mod trit;
+
+pub use equiv::{mission_equivalent, Mismatch};
+pub use implication::{Assignment, Implication, Preview};
+pub use simulator::Simulator;
+pub use trit::{eval_gate, Trit};

@@ -1,0 +1,240 @@
+//! Ternary cycle-based sequential simulator.
+//!
+//! Used by the scan-chain *flush test* (§V of the paper): after the DFT
+//! transformations, the chain is exercised by holding the circuit in test
+//! mode, shifting a pattern of alternating 0's and 1's in, and comparing
+//! the scan-out stream. Flip-flops start at `X`, so the simulator also
+//! demonstrates that the flush actually initializes the chain.
+
+use crate::trit::{eval_gate, Trit};
+use std::collections::HashMap;
+use tpi_netlist::{GateId, GateKind, Netlist};
+
+/// A cycle-based, ternary, full-circuit simulator.
+///
+/// All primary inputs default to `X` until driven with
+/// [`Simulator::set_input`]; flip-flops power up at `X` unless set with
+/// [`Simulator::set_state`]. Each [`Simulator::step`] evaluates the
+/// combinational network and then clocks every flip-flop.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{Netlist, GateKind};
+/// use tpi_sim::{Simulator, Trit};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let d = n.add_input("d");
+/// let q = n.add_gate(GateKind::Dff, "q");
+/// n.connect(d, q)?;
+/// let mut sim = Simulator::new(&n);
+/// sim.set_input(d, Trit::One);
+/// sim.step();
+/// assert_eq!(sim.value(q), Trit::One);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<Trit>,
+    inputs: HashMap<GateId, Trit>,
+    order: Vec<GateId>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all inputs and states unknown.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = netlist.topo_order().expect("netlist must be acyclic");
+        let mut sim = Simulator {
+            netlist,
+            values: vec![Trit::X; netlist.gate_count()],
+            inputs: HashMap::new(),
+            order,
+            cycle: 0,
+        };
+        sim.settle();
+        sim
+    }
+
+    /// The number of completed clock cycles.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives a primary input for subsequent evaluation. The value holds
+    /// until overwritten.
+    pub fn set_input(&mut self, input: GateId, value: Trit) {
+        debug_assert_eq!(self.netlist.kind(input), GateKind::Input);
+        self.inputs.insert(input, value);
+        self.settle();
+    }
+
+    /// Sets a flip-flop's current state directly (e.g. for a known reset).
+    pub fn set_state(&mut self, ff: GateId, value: Trit) {
+        debug_assert_eq!(self.netlist.kind(ff), GateKind::Dff);
+        self.values[ff.index()] = value;
+        self.settle();
+    }
+
+    /// The settled value of any net in the current cycle.
+    #[inline]
+    pub fn value(&self, net: GateId) -> Trit {
+        self.values[net.index()]
+    }
+
+    /// Value observed at a primary output port.
+    pub fn output(&self, port: GateId) -> Trit {
+        debug_assert_eq!(self.netlist.kind(port), GateKind::Output);
+        self.value(self.netlist.fanin(port)[0])
+    }
+
+    /// Evaluates the combinational network with current inputs/states.
+    fn settle(&mut self) {
+        for &g in &self.order {
+            let kind = self.netlist.kind(g);
+            match kind {
+                GateKind::Input => {
+                    self.values[g.index()] = self.inputs.get(&g).copied().unwrap_or(Trit::X);
+                }
+                GateKind::Dff => { /* holds state */ }
+                GateKind::Output => {
+                    self.values[g.index()] = self.values[self.netlist.fanin(g)[0].index()];
+                }
+                _ => {
+                    let ins: Vec<Trit> = self
+                        .netlist
+                        .fanin(g)
+                        .iter()
+                        .map(|&f| self.values[f.index()])
+                        .collect();
+                    self.values[g.index()] = eval_gate(kind, &ins);
+                }
+            }
+        }
+    }
+
+    /// Clocks the circuit once: flip-flops capture their D values, then
+    /// the combinational network settles again.
+    pub fn step(&mut self) {
+        let next: Vec<(GateId, Trit)> = self
+            .netlist
+            .gate_ids()
+            .filter(|&g| self.netlist.kind(g) == GateKind::Dff)
+            .map(|g| (g, self.values[self.netlist.fanin(g)[0].index()]))
+            .collect();
+        for (g, v) in next {
+            self.values[g.index()] = v;
+        }
+        self.cycle += 1;
+        self.settle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{GateKind, Netlist};
+
+    /// Two-stage shift register.
+    fn shift2() -> (Netlist, GateId, GateId, GateId) {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        n.connect(d, f1).unwrap();
+        let f2 = n.add_gate(GateKind::Dff, "f2");
+        n.connect(f1, f2).unwrap();
+        (n, d, f1, f2)
+    }
+
+    #[test]
+    fn shift_register_delays_by_depth() {
+        let (n, d, f1, f2) = shift2();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(d, Trit::One);
+        sim.step();
+        assert_eq!(sim.value(f1), Trit::One);
+        assert_eq!(sim.value(f2), Trit::X, "power-up X still in f2");
+        sim.set_input(d, Trit::Zero);
+        sim.step();
+        assert_eq!(sim.value(f1), Trit::Zero);
+        assert_eq!(sim.value(f2), Trit::One);
+        assert_eq!(sim.cycle(), 2);
+    }
+
+    #[test]
+    fn unknown_states_propagate_until_flushed() {
+        let (n, d, _f1, f2) = shift2();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(d, Trit::One);
+        assert_eq!(sim.value(f2), Trit::X);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.value(f2), Trit::One, "two cycles flush two stages");
+    }
+
+    #[test]
+    fn combinational_logic_sees_latest_inputs_without_clock() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nor, "g");
+        n.connect(a, g).unwrap();
+        n.connect(b, g).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Trit::Zero);
+        sim.set_input(b, Trit::Zero);
+        assert_eq!(sim.value(g), Trit::One);
+        sim.set_input(b, Trit::One);
+        assert_eq!(sim.value(g), Trit::Zero);
+    }
+
+    #[test]
+    fn output_port_reflects_driver() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i = n.add_gate(GateKind::Inv, "i");
+        n.connect(a, i).unwrap();
+        let o = n.add_output("o", i).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Trit::Zero);
+        assert_eq!(sim.output(o), Trit::One);
+    }
+
+    #[test]
+    fn set_state_overrides_power_up_x() {
+        let (n, _d, f1, _f2) = shift2();
+        let mut sim = Simulator::new(&n);
+        sim.set_state(f1, Trit::One);
+        assert_eq!(sim.value(f1), Trit::One);
+    }
+
+    #[test]
+    fn scan_mux_in_test_mode_routes_scan_data() {
+        // FF whose D comes from MUX(T, scan_in, functional)
+        let mut n = Netlist::new("t");
+        let func = n.add_input("func");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        n.connect(func, ff).unwrap();
+        let si = n.add_input("si");
+        let mux = n.insert_scan_mux(func, si).unwrap();
+        assert_eq!(n.fanin(ff), &[mux]);
+        let t = n.test_input().unwrap();
+        let mut sim = Simulator::new(&n);
+        // test mode: T = 0 selects the scan input
+        sim.set_input(t, Trit::Zero);
+        sim.set_input(si, Trit::One);
+        sim.set_input(func, Trit::Zero);
+        sim.step();
+        assert_eq!(sim.value(ff), Trit::One);
+        // mission mode: T = 1 selects functional data
+        sim.set_input(t, Trit::One);
+        sim.step();
+        assert_eq!(sim.value(ff), Trit::Zero);
+    }
+}

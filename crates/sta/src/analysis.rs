@@ -1,0 +1,639 @@
+//! Arrival/required/slack computation.
+
+use std::collections::VecDeque;
+use tpi_netlist::{GateId, GateKind, Netlist, TechLibrary};
+
+/// How the required times at timing endpoints are set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockConstraint {
+    /// A fixed cycle time.
+    Period(f64),
+    /// Use the longest-path delay of the analyzed circuit itself as the
+    /// constraint (the paper's setup: "the longest delay of the optimized
+    /// circuit is used as the circuit timing constraint").
+    LongestPath,
+}
+
+const INF: f64 = f64::INFINITY;
+
+/// A static timing analysis over one netlist snapshot.
+///
+/// Timing quantities are attached to *nets* (gate outputs). Endpoints are
+/// primary-output ports and flip-flop D pins; sources are primary inputs
+/// (arrival 0) and flip-flop outputs (arrival = clock-to-Q delay of the
+/// DFF cell).
+///
+/// The slack of a net bounds the extra delay that may be spliced into it
+/// without violating the clock constraint — the quantity the paper's
+/// Equations 2–4 compare against `t_mux`, `t_and`, `t_or`.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{Netlist, GateKind, TechLibrary};
+/// use tpi_sta::{Sta, ClockConstraint};
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let g = n.add_gate(GateKind::Inv, "g");
+/// n.connect(a, g)?;
+/// n.add_output("o", g)?;
+/// let lib = TechLibrary::paper();
+/// let sta = Sta::analyze(&n, &lib, ClockConstraint::LongestPath);
+/// assert!(sta.slack(a) >= 0.0);
+/// assert!(sta.circuit_delay() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sta {
+    lib: TechLibrary,
+    constraint: ClockConstraint,
+    clock: f64,
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    load: Vec<f64>,
+    disabled: Vec<bool>,
+    max_endpoint_arrival: f64,
+}
+
+impl Sta {
+    /// Runs a full analysis of `n` under library `lib`.
+    ///
+    /// # Panics
+    /// Panics if the netlist has a combinational cycle.
+    pub fn analyze(n: &Netlist, lib: &TechLibrary, constraint: ClockConstraint) -> Self {
+        let mut sta = Sta {
+            lib: lib.clone(),
+            constraint,
+            clock: 0.0,
+            arrival: Vec::new(),
+            required: Vec::new(),
+            load: Vec::new(),
+            disabled: Vec::new(),
+            max_endpoint_arrival: 0.0,
+        };
+        sta.recompute(n);
+        sta
+    }
+
+    /// The clock constraint value currently in force.
+    #[inline]
+    pub fn clock_period(&self) -> f64 {
+        self.clock
+    }
+
+    /// Pins the clock constraint to a fixed period for all subsequent
+    /// recomputations (used after capturing the baseline longest path).
+    pub fn freeze_clock(&mut self) {
+        self.constraint = ClockConstraint::Period(self.clock);
+    }
+
+    /// Arrival time at the output net of `g`.
+    #[inline]
+    pub fn arrival(&self, g: GateId) -> f64 {
+        self.arrival[g.index()]
+    }
+
+    /// Required time at the output net of `g`.
+    #[inline]
+    pub fn required(&self, g: GateId) -> f64 {
+        self.required[g.index()]
+    }
+
+    /// Slack of the net driven by `g`: `required - arrival`.
+    #[inline]
+    pub fn slack(&self, g: GateId) -> f64 {
+        self.required[g.index()] - self.arrival[g.index()]
+    }
+
+    /// Capacitive load currently driven by `g`.
+    #[inline]
+    pub fn load(&self, g: GateId) -> f64 {
+        self.load[g.index()]
+    }
+
+    /// Whether `g` lies on a disabled (false) path rooted at the test
+    /// input.
+    #[inline]
+    pub fn is_disabled(&self, g: GateId) -> bool {
+        self.disabled[g.index()]
+    }
+
+    /// The longest enabled path delay: max arrival over all endpoints.
+    pub fn circuit_delay(&self) -> f64 {
+        self.max_endpoint_arrival
+    }
+
+    /// Slack margin check for splicing a new gate of `kind` into net `g`:
+    /// true when the net can absorb the inserted gate's delay without
+    /// violating the constraint. The inserted gate drives `g`'s current
+    /// load, so its delay is `block(kind) + drive(kind) * load(g)` —
+    /// e.g. exactly 2.2 for a MUX on a single-fanout net (§IV.C).
+    pub fn can_insert(&self, g: GateId, kind: GateKind) -> bool {
+        self.slack(g) > self.insertion_cost(g, kind)
+    }
+
+    /// The slack cost of splicing `kind` into net `g` (see
+    /// [`Sta::can_insert`]).
+    pub fn insertion_cost(&self, g: GateId, kind: GateKind) -> f64 {
+        let load = if self.load[g.index()] > 0.0 { self.load[g.index()] } else { 1.0 };
+        self.lib.cell(kind).delay(load)
+    }
+
+    /// Extracts one critical path (as a list of nets from a source to an
+    /// endpoint driver) realizing the longest enabled delay.
+    pub fn critical_path(&self, n: &Netlist) -> Vec<GateId> {
+        // Find the endpoint driver with the max arrival.
+        let mut best: Option<GateId> = None;
+        for g in n.gate_ids() {
+            if self.disabled[g.index()] {
+                continue;
+            }
+            let is_endpoint_driver = n
+                .fanout(g)
+                .iter()
+                .any(|&(s, _)| matches!(n.kind(s), GateKind::Output | GateKind::Dff));
+            if !is_endpoint_driver {
+                continue;
+            }
+            if best.is_none_or(|b| self.arrival[g.index()] > self.arrival[b.index()]) {
+                best = Some(g);
+            }
+        }
+        let Some(mut cur) = best else { return Vec::new() };
+        let mut path = vec![cur];
+        // Walk backwards along the max-arrival fanin.
+        loop {
+            let kind = n.kind(cur);
+            if kind.is_source() {
+                break;
+            }
+            let gate_delay = self.lib.cell(kind).delay(self.load[cur.index()]);
+            let target = self.arrival[cur.index()] - gate_delay;
+            let Some(&prev) = n.fanin(cur).iter().filter(|f| !self.disabled[f.index()]).min_by(
+                |&&x, &&y| {
+                    let dx = (self.arrival[x.index()] - target).abs();
+                    let dy = (self.arrival[y.index()] - target).abs();
+                    dx.partial_cmp(&dy).expect("finite arrivals")
+                },
+            ) else {
+                break;
+            };
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        path
+    }
+
+    // ------------------------------------------------------------------
+    // Full recomputation
+    // ------------------------------------------------------------------
+
+    /// Recomputes everything from scratch (loads, disabledness, arrival,
+    /// required). Also the way to pick up structural edits when the
+    /// incremental path is not applicable.
+    pub fn recompute(&mut self, n: &Netlist) {
+        let count = n.gate_count();
+        self.arrival = vec![0.0; count];
+        self.required = vec![INF; count];
+        self.load = vec![0.0; count];
+        self.disabled = vec![false; count];
+        let order = n.topo_order().expect("netlist must be acyclic");
+
+        // Loads.
+        for g in n.gate_ids() {
+            self.load[g.index()] = self.compute_load(n, g);
+        }
+        // Disabled cone: test input, its inverter, and closure.
+        if let Some(t) = n.test_input() {
+            self.disabled[t.index()] = true;
+        }
+        for &g in &order {
+            if self.disabled[g.index()] || n.kind(g).is_source() {
+                continue;
+            }
+            let fi = n.fanin(g);
+            if !fi.is_empty() && fi.iter().all(|f| self.disabled[f.index()]) {
+                self.disabled[g.index()] = true;
+            }
+        }
+        // Arrival, forward.
+        for &g in &order {
+            self.arrival[g.index()] = self.compute_arrival(n, g);
+        }
+        // Clock.
+        self.max_endpoint_arrival = self.find_max_endpoint_arrival(n);
+        self.clock = match self.constraint {
+            ClockConstraint::Period(p) => p,
+            ClockConstraint::LongestPath => self.max_endpoint_arrival,
+        };
+        // Required, backward.
+        for &g in order.iter().rev() {
+            self.required[g.index()] = self.compute_required(n, g);
+        }
+    }
+
+    fn compute_load(&self, n: &Netlist, g: GateId) -> f64 {
+        let mut load = 0.0;
+        for &(sink, pin) in n.fanout(g) {
+            // Modeling decision: the scan-data pin (d0, pin 1) of a MUX is
+            // exercised only in test mode, so it presents no mission-mode
+            // load. This keeps scan-chain stitching timing-neutral, as the
+            // paper assumes when it ignores scan routing overhead.
+            if n.kind(sink) == GateKind::Mux && pin == 1 {
+                continue;
+            }
+            load += if n.kind(sink) == GateKind::Output {
+                self.lib.output_load
+            } else {
+                self.lib.cell(n.kind(sink)).input_load
+            };
+        }
+        load
+    }
+
+    /// Slack available on a flip-flop's D *connection*: the clock period
+    /// minus the arrival at its D driver. This is the quantity ref. \[7\]'s
+    /// TD-CB compares against `t_mux` when deciding whether a flip-flop
+    /// may be conventionally scanned without timing degradation.
+    pub fn endpoint_slack(&self, n: &Netlist, ff: GateId) -> f64 {
+        debug_assert_eq!(n.kind(ff), GateKind::Dff);
+        let d = n.fanin(ff)[0];
+        self.clock - self.arrival[d.index()]
+    }
+
+    fn compute_arrival(&self, n: &Netlist, g: GateId) -> f64 {
+        let kind = n.kind(g);
+        if self.disabled[g.index()] {
+            return 0.0;
+        }
+        match kind {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Dff => self.lib.cell(GateKind::Dff).delay(self.load[g.index()]),
+            GateKind::Output => self
+                .arrival
+                .get(n.fanin(g)[0].index())
+                .copied()
+                .unwrap_or(0.0),
+            _ => {
+                let gate_delay = self.lib.cell(kind).delay(self.load[g.index()]);
+                let max_in = n
+                    .fanin(g)
+                    .iter()
+                    .filter(|f| !self.disabled[f.index()])
+                    .map(|&f| self.arrival[f.index()])
+                    .fold(0.0, f64::max);
+                max_in + gate_delay
+            }
+        }
+    }
+
+    fn compute_required(&self, n: &Netlist, g: GateId) -> f64 {
+        if self.disabled[g.index()] {
+            return INF;
+        }
+        let mut req = INF;
+        for &(sink, _) in n.fanout(g) {
+            let r = match n.kind(sink) {
+                GateKind::Output | GateKind::Dff => self.clock,
+                k if k.is_combinational() => {
+                    if self.disabled[sink.index()] {
+                        continue;
+                    }
+                    let d = self.lib.cell(k).delay(self.load[sink.index()]);
+                    self.required[sink.index()] - d
+                }
+                _ => continue,
+            };
+            req = req.min(r);
+        }
+        req
+    }
+
+    fn find_max_endpoint_arrival(&self, n: &Netlist) -> f64 {
+        let mut max = 0.0;
+        for g in n.gate_ids() {
+            match n.kind(g) {
+                GateKind::Output => max = f64::max(max, self.arrival[g.index()]),
+                GateKind::Dff => {
+                    let d = n.fanin(g)[0];
+                    if !self.disabled[d.index()] {
+                        max = f64::max(max, self.arrival[d.index()]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        max
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental update
+    // ------------------------------------------------------------------
+
+    /// Incrementally repairs the analysis after a structural edit.
+    ///
+    /// `seeds` are the gates whose connectivity changed: newly inserted
+    /// gates plus every pre-existing gate whose fanin or fanout list was
+    /// touched. Arrival changes are flushed forward and required changes
+    /// backward from those seeds only; the rest of the circuit is not
+    /// revisited. The clock constraint is *not* re-derived (a frozen
+    /// period keeps measuring degradation against the original target).
+    ///
+    /// Equivalent to [`Sta::recompute`] for any edit (verified by tests
+    /// and the property suite), but touches only the affected cones.
+    pub fn update_after_edit(&mut self, n: &Netlist, seeds: &[GateId]) {
+        let count = n.gate_count();
+        self.arrival.resize(count, 0.0);
+        self.required.resize(count, INF);
+        self.load.resize(count, 0.0);
+        self.disabled.resize(count, false);
+        if let Some(t) = n.test_input() {
+            self.disabled[t.index()] = true;
+        }
+
+        // Phase 0: loads and disabledness around the seeds. A seed's load
+        // may have changed (fanouts moved); its fanins' loads too.
+        let mut arrival_work: VecDeque<GateId> = VecDeque::new();
+        let mut queued = vec![false; count];
+        let push = |q: &mut VecDeque<GateId>, queued: &mut Vec<bool>, g: GateId| {
+            if !queued[g.index()] {
+                queued[g.index()] = true;
+                q.push_back(g);
+            }
+        };
+        for &s in seeds {
+            self.load[s.index()] = self.compute_load(n, s);
+            push(&mut arrival_work, &mut queued, s);
+            for &f in n.fanin(s) {
+                self.load[f.index()] = self.compute_load(n, f);
+                push(&mut arrival_work, &mut queued, f);
+            }
+            for &(sink, _) in n.fanout(s) {
+                push(&mut arrival_work, &mut queued, sink);
+            }
+        }
+
+        // Phase 1: forward arrival repair. FIFO worklist; a gate may be
+        // visited more than once on reconvergence, which is bounded and
+        // terminates because the graph is acyclic.
+        let mut required_seeds: Vec<GateId> = Vec::new();
+        while let Some(g) = arrival_work.pop_front() {
+            queued[g.index()] = false;
+            // Disabledness can spread to new gates fed only by T.
+            if !self.disabled[g.index()] && !n.kind(g).is_source() {
+                let fi = n.fanin(g);
+                if !fi.is_empty() && fi.iter().all(|f| self.disabled[f.index()]) {
+                    self.disabled[g.index()] = true;
+                }
+            }
+            let a = self.compute_arrival(n, g);
+            let changed = (a - self.arrival[g.index()]).abs() > 1e-12;
+            self.arrival[g.index()] = a;
+            required_seeds.push(g);
+            if changed || n.kind(g).is_combinational() && self.required[g.index()] == INF {
+                for &(sink, _) in n.fanout(g) {
+                    if n.kind(sink) == GateKind::Dff {
+                        continue;
+                    }
+                    push(&mut arrival_work, &mut queued, sink);
+                }
+            }
+        }
+
+        // The circuit delay may have moved.
+        self.max_endpoint_arrival = self.find_max_endpoint_arrival(n);
+        if matches!(self.constraint, ClockConstraint::LongestPath) {
+            self.clock = self.max_endpoint_arrival;
+            // A moved clock invalidates all required times.
+            self.recompute_required_full(n);
+            return;
+        }
+
+        // Phase 2: backward required repair.
+        let mut req_work: VecDeque<GateId> = VecDeque::new();
+        let mut rqueued = vec![false; count];
+        for g in required_seeds {
+            if !rqueued[g.index()] {
+                rqueued[g.index()] = true;
+                req_work.push_back(g);
+            }
+        }
+        while let Some(g) = req_work.pop_front() {
+            rqueued[g.index()] = false;
+            let r = self.compute_required(n, g);
+            if (r - self.required[g.index()]).abs() > 1e-12
+                || self.required[g.index()].is_infinite() != r.is_infinite()
+            {
+                self.required[g.index()] = r;
+                for &f in n.fanin(g) {
+                    if n.kind(g) == GateKind::Dff {
+                        continue;
+                    }
+                    if !rqueued[f.index()] {
+                        rqueued[f.index()] = true;
+                        req_work.push_back(f);
+                    }
+                }
+            } else {
+                self.required[g.index()] = r;
+            }
+        }
+    }
+
+    fn recompute_required_full(&mut self, n: &Netlist) {
+        let order = n.topo_order().expect("netlist must be acyclic");
+        for &g in order.iter().rev() {
+            self.required[g.index()] = self.compute_required(n, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{GateKind, Netlist, TechLibrary};
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper()
+    }
+
+    /// PI -> NAND -> NAND -> FF, with a short side branch.
+    fn pipeline() -> (Netlist, GateId, GateId, GateId, GateId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::Nand, "g1");
+        n.connect(a, g1).unwrap();
+        n.connect(b, g1).unwrap();
+        let g2 = n.add_gate(GateKind::Nand, "g2");
+        n.connect(g1, g2).unwrap();
+        n.connect(b, g2).unwrap();
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        n.connect(g2, ff).unwrap();
+        n.add_output("o", ff).unwrap();
+        (n, a, b, g1, g2)
+    }
+
+    #[test]
+    fn arrival_accumulates_linear_delays() {
+        let (n, a, _b, g1, g2) = pipeline();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        // g1 drives 1 pin (g2): delay = 1.0 + 0.2 = 1.2
+        assert!((sta.arrival(g1) - 1.2).abs() < 1e-9, "{}", sta.arrival(g1));
+        // g2 drives FF D pin: delay = 1.2; arrival = 1.2 + 1.2 = 2.4
+        assert!((sta.arrival(g2) - 2.4).abs() < 1e-9);
+        assert!((sta.arrival(a) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path_under_longest_path_constraint() {
+        let (n, _a, _b, g1, g2) = pipeline();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        assert!(sta.slack(g2).abs() < 1e-9);
+        assert!(sta.slack(g1).abs() < 1e-9);
+        assert!(sta.circuit_delay() > 0.0);
+    }
+
+    #[test]
+    fn ff_output_arrival_is_clock_to_q() {
+        let mut n = Netlist::new("t");
+        let ff = n.add_gate(GateKind::Dff, "ff");
+        let i = n.add_gate(GateKind::Inv, "i");
+        n.connect(ff, i).unwrap();
+        n.connect(i, ff).unwrap();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        // DFF drives 1 pin: clk->q = 2.0 + 0.2 = 2.2
+        assert!((sta.arrival(ff) - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_input_paths_are_false_paths() {
+        let (mut n, a, _b, _g1, g2) = pipeline();
+        let before = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath).circuit_delay();
+        // Insert a test point; the new AND adds its own delay, but the
+        // T fanin must not contribute an arrival.
+        n.insert_and_test_point(a).unwrap();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        let t = n.test_input().unwrap();
+        assert!(sta.is_disabled(t));
+        let after = sta.circuit_delay();
+        // Only the AND's delay is added (1.0 + 0.2*1), not anything from T.
+        assert!((after - before - 1.2).abs() < 1e-9, "before={before} after={after}");
+        let _ = g2;
+    }
+
+    #[test]
+    fn t_bar_inverter_is_disabled_too() {
+        let (mut n, a, _b, _g1, _g2) = pipeline();
+        n.insert_or_test_point(a).unwrap();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        assert!(sta.is_disabled(n.test_input().unwrap()));
+        assert!(sta.is_disabled(n.test_input_bar().unwrap()));
+    }
+
+    #[test]
+    fn mux_insertion_cost_matches_paper() {
+        let (n, _a, _b, g1, _g2) = pipeline();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        // g1 drives one pin: inserting a MUX costs 2.0 + 0.2 = 2.2 (§IV.C)
+        assert!((sta.insertion_cost(g1, GateKind::Mux) - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn can_insert_respects_slack() {
+        let (mut n, a, b, _g1, _g2) = pipeline();
+        // Give `a` a fast side path so it has slack: a long chain from b
+        // dominates the critical path.
+        let mut prev = b;
+        for i in 0..5 {
+            let inv = n.add_gate(GateKind::Inv, format!("pad{i}"));
+            n.connect(prev, inv).unwrap();
+            prev = inv;
+        }
+        let ff2 = n.add_gate(GateKind::Dff, "ff2");
+        n.connect(prev, ff2).unwrap();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        assert!(sta.slack(a) > 0.0);
+        assert!(sta.can_insert(a, GateKind::And) == (sta.slack(a) > sta.insertion_cost(a, GateKind::And)));
+    }
+
+    #[test]
+    fn incremental_matches_full_after_test_point() {
+        let (mut n, a, _b, g1, _g2) = pipeline();
+        let mut sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        sta.freeze_clock();
+        let tp = n.insert_and_test_point(g1).unwrap();
+        let mut seeds = vec![tp, a, g1];
+        seeds.push(n.test_input().unwrap());
+        sta.update_after_edit(&n, &seeds);
+        let mut full = Sta::analyze(&n, &lib(), ClockConstraint::Period(sta.clock_period()));
+        full.freeze_clock();
+        for g in n.gate_ids() {
+            assert!(
+                (sta.arrival(g) - full.arrival(g)).abs() < 1e-9,
+                "arrival mismatch at {} ({}): {} vs {}",
+                g,
+                n.gate_name(g),
+                sta.arrival(g),
+                full.arrival(g)
+            );
+            let (ri, rf) = (sta.required(g), full.required(g));
+            assert!(
+                (ri - rf).abs() < 1e-9 || (ri.is_infinite() && rf.is_infinite()),
+                "required mismatch at {} ({}): {} vs {}",
+                g,
+                n.gate_name(g),
+                ri,
+                rf
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_after_scan_mux() {
+        let (mut n, _a, _b, _g1, g2) = pipeline();
+        let mut sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        sta.freeze_clock();
+        let si = n.add_input("si");
+        let mux = n.insert_scan_mux(g2, si).unwrap();
+        let seeds = vec![mux, si, g2, n.test_input().unwrap()];
+        sta.update_after_edit(&n, &seeds);
+        let full = Sta::analyze(&n, &lib(), ClockConstraint::Period(sta.clock_period()));
+        for g in n.gate_ids() {
+            assert!((sta.arrival(g) - full.arrival(g)).abs() < 1e-9, "at {}", n.gate_name(g));
+            let (ri, rf) = (sta.required(g), full.required(g));
+            assert!(
+                (ri - rf).abs() < 1e-9 || (ri.is_infinite() && rf.is_infinite()),
+                "required at {}",
+                n.gate_name(g)
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_ends_at_max_arrival_driver() {
+        let (n, _a, _b, _g1, g2) = pipeline();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
+        let path = sta.critical_path(&n);
+        assert_eq!(*path.last().unwrap(), g2);
+        assert!(path.len() >= 2);
+        // Path arrivals strictly increase.
+        for w in path.windows(2) {
+            assert!(sta.arrival(w[0]) < sta.arrival(w[1]) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_net_has_infinite_required() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i = n.add_gate(GateKind::Inv, "dangle");
+        n.connect(a, i).unwrap();
+        let sta = Sta::analyze(&n, &lib(), ClockConstraint::Period(10.0));
+        assert!(sta.required(i).is_infinite());
+        assert!(sta.slack(i).is_infinite());
+    }
+}

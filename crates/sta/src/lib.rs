@@ -1,0 +1,26 @@
+//! Static timing analysis for the scanpath DFT toolkit.
+//!
+//! Implements the timing model of §II of the DAC'96 paper (inherited from
+//! SIS): the delay across a gate `g` is linear in its capacitive load,
+//! `delay(g) = block(g) + drive(g) * load`, with the per-cell parameters
+//! taken from a [`tpi_netlist::TechLibrary`]. *Slack* is the difference
+//! between required and arrival times; every connection must keep a
+//! positive slack for the circuit to meet its cycle time.
+//!
+//! Two paper-specific features:
+//!
+//! * **False paths from the test input.** §IV.C: in mission mode `T` is
+//!   constant 1, so every path originating at `T` (and at `T'`) is a false
+//!   path and must be excluded from the analysis. [`Sta`] automatically
+//!   disables the test input, its inverter, and any gate all of whose
+//!   fanins are disabled.
+//! * **Incremental update.** §IV.B inserts gates one at a time and runs
+//!   "an incremental static timing analysis for the next run";
+//!   [`Sta::update_after_edit`] propagates arrival/required changes from
+//!   the edit site only.
+
+mod analysis;
+pub mod report;
+
+pub use analysis::{ClockConstraint, Sta};
+pub use report::{slack_histogram, worst_paths, PathReport};

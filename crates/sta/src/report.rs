@@ -1,0 +1,172 @@
+//! Timing reports: worst paths and slack distribution.
+//!
+//! TPTIME's effectiveness depends on *where* slack lives: the paper's
+//! Fig. 3 works precisely because the critical path and the scan route
+//! share only a suffix. These reports make that structure visible and
+//! are used by the examples and the workload-calibration tests.
+
+use crate::analysis::Sta;
+use tpi_netlist::{GateId, GateKind, Netlist};
+
+/// One traced register-to-register (or port-to-port) path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    /// Nets from a timing source to the endpoint driver, in order.
+    pub nets: Vec<GateId>,
+    /// Arrival time at the endpoint driver.
+    pub arrival: f64,
+    /// Slack at the endpoint.
+    pub slack: f64,
+}
+
+/// Traces the `k` worst paths (by endpoint arrival), one per endpoint.
+///
+/// Endpoints are flip-flop D pins and primary-output ports; each
+/// contributes at most one path (its own worst), so the report shows `k`
+/// *distinct* trouble spots rather than `k` permutations of one path.
+pub fn worst_paths(n: &Netlist, sta: &Sta, k: usize) -> Vec<PathReport> {
+    // Collect endpoint drivers with their arrivals.
+    let mut endpoints: Vec<(GateId, f64)> = Vec::new();
+    for g in n.gate_ids() {
+        match n.kind(g) {
+            GateKind::Dff | GateKind::Output => {
+                let d = n.fanin(g)[0];
+                if !sta.is_disabled(d) {
+                    endpoints.push((d, sta.arrival(d)));
+                }
+            }
+            _ => {}
+        }
+    }
+    endpoints.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite arrivals"));
+    endpoints.dedup_by_key(|e| e.0);
+    endpoints.truncate(k);
+    endpoints
+        .into_iter()
+        .map(|(driver, arrival)| PathReport {
+            nets: trace_back(n, sta, driver),
+            arrival,
+            slack: sta.slack(driver),
+        })
+        .collect()
+}
+
+/// Walks backwards from `driver` along max-arrival fanins to a source.
+fn trace_back(n: &Netlist, sta: &Sta, driver: GateId) -> Vec<GateId> {
+    let mut path = vec![driver];
+    let mut cur = driver;
+    while !n.kind(cur).is_source() {
+        let Some(&prev) = n
+            .fanin(cur)
+            .iter()
+            .filter(|f| !sta.is_disabled(**f))
+            .max_by(|&&x, &&y| {
+                sta.arrival(x).partial_cmp(&sta.arrival(y)).expect("finite arrivals")
+            })
+        else {
+            break;
+        };
+        path.push(prev);
+        cur = prev;
+    }
+    path.reverse();
+    path
+}
+
+/// A slack histogram over all enabled nets: `buckets` equal-width bins
+/// from 0 to the clock period, plus an underflow bin for negative slack
+/// and an overflow bin for slack beyond the period (dangling nets with
+/// infinite slack are excluded).
+///
+/// Returns `(negative, bins, beyond)`.
+pub fn slack_histogram(n: &Netlist, sta: &Sta, buckets: usize) -> (usize, Vec<usize>, usize) {
+    let period = sta.clock_period().max(f64::MIN_POSITIVE);
+    let mut bins = vec![0usize; buckets.max(1)];
+    let mut negative = 0usize;
+    let mut beyond = 0usize;
+    for g in n.gate_ids() {
+        if sta.is_disabled(g) || !n.kind(g).is_combinational() && !n.kind(g).is_source() {
+            continue;
+        }
+        let s = sta.slack(g);
+        if s.is_infinite() {
+            continue;
+        }
+        if s < -1e-9 {
+            negative += 1;
+        } else if s >= period {
+            beyond += 1;
+        } else {
+            let last = bins.len() - 1;
+            let idx = ((s.max(0.0) / period) * bins.len() as f64) as usize;
+            bins[idx.min(last)] += 1;
+        }
+    }
+    (negative, bins, beyond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ClockConstraint;
+    use tpi_netlist::{NetlistBuilder, TechLibrary};
+
+    fn two_path_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a");
+        b.input("c");
+        // long path into f1
+        b.gate(GateKind::Inv, "i1", &["a"]);
+        b.gate(GateKind::Inv, "i2", &["i1"]);
+        b.gate(GateKind::Inv, "i3", &["i2"]);
+        b.gate(GateKind::Inv, "i4", &["i3"]);
+        b.dff("f1", "i4");
+        // short path into f2
+        b.gate(GateKind::Inv, "j1", &["c"]);
+        b.dff("f2", "j1");
+        b.output("o1", "f1");
+        b.output("o2", "f2");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn worst_paths_are_ordered_and_traced() {
+        let n = two_path_circuit();
+        let sta = Sta::analyze(&n, &TechLibrary::paper(), ClockConstraint::LongestPath);
+        let report = worst_paths(&n, &sta, 10);
+        assert!(report.len() >= 2);
+        assert!(report[0].arrival >= report[1].arrival);
+        // The worst path ends at i4 and starts at the PI a.
+        let worst = &report[0];
+        assert_eq!(*worst.nets.last().unwrap(), n.find("i4").unwrap());
+        assert_eq!(worst.nets[0], n.find("a").unwrap());
+        assert!(worst.slack.abs() < 1e-9, "the longest path has zero slack");
+    }
+
+    #[test]
+    fn k_truncates() {
+        let n = two_path_circuit();
+        let sta = Sta::analyze(&n, &TechLibrary::paper(), ClockConstraint::LongestPath);
+        assert_eq!(worst_paths(&n, &sta, 1).len(), 1);
+    }
+
+    #[test]
+    fn histogram_partitions_nets() {
+        let n = two_path_circuit();
+        let sta = Sta::analyze(&n, &TechLibrary::paper(), ClockConstraint::LongestPath);
+        let (neg, bins, beyond) = slack_histogram(&n, &sta, 4);
+        assert_eq!(neg, 0, "longest-path constraint leaves no negative slack");
+        assert!(bins.iter().sum::<usize>() > 0);
+        let _ = beyond;
+        // The critical chain contributes zero-slack entries to bin 0.
+        assert!(bins[0] >= 4);
+    }
+
+    #[test]
+    fn histogram_reports_negatives_under_tight_clock() {
+        let n = two_path_circuit();
+        let sta = Sta::analyze(&n, &TechLibrary::paper(), ClockConstraint::Period(1.0));
+        let (neg, _bins, _beyond) = slack_histogram(&n, &sta, 4);
+        assert!(neg > 0, "a 1.0 clock must violate somewhere");
+    }
+}

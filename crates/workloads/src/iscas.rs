@@ -1,0 +1,68 @@
+//! Embedded public ISCAS89 benchmark: `s27`.
+//!
+//! The full ISCAS89/MCNC91 suites the paper evaluates are substituted by
+//! the calibrated synthetic generators in [`crate::synth`] (see
+//! `DESIGN.md` §3); `s27` is small enough to embed verbatim and anchors
+//! the `.bench` parser and the flows against a real, well-known circuit.
+
+use tpi_netlist::{parse_bench, Netlist};
+
+/// The canonical ISCAS89 `s27.bench` text: 4 inputs, 1 output, 3 D
+/// flip-flops, 10 gates.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Parses the embedded `s27` into a validated netlist.
+///
+/// ```
+/// let n = tpi_workloads::iscas::s27();
+/// assert_eq!(n.dffs().len(), 3);
+/// assert_eq!(n.inputs().len(), 4);
+/// ```
+pub fn s27() -> Netlist {
+    parse_bench("s27", S27_BENCH).expect("embedded s27 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_structure_matches_the_published_circuit() {
+        let n = s27();
+        assert_eq!(n.inputs().len(), 4);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.dffs().len(), 3);
+        assert_eq!(n.comb_gates().len(), 10);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn s27_has_sequential_feedback() {
+        // G11 feeds G10 which feeds G5 which feeds G11: the s-graph has
+        // cycles — that is why s27 is a partial-scan benchmark.
+        let n = s27();
+        let g5 = n.find("G5").unwrap();
+        let g11 = n.find("G11").unwrap();
+        assert!(n.fanin(g11).contains(&g5));
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark workloads for the DAC'96 test-point-insertion reproduction.
+//!
+//! Three families:
+//!
+//! * [`figures`] — the exact circuits of the paper's Figures 1–4, 6, 7,
+//!   used by the `figures` harness binary and the figure tests;
+//! * [`iscas`] — the genuinely tiny public ISCAS89 benchmark `s27`,
+//!   embedded verbatim in `.bench` form;
+//! * [`synth`] — seeded synthetic circuit generators calibrated per
+//!   benchmark circuit to the interface statistics the paper publishes
+//!   (Table II: #I, #O, #FF) and to each circuit's *structural class*
+//!   (regular datapaths vs. random control logic vs. multiplier chains),
+//!   which is what determines the shape of the paper's results. See
+//!   `DESIGN.md` §3 for the substitution argument.
+
+pub mod figures;
+pub mod iscas;
+pub mod synth;
+
+pub use synth::{generate, suite, table1_workloads, CircuitSpec, StructureClass};

@@ -1,0 +1,51 @@
+//! The §V flush test, stand-alone: build a chain that rides through
+//! functional logic, shift alternating 0/1 patterns through it, and
+//! watch the scan-out stream — including what happens when a side input
+//! is *not* held at its sensitizing value (the fault-detection property
+//! the paper closes with).
+//!
+//! Run with: `cargo run --release --example scan_chain_flush`
+
+use scanpath::netlist::{GateKind, Netlist};
+use scanpath::scan::{flush_test, ChainLink, ScanChain};
+use scanpath::sim::Trit;
+
+fn build() -> (Netlist, ScanChain, scanpath::netlist::GateId) {
+    // f0 --NAND(side)--> f1 : the NAND inverts the shifted bit.
+    let mut n = Netlist::new("flush-demo");
+    let d0 = n.add_input("d0");
+    let f0 = n.add_gate(GateKind::Dff, "f0");
+    n.connect(d0, f0).expect("dff pin");
+    let side = n.add_input("side");
+    let g = n.add_gate(GateKind::Nand, "g");
+    n.connect(f0, g).expect("nand pin");
+    n.connect(side, g).expect("nand pin");
+    let f1 = n.add_gate(GateKind::Dff, "f1");
+    n.connect(g, f1).expect("dff pin");
+    let mux0 = n.insert_scan_mux_at_pin(f0, 0, d0).expect("scan mux");
+    let links = vec![
+        ChainLink::Mux { mux: mux0, ff: f0, inverting: false },
+        ChainLink::Path { from: f0, ff: f1, inverting: true },
+    ];
+    let chain = ScanChain::stitch(&mut n, links).expect("chain stitches");
+    (n, chain, side)
+}
+
+fn main() {
+    let (n, chain, side) = build();
+    println!("chain: {} FFs, total inversion parity = {}", chain.len(), chain.parity());
+
+    // Correct test mode: side input held at the NAND's sensitizing 1.
+    let good = flush_test(&n, &chain, &[(side, Trit::One)]).expect("test input exists");
+    println!("side = 1 (sensitizing): flush {}", if good.passed() { "PASS" } else { "FAIL" });
+    println!("  driven   : {:?}", &good.driven[..8.min(good.driven.len())]);
+    println!("  observed : {:?}", &good.observed[..6.min(good.observed.len())]);
+    assert!(good.passed());
+
+    // Broken test mode: side input at the controlling 0 — the NAND output
+    // sticks at 1 and the scan-out stream miscompares, which is exactly
+    // how the paper says scan-path faults are caught before scan testing.
+    let bad = flush_test(&n, &chain, &[(side, Trit::Zero)]).expect("test input exists");
+    println!("side = 0 (controlling) : flush {}", if bad.passed() { "PASS" } else { "FAIL" });
+    assert!(!bad.passed());
+}

@@ -1,0 +1,64 @@
+//! Timing anatomy of a workload: worst paths, slack distribution, and a
+//! non-reconvergent fanin region — the structures TPTIME exploits.
+//!
+//! Run with: `cargo run --release --example timing_explorer`
+
+use scanpath::netlist::TechLibrary;
+use scanpath::sta::{slack_histogram, worst_paths, ClockConstraint, Sta};
+use scanpath::tpi::Region;
+use scanpath::workloads::{generate, suite};
+
+fn main() {
+    let spec = suite().into_iter().find(|s| s.name == "s9234").expect("suite circuit");
+    let n = generate(&spec);
+    let lib = TechLibrary::paper();
+    let sta = Sta::analyze(&n, &lib, ClockConstraint::LongestPath);
+    println!(
+        "{}: {} gates, clock period {:.1}",
+        n.name(),
+        n.comb_gates().len(),
+        sta.clock_period()
+    );
+
+    println!("\nworst 5 paths (endpoint arrival / slack / depth):");
+    for p in worst_paths(&n, &sta, 5) {
+        println!(
+            "  {:>7.1} / {:>5.1} / {:>3} nets   {} -> {}",
+            p.arrival,
+            p.slack,
+            p.nets.len(),
+            n.gate_name(p.nets[0]),
+            n.gate_name(*p.nets.last().expect("paths are non-empty")),
+        );
+    }
+
+    let (neg, bins, beyond) = slack_histogram(&n, &sta, 8);
+    println!("\nslack histogram ({} bins over one period):", bins.len());
+    println!("  negative: {neg}");
+    let max = bins.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in bins.iter().enumerate() {
+        let bar = "#".repeat(count * 50 / max);
+        println!("  bin {i}: {count:>5} {bar}");
+    }
+    println!("  beyond one period: {beyond}");
+
+    // The region TPTIME would search for the most critical flip-flop.
+    let critical_ff = n
+        .dffs()
+        .into_iter()
+        .min_by(|&a, &b| {
+            sta.endpoint_slack(&n, a)
+                .partial_cmp(&sta.endpoint_slack(&n, b))
+                .expect("finite slacks")
+        })
+        .expect("suite circuits have flip-flops");
+    let d = n.fanin(critical_ff)[0];
+    let region = Region::build(&n, d);
+    println!(
+        "\nmost critical FF: {} (D slack {:.1}); its non-reconvergent fanin \
+         region holds {} single-path gates",
+        n.gate_name(critical_ff),
+        sta.endpoint_slack(&n, critical_ff),
+        region.tree_gates().len()
+    );
+}

@@ -1,0 +1,27 @@
+//! # scanpath — scan paths through combinational logic
+//!
+//! A reproduction of *"Test Point Insertion: Scan Paths through
+//! Combinational Logic"* (Lin, Marek-Sadowska, Cheng, Lee — DAC 1996).
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`netlist`] — gate-level circuit model, `.bench` I/O, tech library;
+//! * [`sim`] — 3-valued constant implication and sequential simulation;
+//! * [`sta`] — static timing analysis with the paper's linear delay model;
+//! * [`scan`] — s-graph, cycle breaking, scan conversion, flush test;
+//! * [`tpi`] — the paper's contribution: path enumeration, TPGREED,
+//!   input assignment, non-reconvergent regions, TPTIME, end-to-end flows;
+//! * [`atpg`] — the payoff: stuck-at faults, PODEM, fault simulation and
+//!   scan-based test application through the produced chains;
+//! * [`workloads`] — the figure circuits, `s27`, and the synthetic
+//!   ISCAS89/MCNC91-calibrated benchmark suite.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use tpi_netlist as netlist;
+pub use tpi_sim as sim;
+pub use tpi_sta as sta;
+pub use tpi_scan as scan;
+pub use tpi_core as tpi;
+pub use tpi_atpg as atpg;
+pub use tpi_workloads as workloads;

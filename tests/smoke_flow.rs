@@ -1,0 +1,30 @@
+//! Cross-crate smoke: full-scan flow on a mid-size synthetic circuit.
+
+use scanpath::tpi::{FullScanFlow, PartialScanFlow, PartialScanMethod};
+use scanpath::workloads::{generate, suite};
+
+#[test]
+fn full_scan_on_s5378_like_workload() {
+    let spec = suite().into_iter().find(|s| s.name == "s5378").unwrap();
+    let n = generate(&spec);
+    let r = FullScanFlow::default().run(&n);
+    assert!(r.flush.passed(), "flush failed");
+    assert_eq!(r.row.ff_count, 152);
+    assert!(r.row.scan_paths > 30, "paths: {}", r.row.scan_paths);
+    assert!(r.row.reduction() > 0.10, "reduction: {}", r.row.reduction());
+    eprintln!("s5378-like: {}", r.row);
+}
+
+#[test]
+fn partial_scan_on_s5378_like_workload() {
+    let spec = suite().into_iter().find(|s| s.name == "s5378").unwrap();
+    let n = generate(&spec);
+    for m in [PartialScanMethod::Cb, PartialScanMethod::TdCb, PartialScanMethod::TpTime] {
+        let r = PartialScanFlow::new(m).run(&n);
+        assert!(r.acyclic, "{m:?} left cycles");
+        if let Some(f) = &r.flush {
+            assert!(f.passed(), "{m:?} flush failed");
+        }
+        eprintln!("{}", r.row);
+    }
+}

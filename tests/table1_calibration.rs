@@ -1,0 +1,51 @@
+//! Regression guard for the Table I calibration: the small suite
+//! circuits must stay within a band of the paper's reduction figures
+//! (the large ones are covered by the `table1` harness, which is run in
+//! release mode).
+
+use scanpath::tpi::flow::FullScanFlow;
+use scanpath::workloads::{generate, suite};
+
+/// (circuit, paper reduction, allowed absolute deviation).
+const BANDS: &[(&str, f64, f64)] = &[
+    ("s5378", 0.326, 0.12),
+    ("s9234", 0.296, 0.12),
+    ("bigkey", 0.250, 0.08),
+    ("dsip", 0.748, 0.05),
+    ("mult32a", 0.500, 0.05),
+    ("mult32b", 0.262, 0.05),
+];
+
+#[test]
+fn small_suite_reductions_stay_in_the_paper_band() {
+    let flow = FullScanFlow::default();
+    for &(name, paper, tol) in BANDS {
+        let spec = suite().into_iter().find(|s| s.name == name).expect("suite circuit");
+        let n = generate(&spec);
+        let r = flow.run(&n);
+        assert!(r.flush.passed(), "{name}: flush failed");
+        let ours = r.row.reduction();
+        assert!(
+            (ours - paper).abs() <= tol,
+            "{name}: reduction {ours:.3} drifted out of the paper band {paper:.3} +/- {tol:.2}"
+        );
+    }
+}
+
+#[test]
+fn datapath_circuits_beat_control_circuits() {
+    // The paper's central qualitative finding, as a single assertion:
+    // the regular datapath (dsip) reduces far more than the register-pair
+    // structure (bigkey).
+    let flow = FullScanFlow::default();
+    let get = |name: &str| {
+        let spec = suite().into_iter().find(|s| s.name == name).expect("suite circuit");
+        flow.run(&generate(&spec)).row.reduction()
+    };
+    let dsip = get("dsip");
+    let bigkey = get("bigkey");
+    assert!(
+        dsip > bigkey + 0.3,
+        "dsip {dsip:.3} must dominate bigkey {bigkey:.3} by a wide margin"
+    );
+}
