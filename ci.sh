@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the tier-1 test suite.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 tests (root package) =="
+cargo test -q
+
+echo "CI green."

@@ -8,7 +8,6 @@
 
 use crate::view::TestCube;
 
-
 /// Whether two cubes agree on every commonly-specified input.
 pub fn compatible(a: &TestCube, b: &TestCube) -> bool {
     a.assignments().iter().all(|&(net, va)| {
@@ -70,9 +69,7 @@ mod tests {
     use tpi_sim::Trit;
 
     fn cube(bits: &[(usize, bool)]) -> TestCube {
-        bits.iter()
-            .map(|&(i, b)| (tpi_netlist::GateId::from_index(i), Trit::from(b)))
-            .collect()
+        bits.iter().map(|&(i, b)| (tpi_netlist::GateId::from_index(i), Trit::from(b))).collect()
     }
 
     #[test]

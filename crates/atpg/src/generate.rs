@@ -100,11 +100,8 @@ pub fn generate_tests(
         if remaining.is_empty() {
             break;
         }
-        let cube: TestCube = view
-            .inputs()
-            .iter()
-            .map(|&g| (g, Trit::from(rng.gen_bool(0.5))))
-            .collect();
+        let cube: TestCube =
+            view.inputs().iter().map(|&g| (g, Trit::from(rng.gen_bool(0.5)))).collect();
         let hits = sim.detected(&cube, &remaining);
         if hits.is_empty() {
             continue;
@@ -129,10 +126,7 @@ pub fn generate_tests(
         match podem.generate(fault) {
             PodemResult::Test(cube) => {
                 let hits = sim.detected(&cube, &remaining);
-                debug_assert!(
-                    hits.contains(&idx),
-                    "PODEM cube must detect its target {fault}"
-                );
+                debug_assert!(hits.contains(&idx), "PODEM cube must detect its target {fault}");
                 detected += hits.len();
                 for &i in hits.iter().rev() {
                     remaining.swap_remove(i);
@@ -239,9 +233,6 @@ mod tests {
         let none = CombView::unscanned(&n);
         let cov_full = generate_tests(&n, &full, &faults, 8, 3).report.coverage();
         let cov_none = generate_tests(&n, &none, &faults, 8, 3).report.coverage();
-        assert!(
-            cov_full > cov_none,
-            "full scan {cov_full} must beat unscanned {cov_none}"
-        );
+        assert!(cov_full > cov_none, "full scan {cov_full} must beat unscanned {cov_none}");
     }
 }

@@ -422,9 +422,8 @@ mod exhaustive_tests {
                 };
                 let arity = if kind == GateKind::Xor { 2 } else { 2 + rng.gen_range(0..2) };
                 let name = format!("g{gi}");
-                let picks: Vec<String> = (0..arity)
-                    .map(|_| nets[rng.gen_range(0..nets.len())].clone())
-                    .collect();
+                let picks: Vec<String> =
+                    (0..arity).map(|_| nets[rng.gen_range(0..nets.len())].clone()).collect();
                 let refs: Vec<&str> = picks.iter().map(String::as_str).collect();
                 b.gate(kind, name.clone(), &refs);
                 nets.push(name);

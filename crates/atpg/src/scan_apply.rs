@@ -123,10 +123,7 @@ mod tests {
     fn round_trip(n: &Netlist, bits: &[(&str, Trit)]) {
         let view = CombView::full_scan(n);
         let sim = FaultSim::new(n, &view);
-        let cube: TestCube = bits
-            .iter()
-            .map(|&(name, v)| (n.find(name).unwrap(), v))
-            .collect();
+        let cube: TestCube = bits.iter().map(|&(name, v)| (n.find(name).unwrap(), v)).collect();
         let good = sim.good_values(&cube);
 
         let r = FullScanFlow::default().run(n);
@@ -171,21 +168,11 @@ mod tests {
         let n = b.finish().unwrap();
         round_trip(
             &n,
-            &[
-                ("a", Trit::One),
-                ("c", Trit::Zero),
-                ("q0", Trit::One),
-                ("q1", Trit::One),
-            ],
+            &[("a", Trit::One), ("c", Trit::Zero), ("q0", Trit::One), ("q1", Trit::One)],
         );
         round_trip(
             &n,
-            &[
-                ("a", Trit::Zero),
-                ("c", Trit::One),
-                ("q0", Trit::Zero),
-                ("q1", Trit::One),
-            ],
+            &[("a", Trit::Zero), ("c", Trit::One), ("q0", Trit::Zero), ("q1", Trit::One)],
         );
     }
 

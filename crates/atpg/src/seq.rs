@@ -228,8 +228,7 @@ mod tests {
         let sim = crate::sim_fault::FaultSim::new(&n, &view);
         let q = n.find("q").unwrap();
         let en = n.find("en").unwrap();
-        let cube: crate::view::TestCube =
-            [(q, Trit::One), (en, Trit::One)].into_iter().collect();
+        let cube: crate::view::TestCube = [(q, Trit::One), (en, Trit::One)].into_iter().collect();
         let good = sim.good_values(&cube);
         assert!(sim.detects(&good, sa0));
     }

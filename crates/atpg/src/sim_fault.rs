@@ -140,12 +140,7 @@ impl<'a> FaultSim<'a> {
     /// indices (for fault dropping).
     pub fn detected(&self, cube: &TestCube, faults: &[Fault]) -> Vec<usize> {
         let good = self.good_values(cube);
-        faults
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| self.detects(&good, f))
-            .map(|(i, _)| i)
-            .collect()
+        faults.iter().enumerate().filter(|(_, &f)| self.detects(&good, f)).map(|(i, _)| i).collect()
     }
 }
 
@@ -237,8 +232,11 @@ mod tests {
         let (n, a, c, g) = and_circuit();
         let view = CombView::full_scan(&n);
         let sim = FaultSim::new(&n, &view);
-        let faults =
-            vec![Fault::new(g, StuckAt::Zero), Fault::new(g, StuckAt::One), Fault::new(a, StuckAt::Zero)];
+        let faults = vec![
+            Fault::new(g, StuckAt::Zero),
+            Fault::new(g, StuckAt::One),
+            Fault::new(a, StuckAt::Zero),
+        ];
         let cube: TestCube = [(a, Trit::One), (c, Trit::One)].into_iter().collect();
         let hit = sim.detected(&cube, &faults);
         assert_eq!(hit, vec![0, 2]);

@@ -23,13 +23,8 @@ impl CombView {
     /// Builds the view for a design where `scanned` flip-flops are on a
     /// scan chain.
     pub fn new(n: &Netlist, scanned: &[GateId]) -> Self {
-        let inputs: Vec<GateId> =
-            n.inputs().into_iter().chain(scanned.iter().copied()).collect();
-        let mut observe: Vec<GateId> = n
-            .outputs()
-            .iter()
-            .map(|&o| n.fanin(o)[0])
-            .collect();
+        let inputs: Vec<GateId> = n.inputs().into_iter().chain(scanned.iter().copied()).collect();
+        let mut observe: Vec<GateId> = n.outputs().iter().map(|&o| n.fanin(o)[0]).collect();
         for &ff in scanned {
             debug_assert_eq!(n.kind(ff), GateKind::Dff);
             observe.push(n.fanin(ff)[0]);
@@ -92,11 +87,7 @@ impl TestCube {
 
     /// The value assigned to `net`, or `X`.
     pub fn get(&self, net: GateId) -> Trit {
-        self.assignments
-            .iter()
-            .find(|(g, _)| *g == net)
-            .map(|&(_, v)| v)
-            .unwrap_or(Trit::X)
+        self.assignments.iter().find(|(g, _)| *g == net).map(|&(_, v)| v).unwrap_or(Trit::X)
     }
 
     /// The explicit assignments.

@@ -63,7 +63,11 @@ fn fig1() {
     let ends: Vec<_> = outcome.scan_path_endpoints(&paths);
     assert!(ends.contains(&(f1, f2)) && ends.contains(&(f2, f3)));
     let r = FullScanFlow::default().run(&n);
-    println!("full flow: chain of {} FFs, flush {}", r.chain.len(), if r.flush.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "full flow: chain of {} FFs, flush {}",
+        r.chain.len(),
+        if r.flush.passed() { "PASS" } else { "FAIL" }
+    );
     println!();
 }
 
@@ -103,10 +107,7 @@ fn fig3() {
     );
     let (n, [_f1, f2, _a, _b, _c]) = figures::fig3();
     let planner = ScanPlanner::new(n.clone(), TechLibrary::paper());
-    println!(
-        "ours: conventional mux fits directly at F2? {}",
-        planner.mux_fits_directly(f2)
-    );
+    println!("ours: conventional mux fits directly at F2? {}", planner.mux_fits_directly(f2));
     let plan = planner.plan_zero_degradation(f2).expect("figure 3 has a zero-cost route");
     println!("zero-degradation plan (area {:.1}):", plan.area);
     for act in &plan.actions {
@@ -126,7 +127,8 @@ fn fig3() {
         "delay before {:.1}, after {:.1} (degradation {:.1}%)",
         committed.baseline_delay(),
         committed.current_delay(),
-        (committed.current_delay() - committed.baseline_delay()) / committed.baseline_delay() * 100.0
+        (committed.current_delay() - committed.baseline_delay()) / committed.baseline_delay()
+            * 100.0
     );
     println!();
 }

@@ -1,20 +1,21 @@
 //! Regenerates the paper's Table I: full-scan test point insertion on
 //! the 11-circuit suite, `K_bound = 10`, `gain_bound = 0.5`.
 //!
-//! Usage: `cargo run --release -p tpi-bench --bin table1 [circuit ...]`
-//! (no arguments = the whole suite).
+//! Usage: `cargo run --release -p tpi-bench --bin table1 [--threads N] [circuit ...]`
+//! (no circuit arguments = the whole suite; `--threads 0` = all hardware
+//! threads, default 1. The selections are identical for every thread
+//! count — only the CPU column changes.)
 
-use tpi_bench::render_table1_comparison;
+use tpi_bench::{parse_threads, render_table1_comparison};
 use tpi_core::flow::FullScanFlow;
 use tpi_workloads::{generate, suite};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (threads, args) = parse_threads(std::env::args().skip(1));
     println!("Table I — full-scan test point insertion (paper vs. this reproduction)");
     println!("circuit  |  A=#FF  B=#insertions  C=#free  D=#scan-paths  red=overhead reduction");
-    println!("{}", "-".repeat
-        (110));
-    let flow = FullScanFlow::default();
+    println!("{}", "-".repeat(110));
+    let flow = FullScanFlow::default().with_threads(threads);
     for spec in suite() {
         if !args.is_empty() && !args.iter().any(|a| a == &spec.name) {
             continue;

@@ -1,14 +1,16 @@
 //! Regenerates the paper's Table III: timing-driven partial scan with
 //! the three methods CB / TD-CB / TPTIME.
 //!
-//! Usage: `cargo run --release -p tpi-bench --bin table3 [circuit ...]`
+//! Usage: `cargo run --release -p tpi-bench --bin table3 [--threads N] [circuit ...]`
+//! (`--threads 0` = all hardware threads, default 1; selections are
+//! identical for every thread count.)
 
-use tpi_bench::PAPER_TABLE3;
+use tpi_bench::{parse_threads, PAPER_TABLE3};
 use tpi_core::flow::{PartialScanFlow, PartialScanMethod};
 use tpi_workloads::{generate, suite};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (threads, args) = parse_threads(std::env::args().skip(1));
     println!("Table III — timing-driven partial scan (percent columns; paper | ours)");
     println!(
         "{:<9} {:<7} | paper: {:>5} {:>6} {:>6} | ours: {:>5} {:>6} {:>6} {:>8}",
@@ -29,7 +31,7 @@ fn main() {
             (PartialScanMethod::TdCb, paper.td_cb),
             (PartialScanMethod::TpTime, paper.tptime),
         ] {
-            let r = PartialScanFlow::new(method).run(&n);
+            let r = PartialScanFlow::new(method).with_threads(threads).run(&n);
             assert!(r.acyclic, "{}: {:?} left s-graph cycles", spec.name, method);
             if let Some(f) = &r.flush {
                 assert!(f.passed(), "{}: {:?} flush failed", spec.name, method);

@@ -11,11 +11,14 @@
 use crate::input_assign::assign_inputs;
 use crate::report::{Table1Row, Table3Row};
 use crate::tpgreed::{verify_outcome, TpGreed, TpGreedConfig};
-use crate::tptime::ScanPlanner;
+use crate::tptime::{ScanPlan, ScanPlanner};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use tpi_netlist::{GateId, Netlist, NetlistStats, TechLibrary};
-use tpi_scan::{break_cycles, flush_test, ChainLink, CycleBreakOptions, FlushReport, SGraph, ScanChain};
+use tpi_par::Threads;
+use tpi_scan::{
+    break_cycles, flush_test, ChainLink, CycleBreakOptions, FlushReport, SGraph, ScanChain,
+};
 use tpi_sim::Trit;
 use tpi_sta::{ClockConstraint, Sta};
 
@@ -31,6 +34,15 @@ pub struct FullScanFlow {
 impl Default for FullScanFlow {
     fn default() -> Self {
         FullScanFlow { config: TpGreedConfig::default(), lib: TechLibrary::paper() }
+    }
+}
+
+impl FullScanFlow {
+    /// Sets the worker-thread knob (`0` = all hardware threads). Results
+    /// are identical for every setting; see [`TpGreedConfig::threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
     }
 }
 
@@ -58,8 +70,7 @@ impl FullScanFlow {
     /// bugs, not user errors.
     pub fn run(&self, n: &Netlist) -> FullScanResult {
         let t0 = Instant::now();
-        let (outcome, paths) =
-            TpGreed::new(n, self.config.clone()).run_with_paths();
+        let (outcome, paths) = TpGreed::new(n, self.config.clone()).run_with_paths();
         verify_outcome(n, &paths, &outcome).expect("TPGREED must produce a verifiable outcome");
         let assignment = assign_inputs(n, &paths, &outcome);
 
@@ -99,9 +110,8 @@ impl FullScanFlow {
             }
             // Head of a fragment: conventional mux entry, then follow the
             // established paths.
-            let mux = work
-                .insert_scan_mux_at_pin(ff, 0, stub)
-                .expect("flip-flops always have a D pin");
+            let mux =
+                work.insert_scan_mux_at_pin(ff, 0, stub).expect("flip-flops always have a D pin");
             links.push(ChainLink::Mux { mux, ff, inverting: false });
             let mut cur = ff;
             while let Some(&(next, inverting)) = succ.get(&cur) {
@@ -158,13 +168,33 @@ pub struct PartialScanFlow {
     pub method: PartialScanMethod,
     /// Technology library (defaults to the paper's).
     pub lib: TechLibrary,
+    /// Worker threads for TPTIME's per-round zero-degradation planning:
+    /// `1` is sequential, `0` uses all hardware threads. Selections are
+    /// identical for every setting (planning is read-only; commits happen
+    /// on the main thread in cycle-breaker order).
+    pub threads: usize,
 }
 
 impl PartialScanFlow {
     /// Creates a flow for `method` with the paper's library.
     pub fn new(method: PartialScanMethod) -> Self {
-        PartialScanFlow { method, lib: TechLibrary::paper() }
+        PartialScanFlow { method, lib: TechLibrary::paper(), threads: 1 }
     }
+
+    /// Sets the worker-thread knob (`0` = all hardware threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// What one `selection_loop` round did: the flip-flop it scanned (if
+/// any) and the candidates it rejected before that — only those may be
+/// marked, exactly as the sequential early-exit walk would.
+#[derive(Debug, Default)]
+struct RoundOutcome {
+    scanned: Option<GateId>,
+    marked: Vec<GateId>,
 }
 
 /// Everything a partial-scan run produces.
@@ -191,8 +221,7 @@ impl PartialScanFlow {
     pub fn run(&self, n: &Netlist) -> PartialScanResult {
         let t0 = Instant::now();
         let base_stats = NetlistStats::compute(n, &self.lib);
-        let base_delay =
-            Sta::analyze(n, &self.lib, ClockConstraint::LongestPath).circuit_delay();
+        let base_delay = Sta::analyze(n, &self.lib, ClockConstraint::LongestPath).circuit_delay();
         let sgraph = SGraph::build(n);
         let mut planner = ScanPlanner::new(n.clone(), self.lib.clone());
 
@@ -206,25 +235,72 @@ impl PartialScanFlow {
             PartialScanMethod::TdCb => {
                 // Ref. [7]: re-time after each conversion; a flip-flop is
                 // selectable only while its D slack absorbs the mux.
-                Self::selection_loop(&sgraph, &mut planner, |planner, ff| {
-                    if planner.mux_fits_directly(ff) {
-                        planner.scan_conventionally(ff);
-                        true
-                    } else {
-                        false
+                Self::selection_loop(&sgraph, &mut planner, |planner, selected| {
+                    let mut round = RoundOutcome::default();
+                    for &ff in selected {
+                        if planner.mux_fits_directly(ff) {
+                            planner.scan_conventionally(ff);
+                            round.scanned = Some(ff);
+                            break;
+                        }
+                        round.marked.push(ff);
                     }
+                    round
                 });
             }
             PartialScanMethod::TpTime => {
                 // This paper: when the mux does not fit, search the
                 // non-reconvergent fanin region for a test-point plan.
-                Self::selection_loop(&sgraph, &mut planner, |planner, ff| {
-                    if let Some(plan) = planner.plan_zero_degradation(ff) {
-                        planner.commit(&plan);
-                        true
+                // Planning is read-only, so with threads > 1 the round's
+                // candidates are planned concurrently and the walk below
+                // commits the first hit in cycle-breaker order — the same
+                // flip-flop the sequential early-exit walk would pick.
+                let threads = Threads::from_knob(self.threads);
+                // Planning is an early-exit search, so parallelism here is
+                // speculation: cap the batch width at the physical core
+                // count or the wasted plans can never be repaid.
+                let width = threads.speculation_width();
+                Self::selection_loop(&sgraph, &mut planner, |planner, selected| {
+                    let plans: Vec<Option<ScanPlan>> = if width <= 1 || selected.len() < 2 {
+                        let mut plans = Vec::new();
+                        for &ff in selected {
+                            let plan = planner.plan_zero_degradation(ff);
+                            let hit = plan.is_some();
+                            plans.push(plan);
+                            if hit {
+                                break; // later candidates are never inspected
+                            }
+                        }
+                        plans
                     } else {
-                        false
+                        // Speculate one chunk of `width` candidates at a
+                        // time: the work wasted past the committed hit is
+                        // bounded by one chunk, and each chunk's plans run
+                        // on distinct cores.
+                        let shared: &ScanPlanner = planner;
+                        let mut plans: Vec<Option<ScanPlan>> = Vec::with_capacity(selected.len());
+                        for chunk in selected.chunks(width) {
+                            let batch = tpi_par::map_indexed(threads, chunk.len(), &(), |_, i| {
+                                shared.plan_zero_degradation(chunk[i])
+                            });
+                            let hit = batch.iter().any(Option::is_some);
+                            plans.extend(batch);
+                            if hit {
+                                break;
+                            }
+                        }
+                        plans
+                    };
+                    let mut round = RoundOutcome::default();
+                    for (i, plan) in plans.into_iter().enumerate() {
+                        if let Some(plan) = plan {
+                            planner.commit(&plan);
+                            round.scanned = Some(selected[i]);
+                            break;
+                        }
+                        round.marked.push(selected[i]);
                     }
+                    round
                 });
             }
         }
@@ -238,8 +314,7 @@ impl PartialScanFlow {
         let (chain, flush) = if links.is_empty() {
             (None, None)
         } else {
-            let chain =
-                ScanChain::stitch(&mut netlist, links).expect("mux links always stitch");
+            let chain = ScanChain::stitch(&mut netlist, links).expect("mux links always stitch");
             let flush = flush_test(&netlist, &chain, &pi_values).expect("test input exists");
             (Some(chain), Some(flush))
         };
@@ -263,14 +338,16 @@ impl PartialScanFlow {
     }
 
     /// §IV.B's interleaved loop, shared by TD-CB and TPTIME: run the
-    /// cycle-breaking selection, attempt a zero-degradation conversion
-    /// with `try_scan`, mark flip-flops the method cannot scan cleanly
-    /// and re-select; when no marked-free selection remains, fall back to
-    /// minimal-degradation conventional scan (largest D slack first).
+    /// cycle-breaking selection, let `process_round` attempt a
+    /// zero-degradation conversion over the selected flip-flops (it
+    /// reports the one it scanned, if any, plus the rejected prefix),
+    /// mark the rejects and re-select; when no marked-free selection
+    /// remains, fall back to minimal-degradation conventional scan
+    /// (largest D slack first).
     fn selection_loop(
         sgraph: &SGraph,
         planner: &mut ScanPlanner,
-        mut try_scan: impl FnMut(&mut ScanPlanner, GateId) -> bool,
+        mut process_round: impl FnMut(&mut ScanPlanner, &[GateId]) -> RoundOutcome,
     ) {
         let mut scanned: Vec<GateId> = Vec::new();
         let mut marked: HashSet<GateId> = HashSet::new();
@@ -284,15 +361,14 @@ impl PartialScanFlow {
                 let opts = CycleBreakOptions::timing_driven(move |ff| !marked_view.contains(&ff));
                 break_cycles(&remaining, &opts)
             };
-            let mut progressed = false;
+            let round = process_round(planner, &r.selected);
             let mut newly_marked = false;
-            for ff in r.selected {
-                if try_scan(planner, ff) {
-                    scanned.push(ff);
-                    progressed = true;
-                    break; // re-derive the remaining graph
-                }
+            for ff in round.marked {
                 newly_marked |= marked.insert(ff);
+            }
+            let progressed = round.scanned.is_some();
+            if let Some(ff) = round.scanned {
+                scanned.push(ff);
             }
             if progressed || newly_marked {
                 // Fresh marks change the selectability landscape: let the
@@ -400,6 +476,23 @@ mod tests {
         assert!(r.acyclic);
         let f = r.flush.expect("a chain exists");
         assert!(f.passed(), "{:?} vs {:?}", f.observed, f.expected);
+    }
+
+    #[test]
+    fn threads_knob_never_changes_flow_results() {
+        let n = mixed_circuit();
+        let base_full = FullScanFlow::default().run(&n);
+        let base_tp = PartialScanFlow::new(PartialScanMethod::TpTime).run(&n);
+        for threads in [2, 0] {
+            let full = FullScanFlow::default().with_threads(threads).run(&n);
+            assert_eq!(full.row.insertions, base_full.row.insertions);
+            assert_eq!(full.row.scan_paths, base_full.row.scan_paths);
+            assert_eq!(full.pi_values, base_full.pi_values);
+            let tp = PartialScanFlow::new(PartialScanMethod::TpTime).with_threads(threads).run(&n);
+            assert_eq!(tp.row.selected_ffs, base_tp.row.selected_ffs);
+            assert!((tp.row.delay - base_tp.row.delay).abs() < 1e-12);
+            assert!((tp.row.area - base_tp.row.area).abs() < 1e-12);
+        }
     }
 
     #[test]

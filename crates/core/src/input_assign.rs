@@ -178,11 +178,7 @@ pub fn assign_inputs(n: &Netlist, paths: &PathSet, outcome: &TpGreedOutcome) -> 
         free.push(idx);
     }
 
-    InputAssignment {
-        pi_values: fixed.into_iter().collect(),
-        free,
-        physical,
-    }
+    InputAssignment { pi_values: fixed.into_iter().collect(), free, physical }
 }
 
 /// Checks that the trial state still realizes every remaining test point

@@ -36,7 +36,9 @@ pub mod tptime;
 
 pub use flow::{FullScanFlow, PartialScanFlow, PartialScanMethod};
 pub use input_assign::assign_inputs;
-pub use paths::{enumerate_paths, PathId, PathSet, ScanPathCandidate};
+pub use paths::{
+    enumerate_paths, enumerate_paths_with, PathId, PathSet, ScanPathCandidate, Threads,
+};
 pub use region::Region;
 pub use report::{Table1Row, Table3Row};
 pub use tpgreed::{GainUpdate, TpGreed, TpGreedConfig, TpGreedOutcome};

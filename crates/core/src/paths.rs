@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use tpi_netlist::{Conn, GateId, GateKind, Netlist};
+pub use tpi_par::Threads;
 
 /// Identifier of a path inside a [`PathSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -152,18 +153,131 @@ impl PathSet {
 fn rideable(kind: GateKind) -> bool {
     matches!(
         kind,
-        GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Inv | GateKind::Buf
+        GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Inv
+            | GateKind::Buf
     )
 }
 
-/// Enumerates all FF-to-FF combinational paths with at most `k_bound`
-/// side inputs. `max_paths` is a safety cap on the total number of
-/// recorded paths (use `usize::MAX` for none); the count of dropped paths
-/// is available via [`PathSet::truncated`].
+/// [`PathId`] is a `u32`: recording more paths than `u32::MAX` would
+/// silently wrap the id and corrupt every reverse index, so the cap is
+/// clamped here before any enumeration starts.
+fn clamp_max_paths(max_paths: usize) -> usize {
+    max_paths.min(u32::MAX as usize)
+}
+
+/// Paths found by the DFS out of a single source flip-flop, in discovery
+/// order. `attempted` counts every completed path, including those beyond
+/// the recording cap, so the merged [`PathSet::truncated`] figure is
+/// exact.
+#[derive(Debug, Default)]
+struct FfPaths {
+    found: Vec<ScanPathCandidate>,
+    attempted: usize,
+}
+
+/// Iterative DFS over the fanout cone of one flip-flop.
 ///
-/// Complexity is output-sensitive: a DFS from each flip-flop that prunes
-/// as soon as the side-input budget is exceeded.
-pub fn enumerate_paths(n: &Netlist, k_bound: usize, max_paths: usize) -> PathSet {
+/// This used to be a recursive `explore`; deep combinational chains
+/// (tens of thousands of gates between two flip-flops) overflowed the
+/// stack, so the recursion is now an explicit frame stack. Each frame
+/// remembers how to undo its entry mutations (side inputs pushed, parity
+/// flip, on-path mark) when it is popped — the discovery order is
+/// identical to the recursive version's.
+fn dfs_from(n: &Netlist, from: GateId, k_bound: usize, max_paths: usize) -> FfPaths {
+    struct Frame {
+        cur: GateId,
+        /// Next fanout edge of `cur` to examine.
+        edge: usize,
+        /// Side inputs pushed when this frame was entered.
+        added_sides: usize,
+        /// Whether entering this frame flipped the shift polarity.
+        flipped: bool,
+    }
+    let mut out = FfPaths::default();
+    let mut gates: Vec<GateId> = Vec::new();
+    let mut on_path = vec![false; n.gate_count()];
+    let mut side: Vec<Conn> = Vec::new();
+    let mut inverting = false;
+    let mut stack = vec![Frame { cur: from, edge: 0, added_sides: 0, flipped: false }];
+    while let Some(top) = stack.last_mut() {
+        let cur = top.cur;
+        let fanout = n.fanout(cur);
+        if top.edge >= fanout.len() {
+            // Frame exhausted: undo its entry mutations (the root frame,
+            // the flip-flop itself, pushed none).
+            let Frame { added_sides, flipped, .. } = *top;
+            stack.pop();
+            if !stack.is_empty() {
+                if flipped {
+                    inverting = !inverting;
+                }
+                on_path[cur.index()] = false;
+                gates.pop();
+                side.truncate(side.len() - added_sides);
+            }
+            continue;
+        }
+        let (sink, pin) = fanout[top.edge];
+        top.edge += 1;
+        let kind = n.kind(sink);
+        if kind == GateKind::Dff {
+            // Direct FF->FF connections are valid (free) paths.
+            out.attempted += 1;
+            if out.found.len() < max_paths {
+                out.found.push(ScanPathCandidate {
+                    from,
+                    to: sink,
+                    gates: gates.clone(),
+                    side_inputs: side.clone(),
+                    inverting,
+                });
+            }
+            continue;
+        }
+        if !rideable(kind) || on_path[sink.index()] {
+            continue;
+        }
+        // Entering `sink` via `pin`: the other fanins become side
+        // inputs. A "side" whose source lies on the path itself
+        // (or is the source flip-flop) carries the shifting data,
+        // not a constant — such reconvergent paths cannot be
+        // sensitized by test points and are pruned.
+        let mut reconverges = false;
+        let mut new_sides: Vec<Conn> = Vec::new();
+        for (p, &src) in n.fanin(sink).iter().enumerate() {
+            if p == pin as usize {
+                continue;
+            }
+            if on_path[src.index()] || src == from {
+                reconverges = true;
+                break;
+            }
+            new_sides.push(Conn::new(src, sink, p as u32));
+        }
+        if reconverges || side.len() + new_sides.len() > k_bound {
+            continue;
+        }
+        let added = new_sides.len();
+        side.extend(new_sides);
+        gates.push(sink);
+        on_path[sink.index()] = true;
+        let flipped = kind.inverts();
+        if flipped {
+            inverting = !inverting;
+        }
+        stack.push(Frame { cur: sink, edge: 0, added_sides: added, flipped });
+    }
+    out
+}
+
+/// Merges per-flip-flop DFS results into one [`PathSet`], assigning
+/// [`PathId`]s in flip-flop order then discovery order — exactly the
+/// order the sequential single-loop enumeration produces.
+fn merge_ff_paths(jobs: Vec<FfPaths>, max_paths: usize) -> PathSet {
     let mut set = PathSet {
         paths: Vec::new(),
         by_pair: HashMap::new(),
@@ -172,32 +286,16 @@ pub fn enumerate_paths(n: &Netlist, k_bound: usize, max_paths: usize) -> PathSet
         by_from: HashMap::new(),
         truncated: 0,
     };
-    struct Dfs<'a> {
-        n: &'a Netlist,
-        k_bound: usize,
-        max_paths: usize,
-        from: GateId,
-        gates: Vec<GateId>,
-        on_path: Vec<bool>,
-        side: Vec<Conn>,
-        inverting: bool,
-    }
-    impl Dfs<'_> {
-        fn record(&mut self, to: GateId, set: &mut PathSet) {
-            if set.paths.len() >= self.max_paths {
+    for job in jobs {
+        set.truncated += job.attempted - job.found.len();
+        for cand in job.found {
+            if set.paths.len() >= max_paths {
                 set.truncated += 1;
-                return;
+                continue;
             }
             let id = PathId(set.paths.len() as u32);
-            let cand = ScanPathCandidate {
-                from: self.from,
-                to,
-                gates: self.gates.clone(),
-                side_inputs: self.side.clone(),
-                inverting: self.inverting,
-            };
-            set.by_pair.entry((self.from, to)).or_default().push(id);
-            set.by_from.entry(self.from).or_default().push(id);
+            set.by_pair.entry((cand.from, cand.to)).or_default().push(id);
+            set.by_from.entry(cand.from).or_default().push(id);
             for c in &cand.side_inputs {
                 let v = set.by_side_source.entry(c.source).or_default();
                 if v.last() != Some(&id) {
@@ -209,74 +307,39 @@ pub fn enumerate_paths(n: &Netlist, k_bound: usize, max_paths: usize) -> PathSet
             }
             set.paths.push(cand);
         }
-
-        /// Explores continuations from net `cur` (a FF output or a path
-        /// gate output).
-        fn explore(&mut self, cur: GateId, set: &mut PathSet) {
-            for &(sink, pin) in self.n.fanout(cur) {
-                let kind = self.n.kind(sink);
-                if kind == GateKind::Dff {
-                    // Direct FF->FF connections are valid (free) paths.
-                    self.record(sink, set);
-                    continue;
-                }
-                if !rideable(kind) || self.on_path[sink.index()] {
-                    continue;
-                }
-                // Entering `sink` via `pin`: the other fanins become side
-                // inputs. A "side" whose source lies on the path itself
-                // (or is the source flip-flop) carries the shifting data,
-                // not a constant — such reconvergent paths cannot be
-                // sensitized by test points and are pruned.
-                let mut reconverges = false;
-                let mut new_sides: Vec<Conn> = Vec::new();
-                for (p, &src) in self.n.fanin(sink).iter().enumerate() {
-                    if p == pin as usize {
-                        continue;
-                    }
-                    if self.on_path[src.index()] || src == self.from {
-                        reconverges = true;
-                        break;
-                    }
-                    new_sides.push(Conn::new(src, sink, p as u32));
-                }
-                if reconverges || self.side.len() + new_sides.len() > self.k_bound {
-                    continue;
-                }
-                let added = new_sides.len();
-                self.side.extend(new_sides);
-                self.gates.push(sink);
-                self.on_path[sink.index()] = true;
-                let flipped = kind.inverts();
-                if flipped {
-                    self.inverting = !self.inverting;
-                }
-                self.explore(sink, set);
-                if flipped {
-                    self.inverting = !self.inverting;
-                }
-                self.on_path[sink.index()] = false;
-                self.gates.pop();
-                self.side.truncate(self.side.len() - added);
-            }
-        }
-    }
-
-    let ffs = n.dffs();
-    for &ff in &ffs {
-        let mut dfs = Dfs {
-            n,
-            k_bound,
-            max_paths,
-            from: ff,
-            gates: Vec::new(),
-            on_path: vec![false; n.gate_count()],
-            side: Vec::new(),
-            inverting: false,
-        };
-        dfs.explore(ff, &mut set);
     }
     set
+}
+
+/// Enumerates all FF-to-FF combinational paths with at most `k_bound`
+/// side inputs. `max_paths` is a safety cap on the total number of
+/// recorded paths (use `usize::MAX` for none — it is clamped to
+/// `u32::MAX`, the [`PathId`] capacity); the count of dropped paths is
+/// available via [`PathSet::truncated`].
+///
+/// Complexity is output-sensitive: a DFS from each flip-flop that prunes
+/// as soon as the side-input budget is exceeded.
+pub fn enumerate_paths(n: &Netlist, k_bound: usize, max_paths: usize) -> PathSet {
+    enumerate_paths_with(n, k_bound, max_paths, Threads::new(1))
+}
+
+/// Like [`enumerate_paths`] but fans the per-flip-flop DFS jobs across
+/// `threads` workers. The result is **byte-identical** to the sequential
+/// enumeration: each job records in its own discovery order, jobs are
+/// merged in flip-flop order, and the cap + truncation accounting are
+/// applied on the merged stream.
+pub fn enumerate_paths_with(
+    n: &Netlist,
+    k_bound: usize,
+    max_paths: usize,
+    threads: Threads,
+) -> PathSet {
+    let max_paths = clamp_max_paths(max_paths);
+    let ffs = n.dffs();
+    let jobs = tpi_par::map_indexed(threads, ffs.len(), &(), |_, i| {
+        dfs_from(n, ffs[i], k_bound, max_paths)
+    });
+    merge_ff_paths(jobs, max_paths)
 }
 
 #[cfg(test)]
@@ -425,6 +488,52 @@ mod tests {
             for c in &p.side_inputs {
                 assert!(!p.gates.contains(&c.source));
                 assert_ne!(c.source, p.from);
+            }
+        }
+    }
+
+    #[test]
+    fn max_paths_is_clamped_to_path_id_capacity() {
+        assert_eq!(clamp_max_paths(usize::MAX), u32::MAX as usize);
+        assert_eq!(clamp_max_paths(u32::MAX as usize + 1), u32::MAX as usize);
+        assert_eq!(clamp_max_paths(17), 17);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_byte_identical() {
+        // A fanout-heavy circuit with several FFs so the per-FF jobs are
+        // non-trivial; compare against the sequential result, including
+        // under truncation.
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let mut sources = Vec::new();
+        for i in 0..5 {
+            let f = n.add_gate(GateKind::Dff, format!("src{i}"));
+            n.connect(d, f).unwrap();
+            sources.push(f);
+        }
+        for j in 0..4 {
+            // Each sink collects one AND per source through a shared OR,
+            // giving every (source, sink) pair a distinct path.
+            let or = n.add_gate(GateKind::Or, format!("or{j}"));
+            for (i, &s) in sources.iter().enumerate() {
+                let g = n.add_gate(GateKind::And, format!("g{i}_{j}"));
+                n.connect(s, g).unwrap();
+                n.connect(d, g).unwrap();
+                n.connect(g, or).unwrap();
+            }
+            let sink = n.add_gate(GateKind::Dff, format!("snk{j}"));
+            n.connect(or, sink).unwrap();
+        }
+        for cap in [usize::MAX, 40, 7, 0] {
+            let seq = enumerate_paths(&n, 10, cap);
+            for workers in [2, 4] {
+                let par = enumerate_paths_with(&n, 10, cap, Threads::new(workers));
+                assert_eq!(seq.len(), par.len(), "cap {cap} workers {workers}");
+                assert_eq!(seq.truncated(), par.truncated());
+                for id in seq.ids() {
+                    assert_eq!(seq.path(id), par.path(id), "cap {cap} workers {workers}");
+                }
             }
         }
     }

@@ -120,12 +120,8 @@ impl Region {
     /// All gates with exactly one path to the target (the region's tree
     /// nodes). Sorted for determinism.
     pub fn tree_gates(&self) -> Vec<GateId> {
-        let mut v: Vec<GateId> = self
-            .path_count
-            .iter()
-            .filter(|&(_, &c)| c == 1)
-            .map(|(&g, _)| g)
-            .collect();
+        let mut v: Vec<GateId> =
+            self.path_count.iter().filter(|&(_, &c)| c == 1).map(|(&g, _)| g).collect();
         v.sort_unstable();
         v
     }
@@ -153,7 +149,7 @@ mod tests {
         b.gate(GateKind::Inv, "p1", &["g3"]);
         b.gate(GateKind::Inv, "p2", &["g3"]);
         b.gate(GateKind::And, "gb", &["p1", "p2"]); // b's source, reconvergent
-        // g1 with fanouts a (toward c) and e (away).
+                                                    // g1 with fanouts a (toward c) and e (away).
         b.gate(GateKind::And, "g1", &["i3", "i1"]);
         b.gate(GateKind::Inv, "ga", &["g1"]); // a rides into the cone
         b.gate(GateKind::Inv, "ge", &["g1"]); // e leaves the cone

@@ -110,7 +110,8 @@ pub struct Table3Row {
 impl Table3Row {
     /// Computes the derived percentage fields from baselines.
     pub fn with_baselines(mut self, base_area: f64, base_delay: f64) -> Self {
-        self.area_pct = if base_area > 0.0 { (self.area - base_area) / base_area * 100.0 } else { 0.0 };
+        self.area_pct =
+            if base_area > 0.0 { (self.area - base_area) / base_area * 100.0 } else { 0.0 };
         self.delay_pct =
             if base_delay > 0.0 { (self.delay - base_delay) / base_delay * 100.0 } else { 0.0 };
         self

@@ -21,9 +21,10 @@
 //! via [`GainUpdate`] and produce identical selections (see the
 //! `ablation_gain` bench and the equivalence tests).
 
-use crate::paths::{enumerate_paths, PathId, PathSet};
+use crate::paths::{enumerate_paths_with, PathId, PathSet};
 use std::collections::{BinaryHeap, HashMap};
 use tpi_netlist::{GateId, GateKind, Netlist};
+use tpi_par::Threads;
 use tpi_sim::{Implication, Trit};
 
 /// Gain bookkeeping strategy (§III.C).
@@ -50,8 +51,17 @@ pub struct TpGreedConfig {
     pub gain_bound: f64,
     /// Gain bookkeeping strategy.
     pub gain_update: GainUpdate,
-    /// Safety cap on the number of enumerated paths.
+    /// Safety cap on the number of enumerated paths (clamped to
+    /// `u32::MAX`, the `PathId` capacity).
     pub max_paths: usize,
+    /// Worker threads for path enumeration and candidate-gain sweeps:
+    /// `1` runs fully sequentially, `0` uses all hardware threads, any
+    /// other value is an explicit count. Selections are **identical**
+    /// for every setting — workers only split the per-sweep evaluation,
+    /// results are merged in candidate order and the argmax tie-break
+    /// (highest gain, then lowest candidate index) never depends on
+    /// worker scheduling.
+    pub threads: usize,
 }
 
 impl Default for TpGreedConfig {
@@ -62,6 +72,7 @@ impl Default for TpGreedConfig {
             gain_bound: 0.5,
             gain_update: GainUpdate::Incremental,
             max_paths: 1 << 22,
+            threads: 1,
         }
     }
 }
@@ -111,14 +122,22 @@ impl Fragments {
     fn new(n: usize) -> Self {
         Fragments { parent: (0..n).collect() }
     }
+    /// Iterative find with full path compression. (A recursive version
+    /// overflowed the stack on degenerate long union chains — e.g. a
+    /// shift register with tens of thousands of flip-flops unioned in
+    /// order before the first lookup.)
     fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let r = self.find(self.parent[x]);
-            self.parent[x] = r;
-            r
-        } else {
-            x
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
         }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
     }
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
@@ -197,7 +216,8 @@ impl<'a> TpGreed<'a> {
     /// # Panics
     /// Panics if the netlist has a combinational cycle.
     pub fn new(n: &'a Netlist, cfg: TpGreedConfig) -> Self {
-        let paths = enumerate_paths(n, cfg.k_bound, cfg.max_paths);
+        let paths =
+            enumerate_paths_with(n, cfg.k_bound, cfg.max_paths, Threads::from_knob(cfg.threads));
         Self::with_paths(n, cfg, paths)
     }
 
@@ -293,11 +313,13 @@ impl<'a> TpGreed<'a> {
     }
 
     fn run_full(&mut self) {
+        let all: Vec<usize> = (0..self.gains.len()).collect();
         loop {
             self.iterations += 1;
+            let evals = self.sweep_gains(&all, false);
             let mut best: Option<(f64, usize)> = None;
-            for cand in 0..self.gains.len() {
-                let g = self.compute_gain(cand, false);
+            for (cand, e) in evals.iter().enumerate() {
+                let g = e.gain;
                 self.gains[cand] = g;
                 if g > 0.0 && g >= self.cfg.gain_bound && best.is_none_or(|(bg, _)| g > bg) {
                     best = Some((g, cand));
@@ -312,15 +334,16 @@ impl<'a> TpGreed<'a> {
         let mut heap: BinaryHeap<(OrdF64, std::cmp::Reverse<usize>)> = BinaryHeap::new();
         loop {
             self.iterations += 1;
-            // Refresh dirty candidates.
-            for cand in 0..self.gains.len() {
-                if self.dirty[cand] {
-                    self.dirty[cand] = false;
-                    let g = self.compute_gain(cand, true);
-                    self.gains[cand] = g;
-                    if g > 0.0 && g >= self.cfg.gain_bound {
-                        heap.push((OrdF64(g), std::cmp::Reverse(cand)));
-                    }
+            // Refresh dirty candidates (ascending order; the parallel
+            // sweep returns results in that same order).
+            let dirty: Vec<usize> = (0..self.gains.len()).filter(|&c| self.dirty[c]).collect();
+            let evals = self.sweep_gains(&dirty, true);
+            for (&cand, eval) in dirty.iter().zip(&evals) {
+                self.dirty[cand] = false;
+                self.gains[cand] = eval.gain;
+                self.register_watchers(cand, eval);
+                if eval.gain > 0.0 && eval.gain >= self.cfg.gain_bound {
+                    heap.push((OrdF64(eval.gain), std::cmp::Reverse(cand)));
                 }
             }
             // Pop the best non-stale entry.
@@ -341,132 +364,59 @@ impl<'a> TpGreed<'a> {
         }
     }
 
-    /// Evaluates Equation 1 for candidate `cand`. With `register`, records
-    /// watcher entries so the incremental mode knows what to re-examine.
-    fn compute_gain(&mut self, cand: usize, register: bool) -> f64 {
-        let (net, value) = decode(cand);
-        if !self.is_candidate_net(net) {
-            return GAIN_INVALID;
+    /// Evaluates Equation 1 for every candidate in `cands`, returning the
+    /// results in the same order.
+    ///
+    /// With `cfg.threads > 1` the candidates are fanned across a scoped
+    /// thread pool; each worker owns one clone of the implication engine
+    /// for the whole sweep, and `preview_force`/`undo_preview` stay
+    /// thread-local to that clone. Evaluations are independent — a
+    /// preview restores the engine exactly (see the
+    /// `implication_preview_roundtrip` property) and the union-find roots
+    /// are snapshotted up front — so the result vector is identical to
+    /// the sequential sweep's, element for element.
+    fn sweep_gains(&mut self, cands: &[usize], register: bool) -> Vec<GainEval> {
+        // Snapshot the chain-fragment roots so `pair_usable` needs no
+        // mutable union-find access inside workers.
+        let ff_roots: Vec<usize> = {
+            let frags = &mut self.frags;
+            (0..frags.parent.len()).map(|i| frags.find(i)).collect()
+        };
+        let ctx = EvalCtx {
+            n: self.n,
+            paths: &self.paths,
+            state: &self.state,
+            ff_index: &self.ff_index,
+            out_taken: &self.out_taken,
+            in_taken: &self.in_taken,
+            ff_roots: &ff_roots,
+            protected: &self.protected,
+            established_net: &self.established_net,
+        };
+        let threads = Threads::from_knob(self.cfg.threads);
+        // Below ~2 candidates per worker the clone + spawn overhead
+        // dominates; the cutoff only affects speed, never results.
+        if threads.get() <= 1 || cands.len() < 2 * threads.get() {
+            let imp = &mut self.imp;
+            cands.iter().map(|&cand| ctx.evaluate(imp, cand, register)).collect()
+        } else {
+            tpi_par::map_indexed(threads, cands.len(), &self.imp, |imp, i| {
+                ctx.evaluate(imp, cands[i], register)
+            })
         }
-        // A net already carrying a committed test point is off-limits:
-        // physically, stacked gates at one net resolve in insertion
-        // order (the outermost wins), which would diverge from the
-        // implication model's last-write-wins override.
-        if self.imp.is_forced(net) {
-            return GAIN_INVALID; // force set is monotone; stays invalid
-        }
-        if self.imp.value(net) == value {
-            // No effect *now* — but a later override can revert this
-            // net's implied value, so the incremental mode must know to
-            // re-examine the candidate when the net changes.
-            if register {
-                self.net_watchers.entry(net).or_default().push(cand);
-            }
-            return 0.0;
-        }
-        let preview = self.imp.preview_force(net, value);
-
-        // Validity: the implication must not disturb protected constants
-        // or put a constant on an established path.
-        let mut valid = true;
-        for a in preview.changes() {
-            if let Some(&want) = self.protected.get(&a.net) {
-                if want != a.value {
-                    valid = false;
-                    break;
-                }
-            }
-            if self.established_net[a.net.index()] {
-                valid = false;
-                break;
-            }
-        }
-
-        let mut gain = 0.0;
-        let mut touched: Vec<PathId> = Vec::new();
-        if valid {
-            // Collect paths affected by the implied constants.
-            let mut affected: Vec<PathId> = Vec::new();
-            for a in preview.changes() {
-                affected.extend_from_slice(self.paths.paths_with_side_source(a.net));
-                affected.extend_from_slice(self.paths.paths_through(a.net));
-                affected.extend_from_slice(self.paths.paths_from(a.net));
-            }
-            affected.sort_unstable();
-            affected.dedup();
-            // Per-destination maxima (Equation 1's  Σ_j max_i max_p).
-            // BTreeMap: the float sum must accumulate in a fixed order,
-            // or exact gain ties break differently across runs.
-            let mut best_per_dest: std::collections::BTreeMap<GateId, f64> = Default::default();
-            let mut kills = 0usize;
-            for id in affected {
-                touched.push(id);
-                let st = self.state[id.index()];
-                if !st.alive || st.established || !self.pair_usable(id) {
-                    continue;
-                }
-                let (nullified, new_w) = self.path_status(id);
-                if nullified {
-                    kills += 1;
-                    continue;
-                }
-                if new_w >= st.w {
-                    continue; // no progress under this preview
-                }
-                let contribution = 1.0 / st.w as f64;
-                let dest = self.paths.path(id).to;
-                let e = best_per_dest.entry(dest).or_insert(0.0);
-                if contribution > *e {
-                    *e = contribution;
-                }
-            }
-            gain = best_per_dest.values().sum();
-            // Tie-breaker only (Equation 1 stays dominant): between
-            // equal-gain candidates, prefer the one that nullifies fewer
-            // still-usable paths.
-            if gain > 0.0 {
-                gain -= 1e-6 * kills as f64;
-            }
-        }
-
-        if register {
-            for id in &touched {
-                self.path_watchers.entry(*id).or_default().push(cand);
-            }
-            for a in preview.changes() {
-                self.net_watchers.entry(a.net).or_default().push(cand);
-            }
-            for &g in preview.frontier() {
-                self.gate_watchers.entry(g).or_default().push(cand);
-            }
-        }
-        self.imp.undo_preview(preview);
-        if !valid {
-            return GAIN_INVALID;
-        }
-        gain
     }
 
-    /// Current (possibly previewed) status of a path: (nullified, w).
-    fn path_status(&self, id: PathId) -> (bool, u32) {
-        let p = self.paths.path(id);
-        // A constant at the source FF's output (a test point spliced
-        // there) or on any path gate blocks shifting.
-        if self.imp.value(p.from).is_known()
-            || p.gates.iter().any(|&g| self.imp.value(g).is_known())
-        {
-            return (true, 0);
+    /// Records one candidate's watcher registrations (incremental mode).
+    fn register_watchers(&mut self, cand: usize, eval: &GainEval) {
+        for id in &eval.touched {
+            self.path_watchers.entry(*id).or_default().push(cand);
         }
-        let mut w = 0;
-        for c in &p.side_inputs {
-            let sens = sensitizing_for(self.n.kind(c.sink));
-            match self.imp.value(c.source) {
-                Trit::X => w += 1,
-                v if Some(v) == sens => {}
-                _ => return (true, 0),
-            }
+        for &net in &eval.watch_nets {
+            self.net_watchers.entry(net).or_default().push(cand);
         }
-        (false, w)
+        for &g in &eval.frontier {
+            self.gate_watchers.entry(g).or_default().push(cand);
+        }
     }
 
     fn pair_usable(&mut self, id: PathId) -> bool {
@@ -477,15 +427,10 @@ impl<'a> TpGreed<'a> {
         !self.out_taken[i] && !self.in_taken[j] && self.frags.find(i) != self.frags.find(j)
     }
 
-    fn is_candidate_net(&self, net: GateId) -> bool {
-        let kind = self.n.kind(net);
-        if matches!(kind, GateKind::Output | GateKind::Const0 | GateKind::Const1) {
-            return false;
-        }
-        if self.protected.contains_key(&net) || self.established_net[net.index()] {
-            return false;
-        }
-        true
+    /// Current status of a path under `self.imp`: (nullified, w). Used on
+    /// the committed state; the preview-time twin lives on [`EvalCtx`].
+    fn path_status(&self, id: PathId) -> (bool, u32) {
+        path_status_in(self.n, &self.paths, &self.imp, id)
     }
 
     /// Commits the candidate: forces the constant, prunes nullified
@@ -616,6 +561,186 @@ impl<'a> TpGreed<'a> {
     }
 }
 
+/// Result of evaluating one candidate: the Equation 1 gain plus the
+/// watcher registrations the incremental mode needs. Pure data — workers
+/// produce these, the master merges them in candidate order.
+#[derive(Debug, Clone, Default)]
+struct GainEval {
+    gain: f64,
+    /// Paths examined under the preview (→ `path_watchers`).
+    touched: Vec<PathId>,
+    /// Nets the preview determined, or the candidate net itself when the
+    /// value was already implied (→ `net_watchers`).
+    watch_nets: Vec<GateId>,
+    /// Frontier gates of the implication wave (→ `gate_watchers`).
+    frontier: Vec<GateId>,
+}
+
+/// Immutable snapshot of everything `evaluate` reads besides the
+/// implication engine. Shared by reference across workers; the engine
+/// itself is the only mutable piece and each worker owns a clone.
+struct EvalCtx<'s, 'a> {
+    n: &'a Netlist,
+    paths: &'s PathSet,
+    state: &'s [PathState],
+    ff_index: &'s HashMap<GateId, usize>,
+    out_taken: &'s [bool],
+    in_taken: &'s [bool],
+    /// Union-find roots snapshotted before the sweep (`find` needs
+    /// `&mut`, and path compression never changes roots, so a snapshot
+    /// is exact).
+    ff_roots: &'s [usize],
+    protected: &'s HashMap<GateId, Trit>,
+    established_net: &'s [bool],
+}
+
+impl EvalCtx<'_, '_> {
+    /// Evaluates Equation 1 for candidate `cand` on `imp`. The preview is
+    /// undone before returning, so `imp` is restored exactly and
+    /// evaluations are order-independent. With `register`, the returned
+    /// [`GainEval`] carries the watcher registrations (they are collected
+    /// even for invalid candidates — an invalid implication can become
+    /// valid or extend after a later commit, so the incremental mode must
+    /// re-examine it when its cone changes).
+    fn evaluate(&self, imp: &mut Implication<'_>, cand: usize, register: bool) -> GainEval {
+        let (net, value) = decode(cand);
+        if !self.is_candidate_net(net) {
+            return GainEval { gain: GAIN_INVALID, ..Default::default() };
+        }
+        // A net already carrying a committed test point is off-limits:
+        // physically, stacked gates at one net resolve in insertion
+        // order (the outermost wins), which would diverge from the
+        // implication model's last-write-wins override.
+        if imp.is_forced(net) {
+            return GainEval { gain: GAIN_INVALID, ..Default::default() };
+        }
+        if imp.value(net) == value {
+            // No effect *now* — but a later override can revert this
+            // net's implied value, so the incremental mode must know to
+            // re-examine the candidate when the net changes.
+            let watch_nets = if register { vec![net] } else { Vec::new() };
+            return GainEval { gain: 0.0, watch_nets, ..Default::default() };
+        }
+        let preview = imp.preview_force(net, value);
+
+        // Validity: the implication must not disturb protected constants
+        // or put a constant on an established path.
+        let mut valid = true;
+        for a in preview.changes() {
+            if let Some(&want) = self.protected.get(&a.net) {
+                if want != a.value {
+                    valid = false;
+                    break;
+                }
+            }
+            if self.established_net[a.net.index()] {
+                valid = false;
+                break;
+            }
+        }
+
+        let mut gain = 0.0;
+        let mut touched: Vec<PathId> = Vec::new();
+        if valid {
+            // Collect paths affected by the implied constants.
+            let mut affected: Vec<PathId> = Vec::new();
+            for a in preview.changes() {
+                affected.extend_from_slice(self.paths.paths_with_side_source(a.net));
+                affected.extend_from_slice(self.paths.paths_through(a.net));
+                affected.extend_from_slice(self.paths.paths_from(a.net));
+            }
+            affected.sort_unstable();
+            affected.dedup();
+            // Per-destination maxima (Equation 1's  Σ_j max_i max_p).
+            // BTreeMap: the float sum must accumulate in a fixed order,
+            // or exact gain ties break differently across runs.
+            let mut best_per_dest: std::collections::BTreeMap<GateId, f64> = Default::default();
+            let mut kills = 0usize;
+            for id in affected {
+                touched.push(id);
+                let st = self.state[id.index()];
+                if !st.alive || st.established || !self.pair_usable(id) {
+                    continue;
+                }
+                let (nullified, new_w) = path_status_in(self.n, self.paths, imp, id);
+                if nullified {
+                    kills += 1;
+                    continue;
+                }
+                if new_w >= st.w {
+                    continue; // no progress under this preview
+                }
+                let contribution = 1.0 / st.w as f64;
+                let dest = self.paths.path(id).to;
+                let e = best_per_dest.entry(dest).or_insert(0.0);
+                if contribution > *e {
+                    *e = contribution;
+                }
+            }
+            gain = best_per_dest.values().sum();
+            // Tie-breaker only (Equation 1 stays dominant): between
+            // equal-gain candidates, prefer the one that nullifies fewer
+            // still-usable paths.
+            if gain > 0.0 {
+                gain -= 1e-6 * kills as f64;
+            }
+        }
+
+        let (watch_nets, frontier) = if register {
+            (preview.changes().iter().map(|a| a.net).collect(), preview.frontier().to_vec())
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        if !register {
+            touched.clear();
+        }
+        imp.undo_preview(preview);
+        let gain = if valid { gain } else { GAIN_INVALID };
+        GainEval { gain, touched, watch_nets, frontier }
+    }
+
+    /// Pairwise usability of a path's endpoints (chain degree and
+    /// acyclicity), against the snapshotted union-find roots.
+    fn pair_usable(&self, id: PathId) -> bool {
+        let p = self.paths.path(id);
+        let (Some(&i), Some(&j)) = (self.ff_index.get(&p.from), self.ff_index.get(&p.to)) else {
+            return false;
+        };
+        !self.out_taken[i] && !self.in_taken[j] && self.ff_roots[i] != self.ff_roots[j]
+    }
+
+    fn is_candidate_net(&self, net: GateId) -> bool {
+        let kind = self.n.kind(net);
+        if matches!(kind, GateKind::Output | GateKind::Const0 | GateKind::Const1) {
+            return false;
+        }
+        if self.protected.contains_key(&net) || self.established_net[net.index()] {
+            return false;
+        }
+        true
+    }
+}
+
+/// Status of path `id` under the given implication state: (nullified, w).
+fn path_status_in(n: &Netlist, paths: &PathSet, imp: &Implication<'_>, id: PathId) -> (bool, u32) {
+    let p = paths.path(id);
+    // A constant at the source FF's output (a test point spliced there)
+    // or on any path gate blocks shifting.
+    if imp.value(p.from).is_known() || p.gates.iter().any(|&g| imp.value(g).is_known()) {
+        return (true, 0);
+    }
+    let mut w = 0;
+    for c in &p.side_inputs {
+        let sens = sensitizing_for(n.kind(c.sink));
+        match imp.value(c.source) {
+            Trit::X => w += 1,
+            v if Some(v) == sens => {}
+            _ => return (true, 0),
+        }
+    }
+    (false, w)
+}
+
 fn sensitizing_for(kind: GateKind) -> Option<Trit> {
     kind.sensitizing_value().map(Trit::from)
 }
@@ -658,7 +783,11 @@ impl Ord for OrdF64 {
 /// or two outgoing scan edges, no cycles).
 ///
 /// Returns a human-readable description of the first violation, if any.
-pub fn verify_outcome(n: &Netlist, paths: &PathSet, outcome: &TpGreedOutcome) -> Result<(), String> {
+pub fn verify_outcome(
+    n: &Netlist,
+    paths: &PathSet,
+    outcome: &TpGreedOutcome,
+) -> Result<(), String> {
     let mut imp = Implication::new(n);
     for &(net, v) in &outcome.test_points {
         imp.force(net, v);
@@ -734,7 +863,22 @@ pub fn verify_outcome(n: &Netlist, paths: &PathSet, outcome: &TpGreedOutcome) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paths::enumerate_paths;
     use tpi_netlist::NetlistBuilder;
+
+    #[test]
+    fn fragments_find_survives_deep_chains() {
+        // A recursive find would blow the stack here: 200k unions in
+        // order build one maximally deep parent chain before the first
+        // compressing lookup.
+        let mut f = Fragments::new(200_001);
+        for i in 0..200_000 {
+            f.union(i, i + 1);
+        }
+        let root = f.find(0);
+        assert_eq!(f.find(200_000), root);
+        assert_eq!(f.find(100_000), root);
+    }
 
     /// The paper's Figure 1 skeleton: F1 -OR(x)-> F2 -AND(F4)-> F3, with
     /// F4 driven by x. One AND test point at F4's output (or the PI value
@@ -834,11 +978,8 @@ mod tests {
     #[test]
     fn gain_bound_terminates_early() {
         let n = fig1_like();
-        let outcome = TpGreed::new(
-            &n,
-            TpGreedConfig { gain_bound: 10.0, ..TpGreedConfig::default() },
-        )
-        .run();
+        let outcome =
+            TpGreed::new(&n, TpGreedConfig { gain_bound: 10.0, ..TpGreedConfig::default() }).run();
         assert!(outcome.test_points.is_empty(), "no candidate reaches gain 10");
     }
 
@@ -879,11 +1020,9 @@ mod config_tests {
         let n = workload(3);
         let mut prev = usize::MAX;
         for bound in [0.25, 0.5, 1.0, 2.0] {
-            let outcome = TpGreed::new(
-                &n,
-                TpGreedConfig { gain_bound: bound, ..TpGreedConfig::default() },
-            )
-            .run();
+            let outcome =
+                TpGreed::new(&n, TpGreedConfig { gain_bound: bound, ..TpGreedConfig::default() })
+                    .run();
             assert!(
                 outcome.test_points.len() <= prev,
                 "bound {bound}: {} > {}",
@@ -905,15 +1044,46 @@ mod config_tests {
         for k in [0usize, 1, 2, 4, 10] {
             let cfg = TpGreedConfig { k_bound: k, ..TpGreedConfig::default() };
             let (outcome, paths) = TpGreed::new(&n, cfg).run_with_paths();
-            assert!(
-                paths.len() >= prev,
-                "k {k}: candidate count {} < {}",
-                paths.len(),
-                prev
-            );
+            assert!(paths.len() >= prev, "k {k}: candidate count {} < {}", paths.len(), prev);
             assert!(outcome.scan_paths.len() <= paths.len());
             verify_outcome(&n, &paths, &outcome).unwrap();
             prev = paths.len();
+        }
+    }
+
+    /// The `threads` knob must never change the outcome: for both gain
+    /// strategies, every worker count selects the exact same test-point
+    /// sequence and scan paths as the sequential run.
+    #[test]
+    fn parallel_selections_match_sequential() {
+        for seed in [7, 8, 9] {
+            let n = workload(seed);
+            for update in [GainUpdate::Full, GainUpdate::Incremental] {
+                let base = TpGreed::new(
+                    &n,
+                    TpGreedConfig { gain_update: update, threads: 1, ..TpGreedConfig::default() },
+                )
+                .run();
+                for threads in [2, 4, 0] {
+                    let par = TpGreed::new(
+                        &n,
+                        TpGreedConfig { gain_update: update, threads, ..TpGreedConfig::default() },
+                    )
+                    .run();
+                    assert_eq!(
+                        par.test_points, base.test_points,
+                        "seed {seed} {update:?} threads {threads}"
+                    );
+                    assert_eq!(
+                        par.scan_paths, base.scan_paths,
+                        "seed {seed} {update:?} threads {threads}"
+                    );
+                    assert_eq!(
+                        par.iterations, base.iterations,
+                        "seed {seed} {update:?} threads {threads}"
+                    );
+                }
+            }
         }
     }
 
@@ -922,11 +1092,9 @@ mod config_tests {
     #[test]
     fn max_paths_cap_degrades_gracefully() {
         let n = workload(5);
-        let (outcome, paths) = TpGreed::new(
-            &n,
-            TpGreedConfig { max_paths: 8, ..TpGreedConfig::default() },
-        )
-        .run_with_paths();
+        let (outcome, paths) =
+            TpGreed::new(&n, TpGreedConfig { max_paths: 8, ..TpGreedConfig::default() })
+                .run_with_paths();
         assert!(paths.len() <= 8);
         assert!(paths.truncated() > 0);
         verify_outcome(&n, &paths, &outcome).unwrap();

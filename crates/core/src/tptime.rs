@@ -101,7 +101,13 @@ struct Solution {
 
 impl Solution {
     fn free(net: GateId, v: Trit) -> Self {
-        Solution { cost: 0.0, actions: vec![], desired: vec![(net, v)], route: vec![], inverting: false }
+        Solution {
+            cost: 0.0,
+            actions: vec![],
+            desired: vec![(net, v)],
+            route: vec![],
+            inverting: false,
+        }
     }
     fn merge(mut self, other: Solution) -> Self {
         self.cost += other.cost;
@@ -526,7 +532,13 @@ impl ScanPlanner {
                         best
                     } else {
                         // Every input must be sensitizing.
-                        let mut total = Some(Solution { cost: 0.0, actions: vec![], desired: vec![], route: vec![], inverting: false });
+                        let mut total = Some(Solution {
+                            cost: 0.0,
+                            actions: vec![],
+                            desired: vec![],
+                            route: vec![],
+                            inverting: false,
+                        });
                         for &f in &fanins {
                             total = match (total, self.solve(f, Want::of(!ctrl), region, memo)) {
                                 (Some(t), Some(s)) => Some(t.merge(s)),
@@ -588,10 +600,7 @@ impl ScanPlanner {
                 PlanAction::InsertMux { at } => {
                     self.n.ensure_test_input();
                     let stub = Self::ensure_scan_stub(&mut self.n, &mut self.scan_stub);
-                    let m = self
-                        .n
-                        .insert_scan_mux(at, stub)
-                        .expect("plan nets are valid");
+                    let m = self.n.insert_scan_mux(at, stub).expect("plan nets are valid");
                     self.seed_sta(m, at);
                     mux = Some(m);
                     self.route.insert(m);
@@ -645,10 +654,8 @@ impl ScanPlanner {
     pub fn scan_conventionally(&mut self, ff: GateId) -> ChainLink {
         self.n.ensure_test_input();
         let stub = Self::ensure_scan_stub(&mut self.n, &mut self.scan_stub);
-        let mux = self
-            .n
-            .insert_scan_mux_at_pin(ff, 0, stub)
-            .expect("flip-flops always have a D pin");
+        let mux =
+            self.n.insert_scan_mux_at_pin(ff, 0, stub).expect("flip-flops always have a D pin");
         self.seed_sta(mux, ff);
         self.values = compute_values(&self.n, &self.pi_assign);
         let link = ChainLink::Mux { mux, ff, inverting: false };

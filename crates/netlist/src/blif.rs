@@ -192,7 +192,13 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
                     return Err(ParseBlifError::Syntax { line: lineno, text });
                 }
                 let output = names.pop().expect("at least one name");
-                current = Some(Cover { inputs: names, output, cubes: Vec::new(), on_set: true, line: lineno });
+                current = Some(Cover {
+                    inputs: names,
+                    output,
+                    cubes: Vec::new(),
+                    on_set: true,
+                    line: lineno,
+                });
             }
             ".end" => {
                 flush(&mut current, &mut covers);
@@ -301,10 +307,10 @@ fn decompose_cover(
     // are shared per variable and named with a global counter, so they
     // can never collide with re-parsed gate names.
     let literal = |b: &mut NetlistBuilder,
-                       inverter_of: &mut HashMap<String, String>,
-                       aux: &mut usize,
-                       var: &str,
-                       positive: bool| {
+                   inverter_of: &mut HashMap<String, String>,
+                   aux: &mut usize,
+                   var: &str,
+                   positive: bool| {
         if positive {
             var.to_string()
         } else if let Some(n) = inverter_of.get(var) {
@@ -377,11 +383,7 @@ pub fn write_blif(n: &Netlist) -> String {
         ins.push(n.gate_name(t));
     }
     out.push_str(&format!(".inputs {}\n", ins.join(" ")));
-    let outs: Vec<&str> = n
-        .outputs()
-        .iter()
-        .map(|&o| n.gate_name(n.fanin(o)[0]))
-        .collect();
+    let outs: Vec<&str> = n.outputs().iter().map(|&o| n.gate_name(n.fanin(o)[0])).collect();
     out.push_str(&format!(".outputs {}\n", outs.join(" ")));
     for g in n.gate_ids() {
         let name = n.gate_name(g);
@@ -396,7 +398,12 @@ pub fn write_blif(n: &Netlist) -> String {
             GateKind::Buf => out.push_str(&format!(".names {} {}\n1 1\n", fanins[0], name)),
             GateKind::Inv => out.push_str(&format!(".names {} {}\n0 1\n", fanins[0], name)),
             GateKind::And => {
-                out.push_str(&format!(".names {} {}\n{} 1\n", fanins.join(" "), name, "1".repeat(fanins.len())));
+                out.push_str(&format!(
+                    ".names {} {}\n{} 1\n",
+                    fanins.join(" "),
+                    name,
+                    "1".repeat(fanins.len())
+                ));
             }
             GateKind::Nand => {
                 out.push_str(&format!(".names {} {}\n", fanins.join(" "), name));
@@ -437,9 +444,7 @@ pub fn write_blif(n: &Netlist) -> String {
 }
 
 fn one_hot_row(width: usize, position: usize, hot: u8) -> String {
-    (0..width)
-        .map(|i| if i == position { hot as char } else { '-' })
-        .collect()
+    (0..width).map(|i| if i == position { hot as char } else { '-' }).collect()
 }
 
 #[cfg(test)]
@@ -472,7 +477,8 @@ mod tests {
 
     #[test]
     fn single_cube_cover_becomes_and() {
-        let n = parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n").unwrap();
+        let n =
+            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n").unwrap();
         let y = n.find("y").unwrap();
         // passthrough Buf over an AND, or the AND itself named y
         assert!(matches!(n.kind(y), GateKind::Buf | GateKind::And));
@@ -484,10 +490,7 @@ mod tests {
             ".model t\n.inputs a b c\n.outputs y z\n.names a b y\n01 1\n.names a c z\n01 1\n.end\n",
         )
         .unwrap();
-        let invs = n
-            .gate_ids()
-            .filter(|&g| n.kind(g) == GateKind::Inv)
-            .count();
+        let invs = n.gate_ids().filter(|&g| n.kind(g) == GateKind::Inv).count();
         assert_eq!(invs, 1, "the inverter on `a` must be shared");
     }
 
@@ -531,9 +534,8 @@ mod tests {
 
     #[test]
     fn mixed_cover_is_rejected() {
-        let err =
-            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n")
-                .unwrap_err();
+        let err = parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n")
+            .unwrap_err();
         assert!(matches!(err, ParseBlifError::MixedCover { .. }));
     }
 

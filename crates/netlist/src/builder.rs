@@ -34,7 +34,12 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// Creates a builder for a design named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        NetlistBuilder { name: name.into(), inputs: Vec::new(), outputs: Vec::new(), gates: Vec::new() }
+        NetlistBuilder {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        }
     }
 
     /// Declares a primary input.
@@ -51,8 +56,7 @@ impl NetlistBuilder {
 
     /// Declares a gate `name = kind(fanins...)`.
     pub fn gate(&mut self, kind: GateKind, name: impl Into<String>, fanins: &[&str]) -> &mut Self {
-        self.gates
-            .push((kind, name.into(), fanins.iter().map(|s| s.to_string()).collect()));
+        self.gates.push((kind, name.into(), fanins.iter().map(|s| s.to_string()).collect()));
         self
     }
 

@@ -37,10 +37,9 @@ impl fmt::Display for NetlistError {
             NetlistError::ArityExceeded { gate, kind, arity } => {
                 write!(f, "gate {gate} of kind {kind} accepts at most {arity} fanins")
             }
-            NetlistError::ArityUnderflow { gate, kind, expected, actual } => write!(
-                f,
-                "gate {gate} of kind {kind} requires {expected} fanins, has {actual}"
-            ),
+            NetlistError::ArityUnderflow { gate, kind, expected, actual } => {
+                write!(f, "gate {gate} of kind {kind} requires {expected} fanins, has {actual}")
+            }
             NetlistError::NoSuchPin { gate, pin } => write!(f, "gate {gate} has no pin {pin}"),
             NetlistError::CombinationalCycle(g) => {
                 write!(f, "combinational cycle through gate {g}")

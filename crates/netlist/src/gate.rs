@@ -113,7 +113,11 @@ impl GateKind {
     pub fn is_combinational(self) -> bool {
         !matches!(
             self,
-            GateKind::Input | GateKind::Output | GateKind::Dff | GateKind::Const0 | GateKind::Const1
+            GateKind::Input
+                | GateKind::Output
+                | GateKind::Dff
+                | GateKind::Const0
+                | GateKind::Const1
         )
     }
 
@@ -121,10 +125,7 @@ impl GateKind {
     /// graph: primary inputs, flip-flop outputs and constants.
     #[inline]
     pub fn is_source(self) -> bool {
-        matches!(
-            self,
-            GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1
-        )
+        matches!(self, GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1)
     }
 
     /// True when the gate logically inverts the data path from any single

@@ -112,7 +112,11 @@ impl Netlist {
     ///
     /// # Errors
     /// Fails if `src` does not exist or cannot drive fanouts.
-    pub fn add_output(&mut self, name: impl Into<String>, src: GateId) -> Result<GateId, NetlistError> {
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        src: GateId,
+    ) -> Result<GateId, NetlistError> {
         self.check(src)?;
         let id = self.add_gate(GateKind::Output, name);
         self.connect(src, id)?;
@@ -150,7 +154,12 @@ impl Netlist {
     ///
     /// # Errors
     /// Fails if the pin does not exist or `new_src` cannot drive fanouts.
-    pub fn replace_fanin(&mut self, sink: GateId, pin: u32, new_src: GateId) -> Result<(), NetlistError> {
+    pub fn replace_fanin(
+        &mut self,
+        sink: GateId,
+        pin: u32,
+        new_src: GateId,
+    ) -> Result<(), NetlistError> {
         self.check(sink)?;
         self.check(new_src)?;
         if self.gates[new_src.index()].kind == GateKind::Output {
@@ -321,8 +330,7 @@ impl Netlist {
     pub fn splice_on_net(&mut self, target: GateId, new_gate: GateId) -> Result<(), NetlistError> {
         self.check(target)?;
         self.check(new_gate)?;
-        let outs: Vec<(GateId, u32)> = self
-            .gates[target.index()]
+        let outs: Vec<(GateId, u32)> = self.gates[target.index()]
             .fanouts
             .iter()
             .copied()
@@ -381,7 +389,11 @@ impl Netlist {
     ///
     /// # Errors
     /// Fails if either gate is unknown or `target` is an output port.
-    pub fn insert_scan_mux(&mut self, target: GateId, scan_src: GateId) -> Result<GateId, NetlistError> {
+    pub fn insert_scan_mux(
+        &mut self,
+        target: GateId,
+        scan_src: GateId,
+    ) -> Result<GateId, NetlistError> {
         self.check(target)?;
         self.check(scan_src)?;
         if self.kind(target) == GateKind::Output {

@@ -83,7 +83,13 @@ impl fmt::Display for NetlistStats {
         write!(
             f,
             "#I={} #O={} #FF={} gates={} conns={} area={:.1} levels={}",
-            self.inputs, self.outputs, self.ffs, self.comb_gates, self.connections, self.area, self.levels
+            self.inputs,
+            self.outputs,
+            self.ffs,
+            self.comb_gates,
+            self.connections,
+            self.area,
+            self.levels
         )
     }
 }

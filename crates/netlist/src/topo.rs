@@ -45,10 +45,7 @@ pub fn topo_order(n: &Netlist) -> Result<Vec<GateId>, TopoError> {
         indeg[g.index()] = n.fanin(g).len() as u32;
     }
     let mut order = Vec::with_capacity(count);
-    let mut queue: Vec<GateId> = n
-        .gate_ids()
-        .filter(|&g| indeg[g.index()] == 0)
-        .collect();
+    let mut queue: Vec<GateId> = n.gate_ids().filter(|&g| indeg[g.index()] == 0).collect();
     while let Some(g) = queue.pop() {
         order.push(g);
         if n.kind(g) == GateKind::Output {
@@ -90,12 +87,7 @@ pub fn levelize(n: &Netlist) -> Result<Vec<u32>, TopoError> {
             level[g.index()] = 0;
             continue;
         }
-        let l = n
-            .fanin(g)
-            .iter()
-            .map(|&f| level[f.index()])
-            .max()
-            .unwrap_or(0);
+        let l = n.fanin(g).iter().map(|&f| level[f.index()]).max().unwrap_or(0);
         level[g.index()] = l + 1;
     }
     Ok(level)

@@ -147,8 +147,7 @@ pub fn fold_constants(n: &mut Netlist) -> FoldReport {
                 continue;
             }
         }
-        let ins: Vec<Option<bool>> =
-            n.fanin(g).iter().map(|f| constant.get(f).copied()).collect();
+        let ins: Vec<Option<bool>> = n.fanin(g).iter().map(|f| constant.get(f).copied()).collect();
         let Some(value) = fold_kind(kind, &ins) else { continue };
         constant.insert(g, value);
         // Rewire fanouts to a shared constant gate (registered in the

@@ -63,7 +63,11 @@ pub fn write_verilog(n: &Netlist) -> String {
     ports.extend(n.outputs().iter().map(|&g| name(g).to_string()));
 
     let mut out = String::new();
-    out.push_str(&format!("module {} (\n    {}\n);\n", sanitize_module(n.name()), ports.join(",\n    ")));
+    out.push_str(&format!(
+        "module {} (\n    {}\n);\n",
+        sanitize_module(n.name()),
+        ports.join(",\n    ")
+    ));
     out.push_str("  input clk;\n");
     for &g in &n.inputs() {
         out.push_str(&format!("  input {};\n", name(g)));
@@ -90,7 +94,11 @@ pub fn write_verilog(n: &Netlist) -> String {
         let kind = n.kind(g);
         let ins: Vec<&str> = n.fanin(g).iter().map(|&f| name(f)).collect();
         match kind {
-            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
             | GateKind::Xnor => {
                 let prim = match kind {
                     GateKind::And => "and",
@@ -126,11 +134,7 @@ pub fn write_verilog(n: &Netlist) -> String {
             GateKind::Const0 => out.push_str(&format!("  assign {} = 1'b0;\n", name(g))),
             GateKind::Const1 => out.push_str(&format!("  assign {} = 1'b1;\n", name(g))),
             GateKind::Dff => {
-                out.push_str(&format!(
-                    "  always @(posedge clk) {} <= {};\n",
-                    name(g),
-                    ins[0]
-                ));
+                out.push_str(&format!("  always @(posedge clk) {} <= {};\n", name(g), ins[0]));
             }
             GateKind::Output => {
                 out.push_str(&format!("  assign {} = {};\n", name(g), ins[0]));
@@ -143,10 +147,8 @@ pub fn write_verilog(n: &Netlist) -> String {
 }
 
 fn sanitize_module(name: &str) -> String {
-    let s: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let s: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         format!("m_{s}")
     } else {

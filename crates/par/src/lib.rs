@@ -1,0 +1,203 @@
+//! Deterministic fork/join helpers built on `std::thread::scope`.
+//!
+//! The external `rayon` crate is unavailable in the offline build
+//! container, and TPGREED needs far less machinery anyway: a handful of
+//! embarrassingly-parallel sweeps per selection round whose results
+//! must come back **in input order** so the greedy argmax is identical
+//! to the sequential implementation. Everything here guarantees that:
+//! outputs are written to a preallocated slot per input index, so the
+//! merge order is the input order regardless of which worker finished
+//! first.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for a parallel sweep.
+///
+/// `Threads::auto()` resolves to the machine parallelism;
+/// `Threads::new(1)` forces the sequential fallback path (useful to
+/// compare against parallel runs — results are identical either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads(NonZeroUsize);
+
+impl Threads {
+    /// Exactly `n` workers (`n == 0` is clamped to 1).
+    pub fn new(n: usize) -> Self {
+        Threads(NonZeroUsize::new(n.max(1)).unwrap())
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        Threads(std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).unwrap()))
+    }
+
+    /// `0` means auto; anything else is an explicit count.
+    pub fn from_knob(n: usize) -> Self {
+        if n == 0 {
+            Threads::auto()
+        } else {
+            Threads::new(n)
+        }
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// How much *speculative* work a caller should fan out at once.
+    ///
+    /// For sweeps that evaluate everything anyway (TPGREED's gain
+    /// sweep), oversubscribing cores merely time-slices. But callers
+    /// that parallelize an early-exit search do work the sequential
+    /// loop would skip, and speculation wider than the physical core
+    /// count can never repay itself — it only multiplies the wasted
+    /// work. Such callers size their batches by this: the requested
+    /// worker count capped at the machine parallelism (so `threads = 4`
+    /// on a single-core host degenerates to the sequential walk).
+    pub fn speculation_width(self) -> usize {
+        self.get().min(Threads::auto().get())
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::auto()
+    }
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// Each worker owns one clone of `ctx` for its whole lifetime (the
+/// cloning cost is paid `threads` times per sweep, not `n` times).
+/// Work is distributed by an atomic cursor in contiguous chunks so
+/// neighbouring indices — which touch neighbouring data — stay on one
+/// worker. The output vector is index-addressed, so the result is a
+/// pure function of `f` and the input order: worker scheduling cannot
+/// change it.
+pub fn map_indexed<C, T, F>(threads: Threads, n: usize, ctx: &C, f: F) -> Vec<T>
+where
+    C: Clone + Sync,
+    T: Send + Default,
+    F: Fn(&mut C, usize) -> T + Sync,
+{
+    let workers = threads.get().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let mut ctx = ctx.clone();
+        return (0..n).map(|i| f(&mut ctx, i)).collect();
+    }
+
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    out.resize_with(n, T::default);
+    // Chunks small enough to load-balance, large enough to amortize the
+    // cursor fetch; at least 8 chunks per worker.
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            let out_ptr = &out_ptr;
+            scope.spawn(move || {
+                let mut ctx = ctx.clone();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        let value = f(&mut ctx, i);
+                        // SAFETY: each index in 0..n is claimed by
+                        // exactly one worker (the cursor hands out
+                        // disjoint ranges), and the vector outlives the
+                        // scope, so this is a race-free write to a
+                        // distinct initialized slot.
+                        unsafe { *out_ptr.0.add(i) = value };
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Raw pointer wrapper asserting cross-thread use is safe here.
+///
+/// Safety argument: `map_indexed` writes through it at pairwise
+/// distinct indices only (see the cursor protocol above).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Maps `f` over a slice of jobs, returning results in job order.
+pub fn map_jobs<C, J, T, F>(threads: Threads, jobs: &[J], ctx: &C, f: F) -> Vec<T>
+where
+    C: Clone + Sync,
+    J: Sync,
+    T: Send + Default,
+    F: Fn(&mut C, &J) -> T + Sync,
+{
+    map_indexed(threads, jobs.len(), ctx, |ctx, i| f(ctx, &jobs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        for workers in [1, 2, 4, 7] {
+            let got = map_indexed(Threads::new(workers), 1000, &(), |_, i| i * 3);
+            let want: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn context_cloned_per_worker() {
+        #[derive(Clone, Default)]
+        struct Ctx {
+            scratch: Vec<usize>,
+        }
+        let got = map_indexed(Threads::new(4), 257, &Ctx::default(), |ctx, i| {
+            ctx.scratch.push(i);
+            ctx.scratch.len()
+        });
+        // Each worker's scratch grows monotonically: lengths are all >= 1.
+        assert!(got.iter().all(|&len| len >= 1));
+        assert_eq!(got.len(), 257);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<usize> = map_indexed(Threads::auto(), 0, &(), |_, i| i);
+        assert!(empty.is_empty());
+        let one = map_indexed(Threads::auto(), 1, &(), |_, i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn jobs_wrapper() {
+        let jobs = ["a", "bb", "ccc"];
+        let got = map_jobs(Threads::new(2), &jobs, &(), |_, j| j.len());
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_knob() {
+        assert_eq!(Threads::new(0).get(), 1);
+        assert_eq!(Threads::new(3).get(), 3);
+        assert!(Threads::from_knob(0).get() >= 1);
+        assert_eq!(Threads::from_knob(2).get(), 2);
+    }
+
+    #[test]
+    fn speculation_never_exceeds_machine_parallelism() {
+        let cores = Threads::auto().get();
+        assert_eq!(Threads::new(1).speculation_width(), 1);
+        assert_eq!(Threads::new(cores + 7).speculation_width(), cores);
+        assert_eq!(Threads::auto().speculation_width(), cores);
+    }
+}

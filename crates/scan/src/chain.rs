@@ -130,7 +130,11 @@ impl ScanChain {
                         return Err(StitchError::PathAtHead);
                     }
                     if from != prev {
-                        return Err(StitchError::BrokenPath { position: i, expected: prev, actual: from });
+                        return Err(StitchError::BrokenPath {
+                            position: i,
+                            expected: prev,
+                            actual: from,
+                        });
                     }
                     prev = ff;
                 }
@@ -228,10 +232,7 @@ impl ScanChain {
         let count = count.max(1).min(fragments.len());
         let mut bins: Vec<Vec<ChainLink>> = vec![Vec::new(); count];
         for frag in fragments {
-            let target = bins
-                .iter_mut()
-                .min_by_key(|b| b.len())
-                .expect("count >= 1 bins exist");
+            let target = bins.iter_mut().min_by_key(|b| b.len()).expect("count >= 1 bins exist");
             target.extend(frag);
         }
         bins.into_iter().map(|links| ScanChain::stitch(n, links)).collect()

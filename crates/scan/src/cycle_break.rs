@@ -171,9 +171,8 @@ pub fn break_cycles(g: &SGraph, options: &CycleBreakOptions<'_>) -> CycleBreakRe
         }
 
         // --- Heuristic phase: pick the best selectable vertex.
-        let Some(best) = (0..nn)
-            .filter(|&v| w.alive[v] && selectable(v))
-            .max_by_key(|&v| w.degree(v))
+        let Some(best) =
+            (0..nn).filter(|&v| w.alive[v] && selectable(v)).max_by_key(|&v| w.degree(v))
         else {
             // No selectable vertex left; whatever remains is stuck in
             // cycles that need the minimal-degradation fallback.

@@ -30,11 +30,7 @@ impl FlushReport {
     /// True when every observed bit matched its expectation.
     pub fn passed(&self) -> bool {
         self.observed.len() == self.expected.len()
-            && self
-                .observed
-                .iter()
-                .zip(&self.expected)
-                .all(|(o, &e)| *o == Trit::from(e))
+            && self.observed.iter().zip(&self.expected).all(|(o, &e)| *o == Trit::from(e))
     }
 }
 

@@ -59,11 +59,10 @@ impl SGraph {
                             succs[i].insert(j);
                             preds[j].insert(i);
                         }
-                        k if k.is_combinational()
-                            && seen[sink.index()] != i as u32 => {
-                                seen[sink.index()] = i as u32;
-                                queue.push_back(sink);
-                            }
+                        k if k.is_combinational() && seen[sink.index()] != i as u32 => {
+                            seen[sink.index()] = i as u32;
+                            queue.push_back(sink);
+                        }
                         _ => {}
                     }
                 }

@@ -167,12 +167,8 @@ impl<'a> Implication<'a> {
     /// What `net` would evaluate to from its fanins (ignoring a force).
     fn derive(&self, net: GateId) -> Trit {
         let kind = self.netlist.kind(net);
-        let ins: Vec<Trit> = self
-            .netlist
-            .fanin(net)
-            .iter()
-            .map(|&f| self.values[f.index()])
-            .collect();
+        let ins: Vec<Trit> =
+            self.netlist.fanin(net).iter().map(|&f| self.values[f.index()]).collect();
         eval_gate(kind, &ins)
     }
 
@@ -275,6 +271,14 @@ impl<'a> Implication<'a> {
         f(&delta)
     }
 }
+
+/// Parallel gain sweeps clone one engine per worker thread; this
+/// compile-time assertion keeps the engine `Clone + Send + Sync` (no
+/// interior mutability may sneak in).
+const _: () = {
+    const fn assert_parallel_ready<T: Clone + Send + Sync>() {}
+    let _ = assert_parallel_ready::<Implication<'static>>;
+};
 
 #[cfg(test)]
 mod tests {
@@ -397,7 +401,7 @@ mod tests {
     }
 
     #[test]
-    fn with_trial_leaves_engine_untouched(){
+    fn with_trial_leaves_engine_untouched() {
         let (n, a, _b, g1, _g2) = chain();
         let imp = Implication::new(&n);
         let count = imp.with_trial(a, Trit::Zero, |delta| delta.len());

@@ -107,12 +107,8 @@ impl<'a> Simulator<'a> {
                     self.values[g.index()] = self.values[self.netlist.fanin(g)[0].index()];
                 }
                 _ => {
-                    let ins: Vec<Trit> = self
-                        .netlist
-                        .fanin(g)
-                        .iter()
-                        .map(|&f| self.values[f.index()])
-                        .collect();
+                    let ins: Vec<Trit> =
+                        self.netlist.fanin(g).iter().map(|&f| self.values[f.index()]).collect();
                     self.values[g.index()] = eval_gate(kind, &ins);
                 }
             }

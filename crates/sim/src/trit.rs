@@ -268,11 +268,7 @@ mod consistency_tests {
                     let bits: Vec<bool> = (0..arity).map(|i| m >> i & 1 == 1).collect();
                     let Some(expect) = bool_eval(kind, &bits) else { continue };
                     let trits: Vec<Trit> = bits.iter().map(|&b| b2t(b)).collect();
-                    assert_eq!(
-                        eval_gate(kind, &trits),
-                        b2t(expect),
-                        "{kind} on {bits:?}"
-                    );
+                    assert_eq!(eval_gate(kind, &trits), b2t(expect), "{kind} on {bits:?}");
                 }
             }
         }
@@ -310,10 +306,8 @@ mod consistency_tests {
                     let x_positions: Vec<usize> =
                         (0..arity).filter(|&i| trits[i] == Trit::X).collect();
                     for m in 0..(1u32 << x_positions.len()) {
-                        let mut bits: Vec<bool> = trits
-                            .iter()
-                            .map(|t| t.to_bool().unwrap_or(false))
-                            .collect();
+                        let mut bits: Vec<bool> =
+                            trits.iter().map(|t| t.to_bool().unwrap_or(false)).collect();
                         for (j, &p) in x_positions.iter().enumerate() {
                             bits[p] = m >> j & 1 == 1;
                         }

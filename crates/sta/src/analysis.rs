@@ -171,13 +171,13 @@ impl Sta {
             }
             let gate_delay = self.lib.cell(kind).delay(self.load[cur.index()]);
             let target = self.arrival[cur.index()] - gate_delay;
-            let Some(&prev) = n.fanin(cur).iter().filter(|f| !self.disabled[f.index()]).min_by(
-                |&&x, &&y| {
+            let Some(&prev) =
+                n.fanin(cur).iter().filter(|f| !self.disabled[f.index()]).min_by(|&&x, &&y| {
                     let dx = (self.arrival[x.index()] - target).abs();
                     let dy = (self.arrival[y.index()] - target).abs();
                     dx.partial_cmp(&dy).expect("finite arrivals")
-                },
-            ) else {
+                })
+            else {
                 break;
             };
             path.push(prev);
@@ -272,11 +272,7 @@ impl Sta {
         match kind {
             GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
             GateKind::Dff => self.lib.cell(GateKind::Dff).delay(self.load[g.index()]),
-            GateKind::Output => self
-                .arrival
-                .get(n.fanin(g)[0].index())
-                .copied()
-                .unwrap_or(0.0),
+            GateKind::Output => self.arrival.get(n.fanin(g)[0].index()).copied().unwrap_or(0.0),
             _ => {
                 let gate_delay = self.lib.cell(kind).delay(self.load[g.index()]);
                 let max_in = n
@@ -557,7 +553,10 @@ mod tests {
         n.connect(prev, ff2).unwrap();
         let sta = Sta::analyze(&n, &lib(), ClockConstraint::LongestPath);
         assert!(sta.slack(a) > 0.0);
-        assert!(sta.can_insert(a, GateKind::And) == (sta.slack(a) > sta.insertion_cost(a, GateKind::And)));
+        assert!(
+            sta.can_insert(a, GateKind::And)
+                == (sta.slack(a) > sta.insertion_cost(a, GateKind::And))
+        );
     }
 
     #[test]

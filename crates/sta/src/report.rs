@@ -56,11 +56,8 @@ fn trace_back(n: &Netlist, sta: &Sta, driver: GateId) -> Vec<GateId> {
     let mut path = vec![driver];
     let mut cur = driver;
     while !n.kind(cur).is_source() {
-        let Some(&prev) = n
-            .fanin(cur)
-            .iter()
-            .filter(|f| !sta.is_disabled(**f))
-            .max_by(|&&x, &&y| {
+        let Some(&prev) =
+            n.fanin(cur).iter().filter(|f| !sta.is_disabled(**f)).max_by(|&&x, &&y| {
                 sta.arrival(x).partial_cmp(&sta.arrival(y)).expect("finite arrivals")
             })
         else {

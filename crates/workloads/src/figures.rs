@@ -103,8 +103,8 @@ pub fn fig3() -> (Netlist, [GateId; 5]) {
     // a: the OR-gate side input of g1.
     b.gate(GateKind::Buf, "a", &["pi_a"]);
     b.gate(GateKind::Or, "g1", &["f1", "a"]); // sensitize with a = ... OR needs 0; the
-    // paper inserts an OR test point *at a* because the figure's gate
-    // polarity differs; both polarities are exercised by the tests.
+                                              // paper inserts an OR test point *at a* because the figure's gate
+                                              // polarity differs; both polarities are exercised by the tests.
     b.gate(GateKind::Or, "g2", &["g1", "c"]); // c = 0 sensitizes
     b.dff("f2", "g2");
     b.output("o", "f2");
@@ -185,12 +185,8 @@ pub fn fig6() -> (Netlist, [GateId; 4]) {
     b.output("o", "f2");
     b.output("oe", "e");
     let n = b.finish().expect("figure 6 is well-formed");
-    let ids = [
-        n.find("a").unwrap(),
-        n.find("b").unwrap(),
-        n.find("c").unwrap(),
-        n.find("e").unwrap(),
-    ];
+    let ids =
+        [n.find("a").unwrap(), n.find("b").unwrap(), n.find("c").unwrap(), n.find("e").unwrap()];
     (n, ids)
 }
 

@@ -78,7 +78,12 @@ impl StructureClass {
     }
 
     /// Mixed datapath + random control logic.
-    pub fn mixed(chain_fraction: f64, chain_len: usize, enable_groups: usize, free_enables: usize) -> Self {
+    pub fn mixed(
+        chain_fraction: f64,
+        chain_len: usize,
+        enable_groups: usize,
+        free_enables: usize,
+    ) -> Self {
         StructureClass {
             chain_fraction,
             chain_len,
@@ -282,7 +287,8 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
         if ci < ring_count {
             let group = hop_counter % enables.len().max(1);
             hop_counter += 1;
-            let hop = build_hop(&mut n, &mut rng, ffs[tail], enables[group], enable_invs[group], tail);
+            let hop =
+                build_hop(&mut n, &mut rng, ffs[tail], enables[group], enable_invs[group], tail);
             n.connect(hop, ffs[head]).expect("dff takes one fanin");
         } else {
             let pi = pis[rng.gen_range(0..pis.len())];
@@ -296,7 +302,8 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
         if driven[i] {
             continue;
         }
-        let cone = build_cone(&mut n, &mut rng, &pis, &ffs, &mut pool, st.cone_depth, i, ff_pool_limit);
+        let cone =
+            build_cone(&mut n, &mut rng, &pis, &ffs, &mut pool, st.cone_depth, i, ff_pool_limit);
         n.connect(cone, ffs[i]).expect("dff takes one fanin");
         driven[i] = true;
     }
@@ -309,10 +316,7 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
         // Anchor: a pure-PI inverter ladder whose arrival exceeds every
         // existing endpoint by a margin, so the rings own the clock and
         // every non-ring flip-flop keeps mux-sized slack.
-        let base = pure_pool
-            .last()
-            .copied()
-            .unwrap_or_else(|| pis[rng.gen_range(0..pis.len())]);
+        let base = pure_pool.last().copied().unwrap_or_else(|| pis[rng.gen_range(0..pis.len())]);
         let inv_delay = lib.cell(GateKind::Inv).delay(lib.cell(GateKind::And).input_load);
         let need = (max_arrival + 3.0 - sta.arrival(base)).max(0.0);
         let rungs = (need / inv_delay).ceil() as usize + 1;
@@ -515,11 +519,19 @@ pub fn suite() -> Vec<CircuitSpec> {
         ),
         spec("dsip", 228, 197, 224, 1600, StructureClass::datapath(4, 4, 3), 19),
         spec("mult32a", 33, 1, 32, 500, StructureClass::multiplier(29), 20),
-        spec("mult32b", 32, 1, 61, 450, {
-            let mut s = StructureClass::multiplier(29);
-            s.chain_fraction = 29.0 / 58.0;
-            s
-        }, 21),
+        spec(
+            "mult32b",
+            32,
+            1,
+            61,
+            450,
+            {
+                let mut s = StructureClass::multiplier(29);
+                s.chain_fraction = 29.0 / 58.0;
+                s
+            },
+            21,
+        ),
     ]
 }
 
@@ -604,10 +616,7 @@ mod tests {
             seed: 1,
         };
         let n = generate(&spec);
-        let hops = n
-            .gate_ids()
-            .filter(|&g| n.gate_name(g).starts_with("hop"))
-            .count();
+        let hops = n.gate_ids().filter(|&g| n.gate_name(g).starts_with("hop")).count();
         assert!(hops >= 8, "expected chain hops, got {hops}");
     }
 
@@ -628,10 +637,7 @@ mod tests {
         assert_eq!(rhops, 4);
         // the ring members feed each other: f0 -> rhop -> f1 (mod 4)
         let f0 = n.find("f0").unwrap();
-        assert!(n
-            .fanout(f0)
-            .iter()
-            .any(|&(s, _)| n.gate_name(s).starts_with("rhop")));
+        assert!(n.fanout(f0).iter().any(|&(s, _)| n.gate_name(s).starts_with("rhop")));
     }
 
     #[test]
@@ -680,10 +686,7 @@ mod calibration_tests {
             seed: 3,
         };
         let n = generate(&spec);
-        let hops: Vec<_> = n
-            .gate_ids()
-            .filter(|&g| n.gate_name(g).starts_with("hop"))
-            .collect();
+        let hops: Vec<_> = n.gate_ids().filter(|&g| n.gate_name(g).starts_with("hop")).collect();
         // 24 FFs in chains of 6 -> 4 chains x 5 hops.
         assert_eq!(hops.len(), 20);
         for &h in &hops {
@@ -741,10 +744,8 @@ mod calibration_tests {
         let t_mux = lib.cell(GateKind::Mux).delay(1.0);
         // Ring members occupy indices 0..4.
         let ring: Vec<_> = (0..4).map(|i| n.find(&format!("f{i}")).unwrap()).collect();
-        let critical_ring_members = ring
-            .iter()
-            .filter(|&&ff| sta.endpoint_slack(&n, ff) < t_mux)
-            .count();
+        let critical_ring_members =
+            ring.iter().filter(|&&ff| sta.endpoint_slack(&n, ff) < t_mux).count();
         assert!(
             critical_ring_members >= 3,
             "hard-ring members must be timing-critical: {critical_ring_members}/4"

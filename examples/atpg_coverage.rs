@@ -10,7 +10,9 @@
 //!
 //! Run with: `cargo run --release --example atpg_coverage`
 
-use scanpath::atpg::{fault_list, generate_tests, scan_apply, sequential_random_coverage, CombView, FaultSim};
+use scanpath::atpg::{
+    fault_list, generate_tests, scan_apply, sequential_random_coverage, CombView, FaultSim,
+};
 use scanpath::netlist::transform::compact;
 use scanpath::tpi::flow::FullScanFlow;
 use scanpath::workloads::iscas::s27;

@@ -12,7 +12,13 @@ use scanpath::workloads::iscas::s27;
 fn main() {
     // 1. Start from the embedded ISCAS89 benchmark.
     let n = s27();
-    println!("s27: {} PIs, {} POs, {} FFs, {} gates", n.inputs().len(), n.outputs().len(), n.dffs().len(), n.comb_gates().len());
+    println!(
+        "s27: {} PIs, {} POs, {} FFs, {} gates",
+        n.inputs().len(),
+        n.outputs().len(),
+        n.dffs().len(),
+        n.comb_gates().len()
+    );
 
     // 2. Run the paper's full-scan flow on it.
     let r = FullScanFlow::default().run(&n);
@@ -40,5 +46,9 @@ fn main() {
     let back = parse_blif(&blif).expect("our own BLIF re-parses");
     assert_eq!(back.dffs().len(), r.netlist.dffs().len());
     assert_eq!(back.outputs().len(), r.netlist.outputs().len());
-    println!("\nBLIF round trip: {} FFs, {} outputs preserved", back.dffs().len(), back.outputs().len());
+    println!(
+        "\nBLIF round trip: {} FFs, {} outputs preserved",
+        back.dffs().len(),
+        back.outputs().len()
+    );
 }

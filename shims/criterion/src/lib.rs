@@ -1,0 +1,288 @@
+//! Offline subset of `criterion` for this workspace.
+//!
+//! The build container has no crates.io access; this shim provides the
+//! API surface the `tpi-bench` benchmarks use and measures wall-clock
+//! medians with a short warm-up. It honors the harness flags cargo
+//! passes to `harness = false` targets:
+//!
+//! * `--test` (from `cargo test`): run every routine exactly once and
+//!   report nothing — benches double as smoke tests;
+//! * a positional filter (from `cargo bench <filter>`): run only
+//!   benchmark ids containing the substring;
+//! * `--bench`, `--quiet`, `--nocapture`, `--color <x>`: accepted and
+//!   ignored where not meaningful.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (subset of criterion's enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: one setup per routine invocation is fine.
+    SmallInput,
+    /// Large inputs: identical behavior in this shim.
+    LargeInput,
+    /// Per-iteration setup: identical behavior in this shim.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_id.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter`/`iter_batched` call.
+    last_estimate: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` and records the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that runs for
+        // at least ~2ms per sample, then take `sample_size` samples.
+        let mut iters = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.last_estimate = Some(samples[samples.len() / 2]);
+    }
+
+    /// Times `routine` over values produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            return;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        self.last_estimate = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Shortens the measurement; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as benchmark `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            last_estimate: None,
+        };
+        f(&mut b);
+        self.criterion.report(&full, b.last_estimate);
+        self
+    }
+
+    /// Runs `f` with `input` as benchmark `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies harness CLI arguments (`--test`, filters, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--quiet" | "-q" | "--nocapture" | "--verbose" => {}
+                "--color" | "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Number of samples per benchmark (fixed in this shim).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        if self.matches(&full) {
+            let mut b = Bencher { test_mode: self.test_mode, sample_size: 20, last_estimate: None };
+            f(&mut b);
+            self.report(&full, b.last_estimate);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn report(&self, id: &str, estimate: Option<Duration>) {
+        if self.test_mode {
+            return;
+        }
+        match estimate {
+            Some(d) => println!("{id:<50} time: {}", fmt_duration(d)),
+            None => println!("{id:<50} time: (not measured)"),
+        }
+    }
+
+    /// Printed once at the end of `criterion_main!`.
+    pub fn final_summary() {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Opaque value barrier (re-export for `criterion::black_box` users).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the harness `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::final_summary();
+        }
+    };
+}

@@ -1,0 +1,416 @@
+//! Offline subset of `proptest` for this workspace.
+//!
+//! The build container has no crates.io access, so this shim provides
+//! the strategy combinators and macros the test suite uses. Generation
+//! is deterministic: case `i` of test `name` derives its RNG seed from
+//! `(name, i)`, so a reported failure always reproduces with a plain
+//! `cargo test`. Failing cases are reported with the full `Debug` dump
+//! of every generated input and then re-tested through a bounded
+//! shrinking pass (halving numeric components) to present a smaller
+//! counterexample when one exists.
+//!
+//! Persistence files (`*.proptest-regressions`) written by the real
+//! proptest cannot be replayed here — their `cc` hashes seed the
+//! upstream generation pipeline, which this shim does not reproduce.
+//! Regression cases worth keeping should be committed as explicit
+//! tests constructing the shrunk values (see `tests/properties.rs`).
+
+use rand::{Rng, RngCore, SeedableRng, StdRng};
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The generated input was rejected (not counted as a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one property invocation.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+///
+/// Shrinking is structural and bounded: [`Strategy::shrink`] proposes a
+/// list of smaller variants of a generated value (possibly empty).
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes smaller variants of `value` (best-first).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-(test, case) RNG.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+    // Mapped strategies cannot shrink (the pre-image is unknown), same
+    // as the practical effect of upstream's opaque map shrinking here.
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mut out = Vec::new();
+                let lo = self.start;
+                if *value > lo {
+                    out.push(lo); // smallest first
+                    let mid = lo + (*value - lo) / 2;
+                    if mid != lo && mid != *value {
+                        out.push(mid);
+                    }
+                    if *value - 1 != mid && *value - 1 != lo {
+                        out.push(*value - 1);
+                    }
+                }
+                out
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+mod tuples {
+    use super::*;
+    macro_rules! tuple_strategy_clone {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for alt in self.$idx.shrink(&value.$idx) {
+                            let mut v = value.clone();
+                            v.$idx = alt;
+                            out.push(v);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
+    }
+    tuple_strategy_clone!(A: 0);
+    tuple_strategy_clone!(A: 0, B: 1);
+    tuple_strategy_clone!(A: 0, B: 1, C: 2);
+    tuple_strategy_clone!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy_clone!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy_clone!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    tuple_strategy_clone!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Test-runner namespace, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    pub use super::{ProptestConfig as Config, TestCaseError, TestCaseResult};
+}
+
+/// Drives one property across `config.cases` generated cases.
+///
+/// `run_one` generates inputs from `rng`, runs the body, and returns
+/// `(debug_repr_of_inputs, result)`. `shrink_one` takes a case index and
+/// a shrink step index and re-runs the body on a shrunken input if one
+/// exists. On failure, panics with the failing inputs' debug dump.
+pub fn run_property<G, S>(name: &str, config: ProptestConfig, mut run_one: G, mut shrink_one: S)
+where
+    G: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    S: FnMut(&mut TestRng, usize) -> Option<(String, TestCaseResult)>,
+{
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let max_rejects = config.cases.saturating_mul(8).max(256);
+    while case < config.cases {
+        let mut rng = TestRng::for_case(name, case);
+        let (repr, result) = run_one(&mut rng);
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!("property {name}: too many rejected cases ({rejects})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                // Bounded shrinking: try successively smaller variants of
+                // this case's inputs, keeping the last failing one.
+                let mut best = (repr, msg);
+                for step in 0..64 {
+                    let mut srng = TestRng::for_case(name, case);
+                    match shrink_one(&mut srng, step) {
+                        None => break,
+                        Some((srepr, Err(TestCaseError::Fail(smsg)))) => {
+                            best = (srepr, smsg);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                panic!(
+                    "property {name} failed: {}\n  minimal failing input: {}\n  \
+                     (deterministic: re-running `cargo test {name}` reproduces this case)",
+                    best.1, best.0
+                );
+            }
+        }
+        case += 1;
+    }
+}
+
+/// Prelude matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+    /// `proptest::prelude::any` over a handful of primitive types.
+    pub fn any<T: crate::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Minimal `Arbitrary` for `prelude::any`.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Strategy type produced by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arb_int {
+    ($($ty:ident),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = core::ops::RangeInclusive<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                $ty::MIN..=$ty::MAX
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Asserts a condition inside a property, returning a
+/// [`TestCaseError::Fail`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(
+                stringify!($name),
+                config,
+                |rng| {
+                    let strategies = ($($strat,)+);
+                    let ($($arg,)+) = $crate::__proptest_items!(@draw strategies rng $($arg)+);
+                    let repr = $crate::__proptest_items!(@repr $($arg)+);
+                    let result = (|| -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    (repr, result)
+                },
+                |rng, step| {
+                    // Shrink by regenerating the case and asking the
+                    // tuple strategy for its `step`-th shrink variant.
+                    let strategies = ($($strat,)+);
+                    let value = $crate::Strategy::new_value(&strategies, rng);
+                    let mut variants = $crate::Strategy::shrink(&strategies, &value);
+                    if step < variants.len() {
+                        let ($($arg,)+) = variants.swap_remove(step);
+                        let repr = $crate::__proptest_items!(@repr $($arg)+);
+                        let result = (|| -> $crate::TestCaseResult {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                        Some((repr, result))
+                    } else {
+                        None
+                    }
+                },
+            );
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    // Draw each argument in declaration order from the strategy tuple.
+    (@draw $strategies:ident $rng:ident $($arg:ident)+) => {
+        $crate::Strategy::new_value(&$strategies, $rng)
+    };
+    (@repr $($arg:ident)+) => {
+        {
+            let mut s = String::new();
+            $(
+                s.push_str(concat!(stringify!($arg), " = "));
+                s.push_str(&format!("{:?}, ", $arg));
+            )+
+            s
+        }
+    };
+}

@@ -1,0 +1,483 @@
+//! Offline drop-in replacement for the subset of `rand` 0.8 this
+//! workspace uses. The container that builds this repository has no
+//! crates.io access, so the real `rand` cannot be vendored; everything
+//! downstream (workload generation, calibration, ATPG sampling) depends
+//! on the *exact* byte stream of `StdRng`, therefore this shim
+//! re-implements the relevant algorithms bit-for-bit:
+//!
+//! * `StdRng` is ChaCha (12 rounds) with `rand_core`'s `BlockRng`
+//!   consumption order (sequential 32-bit words; `next_u64` joins two
+//!   consecutive words low-then-high, spanning block refills);
+//! * `SeedableRng::seed_from_u64` expands the `u64` with `rand_core`
+//!   0.6's PCG32 filler;
+//! * `Rng::gen_range` uses rand 0.8's widening-multiply rejection
+//!   sampling (`sample_single_inclusive`), including the modulus zone
+//!   for 8/16-bit types and the shift approximation for wider ones;
+//! * `Rng::gen_bool` uses the `Bernoulli` fixed-point comparison
+//!   (`p * 2^64` against one `u64` draw).
+//!
+//! The ChaCha core is validated against the published zero-key test
+//! vectors (RFC 8439 for 20 rounds, draft-strombergson for 12).
+
+/// Core RNG interface (the `rand_core` subset).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable construction (the `rand_core` subset).
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with `rand_core` 0.6's PCG32
+    /// filler, then calls [`SeedableRng::from_seed`].
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// ChaCha block generator
+// ---------------------------------------------------------------------
+
+const CHACHA_WORDS: usize = 16;
+
+/// ChaCha keystream generator with `rand_core::BlockRng` consumption
+/// semantics, parameterized by double-round count.
+#[derive(Debug, Clone)]
+struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Stream id (state words 14..16); zero for `from_seed`.
+    stream: u64,
+    results: [u32; CHACHA_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn from_key(key: [u32; 8]) -> Self {
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            results: [0; CHACHA_WORDS],
+            // An exhausted buffer: the first draw triggers a refill.
+            index: CHACHA_WORDS,
+        }
+    }
+
+    /// Generates the block for the current counter into `results`,
+    /// advances the counter, and positions the cursor at `index`.
+    fn generate_and_set(&mut self, index: usize) {
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (r, (s, i)) in self.results.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *r = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = index;
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= CHACHA_WORDS {
+            self.generate_and_set(0);
+        }
+        let v = self.results[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core::BlockRng::next_u64, verbatim semantics: consecutive
+        // words join low-then-high, including across a refill boundary.
+        let len = CHACHA_WORDS;
+        let index = self.index;
+        if index < len - 1 {
+            self.index += 2;
+            (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+        } else if index >= len {
+            self.generate_and_set(2);
+            (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+        } else {
+            let x = u64::from(self.results[len - 1]);
+            self.generate_and_set(1);
+            (u64::from(self.results[0]) << 32) | x
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // rand_core::BlockRng::fill_bytes consumes whole 32-bit words;
+        // a trailing partial word is used for the tail bytes and the
+        // remainder of that word is discarded.
+        let mut written = 0;
+        while written < dest.len() {
+            if self.index >= CHACHA_WORDS {
+                self.generate_and_set(0);
+            }
+            let remaining = &mut dest[written..];
+            let words_avail = CHACHA_WORDS - self.index;
+            let bytes_avail = words_avail * 4;
+            let take = bytes_avail.min(remaining.len());
+            for (i, b) in remaining[..take].iter_mut().enumerate() {
+                let w = self.results[self.index + i / 4];
+                *b = w.to_le_bytes()[i % 4];
+            }
+            self.index += take.div_ceil(4);
+            written += take;
+        }
+    }
+}
+
+/// The `rand` 0.8 standard RNG: ChaCha with 12 rounds (6 double rounds).
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaChaRng<6>);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng(ChaChaRng::from_key(key))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// RNG namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+// ---------------------------------------------------------------------
+// Standard distribution (`Rng::gen`)
+// ---------------------------------------------------------------------
+
+/// Types drawable with [`Rng::gen`] (the `Standard` distribution).
+pub trait SampleStandard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_via_u32 {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_via_u64 {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+// rand 0.8: 8/16/32-bit ints consume one u32; 64-bit and usize/isize
+// (on 64-bit targets) consume one u64.
+standard_via_u32!(u8, i8, u16, i16, u32, i32);
+standard_via_u64!(u64, i64, usize, isize);
+
+// ---------------------------------------------------------------------
+// Uniform ranges (`Rng::gen_range`)
+// ---------------------------------------------------------------------
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_single_inclusive(self.start, self.end - 1, rng)
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                sample_single_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+
+        /// rand 0.8.5 `UniformInt::sample_single_inclusive`.
+        #[allow(unused_comparisons)]
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+            let range =
+                (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+            if range == 0 {
+                // Full integer range: all values accepted.
+                return <$ty>::sample_standard(rng) as $ty;
+            }
+            let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                // 8/16-bit: modulus-based zone.
+                let unsigned_max: $u_large = <$u_large>::MAX;
+                let ints_to_reject = (unsigned_max - range + 1) % range;
+                unsigned_max - ints_to_reject
+            } else {
+                // Wider: shift approximation.
+                (range << range.leading_zeros()).wrapping_sub(1)
+            };
+            loop {
+                let v: $u_large = <$u_large>::sample_standard(rng);
+                let hi = (((v as $wide) * (range as $wide)) >> <$u_large>::BITS) as $u_large;
+                let lo = v.wrapping_mul(range);
+                if lo <= zone {
+                    return low.wrapping_add(hi as $ty);
+                }
+            }
+        }
+    };
+}
+
+mod uniform_u8 {
+    use super::*;
+    uniform_int_impl!(u8, u8, u32, u64);
+}
+mod uniform_i8 {
+    use super::*;
+    uniform_int_impl!(i8, u8, u32, u64);
+}
+mod uniform_u16 {
+    use super::*;
+    uniform_int_impl!(u16, u16, u32, u64);
+}
+mod uniform_i16 {
+    use super::*;
+    uniform_int_impl!(i16, u16, u32, u64);
+}
+mod uniform_u32 {
+    use super::*;
+    uniform_int_impl!(u32, u32, u32, u64);
+}
+mod uniform_i32 {
+    use super::*;
+    uniform_int_impl!(i32, u32, u32, u64);
+}
+mod uniform_u64 {
+    use super::*;
+    uniform_int_impl!(u64, u64, u64, u128);
+}
+mod uniform_i64 {
+    use super::*;
+    uniform_int_impl!(i64, u64, u64, u128);
+}
+mod uniform_usize {
+    use super::*;
+    uniform_int_impl!(usize, usize, usize, u128);
+}
+mod uniform_isize {
+    use super::*;
+    uniform_int_impl!(isize, usize, usize, u128);
+}
+
+// ---------------------------------------------------------------------
+// The user-facing trait
+// ---------------------------------------------------------------------
+
+/// The `rand::Rng` convenience trait (subset).
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from the standard distribution.
+    #[inline]
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from `range` (rejection sampling, rand 0.8 exact).
+    #[inline]
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        const ALWAYS_TRUE: u64 = u64::MAX;
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * SCALE) as u64;
+        if p_int == ALWAYS_TRUE {
+            return true;
+        }
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Prelude matching `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439-compatible zero-key keystream, 20 rounds: the canonical
+    /// `expand 32-byte k` vector (also rand_chacha's `true_values_a`).
+    #[test]
+    fn chacha20_zero_key_vector() {
+        let mut rng = ChaChaRng::<10>::from_key([0; 8]);
+        let expected: [u32; 16] = [
+            0xade0b876, 0x903df1a0, 0xe56a5d40, 0x28bd8653, 0xb819d2bd, 0x1aed8da0, 0xccef36a8,
+            0xc70d778b, 0x7c5941da, 0x8d485751, 0x3fe02477, 0x374ad8b8, 0xf4b8436a, 0x1ca11815,
+            0x69b687c3, 0x8665eeb2,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u32(), e);
+        }
+    }
+
+    /// draft-strombergson-chacha-test-vectors-01 TC1, 12 rounds, 256-bit
+    /// zero key: keystream block 0 begins 9b f4 9a 6a 07 55 f9 53.
+    #[test]
+    fn chacha12_zero_key_vector() {
+        let mut rng = ChaChaRng::<6>::from_key([0; 8]);
+        assert_eq!(rng.next_u32(), u32::from_le_bytes([0x9b, 0xf4, 0x9a, 0x6a]));
+        assert_eq!(rng.next_u32(), u32::from_le_bytes([0x07, 0x55, 0xf9, 0x53]));
+    }
+
+    #[test]
+    fn next_u64_spans_block_boundary() {
+        // Consume 15 words, then next_u64 must join word 15 of block 0
+        // with word 0 of block 1 (low then high).
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let words: Vec<u32> = (0..33).map(|_| a.next_u32()).collect();
+        for _ in 0..15 {
+            b.next_u32();
+        }
+        let joined = b.next_u64();
+        assert_eq!(joined as u32, words[15]);
+        assert_eq!((joined >> 32) as u32, words[16]);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = rng.gen_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v: i32 = rng.gen_range(0..5);
+            assert!((0..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "heads = {heads}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+}

@@ -18,10 +18,10 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use tpi_atpg as atpg;
+pub use tpi_core as tpi;
 pub use tpi_netlist as netlist;
+pub use tpi_scan as scan;
 pub use tpi_sim as sim;
 pub use tpi_sta as sta;
-pub use tpi_scan as scan;
-pub use tpi_core as tpi;
-pub use tpi_atpg as atpg;
 pub use tpi_workloads as workloads;

@@ -78,12 +78,7 @@ fn podem_cubes_survive_physical_application() {
         for (k, link) in flow.chain.links().iter().enumerate() {
             let want = good[n.fanin(link.ff())[0].index()];
             if want.is_known() {
-                assert_eq!(
-                    outcome.captured[k],
-                    want,
-                    "stage {k} ({})",
-                    n.gate_name(link.ff())
-                );
+                assert_eq!(outcome.captured[k], want, "stage {k} ({})", n.gate_name(link.ff()));
             }
         }
     }
@@ -110,16 +105,10 @@ fn podem_agrees_with_fault_simulation_on_random_faults() {
                 use rand::{Rng, SeedableRng};
                 let mut rng = rand::rngs::StdRng::seed_from_u64(fault.net.index() as u64);
                 for _ in 0..16 {
-                    let cube: scanpath::atpg::TestCube = view
-                        .inputs()
-                        .iter()
-                        .map(|&g| (g, Trit::from(rng.gen_bool(0.5))))
-                        .collect();
+                    let cube: scanpath::atpg::TestCube =
+                        view.inputs().iter().map(|&g| (g, Trit::from(rng.gen_bool(0.5)))).collect();
                     let good = sim.good_values(&cube);
-                    assert!(
-                        !sim.detects(&good, fault),
-                        "{fault}: claimed untestable but detected"
-                    );
+                    assert!(!sim.detects(&good, fault), "{fault}: claimed untestable but detected");
                 }
             }
             PodemResult::Aborted => {}

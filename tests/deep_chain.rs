@@ -1,0 +1,53 @@
+//! Deep-recursion regressions: a ~50k-gate inverter chain between two
+//! flip-flops used to overflow the stack in the recursive path-DFS
+//! (`enumerate_paths`) and, with enough flip-flops, in the union-find
+//! `find`. Both are iterative now; this test locks that in.
+
+use scanpath::netlist::{GateKind, Netlist};
+use scanpath::sim::{Implication, Trit};
+use scanpath::tpi::paths::{enumerate_paths, enumerate_paths_with, Threads};
+
+const CHAIN: usize = 50_000;
+
+fn inverter_chain() -> (Netlist, scanpath::netlist::GateId, scanpath::netlist::GateId) {
+    let mut n = Netlist::new("deep");
+    let d = n.add_input("d");
+    let f0 = n.add_gate(GateKind::Dff, "f0");
+    n.connect(d, f0).unwrap();
+    let mut prev = f0;
+    for i in 0..CHAIN {
+        let inv = n.add_gate(GateKind::Inv, format!("i{i}"));
+        n.connect(prev, inv).unwrap();
+        prev = inv;
+    }
+    let f1 = n.add_gate(GateKind::Dff, "f1");
+    n.connect(prev, f1).unwrap();
+    (n, f0, f1)
+}
+
+#[test]
+fn enumeration_survives_a_50k_gate_chain() {
+    let (n, f0, f1) = inverter_chain();
+    n.validate().unwrap();
+    let ps = enumerate_paths(&n, 10, usize::MAX);
+    assert_eq!(ps.len(), 1, "exactly the f0 -> f1 ride-through");
+    let id = ps.ids().next().unwrap();
+    let p = ps.path(id);
+    assert_eq!(p.from, f0);
+    assert_eq!(p.to, f1);
+    assert_eq!(p.gates.len(), CHAIN);
+    assert_eq!(p.side_input_count(), 0);
+    assert_eq!(p.inverting, CHAIN % 2 == 1);
+
+    // Parallel enumeration is byte-identical (single source FF, so the
+    // whole job lands on one worker — the merge must still match).
+    let par = enumerate_paths_with(&n, 10, usize::MAX, Threads::new(4));
+    assert_eq!(par.len(), ps.len());
+    assert_eq!(par.path(id), ps.path(id));
+
+    // Constant propagation down the chain is iterative too.
+    let mut imp = Implication::new(&n);
+    let delta = imp.force(f0, Trit::One);
+    assert!(delta.len() > CHAIN / 2, "the constant must ripple the whole chain");
+    assert_eq!(imp.value(p.gates[CHAIN - 1]), if CHAIN % 2 == 1 { Trit::Zero } else { Trit::One });
+}

@@ -109,6 +109,23 @@ proptest! {
         prop_assert_eq!(&full.scan_paths, &outcome.scan_paths);
     }
 
+    /// The `threads` knob never changes TPGREED's selections: the
+    /// parallel sweep (4 workers) produces the exact `test_points` and
+    /// `scan_paths` sequences of the sequential run, for both gain-update
+    /// strategies.
+    #[test]
+    fn tpgreed_parallel_matches_sequential(spec in spec_strategy()) {
+        let n = generate(&spec);
+        for update in [GainUpdate::Full, GainUpdate::Incremental] {
+            let cfg = TpGreedConfig { gain_update: update, ..TpGreedConfig::default() };
+            let seq = TpGreed::new(&n, TpGreedConfig { threads: 1, ..cfg.clone() }).run();
+            let par = TpGreed::new(&n, TpGreedConfig { threads: 4, ..cfg }).run();
+            prop_assert_eq!(&par.test_points, &seq.test_points, "{:?}", update);
+            prop_assert_eq!(&par.scan_paths, &seq.scan_paths, "{:?}", update);
+            prop_assert_eq!(par.iterations, seq.iterations, "{:?}", update);
+        }
+    }
+
     /// Scan-path endpoints form vertex-disjoint simple paths (in/out
     /// degree at most one, acyclic) — the chain-structure invariant.
     #[test]
