@@ -13,4 +13,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 tests (root package) =="
 cargo test -q
 
+echo "== cargo doc (no deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== tpi-batch smoke (cold run, then byte-identical warm run) =="
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cargo build -q -p tpi-bench --bin tpi-batch
+BATCH=target/debug/tpi-batch
+"$BATCH" --generate "$SMOKE/work" --small >/dev/null
+"$BATCH" --cache-dir "$SMOKE/cache" --out "$SMOKE/cold" "$SMOKE/work"
+"$BATCH" --cache-dir "$SMOKE/cache" --out "$SMOKE/warm" "$SMOKE/work"
+diff -r "$SMOKE/cold" "$SMOKE/warm"
+
 echo "CI green."

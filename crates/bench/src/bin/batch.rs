@@ -1,0 +1,208 @@
+//! `tpi-batch`: drive the `tpi-serve` job service over a directory of
+//! BLIF workloads.
+//!
+//! Run mode (default):
+//!
+//! ```text
+//! tpi-batch [--threads N] [--cache-dir DIR] [--out DIR] [--deadline-ms M] WORKLOAD_DIR
+//! ```
+//!
+//! Every `*.blif` file in `WORKLOAD_DIR` (sorted by name) is submitted
+//! twice — once through the full-scan flow (§III) and once through
+//! TPTIME partial scan (§IV) — and executed concurrently by the service.
+//! One JSON summary per job is printed to stdout (and written to
+//! `--out DIR` as `<file>.<flow>.json` when given). With `--cache-dir`,
+//! results are content-addressed on disk: a second run over the same
+//! directory is served from cache, byte-identically, at a fraction of
+//! the wall clock — that cold/warm comparison is the point of the tool.
+//!
+//! Generate mode (to make a workload directory in the first place):
+//!
+//! ```text
+//! tpi-batch --generate WORKLOAD_DIR [--small]
+//! ```
+//!
+//! writes the embedded `s27` plus the synthetic suite (`--small`: the
+//! two-circuit smoke suite) as BLIF files.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::{Duration, Instant};
+use tpi_bench::parse_threads;
+use tpi_core::PartialScanMethod;
+use tpi_netlist::write_blif;
+use tpi_serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
+use tpi_workloads::{generate, iscas, smoke_suite, suite};
+
+fn usage() -> ! {
+    eprintln!("usage: tpi-batch [--threads N] [--cache-dir DIR] [--out DIR] [--deadline-ms M] DIR");
+    eprintln!("       tpi-batch --generate DIR [--small]");
+    exit(2);
+}
+
+fn main() {
+    let (threads, args) = parse_threads(std::env::args().skip(1));
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut deadline: Option<Duration> = None;
+    let mut generate_dir: Option<PathBuf> = None;
+    let mut small = false;
+    let mut workload_dir: Option<PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                exit(2);
+            })
+        };
+        match a.as_str() {
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--out" => out_dir = Some(PathBuf::from(value("--out"))),
+            "--deadline-ms" => {
+                let v = value("--deadline-ms");
+                let ms: u64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--deadline-ms: expected a non-negative integer, got {v:?}");
+                    exit(2);
+                });
+                deadline = Some(Duration::from_millis(ms));
+            }
+            "--generate" => generate_dir = Some(PathBuf::from(value("--generate"))),
+            "--small" => small = true,
+            _ if a.starts_with('-') => {
+                eprintln!("unknown flag {a:?}");
+                usage();
+            }
+            _ => {
+                if workload_dir.replace(PathBuf::from(a)).is_some() {
+                    eprintln!("exactly one workload directory expected");
+                    usage();
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = generate_dir {
+        generate_workloads(&dir, small);
+        return;
+    }
+    let Some(dir) = workload_dir else { usage() };
+
+    let files = {
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "blif"))
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", dir.display());
+                exit(2);
+            }
+        };
+        files.sort();
+        files
+    };
+    if files.is_empty() {
+        eprintln!("no .blif files in {}", dir.display());
+        exit(2);
+    }
+
+    if let Some(out) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(out) {
+            eprintln!("cannot create {}: {e}", out.display());
+            exit(2);
+        }
+    }
+
+    let service = JobService::new(ServiceConfig {
+        threads,
+        cache_dir,
+        default_deadline: deadline,
+        ..ServiceConfig::default()
+    });
+    println!("tpi-batch: {} files x 2 flows on {} worker(s)", files.len(), service.workers());
+
+    let t0 = Instant::now();
+    let mut specs = Vec::new();
+    let mut names = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                exit(2);
+            }
+        };
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("workload").to_string();
+        specs.push(JobSpec::full_scan(NetlistSource::Blif(text.clone())));
+        names.push((stem.clone(), "full-scan"));
+        specs.push(JobSpec::partial(NetlistSource::Blif(text), PartialScanMethod::TpTime));
+        names.push((stem, "tptime"));
+    }
+    let reports = service.run_batch(specs);
+    let total = t0.elapsed();
+
+    let mut failures = 0usize;
+    for ((stem, flow), r) in names.iter().zip(&reports) {
+        let key = r.key.map(|k| k.to_string()).unwrap_or_else(|| "-".repeat(16));
+        println!(
+            "{stem:<14} {flow:<9} {:<9} cache={:<6} key={key} wall={:.1}ms",
+            r.status.label(),
+            r.cache.label(),
+            r.wall.as_secs_f64() * 1e3,
+        );
+        match (&r.status, &r.payload) {
+            (JobStatus::Completed, Some(payload)) => {
+                if let Some(out) = &out_dir {
+                    let file = out.join(format!("{stem}.{flow}.json"));
+                    if let Err(e) = std::fs::write(&file, payload.as_bytes()) {
+                        eprintln!("cannot write {}: {e}", file.display());
+                        exit(2);
+                    }
+                }
+            }
+            (JobStatus::Failed(msg), _) => {
+                eprintln!("  {stem} {flow}: {msg}");
+                failures += 1;
+            }
+            _ => failures += 1,
+        }
+    }
+
+    let m = service.metrics();
+    println!(
+        "done in {:.2}s: {} completed ({} cold, {} memory, {} disk), {} timed out, \
+         {} canceled, {} failed",
+        total.as_secs_f64(),
+        m.completed,
+        m.cache_misses,
+        m.cache_hits_memory,
+        m.cache_hits_disk,
+        m.timed_out,
+        m.canceled,
+        m.failed,
+    );
+    if failures > 0 {
+        exit(1);
+    }
+}
+
+/// Writes the workload directory: `s27` plus the chosen synthetic suite.
+fn generate_workloads(dir: &PathBuf, small: bool) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        exit(2);
+    }
+    let mut netlists = vec![iscas::s27()];
+    let specs = if small { smoke_suite() } else { suite() };
+    netlists.extend(specs.iter().map(generate));
+    for n in &netlists {
+        let path = dir.join(format!("{}.blif", n.name()));
+        if let Err(e) = std::fs::write(&path, write_blif(n)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(2);
+        }
+        println!("wrote {}", path.display());
+    }
+}

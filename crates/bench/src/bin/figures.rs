@@ -2,8 +2,11 @@
 //! transliterated circuits from `tpi-workloads`, printing what the paper
 //! claims and what this implementation does.
 //!
-//! Usage: `cargo run --release -p tpi-bench --bin figures [fig1|fig2|...]`
+//! Usage: `cargo run --release -p tpi-bench --bin figures [--threads N] [fig1|fig2|...]`
+//! (`--threads 0` = all hardware threads, default 1; the replayed flows
+//! produce identical output at every setting.)
 
+use tpi_bench::parse_threads;
 use tpi_core::flow::FullScanFlow;
 use tpi_core::region::Region;
 use tpi_core::tpgreed::{TpGreed, TpGreedConfig};
@@ -14,10 +17,10 @@ use tpi_sim::{Implication, Trit};
 use tpi_workloads::figures;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (threads, args) = parse_threads(std::env::args().skip(1));
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     if want("fig1") {
-        fig1();
+        fig1(threads);
     }
     if want("fig2") {
         fig2();
@@ -41,7 +44,7 @@ fn banner(title: &str, claim: &str) {
     println!("paper: {claim}");
 }
 
-fn fig1() {
+fn fig1(threads: usize) {
     banner(
         "Figure 1",
         "one AND test point at F4's output plus x = 0 turns F1->F2->F3 into a scan chain \
@@ -62,7 +65,7 @@ fn fig1() {
     }
     let ends: Vec<_> = outcome.scan_path_endpoints(&paths);
     assert!(ends.contains(&(f1, f2)) && ends.contains(&(f2, f3)));
-    let r = FullScanFlow::default().run(&n);
+    let r = FullScanFlow::default().with_threads(threads).run(&n);
     println!(
         "full flow: chain of {} FFs, flush {}",
         r.chain.len(),

@@ -9,11 +9,13 @@
 //!   scan paths around the critical logic).
 
 use crate::input_assign::assign_inputs;
+use crate::progress::{CancelKind, Canceled, Progress};
 use crate::report::{Table1Row, Table3Row};
 use crate::tpgreed::{verify_outcome, TpGreed, TpGreedConfig};
 use crate::tptime::{ScanPlan, ScanPlanner};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::fmt;
+use std::sync::Arc;
 use tpi_netlist::{GateId, Netlist, NetlistStats, TechLibrary};
 use tpi_par::Threads;
 use tpi_scan::{
@@ -21,6 +23,84 @@ use tpi_scan::{
 };
 use tpi_sim::Trit;
 use tpi_sta::{ClockConstraint, Sta};
+
+/// Structured failure of a flow's §V flush verification: the produced
+/// chain did not shift the alternating pattern through cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushFailure {
+    /// The flip-flop the miscompare was observed at (the chain's
+    /// scan-out stage).
+    pub gate: GateId,
+    /// Its name in the transformed netlist.
+    pub gate_name: String,
+    /// 0-based position in the scan-out stream.
+    pub position: usize,
+    /// The bit the chain should have delivered.
+    pub expected: Trit,
+    /// The value actually observed (possibly `X`).
+    pub observed: Trit,
+    /// Chain length, for context.
+    pub chain_len: usize,
+}
+
+impl fmt::Display for FlushFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flush test failed at scan-out bit {} of the {}-FF chain: \
+             observed {:?} at {} , expected {:?}",
+            self.position, self.chain_len, self.observed, self.gate_name, self.expected
+        )
+    }
+}
+
+/// Errors from the checked flow entry points ([`FullScanFlow::run_checked`],
+/// [`PartialScanFlow::run_checked`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The run was stopped at an iteration boundary by its [`Progress`]
+    /// token (explicit cancellation or an expired deadline).
+    Canceled(CancelKind),
+    /// The produced scan chain failed the §V flush test; carries the
+    /// observing gate and the first miscomparing bit.
+    FlushFailed(FlushFailure),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Canceled(CancelKind::Canceled) => write!(f, "flow canceled"),
+            FlowError::Canceled(CancelKind::DeadlineExceeded) => {
+                write!(f, "flow deadline exceeded")
+            }
+            FlowError::FlushFailed(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<Canceled> for FlowError {
+    fn from(c: Canceled) -> Self {
+        FlowError::Canceled(c.kind)
+    }
+}
+
+/// Converts a failing [`FlushReport`] into the structured error variant;
+/// passing reports yield `Ok(())`.
+fn check_flush(n: &Netlist, report: &FlushReport) -> Result<(), FlowError> {
+    match report.first_mismatch() {
+        None => Ok(()),
+        Some(m) => Err(FlowError::FlushFailed(FlushFailure {
+            gate: m.gate,
+            gate_name: n.gate_name(m.gate).to_string(),
+            position: m.position,
+            expected: m.expected,
+            observed: m.observed,
+            chain_len: report.chain_len,
+        })),
+    }
+}
 
 /// The full-scan flow of §III.
 #[derive(Debug, Clone)]
@@ -69,12 +149,34 @@ impl FullScanFlow {
     /// verification of the produced scan structure fails — both indicate
     /// bugs, not user errors.
     pub fn run(&self, n: &Netlist) -> FullScanResult {
-        let t0 = Instant::now();
-        let (outcome, paths) = TpGreed::new(n, self.config.clone()).run_with_paths();
+        self.run_impl(n, &Arc::new(Progress::new())).expect("a fresh Progress never cancels")
+    }
+
+    /// Like [`run`](Self::run), but cooperative and fallible: the flow
+    /// checkpoints `progress` at iteration boundaries (cancellation and
+    /// deadlines stop it between rounds), per-phase counters accumulate
+    /// into `progress`, and a miscomparing flush surfaces as
+    /// [`FlowError::FlushFailed`] instead of a silently-failing report.
+    pub fn run_checked(
+        &self,
+        n: &Netlist,
+        progress: &Arc<Progress>,
+    ) -> Result<FullScanResult, FlowError> {
+        let r = self.run_impl(n, progress)?;
+        check_flush(&r.netlist, &r.flush)?;
+        Ok(r)
+    }
+
+    fn run_impl(&self, n: &Netlist, progress: &Arc<Progress>) -> Result<FullScanResult, Canceled> {
+        progress.checkpoint()?;
+        let (outcome, paths) = TpGreed::new(n, self.config.clone())
+            .with_progress(Arc::clone(progress))
+            .try_run_with_paths()?;
         verify_outcome(n, &paths, &outcome).expect("TPGREED must produce a verifiable outcome");
         let assignment = assign_inputs(n, &paths, &outcome);
 
         // --- Physical realization on a working copy. ---
+        progress.checkpoint()?;
         let mut work = n.clone();
         work.ensure_test_input();
         for &(net, v) in &assignment.physical {
@@ -125,17 +227,19 @@ impl FullScanFlow {
         // --- Flush verification (§V). ---
         let pi_values = assignment.pi_values.clone();
         let flush = flush_test(&work, &chain, &pi_values).expect("test input exists");
-        let cpu_seconds = t0.elapsed().as_secs_f64();
 
+        // Timing is the caller's concern (bins wrap the run in their own
+        // clock; the job service reports wall time per job); the flow
+        // itself reports deterministic per-phase counters via `progress`.
         let row = Table1Row {
             circuit: n.name().to_string(),
             ff_count: n.dffs().len(),
             insertions: outcome.test_points.len(),
             free: assignment.free.len(),
             scan_paths: outcome.scan_paths.len(),
-            cpu_seconds,
+            cpu_seconds: 0.0,
         };
-        FullScanResult { row, netlist: work, chain, flush, pi_values }
+        Ok(FullScanResult { row, netlist: work, chain, flush, pi_values })
     }
 }
 
@@ -219,23 +323,51 @@ impl PartialScanFlow {
     /// Panics on invalid input netlists or internal verification
     /// failures.
     pub fn run(&self, n: &Netlist) -> PartialScanResult {
-        let t0 = Instant::now();
+        self.run_impl(n, &Arc::new(Progress::new())).expect("a fresh Progress never cancels")
+    }
+
+    /// Like [`run`](Self::run), but cooperative and fallible: the
+    /// selection loop checkpoints `progress` between rounds, per-phase
+    /// counters accumulate into it, and a miscomparing flush surfaces as
+    /// [`FlowError::FlushFailed`].
+    pub fn run_checked(
+        &self,
+        n: &Netlist,
+        progress: &Arc<Progress>,
+    ) -> Result<PartialScanResult, FlowError> {
+        let r = self.run_impl(n, progress)?;
+        if let Some(flush) = &r.flush {
+            check_flush(&r.netlist, flush)?;
+        }
+        Ok(r)
+    }
+
+    fn run_impl(
+        &self,
+        n: &Netlist,
+        progress: &Arc<Progress>,
+    ) -> Result<PartialScanResult, Canceled> {
+        progress.checkpoint()?;
         let base_stats = NetlistStats::compute(n, &self.lib);
         let base_delay = Sta::analyze(n, &self.lib, ClockConstraint::LongestPath).circuit_delay();
         let sgraph = SGraph::build(n);
-        let mut planner = ScanPlanner::new(n.clone(), self.lib.clone());
+        let mut planner =
+            ScanPlanner::new(n.clone(), self.lib.clone()).with_progress(Arc::clone(progress));
 
         match self.method {
             PartialScanMethod::Cb => {
+                progress.add_round();
                 let r = break_cycles(&sgraph, &CycleBreakOptions::classic());
+                progress.add_candidates_evaluated(r.selected.len() as u64);
                 for ff in r.selected {
+                    progress.checkpoint()?;
                     planner.scan_conventionally(ff);
                 }
             }
             PartialScanMethod::TdCb => {
                 // Ref. [7]: re-time after each conversion; a flip-flop is
                 // selectable only while its D slack absorbs the mux.
-                Self::selection_loop(&sgraph, &mut planner, |planner, selected| {
+                Self::selection_loop(&sgraph, &mut planner, progress, |planner, selected| {
                     let mut round = RoundOutcome::default();
                     for &ff in selected {
                         if planner.mux_fits_directly(ff) {
@@ -246,7 +378,7 @@ impl PartialScanFlow {
                         round.marked.push(ff);
                     }
                     round
-                });
+                })?;
             }
             PartialScanMethod::TpTime => {
                 // This paper: when the mux does not fit, search the
@@ -260,7 +392,7 @@ impl PartialScanFlow {
                 // speculation: cap the batch width at the physical core
                 // count or the wasted plans can never be repaid.
                 let width = threads.speculation_width();
-                Self::selection_loop(&sgraph, &mut planner, |planner, selected| {
+                Self::selection_loop(&sgraph, &mut planner, progress, |planner, selected| {
                     let plans: Vec<Option<ScanPlan>> = if width <= 1 || selected.len() < 2 {
                         let mut plans = Vec::new();
                         for &ff in selected {
@@ -301,7 +433,7 @@ impl PartialScanFlow {
                         round.marked.push(selected[i]);
                     }
                     round
-                });
+                })?;
             }
         }
 
@@ -323,6 +455,8 @@ impl PartialScanFlow {
         let final_stats = NetlistStats::compute(&netlist, &self.lib);
         let final_delay =
             Sta::analyze(&netlist, &self.lib, ClockConstraint::LongestPath).circuit_delay();
+        // As in the full-scan flow, wall-clock timing belongs to callers;
+        // the flow reports deterministic counters via `progress`.
         let row = Table3Row {
             circuit: n.name().to_string(),
             method: self.method.label().to_string(),
@@ -331,10 +465,10 @@ impl PartialScanFlow {
             area_pct: 0.0,
             delay: final_delay,
             delay_pct: 0.0,
-            cpu_seconds: t0.elapsed().as_secs_f64(),
+            cpu_seconds: 0.0,
         }
         .with_baselines(base_stats.area, base_delay);
-        PartialScanResult { row, netlist, chain, flush, acyclic }
+        Ok(PartialScanResult { row, netlist, chain, flush, acyclic })
     }
 
     /// §IV.B's interleaved loop, shared by TD-CB and TPTIME: run the
@@ -347,21 +481,31 @@ impl PartialScanFlow {
     fn selection_loop(
         sgraph: &SGraph,
         planner: &mut ScanPlanner,
+        progress: &Progress,
         mut process_round: impl FnMut(&mut ScanPlanner, &[GateId]) -> RoundOutcome,
-    ) {
+    ) -> Result<(), Canceled> {
         let mut scanned: Vec<GateId> = Vec::new();
         let mut marked: HashSet<GateId> = HashSet::new();
         loop {
+            progress.checkpoint()?;
             let remaining = sgraph.without(&scanned);
             if !remaining.has_cycle(&[]) {
                 break;
             }
+            progress.add_round();
             let r = {
                 let marked_view = &marked;
                 let opts = CycleBreakOptions::timing_driven(move |ff| !marked_view.contains(&ff));
                 break_cycles(&remaining, &opts)
             };
             let round = process_round(planner, &r.selected);
+            // Inspected candidates this round = the rejected prefix plus
+            // the committed hit (if any) — the same count the sequential
+            // early-exit walk makes, so it is thread-count-independent
+            // even when TPTIME plans chunks speculatively.
+            progress.add_candidates_evaluated(
+                (round.marked.len() + usize::from(round.scanned.is_some())) as u64,
+            );
             let mut newly_marked = false;
             for ff in round.marked {
                 newly_marked |= marked.insert(ff);
@@ -399,6 +543,7 @@ impl PartialScanFlow {
             scanned.push(victim);
             marked.remove(&victim);
         }
+        Ok(())
     }
 }
 
@@ -493,6 +638,57 @@ mod tests {
             assert!((tp.row.delay - base_tp.row.delay).abs() < 1e-12);
             assert!((tp.row.area - base_tp.row.area).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn canceled_progress_stops_flows_at_the_first_checkpoint() {
+        let n = mixed_circuit();
+        let progress = Arc::new(Progress::new());
+        progress.cancel();
+        let full = FullScanFlow::default().run_checked(&n, &progress);
+        assert!(matches!(full, Err(FlowError::Canceled(CancelKind::Canceled))));
+        let tp = PartialScanFlow::new(PartialScanMethod::TpTime).run_checked(&n, &progress);
+        assert!(matches!(tp, Err(FlowError::Canceled(CancelKind::Canceled))));
+    }
+
+    #[test]
+    fn run_checked_accumulates_deterministic_counters() {
+        let n = mixed_circuit();
+        let progress = Arc::new(Progress::new());
+        let r = FullScanFlow::default().run_checked(&n, &progress).expect("flow succeeds");
+        let snap = progress.snapshot();
+        assert!(snap.paths_enumerated > 0);
+        assert!(snap.candidates_evaluated > 0);
+        assert_eq!(snap.test_points_placed as usize, r.row.insertions);
+
+        // The thread knob must not change any deterministic counter.
+        let p2 = Arc::new(Progress::new());
+        FullScanFlow::default().with_threads(2).run_checked(&n, &p2).expect("flow succeeds");
+        let s2 = p2.snapshot();
+        assert_eq!(snap.paths_enumerated, s2.paths_enumerated);
+        assert_eq!(snap.candidates_evaluated, s2.candidates_evaluated);
+        assert_eq!(snap.test_points_placed, s2.test_points_placed);
+        assert_eq!(snap.rounds, s2.rounds);
+    }
+
+    #[test]
+    fn tptime_counters_are_thread_count_independent() {
+        let n = mixed_circuit();
+        let p1 = Arc::new(Progress::new());
+        PartialScanFlow::new(PartialScanMethod::TpTime).run_checked(&n, &p1).expect("flow runs");
+        let p2 = Arc::new(Progress::new());
+        PartialScanFlow::new(PartialScanMethod::TpTime)
+            .with_threads(4)
+            .run_checked(&n, &p2)
+            .expect("flow runs");
+        let (a, b) = (p1.snapshot(), p2.snapshot());
+        assert_eq!(a.candidates_evaluated, b.candidates_evaluated);
+        assert_eq!(a.test_points_placed, b.test_points_placed);
+        assert_eq!(a.rounds, b.rounds);
+        // `plans_attempted` is the documented exception: speculation may
+        // attempt extra plans past the committed hit, so it is only
+        // bounded below by the sequential count.
+        assert!(b.plans_attempted >= a.plans_attempted);
     }
 
     #[test]

@@ -24,21 +24,26 @@
 //!   Equations 2–4 with desired/side-effect constant tracking (§IV.A);
 //! * [`flow`] — end-to-end flows: [`flow::FullScanFlow`] (Table I) and
 //!   [`flow::PartialScanFlow`] running CB / TD-CB / TPTIME (Table III);
+//! * [`progress`] — the cooperative [`Progress`] hook the flows
+//!   checkpoint at iteration boundaries: cancellation, deadlines, and
+//!   deterministic per-phase counters;
 //! * [`report`] — result rows shaped like the paper's tables.
 
 pub mod flow;
 pub mod input_assign;
 pub mod paths;
+pub mod progress;
 pub mod region;
 pub mod report;
 pub mod tpgreed;
 pub mod tptime;
 
-pub use flow::{FullScanFlow, PartialScanFlow, PartialScanMethod};
+pub use flow::{FlowError, FlushFailure, FullScanFlow, PartialScanFlow, PartialScanMethod};
 pub use input_assign::assign_inputs;
 pub use paths::{
     enumerate_paths, enumerate_paths_with, PathId, PathSet, ScanPathCandidate, Threads,
 };
+pub use progress::{CancelKind, Canceled, CounterSnapshot, Progress};
 pub use region::Region;
 pub use report::{Table1Row, Table3Row};
 pub use tpgreed::{GainUpdate, TpGreed, TpGreedConfig, TpGreedOutcome};

@@ -22,7 +22,9 @@
 //! `ablation_gain` bench and the equivalence tests).
 
 use crate::paths::{enumerate_paths_with, PathId, PathSet};
+use crate::progress::{Canceled, Progress};
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use tpi_netlist::{GateId, GateKind, Netlist};
 use tpi_par::Threads;
 use tpi_sim::{Implication, Trit};
@@ -206,6 +208,8 @@ pub struct TpGreed<'a> {
     /// of their inputs, so commits that touch their fanins re-dirty the
     /// registered candidates.
     gate_watchers: HashMap<GateId, Vec<usize>>,
+    /// Cooperative cancellation token and run counters.
+    progress: Arc<Progress>,
 }
 
 const GAIN_INVALID: f64 = -1.0;
@@ -266,6 +270,7 @@ impl<'a> TpGreed<'a> {
             path_watchers: HashMap::new(),
             net_watchers: HashMap::new(),
             gate_watchers: HashMap::new(),
+            progress: Arc::new(Progress::new()),
             paths,
         }
     }
@@ -275,7 +280,18 @@ impl<'a> TpGreed<'a> {
         &self.paths
     }
 
+    /// Attaches a shared [`Progress`] token: the greedy loop checks it at
+    /// every iteration boundary and reports its counters through it.
+    pub fn with_progress(mut self, progress: Arc<Progress>) -> Self {
+        self.progress = progress;
+        self
+    }
+
     /// Runs the greedy loop to completion and returns the outcome.
+    ///
+    /// # Panics
+    /// Panics if the attached [`Progress`] cancels the run; use
+    /// [`TpGreed::try_run_with_paths`] when a token may fire.
     pub fn run(self) -> TpGreedOutcome {
         self.run_with_paths().0
     }
@@ -283,15 +299,30 @@ impl<'a> TpGreed<'a> {
     /// Like [`TpGreed::run`] but also hands back the enumerated
     /// [`PathSet`] (the flows need it for input assignment, stitching and
     /// verification).
-    pub fn run_with_paths(mut self) -> (TpGreedOutcome, PathSet) {
+    ///
+    /// # Panics
+    /// Panics if the attached [`Progress`] cancels the run.
+    pub fn run_with_paths(self) -> (TpGreedOutcome, PathSet) {
+        self.try_run_with_paths().expect("run canceled; use try_run_with_paths")
+    }
+
+    /// Cancellable variant of [`TpGreed::run_with_paths`]: returns
+    /// [`Canceled`] as soon as a checkpoint fires at an iteration
+    /// boundary.
+    ///
+    /// # Errors
+    /// [`Canceled`] when the attached [`Progress`] was canceled or timed
+    /// out.
+    pub fn try_run_with_paths(mut self) -> Result<(TpGreedOutcome, PathSet), Canceled> {
+        self.progress.add_paths_enumerated(self.paths.len() as u64);
         // Free paths (w == 0, e.g. direct FF->FF connections) cost
         // nothing: establish them before any insertion, as ref. [13]'s
         // cost-free scan does.
         self.establish_ready_paths();
 
         match self.cfg.gain_update {
-            GainUpdate::Full => self.run_full(),
-            GainUpdate::Incremental => self.run_incremental(),
+            GainUpdate::Full => self.run_full()?,
+            GainUpdate::Incremental => self.run_incremental()?,
         }
 
         let implied = self
@@ -300,7 +331,7 @@ impl<'a> TpGreed<'a> {
             .filter(|g| self.imp.value(*g).is_known())
             .map(|g| (g, self.imp.value(g)))
             .collect();
-        (
+        Ok((
             TpGreedOutcome {
                 test_points: self.test_points,
                 scan_paths: self.established,
@@ -309,12 +340,14 @@ impl<'a> TpGreed<'a> {
                 implied,
             },
             self.paths,
-        )
+        ))
     }
 
-    fn run_full(&mut self) {
+    fn run_full(&mut self) -> Result<(), Canceled> {
         let all: Vec<usize> = (0..self.gains.len()).collect();
         loop {
+            self.progress.checkpoint()?;
+            self.progress.add_round();
             self.iterations += 1;
             let evals = self.sweep_gains(&all, false);
             let mut best: Option<(f64, usize)> = None;
@@ -328,11 +361,14 @@ impl<'a> TpGreed<'a> {
             let Some((_, cand)) = best else { break };
             self.commit(cand);
         }
+        Ok(())
     }
 
-    fn run_incremental(&mut self) {
+    fn run_incremental(&mut self) -> Result<(), Canceled> {
         let mut heap: BinaryHeap<(OrdF64, std::cmp::Reverse<usize>)> = BinaryHeap::new();
         loop {
+            self.progress.checkpoint()?;
+            self.progress.add_round();
             self.iterations += 1;
             // Refresh dirty candidates (ascending order; the parallel
             // sweep returns results in that same order).
@@ -362,6 +398,7 @@ impl<'a> TpGreed<'a> {
             self.dirty[encode(net, Trit::Zero)] = true;
             self.dirty[encode(net, Trit::One)] = true;
         }
+        Ok(())
     }
 
     /// Evaluates Equation 1 for every candidate in `cands`, returning the
@@ -376,6 +413,10 @@ impl<'a> TpGreed<'a> {
     /// are snapshotted up front — so the result vector is identical to
     /// the sequential sweep's, element for element.
     fn sweep_gains(&mut self, cands: &[usize], register: bool) -> Vec<GainEval> {
+        // The sweep size is a pure function of the netlist and config
+        // (never of worker scheduling), so this counter is identical at
+        // every `threads` setting.
+        self.progress.add_candidates_evaluated(cands.len() as u64);
         // Snapshot the chain-fragment roots so `pair_usable` needs no
         // mutable union-find access inside workers.
         let ff_roots: Vec<usize> = {
@@ -440,6 +481,7 @@ impl<'a> TpGreed<'a> {
         let (net, value) = decode(cand);
         let delta = self.imp.force(net, value);
         self.test_points.push((net, value));
+        self.progress.add_test_points_placed(1);
 
         let mut affected: Vec<PathId> = Vec::new();
         for a in &delta {

@@ -13,8 +13,10 @@
 //! implied as a by-product are **side-effect constants** and may be
 //! overridden (§IV.A, Fig. 6).
 
+use crate::progress::Progress;
 use crate::region::Region;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use tpi_netlist::{GateId, GateKind, Netlist, TechLibrary};
 use tpi_scan::ChainLink;
 use tpi_sim::{Implication, Trit};
@@ -155,6 +157,9 @@ pub struct ScanPlanner {
     /// chain stitching rewires it; stays X in test mode so the constant
     /// analysis sees the mux output as (unknown) scan data.
     scan_stub: Option<GateId>,
+    /// Run counters (planning attempts, placed test points). Atomic, so
+    /// parallel speculative planning over `&ScanPlanner` counts too.
+    progress: Arc<Progress>,
 }
 
 impl ScanPlanner {
@@ -181,7 +186,18 @@ impl ScanPlanner {
             links: Vec::new(),
             test_points_inserted: 0,
             scan_stub: None,
+            progress: Arc::new(Progress::new()),
         }
+    }
+
+    /// Attaches a shared [`Progress`] token for run counters. Planning is
+    /// read-only, so the counters are atomic and speculative parallel
+    /// planning (see `PartialScanFlow`) counts through a shared
+    /// reference; `plans_attempted` is therefore the one counter that may
+    /// vary with the worker count.
+    pub fn with_progress(mut self, progress: Arc<Progress>) -> Self {
+        self.progress = progress;
+        self
     }
 
     fn ensure_scan_stub(n: &mut Netlist, slot: &mut Option<GateId>) -> GateId {
@@ -245,6 +261,7 @@ impl ScanPlanner {
     /// prescribes.
     pub fn plan_zero_degradation(&self, ff: GateId) -> Option<ScanPlan> {
         debug_assert_eq!(self.n.kind(ff), GateKind::Dff);
+        self.progress.add_plans_attempted(1);
         let d = self.n.fanin(ff)[0];
         let region = Region::build(&self.n, d);
         let mut memo: HashMap<(GateId, Want), Option<Solution>> = HashMap::new();
@@ -622,6 +639,12 @@ impl ScanPlanner {
                 }
             }
         }
+        self.progress.add_test_points_placed(
+            plan.actions
+                .iter()
+                .filter(|a| matches!(a, PlanAction::InsertAnd { .. } | PlanAction::InsertOr { .. }))
+                .count() as u64,
+        );
         for &(net, v) in &plan.desired {
             // Splicing a gate at `net` moves the constant consumers see to
             // the new gate's output; protect the effective net.

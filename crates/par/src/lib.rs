@@ -11,6 +11,8 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Number of worker threads to use for a parallel sweep.
 ///
@@ -131,6 +133,73 @@ where
 struct SendPtr<T>(*mut T);
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
+/// A long-lived pool of worker threads draining a shared job queue.
+///
+/// `map_indexed` spawns scoped threads per sweep, which is the right
+/// shape for fork/join inside one flow run. A job *service* instead
+/// needs threads that outlive any single job and pick up whatever is
+/// submitted next; this pool provides exactly that on `std` only: an
+/// [`mpsc`] channel guarded by a mutex on the receiving side (the
+/// classic shared-queue construction), one OS thread per worker.
+///
+/// Dropping the pool closes the queue and joins every worker; jobs
+/// already submitted still run to completion first.
+pub struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+impl WorkerPool {
+    /// Spawns `threads` workers, all idle until jobs arrive.
+    pub fn new(threads: Threads) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.get())
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("tpi-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeuing; run the job
+                        // with the queue free for the other workers.
+                        let job = match rx.lock().expect("queue lock never poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // channel closed: shut down
+                        };
+                        job();
+                    })
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers }
+    }
+
+    /// Enqueues a job; some idle worker will run it.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue: workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// Maps `f` over a slice of jobs, returning results in job order.
 pub fn map_jobs<C, J, T, F>(threads: Threads, jobs: &[J], ctx: &C, f: F) -> Vec<T>
 where
@@ -191,6 +260,33 @@ mod tests {
         assert_eq!(Threads::new(3).get(), 3);
         assert!(Threads::from_knob(0).get() >= 1);
         assert_eq!(Threads::from_knob(2).get(), 2);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_job() {
+        let pool = WorkerPool::new(Threads::new(3));
+        assert_eq!(pool.workers(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins: all queued jobs must have run
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn worker_pool_single_thread_is_fifo() {
+        let pool = WorkerPool::new(Threads::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..16 {
+            let order = Arc::clone(&order);
+            pool.spawn(move || order.lock().unwrap().push(i));
+        }
+        drop(pool);
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
     }
 
     #[test]

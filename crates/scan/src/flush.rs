@@ -17,6 +17,9 @@ use tpi_sim::{Simulator, Trit};
 pub struct FlushReport {
     /// Chain length (number of flip-flops).
     pub chain_len: usize,
+    /// The flip-flop the scan-out stream is observed at (the chain's
+    /// last stage).
+    pub scan_out: GateId,
     /// Bits driven into `scan_in`, cycle by cycle.
     pub driven: Vec<bool>,
     /// Bits observed at `scan_out` once the pipe is full.
@@ -26,11 +29,50 @@ pub struct FlushReport {
     pub expected: Vec<bool>,
 }
 
+/// The first scan-out position where a flush test miscompared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushMismatch {
+    /// 0-based position in the scan-out stream.
+    pub position: usize,
+    /// The flip-flop the miscompare was observed at.
+    pub gate: GateId,
+    /// The bit the chain should have delivered.
+    pub expected: Trit,
+    /// The value actually observed (possibly `X`).
+    pub observed: Trit,
+}
+
 impl FlushReport {
     /// True when every observed bit matched its expectation.
     pub fn passed(&self) -> bool {
         self.observed.len() == self.expected.len()
             && self.observed.iter().zip(&self.expected).all(|(o, &e)| *o == Trit::from(e))
+    }
+
+    /// The first miscomparing scan-out bit, if any — the structured
+    /// evidence consumers report instead of re-diffing the raw streams.
+    pub fn first_mismatch(&self) -> Option<FlushMismatch> {
+        self.observed
+            .iter()
+            .zip(&self.expected)
+            .enumerate()
+            .find(|(_, (o, &e))| **o != Trit::from(e))
+            .map(|(position, (&observed, &expected))| FlushMismatch {
+                position,
+                gate: self.scan_out,
+                expected: Trit::from(expected),
+                observed,
+            })
+            .or_else(|| {
+                // A truncated observation stream (length mismatch) is a
+                // miscompare at the first missing position.
+                (self.observed.len() < self.expected.len()).then(|| FlushMismatch {
+                    position: self.observed.len(),
+                    gate: self.scan_out,
+                    expected: Trit::from(self.expected[self.observed.len()]),
+                    observed: Trit::X,
+                })
+            })
     }
 }
 
@@ -108,7 +150,7 @@ pub fn flush_test(
             expected.push(src ^ parity);
         }
     }
-    Ok(FlushReport { chain_len: len, driven, observed, expected })
+    Ok(FlushReport { chain_len: len, scan_out: last_ff, driven, observed, expected })
 }
 
 #[cfg(test)]
@@ -190,6 +232,18 @@ mod tests {
         let chain = ScanChain::stitch(&mut n, links).unwrap();
         let report = flush_test(&n, &chain, &[(side, Trit::Zero)]).unwrap();
         assert!(!report.passed());
+        let m = report.first_mismatch().expect("a failing flush has a first mismatch");
+        assert_eq!(m.gate, f1, "mismatch observed at the chain's last stage");
+        assert_eq!(m.observed, Trit::One, "the controlled NAND is stuck at 1");
+        assert_ne!(m.observed, m.expected);
+    }
+
+    #[test]
+    fn passing_flush_has_no_mismatch() {
+        let (n, chain) = conventional_chain();
+        let report = flush_test(&n, &chain, &[]).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.first_mismatch(), None);
     }
 
     #[test]

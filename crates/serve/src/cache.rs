@@ -1,0 +1,187 @@
+//! Content-addressed result cache: in-memory LRU with an optional
+//! on-disk spill directory.
+//!
+//! The cache stores *rendered payload strings*, not result structs: the
+//! payload is the deterministic artifact the service promises to return
+//! byte-identically, so caching the bytes themselves makes the warm
+//! path trivially faithful (and keeps the cache small — a payload is a
+//! few hundred bytes; a transformed [`tpi_netlist::Netlist`] is not).
+//!
+//! Disk layout: one file per key, `<dir>/<key:016x>.json`, written via
+//! temp-file + rename so concurrent services sharing a directory never
+//! observe a torn payload.
+
+use crate::key::CacheKey;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where a payload was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Not cached: the flow actually ran.
+    Cold,
+    /// Served from the in-memory LRU.
+    Memory,
+    /// Served from the on-disk cache directory.
+    Disk,
+}
+
+impl CacheSource {
+    /// Label used in payload reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSource::Cold => "cold",
+            CacheSource::Memory => "memory",
+            CacheSource::Disk => "disk",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    payload: Arc<str>,
+    last_used: u64,
+}
+
+/// The cache itself. Not internally synchronized — the service wraps
+/// it in a mutex (lookups are microseconds; the flows are the slow
+/// part and run outside any lock).
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    disk: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// An LRU holding at most `capacity` payloads in memory (clamped to
+    /// ≥ 1), spilling to `disk` when given.
+    ///
+    /// The directory is created eagerly; if that fails the cache
+    /// degrades to memory-only rather than failing jobs over an I/O
+    /// problem.
+    pub fn new(capacity: usize, disk: Option<PathBuf>) -> Self {
+        let disk = disk.filter(|d| std::fs::create_dir_all(d).is_ok());
+        ResultCache { map: HashMap::new(), capacity: capacity.max(1), tick: 0, disk }
+    }
+
+    /// Number of payloads currently in memory.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached in memory.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The disk directory actually in use (`None` when memory-only).
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Looks `key` up: memory first, then disk (a disk hit is promoted
+    /// into memory).
+    pub fn get(&mut self, key: CacheKey) -> Option<(Arc<str>, CacheSource)> {
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(&key.0) {
+            e.last_used = self.tick;
+            return Some((Arc::clone(&e.payload), CacheSource::Memory));
+        }
+        let path = self.disk.as_ref()?.join(format!("{key}.json"));
+        let payload: Arc<str> = std::fs::read_to_string(path).ok()?.into();
+        self.insert_memory(key, Arc::clone(&payload));
+        Some((payload, CacheSource::Disk))
+    }
+
+    /// Stores a freshly computed payload (memory + disk).
+    pub fn insert(&mut self, key: CacheKey, payload: Arc<str>) {
+        if let Some(dir) = &self.disk {
+            // Atomic publish: a concurrent reader sees the old bytes or
+            // the new bytes, never a prefix.
+            let tmp = dir.join(format!("{key}.json.tmp"));
+            let dst = dir.join(format!("{key}.json"));
+            if std::fs::write(&tmp, payload.as_bytes()).is_ok() {
+                let _ = std::fs::rename(&tmp, &dst);
+            }
+        }
+        self.insert_memory(key, payload);
+    }
+
+    fn insert_memory(&mut self, key: CacheKey, payload: Arc<str>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key.0) {
+            // O(n) eviction scan; capacities are small (default 256) and
+            // insertions happen once per *computed* job, so this never
+            // shows up next to a flow run.
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key.0, Entry { payload, last_used: self.tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64) -> CacheKey {
+        CacheKey(v)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tpi-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_roundtrip_and_source() {
+        let mut c = ResultCache::new(8, None);
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), "p1".into());
+        let (p, src) = c.get(key(1)).unwrap();
+        assert_eq!(&*p, "p1");
+        assert_eq!(src, CacheSource::Memory);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.insert(key(1), "p1".into());
+        c.insert(key(2), "p2".into());
+        let _ = c.get(key(1)); // 2 is now the LRU
+        c.insert(key(3), "p3".into());
+        assert!(c.get(key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn disk_survives_a_fresh_cache() {
+        let dir = tmpdir("disk");
+        let mut c = ResultCache::new(8, Some(dir.clone()));
+        c.insert(key(0xabc), "payload".into());
+        drop(c);
+        let mut c2 = ResultCache::new(8, Some(dir.clone()));
+        let (p, src) = c2.get(key(0xabc)).expect("disk hit");
+        assert_eq!(&*p, "payload");
+        assert_eq!(src, CacheSource::Disk);
+        // Promoted: second lookup is a memory hit.
+        assert_eq!(c2.get(key(0xabc)).unwrap().1, CacheSource::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_disk_degrades_to_memory_only() {
+        let mut c = ResultCache::new(8, Some(PathBuf::from("/proc/definitely/not/writable/here")));
+        assert!(c.disk_dir().is_none());
+        c.insert(key(5), "p".into());
+        assert_eq!(c.get(key(5)).unwrap().1, CacheSource::Memory);
+    }
+}

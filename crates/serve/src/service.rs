@@ -1,0 +1,496 @@
+//! The job service: worker pool + queue + cache + metrics.
+
+use crate::cache::{CacheSource, ResultCache};
+use crate::job::{FlowKind, JobSpec};
+use crate::json::JsonObject;
+use crate::key::{cache_key, netlist_fingerprint, CacheKey};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use tpi_core::{CancelKind, CounterSnapshot, FlowError, FullScanFlow, PartialScanFlow, Progress};
+use tpi_par::{Threads, WorkerPool};
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (`0` = all hardware threads). Payloads are
+    /// byte-identical at every setting; this only changes throughput.
+    pub threads: usize,
+    /// In-memory LRU capacity, in payloads.
+    pub cache_capacity: usize,
+    /// Optional on-disk cache directory (shared across service
+    /// lifetimes — this is what makes re-runs warm).
+    pub cache_dir: Option<PathBuf>,
+    /// Deadline applied to jobs that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { threads: 0, cache_capacity: 256, cache_dir: None, default_deadline: None }
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The flow ran (or was served from cache) and produced a payload.
+    Completed,
+    /// The job's deadline expired before the flow finished; the partial
+    /// work was discarded at an iteration boundary.
+    TimedOut,
+    /// [`JobHandle::cancel`] stopped the job.
+    Canceled,
+    /// The job itself was bad: unparsable netlist, a flow panic, or a
+    /// chain that failed the §V flush test. The message is
+    /// human-readable and specific (for flush failures it carries the
+    /// gate and expected/observed trits).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Short label for logs and filenames.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::TimedOut => "timed-out",
+            JobStatus::Canceled => "canceled",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Everything the service reports about one finished job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Submission-ordered job id (unique per service).
+    pub id: u64,
+    /// Flow label (`full-scan`, `cb`, `td-cb`, `tptime`).
+    pub flow: &'static str,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// The content-addressed key (`None` when the netlist never
+    /// parsed, so no identity exists).
+    pub key: Option<CacheKey>,
+    /// The deterministic payload (`None` unless `Completed`).
+    pub payload: Option<Arc<str>>,
+    /// Where the payload came from.
+    pub cache: CacheSource,
+    /// Wall-clock time from dequeue to finish (cache hits included —
+    /// this is what the cold/warm comparison measures).
+    pub wall: Duration,
+    /// Per-phase counters from this job's live run (all zero for cache
+    /// hits: nothing ran).
+    pub counters: CounterSnapshot,
+}
+
+/// Handle to one submitted job.
+pub struct JobHandle {
+    id: u64,
+    rx: mpsc::Receiver<JobReport>,
+    progress: Arc<Progress>,
+}
+
+impl JobHandle {
+    /// The job's id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cancellation; the flow stops at its next checkpoint.
+    /// Idempotent, and a no-op once the job finished.
+    pub fn cancel(&self) {
+        self.progress.cancel();
+    }
+
+    /// Blocks until the job finishes and returns its report.
+    pub fn wait(self) -> JobReport {
+        self.rx.recv().unwrap_or_else(|_| JobReport {
+            id: self.id,
+            flow: "unknown",
+            status: JobStatus::Failed("worker disappeared before reporting".into()),
+            key: None,
+            payload: None,
+            cache: CacheSource::Cold,
+            wall: Duration::ZERO,
+            counters: CounterSnapshot::default(),
+        })
+    }
+}
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits_memory: AtomicU64,
+    cache_hits_disk: AtomicU64,
+    cache_misses: AtomicU64,
+    timed_out: AtomicU64,
+    canceled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted by [`JobService::submit`].
+    pub submitted: u64,
+    /// Jobs that produced a payload (cold or cached).
+    pub completed: u64,
+    /// Payloads served from the in-memory LRU.
+    pub cache_hits_memory: u64,
+    /// Payloads served from the disk directory.
+    pub cache_hits_disk: u64,
+    /// Jobs whose flow actually ran.
+    pub cache_misses: u64,
+    /// Jobs stopped by their deadline.
+    pub timed_out: u64,
+    /// Jobs stopped by [`JobHandle::cancel`].
+    pub canceled: u64,
+    /// Bad jobs (parse errors, flow panics, flush failures).
+    pub failed: u64,
+}
+
+struct Shared {
+    cache: Mutex<ResultCache>,
+    metrics: Metrics,
+    threads: usize,
+}
+
+/// A long-lived DFT job service.
+///
+/// Submit [`JobSpec`]s from any thread; a fixed pool of workers (see
+/// [`tpi_par::WorkerPool`]) executes them concurrently. Results are
+/// content-addressed: resubmitting the same netlist + config returns
+/// the cached payload byte-for-byte. Dropping the service drains the
+/// queue (already-submitted jobs finish) and joins the workers.
+///
+/// # Example
+///
+/// ```
+/// use tpi_serve::{JobService, JobSpec, ServiceConfig};
+/// use tpi_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("tiny");
+/// b.input("d");
+/// b.dff("f0", "d");
+/// b.output("o", "f0");
+/// let n = b.finish().unwrap();
+///
+/// let service = JobService::new(ServiceConfig::default());
+/// let report = service.submit(JobSpec::full_scan(n)).wait();
+/// assert!(report.payload.is_some());
+/// ```
+pub struct JobService {
+    pool: WorkerPool,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    default_deadline: Option<Duration>,
+}
+
+impl JobService {
+    /// Starts the workers (idle until jobs arrive).
+    pub fn new(config: ServiceConfig) -> Self {
+        let ServiceConfig { threads, cache_capacity, cache_dir, default_deadline } = config;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ResultCache::new(cache_capacity, cache_dir)),
+            metrics: Metrics::default(),
+            threads,
+        });
+        JobService {
+            pool: WorkerPool::new(Threads::from_knob(threads)),
+            shared,
+            next_id: AtomicU64::new(0),
+            default_deadline,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Enqueues a job. The deadline clock starts *now* (queue time
+    /// counts — a deadline is a promise to the caller, not to the CPU).
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let progress = Arc::new(match spec.deadline.or(self.default_deadline) {
+            Some(d) => Progress::with_deadline(d),
+            None => Progress::new(),
+        });
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.shared);
+        let worker_progress = Arc::clone(&progress);
+        self.pool.spawn(move || {
+            let report = execute(&shared, id, spec, &worker_progress);
+            let _ = tx.send(report); // receiver may have been dropped
+        });
+        JobHandle { id, rx, progress }
+    }
+
+    /// Submits every spec, then waits for all of them; reports come
+    /// back in submission order (execution is concurrent regardless).
+    pub fn run_batch(&self, specs: Vec<JobSpec>) -> Vec<JobReport> {
+        let handles: Vec<JobHandle> = specs.into_iter().map(|s| self.submit(s)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.shared.metrics;
+        MetricsSnapshot {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            cache_hits_memory: m.cache_hits_memory.load(Ordering::Relaxed),
+            cache_hits_disk: m.cache_hits_disk.load(Ordering::Relaxed),
+            cache_misses: m.cache_misses.load(Ordering::Relaxed),
+            timed_out: m.timed_out.load(Ordering::Relaxed),
+            canceled: m.canceled.load(Ordering::Relaxed),
+            failed: m.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Runs one job on a worker thread. Never panics outward: flow panics
+/// are caught and reported as [`JobStatus::Failed`] so one bad job
+/// cannot take a pool thread down.
+fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) -> JobReport {
+    let t0 = Instant::now();
+    let flow_label = spec.flow.label();
+    let report = |status: JobStatus,
+                  key: Option<CacheKey>,
+                  payload: Option<Arc<str>>,
+                  cache: CacheSource| {
+        let m = &shared.metrics;
+        match &status {
+            JobStatus::Completed => m.completed.fetch_add(1, Ordering::Relaxed),
+            JobStatus::TimedOut => m.timed_out.fetch_add(1, Ordering::Relaxed),
+            JobStatus::Canceled => m.canceled.fetch_add(1, Ordering::Relaxed),
+            JobStatus::Failed(_) => m.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        JobReport {
+            id,
+            flow: flow_label,
+            status,
+            key,
+            payload,
+            cache,
+            wall: t0.elapsed(),
+            counters: progress.snapshot(),
+        }
+    };
+
+    // Deadline check *before* any work, including the cache lookup: an
+    // already-expired job times out deterministically whether or not
+    // its result happens to be cached.
+    if let Err(c) = progress.checkpoint() {
+        return report(status_for(c.kind), None, None, CacheSource::Cold);
+    }
+
+    let netlist = match spec.source.resolve() {
+        Ok(n) => n,
+        Err(e) => {
+            return report(
+                JobStatus::Failed(format!("netlist parse error: {e}")),
+                None,
+                None,
+                CacheSource::Cold,
+            )
+        }
+    };
+    let key = cache_key(netlist_fingerprint(&netlist), &spec.flow);
+
+    let hit = shared.cache.lock().expect("cache lock never poisoned").get(key);
+    if let Some((payload, src)) = hit {
+        let m = &shared.metrics;
+        match src {
+            CacheSource::Memory => m.cache_hits_memory.fetch_add(1, Ordering::Relaxed),
+            CacheSource::Disk => m.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
+            CacheSource::Cold => unreachable!("cache lookups never report Cold"),
+        };
+        return report(JobStatus::Completed, Some(key), Some(payload), src);
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let ran = catch_unwind(AssertUnwindSafe(|| run_flow(shared, &spec.flow, &netlist, progress)));
+    let payload = match ran {
+        Ok(Ok(payload)) => payload,
+        Ok(Err(FlowError::Canceled(kind))) => {
+            return report(status_for(kind), Some(key), None, CacheSource::Cold)
+        }
+        Ok(Err(e @ FlowError::FlushFailed(_))) => {
+            return report(JobStatus::Failed(e.to_string()), Some(key), None, CacheSource::Cold)
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "flow panicked".into());
+            return report(
+                JobStatus::Failed(format!("flow panicked: {msg}")),
+                Some(key),
+                None,
+                CacheSource::Cold,
+            );
+        }
+    };
+
+    let payload: Arc<str> = payload.into();
+    shared.cache.lock().expect("cache lock never poisoned").insert(key, Arc::clone(&payload));
+    report(JobStatus::Completed, Some(key), Some(payload), CacheSource::Cold)
+}
+
+fn status_for(kind: CancelKind) -> JobStatus {
+    match kind {
+        CancelKind::Canceled => JobStatus::Canceled,
+        CancelKind::DeadlineExceeded => JobStatus::TimedOut,
+    }
+}
+
+/// Runs the requested flow and renders its deterministic payload.
+fn run_flow(
+    shared: &Shared,
+    flow: &FlowKind,
+    netlist: &tpi_netlist::Netlist,
+    progress: &Arc<Progress>,
+) -> Result<String, FlowError> {
+    match flow {
+        FlowKind::FullScan(cfg) => {
+            let mut cfg = cfg.clone();
+            if cfg.threads == 1 {
+                // An unset per-job knob inherits the service's.
+                cfg.threads = shared.threads;
+            }
+            let r = FullScanFlow { config: cfg, ..FullScanFlow::default() }
+                .run_checked(netlist, progress)?;
+            let mut o = JsonObject::new();
+            o.field_str("schema", "tpi-serve/v1")
+                .field_str("circuit", &r.row.circuit)
+                .field_str("flow", "full-scan")
+                .field_u64("ffs", r.row.ff_count as u64)
+                .field_u64("insertions", r.row.insertions as u64)
+                .field_u64("free", r.row.free as u64)
+                .field_u64("scan_paths", r.row.scan_paths as u64)
+                .field_f64("mux_reduction_pct", r.row.reduction())
+                .field_u64("chain_len", r.chain.len() as u64)
+                .field_bool("flush_passed", r.flush.passed())
+                .field_object("counters", counters_object(progress.snapshot()));
+            Ok(o.finish())
+        }
+        FlowKind::Partial(method) => {
+            let r = PartialScanFlow::new(*method)
+                .with_threads(shared.threads)
+                .run_checked(netlist, progress)?;
+            let mut o = JsonObject::new();
+            o.field_str("schema", "tpi-serve/v1")
+                .field_str("circuit", &r.row.circuit)
+                .field_str("flow", flow.label())
+                .field_u64("selected_ffs", r.row.selected_ffs as u64)
+                .field_f64("area", r.row.area)
+                .field_f64("area_pct", r.row.area_pct)
+                .field_f64("delay", r.row.delay)
+                .field_f64("delay_pct", r.row.delay_pct)
+                .field_bool("acyclic", r.acyclic)
+                .field_u64("chain_len", r.chain.as_ref().map_or(0, |c| c.len()) as u64)
+                .field_bool("flush_passed", r.flush.as_ref().is_none_or(|f| f.passed()))
+                .field_object("counters", counters_object(progress.snapshot()));
+            Ok(o.finish())
+        }
+    }
+}
+
+/// The counter block embedded in payloads. `plans_attempted` is
+/// deliberately absent: it is the one counter that may vary with the
+/// worker count (TPTIME's speculative planning), and payloads promise
+/// byte-identity across `threads` settings.
+fn counters_object(c: CounterSnapshot) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.field_u64("paths_enumerated", c.paths_enumerated)
+        .field_u64("candidates_evaluated", c.candidates_evaluated)
+        .field_u64("test_points_placed", c.test_points_placed)
+        .field_u64("rounds", c.rounds);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_core::PartialScanMethod;
+    use tpi_netlist::NetlistBuilder;
+
+    fn ring() -> tpi_netlist::Netlist {
+        let mut b = NetlistBuilder::new("ring");
+        b.input("d");
+        b.gate(tpi_netlist::GateKind::Inv, "r0", &["f0"]);
+        b.dff("f1", "r0");
+        b.gate(tpi_netlist::GateKind::Inv, "r1", &["f1"]);
+        b.dff("f0", "r1");
+        b.dff("f2", "d");
+        b.output("o", "f0");
+        b.output("o2", "f2");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn completed_job_has_payload_and_key() {
+        let s = JobService::new(ServiceConfig { threads: 2, ..ServiceConfig::default() });
+        let r = s.submit(JobSpec::full_scan(ring())).wait();
+        assert_eq!(r.status, JobStatus::Completed);
+        assert_eq!(r.cache, CacheSource::Cold);
+        assert!(r.key.is_some());
+        let p = r.payload.expect("completed jobs carry payloads");
+        assert!(p.starts_with(r#"{"schema":"tpi-serve/v1""#), "{p}");
+        let m = s.metrics();
+        assert_eq!((m.submitted, m.completed, m.cache_misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn resubmission_hits_memory_cache_byte_identically() {
+        let s = JobService::new(ServiceConfig::default());
+        let cold = s.submit(JobSpec::partial(ring(), PartialScanMethod::TpTime)).wait();
+        let warm = s.submit(JobSpec::partial(ring(), PartialScanMethod::TpTime)).wait();
+        assert_eq!(warm.cache, CacheSource::Memory);
+        assert_eq!(cold.payload, warm.payload);
+        assert_eq!(cold.key, warm.key);
+        assert_eq!(s.metrics().cache_hits_memory, 1);
+    }
+
+    #[test]
+    fn bad_blif_fails_without_poisoning_the_queue() {
+        let s = JobService::new(ServiceConfig::default());
+        let bad = s
+            .submit(JobSpec::full_scan(ring()).with_flow(FlowKind::FullScan(Default::default())))
+            .id();
+        let r = s
+            .submit(JobSpec {
+                source: crate::NetlistSource::Blif(".model broken\n.nonsense\n".into()),
+                flow: FlowKind::FullScan(Default::default()),
+                deadline: None,
+            })
+            .wait();
+        assert!(matches!(&r.status, JobStatus::Failed(m) if m.contains("parse")));
+        // Queue still works afterwards.
+        let ok = s.submit(JobSpec::full_scan(ring())).wait();
+        assert_eq!(ok.status, JobStatus::Completed);
+        let _ = bad;
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_canceled() {
+        let s = JobService::new(ServiceConfig { threads: 1, ..ServiceConfig::default() });
+        // Occupy the single worker so the canceled job is still queued
+        // when we cancel it.
+        let blocker = s.submit(JobSpec::full_scan(ring()));
+        let victim = s.submit(JobSpec::full_scan(ring()));
+        victim.cancel();
+        let r = victim.wait();
+        assert_eq!(r.status, JobStatus::Canceled);
+        assert_eq!(blocker.wait().status, JobStatus::Completed);
+        assert_eq!(s.metrics().canceled, 1);
+    }
+}

@@ -17,4 +17,4 @@ pub mod figures;
 pub mod iscas;
 pub mod synth;
 
-pub use synth::{generate, suite, table1_workloads, CircuitSpec, StructureClass};
+pub use synth::{generate, smoke_suite, suite, table1_workloads, CircuitSpec, StructureClass};

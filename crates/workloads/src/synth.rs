@@ -540,6 +540,32 @@ pub fn table1_workloads() -> Vec<Netlist> {
     suite().iter().map(generate).collect()
 }
 
+/// Two small circuits (one mixed, one datapath) for smoke tests and CI:
+/// they exercise both flow families in well under a second, unlike the
+/// full [`suite`].
+pub fn smoke_suite() -> Vec<CircuitSpec> {
+    vec![
+        CircuitSpec {
+            name: "smoke_mixed".into(),
+            inputs: 8,
+            outputs: 6,
+            ffs: 24,
+            target_gates: 140,
+            structure: StructureClass::mixed(0.5, 4, 5, 1),
+            seed: 101,
+        },
+        CircuitSpec {
+            name: "smoke_dp".into(),
+            inputs: 6,
+            outputs: 4,
+            ffs: 16,
+            target_gates: 100,
+            structure: StructureClass::datapath(4, 2, 1),
+            seed: 102,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,8 @@
 //!   input assignment, non-reconvergent regions, TPTIME, end-to-end flows;
 //! * [`atpg`] — the payoff: stuck-at faults, PODEM, fault simulation and
 //!   scan-based test application through the produced chains;
+//! * [`serve`] — a long-lived job service around the flows: worker pool,
+//!   content-addressed result cache, deadlines and run metrics;
 //! * [`workloads`] — the figure circuits, `s27`, and the synthetic
 //!   ISCAS89/MCNC91-calibrated benchmark suite.
 //!
@@ -22,6 +24,7 @@ pub use tpi_atpg as atpg;
 pub use tpi_core as tpi;
 pub use tpi_netlist as netlist;
 pub use tpi_scan as scan;
+pub use tpi_serve as serve;
 pub use tpi_sim as sim;
 pub use tpi_sta as sta;
 pub use tpi_workloads as workloads;

@@ -1,0 +1,246 @@
+//! Integration tests for the `tpi-serve` job service: cache-key
+//! stability, deadlines/cancellation, and payload byte-identity.
+
+use scanpath::netlist::{parse_blif, write_blif};
+use scanpath::serve::{
+    cache_key, netlist_fingerprint, CacheSource, FlowKind, JobService, JobSpec, JobStatus,
+    NetlistSource, ServiceConfig,
+};
+use scanpath::tpi::{PartialScanMethod, TpGreedConfig};
+use scanpath::workloads::iscas::s27;
+use scanpath::workloads::{generate, smoke_suite, CircuitSpec, StructureClass};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tpi-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+// ---------------------------------------------------------------------
+// Cache-key stability (satellite 3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn blif_roundtrip_fingerprint_reaches_a_fixed_point() {
+    // write_blif expresses NAND/NOR/XOR as SOP covers and parse_blif
+    // decomposes them into AND/OR/INV networks, so the *first* roundtrip
+    // may restructure the circuit. From then on the fingerprint must be
+    // stable: the parser's invented aux names and cover ordering cannot
+    // move the content address.
+    let once = parse_blif(&write_blif(&s27())).expect("own BLIF output parses");
+    let twice = parse_blif(&write_blif(&once)).expect("roundtripped BLIF parses");
+    assert_eq!(netlist_fingerprint(&once), netlist_fingerprint(&twice));
+}
+
+#[test]
+fn blif_formatting_variants_hash_identically() {
+    let base = "\
+.model fmt
+.inputs a b
+.outputs y
+.latch w q 0
+.names a b w
+11 1
+.names q y
+1 1
+.end
+";
+    // Same circuit: extra blank lines, comments, reordered cover rows of
+    // a (commutative) AND, and swapped section order for the two covers.
+    let variant = "\
+.model fmt
+# a comment
+.inputs a b
+.outputs y
+
+.latch w q 0
+.names q y
+1 1
+.names b a w
+11 1
+.end
+";
+    let f1 = netlist_fingerprint(&parse_blif(base).unwrap());
+    let f2 = netlist_fingerprint(&parse_blif(variant).unwrap());
+    assert_eq!(f1, f2);
+}
+
+#[test]
+fn changed_netlist_or_config_changes_the_key() {
+    let base = "\
+.model fmt
+.inputs a b
+.outputs y
+.latch w q 0
+.names a b w
+11 1
+.names q y
+1 1
+.end
+";
+    // Same interface, different logic: the AND cover becomes an OR.
+    let changed = base.replace("11 1", "1- 1\n-1 1");
+    let fp = netlist_fingerprint(&parse_blif(base).unwrap());
+    let fp_changed = netlist_fingerprint(&parse_blif(&changed).unwrap());
+    assert_ne!(fp, fp_changed);
+
+    // A config change must move the cache key even on the same netlist.
+    let base_cfg = TpGreedConfig::default();
+    let mut other = base_cfg.clone();
+    other.gain_bound += 0.25;
+    assert_ne!(
+        cache_key(fp, &FlowKind::FullScan(base_cfg)),
+        cache_key(fp, &FlowKind::FullScan(other))
+    );
+}
+
+#[test]
+fn s27_cache_key_is_pinned() {
+    // Golden regression: if this moves, every on-disk cache in the wild
+    // silently goes cold — bump the version tag in key.rs deliberately,
+    // not by accident.
+    let key = cache_key(netlist_fingerprint(&s27()), &FlowKind::FullScan(TpGreedConfig::default()));
+    assert_eq!(key.to_string(), "29b3c0a64a7b22ef");
+}
+
+// ---------------------------------------------------------------------
+// Deadlines and cancellation (satellite 4)
+// ---------------------------------------------------------------------
+
+/// A synthetic netlist big enough that its flow cannot finish between
+/// two checkpoints on any machine.
+fn large_spec() -> CircuitSpec {
+    CircuitSpec {
+        name: "large".into(),
+        inputs: 16,
+        outputs: 8,
+        ffs: 96,
+        target_gates: 1200,
+        structure: StructureClass::mixed(0.5, 4, 16, 2),
+        seed: 7,
+    }
+}
+
+#[test]
+fn zero_deadline_times_out_deterministically() {
+    let service = JobService::new(ServiceConfig::default());
+    let n = generate(&large_spec());
+    for _ in 0..3 {
+        let r = service.submit(JobSpec::full_scan(n.clone()).with_deadline(Duration::ZERO)).wait();
+        assert_eq!(r.status, JobStatus::TimedOut);
+        assert!(r.payload.is_none());
+    }
+    // The queue stays usable afterwards: same circuit, no deadline.
+    let ok = service.submit(JobSpec::full_scan(n)).wait();
+    assert_eq!(ok.status, JobStatus::Completed);
+    let m = service.metrics();
+    assert_eq!(m.timed_out, 3);
+    assert_eq!(m.completed, 1);
+}
+
+#[test]
+fn timed_out_job_does_not_poison_the_cache() {
+    // A timeout must not cache a partial payload: the follow-up run is a
+    // cold miss that completes.
+    let dir = tmpdir("timeout-cache");
+    let service =
+        JobService::new(ServiceConfig { cache_dir: Some(dir.clone()), ..ServiceConfig::default() });
+    let n = generate(&large_spec());
+    let t = service.submit(JobSpec::full_scan(n.clone()).with_deadline(Duration::ZERO)).wait();
+    assert_eq!(t.status, JobStatus::TimedOut);
+    let ok = service.submit(JobSpec::full_scan(n)).wait();
+    assert_eq!(ok.status, JobStatus::Completed);
+    assert_eq!(ok.cache, CacheSource::Cold, "nothing was cached by the timeout");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn default_deadline_applies_to_deadline_free_jobs() {
+    let service = JobService::new(ServiceConfig {
+        default_deadline: Some(Duration::ZERO),
+        ..ServiceConfig::default()
+    });
+    let r = service.submit(JobSpec::full_scan(s27())).wait();
+    assert_eq!(r.status, JobStatus::TimedOut);
+    // An explicit per-job deadline overrides the default.
+    let r =
+        service.submit(JobSpec::full_scan(s27()).with_deadline(Duration::from_secs(120))).wait();
+    assert_eq!(r.status, JobStatus::Completed);
+}
+
+// ---------------------------------------------------------------------
+// Cold/warm byte-identity (tentpole acceptance)
+// ---------------------------------------------------------------------
+
+#[test]
+fn warm_payloads_are_byte_identical_across_service_restarts() {
+    let dir = tmpdir("warm");
+    let mk = || {
+        JobService::new(ServiceConfig { cache_dir: Some(dir.clone()), ..ServiceConfig::default() })
+    };
+    let specs = || {
+        let mut v = Vec::new();
+        for spec in smoke_suite() {
+            let n = generate(&spec);
+            v.push(JobSpec::full_scan(n.clone()));
+            v.push(JobSpec::partial(n, PartialScanMethod::TpTime));
+        }
+        v
+    };
+    let cold = mk().run_batch(specs());
+    let warm_service = mk(); // fresh service: memory cache empty, disk warm
+    let warm = warm_service.run_batch(specs());
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.status, JobStatus::Completed);
+        assert_eq!(w.status, JobStatus::Completed);
+        assert_eq!(c.cache, CacheSource::Cold);
+        assert_eq!(w.cache, CacheSource::Disk);
+        assert_eq!(c.key, w.key);
+        assert_eq!(c.payload, w.payload, "payloads must be byte-identical");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn payloads_are_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let service = JobService::new(ServiceConfig { threads, ..ServiceConfig::default() });
+        let mut specs = Vec::new();
+        for spec in smoke_suite() {
+            let n = generate(&spec);
+            specs.push(JobSpec::full_scan(n.clone()));
+            specs.push(JobSpec::partial(n, PartialScanMethod::TpTime));
+        }
+        service.run_batch(specs)
+    };
+    let one = run(1);
+    let four = run(4);
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(a.status, JobStatus::Completed);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.payload, b.payload, "threads knob changed a payload");
+    }
+}
+
+#[test]
+fn counters_flow_into_reports_and_payloads() {
+    let service = JobService::new(ServiceConfig::default());
+    let r = service.submit(JobSpec::full_scan(s27())).wait();
+    assert_eq!(r.status, JobStatus::Completed);
+    assert!(r.counters.paths_enumerated > 0);
+    assert!(r.counters.candidates_evaluated > 0);
+    let payload = r.payload.unwrap();
+    assert!(payload.contains(r#""counters":{"paths_enumerated":"#), "{payload}");
+    // A BLIF source and the netlist it parses to share one content
+    // address, so the second submission is a pure cache hit.
+    let text = write_blif(&s27());
+    let parsed = parse_blif(&text).expect("own BLIF output parses");
+    let a = service.submit(JobSpec::full_scan(NetlistSource::Blif(text))).wait();
+    let b = service.submit(JobSpec::full_scan(parsed)).wait();
+    assert_eq!(a.key, b.key, "source representation must not matter");
+    assert_eq!(b.cache, CacheSource::Memory);
+    assert_eq!(a.payload, b.payload);
+}
