@@ -26,4 +26,16 @@ BATCH=target/debug/tpi-batch
 "$BATCH" --cache-dir "$SMOKE/cache" --out "$SMOKE/warm" "$SMOKE/work"
 diff -r "$SMOKE/cold" "$SMOKE/warm"
 
+echo "== tpi-lint over generated workloads (deny errors; JSON byte-stable) =="
+cargo build -q -p tpi-lint --bin tpi-lint
+LINT=target/debug/tpi-lint
+"$BATCH" --generate "$SMOKE/suite" >/dev/null
+# Text mode: warnings are fine (synthetic circuits keep dead cones on
+# purpose), error-severity findings fail CI.
+"$LINT" "$SMOKE/suite" "$SMOKE/work"
+# JSON mode twice over the same inputs must be byte-identical.
+"$LINT" --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint1.json"
+"$LINT" --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint2.json"
+cmp "$SMOKE/lint1.json" "$SMOKE/lint2.json"
+
 echo "CI green."

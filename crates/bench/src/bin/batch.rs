@@ -28,7 +28,7 @@
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::{Duration, Instant};
-use tpi_bench::parse_threads;
+use tpi_bench::{ArgCursor, Cli};
 use tpi_core::PartialScanMethod;
 use tpi_netlist::write_blif;
 use tpi_serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
@@ -41,7 +41,8 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let (threads, args) = parse_threads(std::env::args().skip(1));
+    let cli = Cli::parse();
+    let threads = cli.threads;
     let mut cache_dir: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut deadline: Option<Duration> = None;
@@ -49,26 +50,16 @@ fn main() {
     let mut small = false;
     let mut workload_dir: Option<PathBuf> = None;
 
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        let mut value = |flag: &str| {
-            it.next().unwrap_or_else(|| {
-                eprintln!("{flag} requires a value");
-                exit(2);
-            })
-        };
+    let mut it = ArgCursor::new(cli.args);
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir"))),
-            "--out" => out_dir = Some(PathBuf::from(value("--out"))),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(it.value("--cache-dir"))),
+            "--out" => out_dir = Some(PathBuf::from(it.value("--out"))),
             "--deadline-ms" => {
-                let v = value("--deadline-ms");
-                let ms: u64 = v.parse().unwrap_or_else(|_| {
-                    eprintln!("--deadline-ms: expected a non-negative integer, got {v:?}");
-                    exit(2);
-                });
+                let ms: u64 = it.parsed_value("--deadline-ms", "a non-negative integer");
                 deadline = Some(Duration::from_millis(ms));
             }
-            "--generate" => generate_dir = Some(PathBuf::from(value("--generate"))),
+            "--generate" => generate_dir = Some(PathBuf::from(it.value("--generate"))),
             "--small" => small = true,
             _ if a.starts_with('-') => {
                 eprintln!("unknown flag {a:?}");
@@ -147,11 +138,15 @@ fn main() {
     for ((stem, flow), r) in names.iter().zip(&reports) {
         let key = r.key.map(|k| k.to_string()).unwrap_or_else(|| "-".repeat(16));
         println!(
-            "{stem:<14} {flow:<9} {:<9} cache={:<6} key={key} wall={:.1}ms",
+            "{stem:<14} {flow:<9} {:<9} cache={:<6} verified={} key={key} wall={:.1}ms",
             r.status.label(),
             r.cache.label(),
+            if r.verified { "yes" } else { "no " },
             r.wall.as_secs_f64() * 1e3,
         );
+        for d in &r.diagnostics {
+            eprintln!("  {}", d.render_text());
+        }
         match (&r.status, &r.payload) {
             (JobStatus::Completed, Some(payload)) => {
                 if let Some(out) = &out_dir {

@@ -6,7 +6,7 @@
 //! (`--threads 0` = all hardware threads, default 1; the replayed flows
 //! produce identical output at every setting.)
 
-use tpi_bench::parse_threads;
+use tpi_bench::Cli;
 use tpi_core::flow::FullScanFlow;
 use tpi_core::region::Region;
 use tpi_core::tpgreed::{TpGreed, TpGreedConfig};
@@ -17,10 +17,10 @@ use tpi_sim::{Implication, Trit};
 use tpi_workloads::figures;
 
 fn main() {
-    let (threads, args) = parse_threads(std::env::args().skip(1));
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let cli = Cli::parse();
+    let want = |name: &str| cli.selects(name);
     if want("fig1") {
-        fig1(threads);
+        fig1(cli.threads);
     }
     if want("fig2") {
         fig2();

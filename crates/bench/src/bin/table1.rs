@@ -8,19 +8,19 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tpi_bench::{parse_threads, render_table1_comparison};
+use tpi_bench::{render_table1_comparison, Cli};
 use tpi_core::flow::FullScanFlow;
 use tpi_core::Progress;
 use tpi_workloads::{generate, suite};
 
 fn main() {
-    let (threads, args) = parse_threads(std::env::args().skip(1));
+    let cli = Cli::parse();
     println!("Table I — full-scan test point insertion (paper vs. this reproduction)");
     println!("circuit  |  A=#FF  B=#insertions  C=#free  D=#scan-paths  red=overhead reduction");
     println!("{}", "-".repeat(110));
-    let flow = FullScanFlow::default().with_threads(threads);
+    let flow = FullScanFlow::default().with_threads(cli.threads);
     for spec in suite() {
-        if !args.is_empty() && !args.iter().any(|a| a == &spec.name) {
+        if !cli.selects(&spec.name) {
             continue;
         }
         let n = generate(&spec);

@@ -5,14 +5,14 @@
 //! (`--threads 0` = all hardware threads, default 1; rows are computed
 //! concurrently but always print in suite order.)
 
-use tpi_bench::{parse_threads, PAPER_TABLE2};
+use tpi_bench::{Cli, PAPER_TABLE2};
 use tpi_netlist::{NetlistStats, TechLibrary};
 use tpi_par::Threads;
 use tpi_sta::{ClockConstraint, Sta};
 use tpi_workloads::{generate, suite};
 
 fn main() {
-    let (threads, args) = parse_threads(std::env::args().skip(1));
+    let cli = Cli::parse();
     println!("Table II — circuit statistics (paper's SIS-mapped suite vs. synthetic stand-ins)");
     println!(
         "{:<9} | {:>4} {:>4} {:>5} {:>9} {:>7} | {:>4} {:>4} {:>5} {:>9} {:>7}",
@@ -21,15 +21,12 @@ fn main() {
     println!("{:<9} | {:^33} | {:^33}", "", "paper", "this reproduction");
     println!("{}", "-".repeat(90));
     let lib = TechLibrary::paper();
-    let specs: Vec<_> = suite()
-        .into_iter()
-        .filter(|s| args.is_empty() || args.iter().any(|a| a == &s.name))
-        .collect();
+    let specs: Vec<_> = suite().into_iter().filter(|s| cli.selects(&s.name)).collect();
     // Generation + STA per circuit are independent; fan out, print in order.
     // (`Option` only to satisfy the slot type's `Default`; every job fills
     // its slot.)
     let rows: Vec<Option<(NetlistStats, f64)>> =
-        tpi_par::map_jobs(Threads::from_knob(threads), &specs, &lib, |lib, spec| {
+        tpi_par::map_jobs(Threads::from_knob(cli.threads), &specs, &lib, |lib, spec| {
             let n = generate(spec);
             let stats = NetlistStats::compute(&n, lib);
             let delay = Sta::analyze(&n, lib, ClockConstraint::LongestPath).circuit_delay();

@@ -7,13 +7,13 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tpi_bench::{parse_threads, PAPER_TABLE3};
+use tpi_bench::{Cli, PAPER_TABLE3};
 use tpi_core::flow::{PartialScanFlow, PartialScanMethod};
 use tpi_core::Progress;
 use tpi_workloads::{generate, suite};
 
 fn main() {
-    let (threads, args) = parse_threads(std::env::args().skip(1));
+    let cli = Cli::parse();
     println!("Table III — timing-driven partial scan (percent columns; paper | ours)");
     println!(
         "{:<9} {:<7} | paper: {:>5} {:>6} {:>6} | ours: {:>5} {:>6} {:>6} {:>8}",
@@ -21,7 +21,7 @@ fn main() {
     );
     println!("{}", "-".repeat(92));
     for spec in suite() {
-        if !args.is_empty() && !args.iter().any(|a| a == &spec.name) {
+        if !cli.selects(&spec.name) {
             continue;
         }
         let n = generate(&spec);
@@ -36,7 +36,7 @@ fn main() {
         ] {
             let t0 = Instant::now();
             let mut r = match PartialScanFlow::new(method)
-                .with_threads(threads)
+                .with_threads(cli.threads)
                 .run_checked(&n, &Arc::new(Progress::new()))
             {
                 Ok(r) => r,

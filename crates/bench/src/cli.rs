@@ -1,0 +1,142 @@
+//! Shared command-line handling for the bench binaries.
+//!
+//! All five binaries speak the same dialect: a `--threads N` knob, an
+//! optional list of positional names that restricts what runs, and (for
+//! `tpi-batch`) a handful of `--flag VALUE` pairs. This module holds
+//! that dialect in one place so the knobs spell — and misparse — the
+//! same everywhere.
+
+use std::process::exit;
+
+/// The parsed common command line: the `--threads` knob plus whatever
+/// arguments remain (positional selectors and binary-specific flags).
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Worker threads (`0` = all hardware threads, default 1).
+    pub threads: usize,
+    /// Everything that was not a `--threads` flag, in order.
+    pub args: Vec<String>,
+}
+
+impl Cli {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable entry point).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let (threads, args) = parse_threads(args);
+        Cli { threads, args }
+    }
+
+    /// Whether `name` is selected: an empty positional list selects
+    /// everything, otherwise the name must be listed. Binaries use this
+    /// for circuit/figure filtering.
+    pub fn selects(&self, name: &str) -> bool {
+        self.args.is_empty() || self.args.iter().any(|a| a == name)
+    }
+}
+
+/// Extracts a `--threads N` (or `--threads=N`) flag from an argument
+/// list, returning `(threads, remaining_args)`. `0` means all hardware
+/// threads; the default is 1 (fully sequential).
+pub fn parse_threads(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
+    fn parse(v: &str) -> usize {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--threads: expected a non-negative integer, got {v:?}");
+            exit(2);
+        })
+    }
+    let mut threads = 1usize;
+    let mut rest = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            match args.next() {
+                Some(v) => threads = parse(&v),
+                None => {
+                    eprintln!("--threads requires a value (0 = all hardware threads)");
+                    exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads = parse(v);
+        } else {
+            rest.push(a);
+        }
+    }
+    (threads, rest)
+}
+
+/// A cursor over `--flag VALUE` style arguments with uniform error
+/// handling: missing values exit with status 2 and a message naming the
+/// flag, the convention every bench binary follows.
+pub struct ArgCursor {
+    it: std::vec::IntoIter<String>,
+}
+
+impl ArgCursor {
+    /// Wraps an argument list (typically [`Cli::args`]).
+    pub fn new(args: Vec<String>) -> Self {
+        ArgCursor { it: args.into_iter() }
+    }
+
+    /// The next argument, if any.
+    pub fn next_arg(&mut self) -> Option<String> {
+        self.it.next()
+    }
+
+    /// The value following a `--flag`, or exit(2) naming the flag.
+    pub fn value(&mut self, flag: &str) -> String {
+        self.it.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            exit(2);
+        })
+    }
+
+    /// The value following a `--flag`, parsed, or exit(2) with a
+    /// message naming the flag and the offending text.
+    pub fn parsed_value<T: std::str::FromStr>(&mut self, flag: &str, expected: &str) -> T {
+        let v = self.value(flag);
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: expected {expected}, got {v:?}");
+            exit(2);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter().map(|x| x.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn parse_threads_variants() {
+        assert_eq!(parse_threads(to_args(&[])), (1, vec![]));
+        assert_eq!(parse_threads(to_args(&["s5378"])), (1, vec!["s5378".to_string()]));
+        assert_eq!(parse_threads(to_args(&["--threads", "4"])), (4, vec![]));
+        assert_eq!(parse_threads(to_args(&["--threads=0", "dsip"])), (0, vec!["dsip".to_string()]));
+    }
+
+    #[test]
+    fn empty_selection_selects_everything() {
+        let cli = Cli::from_args(to_args(&["--threads", "2"]));
+        assert_eq!(cli.threads, 2);
+        assert!(cli.selects("s5378") && cli.selects("anything"));
+        let cli = Cli::from_args(to_args(&["s5378", "dsip"]));
+        assert!(cli.selects("dsip") && !cli.selects("mult32a"));
+    }
+
+    #[test]
+    fn arg_cursor_walks_flags_and_positionals() {
+        let mut c = ArgCursor::new(vec!["--out".into(), "dir".into(), "pos".into()]);
+        assert_eq!(c.next_arg().as_deref(), Some("--out"));
+        assert_eq!(c.value("--out"), "dir");
+        assert_eq!(c.next_arg().as_deref(), Some("pos"));
+        assert_eq!(c.next_arg(), None);
+    }
+}

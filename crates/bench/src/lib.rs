@@ -7,6 +7,10 @@
 //! (who wins, by roughly what factor) is immediate. See `EXPERIMENTS.md`
 //! at the repository root for recorded runs.
 
+pub mod cli;
+
+pub use cli::{parse_threads, ArgCursor, Cli};
+
 use tpi_core::report::Table1Row;
 
 /// One row of the paper's Table I, as published.
@@ -316,52 +320,9 @@ pub fn render_table1_comparison(measured: &Table1Row) -> String {
     }
 }
 
-/// Extracts a `--threads N` (or `--threads=N`) flag from an argument
-/// list, returning `(threads, remaining_args)`. `0` means all hardware
-/// threads; the default is 1 (fully sequential). Table binaries share
-/// this so the knob spells the same everywhere.
-pub fn parse_threads(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
-    fn parse(v: &str) -> usize {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--threads: expected a non-negative integer, got {v:?}");
-            std::process::exit(2);
-        })
-    }
-    let mut threads = 1usize;
-    let mut rest = Vec::new();
-    let mut args = args.into_iter();
-    while let Some(a) = args.next() {
-        if a == "--threads" {
-            match args.next() {
-                Some(v) => threads = parse(&v),
-                None => {
-                    eprintln!("--threads requires a value (0 = all hardware threads)");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            threads = parse(v);
-        } else {
-            rest.push(a);
-        }
-    }
-    (threads, rest)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parse_threads_variants() {
-        fn to_args(s: &[&str]) -> std::vec::IntoIter<String> {
-            s.iter().map(|x| x.to_string()).collect::<Vec<_>>().into_iter()
-        }
-        assert_eq!(parse_threads(to_args(&[])), (1, vec![]));
-        assert_eq!(parse_threads(to_args(&["s5378"])), (1, vec!["s5378".to_string()]));
-        assert_eq!(parse_threads(to_args(&["--threads", "4"])), (4, vec![]));
-        assert_eq!(parse_threads(to_args(&["--threads=0", "dsip"])), (0, vec!["dsip".to_string()]));
-    }
 
     #[test]
     fn paper_tables_cover_the_same_circuits() {

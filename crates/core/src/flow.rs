@@ -16,6 +16,7 @@ use crate::tptime::{ScanPlan, ScanPlanner};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use tpi_lint::{verify_flow, ClaimedPath, DftClaims, Diagnostic, Placement, ReportedCounts};
 use tpi_netlist::{GateId, Netlist, NetlistStats, TechLibrary};
 use tpi_par::Threads;
 use tpi_scan::{
@@ -64,6 +65,11 @@ pub enum FlowError {
     /// The produced scan chain failed the §V flush test; carries the
     /// observing gate and the first miscomparing bit.
     FlushFailed(FlushFailure),
+    /// The independent `tpi-lint` verifier found `Error`-severity
+    /// problems in the flow's claims (unsensitized paths, illegal test
+    /// points, malformed chain, …). Carries every diagnostic the
+    /// verifier emitted, warnings included.
+    Verification(Vec<Diagnostic>),
 }
 
 impl fmt::Display for FlowError {
@@ -74,8 +80,31 @@ impl fmt::Display for FlowError {
                 write!(f, "flow deadline exceeded")
             }
             FlowError::FlushFailed(x) => write!(f, "{x}"),
+            FlowError::Verification(diags) => {
+                let errors =
+                    diags.iter().filter(|d| d.severity == tpi_lint::Severity::Error).count();
+                write!(f, "flow verification failed with {errors} error(s)")?;
+                if let Some(first) = diags.first() {
+                    write!(f, ": {}", first.render_text())?;
+                }
+                Ok(())
+            }
         }
     }
+}
+
+/// Runs the independent verifier and promotes `Error`-severity findings
+/// to a [`FlowError::Verification`].
+fn check_claims(
+    original: &Netlist,
+    transformed: &Netlist,
+    claims: &DftClaims,
+) -> Result<(), FlowError> {
+    let diags = verify_flow(original, transformed, claims);
+    if tpi_lint::has_errors(&diags) {
+        return Err(FlowError::Verification(diags));
+    }
+    Ok(())
 }
 
 impl std::error::Error for FlowError {}
@@ -139,6 +168,10 @@ pub struct FullScanResult {
     pub flush: FlushReport,
     /// Primary-input values required in test mode.
     pub pi_values: Vec<(GateId, Trit)>,
+    /// The flow's claims in `tpi-lint` vocabulary, ready for
+    /// [`tpi_lint::verify_flow`] (which [`FullScanFlow::run_checked`]
+    /// invokes automatically).
+    pub claims: DftClaims,
 }
 
 impl FullScanFlow {
@@ -164,6 +197,7 @@ impl FullScanFlow {
     ) -> Result<FullScanResult, FlowError> {
         let r = self.run_impl(n, progress)?;
         check_flush(&r.netlist, &r.flush)?;
+        check_claims(n, &r.netlist, &r.claims)?;
         Ok(r)
     }
 
@@ -179,16 +213,14 @@ impl FullScanFlow {
         progress.checkpoint()?;
         let mut work = n.clone();
         work.ensure_test_input();
+        let mut physical: Vec<(GateId, Trit)> = Vec::with_capacity(assignment.physical.len());
         for &(net, v) in &assignment.physical {
-            match v {
-                Trit::Zero => {
-                    work.insert_and_test_point(net).expect("tpgreed nets are valid");
-                }
-                Trit::One => {
-                    work.insert_or_test_point(net).expect("tpgreed nets are valid");
-                }
+            let tp = match v {
+                Trit::Zero => work.insert_and_test_point(net).expect("tpgreed nets are valid"),
+                Trit::One => work.insert_or_test_point(net).expect("tpgreed nets are valid"),
                 Trit::X => unreachable!("test points always carry constants"),
-            }
+            };
+            physical.push((tp, v));
         }
 
         // --- Chain construction. ---
@@ -239,7 +271,35 @@ impl FullScanFlow {
             scan_paths: outcome.scan_paths.len(),
             cpu_seconds: 0.0,
         };
-        Ok(FullScanResult { row, netlist: work, chain, flush, pi_values })
+        let claims = DftClaims {
+            test_points: outcome.test_points.clone(),
+            pi_values: pi_values.clone(),
+            paths: outcome
+                .scan_paths
+                .iter()
+                .map(|&id| {
+                    let p = paths.path(id);
+                    ClaimedPath {
+                        from: p.from,
+                        to: p.to,
+                        gates: p.gates.clone(),
+                        side_inputs: p.side_inputs.clone(),
+                        inverting: p.inverting,
+                    }
+                })
+                .collect(),
+            physical,
+            links: chain.links().to_vec(),
+            placements: Vec::new(),
+            claims_acyclic: true,
+            reported: Some(ReportedCounts {
+                ff_count: row.ff_count,
+                insertions: row.insertions,
+                free: row.free,
+                scan_paths: row.scan_paths,
+            }),
+        };
+        Ok(FullScanResult { row, netlist: work, chain, flush, pi_values, claims })
     }
 }
 
@@ -314,6 +374,10 @@ pub struct PartialScanResult {
     pub flush: Option<FlushReport>,
     /// Whether every cycle in the s-graph was broken.
     pub acyclic: bool,
+    /// The flow's claims in `tpi-lint` vocabulary, ready for
+    /// [`tpi_lint::verify_flow`] (which [`PartialScanFlow::run_checked`]
+    /// invokes automatically).
+    pub claims: DftClaims,
 }
 
 impl PartialScanFlow {
@@ -339,6 +403,7 @@ impl PartialScanFlow {
         if let Some(flush) = &r.flush {
             check_flush(&r.netlist, flush)?;
         }
+        check_claims(n, &r.netlist, &r.claims)?;
         Ok(r)
     }
 
@@ -441,6 +506,12 @@ impl PartialScanFlow {
         let acyclic = !sgraph.has_cycle(&scanned);
         let selected = scanned.len();
         let links = planner.links().to_vec();
+        let physical = planner.physical_test_points().to_vec();
+        let placements: Vec<Placement> = planner
+            .placements()
+            .iter()
+            .map(|(ff, inserted)| Placement { ff: *ff, inserted: inserted.clone() })
+            .collect();
         let (mut netlist, _, _, pi_values) = planner.into_parts();
 
         let (chain, flush) = if links.is_empty() {
@@ -468,7 +539,21 @@ impl PartialScanFlow {
             cpu_seconds: 0.0,
         }
         .with_baselines(base_stats.area, base_delay);
-        Ok(PartialScanResult { row, netlist, chain, flush, acyclic })
+        // Scan-path sensitization (TPI101/102) is a TPGREED-vocabulary
+        // claim; TPTIME's shift paths are implied by its mux links, so
+        // `paths` stays empty here and the verifier exercises the
+        // test-point, chain, region and s-graph checks instead.
+        let claims = DftClaims {
+            test_points: Vec::new(),
+            pi_values: pi_values.clone(),
+            paths: Vec::new(),
+            physical,
+            links: chain.as_ref().map(|c| c.links().to_vec()).unwrap_or_default(),
+            placements,
+            claims_acyclic: acyclic,
+            reported: None,
+        };
+        Ok(PartialScanResult { row, netlist, chain, flush, acyclic, claims })
     }
 
     /// §IV.B's interleaved loop, shared by TD-CB and TPTIME: run the

@@ -33,7 +33,10 @@ pub mod flow;
 pub mod input_assign;
 pub mod paths;
 pub mod progress;
-pub mod region;
+/// Non-reconvergent fanin regions, re-exported from `tpi-netlist` (the
+/// module moved there so `tpi-lint` can verify placements without a
+/// dependency cycle).
+pub use tpi_netlist::region;
 pub mod report;
 pub mod tpgreed;
 pub mod tptime;
@@ -44,7 +47,7 @@ pub use paths::{
     enumerate_paths, enumerate_paths_with, PathId, PathSet, ScanPathCandidate, Threads,
 };
 pub use progress::{CancelKind, Canceled, CounterSnapshot, Progress};
-pub use region::Region;
 pub use report::{Table1Row, Table3Row};
 pub use tpgreed::{GainUpdate, TpGreed, TpGreedConfig, TpGreedOutcome};
+pub use tpi_netlist::Region;
 pub use tptime::{PlanAction, ScanPlan, ScanPlanner};

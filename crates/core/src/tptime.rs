@@ -14,9 +14,9 @@
 //! overridden (§IV.A, Fig. 6).
 
 use crate::progress::Progress;
-use crate::region::Region;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use tpi_netlist::Region;
 use tpi_netlist::{GateId, GateKind, Netlist, TechLibrary};
 use tpi_scan::ChainLink;
 use tpi_sim::{Implication, Trit};
@@ -153,6 +153,12 @@ pub struct ScanPlanner {
     values: Vec<Trit>,
     links: Vec<ChainLink>,
     test_points_inserted: usize,
+    /// Physically inserted test-point gates with the constant each one
+    /// forces, in insertion order (feeds the independent verifier).
+    physical_tps: Vec<(GateId, Trit)>,
+    /// Per committed plan: the target flip-flop and every gate the plan
+    /// inserted (mux and test points), for the region-placement check.
+    placements: Vec<(GateId, Vec<GateId>)>,
     /// Dangling-input placeholder wired to every scan mux's d0 pin until
     /// chain stitching rewires it; stays X in test mode so the constant
     /// analysis sees the mux output as (unknown) scan data.
@@ -185,6 +191,8 @@ impl ScanPlanner {
             values,
             links: Vec::new(),
             test_points_inserted: 0,
+            physical_tps: Vec::new(),
+            placements: Vec::new(),
             scan_stub: None,
             progress: Arc::new(Progress::new()),
         }
@@ -245,6 +253,22 @@ impl ScanPlanner {
     #[inline]
     pub fn test_point_count(&self) -> usize {
         self.test_points_inserted
+    }
+
+    /// Physically inserted test-point gates and the constant each one
+    /// forces, in insertion order.
+    #[inline]
+    pub fn physical_test_points(&self) -> &[(GateId, Trit)] {
+        &self.physical_tps
+    }
+
+    /// Per committed plan: the target flip-flop and the gates the plan
+    /// inserted for it. Conventional conversions are not listed — only
+    /// region-planned commits, which is exactly what the placement
+    /// verifier re-checks against Definition 1.
+    #[inline]
+    pub fn placements(&self) -> &[(GateId, Vec<GateId>)] {
+        &self.placements
     }
 
     /// True when a conventional scan mux fits the flip-flop's D
@@ -609,6 +633,7 @@ impl ScanPlanner {
     /// degraded.
     pub fn commit(&mut self, plan: &ScanPlan) -> ChainLink {
         let mut mux: Option<GateId> = None;
+        let mut inserted: Vec<GateId> = Vec::new();
         // Net translation: inserting a gate at `net` moves the constant
         // seen by consumers to the new gate's output.
         let mut renames: HashMap<GateId, GateId> = HashMap::new();
@@ -621,24 +646,30 @@ impl ScanPlanner {
                     self.seed_sta(m, at);
                     mux = Some(m);
                     self.route.insert(m);
+                    inserted.push(m);
                 }
                 PlanAction::InsertAnd { at } => {
                     let tp = self.n.insert_and_test_point(at).expect("plan nets are valid");
                     self.seed_sta(tp, at);
                     renames.insert(at, tp);
                     self.test_points_inserted += 1;
+                    self.physical_tps.push((tp, Trit::Zero));
+                    inserted.push(tp);
                 }
                 PlanAction::InsertOr { at } => {
                     let tp = self.n.insert_or_test_point(at).expect("plan nets are valid");
                     self.seed_sta(tp, at);
                     renames.insert(at, tp);
                     self.test_points_inserted += 1;
+                    self.physical_tps.push((tp, Trit::One));
+                    inserted.push(tp);
                 }
                 PlanAction::AssignPi { pi, value } => {
                     self.pi_assign.insert(pi, value);
                 }
             }
         }
+        self.placements.push((plan.ff, inserted));
         self.progress.add_test_points_placed(
             plan.actions
                 .iter()

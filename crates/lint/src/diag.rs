@@ -1,0 +1,401 @@
+//! Diagnostic vocabulary: stable codes, severities, and the text/JSON
+//! renderings shared by the library API and the `tpi-lint` binary.
+//!
+//! Every lint emitted anywhere in this crate is a [`Diagnostic`] carrying
+//! a [`LintCode`]. Codes are stable across releases: `TPI0xx` are
+//! structural netlist lints (meaningful on any circuit, before any DFT
+//! transformation), `TPI1xx` are DFT verification lints (meaningful only
+//! against a flow result). Tools may filter, deny or baseline on the
+//! code string.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// The derived order puts `Error` first so that sorting a diagnostic list
+/// surfaces the most severe findings at the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The circuit or flow result is wrong; CI should fail.
+    Error,
+    /// Suspicious but not provably broken.
+    Warn,
+    /// Informational finding.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case label used in both renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The stable lint-code alphabet.
+///
+/// `TPI000` is reserved for inputs that never reached the linter proper
+/// (parse or validation failures). `TPI001`–`TPI006` are structural,
+/// `TPI101`–`TPI107` verify a DFT flow result against the paper's own
+/// claims (sensitization, test-point legality, chain shape, s-graph
+/// acyclicity, placement regions, Equation 1 accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `TPI000` — the input could not be parsed or validated.
+    ParseError,
+    /// `TPI001` — combinational cycle (the full cycle path is reported).
+    CombCycle,
+    /// `TPI002` — a gate is missing fanins (undriven / floating input).
+    Undriven,
+    /// `TPI003` — a non-port gate drives nothing.
+    Dangling,
+    /// `TPI004` — a gate cannot reach any primary output.
+    UnreachableCone,
+    /// `TPI005` — a flip-flop with a degenerate D input (self-loop or
+    /// constant).
+    DegenerateDff,
+    /// `TPI006` — fanout above the configured threshold.
+    WideFanout,
+    /// `TPI101` — a claimed scan path has an unsensitized side input.
+    PathNotSensitized,
+    /// `TPI102` — a claimed scan path is blocked by a constant on the
+    /// path itself (source flip-flop or a path gate forced in test mode).
+    PathBlocked,
+    /// `TPI103` — an inserted test point is illegal: wrong gate kind,
+    /// wrong test rail, or it does not control its net to the claimed
+    /// constant.
+    IllegalTestPoint,
+    /// `TPI104` — the scan chain is malformed: a path link out of order,
+    /// a mux not selected by `T`, or claimed scan edges that collide or
+    /// form a cycle.
+    ChainStructure,
+    /// `TPI105` — the s-graph still has a cycle after removing the
+    /// scanned flip-flops.
+    SGraphCyclic,
+    /// `TPI106` — a TPTIME insertion landed outside the non-reconvergent
+    /// fanin region of its flip-flop's D input.
+    PlacementOutsideRegion,
+    /// `TPI107` — the reported Equation 1 accounting does not match a
+    /// recount from the claims.
+    AccountingMismatch,
+}
+
+impl LintCode {
+    /// Every code, in code order. Useful for exhaustive tests and for
+    /// `--deny` validation in the binary.
+    pub const ALL: [LintCode; 14] = [
+        LintCode::ParseError,
+        LintCode::CombCycle,
+        LintCode::Undriven,
+        LintCode::Dangling,
+        LintCode::UnreachableCone,
+        LintCode::DegenerateDff,
+        LintCode::WideFanout,
+        LintCode::PathNotSensitized,
+        LintCode::PathBlocked,
+        LintCode::IllegalTestPoint,
+        LintCode::ChainStructure,
+        LintCode::SGraphCyclic,
+        LintCode::PlacementOutsideRegion,
+        LintCode::AccountingMismatch,
+    ];
+
+    /// The stable code string, e.g. `"TPI101"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::ParseError => "TPI000",
+            LintCode::CombCycle => "TPI001",
+            LintCode::Undriven => "TPI002",
+            LintCode::Dangling => "TPI003",
+            LintCode::UnreachableCone => "TPI004",
+            LintCode::DegenerateDff => "TPI005",
+            LintCode::WideFanout => "TPI006",
+            LintCode::PathNotSensitized => "TPI101",
+            LintCode::PathBlocked => "TPI102",
+            LintCode::IllegalTestPoint => "TPI103",
+            LintCode::ChainStructure => "TPI104",
+            LintCode::SGraphCyclic => "TPI105",
+            LintCode::PlacementOutsideRegion => "TPI106",
+            LintCode::AccountingMismatch => "TPI107",
+        }
+    }
+
+    /// Parses a code string (`"TPI003"`), case-sensitively.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.code() == s)
+    }
+
+    /// The severity a diagnostic with this code carries unless promoted
+    /// (structural nuisances warn; anything that falsifies a flow claim
+    /// or breaks evaluation is an error).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::ParseError
+            | LintCode::CombCycle
+            | LintCode::Undriven
+            | LintCode::PathNotSensitized
+            | LintCode::PathBlocked
+            | LintCode::IllegalTestPoint
+            | LintCode::ChainStructure
+            | LintCode::SGraphCyclic
+            | LintCode::PlacementOutsideRegion
+            | LintCode::AccountingMismatch => Severity::Error,
+            LintCode::Dangling
+            | LintCode::UnreachableCone
+            | LintCode::DegenerateDff
+            | LintCode::WideFanout => Severity::Warn,
+        }
+    }
+
+    /// One-line summary of what the code means (used by `--explain`
+    /// style listings and the README table).
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::ParseError => "input failed to parse or validate",
+            LintCode::CombCycle => "combinational cycle",
+            LintCode::Undriven => "gate with missing fanins",
+            LintCode::Dangling => "non-port gate drives nothing",
+            LintCode::UnreachableCone => "gate cannot reach any primary output",
+            LintCode::DegenerateDff => "flip-flop with degenerate D input",
+            LintCode::WideFanout => "fanout above threshold",
+            LintCode::PathNotSensitized => "scan path side input not sensitized",
+            LintCode::PathBlocked => "scan path blocked by a test-mode constant",
+            LintCode::IllegalTestPoint => "test point on wrong rail or not controlling",
+            LintCode::ChainStructure => "malformed scan chain",
+            LintCode::SGraphCyclic => "s-graph cyclic after scan selection",
+            LintCode::PlacementOutsideRegion => "insertion outside non-reconvergent region",
+            LintCode::AccountingMismatch => "Equation 1 accounting mismatch",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: a code, a severity, the circuit it was found in, a
+/// human-readable message and the gate-path location (gate names, in
+/// path order when the finding is about a path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code.
+    pub code: LintCode,
+    /// Severity (defaults to [`LintCode::default_severity`], may be
+    /// promoted by `--deny`).
+    pub severity: Severity,
+    /// Name of the netlist the finding is about.
+    pub circuit: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Gate names locating the finding; for cycle/path findings these
+    /// are in path order.
+    pub gates: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the code's default severity.
+    pub fn new(
+        code: LintCode,
+        circuit: impl Into<String>,
+        message: impl Into<String>,
+        gates: Vec<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            circuit: circuit.into(),
+            message: message.into(),
+            gates,
+        }
+    }
+
+    /// The single-line text rendering:
+    /// `error[TPI101] c432: side input x carries 0, want 1 (at f1 -> g -> f2)`.
+    pub fn render_text(&self) -> String {
+        let mut s = format!("{}[{}] {}: {}", self.severity, self.code, self.circuit, self.message);
+        if !self.gates.is_empty() {
+            s.push_str(" (at ");
+            for (i, g) in self.gates.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" -> ");
+                }
+                s.push_str(g);
+            }
+            s.push(')');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Sorts diagnostics into the canonical reporting order: most severe
+/// first, then by code, circuit, message and location. The order is
+/// total, so renderings are byte-stable for a given finding set.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.severity, a.code, &a.circuit, &a.message, &a.gates)
+            .cmp(&(b.severity, b.code, &b.circuit, &b.message, &b.gates))
+    });
+}
+
+/// Whether any diagnostic is `Error`-severity (the binary's exit-code
+/// predicate, and the `verified` predicate in `tpi-serve`).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Promotes every diagnostic whose code is in `codes` to `Error`
+/// severity (the `--deny` mechanism).
+pub fn apply_deny(diags: &mut [Diagnostic], codes: &[LintCode]) {
+    for d in diags.iter_mut() {
+        if codes.contains(&d.code) {
+            d.severity = Severity::Error;
+        }
+    }
+}
+
+/// Renders a finding set for one source as a single JSON line with the
+/// schema tag `tpi-lint/v1`.
+///
+/// The writer is hand-rolled on purpose: field order is fixed, floats
+/// are absent, and string escaping follows RFC 8259, so the output is
+/// byte-stable — CI diffs two runs byte-for-byte.
+pub fn render_json(source: &str, diags: &[Diagnostic]) -> String {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.iter().filter(|d| d.severity == Severity::Warn).count();
+    let mut out = String::with_capacity(128 + diags.len() * 96);
+    out.push_str("{\"schema\":\"tpi-lint/v1\",\"source\":");
+    escape_into(&mut out, source);
+    out.push_str(&format!(",\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":["));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"code\":\"");
+        out.push_str(d.code.code());
+        out.push_str("\",\"severity\":\"");
+        out.push_str(d.severity.label());
+        out.push_str("\",\"circuit\":");
+        escape_into(&mut out, &d.circuit);
+        out.push_str(",\"message\":");
+        escape_into(&mut out, &d.message);
+        out.push_str(",\"gates\":[");
+        for (j, g) in d.gates.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, g);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_parse() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.code()), Some(c), "{c}");
+        }
+        assert_eq!(LintCode::parse("TPI999"), None);
+        assert_eq!(LintCode::parse("tpi001"), None, "parse is case-sensitive");
+    }
+
+    #[test]
+    fn code_strings_are_unique_and_sorted_like_the_enum() {
+        let codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "enum order must match code-string order");
+    }
+
+    #[test]
+    fn text_rendering_includes_path_location() {
+        let d = Diagnostic::new(
+            LintCode::PathNotSensitized,
+            "c17",
+            "side input x carries 0, want 1",
+            vec!["f1".into(), "g".into(), "f2".into()],
+        );
+        assert_eq!(
+            d.render_text(),
+            "error[TPI101] c17: side input x carries 0, want 1 (at f1 -> g -> f2)"
+        );
+        let bare = Diagnostic::new(LintCode::WideFanout, "c17", "drives 300 sinks", vec![]);
+        assert_eq!(bare.render_text(), "warn[TPI006] c17: drives 300 sinks");
+    }
+
+    #[test]
+    fn sort_puts_errors_first_and_is_total() {
+        let mut diags = vec![
+            Diagnostic::new(LintCode::WideFanout, "b", "w", vec![]),
+            Diagnostic::new(LintCode::Undriven, "a", "e", vec![]),
+            Diagnostic::new(LintCode::Dangling, "a", "d", vec![]),
+        ];
+        sort_diagnostics(&mut diags);
+        assert_eq!(diags[0].code, LintCode::Undriven);
+        assert_eq!(diags[1].code, LintCode::Dangling);
+        assert_eq!(diags[2].code, LintCode::WideFanout);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn deny_promotes_warnings_to_errors() {
+        let mut diags = vec![Diagnostic::new(LintCode::Dangling, "a", "d", vec![])];
+        assert!(!has_errors(&diags));
+        apply_deny(&mut diags, &[LintCode::Dangling]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let diags =
+            vec![Diagnostic::new(LintCode::Undriven, "we\"ird", "line\nbreak", vec!["g1".into()])];
+        let j = render_json("x.blif", &diags);
+        assert_eq!(
+            j,
+            "{\"schema\":\"tpi-lint/v1\",\"source\":\"x.blif\",\"errors\":1,\"warnings\":0,\
+             \"diagnostics\":[{\"code\":\"TPI002\",\"severity\":\"error\",\"circuit\":\"we\\\"ird\",\
+             \"message\":\"line\\nbreak\",\"gates\":[\"g1\"]}]}"
+        );
+        assert_eq!(j, render_json("x.blif", &diags), "byte-stable");
+    }
+}

@@ -1,0 +1,48 @@
+//! Static analysis for the `scanpath` workspace: structural netlist
+//! lints and an **independent** verifier for DFT flow results.
+//!
+//! Two passes, one diagnostic vocabulary:
+//!
+//! * [`lint_netlist`] — structural lints that run on any circuit before
+//!   a flow touches it: combinational cycles (with the full cycle path),
+//!   undriven gates, dangling outputs, unreachable cones, degenerate
+//!   flip-flops, suspicious fanout (`TPI001`–`TPI006`);
+//! * [`verify_flow`] — re-derivation of everything a flow *claims*
+//!   (`TPI101`–`TPI107`): scan-path sensitization replayed on a fresh
+//!   three-valued implication engine, test-point rail legality, chain
+//!   shape, s-graph acyclicity, non-reconvergent-region placement, and
+//!   the Equation 1 accounting of the paper.
+//!
+//! The crate depends only on `tpi-netlist`, `tpi-sim` and `tpi-scan` —
+//! *not* on `tpi-core` — so the verifier cannot accidentally trust the
+//! TPGREED/TPTIME code it is checking. `tpi-core` depends on this crate
+//! (its checked flows call [`verify_flow`]), not the other way around.
+//!
+//! Every finding is a [`Diagnostic`] with a stable [`LintCode`], a
+//! severity, and a gate-path location; [`render_json`] emits a
+//! byte-stable `tpi-lint/v1` JSON line per source. The `tpi-lint`
+//! binary lints `.blif` files or directories from the command line.
+//!
+//! # Example
+//!
+//! ```
+//! use tpi_lint::{lint_netlist, LintCode, LintConfig};
+//! use tpi_netlist::{GateKind, Netlist};
+//!
+//! let mut n = Netlist::new("broken");
+//! let a = n.add_input("a");
+//! let g = n.add_gate(GateKind::And, "g"); // never driven
+//! n.connect(a, g).ok();
+//! let diags = lint_netlist(&n, &LintConfig::default());
+//! assert_eq!(diags[0].code, LintCode::Dangling);
+//! ```
+
+pub mod dft;
+pub mod diag;
+pub mod structural;
+
+pub use dft::{verify_flow, ClaimedPath, DftClaims, Placement, ReportedCounts};
+pub use diag::{
+    apply_deny, has_errors, render_json, sort_diagnostics, Diagnostic, LintCode, Severity,
+};
+pub use structural::{lint_netlist, LintConfig};

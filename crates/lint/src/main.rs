@@ -1,0 +1,183 @@
+//! `tpi-lint` — structural netlist linting from the command line.
+//!
+//! ```text
+//! tpi-lint [--format text|json] [--deny CODE|warnings]...
+//!          [--fanout-threshold N] PATH...
+//! ```
+//!
+//! Each `PATH` is a `.blif` file or a directory (its `*.blif` entries
+//! are linted in name order). Inputs that fail to parse or validate are
+//! reported as `TPI000` rather than aborting the run. The process exits
+//! with status 1 when any `Error`-severity diagnostic was emitted
+//! (`--deny` promotes the named code — or every warning, with
+//! `--deny warnings` — to `Error` first).
+//!
+//! Text mode prints one line per finding plus a trailing summary; JSON
+//! mode prints one byte-stable `tpi-lint/v1` line per input file, so CI
+//! can diff two runs directly.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tpi_lint::{
+    apply_deny, has_errors, lint_netlist, render_json, Diagnostic, LintCode, LintConfig, Severity,
+};
+use tpi_netlist::parse_blif;
+
+/// Output flavor.
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    deny: Vec<LintCode>,
+    deny_warnings: bool,
+    config: LintConfig,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpi-lint [--format text|json] [--deny CODE|warnings]... \
+         [--fanout-threshold N] PATH..."
+    );
+    eprintln!("codes:");
+    for c in LintCode::ALL {
+        eprintln!("  {} [{}] {}", c.code(), c.default_severity(), c.summary());
+    }
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        format: Format::Text,
+        deny: Vec::new(),
+        deny_warnings: false,
+        config: LintConfig::default(),
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                _ => usage(),
+            },
+            "--deny" => match args.next() {
+                Some(v) if v == "warnings" => opts.deny_warnings = true,
+                Some(v) => match LintCode::parse(&v) {
+                    Some(c) => opts.deny.push(c),
+                    None => {
+                        eprintln!("tpi-lint: unknown lint code {v:?}");
+                        usage();
+                    }
+                },
+                None => usage(),
+            },
+            "--fanout-threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.config.fanout_threshold = n,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => opts.paths.push(PathBuf::from(arg)),
+        }
+    }
+    if opts.paths.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Expands files/directories into the sorted list of `.blif` inputs.
+fn collect_inputs(paths: &[PathBuf]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(p)
+                .map(|rd| {
+                    rd.filter_map(Result::ok)
+                        .map(|e| e.path())
+                        .filter(|f| f.extension().is_some_and(|x| x == "blif"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files
+}
+
+/// Lints one file; parse failures become a `TPI000` diagnostic.
+fn lint_file(path: &Path, config: &LintConfig) -> Vec<Diagnostic> {
+    let label = path.file_name().and_then(|s| s.to_str()).unwrap_or("<input>").to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                LintCode::ParseError,
+                label,
+                format!("cannot read file: {e}"),
+                vec![],
+            )]
+        }
+    };
+    match parse_blif(&text) {
+        Ok(n) => lint_netlist(&n, config),
+        Err(e) => vec![Diagnostic::new(LintCode::ParseError, label, e.to_string(), vec![])],
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let files = collect_inputs(&opts.paths);
+    if files.is_empty() {
+        eprintln!("tpi-lint: no .blif inputs found");
+        return ExitCode::from(2);
+    }
+    let mut any_errors = false;
+    let mut totals = (0usize, 0usize); // (errors, warnings)
+    for file in &files {
+        let mut diags = lint_file(file, &opts.config);
+        apply_deny(&mut diags, &opts.deny);
+        if opts.deny_warnings {
+            for d in diags.iter_mut() {
+                if d.severity == Severity::Warn {
+                    d.severity = Severity::Error;
+                }
+            }
+        }
+        tpi_lint::sort_diagnostics(&mut diags);
+        any_errors |= has_errors(&diags);
+        totals.0 += diags.iter().filter(|d| d.severity == Severity::Error).count();
+        totals.1 += diags.iter().filter(|d| d.severity == Severity::Warn).count();
+        let label = file.file_name().and_then(|s| s.to_str()).unwrap_or("<input>");
+        match opts.format {
+            Format::Json => println!("{}", render_json(label, &diags)),
+            Format::Text => {
+                for d in &diags {
+                    println!("{label}: {}", d.render_text());
+                }
+            }
+        }
+    }
+    if opts.format == Format::Text {
+        println!(
+            "tpi-lint: {} file(s), {} error(s), {} warning(s)",
+            files.len(),
+            totals.0,
+            totals.1
+        );
+    }
+    if any_errors {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,289 @@
+//! Structural netlist lints (`TPI001`–`TPI006`).
+//!
+//! These run on any netlist, before any DFT transformation: they flag
+//! circuit-graph defects that would make the paper's flows misbehave
+//! (combinational cycles break implication entirely) or that suggest a
+//! mangled input (undriven gates, logic that feeds nothing, flip-flops
+//! wired to constants). None of them need the simulator — everything
+//! here is reachability and arity arithmetic, so the pass is linear in
+//! the netlist size.
+
+use crate::diag::{Diagnostic, LintCode};
+use tpi_netlist::{find_comb_cycle, GateId, GateKind, Netlist};
+
+/// Knobs for the structural pass.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Fanout count above which `TPI006` fires. The default of 256 is
+    /// far beyond anything the paper's mapped circuits produce; nets
+    /// wider than that are almost always a generator bug (the test
+    /// rails `T`/`T'` are exempt — wide fanout is their job).
+    pub fanout_threshold: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig { fanout_threshold: 256 }
+    }
+}
+
+/// Runs every structural lint over `n` and returns the findings in
+/// canonical order (see [`crate::diag::sort_diagnostics`]).
+pub fn lint_netlist(n: &Netlist, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let circuit = n.name().to_string();
+    let name = |g: GateId| n.gate_name(g).to_string();
+
+    // TPI001 — combinational cycle, with the full path in flow order.
+    if let Some(cycle) = find_comb_cycle(n) {
+        let gates: Vec<String> = cycle.iter().map(|&g| name(g)).collect();
+        diags.push(Diagnostic::new(
+            LintCode::CombCycle,
+            &circuit,
+            format!("combinational cycle through {} gate(s)", cycle.len()),
+            gates,
+        ));
+    }
+
+    let test_rails: Vec<GateId> = n.test_input().into_iter().chain(n.test_input_bar()).collect();
+
+    for g in n.gate_ids() {
+        let kind = n.kind(g);
+        let fanin = n.fanin(g);
+
+        // TPI002 — missing fanins: variadic gates with none, fixed-arity
+        // gates with fewer than their arity.
+        let missing = match kind.fixed_arity() {
+            Some(k) => fanin.len() < k,
+            None => fanin.is_empty(),
+        };
+        if missing {
+            let want = match kind.fixed_arity() {
+                Some(k) => format!("{k}"),
+                None => ">= 1".to_string(),
+            };
+            diags.push(Diagnostic::new(
+                LintCode::Undriven,
+                &circuit,
+                format!("{kind} gate {} has {} of {want} fanins", name(g), fanin.len()),
+                vec![name(g)],
+            ));
+        }
+
+        // TPI003 — a logic gate or flip-flop whose output drives nothing.
+        // Ports are exempt (outputs drive nothing by design; an unused
+        // primary input is a legal interface artifact).
+        let dangling = n.fanout(g).is_empty() && (kind.is_combinational() || kind == GateKind::Dff);
+        if dangling {
+            diags.push(Diagnostic::new(
+                LintCode::Dangling,
+                &circuit,
+                format!("{kind} gate {} drives nothing", name(g)),
+                vec![name(g)],
+            ));
+        }
+
+        // TPI005 — flip-flop with a degenerate D input.
+        if kind == GateKind::Dff {
+            if let Some(&d) = fanin.first() {
+                if d == g {
+                    diags.push(Diagnostic::new(
+                        LintCode::DegenerateDff,
+                        &circuit,
+                        format!(
+                            "flip-flop {} captures its own output (buffer-free self-loop)",
+                            name(g)
+                        ),
+                        vec![name(g)],
+                    ));
+                } else if matches!(n.kind(d), GateKind::Const0 | GateKind::Const1) {
+                    diags.push(Diagnostic::new(
+                        LintCode::DegenerateDff,
+                        &circuit,
+                        format!("flip-flop {} has constant D input {}", name(g), name(d)),
+                        vec![name(d), name(g)],
+                    ));
+                }
+            }
+        }
+
+        // TPI006 — suspiciously wide fanout (test rails exempt: driving
+        // every test point is what they are for).
+        if n.fanout(g).len() > cfg.fanout_threshold && !test_rails.contains(&g) {
+            diags.push(Diagnostic::new(
+                LintCode::WideFanout,
+                &circuit,
+                format!(
+                    "net {} drives {} sinks (threshold {})",
+                    name(g),
+                    n.fanout(g).len(),
+                    cfg.fanout_threshold
+                ),
+                vec![name(g)],
+            ));
+        }
+    }
+
+    // TPI004 — unreachable logic: gates from which no primary output can
+    // be reached. Reported at the *roots* of each unreachable cone (the
+    // upstream-most unreachable gates) to keep one finding per cone
+    // entry point rather than one per gate. Gates with no fanout at all
+    // are already covered by TPI003.
+    let reaches_output = reverse_reachability(n);
+    for g in n.gate_ids() {
+        let kind = n.kind(g);
+        if reaches_output[g.index()]
+            || n.fanout(g).is_empty()
+            || !(kind.is_combinational() || kind == GateKind::Dff)
+        {
+            continue;
+        }
+        let is_root = n.fanin(g).iter().all(|&f| reaches_output[f.index()]);
+        if is_root {
+            diags.push(Diagnostic::new(
+                LintCode::UnreachableCone,
+                &circuit,
+                format!("{kind} gate {} cannot reach any primary output", name(g)),
+                vec![name(g)],
+            ));
+        }
+    }
+
+    crate::diag::sort_diagnostics(&mut diags);
+    diags
+}
+
+/// `reaches[g]` is true when some primary output is forward-reachable
+/// from `g` (computed by one reverse BFS from all outputs over fanin
+/// edges; flip-flops are traversed, matching observability through
+/// sequential depth).
+fn reverse_reachability(n: &Netlist) -> Vec<bool> {
+    let mut reaches = vec![false; n.gate_count()];
+    let mut queue: Vec<GateId> = n.outputs();
+    for &o in &queue {
+        reaches[o.index()] = true;
+    }
+    while let Some(g) = queue.pop() {
+        for &f in n.fanin(g) {
+            if !reaches[f.index()] {
+                reaches[f.index()] = true;
+                queue.push(f);
+            }
+        }
+    }
+    reaches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    /// A well-formed ring oscillator of sequential logic is clean.
+    #[test]
+    fn clean_circuit_has_no_findings() {
+        let mut b = NetlistBuilder::new("clean");
+        b.input("a");
+        b.dff("f1", "g");
+        b.gate(GateKind::And, "g", &["a", "f1"]);
+        b.output("o", "f1");
+        let n = b.finish().unwrap();
+        assert!(lint_netlist(&n, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn comb_cycle_reports_the_full_path() {
+        let mut n = Netlist::new("cyc");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        let g2 = n.add_gate(GateKind::Or, "g2");
+        n.connect(a, g1).unwrap();
+        n.connect(g2, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.add_output("o", g2).unwrap();
+        let diags = lint_netlist(&n, &LintConfig::default());
+        let cyc = diags.iter().find(|d| d.code == LintCode::CombCycle).expect("TPI001");
+        assert_eq!(cyc.gates.len(), 2, "both cycle gates reported: {:?}", cyc.gates);
+        assert!(cyc.gates.contains(&"g1".to_string()) && cyc.gates.contains(&"g2".to_string()));
+    }
+
+    #[test]
+    fn undriven_and_dangling_gates_are_flagged() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let dead = n.add_gate(GateKind::And, "dead"); // no fanins, no fanouts
+        let _ = dead;
+        let inv = n.add_gate(GateKind::Inv, "inv");
+        n.connect(a, inv).unwrap(); // drives nothing
+        n.add_output("o", a).unwrap();
+        let diags = lint_netlist(&n, &LintConfig::default());
+        assert_eq!(codes(&diags), vec!["TPI002", "TPI003", "TPI003"]);
+        assert!(diags.iter().any(|d| d.code == LintCode::Dangling && d.gates == ["inv"]));
+    }
+
+    #[test]
+    fn unreachable_cone_is_reported_at_its_root() {
+        // a -> u1 -> u2 -> f (DFF) looping back to u1's cone, none of it
+        // observable; the root is u1 (all of its fanins are reachable or
+        // sources).
+        let mut b = NetlistBuilder::new("unreach");
+        b.input("a");
+        b.gate(GateKind::Inv, "u1", &["a"]);
+        b.gate(GateKind::Buf, "u2", &["u1"]);
+        b.dff("f", "u2");
+        b.gate(GateKind::Inv, "u3", &["f"]);
+        b.dff("f2", "u3");
+        b.gate(GateKind::Inv, "keep", &["a"]);
+        b.output("o", "keep");
+        let n = b.finish().unwrap();
+        let diags = lint_netlist(&n, &LintConfig::default());
+        let roots: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.code == LintCode::UnreachableCone).collect();
+        assert_eq!(roots.len(), 1, "one cone, one root: {diags:?}");
+        assert_eq!(roots[0].gates, vec!["u1".to_string()]);
+    }
+
+    #[test]
+    fn degenerate_dffs_are_flagged() {
+        let mut n = Netlist::new("dff");
+        let f = n.add_gate(GateKind::Dff, "f");
+        n.connect(f, f).unwrap(); // self-loop
+        let c = n.add_gate(GateKind::Const0, "zero");
+        let f2 = n.add_gate(GateKind::Dff, "f2");
+        n.connect(c, f2).unwrap();
+        n.add_output("o1", f).unwrap();
+        n.add_output("o2", f2).unwrap();
+        let diags = lint_netlist(&n, &LintConfig::default());
+        let dd: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.code == LintCode::DegenerateDff).collect();
+        assert_eq!(dd.len(), 2);
+        assert!(dd.iter().any(|d| d.message.contains("own output")));
+        assert!(dd.iter().any(|d| d.message.contains("constant D")));
+    }
+
+    #[test]
+    fn wide_fanout_respects_threshold_and_exempts_test_rails() {
+        let mut n = Netlist::new("wide");
+        let a = n.add_input("a");
+        let t = n.ensure_test_input();
+        for i in 0..5 {
+            let g = n.add_gate(GateKind::And, format!("g{i}"));
+            n.connect(a, g).unwrap();
+            n.connect(t, g).unwrap();
+            n.add_output(format!("o{i}"), g).unwrap();
+        }
+        let tight = LintConfig { fanout_threshold: 3 };
+        let diags = lint_netlist(&n, &tight);
+        let wide: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.code == LintCode::WideFanout).collect();
+        assert_eq!(wide.len(), 1, "only the data net, not T: {diags:?}");
+        assert_eq!(wide[0].gates, vec!["a".to_string()]);
+        assert!(lint_netlist(&n, &LintConfig::default())
+            .iter()
+            .all(|d| d.code != LintCode::WideFanout));
+    }
+}

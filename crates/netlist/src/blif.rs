@@ -43,6 +43,11 @@ pub enum ParseBlifError {
         /// 1-based source line.
         line: usize,
     },
+    /// A `.names` header or cover row with no output token.
+    MissingOutput {
+        /// 1-based source line.
+        line: usize,
+    },
     /// The resulting structure failed netlist validation.
     Netlist(NetlistError),
 }
@@ -58,6 +63,9 @@ impl fmt::Display for ParseBlifError {
             }
             ParseBlifError::MixedCover { line } => {
                 write!(f, "cover ending on line {line} mixes on-set and off-set rows")
+            }
+            ParseBlifError::MissingOutput { line } => {
+                write!(f, "`.names` on line {line} has no output token")
             }
             ParseBlifError::Netlist(e) => write!(f, "invalid netlist: {e}"),
         }
@@ -161,7 +169,12 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
 
     for (lineno, text) in logical {
         let mut toks = text.split_whitespace();
-        let head = toks.next().expect("non-empty line");
+        // Logical lines are non-empty by construction, but keep this a
+        // diagnostic rather than a panic: malformed input must never
+        // take the caller down.
+        let Some(head) = toks.next() else {
+            return Err(ParseBlifError::Syntax { line: lineno, text });
+        };
         match head {
             ".model" => {
                 flush(&mut current, &mut covers);
@@ -188,10 +201,9 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
             ".names" => {
                 flush(&mut current, &mut covers);
                 let mut names: Vec<String> = toks.map(str::to_string).collect();
-                if names.is_empty() {
-                    return Err(ParseBlifError::Syntax { line: lineno, text });
-                }
-                let output = names.pop().expect("at least one name");
+                let Some(output) = names.pop() else {
+                    return Err(ParseBlifError::MissingOutput { line: lineno });
+                };
                 current = Some(Cover {
                     inputs: names,
                     output,
@@ -217,7 +229,9 @@ pub fn parse_blif(src: &str) -> Result<Netlist, ParseBlifError> {
                     return Err(ParseBlifError::Syntax { line: lineno, text });
                 };
                 let mut parts: Vec<&str> = text.split_whitespace().collect();
-                let out_tok = parts.pop().expect("non-empty");
+                let Some(out_tok) = parts.pop() else {
+                    return Err(ParseBlifError::MissingOutput { line: lineno });
+                };
                 let on = match out_tok {
                     "1" => true,
                     "0" => false,
@@ -530,6 +544,34 @@ mod tests {
         let err = parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n")
             .unwrap_err();
         assert!(matches!(err, ParseBlifError::CubeWidth { expected: 2, actual: 3, .. }));
+    }
+
+    #[test]
+    fn empty_names_directive_is_a_diagnostic() {
+        let err = parse_blif(".model t\n.inputs a\n.outputs y\n.names\n.end\n").unwrap_err();
+        assert!(matches!(err, ParseBlifError::MissingOutput { line: 4 }), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_cover_line_is_a_diagnostic() {
+        // A 2-input cover whose row carries only the output token.
+        let err =
+            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n1\n.end\n").unwrap_err();
+        assert!(matches!(err, ParseBlifError::CubeWidth { expected: 2, actual: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cover_row_without_output_token_is_a_diagnostic() {
+        // `11` parses as literals with no 0/1 output token at the end.
+        let err =
+            parse_blif(".model t\n.inputs a b\n.outputs y\n.names a b y\n11\n.end\n").unwrap_err();
+        assert!(matches!(err, ParseBlifError::Syntax { line: 5, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_errors_render_with_line_numbers() {
+        let e = ParseBlifError::MissingOutput { line: 7 };
+        assert_eq!(e.to_string(), "`.names` on line 7 has no output token");
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod error;
 mod gate;
 mod library;
 mod netlist;
+pub mod region;
 mod stats;
 mod topo;
 pub mod transform;
@@ -57,8 +58,9 @@ pub use error::NetlistError;
 pub use gate::{Conn, Gate, GateId, GateKind};
 pub use library::{Cell, TechLibrary};
 pub use netlist::Netlist;
+pub use region::Region;
 pub use stats::{net_loads, NetlistStats};
-pub use topo::TopoError;
+pub use topo::{find_comb_cycle, TopoError};
 pub use verilog::write_verilog;
 
 /// Convenience module for ISCAS89 `.bench` I/O, re-exported under a

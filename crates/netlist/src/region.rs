@@ -6,9 +6,15 @@
 //! lets Theorem 1 treat every `slack()` value as a constant during the
 //! recursive cost evaluation of Equations 2–4 (no slack updates needed
 //! mid-recursion).
+//!
+//! The module lives in `tpi-netlist` (it is a purely structural
+//! property) so both the TPTIME planner in `tpi-core` and the
+//! independent placement verifier in `tpi-lint` can use it without a
+//! dependency cycle.
 
+use crate::gate::{Conn, GateId};
+use crate::netlist::Netlist;
 use std::collections::{HashMap, VecDeque};
-use tpi_netlist::{Conn, GateId, Netlist};
 
 /// The non-reconvergent fanin region of a target net.
 ///
@@ -130,7 +136,8 @@ impl Region {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpi_netlist::{GateKind, NetlistBuilder};
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
 
     /// The paper's Figure 7, transliterated:
     ///
@@ -139,7 +146,7 @@ mod tests {
     ///   and `k`-side reconvergence);
     /// * connections `a`, `b`, `d` are in the region of `c`; `j`, `k`
     ///   are not.
-    fn fig7() -> (tpi_netlist::Netlist, GateId, GateId, GateId, GateId) {
+    fn fig7() -> (Netlist, GateId, GateId, GateId, GateId) {
         let mut b = NetlistBuilder::new("fig7");
         b.input("i1");
         b.input("i2");

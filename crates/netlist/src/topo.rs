@@ -73,6 +73,71 @@ pub fn topo_order(n: &Netlist) -> Result<Vec<GateId>, TopoError> {
     Ok(order)
 }
 
+/// Finds one purely combinational cycle and returns its full gate path
+/// in signal-flow order (each gate feeds the next; the last feeds the
+/// first). Returns `None` when the combinational network is acyclic.
+///
+/// The internal topological sort names a single culprit gate;
+/// diagnostics want the whole loop. The walk is deterministic: it starts from the lowest-id gate
+/// stuck on a cycle and always follows the lowest-id stuck fanin, so the
+/// same netlist always reports the same path.
+pub fn find_comb_cycle(n: &Netlist) -> Option<Vec<GateId>> {
+    // Re-run Kahn's elimination; whatever keeps positive in-degree is on
+    // or downstream of a cycle.
+    let count = n.gate_count();
+    let mut indeg = vec![0u32; count];
+    for g in n.gate_ids() {
+        if n.kind(g).is_source() {
+            continue;
+        }
+        indeg[g.index()] = n.fanin(g).len() as u32;
+    }
+    let mut queue: Vec<GateId> = n.gate_ids().filter(|&g| indeg[g.index()] == 0).collect();
+    let mut remaining = count;
+    while let Some(g) = queue.pop() {
+        remaining -= 1;
+        if n.kind(g) == GateKind::Output {
+            continue;
+        }
+        for &(sink, _) in n.fanout(g) {
+            if n.kind(sink).is_source() {
+                continue;
+            }
+            let d = &mut indeg[sink.index()];
+            *d -= 1;
+            if *d == 0 {
+                queue.push(sink);
+            }
+        }
+    }
+    if remaining == 0 {
+        return None;
+    }
+    // Every stuck gate has at least one stuck fanin, so walking fanins
+    // within the stuck set must revisit a gate: that closes the loop.
+    let start = n.gate_ids().find(|&g| indeg[g.index()] > 0)?;
+    let mut seen_at = vec![usize::MAX; count];
+    let mut walk: Vec<GateId> = Vec::new();
+    let mut cur = start;
+    loop {
+        if seen_at[cur.index()] != usize::MAX {
+            let mut cycle = walk.split_off(seen_at[cur.index()]);
+            // The walk followed fanins (backwards); flip to flow order.
+            cycle.reverse();
+            return Some(cycle);
+        }
+        seen_at[cur.index()] = walk.len();
+        walk.push(cur);
+        cur = n
+            .fanin(cur)
+            .iter()
+            .copied()
+            .filter(|&f| !n.kind(f).is_source() && indeg[f.index()] > 0)
+            .min()
+            .expect("a stuck gate always has a stuck fanin");
+    }
+}
+
 /// Levelizes the combinational network: `level[g]` is 0 for sources and
 /// `1 + max(level of fanins)` for combinational gates and output ports.
 /// This is the unit-delay depth used by workload statistics.
@@ -141,6 +206,61 @@ mod tests {
         n.connect(a, g2).unwrap();
         n.connect(g1, g2).unwrap();
         assert!(topo_order(&n).is_err());
+    }
+
+    #[test]
+    fn full_cycle_path_is_reported_in_flow_order() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        let g2 = n.add_gate(GateKind::Inv, "g2");
+        let g3 = n.add_gate(GateKind::Buf, "g3");
+        n.connect(a, g1).unwrap();
+        n.connect(g3, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.connect(g2, g3).unwrap();
+        let cycle = find_comb_cycle(&n).expect("the loop g1 -> g2 -> g3 exists");
+        assert_eq!(cycle.len(), 3);
+        // Every consecutive pair (and the wrap-around) is a real edge.
+        for (i, &g) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert!(
+                n.fanout(g).iter().any(|&(s, _)| s == next),
+                "{g} must feed {next} in the reported cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn acyclic_netlists_report_no_cycle() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i1 = n.add_gate(GateKind::Inv, "i1");
+        n.connect(a, i1).unwrap();
+        assert_eq!(find_comb_cycle(&n), None);
+        // A loop through a flip-flop is sequential, not combinational.
+        let mut m = Netlist::new("seq");
+        let ff = m.add_gate(GateKind::Dff, "ff");
+        let inv = m.add_gate(GateKind::Inv, "inv");
+        m.connect(ff, inv).unwrap();
+        m.connect(inv, ff).unwrap();
+        assert_eq!(find_comb_cycle(&m), None);
+    }
+
+    #[test]
+    fn cycle_path_skips_acyclic_downstream_gates() {
+        // d is stuck (downstream of the loop) but not on it; the reported
+        // path must contain only loop members.
+        let mut n = Netlist::new("t");
+        let g1 = n.add_gate(GateKind::Inv, "g1");
+        let g2 = n.add_gate(GateKind::Inv, "g2");
+        let d = n.add_gate(GateKind::Inv, "d");
+        n.connect(g2, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.connect(g1, d).unwrap();
+        let cycle = find_comb_cycle(&n).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(!cycle.contains(&d));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tpi_core::{CancelKind, CounterSnapshot, FlowError, FullScanFlow, PartialScanFlow, Progress};
+use tpi_lint::{has_errors, lint_netlist, Diagnostic, LintCode, LintConfig};
 use tpi_par::{Threads, WorkerPool};
 
 /// Service-wide configuration.
@@ -84,6 +85,14 @@ pub struct JobReport {
     /// Per-phase counters from this job's live run (all zero for cache
     /// hits: nothing ran).
     pub counters: CounterSnapshot,
+    /// `true` iff the job completed *and* its result passed the
+    /// independent post-flow verifier (`tpi-lint`). Cache hits are
+    /// verified by construction: a payload is only ever cached after a
+    /// checked run.
+    pub verified: bool,
+    /// Lint findings for this job: pre-flight structural warnings, and
+    /// — when the job failed verification — the verifier's findings.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Handle to one submitted job.
@@ -116,6 +125,8 @@ impl JobHandle {
             cache: CacheSource::Cold,
             wall: Duration::ZERO,
             counters: CounterSnapshot::default(),
+            verified: false,
+            diagnostics: Vec::new(),
         })
     }
 }
@@ -264,7 +275,9 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
     let report = |status: JobStatus,
                   key: Option<CacheKey>,
                   payload: Option<Arc<str>>,
-                  cache: CacheSource| {
+                  cache: CacheSource,
+                  verified: bool,
+                  diagnostics: Vec<Diagnostic>| {
         let m = &shared.metrics;
         match &status {
             JobStatus::Completed => m.completed.fetch_add(1, Ordering::Relaxed),
@@ -281,6 +294,8 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
             cache,
             wall: t0.elapsed(),
             counters: progress.snapshot(),
+            verified,
+            diagnostics,
         }
     };
 
@@ -288,20 +303,51 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
     // already-expired job times out deterministically whether or not
     // its result happens to be cached.
     if let Err(c) = progress.checkpoint() {
-        return report(status_for(c.kind), None, None, CacheSource::Cold);
+        return report(status_for(c.kind), None, None, CacheSource::Cold, false, Vec::new());
     }
 
     let netlist = match spec.source.resolve() {
         Ok(n) => n,
         Err(e) => {
+            let diag = Diagnostic::new(
+                LintCode::ParseError,
+                "<input>",
+                format!("netlist parse error: {e}"),
+                Vec::new(),
+            );
             return report(
                 JobStatus::Failed(format!("netlist parse error: {e}")),
                 None,
                 None,
                 CacheSource::Cold,
-            )
+                false,
+                vec![diag],
+            );
         }
     };
+
+    // Pre-flight structural lint, deliberately *before* the cache
+    // lookup so a job's diagnostics are identical on cold and warm
+    // runs. Error-severity findings (combinational cycles, undriven
+    // gates) reject the job here — these are exactly the inputs that
+    // would otherwise panic or wedge a flow. Warnings ride along in
+    // the report without blocking.
+    let preflight = lint_netlist(&netlist, &LintConfig::default());
+    if has_errors(&preflight) {
+        let first = preflight
+            .iter()
+            .find(|d| d.severity == tpi_lint::Severity::Error)
+            .expect("has_errors implies an error diagnostic");
+        return report(
+            JobStatus::Failed(format!("pre-flight lint failed: {}", first.render_text())),
+            None,
+            None,
+            CacheSource::Cold,
+            false,
+            preflight,
+        );
+    }
+
     let key = cache_key(netlist_fingerprint(&netlist), &spec.flow);
 
     let hit = shared.cache.lock().expect("cache lock never poisoned").get(key);
@@ -312,7 +358,9 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
             CacheSource::Disk => m.cache_hits_disk.fetch_add(1, Ordering::Relaxed),
             CacheSource::Cold => unreachable!("cache lookups never report Cold"),
         };
-        return report(JobStatus::Completed, Some(key), Some(payload), src);
+        // Cached payloads were verified when produced (only checked
+        // runs are inserted), so the hit inherits `verified`.
+        return report(JobStatus::Completed, Some(key), Some(payload), src, true, preflight);
     }
     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
@@ -320,10 +368,30 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
     let payload = match ran {
         Ok(Ok(payload)) => payload,
         Ok(Err(FlowError::Canceled(kind))) => {
-            return report(status_for(kind), Some(key), None, CacheSource::Cold)
+            return report(status_for(kind), Some(key), None, CacheSource::Cold, false, preflight)
+        }
+        Ok(Err(FlowError::Verification(mut diags))) => {
+            let n_errors = diags.iter().filter(|d| d.severity == tpi_lint::Severity::Error).count();
+            let msg = match diags.first() {
+                Some(first) => format!(
+                    "post-flow verification failed ({n_errors} error(s)): {}",
+                    first.render_text()
+                ),
+                None => "post-flow verification failed".to_string(),
+            };
+            let mut all = preflight;
+            all.append(&mut diags);
+            return report(JobStatus::Failed(msg), Some(key), None, CacheSource::Cold, false, all);
         }
         Ok(Err(e @ FlowError::FlushFailed(_))) => {
-            return report(JobStatus::Failed(e.to_string()), Some(key), None, CacheSource::Cold)
+            return report(
+                JobStatus::Failed(e.to_string()),
+                Some(key),
+                None,
+                CacheSource::Cold,
+                false,
+                preflight,
+            )
         }
         Err(panic) => {
             let msg = panic
@@ -336,13 +404,15 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
                 Some(key),
                 None,
                 CacheSource::Cold,
+                false,
+                preflight,
             );
         }
     };
 
     let payload: Arc<str> = payload.into();
     shared.cache.lock().expect("cache lock never poisoned").insert(key, Arc::clone(&payload));
-    report(JobStatus::Completed, Some(key), Some(payload), CacheSource::Cold)
+    report(JobStatus::Completed, Some(key), Some(payload), CacheSource::Cold, true, preflight)
 }
 
 fn status_for(kind: CancelKind) -> JobStatus {
@@ -379,6 +449,10 @@ fn run_flow(
                 .field_f64("mux_reduction_pct", r.row.reduction())
                 .field_u64("chain_len", r.chain.len() as u64)
                 .field_bool("flush_passed", r.flush.passed())
+                // `run_checked` re-derived every claim through tpi-lint's
+                // verifier before returning, so a payload existing at all
+                // means the result verified.
+                .field_bool("verified", true)
                 .field_object("counters", counters_object(progress.snapshot()));
             Ok(o.finish())
         }
@@ -398,6 +472,7 @@ fn run_flow(
                 .field_bool("acyclic", r.acyclic)
                 .field_u64("chain_len", r.chain.as_ref().map_or(0, |c| c.len()) as u64)
                 .field_bool("flush_passed", r.flush.as_ref().is_none_or(|f| f.passed()))
+                .field_bool("verified", true)
                 .field_object("counters", counters_object(progress.snapshot()));
             Ok(o.finish())
         }
@@ -443,8 +518,10 @@ mod tests {
         assert_eq!(r.status, JobStatus::Completed);
         assert_eq!(r.cache, CacheSource::Cold);
         assert!(r.key.is_some());
+        assert!(r.verified, "checked flows mark their reports verified");
         let p = r.payload.expect("completed jobs carry payloads");
         assert!(p.starts_with(r#"{"schema":"tpi-serve/v1""#), "{p}");
+        assert!(p.contains(r#""verified":true"#), "{p}");
         let m = s.metrics();
         assert_eq!((m.submitted, m.completed, m.cache_misses), (1, 1, 1));
     }
@@ -455,6 +532,8 @@ mod tests {
         let cold = s.submit(JobSpec::partial(ring(), PartialScanMethod::TpTime)).wait();
         let warm = s.submit(JobSpec::partial(ring(), PartialScanMethod::TpTime)).wait();
         assert_eq!(warm.cache, CacheSource::Memory);
+        assert!(warm.verified, "cache hits inherit verification");
+        assert_eq!(cold.diagnostics, warm.diagnostics, "pre-flight lint runs on hits too");
         assert_eq!(cold.payload, warm.payload);
         assert_eq!(cold.key, warm.key);
         assert_eq!(s.metrics().cache_hits_memory, 1);
@@ -478,6 +557,31 @@ mod tests {
         let ok = s.submit(JobSpec::full_scan(ring())).wait();
         assert_eq!(ok.status, JobStatus::Completed);
         let _ = bad;
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected_by_preflight_lint() {
+        // A combinational cycle would panic the implication engine; the
+        // pre-flight lint must turn that into a clean Failed report.
+        let mut n = tpi_netlist::Netlist::new("cyc");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(tpi_netlist::GateKind::And, "g1");
+        let g2 = n.add_gate(tpi_netlist::GateKind::Or, "g2");
+        n.connect(a, g1).unwrap();
+        n.connect(g2, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.add_output("o", g2).unwrap();
+
+        let s = JobService::new(ServiceConfig::default());
+        let r = s.submit(JobSpec::full_scan(n)).wait();
+        assert!(
+            matches!(&r.status, JobStatus::Failed(m) if m.contains("pre-flight lint")),
+            "{:?}",
+            r.status
+        );
+        assert!(!r.verified);
+        assert!(r.diagnostics.iter().any(|d| d.code == LintCode::CombCycle), "{:?}", r.diagnostics);
+        assert_eq!(s.metrics().failed, 1);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   scan-based test application through the produced chains;
 //! * [`serve`] — a long-lived job service around the flows: worker pool,
 //!   content-addressed result cache, deadlines and run metrics;
+//! * [`lint`] — static analysis: structural netlist lints and an
+//!   independent re-verification of every DFT claim the flows make;
 //! * [`workloads`] — the figure circuits, `s27`, and the synthetic
 //!   ISCAS89/MCNC91-calibrated benchmark suite.
 //!
@@ -22,6 +24,7 @@
 
 pub use tpi_atpg as atpg;
 pub use tpi_core as tpi;
+pub use tpi_lint as lint;
 pub use tpi_netlist as netlist;
 pub use tpi_scan as scan;
 pub use tpi_serve as serve;

@@ -1,0 +1,106 @@
+//! Integration tests for `tpi-lint`: the independent verifier must
+//! bless honest flow results and catch deliberately corrupted ones,
+//! and the job service must report every smoke-suite job as verified
+//! at every thread count.
+
+use scanpath::lint::{has_errors, lint_netlist, verify_flow, LintCode, LintConfig, Severity};
+use scanpath::netlist::write_blif;
+use scanpath::serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
+use scanpath::sim::Trit;
+use scanpath::tpi::{FullScanFlow, PartialScanFlow, PartialScanMethod};
+use scanpath::workloads::{generate, smoke_suite};
+
+/// The smoke circuit with test points in its full-scan outcome.
+fn smoke_mixed() -> scanpath::netlist::Netlist {
+    let spec = smoke_suite().into_iter().find(|s| s.name == "smoke_mixed").unwrap();
+    generate(&spec)
+}
+
+#[test]
+fn honest_flows_verify_clean() {
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        let r = FullScanFlow::default().run(&n);
+        let diags = verify_flow(&n, &r.netlist, &r.claims);
+        assert!(!has_errors(&diags), "{}: {diags:?}", spec.name);
+        for m in [PartialScanMethod::Cb, PartialScanMethod::TdCb, PartialScanMethod::TpTime] {
+            let r = PartialScanFlow::new(m).run(&n);
+            let diags = verify_flow(&n, &r.netlist, &r.claims);
+            assert!(!has_errors(&diags), "{} {m:?}: {diags:?}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn unsensitized_side_input_is_caught() {
+    let n = smoke_mixed();
+    let r = FullScanFlow::default().run(&n);
+    assert!(
+        !r.claims.test_points.is_empty() || !r.claims.pi_values.is_empty(),
+        "corruption needs claimed constants to drop"
+    );
+    // Drop every claimed constant: side inputs that relied on them now
+    // carry X on replay, which is not a sensitizing value.
+    let mut claims = r.claims.clone();
+    claims.test_points.clear();
+    claims.pi_values.clear();
+    claims.physical.clear(); // keep TPI103 out of the blast radius
+    let diags = verify_flow(&n, &r.netlist, &claims);
+    assert!(
+        diags.iter().any(|d| d.code == LintCode::PathNotSensitized),
+        "expected TPI101, got {diags:?}"
+    );
+}
+
+#[test]
+fn test_point_on_wrong_rail_is_caught() {
+    let n = smoke_mixed();
+    let r = FullScanFlow::default().run(&n);
+    let &(tp, constant) = r.claims.physical.first().expect("smoke_mixed inserts test points");
+    // Rewire the test point's rail pin to the opposite rail: an AND fed
+    // by T' (or an OR fed by T) cannot force its claimed constant.
+    let mut bad = r.netlist.clone();
+    let wrong_rail = match constant {
+        Trit::Zero => bad.ensure_test_input_bar(),
+        _ => bad.ensure_test_input(),
+    };
+    bad.replace_fanin(tp, 1, wrong_rail).unwrap();
+    let diags = verify_flow(&n, &bad, &r.claims);
+    assert!(
+        diags.iter().any(|d| d.code == LintCode::IllegalTestPoint),
+        "expected TPI103, got {diags:?}"
+    );
+}
+
+#[test]
+fn smoke_suite_jobs_verify_at_every_thread_count() {
+    for threads in [1usize, 2, 0] {
+        let service = JobService::new(ServiceConfig { threads, ..ServiceConfig::default() });
+        let mut specs = Vec::new();
+        for spec in smoke_suite() {
+            let blif = write_blif(&generate(&spec));
+            specs.push(JobSpec::full_scan(NetlistSource::Blif(blif.clone())));
+            specs.push(JobSpec::partial(NetlistSource::Blif(blif), PartialScanMethod::TpTime));
+        }
+        for report in service.run_batch(specs) {
+            assert_eq!(report.status, JobStatus::Completed, "threads={threads}");
+            assert!(report.verified, "threads={threads}: job not verified");
+            assert!(
+                !report.diagnostics.iter().any(|d| d.severity == Severity::Error),
+                "threads={threads}: {:?}",
+                report.diagnostics
+            );
+            let payload = report.payload.expect("completed jobs carry payloads");
+            assert!(payload.contains(r#""verified":true"#), "{payload}");
+        }
+    }
+}
+
+#[test]
+fn smoke_suite_is_free_of_structural_errors() {
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        let diags = lint_netlist(&n, &LintConfig::default());
+        assert!(!has_errors(&diags), "{}: {diags:?}", spec.name);
+    }
+}

@@ -190,6 +190,17 @@ proptest! {
         prop_assert!(r.complete());
         prop_assert!(!g.has_cycle(&r.selected));
     }
+
+    /// Generated circuits carry no Error-severity structural lints
+    /// before any flow runs (warnings are expected: the generators
+    /// leave dead cones on purpose).
+    #[test]
+    fn generated_netlists_are_lint_clean(spec in spec_strategy()) {
+        use scanpath::lint::{has_errors, lint_netlist, LintConfig};
+        let n = generate(&spec);
+        let diags = lint_netlist(&n, &LintConfig::default());
+        prop_assert!(!has_errors(&diags), "{}: {:?}", spec.name, diags);
+    }
 }
 
 /// Non-proptest sanity: a netlist round-trips through `.bench` text.
