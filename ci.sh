@@ -38,4 +38,14 @@ LINT=target/debug/tpi-lint
 "$LINT" --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint2.json"
 cmp "$SMOKE/lint1.json" "$SMOKE/lint2.json"
 
+echo "== tpi-bench metrics gate (deterministic section byte-stable across threads) =="
+cargo build -q --release -p tpi-bench --bin tpi-bench
+BENCH=target/release/tpi-bench
+"$BENCH" --threads 1 --det-out "$SMOKE/det1.txt" >/dev/null
+"$BENCH" --threads 0 --det-out "$SMOKE/det0.txt" >/dev/null
+cmp "$SMOKE/det1.txt" "$SMOKE/det0.txt"
+
+echo "== tpi-bench sweep (emits BENCH_PR4.json) =="
+"$BENCH" --emit-bench BENCH_PR4.json
+
 echo "CI green."

@@ -65,7 +65,9 @@ fn fig1(threads: usize) {
     }
     let ends: Vec<_> = outcome.scan_path_endpoints(&paths);
     assert!(ends.contains(&(f1, f2)) && ends.contains(&(f2, f3)));
-    let r = FullScanFlow::default().with_threads(threads).run(&n);
+    let r = FullScanFlow::default()
+        .run_with(&n, &tpi_core::FlowOptions::new().with_threads(threads))
+        .expect("figure 1 flow succeeds");
     println!(
         "full flow: chain of {} FFs, flush {}",
         r.chain.len(),

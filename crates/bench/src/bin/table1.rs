@@ -6,11 +6,10 @@
 //! threads, default 1. The selections are identical for every thread
 //! count — only the CPU column changes.)
 
-use std::sync::Arc;
 use std::time::Instant;
 use tpi_bench::{render_table1_comparison, Cli};
 use tpi_core::flow::FullScanFlow;
-use tpi_core::Progress;
+use tpi_core::FlowOptions;
 use tpi_workloads::{generate, suite};
 
 fn main() {
@@ -18,14 +17,15 @@ fn main() {
     println!("Table I — full-scan test point insertion (paper vs. this reproduction)");
     println!("circuit  |  A=#FF  B=#insertions  C=#free  D=#scan-paths  red=overhead reduction");
     println!("{}", "-".repeat(110));
-    let flow = FullScanFlow::default().with_threads(cli.threads);
+    let flow = FullScanFlow::default();
+    let opts = FlowOptions::new().with_threads(cli.threads);
     for spec in suite() {
         if !cli.selects(&spec.name) {
             continue;
         }
         let n = generate(&spec);
         let t0 = Instant::now();
-        let mut result = match flow.run_checked(&n, &Arc::new(Progress::new())) {
+        let mut result = match flow.run_with(&n, &opts) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{}: {e}", spec.name);

@@ -5,11 +5,10 @@
 //! (`--threads 0` = all hardware threads, default 1; selections are
 //! identical for every thread count.)
 
-use std::sync::Arc;
 use std::time::Instant;
 use tpi_bench::{Cli, PAPER_TABLE3};
 use tpi_core::flow::{PartialScanFlow, PartialScanMethod};
-use tpi_core::Progress;
+use tpi_core::FlowOptions;
 use tpi_workloads::{generate, suite};
 
 fn main() {
@@ -36,8 +35,7 @@ fn main() {
         ] {
             let t0 = Instant::now();
             let mut r = match PartialScanFlow::new(method)
-                .with_threads(cli.threads)
-                .run_checked(&n, &Arc::new(Progress::new()))
+                .run_with(&n, &FlowOptions::new().with_threads(cli.threads))
             {
                 Ok(r) => r,
                 Err(e) => {

@@ -1,0 +1,199 @@
+//! `tpi-bench`: the observability benchmark harness.
+//!
+//! Runs the smoke suite (both workloads) through the full-scan and
+//! TPTIME flows at `--threads 1`, `2` and `0` (all hardware threads),
+//! checks that the **deterministic** metrics section — span structure
+//! plus counters — is byte-identical across the three settings, and
+//! prints per-phase wall times.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N]
+//! ```
+//!
+//! * `--emit-bench PATH` — also write the machine-readable bench file
+//!   (`tpi-bench/v1` JSON: wall times, per-phase µs, counters per run).
+//!   This is what produces `BENCH_PR4.json`.
+//! * `--det-out PATH` — write *only* the deterministic metrics sections
+//!   for every workload at the given `--threads` setting, one line per
+//!   workload, then exit. CI runs this at two settings and `cmp`s the
+//!   files: any byte difference fails the build.
+//!
+//! Exit status: `1` if any flow fails or any deterministic section
+//! differs across thread counts.
+
+use std::process::exit;
+use std::time::Instant;
+use tpi_bench::{ArgCursor, Cli};
+use tpi_core::{FlowMetrics, FlowOptions, FullScanFlow, PartialScanFlow, PartialScanMethod};
+use tpi_netlist::Netlist;
+use tpi_obs::{JsonArray, JsonObject, SpanSnapshot};
+use tpi_workloads::{generate, smoke_suite};
+
+/// The thread settings the determinism gate sweeps.
+const THREAD_SETTINGS: [usize; 3] = [1, 2, 0];
+
+/// One measured flow invocation.
+struct Run {
+    threads: usize,
+    wall_micros: u64,
+    metrics: FlowMetrics,
+}
+
+/// The smoke workloads: every smoke circuit through both paper flows.
+fn workloads() -> Vec<(String, &'static str, Netlist)> {
+    let mut out = Vec::new();
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        out.push((spec.name.clone(), "full-scan", n.clone()));
+        out.push((spec.name.clone(), "tptime", n));
+    }
+    out
+}
+
+fn run_once(circuit: &str, flow: &str, n: &Netlist, threads: usize) -> Run {
+    let opts = FlowOptions::new().with_threads(threads);
+    let t0 = Instant::now();
+    let metrics = match flow {
+        "full-scan" => FullScanFlow::default().run_with(n, &opts).map(|r| r.metrics),
+        "tptime" => {
+            PartialScanFlow::new(PartialScanMethod::TpTime).run_with(n, &opts).map(|r| r.metrics)
+        }
+        other => unreachable!("unknown flow {other}"),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("{circuit} [{flow}] --threads {threads}: {e}");
+        exit(1);
+    });
+    Run { threads, wall_micros: t0.elapsed().as_micros() as u64, metrics }
+}
+
+/// Flat `{phase: micros}` object — valid because every phase appears
+/// exactly once per run.
+fn phase_micros(m: &FlowMetrics) -> JsonObject {
+    fn walk(s: &SpanSnapshot, o: &mut JsonObject) {
+        o.field_u64(&s.name, s.micros);
+        for c in &s.children {
+            walk(c, o);
+        }
+    }
+    let mut o = JsonObject::new();
+    for s in &m.spans {
+        walk(s, &mut o);
+    }
+    o
+}
+
+fn counter_object(counters: &std::collections::BTreeMap<String, u64>) -> JsonObject {
+    let mut o = JsonObject::new();
+    for (k, &v) in counters {
+        o.field_u64(k, v);
+    }
+    o
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let mut emit_bench: Option<String> = None;
+    let mut det_out: Option<String> = None;
+    let mut cur = ArgCursor::new(cli.args.clone());
+    while let Some(a) = cur.next_arg() {
+        match a.as_str() {
+            "--emit-bench" => emit_bench = Some(cur.value("--emit-bench")),
+            "--det-out" => det_out = Some(cur.value("--det-out")),
+            other => {
+                eprintln!("unknown argument: {other} (expected --emit-bench/--det-out/--threads)");
+                exit(2);
+            }
+        }
+    }
+
+    // CI mode: dump only the deterministic sections at one setting.
+    if let Some(path) = det_out {
+        let mut out = String::new();
+        for (circuit, flow, n) in workloads() {
+            let r = run_once(&circuit, flow, &n, cli.threads);
+            out.push_str(&circuit);
+            out.push(' ');
+            out.push_str(flow);
+            out.push(' ');
+            out.push_str(&r.metrics.deterministic_json());
+            out.push('\n');
+        }
+        write_or_die(&path, &out);
+        println!("wrote deterministic metrics (--threads {}) to {path}", cli.threads);
+        return;
+    }
+
+    println!("tpi-bench — smoke suite at --threads {THREAD_SETTINGS:?}");
+    println!(
+        "{:<14} {:<10} | {:>10} {:>10} {:>10} | det section",
+        "circuit", "flow", "t=1 µs", "t=2 µs", "t=0 µs"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut workloads_arr = JsonArray::new();
+    let mut all_identical = true;
+    for (circuit, flow, n) in workloads() {
+        let runs: Vec<Run> =
+            THREAD_SETTINGS.iter().map(|&t| run_once(&circuit, flow, &n, t)).collect();
+        let det = runs[0].metrics.deterministic_json();
+        let identical = runs.iter().all(|r| r.metrics.deterministic_json() == det);
+        if !identical {
+            all_identical = false;
+            eprintln!("{circuit} [{flow}]: deterministic sections DIFFER across thread counts");
+        }
+        println!(
+            "{:<14} {:<10} | {:>10} {:>10} {:>10} | {}",
+            circuit,
+            flow,
+            runs[0].wall_micros,
+            runs[1].wall_micros,
+            runs[2].wall_micros,
+            if identical { "byte-identical" } else { "MISMATCH" },
+        );
+
+        let mut w = JsonObject::new();
+        w.field_str("circuit", &circuit)
+            .field_str("flow", flow)
+            .field_object("counters", counter_object(&runs[0].metrics.counters));
+        let mut runs_arr = JsonArray::new();
+        for r in &runs {
+            let mut ro = JsonObject::new();
+            ro.field_u64("threads", r.threads as u64)
+                .field_u64("wall_micros", r.wall_micros)
+                .field_object("phase_micros", phase_micros(&r.metrics))
+                .field_object("nd_counters", counter_object(&r.metrics.nd_counters));
+            runs_arr.push_object(ro);
+        }
+        w.field_array("runs", runs_arr);
+        workloads_arr.push_object(w);
+    }
+
+    if let Some(path) = emit_bench {
+        let mut root = JsonObject::new();
+        root.field_str("schema", "tpi-bench/v1")
+            .field_str("suite", "smoke")
+            .field_str("thread_settings", "1,2,0")
+            .field_bool("deterministic_sections_identical", all_identical)
+            .field_array("workloads", workloads_arr);
+        let mut text = root.finish();
+        text.push('\n');
+        write_or_die(&path, &text);
+        println!("wrote bench file to {path}");
+    }
+
+    if !all_identical {
+        eprintln!("FAIL: the deterministic metrics section must not depend on --threads");
+        exit(1);
+    }
+    println!("OK: deterministic sections byte-identical at --threads 1/2/0");
+}

@@ -9,7 +9,10 @@
 //!   scan paths around the critical logic).
 
 use crate::input_assign::assign_inputs;
-use crate::progress::{CancelKind, Canceled, Progress};
+use crate::options::FlowOptions;
+use crate::paths::enumerate_paths_with;
+use crate::phases;
+use crate::progress::{CancelKind, Canceled, CounterSnapshot, Progress};
 use crate::report::{Table1Row, Table3Row};
 use crate::tpgreed::{verify_outcome, TpGreed, TpGreedConfig};
 use crate::tptime::{ScanPlan, ScanPlanner};
@@ -18,6 +21,7 @@ use std::fmt;
 use std::sync::Arc;
 use tpi_lint::{verify_flow, ClaimedPath, DftClaims, Diagnostic, Placement, ReportedCounts};
 use tpi_netlist::{GateId, Netlist, NetlistStats, TechLibrary};
+use tpi_obs::{FlowMetrics, Recorder};
 use tpi_par::Threads;
 use tpi_scan::{
     break_cycles, flush_test, ChainLink, CycleBreakOptions, FlushReport, SGraph, ScanChain,
@@ -115,6 +119,25 @@ impl From<Canceled> for FlowError {
     }
 }
 
+/// Folds a run's counter deltas into `rec`: the deterministic four under
+/// their canonical names, and the speculative `plans_attempted`
+/// quarantined as non-deterministic (it may grow with the worker count).
+/// Every key is recorded even at zero so the deterministic JSON carries
+/// the same fields on every input.
+fn record_counters(rec: &Recorder, before: &CounterSnapshot, after: &CounterSnapshot) {
+    rec.add("paths_enumerated", after.paths_enumerated.saturating_sub(before.paths_enumerated));
+    rec.add(
+        "candidates_evaluated",
+        after.candidates_evaluated.saturating_sub(before.candidates_evaluated),
+    );
+    rec.add(
+        "test_points_placed",
+        after.test_points_placed.saturating_sub(before.test_points_placed),
+    );
+    rec.add("rounds", after.rounds.saturating_sub(before.rounds));
+    rec.add_nd("plans_attempted", after.plans_attempted.saturating_sub(before.plans_attempted));
+}
+
 /// Converts a failing [`FlushReport`] into the structured error variant;
 /// passing reports yield `Ok(())`.
 fn check_flush(n: &Netlist, report: &FlushReport) -> Result<(), FlowError> {
@@ -149,6 +172,7 @@ impl Default for FullScanFlow {
 impl FullScanFlow {
     /// Sets the worker-thread knob (`0` = all hardware threads). Results
     /// are identical for every setting; see [`TpGreedConfig::threads`].
+    #[deprecated(since = "0.2.0", note = "use `FlowOptions::with_threads` with `run_with`")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self
@@ -169,9 +193,13 @@ pub struct FullScanResult {
     /// Primary-input values required in test mode.
     pub pi_values: Vec<(GateId, Trit)>,
     /// The flow's claims in `tpi-lint` vocabulary, ready for
-    /// [`tpi_lint::verify_flow`] (which [`FullScanFlow::run_checked`]
+    /// [`tpi_lint::verify_flow`] (which [`FullScanFlow::run_with`]
     /// invokes automatically).
     pub claims: DftClaims,
+    /// Per-phase spans and counters recorded by the run. Populated by
+    /// [`FullScanFlow::run_with`]; empty from the unchecked
+    /// [`FullScanFlow::run`] convenience wrapper.
+    pub metrics: FlowMetrics,
 }
 
 impl FullScanFlow {
@@ -182,83 +210,141 @@ impl FullScanFlow {
     /// verification of the produced scan structure fails — both indicate
     /// bugs, not user errors.
     pub fn run(&self, n: &Netlist) -> FullScanResult {
-        self.run_impl(n, &Arc::new(Progress::new())).expect("a fresh Progress never cancels")
+        self.run_impl(n, &Arc::new(Progress::new()), &Recorder::new(), self.config.threads)
+            .expect("a fresh Progress never cancels")
     }
 
-    /// Like [`run`](Self::run), but cooperative and fallible: the flow
-    /// checkpoints `progress` at iteration boundaries (cancellation and
-    /// deadlines stop it between rounds), per-phase counters accumulate
-    /// into `progress`, and a miscomparing flush surfaces as
-    /// [`FlowError::FlushFailed`] instead of a silently-failing report.
+    /// The canonical fallible entry point: runs the flow under `opts`.
+    ///
+    /// [`FlowOptions`] supplies the worker-thread override, the
+    /// cooperative [`Progress`] token (cancellation and deadlines stop
+    /// the run between rounds), and an optional shared metrics recorder.
+    /// The run records one span per phase (see [`crate::phases`]) plus
+    /// the deterministic counters, verifies the produced chain — §V
+    /// flush test and the independent `tpi-lint` check — and attaches
+    /// the finished [`FlowMetrics`] to the result.
+    pub fn run_with(&self, n: &Netlist, opts: &FlowOptions) -> Result<FullScanResult, FlowError> {
+        let progress = opts.resolve_progress();
+        let rec = opts.resolve_recorder();
+        let threads = opts.threads_or(self.config.threads);
+        let before = progress.snapshot();
+        let outcome = (|| -> Result<FullScanResult, FlowError> {
+            let _root = rec.span(phases::FULL_SCAN);
+            let r = self.run_impl(n, &progress, &rec, threads)?;
+            let _v = rec.span(phases::VERIFY);
+            check_flush(&r.netlist, &r.flush)?;
+            check_claims(n, &r.netlist, &r.claims)?;
+            Ok(r)
+        })();
+        record_counters(&rec, &before, &progress.snapshot());
+        let mut r = outcome?;
+        r.metrics = rec.finish();
+        Ok(r)
+    }
+
+    /// Like [`run`](Self::run), but cooperative and fallible.
+    #[deprecated(since = "0.2.0", note = "use `run_with` with `FlowOptions::with_progress`")]
     pub fn run_checked(
         &self,
         n: &Netlist,
         progress: &Arc<Progress>,
     ) -> Result<FullScanResult, FlowError> {
-        let r = self.run_impl(n, progress)?;
-        check_flush(&r.netlist, &r.flush)?;
-        check_claims(n, &r.netlist, &r.claims)?;
-        Ok(r)
+        self.run_with(n, &FlowOptions::new().with_progress(Arc::clone(progress)))
     }
 
-    fn run_impl(&self, n: &Netlist, progress: &Arc<Progress>) -> Result<FullScanResult, Canceled> {
+    fn run_impl(
+        &self,
+        n: &Netlist,
+        progress: &Arc<Progress>,
+        rec: &Recorder,
+        threads: usize,
+    ) -> Result<FullScanResult, Canceled> {
         progress.checkpoint()?;
-        let (outcome, paths) = TpGreed::new(n, self.config.clone())
-            .with_progress(Arc::clone(progress))
-            .try_run_with_paths()?;
+        let paths = {
+            let _s = rec.span(phases::ENUMERATE_PATHS);
+            enumerate_paths_with(
+                n,
+                self.config.k_bound,
+                self.config.max_paths,
+                Threads::from_knob(threads),
+            )
+        };
+        let (outcome, paths) = {
+            let _s = rec.span(phases::TPGREED);
+            let mut cfg = self.config.clone();
+            cfg.threads = threads;
+            TpGreed::with_paths(n, cfg, paths)
+                .with_progress(Arc::clone(progress))
+                .try_run_with_paths()?
+        };
         verify_outcome(n, &paths, &outcome).expect("TPGREED must produce a verifiable outcome");
-        let assignment = assign_inputs(n, &paths, &outcome);
+        let assignment = {
+            let _s = rec.span(phases::INPUT_ASSIGN);
+            assign_inputs(n, &paths, &outcome)
+        };
 
         // --- Physical realization on a working copy. ---
         progress.checkpoint()?;
         let mut work = n.clone();
-        work.ensure_test_input();
         let mut physical: Vec<(GateId, Trit)> = Vec::with_capacity(assignment.physical.len());
-        for &(net, v) in &assignment.physical {
-            let tp = match v {
-                Trit::Zero => work.insert_and_test_point(net).expect("tpgreed nets are valid"),
-                Trit::One => work.insert_or_test_point(net).expect("tpgreed nets are valid"),
-                Trit::X => unreachable!("test points always carry constants"),
-            };
-            physical.push((tp, v));
+        {
+            let _s = rec.span(phases::INSERT_TEST_POINTS);
+            work.ensure_test_input();
+            for &(net, v) in &assignment.physical {
+                let tp = match v {
+                    Trit::Zero => work.insert_and_test_point(net).expect("tpgreed nets are valid"),
+                    Trit::One => work.insert_or_test_point(net).expect("tpgreed nets are valid"),
+                    Trit::X => unreachable!("test points always carry constants"),
+                };
+                physical.push((tp, v));
+            }
         }
 
         // --- Chain construction. ---
         // Established paths dictate `from -> to` links; every fragment
         // head (and every uncovered flip-flop) gets a conventional mux.
-        let succ: HashMap<GateId, (GateId, bool)> = outcome
-            .scan_paths
-            .iter()
-            .map(|&id| {
-                let p = paths.path(id);
-                (p.from, (p.to, p.inverting))
-            })
-            .collect();
-        let has_incoming: HashSet<GateId> =
-            outcome.scan_paths.iter().map(|&id| paths.path(id).to).collect();
-        let mut links: Vec<ChainLink> = Vec::new();
-        let stub = work.add_input("scan_stub");
-        for ff in n.dffs() {
-            if has_incoming.contains(&ff) {
-                continue; // covered by a test-point path; not a head
+        let chain = {
+            let _s = rec.span(phases::STITCH_CHAIN);
+            let succ: HashMap<GateId, (GateId, bool)> = outcome
+                .scan_paths
+                .iter()
+                .map(|&id| {
+                    let p = paths.path(id);
+                    (p.from, (p.to, p.inverting))
+                })
+                .collect();
+            let has_incoming: HashSet<GateId> =
+                outcome.scan_paths.iter().map(|&id| paths.path(id).to).collect();
+            let mut links: Vec<ChainLink> = Vec::new();
+            let stub = work.add_input("scan_stub");
+            for ff in n.dffs() {
+                if has_incoming.contains(&ff) {
+                    continue; // covered by a test-point path; not a head
+                }
+                // Head of a fragment: conventional mux entry, then follow
+                // the established paths.
+                let mux = work
+                    .insert_scan_mux_at_pin(ff, 0, stub)
+                    .expect("flip-flops always have a D pin");
+                links.push(ChainLink::Mux { mux, ff, inverting: false });
+                let mut cur = ff;
+                while let Some(&(next, inverting)) = succ.get(&cur) {
+                    links.push(ChainLink::Path { from: cur, ff: next, inverting });
+                    cur = next;
+                }
             }
-            // Head of a fragment: conventional mux entry, then follow the
-            // established paths.
-            let mux =
-                work.insert_scan_mux_at_pin(ff, 0, stub).expect("flip-flops always have a D pin");
-            links.push(ChainLink::Mux { mux, ff, inverting: false });
-            let mut cur = ff;
-            while let Some(&(next, inverting)) = succ.get(&cur) {
-                links.push(ChainLink::Path { from: cur, ff: next, inverting });
-                cur = next;
-            }
-        }
-        let chain = ScanChain::stitch(&mut work, links).expect("chain fragments are consistent");
-        work.validate().expect("transformed netlist must stay valid");
+            let chain =
+                ScanChain::stitch(&mut work, links).expect("chain fragments are consistent");
+            work.validate().expect("transformed netlist must stay valid");
+            chain
+        };
 
         // --- Flush verification (§V). ---
         let pi_values = assignment.pi_values.clone();
-        let flush = flush_test(&work, &chain, &pi_values).expect("test input exists");
+        let flush = {
+            let _s = rec.span(phases::FLUSH_CHECK);
+            flush_test(&work, &chain, &pi_values).expect("test input exists")
+        };
 
         // Timing is the caller's concern (bins wrap the run in their own
         // clock; the job service reports wall time per job); the flow
@@ -299,7 +385,15 @@ impl FullScanFlow {
                 scan_paths: row.scan_paths,
             }),
         };
-        Ok(FullScanResult { row, netlist: work, chain, flush, pi_values, claims })
+        Ok(FullScanResult {
+            row,
+            netlist: work,
+            chain,
+            flush,
+            pi_values,
+            claims,
+            metrics: FlowMetrics::default(),
+        })
     }
 }
 
@@ -346,6 +440,7 @@ impl PartialScanFlow {
     }
 
     /// Sets the worker-thread knob (`0` = all hardware threads).
+    #[deprecated(since = "0.2.0", note = "use `FlowOptions::with_threads` with `run_with`")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -375,9 +470,13 @@ pub struct PartialScanResult {
     /// Whether every cycle in the s-graph was broken.
     pub acyclic: bool,
     /// The flow's claims in `tpi-lint` vocabulary, ready for
-    /// [`tpi_lint::verify_flow`] (which [`PartialScanFlow::run_checked`]
+    /// [`tpi_lint::verify_flow`] (which [`PartialScanFlow::run_with`]
     /// invokes automatically).
     pub claims: DftClaims,
+    /// Per-phase spans and counters recorded by the run. Populated by
+    /// [`PartialScanFlow::run_with`]; empty from the unchecked
+    /// [`PartialScanFlow::run`] convenience wrapper.
+    pub metrics: FlowMetrics,
 }
 
 impl PartialScanFlow {
@@ -387,38 +486,72 @@ impl PartialScanFlow {
     /// Panics on invalid input netlists or internal verification
     /// failures.
     pub fn run(&self, n: &Netlist) -> PartialScanResult {
-        self.run_impl(n, &Arc::new(Progress::new())).expect("a fresh Progress never cancels")
+        self.run_impl(n, &Arc::new(Progress::new()), &Recorder::new(), self.threads)
+            .expect("a fresh Progress never cancels")
     }
 
-    /// Like [`run`](Self::run), but cooperative and fallible: the
-    /// selection loop checkpoints `progress` between rounds, per-phase
-    /// counters accumulate into it, and a miscomparing flush surfaces as
-    /// [`FlowError::FlushFailed`].
+    /// The canonical fallible entry point: runs the selected method
+    /// under `opts`.
+    ///
+    /// [`FlowOptions`] supplies the worker-thread override, the
+    /// cooperative [`Progress`] token (the selection loop checkpoints it
+    /// between rounds), and an optional shared metrics recorder. The run
+    /// records one span per phase (see [`crate::phases`]) plus the
+    /// deterministic counters, verifies the produced chain — §V flush
+    /// test and the independent `tpi-lint` check — and attaches the
+    /// finished [`FlowMetrics`] to the result.
+    pub fn run_with(
+        &self,
+        n: &Netlist,
+        opts: &FlowOptions,
+    ) -> Result<PartialScanResult, FlowError> {
+        let progress = opts.resolve_progress();
+        let rec = opts.resolve_recorder();
+        let threads = opts.threads_or(self.threads);
+        let before = progress.snapshot();
+        let outcome = (|| -> Result<PartialScanResult, FlowError> {
+            let _root = rec.span(phases::PARTIAL_SCAN);
+            let r = self.run_impl(n, &progress, &rec, threads)?;
+            let _v = rec.span(phases::VERIFY);
+            if let Some(flush) = &r.flush {
+                check_flush(&r.netlist, flush)?;
+            }
+            check_claims(n, &r.netlist, &r.claims)?;
+            Ok(r)
+        })();
+        record_counters(&rec, &before, &progress.snapshot());
+        let mut r = outcome?;
+        r.metrics = rec.finish();
+        Ok(r)
+    }
+
+    /// Like [`run`](Self::run), but cooperative and fallible.
+    #[deprecated(since = "0.2.0", note = "use `run_with` with `FlowOptions::with_progress`")]
     pub fn run_checked(
         &self,
         n: &Netlist,
         progress: &Arc<Progress>,
     ) -> Result<PartialScanResult, FlowError> {
-        let r = self.run_impl(n, progress)?;
-        if let Some(flush) = &r.flush {
-            check_flush(&r.netlist, flush)?;
-        }
-        check_claims(n, &r.netlist, &r.claims)?;
-        Ok(r)
+        self.run_with(n, &FlowOptions::new().with_progress(Arc::clone(progress)))
     }
 
     fn run_impl(
         &self,
         n: &Netlist,
         progress: &Arc<Progress>,
+        rec: &Recorder,
+        threads: usize,
     ) -> Result<PartialScanResult, Canceled> {
         progress.checkpoint()?;
+        let baseline_span = rec.span(phases::BASELINE_ANALYSIS);
         let base_stats = NetlistStats::compute(n, &self.lib);
         let base_delay = Sta::analyze(n, &self.lib, ClockConstraint::LongestPath).circuit_delay();
         let sgraph = SGraph::build(n);
         let mut planner =
             ScanPlanner::new(n.clone(), self.lib.clone()).with_progress(Arc::clone(progress));
+        drop(baseline_span);
 
+        let selection_span = rec.span(phases::SELECTION);
         match self.method {
             PartialScanMethod::Cb => {
                 progress.add_round();
@@ -452,7 +585,7 @@ impl PartialScanFlow {
                 // candidates are planned concurrently and the walk below
                 // commits the first hit in cycle-breaker order — the same
                 // flip-flop the sequential early-exit walk would pick.
-                let threads = Threads::from_knob(self.threads);
+                let threads = Threads::from_knob(threads);
                 // Planning is an early-exit search, so parallelism here is
                 // speculation: cap the batch width at the physical core
                 // count or the wasted plans can never be repaid.
@@ -501,6 +634,7 @@ impl PartialScanFlow {
                 })?;
             }
         }
+        drop(selection_span);
 
         let scanned: Vec<GateId> = planner.links().iter().map(|l| l.ff()).collect();
         let acyclic = !sgraph.has_cycle(&scanned);
@@ -514,18 +648,27 @@ impl PartialScanFlow {
             .collect();
         let (mut netlist, _, _, pi_values) = planner.into_parts();
 
-        let (chain, flush) = if links.is_empty() {
-            (None, None)
-        } else {
-            let chain = ScanChain::stitch(&mut netlist, links).expect("mux links always stitch");
-            let flush = flush_test(&netlist, &chain, &pi_values).expect("test input exists");
-            (Some(chain), Some(flush))
+        // The stitch and flush spans open even when no flip-flop was
+        // selected, so the span-tree *structure* is input-independent.
+        let chain = {
+            let _s = rec.span(phases::STITCH_CHAIN);
+            if links.is_empty() {
+                None
+            } else {
+                Some(ScanChain::stitch(&mut netlist, links).expect("mux links always stitch"))
+            }
+        };
+        let flush = {
+            let _s = rec.span(phases::FLUSH_CHECK);
+            chain.as_ref().map(|c| flush_test(&netlist, c, &pi_values).expect("test input exists"))
         };
         netlist.validate().expect("transformed netlist must stay valid");
 
+        let final_span = rec.span(phases::FINAL_ANALYSIS);
         let final_stats = NetlistStats::compute(&netlist, &self.lib);
         let final_delay =
             Sta::analyze(&netlist, &self.lib, ClockConstraint::LongestPath).circuit_delay();
+        drop(final_span);
         // As in the full-scan flow, wall-clock timing belongs to callers;
         // the flow reports deterministic counters via `progress`.
         let row = Table3Row {
@@ -553,7 +696,15 @@ impl PartialScanFlow {
             claims_acyclic: acyclic,
             reported: None,
         };
-        Ok(PartialScanResult { row, netlist, chain, flush, acyclic, claims })
+        Ok(PartialScanResult {
+            row,
+            netlist,
+            chain,
+            flush,
+            acyclic,
+            claims,
+            metrics: FlowMetrics::default(),
+        })
     }
 
     /// §IV.B's interleaved loop, shared by TD-CB and TPTIME: run the
@@ -714,11 +865,14 @@ mod tests {
         let base_full = FullScanFlow::default().run(&n);
         let base_tp = PartialScanFlow::new(PartialScanMethod::TpTime).run(&n);
         for threads in [2, 0] {
-            let full = FullScanFlow::default().with_threads(threads).run(&n);
+            let opts = FlowOptions::new().with_threads(threads);
+            let full = FullScanFlow::default().run_with(&n, &opts).expect("flow succeeds");
             assert_eq!(full.row.insertions, base_full.row.insertions);
             assert_eq!(full.row.scan_paths, base_full.row.scan_paths);
             assert_eq!(full.pi_values, base_full.pi_values);
-            let tp = PartialScanFlow::new(PartialScanMethod::TpTime).with_threads(threads).run(&n);
+            let tp = PartialScanFlow::new(PartialScanMethod::TpTime)
+                .run_with(&n, &opts)
+                .expect("flow succeeds");
             assert_eq!(tp.row.selected_ffs, base_tp.row.selected_ffs);
             assert!((tp.row.delay - base_tp.row.delay).abs() < 1e-12);
             assert!((tp.row.area - base_tp.row.area).abs() < 1e-12);
@@ -730,25 +884,33 @@ mod tests {
         let n = mixed_circuit();
         let progress = Arc::new(Progress::new());
         progress.cancel();
-        let full = FullScanFlow::default().run_checked(&n, &progress);
+        let opts = FlowOptions::new().with_progress(Arc::clone(&progress));
+        let full = FullScanFlow::default().run_with(&n, &opts);
         assert!(matches!(full, Err(FlowError::Canceled(CancelKind::Canceled))));
-        let tp = PartialScanFlow::new(PartialScanMethod::TpTime).run_checked(&n, &progress);
+        let tp = PartialScanFlow::new(PartialScanMethod::TpTime).run_with(&n, &opts);
         assert!(matches!(tp, Err(FlowError::Canceled(CancelKind::Canceled))));
     }
 
     #[test]
-    fn run_checked_accumulates_deterministic_counters() {
+    fn run_with_accumulates_deterministic_counters() {
         let n = mixed_circuit();
         let progress = Arc::new(Progress::new());
-        let r = FullScanFlow::default().run_checked(&n, &progress).expect("flow succeeds");
+        let r = FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new().with_progress(Arc::clone(&progress)))
+            .expect("flow succeeds");
         let snap = progress.snapshot();
         assert!(snap.paths_enumerated > 0);
         assert!(snap.candidates_evaluated > 0);
         assert_eq!(snap.test_points_placed as usize, r.row.insertions);
+        // The same numbers land in the result's metrics.
+        assert_eq!(r.metrics.counter("paths_enumerated"), snap.paths_enumerated);
+        assert_eq!(r.metrics.counter("test_points_placed"), snap.test_points_placed);
 
         // The thread knob must not change any deterministic counter.
         let p2 = Arc::new(Progress::new());
-        FullScanFlow::default().with_threads(2).run_checked(&n, &p2).expect("flow succeeds");
+        FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new().with_threads(2).with_progress(Arc::clone(&p2)))
+            .expect("flow succeeds");
         let s2 = p2.snapshot();
         assert_eq!(snap.paths_enumerated, s2.paths_enumerated);
         assert_eq!(snap.candidates_evaluated, s2.candidates_evaluated);
@@ -759,21 +921,75 @@ mod tests {
     #[test]
     fn tptime_counters_are_thread_count_independent() {
         let n = mixed_circuit();
-        let p1 = Arc::new(Progress::new());
-        PartialScanFlow::new(PartialScanMethod::TpTime).run_checked(&n, &p1).expect("flow runs");
-        let p2 = Arc::new(Progress::new());
-        PartialScanFlow::new(PartialScanMethod::TpTime)
-            .with_threads(4)
-            .run_checked(&n, &p2)
-            .expect("flow runs");
-        let (a, b) = (p1.snapshot(), p2.snapshot());
-        assert_eq!(a.candidates_evaluated, b.candidates_evaluated);
-        assert_eq!(a.test_points_placed, b.test_points_placed);
-        assert_eq!(a.rounds, b.rounds);
+        let a = PartialScanFlow::new(PartialScanMethod::TpTime)
+            .run_with(&n, &FlowOptions::new())
+            .expect("flow runs")
+            .metrics;
+        let b = PartialScanFlow::new(PartialScanMethod::TpTime)
+            .run_with(&n, &FlowOptions::new().with_threads(4))
+            .expect("flow runs")
+            .metrics;
+        assert_eq!(a.counter("candidates_evaluated"), b.counter("candidates_evaluated"));
+        assert_eq!(a.counter("test_points_placed"), b.counter("test_points_placed"));
+        assert_eq!(a.counter("rounds"), b.counter("rounds"));
+        // The whole deterministic section — structure and counters — is
+        // byte-identical across thread counts.
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
         // `plans_attempted` is the documented exception: speculation may
-        // attempt extra plans past the committed hit, so it is only
-        // bounded below by the sequential count.
-        assert!(b.plans_attempted >= a.plans_attempted);
+        // attempt extra plans past the committed hit, so it lives in the
+        // non-deterministic section and is only bounded below.
+        assert!(b.nd_counters["plans_attempted"] >= a.nd_counters["plans_attempted"]);
+    }
+
+    #[test]
+    fn run_with_records_every_phase_exactly_once() {
+        let n = mixed_circuit();
+        let full = FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new())
+            .expect("flow succeeds")
+            .metrics;
+        assert_eq!(full.span_names(), crate::phases::full_scan());
+        let tp = PartialScanFlow::new(PartialScanMethod::TpTime)
+            .run_with(&n, &FlowOptions::new())
+            .expect("flow succeeds")
+            .metrics;
+        assert_eq!(tp.span_names(), crate::phases::partial_scan());
+    }
+
+    #[test]
+    fn run_with_honors_deadlines() {
+        let n = mixed_circuit();
+        let r = FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new().with_deadline(std::time::Duration::ZERO));
+        assert!(matches!(r, Err(FlowError::Canceled(CancelKind::DeadlineExceeded))));
+    }
+
+    #[test]
+    fn shared_recorder_aggregates_multiple_runs() {
+        let n = mixed_circuit();
+        let rec = Arc::new(tpi_obs::Recorder::new());
+        let opts = FlowOptions::new().with_metrics(Arc::clone(&rec));
+        FullScanFlow::default().run_with(&n, &opts).expect("flow succeeds");
+        FullScanFlow::default().run_with(&n, &opts).expect("flow succeeds");
+        let m = rec.finish();
+        assert_eq!(m.span_count(phases::FULL_SCAN), 2, "one root per run");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_still_work() {
+        let n = mixed_circuit();
+        let progress = Arc::new(Progress::new());
+        let full = FullScanFlow::default()
+            .with_threads(2)
+            .run_checked(&n, &progress)
+            .expect("forwarder reaches run_with");
+        assert!(full.flush.passed());
+        let tp = PartialScanFlow::new(PartialScanMethod::TpTime)
+            .with_threads(2)
+            .run_checked(&n, &Arc::new(Progress::new()))
+            .expect("forwarder reaches run_with");
+        assert!(tp.acyclic);
     }
 
     #[test]

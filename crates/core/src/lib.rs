@@ -23,7 +23,12 @@
 //! * [`tptime`] — the timing-driven recursive cost functions of
 //!   Equations 2–4 with desired/side-effect constant tracking (§IV.A);
 //! * [`flow`] — end-to-end flows: [`flow::FullScanFlow`] (Table I) and
-//!   [`flow::PartialScanFlow`] running CB / TD-CB / TPTIME (Table III);
+//!   [`flow::PartialScanFlow`] running CB / TD-CB / TPTIME (Table III),
+//!   both driven through the shared [`FlowOptions`] builder;
+//! * [`options`] — [`FlowOptions`]: threads, progress, deadline and
+//!   metrics in one place, shared by flows and the job service;
+//! * [`phases`] — the canonical span names the flows record into
+//!   `tpi-obs` (one span per phase per run);
 //! * [`progress`] — the cooperative [`Progress`] hook the flows
 //!   checkpoint at iteration boundaries: cancellation, deadlines, and
 //!   deterministic per-phase counters;
@@ -31,7 +36,9 @@
 
 pub mod flow;
 pub mod input_assign;
+pub mod options;
 pub mod paths;
+pub mod phases;
 pub mod progress;
 /// Non-reconvergent fanin regions, re-exported from `tpi-netlist` (the
 /// module moved there so `tpi-lint` can verify placements without a
@@ -43,6 +50,7 @@ pub mod tptime;
 
 pub use flow::{FlowError, FlushFailure, FullScanFlow, PartialScanFlow, PartialScanMethod};
 pub use input_assign::assign_inputs;
+pub use options::FlowOptions;
 pub use paths::{
     enumerate_paths, enumerate_paths_with, PathId, PathSet, ScanPathCandidate, Threads,
 };
@@ -50,4 +58,5 @@ pub use progress::{CancelKind, Canceled, CounterSnapshot, Progress};
 pub use report::{Table1Row, Table3Row};
 pub use tpgreed::{GainUpdate, TpGreed, TpGreedConfig, TpGreedOutcome};
 pub use tpi_netlist::Region;
+pub use tpi_obs::{FlowMetrics, Recorder};
 pub use tptime::{PlanAction, ScanPlan, ScanPlanner};

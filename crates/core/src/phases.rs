@@ -1,0 +1,55 @@
+//! Canonical flow phase names — the single source of truth for the span
+//! trees the flows record (DESIGN.md §9 documents the same lists).
+//!
+//! Each checked flow run records exactly one span per phase, in the
+//! order listed by [`full_scan`] / [`partial_scan`]; a phase with
+//! nothing to do (e.g. stitching when no flip-flop was selected) still
+//! opens its span so the tree *structure* is identical on every input
+//! and thread count.
+
+/// Root span of a `FullScanFlow` run.
+pub const FULL_SCAN: &str = "full_scan";
+/// FF-to-FF candidate path enumeration (§III.A).
+pub const ENUMERATE_PATHS: &str = "enumerate_paths";
+/// The TPGREED greedy insertion loop (§III.A/C).
+pub const TPGREED: &str = "tpgreed";
+/// Free primary-input assignment (§III.B).
+pub const INPUT_ASSIGN: &str = "input_assign";
+/// Physical AND/OR test-point realization.
+pub const INSERT_TEST_POINTS: &str = "insert_test_points";
+/// Chain link construction and stitching.
+pub const STITCH_CHAIN: &str = "stitch_chain";
+/// The §V flush test over the stitched chain.
+pub const FLUSH_CHECK: &str = "flush_check";
+/// Independent `tpi-lint` verification of the flow's claims.
+pub const VERIFY: &str = "verify";
+
+/// Root span of a `PartialScanFlow` run.
+pub const PARTIAL_SCAN: &str = "partial_scan";
+/// Baseline area/delay analysis and s-graph construction.
+pub const BASELINE_ANALYSIS: &str = "baseline_analysis";
+/// The cycle-breaking selection loop (CB / TD-CB / TPTIME §IV.B).
+pub const SELECTION: &str = "selection";
+/// Post-transformation area/delay analysis.
+pub const FINAL_ANALYSIS: &str = "final_analysis";
+
+/// Every phase of a checked full-scan run, in recording order (the root
+/// first; the rest are its children).
+pub fn full_scan() -> &'static [&'static str] {
+    &[
+        FULL_SCAN,
+        ENUMERATE_PATHS,
+        TPGREED,
+        INPUT_ASSIGN,
+        INSERT_TEST_POINTS,
+        STITCH_CHAIN,
+        FLUSH_CHECK,
+        VERIFY,
+    ]
+}
+
+/// Every phase of a checked partial-scan run, in recording order (the
+/// root first; the rest are its children).
+pub fn partial_scan() -> &'static [&'static str] {
+    &[PARTIAL_SCAN, BASELINE_ANALYSIS, SELECTION, STITCH_CHAIN, FLUSH_CHECK, FINAL_ANALYSIS, VERIFY]
+}

@@ -1,0 +1,44 @@
+//! `tpi-obs` — deterministic tracing and metrics for the scanpath DFT
+//! flows.
+//!
+//! Zero-dependency observability substrate shared by every crate in the
+//! workspace:
+//!
+//! * [`Recorder`] — collects a span tree (phase timings), named
+//!   counters, and log₂ latency histograms for one run.
+//! * [`FlowMetrics`] — the finished snapshot attached to flow results
+//!   and job reports, exportable as byte-stable JSON.
+//! * [`json`] — the explicit-field-order JSON writer (moved here from
+//!   `tpi-serve`; re-exported there for compatibility).
+//!
+//! # The determinism quarantine
+//!
+//! Span *structure* and [`Recorder::add`] counters must be byte-identical
+//! across thread counts and runs ([`FlowMetrics::deterministic_json`]).
+//! Durations, histograms, and [`Recorder::add_nd`] counters are
+//! quarantined in a separate `timings` section
+//! ([`FlowMetrics::timings_json`]). See [`metrics`] for the full
+//! contract.
+//!
+//! ```
+//! use tpi_obs::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _phase = rec.span("enumerate_paths");
+//!     rec.add("paths_enumerated", 42);
+//! }
+//! let m = rec.finish();
+//! assert_eq!(
+//!     m.deterministic_json(),
+//!     r#"{"spans":[{"name":"enumerate_paths"}],"counters":{"paths_enumerated":42}}"#
+//! );
+//! ```
+
+pub mod json;
+pub mod metrics;
+
+pub use json::{JsonArray, JsonObject};
+pub use metrics::{
+    FlowMetrics, HistogramSnapshot, Recorder, Span, SpanSnapshot, HISTOGRAM_BUCKETS,
+};

@@ -1,0 +1,470 @@
+//! The recorder: a span tree with monotonic timings, named counters,
+//! and latency histograms.
+//!
+//! # Determinism quarantine
+//!
+//! Everything a [`Recorder`] collects falls on one of two sides of a
+//! hard line:
+//!
+//! * **Deterministic** — the span *structure* (names, nesting, order)
+//!   and the named counters. These must be pure functions of the input
+//!   and configuration: byte-identical at every `threads` setting, on
+//!   every machine, on every run. [`FlowMetrics::deterministic_json`]
+//!   renders exactly this side and nothing else.
+//! * **Non-deterministic** — span durations, histograms, and counters
+//!   recorded through [`Recorder::add_nd`] (e.g. speculative work that
+//!   grows with the worker count). These live in the quarantined
+//!   `timings` section of [`FlowMetrics::to_json`] and never leak into
+//!   the deterministic rendering.
+//!
+//! The split is what lets cached payloads and CI gates `cmp` the
+//! deterministic section while wall-clock numbers still ride along for
+//! humans and dashboards.
+//!
+//! # Threading
+//!
+//! Counters and histograms may be recorded from any thread. **Spans
+//! must be opened and closed by one thread at a time** (in practice:
+//! the thread driving a flow); interleaved spans from racing threads
+//! would nest arbitrarily, which breaks the deterministic-structure
+//! promise (never memory safety — everything is behind one mutex).
+
+use crate::json::{JsonArray, JsonObject};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets per histogram: bucket `i`
+/// counts observations with `micros < 2^i` (the last bucket also
+/// absorbs everything larger).
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A fixed-bucket log₂ latency histogram (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts observations in `[2^(i-1), 2^i)` µs
+    /// (`buckets[0]`: `< 1` µs; the last bucket also counts overflow).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, in µs.
+    pub sum_micros: u64,
+    /// Largest observed value, in µs.
+    pub max_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one observation of `micros`.
+    pub fn observe_micros(&mut self, micros: u64) {
+        let idx = (64 - u64::leading_zeros(micros) as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Mean observation in µs (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// JSON rendering (non-deterministic side only — timings are always
+    /// quarantined).
+    pub fn to_json_object(&self) -> JsonObject {
+        let mut buckets = JsonArray::new();
+        for &b in &self.buckets {
+            buckets.push_u64(b);
+        }
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count)
+            .field_u64("sum_micros", self.sum_micros)
+            .field_u64("max_micros", self.max_micros)
+            .field_array("buckets_log2_micros", buckets);
+        o
+    }
+}
+
+/// One node of a finished span tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    /// Phase name.
+    pub name: String,
+    /// Wall-clock duration in µs (0 if the span never closed).
+    pub micros: u64,
+    /// Child spans, in open order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    micros: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    /// Open-span stack (indices into `nodes`).
+    stack: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    nd_counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Collects spans, counters and histograms for one (or more) runs.
+///
+/// Cheap to share behind an `Arc`; see the module docs for the
+/// determinism quarantine and the threading rules.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+/// RAII guard for one open span: created by [`Recorder::span`], closes
+/// (and records the elapsed wall time) on drop.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+pub struct Span<'a> {
+    rec: &'a Recorder,
+    idx: usize,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.rec.close(self.idx, self.start.elapsed());
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Opens a span named `name`, nested under the innermost open span
+    /// (or as a new root). The returned guard closes it on drop.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        let mut g = self.inner.lock().expect("recorder lock never poisoned");
+        let idx = g.nodes.len();
+        g.nodes.push(Node { name: name.to_string(), micros: 0, children: Vec::new() });
+        match g.stack.last().copied() {
+            Some(parent) => g.nodes[parent].children.push(idx),
+            None => g.roots.push(idx),
+        }
+        g.stack.push(idx);
+        drop(g);
+        Span { rec: self, idx, start: Instant::now() }
+    }
+
+    fn close(&self, idx: usize, elapsed: Duration) {
+        let mut g = self.inner.lock().expect("recorder lock never poisoned");
+        g.nodes[idx].micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Guards normally drop innermost-first; tolerate stragglers.
+        g.stack.retain(|&i| i != idx);
+    }
+
+    /// Adds `n` to the **deterministic** counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut g = self.inner.lock().expect("recorder lock never poisoned");
+        *g.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Adds `n` to the **non-deterministic** counter `name` (quarantined
+    /// into the timings section — use for anything that may vary with
+    /// the worker count, like speculative planning attempts).
+    pub fn add_nd(&self, name: &str, n: u64) {
+        let mut g = self.inner.lock().expect("recorder lock never poisoned");
+        *g.nd_counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Records one duration into histogram `name` (quarantined).
+    pub fn observe(&self, name: &str, d: Duration) {
+        self.observe_micros(name, d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one observation of `micros` into histogram `name`
+    /// (quarantined).
+    pub fn observe_micros(&self, name: &str, micros: u64) {
+        let mut g = self.inner.lock().expect("recorder lock never poisoned");
+        g.histograms.entry(name.to_string()).or_default().observe_micros(micros);
+    }
+
+    /// Current value of deterministic counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        let g = self.inner.lock().expect("recorder lock never poisoned");
+        g.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of histogram `name`, if it has any observations.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let g = self.inner.lock().expect("recorder lock never poisoned");
+        g.histograms.get(name).copied()
+    }
+
+    /// Snapshots everything recorded so far into a [`FlowMetrics`].
+    /// Spans still open at this point report 0 µs (their structure is
+    /// already in the tree).
+    pub fn finish(&self) -> FlowMetrics {
+        let g = self.inner.lock().expect("recorder lock never poisoned");
+        fn build(nodes: &[Node], idx: usize) -> SpanSnapshot {
+            SpanSnapshot {
+                name: nodes[idx].name.clone(),
+                micros: nodes[idx].micros,
+                children: nodes[idx].children.iter().map(|&c| build(nodes, c)).collect(),
+            }
+        }
+        FlowMetrics {
+            spans: g.roots.iter().map(|&r| build(&g.nodes, r)).collect(),
+            counters: g.counters.clone(),
+            nd_counters: g.nd_counters.clone(),
+            histograms: g.histograms.clone(),
+        }
+    }
+}
+
+/// A finished metrics snapshot: span tree, counters, and quarantined
+/// timings. Attached to flow results and job reports; renderable as
+/// byte-stable JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlowMetrics {
+    /// Root spans in open order (usually exactly one per run).
+    pub spans: Vec<SpanSnapshot>,
+    /// Deterministic counters (thread-count-independent by contract).
+    pub counters: BTreeMap<String, u64>,
+    /// Non-deterministic counters (may vary with worker count).
+    pub nd_counters: BTreeMap<String, u64>,
+    /// Latency histograms (always non-deterministic).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl FlowMetrics {
+    /// The **deterministic section**: span structure (names + nesting,
+    /// no durations) and deterministic counters. Byte-identical across
+    /// `threads` settings for the same input — CI `cmp`s this.
+    pub fn deterministic_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_array("spans", spans_structure(&self.spans));
+        o.field_object("counters", counters_object(&self.counters));
+        o.finish()
+    }
+
+    /// The quarantined **timings section**: span durations, histograms,
+    /// and non-deterministic counters. Varies run to run; never `cmp`
+    /// this.
+    pub fn timings_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_array("spans", spans_timed(&self.spans));
+        o.field_object("nd_counters", counters_object(&self.nd_counters));
+        let mut hists = JsonObject::new();
+        for (name, h) in &self.histograms {
+            hists.field_object(name, h.to_json_object());
+        }
+        o.field_object("histograms", hists);
+        o.finish()
+    }
+
+    /// Full export: `{"schema":"tpi-obs/v1","deterministic":…,
+    /// "timings":…}`. The two sections are the same strings
+    /// [`FlowMetrics::deterministic_json`] and
+    /// [`FlowMetrics::timings_json`] return.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"schema":"tpi-obs/v1","deterministic":{},"timings":{}}}"#,
+            self.deterministic_json(),
+            self.timings_json()
+        )
+    }
+
+    /// Every span name in the tree, preorder.
+    pub fn span_names(&self) -> Vec<&str> {
+        fn walk<'a>(s: &'a SpanSnapshot, out: &mut Vec<&'a str>) {
+            out.push(&s.name);
+            for c in &s.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        for s in &self.spans {
+            walk(s, &mut out);
+        }
+        out
+    }
+
+    /// How many spans in the tree carry `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.span_names().iter().filter(|&&n| n == name).count()
+    }
+
+    /// Value of deterministic counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+fn counters_object(counters: &BTreeMap<String, u64>) -> JsonObject {
+    let mut o = JsonObject::new();
+    for (name, &v) in counters {
+        o.field_u64(name, v);
+    }
+    o
+}
+
+fn spans_structure(spans: &[SpanSnapshot]) -> JsonArray {
+    let mut a = JsonArray::new();
+    for s in spans {
+        let mut o = JsonObject::new();
+        o.field_str("name", &s.name);
+        if !s.children.is_empty() {
+            o.field_array("children", spans_structure(&s.children));
+        }
+        a.push_object(o);
+    }
+    a
+}
+
+fn spans_timed(spans: &[SpanSnapshot]) -> JsonArray {
+    let mut a = JsonArray::new();
+    for s in spans {
+        let mut o = JsonObject::new();
+        o.field_str("name", &s.name).field_u64("micros", s.micros);
+        if !s.children.is_empty() {
+            o.field_array("children", spans_timed(&s.children));
+        }
+        a.push_object(o);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let rec = Recorder::new();
+        {
+            let _root = rec.span("root");
+            {
+                let _a = rec.span("a");
+            }
+            let _b = rec.span("b");
+        }
+        let m = rec.finish();
+        assert_eq!(m.span_names(), vec!["root", "a", "b"]);
+        assert_eq!(m.spans.len(), 1);
+        assert_eq!(m.spans[0].children.len(), 2);
+        assert_eq!(m.span_count("a"), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_by_name() {
+        let rec = Recorder::new();
+        rec.add("x", 2);
+        rec.add("x", 3);
+        rec.add_nd("spec", 7);
+        let m = rec.finish();
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.nd_counters.get("spec"), Some(&7));
+    }
+
+    #[test]
+    fn deterministic_json_has_no_timings() {
+        let rec = Recorder::new();
+        {
+            let _s = rec.span("phase");
+            rec.add("n", 1);
+        }
+        rec.observe_micros("lat", 1500);
+        rec.add_nd("spec", 1);
+        let det = rec.finish().deterministic_json();
+        assert_eq!(det, r#"{"spans":[{"name":"phase"}],"counters":{"n":1}}"#);
+        assert!(!det.contains("micros"));
+        assert!(!det.contains("spec"));
+    }
+
+    #[test]
+    fn timings_json_quarantines_durations_and_histograms() {
+        let rec = Recorder::new();
+        {
+            let _s = rec.span("phase");
+        }
+        rec.observe_micros("lat", 3);
+        rec.add_nd("spec", 2);
+        let t = rec.finish().timings_json();
+        assert!(t.contains(r#""name":"phase","micros":"#), "{t}");
+        assert!(t.contains(r#""spec":2"#), "{t}");
+        assert!(t.contains(r#""lat":{"count":1,"sum_micros":3"#), "{t}");
+    }
+
+    #[test]
+    fn full_json_wraps_both_sections() {
+        let rec = Recorder::new();
+        rec.add("c", 1);
+        let m = rec.finish();
+        let j = m.to_json();
+        assert!(j.starts_with(r#"{"schema":"tpi-obs/v1","deterministic":{"#), "{j}");
+        assert!(j.contains(r#""timings":{"#), "{j}");
+        assert!(j.contains(&m.deterministic_json()), "sections are verbatim");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = HistogramSnapshot::default();
+        h.observe_micros(0); // bucket 0
+        h.observe_micros(1); // bucket 1 (< 2)
+        h.observe_micros(1023); // bucket 10 (< 1024)
+        h.observe_micros(u64::MAX); // clamped to last bucket
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.max_micros, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = HistogramSnapshot::default();
+        assert_eq!(h.mean_micros(), 0.0);
+        h.observe_micros(10);
+        h.observe_micros(20);
+        assert!((h.mean_micros() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads_for_counters() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = std::sync::Arc::clone(&rec);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        rec.add("hits", 1);
+                        rec.observe_micros("lat", 5);
+                    }
+                });
+            }
+        });
+        let m = rec.finish();
+        assert_eq!(m.counter("hits"), 400);
+        assert_eq!(m.histograms["lat"].count, 400);
+    }
+}

@@ -1,7 +1,7 @@
 //! Job descriptions: what to run, on what, with how much time.
 
 use std::time::Duration;
-use tpi_core::{PartialScanMethod, TpGreedConfig};
+use tpi_core::{FlowOptions, PartialScanMethod, TpGreedConfig};
 use tpi_netlist::{parse_blif, Netlist, ParseBlifError};
 
 /// Where the job's netlist comes from.
@@ -61,9 +61,13 @@ pub struct JobSpec {
     pub source: NetlistSource,
     /// The flow to run on it.
     pub flow: FlowKind,
-    /// Per-job deadline, measured from submission; `None` falls back to
-    /// the service default (which may also be `None` = unbounded).
-    pub deadline: Option<Duration>,
+    /// Per-job run options — the same [`FlowOptions`] the flows take
+    /// directly. A deadline is measured from *submission* (queue time
+    /// counts); when unset it falls back to the service default. An
+    /// attached metrics recorder receives the job's phase spans in
+    /// addition to the per-job [`crate::JobReport::metrics`]. A thread
+    /// override takes precedence over the service-level knob.
+    pub options: FlowOptions,
 }
 
 impl JobSpec {
@@ -72,18 +76,32 @@ impl JobSpec {
         JobSpec {
             source: source.into(),
             flow: FlowKind::FullScan(TpGreedConfig::default()),
-            deadline: None,
+            options: FlowOptions::new(),
         }
     }
 
     /// Partial-scan job with the given method.
     pub fn partial(source: impl Into<NetlistSource>, method: PartialScanMethod) -> Self {
-        JobSpec { source: source.into(), flow: FlowKind::Partial(method), deadline: None }
+        JobSpec {
+            source: source.into(),
+            flow: FlowKind::Partial(method),
+            options: FlowOptions::new(),
+        }
     }
 
     /// Sets an explicit deadline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_options(FlowOptions::new().with_deadline(..))`"
+    )]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
+        self.options = self.options.with_deadline(deadline);
+        self
+    }
+
+    /// Replaces the job's run options wholesale.
+    pub fn with_options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
         self
     }
 

@@ -25,6 +25,14 @@
 //! thread-count-independent counters and results, so a cold run, a warm
 //! cache hit, and a run at any `threads` setting produce byte-identical
 //! bytes for the same netlist + config.
+//!
+//! Observability (PR 4): jobs carry their run knobs as a
+//! [`tpi_core::FlowOptions`] (threads / progress / deadline / metrics in
+//! one builder), every live run's phase spans and counters ride on
+//! [`JobReport::metrics`] as a [`tpi_obs::FlowMetrics`], and each report
+//! also snapshots the aggregate service metrics — job counts, cache hit
+//! rate, queue-latency histogram — as [`MetricsSnapshot`]
+//! ([`JobService::metrics_json`] renders the same snapshot on demand).
 
 pub mod cache;
 pub mod job;
@@ -36,3 +44,4 @@ pub use cache::{CacheSource, ResultCache};
 pub use job::{FlowKind, JobSpec, NetlistSource};
 pub use key::{cache_key, netlist_fingerprint, CacheKey, Fnv64};
 pub use service::{JobHandle, JobReport, JobService, JobStatus, MetricsSnapshot, ServiceConfig};
+pub use tpi_core::FlowOptions;

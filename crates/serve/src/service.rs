@@ -9,8 +9,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
-use tpi_core::{CancelKind, CounterSnapshot, FlowError, FullScanFlow, PartialScanFlow, Progress};
+use tpi_core::{
+    CancelKind, CounterSnapshot, FlowError, FlowOptions, FullScanFlow, PartialScanFlow, Progress,
+};
 use tpi_lint::{has_errors, lint_netlist, Diagnostic, LintCode, LintConfig};
+use tpi_obs::{FlowMetrics, HistogramSnapshot, Recorder};
 use tpi_par::{Threads, WorkerPool};
 
 /// Service-wide configuration.
@@ -93,6 +96,12 @@ pub struct JobReport {
     /// Lint findings for this job: pre-flight structural warnings, and
     /// — when the job failed verification — the verifier's findings.
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-phase spans and counters recorded by this job's live run
+    /// (empty for cache hits and pre-run failures: nothing ran).
+    pub metrics: FlowMetrics,
+    /// Aggregate service metrics — jobs, cache hit/miss counts, queue
+    /// latency histogram — snapshotted when this job finished.
+    pub service: MetricsSnapshot,
 }
 
 /// Handle to one submitted job.
@@ -127,6 +136,8 @@ impl JobHandle {
             counters: CounterSnapshot::default(),
             verified: false,
             diagnostics: Vec::new(),
+            metrics: FlowMetrics::default(),
+            service: MetricsSnapshot::default(),
         })
     }
 }
@@ -163,11 +174,51 @@ pub struct MetricsSnapshot {
     pub canceled: u64,
     /// Bad jobs (parse errors, flow panics, flush failures).
     pub failed: u64,
+    /// Time jobs spent queued before a worker picked them up (log₂-µs
+    /// buckets).
+    pub queue_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of completed lookups served from a cache (memory or
+    /// disk); `0.0` before any lookup resolved.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits_memory + self.cache_hits_disk;
+        let total = hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the snapshot as JSON (`tpi-serve-metrics/v1`). Counters
+    /// and the hit rate are deterministic for a deterministic job
+    /// sequence; the queue-latency histogram is wall-clock data and
+    /// belongs to no byte-stability contract.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("schema", "tpi-serve-metrics/v1")
+            .field_u64("submitted", self.submitted)
+            .field_u64("completed", self.completed)
+            .field_u64("cache_hits_memory", self.cache_hits_memory)
+            .field_u64("cache_hits_disk", self.cache_hits_disk)
+            .field_u64("cache_misses", self.cache_misses)
+            .field_u64("timed_out", self.timed_out)
+            .field_u64("canceled", self.canceled)
+            .field_u64("failed", self.failed)
+            .field_f64("cache_hit_rate", self.cache_hit_rate())
+            .field_object("queue_latency", self.queue_latency.to_json_object());
+        o.finish()
+    }
 }
 
 struct Shared {
     cache: Mutex<ResultCache>,
     metrics: Metrics,
+    /// Service-level observability: queue-latency and job-wall
+    /// histograms (per-job span trees live in per-job recorders).
+    obs: Recorder,
     threads: usize,
 }
 
@@ -209,6 +260,7 @@ impl JobService {
         let shared = Arc::new(Shared {
             cache: Mutex::new(ResultCache::new(cache_capacity, cache_dir)),
             metrics: Metrics::default(),
+            obs: Recorder::new(),
             threads,
         });
         JobService {
@@ -229,15 +281,23 @@ impl JobService {
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        let progress = Arc::new(match spec.deadline.or(self.default_deadline) {
-            Some(d) => Progress::with_deadline(d),
-            None => Progress::new(),
-        });
+        // An explicit progress token in the job's options wins (its own
+        // deadline, if any, governs); otherwise arm a fresh token from
+        // the per-job or service-default deadline — built *now* so queue
+        // time counts against it.
+        let progress = match spec.options.progress() {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(match spec.options.deadline().or(self.default_deadline) {
+                Some(d) => Progress::with_deadline(d),
+                None => Progress::new(),
+            }),
+        };
+        let submitted_at = Instant::now();
         let (tx, rx) = mpsc::channel();
         let shared = Arc::clone(&self.shared);
         let worker_progress = Arc::clone(&progress);
         self.pool.spawn(move || {
-            let report = execute(&shared, id, spec, &worker_progress);
+            let report = execute(&shared, id, spec, &worker_progress, submitted_at);
             let _ = tx.send(report); // receiver may have been dropped
         });
         JobHandle { id, rx, progress }
@@ -250,28 +310,49 @@ impl JobService {
         handles.into_iter().map(JobHandle::wait).collect()
     }
 
-    /// Current counters.
+    /// Current counters (plus the queue-latency histogram).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let m = &self.shared.metrics;
-        MetricsSnapshot {
-            submitted: m.submitted.load(Ordering::Relaxed),
-            completed: m.completed.load(Ordering::Relaxed),
-            cache_hits_memory: m.cache_hits_memory.load(Ordering::Relaxed),
-            cache_hits_disk: m.cache_hits_disk.load(Ordering::Relaxed),
-            cache_misses: m.cache_misses.load(Ordering::Relaxed),
-            timed_out: m.timed_out.load(Ordering::Relaxed),
-            canceled: m.canceled.load(Ordering::Relaxed),
-            failed: m.failed.load(Ordering::Relaxed),
-        }
+        metrics_snapshot(&self.shared)
+    }
+
+    /// The aggregate service metrics as JSON (`tpi-serve-metrics/v1`).
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
+
+/// Builds a [`MetricsSnapshot`] from the shared state.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let m = &shared.metrics;
+    MetricsSnapshot {
+        submitted: m.submitted.load(Ordering::Relaxed),
+        completed: m.completed.load(Ordering::Relaxed),
+        cache_hits_memory: m.cache_hits_memory.load(Ordering::Relaxed),
+        cache_hits_disk: m.cache_hits_disk.load(Ordering::Relaxed),
+        cache_misses: m.cache_misses.load(Ordering::Relaxed),
+        timed_out: m.timed_out.load(Ordering::Relaxed),
+        canceled: m.canceled.load(Ordering::Relaxed),
+        failed: m.failed.load(Ordering::Relaxed),
+        queue_latency: shared.obs.histogram("queue_latency").unwrap_or_default(),
     }
 }
 
 /// Runs one job on a worker thread. Never panics outward: flow panics
 /// are caught and reported as [`JobStatus::Failed`] so one bad job
 /// cannot take a pool thread down.
-fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) -> JobReport {
+fn execute(
+    shared: &Shared,
+    id: u64,
+    spec: JobSpec,
+    progress: &Arc<Progress>,
+    submitted_at: Instant,
+) -> JobReport {
     let t0 = Instant::now();
+    shared.obs.observe("queue_latency", t0.duration_since(submitted_at));
     let flow_label = spec.flow.label();
+    // The job's recorder: the caller's (when attached via options) or a
+    // private one; either way its snapshot rides on the report.
+    let rec = spec.options.metrics().cloned().unwrap_or_default();
     let report = |status: JobStatus,
                   key: Option<CacheKey>,
                   payload: Option<Arc<str>>,
@@ -285,6 +366,7 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
             JobStatus::Canceled => m.canceled.fetch_add(1, Ordering::Relaxed),
             JobStatus::Failed(_) => m.failed.fetch_add(1, Ordering::Relaxed),
         };
+        shared.obs.observe("job_wall", t0.elapsed());
         JobReport {
             id,
             flow: flow_label,
@@ -296,6 +378,8 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
             counters: progress.snapshot(),
             verified,
             diagnostics,
+            metrics: rec.finish(),
+            service: metrics_snapshot(shared),
         }
     };
 
@@ -364,7 +448,8 @@ fn execute(shared: &Shared, id: u64, spec: JobSpec, progress: &Arc<Progress>) ->
     }
     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-    let ran = catch_unwind(AssertUnwindSafe(|| run_flow(shared, &spec.flow, &netlist, progress)));
+    let ran =
+        catch_unwind(AssertUnwindSafe(|| run_flow(shared, &spec.flow, &netlist, progress, &rec)));
     let payload = match ran {
         Ok(Ok(payload)) => payload,
         Ok(Err(FlowError::Canceled(kind))) => {
@@ -428,7 +513,9 @@ fn run_flow(
     flow: &FlowKind,
     netlist: &tpi_netlist::Netlist,
     progress: &Arc<Progress>,
+    rec: &Arc<Recorder>,
 ) -> Result<String, FlowError> {
+    let opts = FlowOptions::new().with_progress(Arc::clone(progress)).with_metrics(Arc::clone(rec));
     match flow {
         FlowKind::FullScan(cfg) => {
             let mut cfg = cfg.clone();
@@ -436,8 +523,8 @@ fn run_flow(
                 // An unset per-job knob inherits the service's.
                 cfg.threads = shared.threads;
             }
-            let r = FullScanFlow { config: cfg, ..FullScanFlow::default() }
-                .run_checked(netlist, progress)?;
+            let r =
+                FullScanFlow { config: cfg, ..FullScanFlow::default() }.run_with(netlist, &opts)?;
             let mut o = JsonObject::new();
             o.field_str("schema", "tpi-serve/v1")
                 .field_str("circuit", &r.row.circuit)
@@ -449,7 +536,7 @@ fn run_flow(
                 .field_f64("mux_reduction_pct", r.row.reduction())
                 .field_u64("chain_len", r.chain.len() as u64)
                 .field_bool("flush_passed", r.flush.passed())
-                // `run_checked` re-derived every claim through tpi-lint's
+                // `run_with` re-derived every claim through tpi-lint's
                 // verifier before returning, so a payload existing at all
                 // means the result verified.
                 .field_bool("verified", true)
@@ -458,8 +545,7 @@ fn run_flow(
         }
         FlowKind::Partial(method) => {
             let r = PartialScanFlow::new(*method)
-                .with_threads(shared.threads)
-                .run_checked(netlist, progress)?;
+                .run_with(netlist, &opts.with_threads(shared.threads))?;
             let mut o = JsonObject::new();
             o.field_str("schema", "tpi-serve/v1")
                 .field_str("circuit", &r.row.circuit)
@@ -549,7 +635,7 @@ mod tests {
             .submit(JobSpec {
                 source: crate::NetlistSource::Blif(".model broken\n.nonsense\n".into()),
                 flow: FlowKind::FullScan(Default::default()),
-                deadline: None,
+                options: FlowOptions::new(),
             })
             .wait();
         assert!(matches!(&r.status, JobStatus::Failed(m) if m.contains("parse")));
@@ -582,6 +668,43 @@ mod tests {
         assert!(!r.verified);
         assert!(r.diagnostics.iter().any(|d| d.code == LintCode::CombCycle), "{:?}", r.diagnostics);
         assert_eq!(s.metrics().failed, 1);
+    }
+
+    #[test]
+    fn job_report_carries_flow_metrics_and_service_snapshot() {
+        let s = JobService::new(ServiceConfig::default());
+        let cold = s.submit(JobSpec::full_scan(ring())).wait();
+        assert_eq!(cold.metrics.span_count("full_scan"), 1, "one root span per live run");
+        assert!(cold.metrics.counter("paths_enumerated") > 0);
+        assert_eq!(cold.service.cache_misses, 1);
+        let warm = s.submit(JobSpec::full_scan(ring())).wait();
+        assert!(warm.metrics.spans.is_empty(), "cache hits run no flow");
+        assert_eq!(warm.service.cache_hits_memory, 1);
+        assert!(warm.service.queue_latency.count >= 2, "every executed job is observed");
+        let j = s.metrics_json();
+        assert!(j.starts_with(r#"{"schema":"tpi-serve-metrics/v1""#), "{j}");
+        assert!(j.contains(r#""cache_hit_rate":0.5"#), "{j}");
+    }
+
+    #[test]
+    fn job_options_deadline_times_out() {
+        let s = JobService::new(ServiceConfig::default());
+        let r = s
+            .submit(
+                JobSpec::full_scan(ring())
+                    .with_options(FlowOptions::new().with_deadline(Duration::ZERO)),
+            )
+            .wait();
+        assert_eq!(r.status, JobStatus::TimedOut);
+        assert_eq!(s.metrics().timed_out, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_deadline_forwards_to_options() {
+        let s = JobService::new(ServiceConfig::default());
+        let r = s.submit(JobSpec::full_scan(ring()).with_deadline(Duration::ZERO)).wait();
+        assert_eq!(r.status, JobStatus::TimedOut);
     }
 
     #[test]

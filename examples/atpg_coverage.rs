@@ -14,7 +14,7 @@ use scanpath::atpg::{
     fault_list, generate_tests, scan_apply, sequential_random_coverage, CombView, FaultSim,
 };
 use scanpath::netlist::transform::compact;
-use scanpath::tpi::flow::FullScanFlow;
+use scanpath::tpi::FullScanFlow;
 use scanpath::workloads::iscas::s27;
 use scanpath::workloads::{generate, CircuitSpec, StructureClass};
 

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example full_scan_flow`
 
-use scanpath::tpi::flow::FullScanFlow;
+use scanpath::tpi::FullScanFlow;
 use scanpath::workloads::{generate, suite};
 
 fn main() {

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example netlist_io`
 
 use scanpath::netlist::{parse_blif, write_blif, write_verilog};
-use scanpath::tpi::flow::FullScanFlow;
+use scanpath::tpi::FullScanFlow;
 use scanpath::workloads::iscas::s27;
 
 fn main() {

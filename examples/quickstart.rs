@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use scanpath::netlist::{GateKind, NetlistBuilder};
-use scanpath::tpi::flow::FullScanFlow;
+use scanpath::tpi::{FlowOptions, FullScanFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 4-flip-flop design: F1 feeds F2 through an OR gate gated by the
@@ -43,5 +43,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("  flush test: {}", if result.flush.passed() { "PASS" } else { "FAIL" });
     assert!(result.flush.passed());
+
+    // The same flow through the fallible entry point, with options: every
+    // phase is traced into `result.metrics` (deterministic span structure
+    // and counters; wall times quarantined in a separate section).
+    let traced = FullScanFlow::default().run_with(&netlist, &FlowOptions::new().with_threads(1))?;
+    println!("  phases: {}", traced.metrics.span_names().join(" > "));
+    println!(
+        "  counters: {} candidates evaluated over {} rounds",
+        traced.metrics.counter("candidates_evaluated"),
+        traced.metrics.counter("rounds"),
+    );
     Ok(())
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example timing_driven_partial_scan`
 
-use scanpath::tpi::flow::{PartialScanFlow, PartialScanMethod};
+use scanpath::tpi::{PartialScanFlow, PartialScanMethod};
 use scanpath::workloads::{generate, suite};
 
 fn main() {

@@ -17,6 +17,8 @@
 //!   content-addressed result cache, deadlines and run metrics;
 //! * [`lint`] — static analysis: structural netlist lints and an
 //!   independent re-verification of every DFT claim the flows make;
+//! * [`obs`] — deterministic tracing and metrics: span trees, counters,
+//!   histograms, and the byte-stable JSON writer every crate shares;
 //! * [`workloads`] — the figure circuits, `s27`, and the synthetic
 //!   ISCAS89/MCNC91-calibrated benchmark suite.
 //!
@@ -26,6 +28,7 @@ pub use tpi_atpg as atpg;
 pub use tpi_core as tpi;
 pub use tpi_lint as lint;
 pub use tpi_netlist as netlist;
+pub use tpi_obs as obs;
 pub use tpi_scan as scan;
 pub use tpi_serve as serve;
 pub use tpi_sim as sim;

@@ -1,0 +1,113 @@
+//! Integration tests for the observability layer: the deterministic
+//! metrics section must be byte-identical across thread counts, and the
+//! span tree must name every flow phase from DESIGN.md exactly once.
+
+use scanpath::obs::Recorder;
+use scanpath::tpi::{
+    phases, FlowMetrics, FlowOptions, FullScanFlow, PartialScanFlow, PartialScanMethod,
+};
+use scanpath::workloads::{generate, smoke_suite};
+use std::sync::Arc;
+
+/// The thread settings the determinism gate sweeps: serial, two workers,
+/// and all hardware threads.
+const THREAD_SETTINGS: [usize; 3] = [1, 2, 0];
+
+type FlowRunner = fn(&scanpath::netlist::Netlist, usize) -> FlowMetrics;
+
+fn run_full(n: &scanpath::netlist::Netlist, threads: usize) -> FlowMetrics {
+    FullScanFlow::default()
+        .run_with(n, &FlowOptions::new().with_threads(threads))
+        .expect("smoke full scan succeeds")
+        .metrics
+}
+
+fn run_tptime(n: &scanpath::netlist::Netlist, threads: usize) -> FlowMetrics {
+    PartialScanFlow::new(PartialScanMethod::TpTime)
+        .run_with(n, &FlowOptions::new().with_threads(threads))
+        .expect("smoke TPTIME succeeds")
+        .metrics
+}
+
+#[test]
+fn deterministic_section_is_byte_identical_across_thread_counts() {
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        let flows: [(&str, FlowRunner); 2] = [("full-scan", run_full), ("tptime", run_tptime)];
+        for (flow, run) in flows {
+            let sections: Vec<String> =
+                THREAD_SETTINGS.iter().map(|&t| run(&n, t).deterministic_json()).collect();
+            for (i, s) in sections.iter().enumerate() {
+                assert_eq!(
+                    s, &sections[0],
+                    "{} [{flow}]: deterministic section at --threads {} differs from --threads {}",
+                    spec.name, THREAD_SETTINGS[i], THREAD_SETTINGS[0],
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_full_scan_phase_appears_exactly_once() {
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        let m = run_full(&n, 1);
+        assert_eq!(
+            m.span_names(),
+            phases::full_scan(),
+            "{}: full-scan span tree must name each DESIGN.md phase once, in order",
+            spec.name
+        );
+        for p in phases::full_scan() {
+            assert_eq!(m.span_count(p), 1, "{}: phase {p} count", spec.name);
+        }
+    }
+}
+
+#[test]
+fn every_partial_scan_phase_appears_exactly_once() {
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        let m = run_tptime(&n, 1);
+        assert_eq!(
+            m.span_names(),
+            phases::partial_scan(),
+            "{}: partial-scan span tree must name each DESIGN.md phase once, in order",
+            spec.name
+        );
+        for p in phases::partial_scan() {
+            assert_eq!(m.span_count(p), 1, "{}: phase {p} count", spec.name);
+        }
+    }
+}
+
+#[test]
+fn to_json_carries_schema_and_both_sections() {
+    let spec = &smoke_suite()[0];
+    let n = generate(spec);
+    let m = run_full(&n, 1);
+    let json = m.to_json();
+    assert!(json.starts_with(r#"{"schema":"tpi-obs/v1","deterministic":"#), "{json}");
+    assert!(json.contains(r#""timings":"#), "{json}");
+    // The quarantine rule: no wall-clock field leaks into the
+    // deterministic section.
+    assert!(!m.deterministic_json().contains("micros"), "{}", m.deterministic_json());
+}
+
+#[test]
+fn shared_recorder_aggregates_counters_across_flows() {
+    let spec = &smoke_suite()[0];
+    let n = generate(spec);
+    let rec = Arc::new(Recorder::new());
+    let opts = FlowOptions::new().with_threads(1).with_metrics(Arc::clone(&rec));
+    let once = FullScanFlow::default().run_with(&n, &opts).expect("first run").metrics;
+    FullScanFlow::default().run_with(&n, &opts).expect("second run");
+    let both = rec.finish();
+    assert_eq!(both.span_count(phases::FULL_SCAN), 2);
+    assert_eq!(
+        both.counter("candidates_evaluated"),
+        2 * once.counter("candidates_evaluated"),
+        "counters accumulate across runs on a shared recorder"
+    );
+}

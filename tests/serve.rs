@@ -6,7 +6,7 @@ use scanpath::serve::{
     cache_key, netlist_fingerprint, CacheSource, FlowKind, JobService, JobSpec, JobStatus,
     NetlistSource, ServiceConfig,
 };
-use scanpath::tpi::{PartialScanMethod, TpGreedConfig};
+use scanpath::tpi::{FlowOptions, PartialScanMethod, TpGreedConfig};
 use scanpath::workloads::iscas::s27;
 use scanpath::workloads::{generate, smoke_suite, CircuitSpec, StructureClass};
 use std::path::PathBuf;
@@ -128,7 +128,9 @@ fn zero_deadline_times_out_deterministically() {
     let service = JobService::new(ServiceConfig::default());
     let n = generate(&large_spec());
     for _ in 0..3 {
-        let r = service.submit(JobSpec::full_scan(n.clone()).with_deadline(Duration::ZERO)).wait();
+        let spec = JobSpec::full_scan(n.clone())
+            .with_options(FlowOptions::new().with_deadline(Duration::ZERO));
+        let r = service.submit(spec).wait();
         assert_eq!(r.status, JobStatus::TimedOut);
         assert!(r.payload.is_none());
     }
@@ -148,7 +150,12 @@ fn timed_out_job_does_not_poison_the_cache() {
     let service =
         JobService::new(ServiceConfig { cache_dir: Some(dir.clone()), ..ServiceConfig::default() });
     let n = generate(&large_spec());
-    let t = service.submit(JobSpec::full_scan(n.clone()).with_deadline(Duration::ZERO)).wait();
+    let t = service
+        .submit(
+            JobSpec::full_scan(n.clone())
+                .with_options(FlowOptions::new().with_deadline(Duration::ZERO)),
+        )
+        .wait();
     assert_eq!(t.status, JobStatus::TimedOut);
     let ok = service.submit(JobSpec::full_scan(n)).wait();
     assert_eq!(ok.status, JobStatus::Completed);
@@ -165,8 +172,9 @@ fn default_deadline_applies_to_deadline_free_jobs() {
     let r = service.submit(JobSpec::full_scan(s27())).wait();
     assert_eq!(r.status, JobStatus::TimedOut);
     // An explicit per-job deadline overrides the default.
-    let r =
-        service.submit(JobSpec::full_scan(s27()).with_deadline(Duration::from_secs(120))).wait();
+    let spec = JobSpec::full_scan(s27())
+        .with_options(FlowOptions::new().with_deadline(Duration::from_secs(120)));
+    let r = service.submit(spec).wait();
     assert_eq!(r.status, JobStatus::Completed);
 }
 
