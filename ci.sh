@@ -26,6 +26,29 @@ BATCH=target/debug/tpi-batch
 "$BATCH" --cache-dir "$SMOKE/cache" --out "$SMOKE/warm" "$SMOKE/work"
 diff -r "$SMOKE/cold" "$SMOKE/warm"
 
+echo "== tpi-netd/tpi-cli loopback smoke (report identical to in-process run) =="
+cargo build -q -p tpi-net --bin tpi-netd --bin tpi-cli
+NETD=target/debug/tpi-netd
+NETCLI=target/debug/tpi-cli
+"$NETD" --addr-file "$SMOKE/netd.addr" >"$SMOKE/netd.log" 2>&1 &
+NETD_PID=$!
+for _ in $(seq 1 50); do [ -s "$SMOKE/netd.addr" ] && break; sleep 0.1; done
+ADDR="$(cat "$SMOKE/netd.addr")"
+"$NETCLI" --addr "$ADDR" --ping
+"$NETCLI" --addr "$ADDR" "$SMOKE/work/s27.blif" > "$SMOKE/over-wire.json"
+# The same job in-process (cold cache): payloads must be byte-identical
+# ($(...) strips tpi-cli's trailing newline; --out files carry none).
+printf '%s' "$(cat "$SMOKE/over-wire.json")" > "$SMOKE/over-wire.trimmed"
+cmp "$SMOKE/over-wire.trimmed" "$SMOKE/cold/s27.full-scan.json"
+"$NETCLI" --addr "$ADDR" --metrics | grep -q '"schema":"tpi-netd-metrics/v1"'
+"$NETCLI" --addr "$ADDR" --shutdown
+wait "$NETD_PID"
+grep -q "drained and stopped" "$SMOKE/netd.log"
+# Network batch mode: 4 connections against a capped in-process server,
+# byte-identical to the cold in-process payloads.
+"$BATCH" --jobs 4 --out "$SMOKE/net" "$SMOKE/work"
+diff -r "$SMOKE/net" "$SMOKE/cold"
+
 echo "== tpi-lint over generated workloads (deny errors; JSON byte-stable) =="
 cargo build -q -p tpi-lint --bin tpi-lint
 LINT=target/debug/tpi-lint

@@ -16,6 +16,15 @@
 //! directory is served from cache, byte-identically, at a fraction of
 //! the wall clock — that cold/warm comparison is the point of the tool.
 //!
+//! Network mode (`--jobs N`): instead of calling the service
+//! in-process, `tpi-batch` starts an in-process `tpi-netd`, then
+//! submits every job through `N` concurrent client connections. The
+//! server's connection cap is deliberately set *below* `N` (to
+//! `max(1, ⌈N/2⌉)`), so the run exercises the `Busy` → seeded-backoff
+//! retry loop — the same backpressure path a saturated production
+//! server would take. Results and summary lines are the same either
+//! way; so are the payload bytes (that is the protocol's contract).
+//!
 //! Generate mode (to make a workload directory in the first place):
 //!
 //! ```text
@@ -27,15 +36,20 @@
 
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tpi_bench::{ArgCursor, Cli};
 use tpi_core::PartialScanMethod;
+use tpi_net::{Client, ClientConfig, NetServer, ServerConfig, WireRequest};
 use tpi_netlist::write_blif;
 use tpi_serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
 use tpi_workloads::{generate, iscas, smoke_suite, suite};
 
 fn usage() -> ! {
-    eprintln!("usage: tpi-batch [--threads N] [--cache-dir DIR] [--out DIR] [--deadline-ms M] DIR");
+    eprintln!(
+        "usage: tpi-batch [--threads N] [--jobs N] [--cache-dir DIR] [--out DIR] \
+         [--deadline-ms M] DIR"
+    );
     eprintln!("       tpi-batch --generate DIR [--small]");
     exit(2);
 }
@@ -48,12 +62,21 @@ fn main() {
     let mut deadline: Option<Duration> = None;
     let mut generate_dir: Option<PathBuf> = None;
     let mut small = false;
+    let mut jobs: Option<usize> = None;
     let mut workload_dir: Option<PathBuf> = None;
 
     let mut it = ArgCursor::new(cli.args);
     while let Some(a) = it.next_arg() {
         match a.as_str() {
             "--cache-dir" => cache_dir = Some(PathBuf::from(it.value("--cache-dir"))),
+            "--jobs" => {
+                let n: usize = it.parsed_value("--jobs", "a positive integer");
+                if n == 0 {
+                    eprintln!("--jobs must be at least 1");
+                    exit(2);
+                }
+                jobs = Some(n);
+            }
             "--out" => out_dir = Some(PathBuf::from(it.value("--out"))),
             "--deadline-ms" => {
                 let ms: u64 = it.parsed_value("--deadline-ms", "a non-negative integer");
@@ -106,16 +129,30 @@ fn main() {
         }
     }
 
-    let service = JobService::new(ServiceConfig {
+    let service = Arc::new(JobService::new(ServiceConfig {
         threads,
         cache_dir,
         default_deadline: deadline,
         ..ServiceConfig::default()
-    });
-    println!("tpi-batch: {} files x 2 flows on {} worker(s)", files.len(), service.workers());
+    }));
+    match jobs {
+        Some(n) => println!(
+            "tpi-batch: {} files x 2 flows over {n} connection(s) to an in-process tpi-netd \
+             ({} worker(s))",
+            files.len(),
+            service.workers()
+        ),
+        None => {
+            println!(
+                "tpi-batch: {} files x 2 flows on {} worker(s)",
+                files.len(),
+                service.workers()
+            )
+        }
+    }
 
     let t0 = Instant::now();
-    let mut specs = Vec::new();
+    let mut texts = Vec::new();
     let mut names = Vec::new();
     for path in &files {
         let text = match std::fs::read_to_string(path) {
@@ -126,29 +163,33 @@ fn main() {
             }
         };
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("workload").to_string();
-        specs.push(JobSpec::full_scan(NetlistSource::Blif(text.clone())));
+        texts.push(text.clone());
         names.push((stem.clone(), "full-scan"));
-        specs.push(JobSpec::partial(NetlistSource::Blif(text), PartialScanMethod::TpTime));
+        texts.push(text);
         names.push((stem, "tptime"));
     }
-    let reports = service.run_batch(specs);
+
+    let rows = match jobs {
+        Some(n) => run_over_network(&service, texts, deadline, n),
+        None => run_in_process(&service, texts),
+    };
     let total = t0.elapsed();
 
     let mut failures = 0usize;
-    for ((stem, flow), r) in names.iter().zip(&reports) {
-        let key = r.key.map(|k| k.to_string()).unwrap_or_else(|| "-".repeat(16));
+    for ((stem, flow), r) in names.iter().zip(&rows) {
         println!(
-            "{stem:<14} {flow:<9} {:<9} cache={:<6} verified={} key={key} wall={:.1}ms",
-            r.status.label(),
-            r.cache.label(),
+            "{stem:<14} {flow:<9} {:<9} cache={:<6} verified={} key={} wall={:.1}ms",
+            r.status,
+            r.cache,
             if r.verified { "yes" } else { "no " },
-            r.wall.as_secs_f64() * 1e3,
+            r.key,
+            r.wall_ms,
         );
         for d in &r.diagnostics {
-            eprintln!("  {}", d.render_text());
+            eprintln!("  {d}");
         }
-        match (&r.status, &r.payload) {
-            (JobStatus::Completed, Some(payload)) => {
+        match (&r.failure, &r.payload) {
+            (None, Some(payload)) => {
                 if let Some(out) = &out_dir {
                     let file = out.join(format!("{stem}.{flow}.json"));
                     if let Err(e) = std::fs::write(&file, payload.as_bytes()) {
@@ -157,11 +198,11 @@ fn main() {
                     }
                 }
             }
-            (JobStatus::Failed(msg), _) => {
+            (Some(msg), _) => {
                 eprintln!("  {stem} {flow}: {msg}");
                 failures += 1;
             }
-            _ => failures += 1,
+            (None, None) => failures += 1,
         }
     }
 
@@ -181,6 +222,160 @@ fn main() {
     if failures > 0 {
         exit(1);
     }
+}
+
+/// One job's outcome, normalized across the in-process and network
+/// paths so the reporting loop cannot drift between them.
+struct Row {
+    status: String,
+    /// `Some(reason)` for a failed job (including transport errors).
+    failure: Option<String>,
+    cache: String,
+    verified: bool,
+    key: String,
+    wall_ms: f64,
+    payload: Option<String>,
+    diagnostics: Vec<String>,
+}
+
+/// Even indices run full scan, odd run TPTIME — the order
+/// `main` builds `texts`/`names` in.
+fn flow_for(index: usize) -> Option<PartialScanMethod> {
+    if index.is_multiple_of(2) {
+        None
+    } else {
+        Some(PartialScanMethod::TpTime)
+    }
+}
+
+fn run_in_process(service: &JobService, texts: Vec<String>) -> Vec<Row> {
+    let specs = texts
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| match flow_for(i) {
+            None => JobSpec::full_scan(NetlistSource::Blif(text)),
+            Some(m) => JobSpec::partial(NetlistSource::Blif(text), m),
+        })
+        .collect();
+    service
+        .run_batch(specs)
+        .into_iter()
+        .map(|r| Row {
+            status: r.status.label().to_string(),
+            failure: match &r.status {
+                JobStatus::Failed(msg) => Some(msg.clone()),
+                _ => None,
+            },
+            cache: r.cache.label().to_string(),
+            verified: r.verified,
+            key: r.key.map(|k| k.to_string()).unwrap_or_else(|| "-".repeat(16)),
+            wall_ms: r.wall.as_secs_f64() * 1e3,
+            payload: r.payload.as_deref().map(str::to_string),
+            diagnostics: r.diagnostics.iter().map(|d| d.render_text()).collect(),
+        })
+        .collect()
+}
+
+/// Submits every job through `jobs` concurrent client connections
+/// against an in-process `tpi-netd`. The server's connection cap is
+/// `max(1, ⌈jobs/2⌉)`, so with more than one connection the `Busy` →
+/// retry backpressure path genuinely runs.
+fn run_over_network(
+    service: &Arc<JobService>,
+    texts: Vec<String>,
+    deadline: Option<Duration>,
+    jobs: usize,
+) -> Vec<Row> {
+    let server = NetServer::bind(
+        ServerConfig { max_connections: jobs.div_ceil(2).max(1), ..ServerConfig::default() },
+        Arc::clone(service),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start in-process tpi-netd: {e}");
+        exit(2);
+    });
+    let addr = server.local_addr().to_string();
+    let (handle, server_thread) = server.spawn();
+
+    let total = texts.len();
+    let requests: Vec<WireRequest> = texts
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let mut req = match flow_for(i) {
+                None => WireRequest::full_scan(text),
+                Some(m) => WireRequest::partial(text, m),
+            };
+            if let Some(d) = deadline {
+                req = req.with_deadline(d);
+            }
+            req
+        })
+        .collect();
+    let requests = Arc::new(requests);
+    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let rows = Arc::new(std::sync::Mutex::new(Vec::new()));
+
+    let workers: Vec<_> = (0..jobs)
+        .map(|w| {
+            let (requests, next, rows) =
+                (Arc::clone(&requests), Arc::clone(&next), Arc::clone(&rows));
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let client = Client::with_config(
+                    addr,
+                    ClientConfig { seed: w as u64 + 1, ..ClientConfig::default() },
+                );
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= total {
+                        return;
+                    }
+                    let row = match client.submit(&requests[i]) {
+                        Ok(r) => Row {
+                            status: r.status.label().to_string(),
+                            failure: match &r.status {
+                                JobStatus::Failed(msg) => Some(msg.clone()),
+                                _ => None,
+                            },
+                            cache: r.cache.label().to_string(),
+                            verified: r.verified,
+                            key: r
+                                .key
+                                .map(|k| format!("{k:016x}"))
+                                .unwrap_or_else(|| "-".repeat(16)),
+                            wall_ms: r.wall_micros as f64 / 1e3,
+                            payload: r.payload,
+                            diagnostics: r.diagnostics,
+                        },
+                        Err(e) => Row {
+                            status: "net-error".to_string(),
+                            failure: Some(e.to_string()),
+                            cache: "-".to_string(),
+                            verified: false,
+                            key: "-".repeat(16),
+                            wall_ms: 0.0,
+                            payload: None,
+                            diagnostics: Vec::new(),
+                        },
+                    };
+                    rows.lock().expect("rows lock never poisoned").push((i, row));
+                }
+            })
+        })
+        .collect();
+    for wkr in workers {
+        let _ = wkr.join();
+    }
+    handle.shutdown();
+    let _ = server_thread.join();
+
+    let mut indexed = Arc::try_unwrap(rows)
+        .unwrap_or_else(|_| unreachable!("workers joined"))
+        .into_inner()
+        .expect("rows lock never poisoned");
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, row)| row).collect()
 }
 
 /// Writes the workload directory: `s27` plus the chosen synthetic suite.

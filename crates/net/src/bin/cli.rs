@@ -1,0 +1,134 @@
+//! `tpi-cli`: submit jobs to a running `tpi-netd`.
+//!
+//! ```text
+//! tpi-cli --addr HOST:PORT [--flow full-scan|cb|td-cb|tptime]
+//!         [--deadline-ms N] [--retry-budget-ms N] FILE.blif
+//! tpi-cli --addr HOST:PORT --metrics | --ping | --shutdown
+//! ```
+//!
+//! On a completed job, the report's `tpi-serve/v1` JSON payload is
+//! printed to stdout exactly as the service produced it (the bytes are
+//! never re-serialized on the way through), so the output diffs clean
+//! against an in-process run. Failures print the status and
+//! diagnostics to stderr and exit 1.
+
+use std::process::exit;
+use std::time::Duration;
+use tpi_core::PartialScanMethod;
+use tpi_net::cli::{ArgCursor, Cli};
+use tpi_net::{Client, ClientConfig, WireRequest};
+use tpi_serve::JobStatus;
+
+enum Action {
+    Submit,
+    Metrics,
+    Ping,
+    Shutdown,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    if cli.threads != 1 {
+        eprintln!("--threads is a server-side knob; pass it to tpi-netd");
+        exit(2);
+    }
+    let mut addr: Option<String> = None;
+    let mut flow = "full-scan".to_string();
+    let mut deadline: Option<Duration> = None;
+    let mut config = ClientConfig::default();
+    let mut action = Action::Submit;
+    let mut blif_path: Option<String> = None;
+
+    let mut args = ArgCursor::new(cli.args);
+    while let Some(arg) = args.next_arg() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.value("--addr")),
+            "--flow" => flow = args.value("--flow"),
+            "--deadline-ms" => {
+                deadline =
+                    Some(Duration::from_millis(args.parsed_value("--deadline-ms", "milliseconds")));
+            }
+            "--retry-budget-ms" => {
+                config.retry_budget =
+                    Duration::from_millis(args.parsed_value("--retry-budget-ms", "milliseconds"));
+            }
+            "--metrics" => action = Action::Metrics,
+            "--ping" => action = Action::Ping,
+            "--shutdown" => action = Action::Shutdown,
+            other if !other.starts_with('-') && blif_path.is_none() => {
+                blif_path = Some(arg);
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: tpi-cli --addr HOST:PORT [--flow NAME] [--deadline-ms N] FILE.blif\n\
+                     \u{20}      tpi-cli --addr HOST:PORT --metrics | --ping | --shutdown"
+                );
+                exit(2);
+            }
+        }
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("--addr is required (tpi-netd prints its address on startup)");
+        exit(2);
+    };
+    let client = Client::with_config(addr, config);
+
+    match action {
+        Action::Ping => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => fail(&e),
+        },
+        Action::Shutdown => match client.shutdown_server() {
+            Ok(()) => println!("shutdown acknowledged"),
+            Err(e) => fail(&e),
+        },
+        Action::Metrics => match client.metrics_json() {
+            Ok(json) => println!("{json}"),
+            Err(e) => fail(&e),
+        },
+        Action::Submit => {
+            let Some(path) = blif_path else {
+                eprintln!("a BLIF file argument is required for submission");
+                exit(2);
+            };
+            let blif = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path:?}: {e}");
+                exit(1);
+            });
+            let mut request = match flow.as_str() {
+                "full-scan" => WireRequest::full_scan(blif),
+                "cb" => WireRequest::partial(blif, PartialScanMethod::Cb),
+                "td-cb" => WireRequest::partial(blif, PartialScanMethod::TdCb),
+                "tptime" => WireRequest::partial(blif, PartialScanMethod::TpTime),
+                other => {
+                    eprintln!("--flow: expected full-scan|cb|td-cb|tptime, got {other:?}");
+                    exit(2);
+                }
+            };
+            if let Some(d) = deadline {
+                request = request.with_deadline(d);
+            }
+            let report = match client.submit(&request) {
+                Ok(r) => r,
+                Err(e) => fail(&e),
+            };
+            match (&report.status, &report.payload) {
+                (JobStatus::Completed, Some(payload)) => println!("{payload}"),
+                (status, _) => {
+                    eprintln!("job {} {}: {}", report.id, report.flow, status.label());
+                    for d in &report.diagnostics {
+                        eprintln!("  {d}");
+                    }
+                    exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn fail(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("tpi-cli: {e}");
+    exit(1)
+}

@@ -1,0 +1,89 @@
+//! `tpi-netd`: serve a [`tpi_serve::JobService`] over TCP.
+//!
+//! ```text
+//! tpi-netd [--addr HOST:PORT] [--addr-file PATH] [--threads N]
+//!          [--max-connections N] [--cache-dir DIR]
+//! ```
+//!
+//! `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
+//! address is printed to stdout and, with `--addr-file`, written to a
+//! file so scripts can discover the port without parsing logs. The
+//! process exits after a client sends the `Shutdown` verb (`tpi-cli
+//! --shutdown`), draining in-flight jobs first.
+
+use std::process::exit;
+use std::sync::Arc;
+use tpi_net::cli::{ArgCursor, Cli};
+use tpi_net::{NetServer, ServerConfig};
+use tpi_serve::{JobService, ServiceConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut net = ServerConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+
+    let mut args = ArgCursor::new(cli.args);
+    while let Some(arg) = args.next_arg() {
+        match arg.as_str() {
+            "--addr" => net.addr = args.value("--addr"),
+            "--addr-file" => addr_file = Some(args.value("--addr-file")),
+            "--max-connections" => {
+                net.max_connections = args.parsed_value("--max-connections", "a positive integer");
+                if net.max_connections == 0 {
+                    eprintln!("--max-connections must be at least 1");
+                    exit(2);
+                }
+            }
+            "--cache-dir" => cache_dir = Some(args.value("--cache-dir")),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: tpi-netd [--addr HOST:PORT] [--addr-file PATH] [--threads N] \
+                     [--max-connections N] [--cache-dir DIR]"
+                );
+                exit(2);
+            }
+        }
+    }
+
+    let service = Arc::new(JobService::new(ServiceConfig {
+        threads: cli.threads,
+        cache_dir: cache_dir.map(Into::into),
+        ..ServiceConfig::default()
+    }));
+
+    let server = match NetServer::bind(net, Arc::clone(&service)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tpi-netd: bind failed: {e}");
+            exit(1);
+        }
+    };
+    let addr = server.local_addr();
+    println!("tpi-netd listening on {addr}");
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("tpi-netd: cannot write {path:?}: {e}");
+            exit(1);
+        }
+    }
+
+    if let Err(e) = server.serve() {
+        eprintln!("tpi-netd: serve failed: {e}");
+        exit(1);
+    }
+    // `serve` returning means the connection threads (the only other
+    // Arc holders) are joined, so this unwrap succeeds and the service
+    // drains its worker pool for the closing numbers.
+    match Arc::try_unwrap(service) {
+        Ok(service) => {
+            let m = service.shutdown();
+            println!(
+                "tpi-netd drained and stopped ({} submitted, {} completed)",
+                m.submitted, m.completed
+            );
+        }
+        Err(_) => println!("tpi-netd drained and stopped"),
+    }
+}

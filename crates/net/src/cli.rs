@@ -1,10 +1,12 @@
-//! Shared command-line handling for the bench binaries.
+//! Shared command-line handling for the workspace binaries.
 //!
-//! All five binaries speak the same dialect: a `--threads N` knob, an
-//! optional list of positional names that restricts what runs, and (for
-//! `tpi-batch`) a handful of `--flag VALUE` pairs. This module holds
-//! that dialect in one place so the knobs spell — and misparse — the
-//! same everywhere.
+//! The bench binaries, `tpi-netd` and `tpi-cli` all speak the same
+//! dialect: a `--threads N` knob, an optional list of positional names
+//! that restricts what runs, and a handful of `--flag VALUE` pairs.
+//! This module holds that dialect in one place so the knobs spell —
+//! and misparse — the same everywhere. It lives in `tpi-net` (the
+//! lowest crate with binaries) and is re-exported by `tpi-bench` for
+//! its historical `tpi_bench::cli` path.
 
 use std::process::exit;
 

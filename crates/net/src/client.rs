@@ -1,0 +1,326 @@
+//! The retrying client for `tpi-netd`.
+//!
+//! Each call opens one connection, sends one request frame, reads one
+//! response frame, and closes — no pipelining state to desynchronize,
+//! and the server's per-connection slots churn fast enough for the
+//! [`Verb::Busy`] backpressure loop to make progress.
+//!
+//! Retry policy: connection failures (refused / reset / timed out) and
+//! `Busy` frames are retried with exponential backoff plus
+//! **seeded-deterministic jitter** until [`ClientConfig::retry_budget`]
+//! is spent. The jitter stream is a pure function of
+//! [`ClientConfig::seed`], so two runs of a test (or a batch worker
+//! with a fixed per-worker seed) back off identically — retries are
+//! reproducible, not a new source of nondeterminism. Transport errors
+//! *after* the request is written are **not** retried: the job may
+//! already be running, and the caller decides whether resubmitting
+//! (idempotent thanks to the content-addressed cache) is worth it.
+
+use crate::frame::{read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME};
+use crate::proto::{ErrorInfo, ProtoError, WireReport, WireRequest};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout once connected.
+    pub io_timeout: Duration,
+    /// Total time the client may spend retrying connect failures and
+    /// `Busy` answers before giving up ([`Duration::ZERO`] disables
+    /// retries entirely — the first refusal is final).
+    pub retry_budget: Duration,
+    /// First backoff step (doubles each retry).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Largest accepted response payload, in bytes.
+    pub max_frame: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(120),
+            retry_budget: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(500),
+            seed: 0x0709_15EE_DD06_F00D,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Every way a client call can fail.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The address string did not resolve.
+    BadAddr(String),
+    /// Could not connect within the retry budget.
+    Connect {
+        /// Connection attempts made.
+        attempts: u32,
+        /// The final attempt's error.
+        last: io::Error,
+    },
+    /// The server answered `Busy` until the retry budget ran out.
+    Busy {
+        /// Attempts that reached the server and were turned away.
+        attempts: u32,
+    },
+    /// Transport error after connecting.
+    Io(io::Error),
+    /// The response frame was malformed.
+    Frame(FrameError),
+    /// The response payload did not decode.
+    Proto(ProtoError),
+    /// The server answered with a structured error frame.
+    Remote(ErrorInfo),
+    /// The server answered with a verb this call cannot use.
+    UnexpectedVerb(Verb),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::BadAddr(a) => write!(f, "cannot resolve {a:?}"),
+            ClientError::Connect { attempts, last } => {
+                write!(f, "connect failed after {attempts} attempt(s): {last}")
+            }
+            ClientError::Busy { attempts } => {
+                write!(f, "server busy after {attempts} attempt(s)")
+            }
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Proto(e) => write!(f, "bad response payload: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedVerb(v) => {
+                write!(f, "unexpected response verb {:?}", v.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A `tpi-netd` client: an address plus retry configuration. Cheap to
+/// construct; connections are per-call.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    /// xorshift64* state for the jitter stream.
+    rng: Mutex<u64>,
+}
+
+impl Client {
+    /// A client with default configuration.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit configuration.
+    pub fn with_config(addr: impl Into<String>, config: ClientConfig) -> Self {
+        let seed = if config.seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { config.seed };
+        Client { addr: addr.into(), config, rng: Mutex::new(seed) }
+    }
+
+    /// The configured server address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Submits a job and waits for its report.
+    pub fn submit(&self, request: &WireRequest) -> Result<WireReport, ClientError> {
+        let (verb, payload) = self.call(Verb::Submit, &request.encode())?;
+        match verb {
+            Verb::Report => Ok(WireReport::decode(&payload)?),
+            other => Err(self.classify(other, &payload)),
+        }
+    }
+
+    /// Fetches the server's `tpi-netd-metrics/v1` JSON.
+    pub fn metrics_json(&self) -> Result<String, ClientError> {
+        let (verb, payload) = self.call(Verb::Metrics, &[])?;
+        match verb {
+            Verb::MetricsReport => String::from_utf8(payload)
+                .map_err(|_| ClientError::Proto(ProtoError::BadUtf8 { field: "metrics json" })),
+            other => Err(self.classify(other, &payload)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        let (verb, payload) = self.call(Verb::Ping, &[])?;
+        match verb {
+            Verb::Pong => Ok(()),
+            other => Err(self.classify(other, &payload)),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown_server(&self) -> Result<(), ClientError> {
+        let (verb, payload) = self.call(Verb::Shutdown, &[])?;
+        match verb {
+            Verb::Pong => Ok(()),
+            other => Err(self.classify(other, &payload)),
+        }
+    }
+
+    /// Turns a non-success response into the matching error.
+    fn classify(&self, verb: Verb, payload: &[u8]) -> ClientError {
+        match verb {
+            Verb::Error => match ErrorInfo::decode(payload) {
+                Ok(info) => ClientError::Remote(info),
+                Err(e) => ClientError::Proto(e),
+            },
+            other => ClientError::UnexpectedVerb(other),
+        }
+    }
+
+    /// One request/response exchange with connect + `Busy` retry.
+    fn call(&self, verb: Verb, payload: &[u8]) -> Result<(Verb, Vec<u8>), ClientError> {
+        let addr = resolve(&self.addr)?;
+        let give_up = Instant::now() + self.config.retry_budget;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let stream = match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(s) => s,
+                Err(last) => {
+                    if retriable_connect(&last) && Instant::now() < give_up {
+                        std::thread::sleep(self.backoff(attempt));
+                        continue;
+                    }
+                    return Err(ClientError::Connect { attempts: attempt, last });
+                }
+            };
+            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_nodelay(true);
+            let mut writer = stream.try_clone().map_err(ClientError::Io)?;
+            let mut reader = BufReader::new(stream);
+
+            write_frame(&mut writer, verb, payload).map_err(ClientError::Io)?;
+            let (rverb, rpayload) = read_frame(&mut reader, self.config.max_frame)?;
+            if rverb == Verb::Busy {
+                if Instant::now() < give_up {
+                    std::thread::sleep(self.backoff(attempt));
+                    continue;
+                }
+                return Err(ClientError::Busy { attempts: attempt });
+            }
+            return Ok((rverb, rpayload));
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter: step `k` sleeps
+    /// `min(base · 2^(k-1), cap)` plus a jitter draw in `[0, base)`.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.max(Duration::from_micros(100));
+        let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let step = exp.min(self.config.backoff_cap);
+        let jitter_micros = self.next_rand() % (base.as_micros().max(1) as u64);
+        step + Duration::from_micros(jitter_micros)
+    }
+
+    /// xorshift64*: tiny, seedable, and plenty for jitter.
+    fn next_rand(&self) -> u64 {
+        let mut s = self.rng.lock().expect("jitter lock never poisoned");
+        let mut x = *s;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *s = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, ClientError> {
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| ClientError::BadAddr(addr.to_string()))
+}
+
+/// Connect-phase errors worth retrying: the server may be starting, at
+/// its accept backlog, or mid-restart.
+fn retriable_connect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stream_is_deterministic_per_seed() {
+        let a = Client::with_config("127.0.0.1:1", ClientConfig { seed: 7, ..Default::default() });
+        let b = Client::with_config("127.0.0.1:1", ClientConfig { seed: 7, ..Default::default() });
+        let c = Client::with_config("127.0.0.1:1", ClientConfig { seed: 8, ..Default::default() });
+        let draw = |cl: &Client| (0..8).map(|_| cl.next_rand()).collect::<Vec<_>>();
+        assert_eq!(draw(&a), draw(&b), "same seed, same stream");
+        assert_ne!(draw(&a), draw(&c), "different seed, different stream");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            seed: 1,
+            ..Default::default()
+        };
+        let c = Client::with_config("127.0.0.1:1", cfg);
+        // Jitter is < base, so the deterministic part dominates.
+        assert!(c.backoff(1) < Duration::from_millis(20));
+        assert!(c.backoff(4) >= Duration::from_millis(80));
+        assert!(c.backoff(30) < Duration::from_millis(90), "capped plus jitter");
+    }
+
+    #[test]
+    fn zero_seed_is_replaced() {
+        let c = Client::with_config("x:1", ClientConfig { seed: 0, ..Default::default() });
+        assert_ne!(c.next_rand(), 0, "xorshift state must never be zero");
+    }
+
+    #[test]
+    fn unresolvable_addr_is_typed() {
+        let c = Client::new("definitely-not-a-host-name-7f3a:99999");
+        match c.ping() {
+            Err(ClientError::BadAddr(_)) => {}
+            other => panic!("expected BadAddr, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The `tpi-net/v1` frame codec.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! +-------+---------+------+-----------+---------+------------+
+//! | magic | version | verb | len (u32) | payload | fnv (u64)  |
+//! | TPIN  |   0x01  | u8   | LE        | len B   | LE trailer |
+//! +-------+---------+------+-----------+---------+------------+
+//! ```
+//!
+//! The trailer is the FNV-64 hash of the payload bytes (the same
+//! [`Fnv64`] the cache keys use) — not a security boundary, but enough
+//! to turn a torn or corrupted frame into a typed
+//! [`FrameError::BadTrailer`] instead of a garbage report. Frames
+//! larger than the reader's cap are rejected *before* the payload is
+//! read ([`FrameError::Oversize`]), so a hostile length field cannot
+//! make the server allocate unboundedly.
+//!
+//! Decoding never panics: every way a frame can be malformed maps to a
+//! [`FrameError`] variant, and the server answers those with a
+//! structured error frame and closes the connection (the stream is
+//! desynchronized past the first bad byte).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use tpi_serve::Fnv64;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"TPIN";
+
+/// Protocol version this codec speaks.
+pub const VERSION: u8 = 1;
+
+/// Default cap on payload length (16 MiB — a BLIF netlist of several
+/// million gates fits with room to spare).
+pub const DEFAULT_MAX_FRAME: u32 = 16 << 20;
+
+/// Fixed bytes before the payload: magic + version + verb + length.
+pub const HEADER_LEN: usize = 4 + 1 + 1 + 4;
+
+/// Fixed bytes after the payload: the FNV-64 trailer.
+pub const TRAILER_LEN: usize = 8;
+
+/// What a frame is for. Requests flow client→server, responses
+/// server→client; a server answers a response verb arriving as a
+/// request with an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verb {
+    /// Request: run a job ([`crate::proto::WireRequest`] payload).
+    Submit = 1,
+    /// Response: the finished job ([`crate::proto::WireReport`] payload).
+    Report = 2,
+    /// Response: structured failure ([`crate::proto::ErrorInfo`] payload).
+    Error = 3,
+    /// Response: the server is at its connection cap; retry later
+    /// (empty payload).
+    Busy = 4,
+    /// Request: server + service metrics snapshot (empty payload).
+    Metrics = 5,
+    /// Response: the metrics JSON (`tpi-netd-metrics/v1`, UTF-8 payload).
+    MetricsReport = 6,
+    /// Request: liveness probe (empty payload).
+    Ping = 7,
+    /// Response: liveness answer / shutdown acknowledgement (empty).
+    Pong = 8,
+    /// Request: begin graceful shutdown — stop accepting, drain
+    /// in-flight jobs, exit (empty payload; acknowledged with `Pong`).
+    Shutdown = 9,
+}
+
+impl Verb {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Option<Verb> {
+        Some(match b {
+            1 => Verb::Submit,
+            2 => Verb::Report,
+            3 => Verb::Error,
+            4 => Verb::Busy,
+            5 => Verb::Metrics,
+            6 => Verb::MetricsReport,
+            7 => Verb::Ping,
+            8 => Verb::Pong,
+            9 => Verb::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Short label for logs and error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verb::Submit => "submit",
+            Verb::Report => "report",
+            Verb::Error => "error",
+            Verb::Busy => "busy",
+            Verb::Metrics => "metrics",
+            Verb::MetricsReport => "metrics-report",
+            Verb::Ping => "ping",
+            Verb::Pong => "pong",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Every way reading a frame can fail. `Closed` is the *clean* end of a
+/// connection (EOF on a frame boundary); everything else is a protocol
+/// or transport fault.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport error from the underlying stream.
+    Io(io::Error),
+    /// Clean EOF: the peer closed the connection between frames.
+    Closed,
+    /// EOF in the middle of a frame.
+    Truncated {
+        /// Bytes of the current section actually read.
+        got: usize,
+        /// Bytes the section needed.
+        want: usize,
+    },
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Declared payload length exceeds the reader's cap.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The reader's cap.
+        max: u32,
+    },
+    /// The verb byte is not a known [`Verb`].
+    UnknownVerb(u8),
+    /// The FNV-64 trailer does not match the payload.
+    BadTrailer {
+        /// Hash recomputed from the payload read.
+        expected: u64,
+        /// Hash the frame carried.
+        observed: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { got, want } => {
+                write!(f, "frame truncated: got {got} of {want} bytes")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this side speaks {VERSION})")
+            }
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::UnknownVerb(v) => write!(f, "unknown verb byte {v:#04x}"),
+            FrameError::BadTrailer { expected, observed } => write!(
+                f,
+                "frame checksum mismatch: payload hashes to {expected:016x}, trailer says \
+                 {observed:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// FNV-64 of the payload — the trailer every frame carries.
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Renders one complete frame (header + payload + trailer) as bytes.
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes (no realistic payload
+/// does; the read side additionally enforces its own cap).
+pub fn encode_frame(verb: Verb, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("payload fits in a u32 length field");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(verb as u8);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&payload_checksum(payload).to_le_bytes());
+    buf
+}
+
+/// Writes one frame in a single `write_all` (fewer syscalls, and no
+/// interleaving hazard if a writer ever races). Returns the number of
+/// bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, verb: Verb, payload: &[u8]) -> io::Result<usize> {
+    let buf = encode_frame(verb, payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len())
+}
+
+/// Reads exactly `buf.len()` bytes, mapping EOF to
+/// [`FrameError::Closed`] (nothing read yet *and* `clean_eof`) or
+/// [`FrameError::Truncated`] (mid-section).
+fn read_section(r: &mut impl Read, buf: &mut [u8], clean_eof: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && clean_eof {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated { got: filled, want: buf.len() }
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, enforcing `max_frame` on the declared payload
+/// length, and returns its verb and payload.
+///
+/// Validation order: magic, version, length cap, verb, then (after the
+/// payload is read) the checksum trailer — so the cheapest rejections
+/// happen before any allocation.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<(Verb, Vec<u8>), FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_section(r, &mut header, true)?;
+
+    let magic: [u8; 4] = header[0..4].try_into().expect("slice length matches");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("slice length matches"));
+    if len > max_frame {
+        return Err(FrameError::Oversize { len, max: max_frame });
+    }
+    let verb = Verb::from_u8(header[5]).ok_or(FrameError::UnknownVerb(header[5]))?;
+
+    let mut payload = vec![0u8; len as usize];
+    read_section(r, &mut payload, false)?;
+
+    let mut trailer = [0u8; TRAILER_LEN];
+    read_section(r, &mut trailer, false)?;
+    let observed = u64::from_le_bytes(trailer);
+    let expected = payload_checksum(&payload);
+    if observed != expected {
+        return Err(FrameError::BadTrailer { expected, observed });
+    }
+    Ok((verb, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(verb: Verb, payload: &[u8]) {
+        let bytes = encode_frame(verb, payload);
+        let (v, p) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(v, verb);
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn all_verbs_roundtrip() {
+        for verb in [
+            Verb::Submit,
+            Verb::Report,
+            Verb::Error,
+            Verb::Busy,
+            Verb::Metrics,
+            Verb::MetricsReport,
+            Verb::Ping,
+            Verb::Pong,
+            Verb::Shutdown,
+        ] {
+            assert_eq!(Verb::from_u8(verb as u8), Some(verb));
+            roundtrip(verb, b"");
+            roundtrip(verb, b"hello \x00\xff frame");
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_truncated() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+        let bytes = encode_frame(Verb::Ping, b"xy");
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut], DEFAULT_MAX_FRAME).unwrap_err();
+            assert!(matches!(err, FrameError::Truncated { .. }), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_verb_are_typed() {
+        let mut bytes = encode_frame(Verb::Ping, b"");
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bytes = encode_frame(Verb::Ping, b"");
+        bytes[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadVersion(99))
+        ));
+
+        let mut bytes = encode_frame(Verb::Ping, b"");
+        bytes[5] = 0xEE;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::UnknownVerb(0xEE))
+        ));
+    }
+
+    #[test]
+    fn oversize_is_rejected_before_reading_the_payload() {
+        // Header declares 1 GiB; only the header exists. The cap must
+        // reject on the declared length, never try to read (or allocate)
+        // the payload.
+        let mut bytes = encode_frame(Verb::Submit, b"");
+        bytes[6..10].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(FrameError::Oversize { len, max: 1024 }) if len == 1 << 30
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_trailer() {
+        let mut bytes = encode_frame(Verb::Submit, b"payload-bytes");
+        bytes[HEADER_LEN] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadTrailer { .. })
+        ));
+    }
+
+    #[test]
+    fn write_frame_reports_wire_bytes() {
+        let mut sink = Vec::new();
+        let n = write_frame(&mut sink, Verb::Pong, b"abc").unwrap();
+        assert_eq!(n, sink.len());
+        assert_eq!(n, HEADER_LEN + 3 + TRAILER_LEN);
+    }
+}

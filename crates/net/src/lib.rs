@@ -1,0 +1,55 @@
+//! `tpi-net`: the [`tpi_serve::JobService`] over TCP, std-only.
+//!
+//! The container has no async runtime and no serialization crates, so
+//! this crate is deliberately boring: blocking sockets, one thread per
+//! connection (bounded — see below), and a hand-rolled binary protocol.
+//!
+//! # The `tpi-net/v1` frame
+//!
+//! Every message on the wire is one frame:
+//!
+//! | bytes | field | contents |
+//! |------:|-------|----------|
+//! | 4 | magic | `TPIN` |
+//! | 1 | version | `1` |
+//! | 1 | verb | see [`frame::Verb`] |
+//! | 4 | length | payload length, u32 LE, capped at [`frame::DEFAULT_MAX_FRAME`] |
+//! | n | payload | verb-specific bytes |
+//! | 8 | trailer | FNV-1a 64 of the payload, u64 LE (same hasher as the cache keys) |
+//!
+//! The length is validated *before* the payload is read, so an
+//! adversarial header cannot make the server allocate 4 GiB; the
+//! trailer catches truncation and corruption with a typed error rather
+//! than a garbage decode.
+//!
+//! # Backpressure, not queues
+//!
+//! [`server::NetServer`] admits at most
+//! [`server::ServerConfig::max_connections`] concurrent connections.
+//! Past the cap it answers a [`frame::Verb::Busy`] frame and closes —
+//! the wait moves into the *client's* retry loop ([`client::Client`],
+//! seeded-deterministic exponential backoff) instead of an unbounded
+//! server-side queue. Inside a connection, job-level parallelism is
+//! still the [`tpi_serve`] worker pool's business; the two layers
+//! compose without knowing about each other.
+//!
+//! # Byte identity
+//!
+//! A job's `tpi-serve/v1` payload crosses the wire as the raw bytes
+//! the service produced — the server never re-serializes it — so a
+//! loopback round trip is byte-identical to calling
+//! [`tpi_serve::JobService`] in-process. The integration tests assert
+//! exactly that, at `--threads 1` and `--threads 0`.
+
+pub mod cli;
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use frame::{
+    encode_frame, payload_checksum, read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME,
+};
+pub use proto::{ErrorCode, ErrorInfo, ProtoError, WireReport, WireRequest};
+pub use server::{NetServer, ServerConfig, ServerHandle};

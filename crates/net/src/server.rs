@@ -1,0 +1,367 @@
+//! The network front-end: a bounded-concurrency TCP server wrapping a
+//! shared [`JobService`].
+//!
+//! Design constraints, in order:
+//!
+//! * **A bad peer must never take the listener down.** Every malformed
+//!   frame becomes a structured [`Verb::Error`] response followed by a
+//!   connection close (the stream is desynchronized past the first bad
+//!   byte); accept errors are counted and skipped.
+//! * **Backpressure, not queues.** The accept→worker handoff is bounded
+//!   by [`ServerConfig::max_connections`]; at the cap, a fresh
+//!   connection gets a [`Verb::Busy`] frame and is closed immediately.
+//!   The client's seeded backoff (see [`crate::client`]) turns that
+//!   into a retry, so overload degrades to latency instead of memory.
+//! * **Graceful shutdown drains.** [`ServerHandle::shutdown`] (or a
+//!   [`Verb::Shutdown`] frame) stops the accept loop; in-flight
+//!   connections — and therefore their in-flight jobs — run to
+//!   completion before [`NetServer::serve`] returns.
+//!
+//! Observability rides on a [`Recorder`]: connection/frame/byte
+//! counters (all [`Recorder::add_nd`] — traffic is wall-clock data, not
+//! part of any determinism contract) plus a `frame_latency` histogram,
+//! served over the wire by the [`Verb::Metrics`] verb next to the
+//! embedded [`JobService`] snapshot.
+
+use crate::frame::{read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME};
+use crate::proto::{ErrorCode, ErrorInfo, WireReport, WireRequest};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tpi_obs::{JsonObject, Recorder};
+use tpi_serve::JobService;
+
+/// Tuning for one [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Concurrent-connection cap; connection number `max + 1` is
+    /// answered with a [`Verb::Busy`] frame and closed.
+    pub max_connections: usize,
+    /// Per-connection read timeout (an idle or wedged peer frees its
+    /// slot after this long).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted frame payload, in bytes.
+    pub max_frame: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, and handles.
+struct ServerState {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    obs: Recorder,
+}
+
+/// A cloneable remote control for a running server: observe its
+/// address, trigger graceful shutdown from any thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: the accept loop stops taking
+    /// connections and [`NetServer::serve`] returns once in-flight
+    /// connections drain. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake a blocking `accept` with a throwaway connection; the
+        // loop re-checks the flag before handling anything.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The server: a bound listener plus the shared [`JobService`] it
+/// fronts. Construct with [`NetServer::bind`], then either call
+/// [`NetServer::serve`] on the current thread or [`NetServer::spawn`]
+/// to run it on its own.
+pub struct NetServer {
+    listener: TcpListener,
+    service: Arc<JobService>,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl NetServer {
+    /// Binds the listener and wires it to `service`. The service is
+    /// shared — the caller may keep submitting in-process jobs through
+    /// its own handle; cache and metrics are one pool either way.
+    pub fn bind(config: ServerConfig, service: Arc<JobService>) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            obs: Recorder::new(),
+        });
+        Ok(NetServer { listener, service, config, state, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { addr: self.addr, state: Arc::clone(&self.state) }
+    }
+
+    /// The `tpi-netd-metrics/v1` JSON: net counters, the frame-latency
+    /// histogram, and the embedded service snapshot.
+    pub fn metrics_json(&self) -> String {
+        metrics_json(&self.state, &self.service)
+    }
+
+    /// Runs the accept loop until shutdown, then drains: every live
+    /// connection thread (and therefore every in-flight job) finishes
+    /// before this returns. The listener closes on return, so new
+    /// connection attempts are refused from then on.
+    pub fn serve(self) -> io::Result<()> {
+        let NetServer { listener, service, config, state, addr: _ } = self;
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let (stream, _peer) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    state.obs.add_nd("accept_errors", 1);
+                    continue;
+                }
+            };
+            if state.shutdown.load(Ordering::SeqCst) {
+                // The stream that woke us (or raced the flag) gets a
+                // best-effort notice and the loop ends.
+                refuse(stream, &config, Verb::Error, &shutting_down_payload());
+                break;
+            }
+            threads.retain(|t| !t.is_finished());
+            if state.active.load(Ordering::SeqCst) >= config.max_connections {
+                state.obs.add_nd("connections_busy", 1);
+                refuse(stream, &config, Verb::Busy, &[]);
+                continue;
+            }
+            state.active.fetch_add(1, Ordering::SeqCst);
+            state.obs.add_nd("connections_accepted", 1);
+            let service = Arc::clone(&service);
+            let state = Arc::clone(&state);
+            let config = config.clone();
+            threads.push(std::thread::spawn(move || {
+                // Frees the slot even if the handler somehow panicked.
+                struct Slot<'a>(&'a ServerState);
+                impl Drop for Slot<'_> {
+                    fn drop(&mut self) {
+                        self.0.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let _slot = Slot(&state);
+                handle_connection(stream, &service, &state, &config);
+            }));
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// Runs [`NetServer::serve`] on a new thread, returning the handle
+    /// pair: control the server with the [`ServerHandle`], observe its
+    /// exit by joining the [`JoinHandle`].
+    pub fn spawn(self) -> (ServerHandle, JoinHandle<io::Result<()>>) {
+        let handle = self.handle();
+        let join = std::thread::Builder::new()
+            .name("tpi-netd-accept".into())
+            .spawn(move || self.serve())
+            .expect("spawning the accept thread succeeds");
+        (handle, join)
+    }
+}
+
+fn shutting_down_payload() -> Vec<u8> {
+    ErrorInfo::new(ErrorCode::ShuttingDown, "server is draining; try another replica").encode()
+}
+
+/// Best-effort single-frame answer to a connection the server will not
+/// serve (over the cap, or arriving during shutdown).
+fn refuse(stream: TcpStream, config: &ServerConfig, verb: Verb, payload: &[u8]) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut stream = stream;
+    let _ = write_frame(&mut stream, verb, payload);
+}
+
+/// One connection's request loop. Never panics, never propagates: any
+/// protocol fault answers with an error frame and closes this
+/// connection only.
+fn handle_connection(
+    stream: TcpStream,
+    service: &JobService,
+    state: &ServerState,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        let (verb, payload) = match read_frame(&mut reader, config.max_frame) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => return,
+            Err(e) => {
+                state.obs.add_nd("malformed_frames", 1);
+                let code = match e {
+                    FrameError::UnknownVerb(_) => ErrorCode::UnknownVerb,
+                    _ => ErrorCode::MalformedFrame,
+                };
+                send(
+                    state,
+                    &mut writer,
+                    Verb::Error,
+                    &ErrorInfo::new(code, e.to_string()).encode(),
+                );
+                return;
+            }
+        };
+        state.obs.add_nd("frames_read", 1);
+        state.obs.add_nd(
+            "bytes_read",
+            (crate::frame::HEADER_LEN + payload.len() + crate::frame::TRAILER_LEN) as u64,
+        );
+
+        let t0 = Instant::now();
+        let keep_going = match verb {
+            Verb::Ping => send(state, &mut writer, Verb::Pong, &[]),
+            Verb::Metrics => {
+                let json = metrics_json(state, service);
+                send(state, &mut writer, Verb::MetricsReport, json.as_bytes())
+            }
+            Verb::Shutdown => {
+                // Acknowledge first (the requester should not hang),
+                // then stop the accept loop; in-flight work drains.
+                send(state, &mut writer, Verb::Pong, &[]);
+                state.shutdown.store(true, Ordering::SeqCst);
+                if let Ok(addr) = reader.get_ref().local_addr() {
+                    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+                }
+                false
+            }
+            Verb::Submit => match WireRequest::decode(&payload) {
+                Ok(req) => {
+                    let report = service.submit(req.to_spec()).wait();
+                    let wire = WireReport::from_report(&report).encode();
+                    send(state, &mut writer, Verb::Report, &wire)
+                }
+                Err(e) => {
+                    state.obs.add_nd("bad_requests", 1);
+                    send(
+                        state,
+                        &mut writer,
+                        Verb::Error,
+                        &ErrorInfo::new(ErrorCode::BadRequest, e.to_string()).encode(),
+                    );
+                    false
+                }
+            },
+            // A response verb has no meaning as a request.
+            Verb::Report | Verb::Error | Verb::Busy | Verb::MetricsReport | Verb::Pong => {
+                send(
+                    state,
+                    &mut writer,
+                    Verb::Error,
+                    &ErrorInfo::new(
+                        ErrorCode::UnexpectedVerb,
+                        format!("{} is a response verb", verb.label()),
+                    )
+                    .encode(),
+                );
+                false
+            }
+        };
+        state.obs.observe("frame_latency", t0.elapsed());
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame, recording the traffic counters. Returns
+/// `false` when the peer is gone (mid-job disconnects land here) — the
+/// job already ran and its result is cached, so the only casualty is
+/// this connection.
+fn send(state: &ServerState, w: &mut TcpStream, verb: Verb, payload: &[u8]) -> bool {
+    match write_frame(w, verb, payload) {
+        Ok(n) => {
+            state.obs.add_nd("frames_written", 1);
+            state.obs.add_nd("bytes_written", n as u64);
+            true
+        }
+        Err(_) => {
+            state.obs.add_nd("write_failures", 1);
+            false
+        }
+    }
+}
+
+/// Renders the `tpi-netd-metrics/v1` snapshot.
+fn metrics_json(state: &ServerState, service: &JobService) -> String {
+    let counters = [
+        "connections_accepted",
+        "connections_busy",
+        "accept_errors",
+        "frames_read",
+        "frames_written",
+        "bytes_read",
+        "bytes_written",
+        "malformed_frames",
+        "bad_requests",
+        "write_failures",
+    ];
+    let mut o = JsonObject::new();
+    o.field_str("schema", "tpi-netd-metrics/v1");
+    for name in counters {
+        o.field_u64(name, state.obs.nd_counter(name));
+    }
+    o.field_u64("active_connections", state.active.load(Ordering::SeqCst) as u64);
+    o.field_object(
+        "frame_latency",
+        state.obs.histogram("frame_latency").unwrap_or_default().to_json_object(),
+    );
+    // The service snapshot is already rendered byte-stable JSON; embed
+    // it verbatim rather than re-serializing.
+    o.field_raw("service", &service.metrics_json());
+    o.finish()
+}

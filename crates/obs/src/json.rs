@@ -85,6 +85,17 @@ impl JsonObject {
         self
     }
 
+    /// Adds already-rendered JSON verbatim as a nested field. The
+    /// caller vouches that `json` is one complete JSON value; this is
+    /// how a snapshot rendered elsewhere (for example the service
+    /// metrics inside the netd metrics) is embedded without a parse →
+    /// re-serialize round trip that could disturb byte stability.
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
     /// Closes the object and returns its text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');

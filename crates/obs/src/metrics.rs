@@ -212,6 +212,15 @@ impl Recorder {
         g.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Current value of quarantined counter `name` (0 if never
+    /// touched). The nondeterminism caveat of [`Recorder::add_nd`]
+    /// applies: fine for dashboards and traffic stats, excluded from
+    /// byte-stability contracts.
+    pub fn nd_counter(&self, name: &str) -> u64 {
+        let g = self.inner.lock().expect("recorder lock never poisoned");
+        g.nd_counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Snapshot of histogram `name`, if it has any observations.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
         let g = self.inner.lock().expect("recorder lock never poisoned");

@@ -9,12 +9,44 @@
 //!
 //! Disk layout: one file per key, `<dir>/<key:016x>.json`, written via
 //! temp-file + rename so concurrent services sharing a directory never
-//! observe a torn payload.
+//! observe a torn payload. Each file opens with an integrity header —
+//! `tpi-cache/v1 <fnv64:016x> <len>\n` — covering the payload bytes, so
+//! a file truncated or corrupted *at rest* (a full disk, a killed
+//! process on a filesystem without atomic rename, a stray editor) is
+//! detected on read and treated as a miss, never served.
 
-use crate::key::CacheKey;
+use crate::key::{CacheKey, Fnv64};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// First token of the on-disk header line.
+const DISK_MAGIC: &str = "tpi-cache/v1";
+
+/// Renders the on-disk file: header line + payload bytes.
+fn encode_disk(payload: &str) -> String {
+    let mut h = Fnv64::new();
+    h.write(payload.as_bytes());
+    format!("{DISK_MAGIC} {:016x} {}\n{payload}", h.finish(), payload.len())
+}
+
+/// Parses and verifies an on-disk file; `None` means "treat as miss"
+/// (wrong magic, bad hex, truncated payload, checksum mismatch).
+fn decode_disk(text: &str) -> Option<&str> {
+    let (header, payload) = text.split_once('\n')?;
+    let mut parts = header.split(' ');
+    if parts.next()? != DISK_MAGIC {
+        return None;
+    }
+    let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let len: usize = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || payload.len() != len {
+        return None;
+    }
+    let mut h = Fnv64::new();
+    h.write(payload.as_bytes());
+    (h.finish() == sum).then_some(payload)
+}
 
 /// Where a payload was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +123,14 @@ impl ResultCache {
             return Some((Arc::clone(&e.payload), CacheSource::Memory));
         }
         let path = self.disk.as_ref()?.join(format!("{key}.json"));
-        let payload: Arc<str> = std::fs::read_to_string(path).ok()?.into();
+        let text = std::fs::read_to_string(&path).ok()?;
+        let Some(verified) = decode_disk(&text) else {
+            // Torn or corrupted file: drop it (best-effort) so the next
+            // computed payload rewrites it cleanly, and report a miss.
+            let _ = std::fs::remove_file(&path);
+            return None;
+        };
+        let payload: Arc<str> = verified.into();
         self.insert_memory(key, Arc::clone(&payload));
         Some((payload, CacheSource::Disk))
     }
@@ -100,10 +139,12 @@ impl ResultCache {
     pub fn insert(&mut self, key: CacheKey, payload: Arc<str>) {
         if let Some(dir) = &self.disk {
             // Atomic publish: a concurrent reader sees the old bytes or
-            // the new bytes, never a prefix.
-            let tmp = dir.join(format!("{key}.json.tmp"));
+            // the new bytes, never a prefix. The temp name carries the
+            // pid so two services sharing the directory cannot clobber
+            // each other's in-flight write.
+            let tmp = dir.join(format!("{key}.json.{}.tmp", std::process::id()));
             let dst = dir.join(format!("{key}.json"));
-            if std::fs::write(&tmp, payload.as_bytes()).is_ok() {
+            if std::fs::write(&tmp, encode_disk(&payload)).is_ok() {
                 let _ = std::fs::rename(&tmp, &dst);
             }
         }
@@ -175,6 +216,63 @@ mod tests {
         // Promoted: second lookup is a memory hit.
         assert_eq!(c2.get(key(0xabc)).unwrap().1, CacheSource::Memory);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_file_is_a_miss_not_a_torn_payload() {
+        let dir = tmpdir("trunc");
+        let mut c = ResultCache::new(8, Some(dir.clone()));
+        c.insert(key(0xdead), "a payload long enough to truncate meaningfully".into());
+        let path = dir.join(format!("{}.json", key(0xdead)));
+
+        // Chop bytes off the end, as a full disk or a kill -9 during a
+        // non-atomic copy would.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+
+        let mut fresh = ResultCache::new(8, Some(dir.clone()));
+        assert!(fresh.get(key(0xdead)).is_none(), "truncated file must be a miss");
+        assert!(!path.exists(), "the bad file is removed so a rerun rewrites it");
+
+        // And the miss is recoverable: a new insert serves cleanly.
+        fresh.insert(key(0xdead), "recomputed".into());
+        let mut after = ResultCache::new(8, Some(dir.clone()));
+        assert_eq!(&*after.get(key(0xdead)).unwrap().0, "recomputed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_disk_payload_is_a_miss() {
+        let dir = tmpdir("corrupt");
+        let mut c = ResultCache::new(8, Some(dir.clone()));
+        c.insert(key(0xbeef), "the real payload".into());
+        let path = dir.join(format!("{}.json", key(0xbeef)));
+
+        // Same length, different bytes: only the checksum can tell.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let flip = text.len() - 3;
+        text.replace_range(flip..flip + 1, "X");
+        std::fs::write(&path, text).unwrap();
+
+        let mut fresh = ResultCache::new(8, Some(dir.clone()));
+        assert!(fresh.get(key(0xbeef)).is_none(), "checksum mismatch must be a miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_headerless_disk_file_is_a_miss() {
+        let dir = tmpdir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{}.json", key(7))), "raw payload, no header").unwrap();
+        let mut c = ResultCache::new(8, Some(dir.clone()));
+        assert!(c.get(key(7)).is_none(), "pre-v1 files re-compute rather than parse wrong");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_roundtrip_is_exact_through_the_header() {
+        let payload = "payload with\nnewlines and \"quotes\" and unicode — ok";
+        assert_eq!(decode_disk(&encode_disk(payload)), Some(payload));
     }
 
     #[test]

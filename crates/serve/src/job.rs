@@ -34,7 +34,7 @@ impl From<Netlist> for NetlistSource {
 }
 
 /// Which flow to run (and its result-relevant configuration).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FlowKind {
     /// §III full scan: TPGREED with the given config.
     FullScan(TpGreedConfig),

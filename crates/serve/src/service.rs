@@ -319,6 +319,19 @@ impl JobService {
     pub fn metrics_json(&self) -> String {
         self.metrics().to_json()
     }
+
+    /// Shuts the service down by consuming it: the worker pool drains
+    /// (every already-submitted job runs to completion) and the workers
+    /// are joined before the final metrics snapshot is returned. This
+    /// is what plain `drop` does too; the method exists so callers that
+    /// *orchestrate* a shutdown — `tpi-netd` draining on a `Shutdown`
+    /// frame — get a synchronization point and the closing numbers
+    /// instead of a silent drop.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        let JobService { pool, shared, .. } = self;
+        drop(pool); // joins the workers after the queue drains
+        metrics_snapshot(&shared)
+    }
 }
 
 /// Builds a [`MetricsSnapshot`] from the shared state.

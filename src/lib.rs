@@ -15,6 +15,10 @@
 //!   scan-based test application through the produced chains;
 //! * [`serve`] — a long-lived job service around the flows: worker pool,
 //!   content-addressed result cache, deadlines and run metrics;
+//! * [`net`] — the service over TCP: the `tpi-net/v1` length-prefixed
+//!   frame protocol, the `tpi-netd` server (bounded concurrency,
+//!   Busy backpressure, graceful drain) and the retrying client behind
+//!   `tpi-cli`;
 //! * [`lint`] — static analysis: structural netlist lints and an
 //!   independent re-verification of every DFT claim the flows make;
 //! * [`obs`] — deterministic tracing and metrics: span trees, counters,
@@ -27,6 +31,7 @@
 pub use tpi_atpg as atpg;
 pub use tpi_core as tpi;
 pub use tpi_lint as lint;
+pub use tpi_net as net;
 pub use tpi_netlist as netlist;
 pub use tpi_obs as obs;
 pub use tpi_scan as scan;

@@ -1,0 +1,298 @@
+//! Loopback integration tests for the `tpi-net` subsystem: the
+//! byte-identity contract, deadline propagation over the wire, `Busy`
+//! backpressure, malformed-frame survival, mid-job disconnects, drain
+//! on shutdown — plus property tests for the frame codec.
+
+use proptest::prelude::*;
+use scanpath::net::{
+    encode_frame, read_frame, write_frame, Client, ClientConfig, ErrorCode, FrameError, NetServer,
+    ServerConfig, Verb, WireRequest,
+};
+use scanpath::netlist::write_blif;
+use scanpath::serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
+use scanpath::workloads::iscas;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn s27_blif() -> String {
+    write_blif(&iscas::s27())
+}
+
+/// Starts a loopback server over a fresh service and returns
+/// `(client, handle, join, service)`.
+fn loopback(
+    threads: usize,
+    config: ServerConfig,
+) -> (
+    Client,
+    scanpath::net::ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+    Arc<JobService>,
+) {
+    let service = Arc::new(JobService::new(ServiceConfig { threads, ..ServiceConfig::default() }));
+    let server = NetServer::bind(config, Arc::clone(&service)).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let (handle, join) = server.spawn();
+    (Client::new(addr), handle, join, service)
+}
+
+/// The headline contract: a report fetched over TCP carries the exact
+/// payload bytes an in-process service produces for the same spec.
+fn assert_loopback_byte_identical(threads: usize) {
+    let (client, handle, join, _service) = loopback(threads, ServerConfig::default());
+    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("network submit");
+    assert_eq!(wire.status, JobStatus::Completed);
+    let over_the_wire = wire.payload.expect("completed jobs carry a payload");
+
+    // A *separate* in-process service: nothing shared, so agreement
+    // means determinism + faithful transport, not a cache hit.
+    let local = JobService::new(ServiceConfig { threads, ..ServiceConfig::default() });
+    let report = local.submit(JobSpec::full_scan(NetlistSource::Blif(s27_blif()))).wait();
+    let in_process = report.payload.expect("completed jobs carry a payload");
+
+    assert_eq!(
+        over_the_wire.as_bytes(),
+        in_process.as_bytes(),
+        "wire payload must be byte-identical to the in-process payload"
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn loopback_byte_identical_at_one_thread() {
+    assert_loopback_byte_identical(1);
+}
+
+#[test]
+fn loopback_byte_identical_at_all_threads() {
+    assert_loopback_byte_identical(0);
+}
+
+#[test]
+fn deadline_crosses_the_wire() {
+    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    let req = WireRequest::full_scan(s27_blif()).with_deadline(Duration::ZERO);
+    let wire = client.submit(&req).expect("submit with an expired deadline still reports");
+    assert_eq!(wire.status, JobStatus::TimedOut, "a zero deadline must time out server-side");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn busy_under_saturation_then_retry_succeeds() {
+    let (client, handle, join, _service) =
+        loopback(1, ServerConfig { max_connections: 1, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    // Occupy the single slot with an idle connection; give the accept
+    // thread a moment to take it.
+    let hog = TcpStream::connect(addr).expect("hog connects");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // No retry budget: the Busy answer surfaces as an error.
+    let impatient = Client::with_config(
+        addr.to_string(),
+        ClientConfig { retry_budget: Duration::ZERO, ..ClientConfig::default() },
+    );
+    match impatient.ping() {
+        Err(scanpath::net::ClientError::Busy { .. }) => {}
+        other => panic!("expected Busy at the connection cap, got {other:?}"),
+    }
+
+    // With a budget, the retry loop rides out the saturation: free the
+    // slot shortly and the same call succeeds.
+    let freer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        drop(hog);
+    });
+    let patient = Client::with_config(
+        addr.to_string(),
+        ClientConfig { retry_budget: Duration::from_secs(10), ..ClientConfig::default() },
+    );
+    patient.ping().expect("retry succeeds once the slot frees");
+    freer.join().unwrap();
+
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_frame_gets_an_error_and_the_listener_survives() {
+    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    let addr = handle.addr();
+
+    // Garbage that is not even a header.
+    let mut bad = TcpStream::connect(addr).expect("connect");
+    bad.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
+    let (verb, payload) = read_frame(&mut &bad, u32::MAX).expect("server answers a frame");
+    assert_eq!(verb, Verb::Error);
+    let info = scanpath::net::ErrorInfo::decode(&payload).expect("typed error payload");
+    assert_eq!(info.code, ErrorCode::MalformedFrame);
+    drop(bad);
+
+    // A valid frame with a corrupted trailer is also refused politely.
+    let mut torn = TcpStream::connect(addr).expect("connect");
+    let mut frame = encode_frame(Verb::Ping, b"");
+    let last = frame.len() - 1;
+    frame[last] ^= 0xff;
+    torn.write_all(&frame).expect("write corrupted frame");
+    let (verb, _) = read_frame(&mut &torn, u32::MAX).expect("server answers a frame");
+    assert_eq!(verb, Verb::Error);
+    drop(torn);
+
+    // The listener is untouched: real work on a fresh connection runs.
+    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("submit after garbage");
+    assert_eq!(wire.status, JobStatus::Completed);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_job_disconnect_does_not_poison_the_server() {
+    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    let addr = handle.addr();
+
+    // Submit a real job and hang up before reading the response.
+    let mut rude = TcpStream::connect(addr).expect("connect");
+    let payload = WireRequest::full_scan(s27_blif()).encode();
+    write_frame(&mut rude, Verb::Submit, &payload).expect("write submit");
+    drop(rude);
+
+    // Follow-up requests on fresh connections must succeed.
+    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("submit after hangup");
+    assert_eq!(wire.status, JobStatus::Completed);
+    client.ping().expect("ping after hangup");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let (client, handle, join, service) = loopback(1, ServerConfig::default());
+    let addr = handle.addr();
+
+    // An in-flight submission racing the shutdown.
+    let racer = std::thread::spawn(move || {
+        let c = Client::new(addr.to_string());
+        c.submit(&WireRequest::full_scan(write_blif(&iscas::s27())))
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    client.shutdown_server().expect("shutdown acknowledged");
+    join.join().unwrap().unwrap();
+
+    // The drain guarantee: the in-flight job completed and its report
+    // made it back out before the server exited.
+    let wire = racer.join().unwrap().expect("in-flight job survives the drain");
+    assert_eq!(wire.status, JobStatus::Completed);
+    assert!(wire.payload.is_some());
+    assert!(service.metrics().completed >= 1);
+}
+
+#[test]
+fn metrics_verb_serves_both_snapshots() {
+    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    client.submit(&WireRequest::full_scan(s27_blif())).expect("seed some traffic");
+    let json = client.metrics_json().expect("metrics over the wire");
+    assert!(json.starts_with("{\"schema\":\"tpi-netd-metrics/v1\""), "netd schema first: {json}");
+    assert!(json.contains("\"tpi-serve-metrics/v1\""), "service snapshot embedded: {json}");
+    assert!(json.contains("\"frames_read\""), "traffic counters present: {json}");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Deterministic pseudo-random payload bytes: the proptest shim has no
+/// byte-vector strategy, so payloads are derived from `(len, seed)`
+/// via an LCG inside `prop_map`.
+fn payload_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payload bytes survive encode → decode exactly, for
+    /// every verb.
+    #[test]
+    fn frame_roundtrip_identity(len in 0usize..2048, seed in 0u64..u64::MAX, verb_pick in 0usize..9) {
+        let verbs = [
+            Verb::Submit, Verb::Report, Verb::Error, Verb::Busy, Verb::Metrics,
+            Verb::MetricsReport, Verb::Ping, Verb::Pong, Verb::Shutdown,
+        ];
+        let verb = verbs[verb_pick];
+        let payload = payload_bytes(len, seed);
+        let bytes = encode_frame(verb, &payload);
+        let (got_verb, got_payload) = read_frame(&mut bytes.as_slice(), u32::MAX)
+            .expect("well-formed frames decode");
+        prop_assert_eq!(got_verb, verb);
+        prop_assert_eq!(got_payload, payload);
+    }
+
+    /// Corrupting any single byte of a frame yields a typed error or a
+    /// short read — never a panic, and never a silently wrong payload.
+    #[test]
+    fn frame_corruption_is_typed_never_panics(
+        len in 1usize..256,
+        seed in 0u64..u64::MAX,
+        corrupt_at_fraction in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let payload = payload_bytes(len, seed);
+        let mut bytes = encode_frame(Verb::Report, &payload);
+        let idx = corrupt_at_fraction * bytes.len() / 10_000;
+        bytes[idx] ^= flip;
+        match read_frame(&mut bytes.as_slice(), u32::MAX) {
+            // A length-field corruption that *shrinks* the frame can
+            // decode a shorter prefix — but then the trailer (checksum
+            // over the payload) must have caught any payload change.
+            Ok((verb, got)) => {
+                prop_assert_eq!(verb, Verb::Report);
+                prop_assert_eq!(got, payload, "a successful decode must return the true payload");
+            }
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::UnknownVerb(_)
+                | FrameError::Oversize { .. }
+                | FrameError::BadTrailer { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::Closed,
+            ) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
+        }
+    }
+
+    /// A corrupted trailer specifically reports `BadTrailer`.
+    #[test]
+    fn trailer_corruption_is_bad_trailer(len in 0usize..512, seed in 0u64..u64::MAX) {
+        let payload = payload_bytes(len, seed);
+        let mut bytes = encode_frame(Verb::Submit, &payload);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = read_frame(&mut bytes.as_slice(), u32::MAX).unwrap_err();
+        prop_assert!(
+            matches!(err, FrameError::BadTrailer { .. }),
+            "expected BadTrailer, got {}", err
+        );
+    }
+
+    /// An oversize length field is rejected before any allocation of
+    /// payload-sized buffers.
+    #[test]
+    fn oversize_length_is_rejected_early(extra in 1u32..1_000_000) {
+        let cap = 1024u32;
+        let mut bytes = encode_frame(Verb::Ping, &[0u8; 8]);
+        bytes[6..10].copy_from_slice(&(cap + extra).to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice(), cap).unwrap_err();
+        prop_assert!(matches!(err, FrameError::Oversize { .. }), "got {}", err);
+    }
+}
