@@ -71,4 +71,14 @@ cmp "$SMOKE/det1.txt" "$SMOKE/det0.txt"
 echo "== tpi-bench sweep (emits BENCH_PR4.json) =="
 "$BENCH" --emit-bench BENCH_PR4.json
 
+echo "== lane-engine equivalence (release, includes the 10k-gate circuit) =="
+cargo test -q --release -p tpi-core --test lane_equiv -- --include-ignored
+
+echo "== tpi-bench --large: gen50k lane-engine gates (emits BENCH_PR6.json) =="
+# Fails if selections/deterministic sections differ between the scalar
+# and lane engines or across --threads 1/2/0, or if tpgreed at
+# --threads 0 is >15% slower than --threads 1 (the parallel-slowdown
+# regression this PR fixes).
+"$BENCH" --large --emit-bench BENCH_PR6.json
+
 echo "CI green."

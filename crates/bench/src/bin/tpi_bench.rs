@@ -9,7 +9,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N]
+//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N] [--large]
 //! ```
 //!
 //! * `--emit-bench PATH` — also write the machine-readable bench file
@@ -19,17 +19,28 @@
 //!   for every workload at the given `--threads` setting, one line per
 //!   workload, then exit. CI runs this at two settings and `cmp`s the
 //!   files: any byte difference fails the build.
+//! * `--large` — run the ~50k-gate `gen50k` workload instead of the
+//!   smoke suite: full-scan on the lane sweep engine at `--threads 1`,
+//!   `2` and `0` plus a scalar-engine baseline at `--threads 1`. Fails
+//!   if the deterministic sections differ anywhere, or if the `tpgreed`
+//!   phase at `--threads 0` is slower than at `--threads 1` by more
+//!   than 15% (the TPGREED parallel-slowdown regression, gated forever).
+//!   With `--emit-bench`, writes the `suite: "large"` bench file
+//!   (`BENCH_PR6.json`).
 //!
-//! Exit status: `1` if any flow fails or any deterministic section
-//! differs across thread counts.
+//! Exit status: `1` if any flow fails, any deterministic section
+//! differs across thread counts, or a `--large` gate trips.
 
 use std::process::exit;
 use std::time::Instant;
 use tpi_bench::{ArgCursor, Cli};
-use tpi_core::{FlowMetrics, FlowOptions, FullScanFlow, PartialScanFlow, PartialScanMethod};
+use tpi_core::{
+    FlowMetrics, FlowOptions, FullScanFlow, PartialScanFlow, PartialScanMethod, SweepEngine,
+    TpGreedConfig,
+};
 use tpi_netlist::Netlist;
 use tpi_obs::{JsonArray, JsonObject, SpanSnapshot};
-use tpi_workloads::{generate, smoke_suite};
+use tpi_workloads::{generate, large_suite, smoke_suite};
 
 /// The thread settings the determinism gate sweeps.
 const THREAD_SETTINGS: [usize; 3] = [1, 2, 0];
@@ -100,20 +111,157 @@ fn write_or_die(path: &str, contents: &str) {
     }
 }
 
+/// Wall time of the named phase span, searched through the span tree.
+fn span_micros(m: &FlowMetrics, name: &str) -> u64 {
+    fn walk(s: &SpanSnapshot, name: &str) -> Option<u64> {
+        if s.name == name {
+            return Some(s.micros);
+        }
+        s.children.iter().find_map(|c| walk(c, name))
+    }
+    m.spans.iter().find_map(|s| walk(s, name)).unwrap_or(0)
+}
+
+/// One full-scan run of the large workload on a chosen sweep engine.
+fn run_large(n: &Netlist, engine: SweepEngine, threads: usize) -> Run {
+    let flow = FullScanFlow {
+        config: TpGreedConfig { sweep_engine: engine, ..TpGreedConfig::default() },
+        ..FullScanFlow::default()
+    };
+    let opts = FlowOptions::new().with_threads(threads);
+    let t0 = Instant::now();
+    let metrics = flow.run_with(n, &opts).map(|r| r.metrics).unwrap_or_else(|e| {
+        eprintln!("gen50k [full-scan] {engine:?} --threads {threads}: {e}");
+        exit(1);
+    });
+    Run { threads, wall_micros: t0.elapsed().as_micros() as u64, metrics }
+}
+
+/// `--large` mode: the 50k-gate performance validation (see module docs).
+fn large_mode(emit_bench: Option<String>) {
+    let spec = large_suite().remove(0);
+    println!(
+        "tpi-bench --large: generating {} (target {} comb gates)…",
+        spec.name, spec.target_gates
+    );
+    let n = generate(&spec);
+    println!("{} gates, {} FFs", n.gate_count(), n.dffs().len());
+
+    // The runs: lane engine across the thread sweep, scalar baseline.
+    let lane_runs: Vec<Run> =
+        THREAD_SETTINGS.iter().map(|&t| run_large(&n, SweepEngine::Lanes, t)).collect();
+    let scalar = run_large(&n, SweepEngine::Scalar, 1);
+
+    println!("{:<18} {:>8} | {:>12} {:>12}", "engine", "threads", "wall µs", "tpgreed µs");
+    println!("{}", "-".repeat(56));
+    for r in &lane_runs {
+        println!(
+            "{:<18} {:>8} | {:>12} {:>12}",
+            "lanes",
+            r.threads,
+            r.wall_micros,
+            span_micros(&r.metrics, tpi_core::phases::TPGREED)
+        );
+    }
+    println!(
+        "{:<18} {:>8} | {:>12} {:>12}",
+        "scalar",
+        scalar.threads,
+        scalar.wall_micros,
+        span_micros(&scalar.metrics, tpi_core::phases::TPGREED)
+    );
+
+    // Gate 1: selections (and every deterministic counter) must be
+    // byte-identical across engines and thread counts.
+    let det = scalar.metrics.deterministic_json();
+    let identical = lane_runs.iter().all(|r| r.metrics.deterministic_json() == det);
+    if identical {
+        println!("OK: deterministic sections byte-identical (scalar + lanes × threads 1/2/0)");
+    } else {
+        eprintln!("FAIL: deterministic sections differ between engines/thread counts");
+    }
+
+    // Gate 2: the parallel-slowdown regression — tpgreed must not be slower
+    // than sequential. 15% margin absorbs timing noise and single-core
+    // containers (where threads 0 == threads 1).
+    let t1 = span_micros(&lane_runs[0].metrics, tpi_core::phases::TPGREED);
+    let t0 = span_micros(&lane_runs[2].metrics, tpi_core::phases::TPGREED);
+    let parallel_ok = (t0 as f64) <= (t1 as f64) * 1.15;
+    if parallel_ok {
+        println!("OK: tpgreed --threads 0 ({t0} µs) ≤ 1.15 × --threads 1 ({t1} µs)");
+    } else {
+        eprintln!("FAIL: tpgreed --threads 0 ({t0} µs) > 1.15 × --threads 1 ({t1} µs)");
+    }
+
+    let scalar_tpgreed = span_micros(&scalar.metrics, tpi_core::phases::TPGREED);
+    let speedup = scalar_tpgreed as f64 / t1.max(1) as f64;
+    println!("lane-engine tpgreed speedup vs scalar (threads 1): {speedup:.1}×");
+
+    if let Some(path) = emit_bench {
+        let mut workloads_arr = JsonArray::new();
+        let mut w = JsonObject::new();
+        w.field_str("circuit", &spec.name)
+            .field_str("flow", "full-scan")
+            .field_object("counters", counter_object(&scalar.metrics.counters));
+        let mut runs_arr = JsonArray::new();
+        for (engine, r) in
+            std::iter::once(("scalar", &scalar)).chain(lane_runs.iter().map(|r| ("lanes", r)))
+        {
+            let mut ro = JsonObject::new();
+            ro.field_str("engine", engine)
+                .field_u64("threads", r.threads as u64)
+                .field_u64("wall_micros", r.wall_micros)
+                .field_object("phase_micros", phase_micros(&r.metrics))
+                .field_object("nd_counters", counter_object(&r.metrics.nd_counters));
+            runs_arr.push_object(ro);
+        }
+        w.field_array("runs", runs_arr);
+        workloads_arr.push_object(w);
+
+        let mut root = JsonObject::new();
+        root.field_str("schema", "tpi-bench/v1")
+            .field_str("suite", "large")
+            .field_str("thread_settings", "1,2,0")
+            .field_bool("deterministic_sections_identical", identical)
+            .field_bool("parallel_tpgreed_gate_ok", parallel_ok)
+            .field_u64("scalar_tpgreed_micros_t1", scalar_tpgreed)
+            .field_u64("lanes_tpgreed_micros_t1", t1)
+            .field_str("lanes_speedup_vs_scalar_t1", &format!("{speedup:.2}"))
+            .field_array("workloads", workloads_arr);
+        let mut text = root.finish();
+        text.push('\n');
+        write_or_die(&path, &text);
+        println!("wrote bench file to {path}");
+    }
+
+    if !identical || !parallel_ok {
+        exit(1);
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let mut emit_bench: Option<String> = None;
     let mut det_out: Option<String> = None;
+    let mut large = false;
     let mut cur = ArgCursor::new(cli.args.clone());
     while let Some(a) = cur.next_arg() {
         match a.as_str() {
             "--emit-bench" => emit_bench = Some(cur.value("--emit-bench")),
             "--det-out" => det_out = Some(cur.value("--det-out")),
+            "--large" => large = true,
             other => {
-                eprintln!("unknown argument: {other} (expected --emit-bench/--det-out/--threads)");
+                eprintln!(
+                    "unknown argument: {other} (expected --emit-bench/--det-out/--threads/--large)"
+                );
                 exit(2);
             }
         }
+    }
+
+    if large {
+        large_mode(emit_bench);
+        return;
     }
 
     // CI mode: dump only the deterministic sections at one setting.

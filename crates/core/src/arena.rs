@@ -1,0 +1,382 @@
+//! Dense (SoA) sweep-side data for TPGREED's inner loops.
+//!
+//! The greedy gain sweep interrogates the same three structures millions
+//! of times per run: *which paths does this net affect* (the reverse
+//! path indices), *what is this path's status under a trial implication*
+//! (side-input sources and their sensitizing values), and *which dense
+//! flip-flop slot does this FF map to* (chain bookkeeping). [`PathSet`]
+//! and the `HashMap`-based lookups answer all three correctly but pay a
+//! hash + pointer hop per query; [`SweepArena`] flattens them into
+//! contiguous CSR arrays built once per [`crate::tpgreed::TpGreed`] run,
+//! indexed directly by net index and [`PathId`]. It is pure data — no
+//! mutable state — so worker threads share it by reference.
+
+use crate::paths::{PathId, PathSet};
+use tpi_netlist::{GateId, Netlist};
+use tpi_sim::Trit;
+
+/// Sentinel for "this gate is not a flip-flop" in [`SweepArena::ff_slot`].
+const NO_FF: u32 = u32::MAX;
+
+/// Flattened per-run snapshot of the path set and FF numbering. See the
+/// module docs.
+#[derive(Debug)]
+pub(crate) struct SweepArena {
+    /// Gate index -> dense FF slot (`NO_FF` for non-FF gates).
+    ff_index: Vec<u32>,
+    /// Per-path side inputs, CSR: `(source net index, sensitizing value
+    /// of the sink gate)`. The sensitizing value is resolved at build
+    /// time — it depends only on the sink's kind.
+    side_off: Vec<u32>,
+    sides: Vec<(u32, Option<Trit>)>,
+    /// Per-path on-path gates, CSR.
+    gate_off: Vec<u32>,
+    gates: Vec<u32>,
+    /// Per-path endpoints (net indices).
+    from: Vec<u32>,
+    to: Vec<u32>,
+    /// Net index -> paths listing the net as a side-input source, CSR.
+    by_side_off: Vec<u32>,
+    by_side: Vec<PathId>,
+    /// Net index -> paths running through the net, CSR.
+    by_through_off: Vec<u32>,
+    by_through: Vec<PathId>,
+    /// Net index -> paths originating at the net (a source FF), CSR.
+    by_from_off: Vec<u32>,
+    by_from: Vec<PathId>,
+    /// Net index -> whether *any* of the three reverse lists is
+    /// non-empty. The gain sweep walks every changed net of a preview;
+    /// on large circuits most changed nets are filler logic no path
+    /// touches, so one dense bool read short-circuits three CSR offset
+    /// lookups on the hot path.
+    path_relevant: Vec<bool>,
+    /// Net index -> *pin-level* reverse index, CSR: every role the net
+    /// plays in any path, one entry per pin. Unlike the three per-role
+    /// lists above this keeps duplicates (a net feeding two side pins of
+    /// one path appears twice, with each pin's own sensitizing value),
+    /// which is what lets a consumer turn "net changed to `v`" into an
+    /// O(1) per-pin status delta instead of re-walking the whole path.
+    pin_off: Vec<u32>,
+    pins: Vec<PathPin>,
+}
+
+/// One entry of the pin-level reverse index: the path and the role the
+/// net plays in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PinRole {
+    /// The net is a gate on the path: any constant nullifies.
+    Through,
+    /// The net is the path's source flip-flop: any constant nullifies.
+    From,
+    /// The net feeds a side pin whose sink sensitizes on this value
+    /// (`None` for non-sensitizable sinks, where any constant
+    /// nullifies).
+    Side(Option<Trit>),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PathPin {
+    pub path: PathId,
+    pub role: PinRole,
+}
+
+/// Builds a reverse CSR (net index -> path ids) from a per-path visitor
+/// that yields the net indices a path should be listed under. Path ids
+/// come out ascending within each net's list.
+fn reverse_csr(
+    gate_count: usize,
+    path_count: usize,
+    mut nets_of: impl FnMut(usize, &mut Vec<u32>),
+) -> (Vec<u32>, Vec<PathId>) {
+    let mut counts = vec![0u32; gate_count + 1];
+    let mut scratch = Vec::new();
+    for p in 0..path_count {
+        scratch.clear();
+        nets_of(p, &mut scratch);
+        for &net in scratch.iter() {
+            counts[net as usize + 1] += 1;
+        }
+    }
+    for i in 0..gate_count {
+        counts[i + 1] += counts[i];
+    }
+    let off = counts.clone();
+    let mut cursor = counts;
+    let mut items = vec![PathId(0); off[gate_count] as usize];
+    for p in 0..path_count {
+        scratch.clear();
+        nets_of(p, &mut scratch);
+        for &net in scratch.iter() {
+            items[cursor[net as usize] as usize] = PathId(p as u32);
+            cursor[net as usize] += 1;
+        }
+    }
+    (off, items)
+}
+
+impl SweepArena {
+    pub(crate) fn build(n: &Netlist, paths: &PathSet) -> Self {
+        let gate_count = n.gate_count();
+        let mut ff_index = vec![NO_FF; gate_count];
+        for (slot, ff) in n.dffs().into_iter().enumerate() {
+            ff_index[ff.index()] = slot as u32;
+        }
+        let count = paths.len();
+        let mut side_off = Vec::with_capacity(count + 1);
+        let mut sides = Vec::new();
+        let mut gate_off = Vec::with_capacity(count + 1);
+        let mut gates = Vec::new();
+        let mut from = Vec::with_capacity(count);
+        let mut to = Vec::with_capacity(count);
+        side_off.push(0);
+        gate_off.push(0);
+        for id in paths.ids() {
+            let p = paths.path(id);
+            for c in &p.side_inputs {
+                let sens = n.kind(c.sink).sensitizing_value().map(Trit::from);
+                sides.push((c.source.index() as u32, sens));
+            }
+            side_off.push(sides.len() as u32);
+            gates.extend(p.gates.iter().map(|g| g.index() as u32));
+            gate_off.push(gates.len() as u32);
+            from.push(p.from.index() as u32);
+            to.push(p.to.index() as u32);
+        }
+        let (by_side_off, by_side) = reverse_csr(gate_count, count, |p, out| {
+            let lo = side_off[p] as usize;
+            let hi = side_off[p + 1] as usize;
+            out.extend(sides[lo..hi].iter().map(|&(net, _)| net));
+            // A path may list one source twice (two side pins); keep one
+            // entry per (net, path) so lookups mirror `PathSet`'s lists
+            // after the caller's sort+dedup.
+            out.sort_unstable();
+            out.dedup();
+        });
+        let (by_through_off, by_through) = reverse_csr(gate_count, count, |p, out| {
+            let lo = gate_off[p] as usize;
+            let hi = gate_off[p + 1] as usize;
+            out.extend_from_slice(&gates[lo..hi]);
+            out.sort_unstable();
+            out.dedup();
+        });
+        let (by_from_off, by_from) = reverse_csr(gate_count, count, |p, out| out.push(from[p]));
+        let path_relevant = (0..gate_count)
+            .map(|i| {
+                by_side_off[i] != by_side_off[i + 1]
+                    || by_through_off[i] != by_through_off[i + 1]
+                    || by_from_off[i] != by_from_off[i + 1]
+            })
+            .collect();
+        // Pin-level reverse CSR: two-pass count + fill, paths ascending,
+        // roles in From/Through/Side order within each path.
+        let mut pin_counts = vec![0u32; gate_count + 1];
+        for p in 0..count {
+            pin_counts[from[p] as usize + 1] += 1;
+            for &g in &gates[gate_off[p] as usize..gate_off[p + 1] as usize] {
+                pin_counts[g as usize + 1] += 1;
+            }
+            for &(src, _) in &sides[side_off[p] as usize..side_off[p + 1] as usize] {
+                pin_counts[src as usize + 1] += 1;
+            }
+        }
+        for i in 0..gate_count {
+            pin_counts[i + 1] += pin_counts[i];
+        }
+        let pin_off = pin_counts.clone();
+        let mut cursor = pin_counts;
+        let dummy = PathPin { path: PathId(0), role: PinRole::From };
+        let mut pins = vec![dummy; pin_off[gate_count] as usize];
+        for p in 0..count {
+            let mut place = |net: u32, role: PinRole| {
+                pins[cursor[net as usize] as usize] = PathPin { path: PathId(p as u32), role };
+                cursor[net as usize] += 1;
+            };
+            place(from[p], PinRole::From);
+            for &g in &gates[gate_off[p] as usize..gate_off[p + 1] as usize] {
+                place(g, PinRole::Through);
+            }
+            for &(src, sens) in &sides[side_off[p] as usize..side_off[p + 1] as usize] {
+                place(src, PinRole::Side(sens));
+            }
+        }
+        SweepArena {
+            ff_index,
+            side_off,
+            sides,
+            gate_off,
+            gates,
+            from,
+            to,
+            by_side_off,
+            by_side,
+            by_through_off,
+            by_through,
+            by_from_off,
+            by_from,
+            path_relevant,
+            pin_off,
+            pins,
+        }
+    }
+
+    /// Pin-level reverse index of `net`: every pin of every path the net
+    /// feeds, duplicates preserved. See [`PathPin`].
+    #[inline]
+    pub(crate) fn pins(&self, net: usize) -> &[PathPin] {
+        &self.pins[self.pin_off[net] as usize..self.pin_off[net + 1] as usize]
+    }
+
+    /// Whether any path lists `net` in a reverse index. `false` means
+    /// [`SweepArena::paths_with_side_source`], [`SweepArena::paths_through`]
+    /// and [`SweepArena::paths_from`] are all empty for `net`.
+    #[inline]
+    pub(crate) fn path_relevant(&self, net: GateId) -> bool {
+        self.path_relevant[net.index()]
+    }
+
+    /// Dense FF slot of `g`, if `g` is a flip-flop.
+    #[inline]
+    pub(crate) fn ff_slot(&self, g: GateId) -> Option<usize> {
+        match self.ff_index[g.index()] {
+            NO_FF => None,
+            slot => Some(slot as usize),
+        }
+    }
+
+    /// Source flip-flop of path `id`.
+    #[inline]
+    pub(crate) fn source_gate(&self, id: PathId) -> GateId {
+        GateId::from_index(self.from[id.index()] as usize)
+    }
+
+    /// Destination flip-flop of path `id`.
+    #[inline]
+    pub(crate) fn to_gate(&self, id: PathId) -> GateId {
+        GateId::from_index(self.to[id.index()] as usize)
+    }
+
+    /// Paths listing `net` as a side-input source.
+    #[inline]
+    pub(crate) fn paths_with_side_source(&self, net: GateId) -> &[PathId] {
+        let i = net.index();
+        &self.by_side[self.by_side_off[i] as usize..self.by_side_off[i + 1] as usize]
+    }
+
+    /// Paths running through `net`.
+    #[inline]
+    pub(crate) fn paths_through(&self, net: GateId) -> &[PathId] {
+        let i = net.index();
+        &self.by_through[self.by_through_off[i] as usize..self.by_through_off[i + 1] as usize]
+    }
+
+    /// Paths originating at flip-flop `net`.
+    #[inline]
+    pub(crate) fn paths_from(&self, net: GateId) -> &[PathId] {
+        let i = net.index();
+        &self.by_from[self.by_from_off[i] as usize..self.by_from_off[i + 1] as usize]
+    }
+
+    /// Status of path `id` under the value assignment `value`:
+    /// `(nullified, w)` where `w` counts side inputs still unknown. The
+    /// value oracle abstracts over the scalar engine, one lane of the
+    /// word-parallel engine, or any other assignment source; the logic is
+    /// the single authoritative implementation of the paper's path
+    /// bookkeeping (a constant at the source FF or on a path gate blocks
+    /// shifting; a non-sensitizing constant on a side input nullifies).
+    pub(crate) fn path_status(&self, id: PathId, value: &impl Fn(GateId) -> Trit) -> (bool, u32) {
+        let p = id.index();
+        if value(self.source_gate(id)).is_known() {
+            return (true, 0);
+        }
+        let (glo, ghi) = (self.gate_off[p] as usize, self.gate_off[p + 1] as usize);
+        for &g in &self.gates[glo..ghi] {
+            if value(GateId::from_index(g as usize)).is_known() {
+                return (true, 0);
+            }
+        }
+        let mut w = 0;
+        let (slo, shi) = (self.side_off[p] as usize, self.side_off[p + 1] as usize);
+        for &(src, sens) in &self.sides[slo..shi] {
+            match value(GateId::from_index(src as usize)) {
+                Trit::X => w += 1,
+                v if Some(v) == sens => {}
+                _ => return (true, 0),
+            }
+        }
+        (false, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::enumerate_paths;
+    use tpi_netlist::NetlistBuilder;
+    use tpi_sim::Implication;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("arena");
+        b.input("x");
+        b.input("d1");
+        b.input("d4");
+        b.dff("f1", "d1");
+        b.dff("f4", "d4");
+        b.gate(tpi_netlist::GateKind::Or, "g1", &["f1", "x"]);
+        b.dff("f2", "g1");
+        b.gate(tpi_netlist::GateKind::And, "g2", &["f2", "f4"]);
+        b.dff("f3", "g2");
+        b.output("o", "f3");
+        b.finish().unwrap()
+    }
+
+    /// The arena's reverse indices must list exactly the paths the
+    /// `PathSet` hash indices list, and `path_status` must agree with a
+    /// straight re-derivation from the path record.
+    #[test]
+    fn arena_mirrors_pathset_indices() {
+        let n = sample();
+        let paths = enumerate_paths(&n, 10, usize::MAX);
+        let arena = SweepArena::build(&n, &paths);
+        for g in n.gate_ids() {
+            let mut want: Vec<PathId> = paths.paths_with_side_source(g).to_vec();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(arena.paths_with_side_source(g), want, "side source {g}");
+            let mut want: Vec<PathId> = paths.paths_through(g).to_vec();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(arena.paths_through(g), want, "through {g}");
+            let mut want: Vec<PathId> = paths.paths_from(g).to_vec();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(arena.paths_from(g), want, "from {g}");
+        }
+        for (slot, ff) in n.dffs().into_iter().enumerate() {
+            assert_eq!(arena.ff_slot(ff), Some(slot));
+        }
+        for id in paths.ids() {
+            assert_eq!(arena.source_gate(id), paths.path(id).from);
+            assert_eq!(arena.to_gate(id), paths.path(id).to);
+        }
+    }
+
+    #[test]
+    fn path_status_tracks_implication() {
+        let n = sample();
+        let paths = enumerate_paths(&n, 10, usize::MAX);
+        let arena = SweepArena::build(&n, &paths);
+        let mut imp = Implication::new(&n);
+        // Initially every side input is unknown.
+        for id in paths.ids() {
+            let (nullified, w) = arena.path_status(id, &|g| imp.value(g));
+            assert!(!nullified);
+            assert_eq!(w as usize, paths.path(id).side_input_count());
+        }
+        // x = 0 sensitizes the OR side input of f1 -> f2.
+        let x = n.find("x").unwrap();
+        imp.force(x, Trit::Zero);
+        let (f1, f2) = (n.find("f1").unwrap(), n.find("f2").unwrap());
+        let id = paths.pair(f1, f2)[0];
+        assert_eq!(arena.path_status(id, &|g| imp.value(g)), (false, 0));
+    }
+}

@@ -34,6 +34,7 @@
 //!   deterministic per-phase counters;
 //! * [`report`] — result rows shaped like the paper's tables.
 
+mod arena;
 pub mod flow;
 pub mod input_assign;
 pub mod options;
@@ -56,7 +57,7 @@ pub use paths::{
 };
 pub use progress::{CancelKind, Canceled, CounterSnapshot, Progress};
 pub use report::{Table1Row, Table3Row};
-pub use tpgreed::{GainUpdate, TpGreed, TpGreedConfig, TpGreedOutcome};
+pub use tpgreed::{GainUpdate, SweepEngine, TpGreed, TpGreedConfig, TpGreedOutcome};
 pub use tpi_netlist::Region;
 pub use tpi_obs::{FlowMetrics, Recorder};
 pub use tptime::{PlanAction, ScanPlan, ScanPlanner};

@@ -20,14 +20,23 @@
 //! expensive and suggests an incremental alternative; both are available
 //! via [`GainUpdate`] and produce identical selections (see the
 //! `ablation_gain` bench and the equivalence tests).
+//!
+//! The candidate-gain sweep itself runs on one of two interchangeable
+//! engines (see [`SweepEngine`]): the scalar `preview_force` round trip,
+//! or the word-parallel [`LaneEngine`] that previews 64 candidates per
+//! forward pass over two `u64` bit-planes per net. Both feed the same
+//! scoring code with identical change/frontier lists, so selections are
+//! byte-identical; the lane engine only changes how fast the answer
+//! arrives.
 
+use crate::arena::{PinRole, SweepArena};
 use crate::paths::{enumerate_paths_with, PathId, PathSet};
 use crate::progress::{Canceled, Progress};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use tpi_netlist::{GateId, GateKind, Netlist};
 use tpi_par::Threads;
-use tpi_sim::{Implication, Trit};
+use tpi_sim::{Assignment, Implication, LaneEngine, Trit, LANES};
 
 /// Gain bookkeeping strategy (§III.C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +49,22 @@ pub enum GainUpdate {
     /// improvement. Selections are identical to [`GainUpdate::Full`].
     #[default]
     Incremental,
+}
+
+/// Implementation used for the candidate-gain sweep. Every engine
+/// produces byte-identical selections (the change/frontier lists feeding
+/// the scoring code are provably equal — see the lane-equivalence
+/// property tests); the knob exists for benchmarking and bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepEngine {
+    /// Pick per sweep: the word-parallel engine once a sweep has enough
+    /// previews to fill lanes, the scalar engine below that.
+    #[default]
+    Auto,
+    /// One `preview_force`/`undo_preview` round trip per candidate.
+    Scalar,
+    /// 64 candidate previews per forward pass (bit-plane lanes).
+    Lanes,
 }
 
 /// Configuration for [`TpGreed`].
@@ -64,6 +89,9 @@ pub struct TpGreedConfig {
     /// (highest gain, then lowest candidate index) never depends on
     /// worker scheduling.
     pub threads: usize,
+    /// Candidate-gain sweep implementation; selections are identical for
+    /// every choice.
+    pub sweep_engine: SweepEngine,
 }
 
 impl Default for TpGreedConfig {
@@ -75,6 +103,7 @@ impl Default for TpGreedConfig {
             gain_update: GainUpdate::Incremental,
             max_paths: 1 << 22,
             threads: 1,
+            sweep_engine: SweepEngine::Auto,
         }
     }
 }
@@ -183,17 +212,26 @@ pub struct TpGreed<'a> {
     cfg: TpGreedConfig,
     paths: PathSet,
     imp: Implication<'a>,
+    /// Word-parallel twin of `imp`, kept in lock-step after every commit.
+    lanes: LaneEngine,
+    /// Dense per-run snapshot of the path set's reverse indices, the
+    /// per-path side-input/sensitizing data, and the FF numbering.
+    arena: SweepArena,
     state: Vec<PathState>,
-    /// FF -> dense index.
-    ff_index: HashMap<GateId, usize>,
     out_taken: Vec<bool>,
     in_taken: Vec<bool>,
     frags: Fragments,
     /// Nets whose values are pinned by established paths (desired
-    /// constants); value recorded for conflict detection.
-    protected: HashMap<GateId, Trit>,
+    /// constants, indexed by gate; `X` = unprotected — protected values
+    /// are always known).
+    protected: Vec<Trit>,
     /// Nets lying on an established path (must stay unknown).
     established_net: Vec<bool>,
+    /// Committed trit per net — a dense snapshot of `imp`'s values,
+    /// refreshed from each commit delta. The lane scorer classifies every
+    /// union change as an O(1) transition `committed class -> trial
+    /// class` instead of re-walking path status.
+    committed: Vec<Trit>,
     // --- outcome accumulators ---
     test_points: Vec<(GateId, Trit)>,
     established: Vec<PathId>,
@@ -201,18 +239,159 @@ pub struct TpGreed<'a> {
     // --- incremental-gain machinery ---
     gains: Vec<f64>,
     dirty: Vec<bool>,
-    path_watchers: HashMap<PathId, Vec<usize>>,
-    net_watchers: HashMap<GateId, Vec<usize>>,
+    /// Registration epoch per candidate: bumped on every
+    /// `register_watchers`, so entries from earlier registrations are
+    /// recognizably stale (watcher lists carry the epoch they were
+    /// written under) and heap entries from earlier refreshes too.
+    watch_epoch: Vec<u32>,
+    /// Path -> watching candidates, indexed by path. Stale entries
+    /// (epoch no longer current) are dropped lazily on marking and on
+    /// re-registration growth. Lane sweeps register batch-wide
+    /// [`WatchEntry::Group`] masks here, like the net/gate lists.
+    path_watchers: Vec<Vec<WatchEntry>>,
+    /// Net -> candidates whose preview determined that net, indexed by
+    /// gate. Lane sweeps register whole batches at once (see
+    /// [`WatchEntry::Group`]): one entry per *union* net instead of one
+    /// per `(net, lane)` pair — registration is the only per-change cost
+    /// the lane engine would otherwise still pay at scalar rates.
+    net_watchers: Vec<Vec<WatchEntry>>,
     /// Frontier gates per candidate: a candidate's implication wave can
     /// *extend* through these gates once another insertion determines one
     /// of their inputs, so commits that touch their fanins re-dirty the
-    /// registered candidates.
-    gate_watchers: HashMap<GateId, Vec<usize>>,
+    /// registered candidates. Indexed by gate.
+    gate_watchers: Vec<Vec<WatchEntry>>,
+    /// Lane-batch registration table: group id -> per-lane `(candidate,
+    /// epoch at registration)`. [`WatchEntry::Group`] masks index into
+    /// this. Entries are never removed — a group goes dead once all its
+    /// lanes re-register — but the table is bounded by one record per
+    /// batch per sweep (~megabytes across a full run, reclaimed with the
+    /// runner).
+    watch_groups: Vec<Vec<(u32, u32)>>,
+    /// Cone-clustering sort key for lane batching (see
+    /// [`tpi_sim::NetView::cone_order`] — computed once per run).
+    cone_order: Vec<u32>,
     /// Cooperative cancellation token and run counters.
     progress: Arc<Progress>,
+    /// Reusable per-sweep scoring scratch (stamp-dedup arrays).
+    scratch: ScoreScratch,
+}
+
+/// Reusable scoring scratch: stamp arrays replace the per-preview
+/// sort+dedup of affected paths and the `BTreeMap` of per-destination
+/// maxima with O(1) amortized lookups. One instance lives on [`TpGreed`]
+/// for sequential sweeps; parallel sweeps clone one per worker alongside
+/// the engine.
+#[derive(Debug, Clone)]
+struct ScoreScratch {
+    /// Last stamp that visited each path (dedup across the three reverse
+    /// indices).
+    path_stamp: Vec<u32>,
+    /// Last stamp that touched each destination gate.
+    dest_stamp: Vec<u32>,
+    /// Best per-destination contribution under the current stamp.
+    dest_best: Vec<f64>,
+    /// Destinations touched under the current stamp.
+    dests: Vec<u32>,
+    stamp: u32,
+    // --- lane-batch accumulators (see `EvalCtx::lane_group`) ---
+    /// Last batch round that touched each path.
+    acc_stamp: Vec<u32>,
+    /// Path -> index into `accs` under the current batch round.
+    acc_slot: Vec<u32>,
+    /// Per-path accumulators of the open batch, in first-touch order.
+    accs: Vec<BatchAcc>,
+    acc_round: u32,
+    /// Per-lane `(destination, contribution)` lists of the open batch.
+    lane_contrib: Vec<Vec<(u32, f64)>>,
+}
+
+/// Per-path accumulator of one lane batch: which lanes touched the path,
+/// which nullified it, and each lane's side-input delta `dw` relative to
+/// the committed `w`. Built from O(1) per-pin class transitions instead
+/// of a full `path_status` walk per `(path, lane)` pair.
+#[derive(Debug, Clone, Copy)]
+struct BatchAcc {
+    path: u32,
+    touched: u64,
+    null: u64,
+    dw: [i8; LANES],
+}
+
+impl ScoreScratch {
+    fn new(path_count: usize, gate_count: usize) -> Self {
+        ScoreScratch {
+            path_stamp: vec![0; path_count],
+            dest_stamp: vec![0; gate_count],
+            dest_best: vec![0.0; gate_count],
+            dests: Vec::new(),
+            stamp: 0,
+            acc_stamp: vec![0; path_count],
+            acc_slot: vec![0; path_count],
+            accs: Vec::new(),
+            acc_round: 0,
+            lane_contrib: (0..LANES).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Starts a new evaluation: returns a stamp no array currently holds.
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.path_stamp.fill(0);
+            self.dest_stamp.fill(0);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+
+    /// Starts a new lane batch: clears the accumulators.
+    fn begin_batch(&mut self) {
+        self.accs.clear();
+        self.acc_round = self.acc_round.wrapping_add(1);
+        if self.acc_round == 0 {
+            self.acc_stamp.fill(0);
+            self.acc_round = 1;
+        }
+    }
+
+    /// The accumulator for `path` under the current batch round,
+    /// creating it zeroed on first touch.
+    #[inline]
+    fn acc_for(&mut self, path: u32) -> &mut BatchAcc {
+        let pi = path as usize;
+        if self.acc_stamp[pi] != self.acc_round {
+            self.acc_stamp[pi] = self.acc_round;
+            self.acc_slot[pi] = self.accs.len() as u32;
+            self.accs.push(BatchAcc { path, touched: 0, null: 0, dw: [0; LANES] });
+        }
+        &mut self.accs[self.acc_slot[pi] as usize]
+    }
+}
+
+/// One parallel sweep worker: an engine clone plus its scoring scratch.
+#[derive(Clone)]
+struct Worker<E> {
+    eng: E,
+    sc: ScoreScratch,
 }
 
 const GAIN_INVALID: f64 = -1.0;
+
+/// Sweeps with at least this many non-trivial previews use the lane
+/// engine under [`SweepEngine::Auto`]: below it, a single batch would run
+/// mostly empty lanes and the scalar engine's smaller per-preview setup
+/// wins.
+const LANE_MIN_PREVIEWS: usize = 16;
+
+/// Per-sweep work threshold for spawning workers, measured in previews:
+/// under ~512 previews the engine clone + thread spawn overhead exceeds
+/// the sweep itself (measured on the `smoke_*` circuits, where the old
+/// `cands.len() < 2 * threads` cutoff let every tiny incremental refresh
+/// pay for a pool — the PR4 `--threads 2` regression). The threshold
+/// compares *previews*, not candidates: trivially answered candidates
+/// (forced/implied/ineligible nets) cost nanoseconds and never justify a
+/// spawn.
+const SPAWN_MIN_PREVIEWS: usize = 512;
 
 impl<'a> TpGreed<'a> {
     /// Prepares a run over `n`: enumerates paths and initializes state.
@@ -228,9 +407,9 @@ impl<'a> TpGreed<'a> {
     /// Like [`TpGreed::new`] but reuses a pre-enumerated [`PathSet`].
     pub fn with_paths(n: &'a Netlist, cfg: TpGreedConfig, paths: PathSet) -> Self {
         let imp = Implication::new(n);
+        let lanes = LaneEngine::mirror(&imp);
+        let arena = SweepArena::build(n, &paths);
         let ffs = n.dffs();
-        let ff_index: HashMap<GateId, usize> =
-            ffs.iter().enumerate().map(|(i, &f)| (f, i)).collect();
         let mut state = Vec::with_capacity(paths.len());
         for id in paths.ids() {
             let p = paths.path(id);
@@ -251,26 +430,34 @@ impl<'a> TpGreed<'a> {
             state.push(PathState { alive, established: false, w });
         }
         let candidate_count = n.gate_count() * 2;
+        let committed = (0..n.gate_count()).map(|i| imp.value(GateId::from_index(i))).collect();
+        let cone_order = imp.view().cone_order();
         TpGreed {
             n,
             cfg,
             imp,
+            lanes,
+            arena,
             state,
-            ff_index,
             out_taken: vec![false; ffs.len()],
             in_taken: vec![false; ffs.len()],
             frags: Fragments::new(ffs.len()),
-            protected: HashMap::new(),
+            protected: vec![Trit::X; n.gate_count()],
             established_net: vec![false; n.gate_count()],
+            committed,
             test_points: Vec::new(),
             established: Vec::new(),
             iterations: 0,
             gains: vec![0.0; candidate_count],
             dirty: vec![true; candidate_count],
-            path_watchers: HashMap::new(),
-            net_watchers: HashMap::new(),
-            gate_watchers: HashMap::new(),
+            watch_epoch: vec![0; candidate_count],
+            path_watchers: vec![Vec::new(); paths.len()],
+            net_watchers: vec![Vec::new(); n.gate_count()],
+            gate_watchers: vec![Vec::new(); n.gate_count()],
+            watch_groups: Vec::new(),
+            cone_order,
             progress: Arc::new(Progress::new()),
+            scratch: ScoreScratch::new(paths.len(), n.gate_count()),
             paths,
         }
     }
@@ -349,7 +536,7 @@ impl<'a> TpGreed<'a> {
             self.progress.checkpoint()?;
             self.progress.add_round();
             self.iterations += 1;
-            let evals = self.sweep_gains(&all, false);
+            let evals = self.sweep_gains(&all, false).evals;
             let mut best: Option<(f64, usize)> = None;
             for (cand, e) in evals.iter().enumerate() {
                 let g = e.gain;
@@ -365,7 +552,14 @@ impl<'a> TpGreed<'a> {
     }
 
     fn run_incremental(&mut self) -> Result<(), Canceled> {
-        let mut heap: BinaryHeap<(OrdF64, std::cmp::Reverse<usize>)> = BinaryHeap::new();
+        // Heap entries carry the candidate's registration epoch at push
+        // time: a later re-evaluation bumps the epoch, making every older
+        // entry recognizably stale. (An earlier version compared the
+        // entry's gain against `self.gains[cand]` within an epsilon — a
+        // float-equality proxy that accepted stale entries whenever a
+        // re-evaluation landed within epsilon of the old gain, e.g. under
+        // the `1e-6 * kills` tie-break nudge.)
+        let mut heap: BinaryHeap<(OrdF64, std::cmp::Reverse<usize>, u32)> = BinaryHeap::new();
         loop {
             self.progress.checkpoint()?;
             self.progress.add_round();
@@ -373,20 +567,27 @@ impl<'a> TpGreed<'a> {
             // Refresh dirty candidates (ascending order; the parallel
             // sweep returns results in that same order).
             let dirty: Vec<usize> = (0..self.gains.len()).filter(|&c| self.dirty[c]).collect();
-            let evals = self.sweep_gains(&dirty, true);
-            for (&cand, eval) in dirty.iter().zip(&evals) {
+            let sweep = self.sweep_gains(&dirty, true);
+            for (&cand, eval) in dirty.iter().zip(&sweep.evals) {
                 self.dirty[cand] = false;
                 self.gains[cand] = eval.gain;
                 self.register_watchers(cand, eval);
                 if eval.gain > 0.0 && eval.gain >= self.cfg.gain_bound {
-                    heap.push((OrdF64(eval.gain), std::cmp::Reverse(cand)));
+                    heap.push((OrdF64(eval.gain), std::cmp::Reverse(cand), self.watch_epoch[cand]));
                 }
             }
-            // Pop the best non-stale entry.
+            // Lane-batch net/frontier registrations, applied after every
+            // epoch bump above so the group snapshots carry the current
+            // epochs.
+            for reg in &sweep.groups {
+                self.register_group(reg);
+            }
+            // Pop the best non-stale entry. Ties on (gain, candidate)
+            // pop the freshest epoch first, which is the live one.
             let mut chosen = None;
-            while let Some((OrdF64(g), std::cmp::Reverse(cand))) = heap.pop() {
-                if (self.gains[cand] - g).abs() > 1e-12 {
-                    continue; // stale
+            while let Some((_, std::cmp::Reverse(cand), epoch)) = heap.pop() {
+                if self.watch_epoch[cand] != epoch {
+                    continue; // stale: the candidate was re-evaluated
                 }
                 chosen = Some(cand);
                 break;
@@ -404,15 +605,22 @@ impl<'a> TpGreed<'a> {
     /// Evaluates Equation 1 for every candidate in `cands`, returning the
     /// results in the same order.
     ///
-    /// With `cfg.threads > 1` the candidates are fanned across a scoped
-    /// thread pool; each worker owns one clone of the implication engine
-    /// for the whole sweep, and `preview_force`/`undo_preview` stay
-    /// thread-local to that clone. Evaluations are independent — a
-    /// preview restores the engine exactly (see the
+    /// Candidates answered from the committed state alone (ineligible or
+    /// already-forced nets, values the implication already carries) are
+    /// classified out first; the remaining *previews* run on the engine
+    /// selected by `cfg.sweep_engine` — scalar round trips or 64-wide
+    /// lane batches, grouped in candidate order.
+    ///
+    /// With `cfg.threads > 1` and at least [`SPAWN_MIN_PREVIEWS`] worth
+    /// of preview work, the jobs are fanned across a scoped thread pool;
+    /// each worker owns one clone of its engine for the whole sweep, and
+    /// previews stay thread-local to that clone. Evaluations are
+    /// independent — a preview restores the engine exactly (see the
     /// `implication_preview_roundtrip` property) and the union-find roots
     /// are snapshotted up front — so the result vector is identical to
-    /// the sequential sweep's, element for element.
-    fn sweep_gains(&mut self, cands: &[usize], register: bool) -> Vec<GainEval> {
+    /// the sequential sweep's, element for element, at every `threads`
+    /// setting and on every engine.
+    fn sweep_gains(&mut self, cands: &[usize], register: bool) -> SweepResult {
         // The sweep size is a pure function of the netlist and config
         // (never of worker scheduling), so this counter is identical at
         // every `threads` setting.
@@ -425,44 +633,168 @@ impl<'a> TpGreed<'a> {
         };
         let ctx = EvalCtx {
             n: self.n,
-            paths: &self.paths,
+            arena: &self.arena,
             state: &self.state,
-            ff_index: &self.ff_index,
             out_taken: &self.out_taken,
             in_taken: &self.in_taken,
             ff_roots: &ff_roots,
             protected: &self.protected,
             established_net: &self.established_net,
+            committed: &self.committed,
         };
+        // Classify: trivial candidates are answered in place, the rest
+        // become preview jobs `(output slot, candidate)`.
+        let mut out: Vec<GainEval> = Vec::with_capacity(cands.len());
+        let mut jobs: Vec<(u32, u32)> = Vec::new();
+        for (slot, &cand) in cands.iter().enumerate() {
+            match ctx.classify(&self.imp, cand, register) {
+                Some(eval) => out.push(eval),
+                None => {
+                    out.push(GainEval::default());
+                    jobs.push((slot as u32, cand as u32));
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return SweepResult { evals: out, groups: Vec::new() };
+        }
         let threads = Threads::from_knob(self.cfg.threads);
-        // Below ~2 candidates per worker the clone + spawn overhead
-        // dominates; the cutoff only affects speed, never results.
-        if threads.get() <= 1 || cands.len() < 2 * threads.get() {
-            let imp = &mut self.imp;
-            cands.iter().map(|&cand| ctx.evaluate(imp, cand, register)).collect()
+        let use_lanes = match self.cfg.sweep_engine {
+            SweepEngine::Scalar => false,
+            SweepEngine::Lanes => true,
+            SweepEngine::Auto => jobs.len() >= LANE_MIN_PREVIEWS,
+        };
+        let mut group_regs: Vec<GroupReg> = Vec::new();
+        if use_lanes {
+            // Cone-cluster the jobs before chunking: lanes rooted in the
+            // same fanout cone share most of their implication wave, so
+            // the batch's union record — the cost every lane shares —
+            // shrinks. Per-lane results are grouping-independent (each
+            // lane previews its own root) and the slot index maps them
+            // back, so this reorder cannot change any gain. The key
+            // includes the candidate id, making the order total and the
+            // grouping a pure function of the job list, never of
+            // scheduling.
+            jobs.sort_unstable_by_key(|&(_, cand)| (self.cone_order[cand as usize / 2], cand));
+            let groups: Vec<&[(u32, u32)]> = jobs.chunks(LANES).collect();
+            let spawn = threads.get() > 1
+                && jobs.len() >= SPAWN_MIN_PREVIEWS
+                && groups.len() >= threads.get();
+            let results: Vec<(Vec<(u32, GainEval)>, GroupReg)> = if spawn {
+                let proto = Worker { eng: self.lanes.clone(), sc: self.scratch.clone() };
+                tpi_par::map_indexed(threads, groups.len(), &proto, |w, gi| {
+                    ctx.lane_group(&mut w.eng, &mut w.sc, groups[gi], register)
+                })
+            } else {
+                let eng = &mut self.lanes;
+                let sc = &mut self.scratch;
+                groups.iter().map(|group| ctx.lane_group(eng, sc, group, register)).collect()
+            };
+            for (evals, reg) in results {
+                for (slot, eval) in evals {
+                    out[slot as usize] = eval;
+                }
+                if register {
+                    group_regs.push(reg);
+                }
+            }
+        } else if threads.get() > 1 && jobs.len() >= SPAWN_MIN_PREVIEWS {
+            let proto = Worker { eng: self.imp.clone(), sc: self.scratch.clone() };
+            let results = tpi_par::map_indexed(threads, jobs.len(), &proto, |w, i| {
+                ctx.evaluate(&mut w.eng, &mut w.sc, jobs[i].1 as usize, register)
+            });
+            for ((slot, _), eval) in jobs.iter().zip(results) {
+                out[*slot as usize] = eval;
+            }
         } else {
-            tpi_par::map_indexed(threads, cands.len(), &self.imp, |imp, i| {
-                ctx.evaluate(imp, cands[i], register)
-            })
+            let imp = &mut self.imp;
+            let sc = &mut self.scratch;
+            for &(slot, cand) in &jobs {
+                out[slot as usize] = ctx.evaluate(imp, sc, cand as usize, register);
+            }
+        }
+        SweepResult { evals: out, groups: group_regs }
+    }
+
+    /// Records one candidate's watcher registrations (incremental mode)
+    /// under a fresh epoch. Entries written under earlier epochs become
+    /// stale and are dropped lazily — on marking, and on append when a
+    /// list is about to grow — so re-evaluating a candidate never
+    /// accumulates duplicate registrations.
+    fn register_watchers(&mut self, cand: usize, eval: &GainEval) {
+        let epoch = self.watch_epoch[cand].wrapping_add(1);
+        self.watch_epoch[cand] = epoch;
+        let entry = (cand as u32, epoch);
+        for id in &eval.touched {
+            push_entry_watcher(
+                &mut self.path_watchers[id.index()],
+                &self.watch_epoch,
+                &self.watch_groups,
+                WatchEntry::Cand(entry.0, entry.1),
+            );
+        }
+        for &net in &eval.watch_nets {
+            push_entry_watcher(
+                &mut self.net_watchers[net.index()],
+                &self.watch_epoch,
+                &self.watch_groups,
+                WatchEntry::Cand(entry.0, entry.1),
+            );
+        }
+        for &g in &eval.frontier {
+            push_entry_watcher(
+                &mut self.gate_watchers[g.index()],
+                &self.watch_epoch,
+                &self.watch_groups,
+                WatchEntry::Cand(entry.0, entry.1),
+            );
         }
     }
 
-    /// Records one candidate's watcher registrations (incremental mode).
-    fn register_watchers(&mut self, cand: usize, eval: &GainEval) {
-        for id in &eval.touched {
-            self.path_watchers.entry(*id).or_default().push(cand);
+    /// Applies one lane batch's net/frontier registrations: snapshots the
+    /// lanes' `(candidate, epoch)` pairs into the group table — epochs
+    /// were bumped by the per-candidate [`TpGreed::register_watchers`]
+    /// pass just before — and pushes one [`WatchEntry::Group`] per union
+    /// net and frontier gate.
+    fn register_group(&mut self, reg: &GroupReg) {
+        if reg.cands.is_empty() {
+            return;
         }
-        for &net in &eval.watch_nets {
-            self.net_watchers.entry(net).or_default().push(cand);
+        let gid = self.watch_groups.len() as u32;
+        let lanes: Vec<(u32, u32)> =
+            reg.cands.iter().map(|&c| (c, self.watch_epoch[c as usize])).collect();
+        self.watch_groups.push(lanes);
+        for &(net, mask) in &reg.nets {
+            push_entry_watcher(
+                &mut self.net_watchers[net as usize],
+                &self.watch_epoch,
+                &self.watch_groups,
+                WatchEntry::Group(gid, mask),
+            );
         }
-        for &g in &eval.frontier {
-            self.gate_watchers.entry(g).or_default().push(cand);
+        for &(gate, mask) in &reg.gates {
+            push_entry_watcher(
+                &mut self.gate_watchers[gate as usize],
+                &self.watch_epoch,
+                &self.watch_groups,
+                WatchEntry::Group(gid, mask),
+            );
+        }
+        for &(path, mask) in &reg.paths {
+            push_entry_watcher(
+                &mut self.path_watchers[path as usize],
+                &self.watch_epoch,
+                &self.watch_groups,
+                WatchEntry::Group(gid, mask),
+            );
         }
     }
 
     fn pair_usable(&mut self, id: PathId) -> bool {
-        let p = self.paths.path(id);
-        let (Some(&i), Some(&j)) = (self.ff_index.get(&p.from), self.ff_index.get(&p.to)) else {
+        let (Some(i), Some(j)) = (
+            self.arena.ff_slot(self.arena.source_gate(id)),
+            self.arena.ff_slot(self.arena.to_gate(id)),
+        ) else {
             return false;
         };
         !self.out_taken[i] && !self.in_taken[j] && self.frags.find(i) != self.frags.find(j)
@@ -471,7 +803,7 @@ impl<'a> TpGreed<'a> {
     /// Current status of a path under `self.imp`: (nullified, w). Used on
     /// the committed state; the preview-time twin lives on [`EvalCtx`].
     fn path_status(&self, id: PathId) -> (bool, u32) {
-        path_status_in(self.n, &self.paths, &self.imp, id)
+        self.arena.path_status(id, &|g| self.imp.value(g))
     }
 
     /// Commits the candidate: forces the constant, prunes nullified
@@ -480,80 +812,137 @@ impl<'a> TpGreed<'a> {
     fn commit(&mut self, cand: usize) {
         let (net, value) = decode(cand);
         let delta = self.imp.force(net, value);
+        // Keep the word-parallel twin in lock-step: later lane batches
+        // must preview against exactly this committed state.
+        self.lanes.apply_committed(net, &delta);
         self.test_points.push((net, value));
         self.progress.add_test_points_placed(1);
 
-        let mut affected: Vec<PathId> = Vec::new();
+        let view = Arc::clone(self.imp.view());
+        // Delta-driven path update: instead of re-walking every affected
+        // path with `path_status`, accumulate the exact (nullified, Δw)
+        // effect of each changed net through its pin list — the same
+        // class-transition rules the lane scorer applies, on lane 0.
+        // Transitions ignore the pre-commit value: for a still-alive path
+        // a from/through pin was X and a side pin was X or sensitizing,
+        // which pins down the old class; paths already dead accumulate
+        // garbage but are skipped below.
+        self.scratch.begin_batch();
         for a in &delta {
-            affected.extend_from_slice(self.paths.paths_with_side_source(a.net));
-            affected.extend_from_slice(self.paths.paths_through(a.net));
-            affected.extend_from_slice(self.paths.paths_from(a.net));
-            if let Some(watchers) = self.net_watchers.get(&a.net) {
-                for &c in watchers {
-                    self.dirty[c] = true;
-                }
-            }
-            // A newly determined net can unblock a frontier gate of some
-            // candidate's wave: re-examine candidates watching any sink
-            // of this net.
-            for &(sink, _) in self.n.fanout(a.net) {
-                if let Some(watchers) = self.gate_watchers.get(&sink) {
-                    for &c in watchers {
-                        self.dirty[c] = true;
+            self.committed[a.net.index()] = a.value;
+            if self.arena.path_relevant(a.net) {
+                for pin in self.arena.pins(a.net.index()) {
+                    let acc = self.scratch.acc_for(pin.path.0);
+                    match pin.role {
+                        PinRole::Through | PinRole::From => {
+                            if a.value != Trit::X {
+                                acc.null |= 1;
+                            }
+                        }
+                        PinRole::Side(sens) => {
+                            if a.value == Trit::X {
+                                // Sensitizing value receded: pin is free again.
+                                acc.dw[0] += 1;
+                            } else if sens == Some(a.value) {
+                                acc.dw[0] -= 1;
+                            } else {
+                                acc.null |= 1;
+                            }
+                        }
                     }
                 }
             }
+            mark_entry_watchers(
+                &mut self.dirty,
+                &self.watch_epoch,
+                &self.watch_groups,
+                &mut self.net_watchers[a.net.index()],
+            );
+            // A newly determined net can unblock a frontier gate of some
+            // candidate's wave: re-examine candidates watching any sink
+            // of this net. (Frontier gates are always combinational, so
+            // the combinational fanouts cover every possible watcher.)
+            for &sink in view.comb_fanouts(a.net.index()) {
+                mark_entry_watchers(
+                    &mut self.dirty,
+                    &self.watch_epoch,
+                    &self.watch_groups,
+                    &mut self.gate_watchers[sink as usize],
+                );
+            }
         }
-        affected.sort_unstable();
-        affected.dedup();
-        for id in affected {
-            let st = self.state[id.index()];
+        for ai in 0..self.scratch.accs.len() {
+            let acc = self.scratch.accs[ai];
+            let pi = acc.path as usize;
+            let st = self.state[pi];
             if !st.alive || st.established {
                 continue;
             }
-            let (nullified, w) = self.path_status(id);
+            let nullified = acc.null != 0;
+            let w = (st.w as i32 + i32::from(acc.dw[0])) as u32;
             let changed = nullified || w != st.w;
             if nullified {
-                self.state[id.index()].alive = false;
+                debug_assert!(self.path_status(PathId(acc.path)).0);
+                self.state[pi].alive = false;
             } else {
-                self.state[id.index()].w = w;
+                debug_assert_eq!((false, w), self.path_status(PathId(acc.path)));
+                self.state[pi].w = w;
             }
             if changed {
-                self.mark_path_dirty(id);
+                self.mark_path_dirty(PathId(acc.path));
             }
         }
         self.establish_ready_paths();
     }
 
     fn mark_path_dirty(&mut self, id: PathId) {
-        if let Some(watchers) = self.path_watchers.get(&id) {
-            for &c in watchers {
-                self.dirty[c] = true;
-            }
-        }
+        mark_entry_watchers(
+            &mut self.dirty,
+            &self.watch_epoch,
+            &self.watch_groups,
+            &mut self.path_watchers[id.index()],
+        );
     }
 
     /// Establishes every alive, usable path with `w == 0`, updating chain
     /// constraints and protections; repeats until none remains.
+    ///
+    /// The repeat matters for the contract, not (today) for the result:
+    /// establishment is monotone-disqualifying — `establish` only unions
+    /// chain fragments, takes endpoint degrees, and protects constants,
+    /// none of which can make a previously skipped path newly ready — so
+    /// a second pass finds nothing and the loop exits after one extra
+    /// sweep. Looping to fixpoint keeps the code correct if establishment
+    /// ever gains a side effect that *enables* paths (say, forcing a
+    /// helper constant), and the `establishment_is_single_pass_stable`
+    /// regression test pins the current one-pass behavior.
     fn establish_ready_paths(&mut self) {
-        for raw in 0..self.state.len() {
-            let id = PathId(raw as u32);
-            let st = self.state[raw];
-            if !st.alive || st.established || st.w != 0 {
-                continue;
+        loop {
+            let mut established_any = false;
+            for raw in 0..self.state.len() {
+                let id = PathId(raw as u32);
+                let st = self.state[raw];
+                if !st.alive || st.established || st.w != 0 {
+                    continue;
+                }
+                if !self.pair_usable(id) {
+                    continue;
+                }
+                // Double-check liveness against the current implication
+                // state (the cached state is authoritative, but cheap to
+                // re-verify).
+                let (nullified, w) = self.path_status(id);
+                if nullified || w != 0 {
+                    self.state[raw].alive = !nullified;
+                    self.state[raw].w = w;
+                    continue;
+                }
+                self.establish(id);
+                established_any = true;
             }
-            if !self.pair_usable(id) {
-                continue;
+            if !established_any {
+                break;
             }
-            // Double-check liveness against the current implication state
-            // (the cached state is authoritative, but cheap to re-verify).
-            let (nullified, w) = self.path_status(id);
-            if nullified || w != 0 {
-                self.state[raw].alive = !nullified;
-                self.state[raw].w = w;
-                continue;
-            }
-            self.establish(id);
         }
     }
 
@@ -561,8 +950,8 @@ impl<'a> TpGreed<'a> {
         self.state[id.index()].established = true;
         self.established.push(id);
         let p = self.paths.path(id).clone();
-        let i = self.ff_index[&p.from];
-        let j = self.ff_index[&p.to];
+        let i = self.arena.ff_slot(p.from).expect("path endpoints are FFs");
+        let j = self.arena.ff_slot(p.to).expect("path endpoints are FFs");
         // Degree and acyclicity bookkeeping (the A_i* / A_*j / cycle
         // removals of §III.A).
         self.out_taken[i] = true;
@@ -574,10 +963,10 @@ impl<'a> TpGreed<'a> {
         let mut flipped: Vec<PathId> = Vec::new();
         {
             let frags = &mut self.frags;
-            let ff_index = &self.ff_index;
+            let arena = &self.arena;
             for (&(from, to), ids) in self.paths.pairs_with_ids() {
-                let fi = ff_index[&from];
-                let fj = ff_index[&to];
+                let fi = arena.ff_slot(from).expect("path endpoints are FFs");
+                let fj = arena.ff_slot(to).expect("path endpoints are FFs");
                 let (ra, rb) = (frags.find(fi), frags.find(fj));
                 let crosses = (ra == root_a && rb == root_b) || (ra == root_b && rb == root_a);
                 if fi == i || fj == j || crosses {
@@ -594,7 +983,7 @@ impl<'a> TpGreed<'a> {
         for c in &p.side_inputs {
             let v = self.imp.value(c.source);
             debug_assert!(v.is_known());
-            self.protected.insert(c.source, v);
+            self.protected[c.source.index()] = v;
         }
         self.established_net[p.from.index()] = true;
         for &g in &p.gates {
@@ -612,10 +1001,136 @@ struct GainEval {
     /// Paths examined under the preview (→ `path_watchers`).
     touched: Vec<PathId>,
     /// Nets the preview determined, or the candidate net itself when the
-    /// value was already implied (→ `net_watchers`).
+    /// value was already implied (→ `net_watchers`). Lane sweeps leave
+    /// this empty — their net/frontier registrations travel batched in
+    /// [`GroupReg`].
     watch_nets: Vec<GateId>,
     /// Frontier gates of the implication wave (→ `gate_watchers`).
     frontier: Vec<GateId>,
+}
+
+/// One lane batch's net/frontier registrations, produced by
+/// [`EvalCtx::lane_group`] under `register` and applied by the master
+/// after the per-candidate epoch bumps. Where the scalar path registers
+/// each candidate on each of its changed nets individually, a batch
+/// registers its *union* change record once — one entry per union net
+/// carrying the lanes-changed mask — which is what makes registration
+/// cost per change drop with lane occupancy. Pure data; workers produce
+/// these, the master applies them in group order.
+#[derive(Debug, Clone, Default)]
+struct GroupReg {
+    /// Candidates by lane, in lane order.
+    cands: Vec<u32>,
+    /// Union change record `(net index, lanes-changed mask)`.
+    nets: Vec<(u32, u64)>,
+    /// Union frontier record `(gate index, lanes-at-frontier mask)`.
+    gates: Vec<(u32, u64)>,
+    /// Touched-path record `(path index, lanes-that-touched mask)`,
+    /// invalid lanes already excluded.
+    paths: Vec<(u32, u64)>,
+}
+
+/// What a sweep returns: per-candidate evaluations (in candidate order)
+/// plus, for registering lane sweeps, the batch registration records (in
+/// group order).
+struct SweepResult {
+    evals: Vec<GainEval>,
+    groups: Vec<GroupReg>,
+}
+
+/// How much watcher material [`EvalCtx::score_preview`] should collect.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Reg {
+    /// Non-registering sweep (Full mode): collect nothing.
+    Off,
+    /// Scalar sweep: collect touched paths, changed nets and frontier.
+    Full,
+}
+
+/// A net/gate watcher list entry: either one candidate's registration or
+/// a whole lane batch's, referencing `watch_groups` by id with a mask of
+/// the lanes registered here. Both carry enough to detect staleness
+/// lazily (a lane is stale once its candidate's epoch moved on).
+#[derive(Debug, Clone, Copy)]
+enum WatchEntry {
+    /// `(candidate, epoch)` — scalar and classify-time registrations.
+    Cand(u32, u32),
+    /// `(group id, lane mask)` — lane-batch registrations.
+    Group(u32, u64),
+}
+
+impl WatchEntry {
+    /// Whether any lane of the entry still holds a current registration.
+    fn live(&self, epochs: &[u32], groups: &[Vec<(u32, u32)>]) -> bool {
+        match *self {
+            WatchEntry::Cand(cand, epoch) => epochs[cand as usize] == epoch,
+            WatchEntry::Group(gid, mask) => {
+                let lanes = &groups[gid as usize];
+                let mut m = mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (cand, epoch) = lanes[lane];
+                    if epochs[cand as usize] == epoch {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Sets `dirty` for every *live* lane of every entry of a watcher list
+/// and drops entries with no live lane left (a lane is stale once its
+/// candidate's registration epoch moved on). Free function over disjoint
+/// field borrows so the borrow checker accepts `&mut self.dirty`
+/// alongside `&mut self.net_watchers[i]`.
+fn mark_entry_watchers(
+    dirty: &mut [bool],
+    epochs: &[u32],
+    groups: &[Vec<(u32, u32)>],
+    list: &mut Vec<WatchEntry>,
+) {
+    list.retain(|e| match *e {
+        WatchEntry::Cand(cand, epoch) => {
+            let live = epochs[cand as usize] == epoch;
+            if live {
+                dirty[cand as usize] = true;
+            }
+            live
+        }
+        WatchEntry::Group(gid, mask) => {
+            let lanes = &groups[gid as usize];
+            let mut any = false;
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let (cand, epoch) = lanes[lane];
+                if epochs[cand as usize] == epoch {
+                    dirty[cand as usize] = true;
+                    any = true;
+                }
+            }
+            any
+        }
+    });
+}
+
+/// Appends a watcher entry, compacting stale entries out first whenever
+/// the push would otherwise grow the allocation. Amortized O(1): a list
+/// doubles only when at least half its entries are live.
+fn push_entry_watcher(
+    list: &mut Vec<WatchEntry>,
+    epochs: &[u32],
+    groups: &[Vec<(u32, u32)>],
+    entry: WatchEntry,
+) {
+    if list.len() == list.capacity() && !list.is_empty() {
+        list.retain(|e| e.live(epochs, groups));
+    }
+    list.push(entry);
 }
 
 /// Immutable snapshot of everything `evaluate` reads besides the
@@ -623,57 +1138,278 @@ struct GainEval {
 /// itself is the only mutable piece and each worker owns a clone.
 struct EvalCtx<'s, 'a> {
     n: &'a Netlist,
-    paths: &'s PathSet,
+    arena: &'s SweepArena,
     state: &'s [PathState],
-    ff_index: &'s HashMap<GateId, usize>,
     out_taken: &'s [bool],
     in_taken: &'s [bool],
     /// Union-find roots snapshotted before the sweep (`find` needs
     /// `&mut`, and path compression never changes roots, so a snapshot
     /// is exact).
     ff_roots: &'s [usize],
-    protected: &'s HashMap<GateId, Trit>,
+    /// Dense by gate index; `X` = unprotected.
+    protected: &'s [Trit],
     established_net: &'s [bool],
+    /// Committed trit per net (see [`TpGreed::committed`]); the lane
+    /// scorer's baseline for O(1) pin class transitions.
+    committed: &'s [Trit],
 }
 
 impl EvalCtx<'_, '_> {
-    /// Evaluates Equation 1 for candidate `cand` on `imp`. The preview is
-    /// undone before returning, so `imp` is restored exactly and
-    /// evaluations are order-independent. With `register`, the returned
-    /// [`GainEval`] carries the watcher registrations (they are collected
-    /// even for invalid candidates — an invalid implication can become
-    /// valid or extend after a later commit, so the incremental mode must
-    /// re-examine it when its cone changes).
-    fn evaluate(&self, imp: &mut Implication<'_>, cand: usize, register: bool) -> GainEval {
+    /// Answers candidates decidable from the committed state alone,
+    /// without a preview; returns `None` when the candidate needs one.
+    /// Every `None` satisfies the preview precondition shared by both
+    /// engines: the net is unforced and the trial value differs from the
+    /// committed value.
+    fn classify(&self, imp: &Implication<'_>, cand: usize, register: bool) -> Option<GainEval> {
         let (net, value) = decode(cand);
         if !self.is_candidate_net(net) {
-            return GainEval { gain: GAIN_INVALID, ..Default::default() };
+            return Some(GainEval { gain: GAIN_INVALID, ..Default::default() });
         }
         // A net already carrying a committed test point is off-limits:
         // physically, stacked gates at one net resolve in insertion
         // order (the outermost wins), which would diverge from the
         // implication model's last-write-wins override.
         if imp.is_forced(net) {
-            return GainEval { gain: GAIN_INVALID, ..Default::default() };
+            return Some(GainEval { gain: GAIN_INVALID, ..Default::default() });
         }
         if imp.value(net) == value {
             // No effect *now* — but a later override can revert this
             // net's implied value, so the incremental mode must know to
             // re-examine the candidate when the net changes.
             let watch_nets = if register { vec![net] } else { Vec::new() };
-            return GainEval { gain: 0.0, watch_nets, ..Default::default() };
+            return Some(GainEval { gain: 0.0, watch_nets, ..Default::default() });
         }
-        let preview = imp.preview_force(net, value);
+        None
+    }
 
+    /// Evaluates Equation 1 for one candidate on the scalar engine. The
+    /// preview is undone before returning, so `imp` is restored exactly
+    /// and evaluations are order-independent. Only called for candidates
+    /// [`EvalCtx::classify`] passed through.
+    fn evaluate(
+        &self,
+        imp: &mut Implication<'_>,
+        sc: &mut ScoreScratch,
+        cand: usize,
+        register: bool,
+    ) -> GainEval {
+        let (net, value) = decode(cand);
+        let preview = imp.preview_force(net, value);
+        let reg = if register { Reg::Full } else { Reg::Off };
+        let eval =
+            self.score_preview(sc, preview.changes(), preview.frontier(), &|g| imp.value(g), reg);
+        imp.undo_preview(preview);
+        eval
+    }
+
+    /// Evaluates one lane group — up to [`LANES`] candidates previewed by
+    /// a single batched forward pass — returning `(output slot, eval)`
+    /// pairs plus the batch's registration record (empty unless
+    /// `register`).
+    ///
+    /// Scoring is *union-driven*: instead of reconstructing 64 per-lane
+    /// change lists and walking `path_status` per `(path, lane)` pair,
+    /// the batch's union change record is processed once. Each union net
+    /// contributes validity masks (bitwise, against the protection
+    /// planes) and, through the arena's pin index, O(1) class transitions
+    /// per listed path pin — `committed class -> trial class` decides
+    /// nullification and the side-weight delta `dw` for every changed
+    /// lane at once. A path's status under lane L is then `st.w + dw[L]`
+    /// (nullified iff a null bit is set), which equals what the full
+    /// `path_status` walk computes: a lane's change set is exactly the
+    /// nets where its trial valuation differs from the committed one, and
+    /// an alive path's unchanged pins keep their committed class. The
+    /// per-lane gain then runs the same max-per-destination sum, in the
+    /// same ascending destination order, over the same `1/st.w`
+    /// contributions as [`EvalCtx::score_preview`] — so gains are
+    /// byte-identical to the scalar engine's (the equivalence tests pin
+    /// this); only the registration *representation* differs (batched
+    /// union records instead of per-candidate lists, marking the same
+    /// candidates dirty on the same commits).
+    fn lane_group(
+        &self,
+        eng: &mut LaneEngine,
+        sc: &mut ScoreScratch,
+        group: &[(u32, u32)],
+        register: bool,
+    ) -> (Vec<(u32, GainEval)>, GroupReg) {
+        let roots: Vec<(GateId, Trit)> =
+            group.iter().map(|&(_, cand)| decode(cand as usize)).collect();
+        eng.preview_batch(&roots);
+
+        // --- one pass over the union change record ---
+        sc.begin_batch();
+        let mut invalid: u64 = 0;
+        for &(net, ch) in eng.union_changes() {
+            let i = net as usize;
+            // Validity: the implication must not disturb protected
+            // constants or put a constant on an established path (same
+            // predicate as `score_preview`, per changed lane).
+            if self.established_net[i] {
+                invalid |= ch;
+            } else {
+                let want = self.protected[i];
+                if want != Trit::X {
+                    let (vw, kw) = eng.planes(i);
+                    let ok = if want == Trit::One { kw & vw } else { kw & !vw };
+                    invalid |= ch & !ok;
+                }
+            }
+            if !self.arena.path_relevant(GateId::from_index(i)) {
+                continue; // no path lists this net anywhere
+            }
+            let (vw, kw) = eng.planes(i);
+            let old = self.committed[i];
+            for pin in self.arena.pins(i) {
+                let acc = sc.acc_for(pin.path.0);
+                acc.touched |= ch;
+                match pin.role {
+                    // A known on a path gate (through or source)
+                    // nullifies; alive paths have these committed-X, so
+                    // `changed & known` is exactly the nullifying set.
+                    PinRole::Through | PinRole::From => acc.null |= ch & kw,
+                    PinRole::Side(sens) => {
+                        let sens_mask = match sens {
+                            Some(Trit::One) => kw & vw,
+                            Some(Trit::Zero) => kw & !vw,
+                            // `X` never appears as a sensitizing value;
+                            // `None` (no sensitizing value for the gate
+                            // kind) means any known side nullifies.
+                            _ => 0,
+                        };
+                        if old == Trit::X {
+                            // X -> sensitizing: one fewer X side input.
+                            // X -> controlling known: nullified.
+                            acc.null |= ch & kw & !sens_mask;
+                            let mut m = ch & sens_mask;
+                            while m != 0 {
+                                let lane = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                acc.dw[lane] -= 1;
+                            }
+                        } else {
+                            // Alive paths have known sides committed at
+                            // the sensitizing value, so a change is
+                            // either -> X (one more X side input) or
+                            // -> controlling known (nullified).
+                            acc.null |= ch & kw & !sens_mask;
+                            let mut m = ch & !kw;
+                            while m != 0 {
+                                let lane = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                acc.dw[lane] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- finalize each touched path once ---
+        for v in sc.lane_contrib.iter_mut() {
+            v.clear();
+        }
+        let mut kills = [0u32; LANES];
+        let mut reg_paths: Vec<(u32, u64)> = Vec::new();
+        for ai in 0..sc.accs.len() {
+            let acc = sc.accs[ai];
+            let pi = acc.path as usize;
+            let st = self.state[pi];
+            // Monotone disqualification — same skip (and same exclusion
+            // from the touched registration) as `score_preview`.
+            if !st.alive || st.established || !self.pair_usable(PathId(acc.path)) {
+                continue;
+            }
+            let m = acc.touched & !invalid;
+            if register && m != 0 {
+                reg_paths.push((acc.path, m));
+            }
+            let di = self.arena.to_gate(PathId(acc.path)).index() as u32;
+            let mut m = m;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if acc.null & (1u64 << lane) != 0 {
+                    kills[lane] += 1;
+                    continue;
+                }
+                if acc.dw[lane] >= 0 {
+                    continue; // no progress under this preview
+                }
+                sc.lane_contrib[lane].push((di, 1.0 / st.w as f64));
+            }
+        }
+
+        // --- per-lane gain: max per destination, summed ascending ---
+        let mut out = Vec::with_capacity(group.len());
+        for (lane, &(slot, cand)) in group.iter().enumerate() {
+            let _ = cand;
+            let gain = if invalid & (1u64 << lane) != 0 {
+                GAIN_INVALID
+            } else {
+                let stamp = sc.next_stamp();
+                sc.dests.clear();
+                for &(di, c) in &sc.lane_contrib[lane] {
+                    let d = di as usize;
+                    if sc.dest_stamp[d] != stamp {
+                        sc.dest_stamp[d] = stamp;
+                        sc.dest_best[d] = c;
+                        sc.dests.push(di);
+                    } else if c > sc.dest_best[d] {
+                        sc.dest_best[d] = c;
+                    }
+                }
+                sc.dests.sort_unstable();
+                let mut gain = 0.0;
+                for &di in &sc.dests {
+                    gain += sc.dest_best[di as usize];
+                }
+                if gain > 0.0 {
+                    gain -= 1e-6 * f64::from(kills[lane]);
+                }
+                gain
+            };
+            out.push((slot, GainEval { gain, ..Default::default() }));
+        }
+
+        let group_reg = if register {
+            GroupReg {
+                cands: group.iter().map(|&(_, cand)| cand).collect(),
+                nets: eng.union_changes().to_vec(),
+                gates: eng.union_frontier().to_vec(),
+                paths: reg_paths,
+            }
+        } else {
+            GroupReg::default()
+        };
+        eng.undo_batch();
+        (out, group_reg)
+    }
+
+    /// Scores one preview — the engine-independent core of Equation 1.
+    /// `changes` and `frontier` describe the trial implication wave;
+    /// `value` reads the trial value of any net under that wave. Under a
+    /// registering `reg`, the returned [`GainEval`] carries the watcher
+    /// registrations (they are collected even for invalid candidates — an
+    /// invalid implication can become valid or extend after a later
+    /// commit, so the incremental mode must re-examine it when its cone
+    /// changes).
+    fn score_preview(
+        &self,
+        sc: &mut ScoreScratch,
+        changes: &[Assignment],
+        frontier: &[GateId],
+        value: &impl Fn(GateId) -> Trit,
+        reg: Reg,
+    ) -> GainEval {
         // Validity: the implication must not disturb protected constants
         // or put a constant on an established path.
         let mut valid = true;
-        for a in preview.changes() {
-            if let Some(&want) = self.protected.get(&a.net) {
-                if want != a.value {
-                    valid = false;
-                    break;
-                }
+        for a in changes {
+            let want = self.protected[a.net.index()];
+            if want != Trit::X && want != a.value {
+                valid = false;
+                break;
             }
             if self.established_net[a.net.index()] {
                 valid = false;
@@ -684,42 +1420,67 @@ impl EvalCtx<'_, '_> {
         let mut gain = 0.0;
         let mut touched: Vec<PathId> = Vec::new();
         if valid {
-            // Collect paths affected by the implied constants.
-            let mut affected: Vec<PathId> = Vec::new();
-            for a in preview.changes() {
-                affected.extend_from_slice(self.paths.paths_with_side_source(a.net));
-                affected.extend_from_slice(self.paths.paths_through(a.net));
-                affected.extend_from_slice(self.paths.paths_from(a.net));
-            }
-            affected.sort_unstable();
-            affected.dedup();
-            // Per-destination maxima (Equation 1's  Σ_j max_i max_p).
-            // BTreeMap: the float sum must accumulate in a fixed order,
-            // or exact gain ties break differently across runs.
-            let mut best_per_dest: std::collections::BTreeMap<GateId, f64> = Default::default();
+            // Walk the paths affected by the implied constants, once
+            // each: the stamp array dedups across the three reverse
+            // indices and across changed nets without sorting.
+            let stamp = sc.next_stamp();
+            sc.dests.clear();
             let mut kills = 0usize;
-            for id in affected {
-                touched.push(id);
-                let st = self.state[id.index()];
-                if !st.alive || st.established || !self.pair_usable(id) {
-                    continue;
+            for a in changes {
+                if !self.arena.path_relevant(a.net) {
+                    continue; // no path lists this net anywhere
                 }
-                let (nullified, new_w) = path_status_in(self.n, self.paths, imp, id);
-                if nullified {
-                    kills += 1;
-                    continue;
-                }
-                if new_w >= st.w {
-                    continue; // no progress under this preview
-                }
-                let contribution = 1.0 / st.w as f64;
-                let dest = self.paths.path(id).to;
-                let e = best_per_dest.entry(dest).or_insert(0.0);
-                if contribution > *e {
-                    *e = contribution;
+                let lists = [
+                    self.arena.paths_with_side_source(a.net),
+                    self.arena.paths_through(a.net),
+                    self.arena.paths_from(a.net),
+                ];
+                for id in lists.into_iter().flatten() {
+                    let id = *id;
+                    let pi = id.index();
+                    if sc.path_stamp[pi] == stamp {
+                        continue;
+                    }
+                    sc.path_stamp[pi] = stamp;
+                    let st = self.state[pi];
+                    // Dead, established, or pair-unusable paths can never
+                    // contribute again (all three conditions are
+                    // monotone: nullification and establishment are
+                    // permanent, chain endpoints only fill up and
+                    // fragments only merge) — skip them here and leave
+                    // them out of `touched`, so candidates stop watching
+                    // paths whose state can no longer change their gain.
+                    if !st.alive || st.established || !self.pair_usable(id) {
+                        continue;
+                    }
+                    touched.push(id);
+                    let (nullified, new_w) = self.arena.path_status(id, value);
+                    if nullified {
+                        kills += 1;
+                        continue;
+                    }
+                    if new_w >= st.w {
+                        continue; // no progress under this preview
+                    }
+                    let contribution = 1.0 / st.w as f64;
+                    let di = self.arena.to_gate(id).index();
+                    if sc.dest_stamp[di] != stamp {
+                        sc.dest_stamp[di] = stamp;
+                        sc.dest_best[di] = contribution;
+                        sc.dests.push(di as u32);
+                    } else if contribution > sc.dest_best[di] {
+                        sc.dest_best[di] = contribution;
+                    }
                 }
             }
-            gain = best_per_dest.values().sum();
+            // Per-destination maxima (Equation 1's  Σ_j max_i max_p),
+            // summed in ascending destination order: the float sum must
+            // accumulate in a fixed order, or exact gain ties break
+            // differently across runs and engines.
+            sc.dests.sort_unstable();
+            for &di in &sc.dests {
+                gain += sc.dest_best[di as usize];
+            }
             // Tie-breaker only (Equation 1 stays dominant): between
             // equal-gain candidates, prefer the one that nullifies fewer
             // still-usable paths.
@@ -728,15 +1489,14 @@ impl EvalCtx<'_, '_> {
             }
         }
 
-        let (watch_nets, frontier) = if register {
-            (preview.changes().iter().map(|a| a.net).collect(), preview.frontier().to_vec())
+        let (watch_nets, frontier) = if reg == Reg::Full {
+            (changes.iter().map(|a| a.net).collect(), frontier.to_vec())
         } else {
             (Vec::new(), Vec::new())
         };
-        if !register {
+        if reg == Reg::Off {
             touched.clear();
         }
-        imp.undo_preview(preview);
         let gain = if valid { gain } else { GAIN_INVALID };
         GainEval { gain, touched, watch_nets, frontier }
     }
@@ -744,8 +1504,10 @@ impl EvalCtx<'_, '_> {
     /// Pairwise usability of a path's endpoints (chain degree and
     /// acyclicity), against the snapshotted union-find roots.
     fn pair_usable(&self, id: PathId) -> bool {
-        let p = self.paths.path(id);
-        let (Some(&i), Some(&j)) = (self.ff_index.get(&p.from), self.ff_index.get(&p.to)) else {
+        let (Some(i), Some(j)) = (
+            self.arena.ff_slot(self.arena.source_gate(id)),
+            self.arena.ff_slot(self.arena.to_gate(id)),
+        ) else {
             return false;
         };
         !self.out_taken[i] && !self.in_taken[j] && self.ff_roots[i] != self.ff_roots[j]
@@ -756,31 +1518,11 @@ impl EvalCtx<'_, '_> {
         if matches!(kind, GateKind::Output | GateKind::Const0 | GateKind::Const1) {
             return false;
         }
-        if self.protected.contains_key(&net) || self.established_net[net.index()] {
+        if self.protected[net.index()] != Trit::X || self.established_net[net.index()] {
             return false;
         }
         true
     }
-}
-
-/// Status of path `id` under the given implication state: (nullified, w).
-fn path_status_in(n: &Netlist, paths: &PathSet, imp: &Implication<'_>, id: PathId) -> (bool, u32) {
-    let p = paths.path(id);
-    // A constant at the source FF's output (a test point spliced there)
-    // or on any path gate blocks shifting.
-    if imp.value(p.from).is_known() || p.gates.iter().any(|&g| imp.value(g).is_known()) {
-        return (true, 0);
-    }
-    let mut w = 0;
-    for c in &p.side_inputs {
-        let sens = sensitizing_for(n.kind(c.sink));
-        match imp.value(c.source) {
-            Trit::X => w += 1,
-            v if Some(v) == sens => {}
-            _ => return (true, 0),
-        }
-    }
-    (false, w)
 }
 
 fn sensitizing_for(kind: GateKind) -> Option<Trit> {
@@ -1034,6 +1776,77 @@ mod tests {
         // insertion had nullified an earlier path, this would fail.
         verify_outcome(&n, &paths, &outcome).unwrap();
     }
+
+    /// Establishment is monotone-disqualifying: once
+    /// `establish_ready_paths` returns, an immediate second call finds
+    /// nothing new. This pins the property the fixpoint loop's doc
+    /// relies on (the loop exists for the contract, not the result).
+    #[test]
+    fn establishment_is_single_pass_stable() {
+        // A shift register plus the fig1 skeleton: several free paths
+        // compete for endpoints, so the first call establishes a batch.
+        let mut b = NetlistBuilder::new("sp");
+        b.input("d");
+        b.dff("f0", "d");
+        b.dff("f1", "f0");
+        b.dff("f2", "f1");
+        b.dff("f3", "f2");
+        b.output("o", "f3");
+        let n = b.finish().unwrap();
+        let cfg = TpGreedConfig::default();
+        let paths = enumerate_paths(&n, cfg.k_bound, cfg.max_paths);
+        let mut tp = TpGreed::with_paths(&n, cfg, paths);
+        tp.establish_ready_paths();
+        let first = tp.established.len();
+        assert!(first > 0, "free paths must establish");
+        tp.establish_ready_paths();
+        assert_eq!(tp.established.len(), first, "second call must be a no-op");
+    }
+
+    /// Re-evaluating dirty candidates across iterations must not
+    /// accumulate duplicate watcher registrations: per list, at most one
+    /// *live* entry (current epoch) per candidate. The pre-epoch code
+    /// appended on every re-evaluation, growing the lists — and the
+    /// per-commit dirty marking — without bound.
+    #[test]
+    fn watcher_lists_hold_one_live_entry_per_candidate() {
+        let n = fig1_like();
+        let cfg = TpGreedConfig::default();
+        let paths = enumerate_paths(&n, cfg.k_bound, cfg.max_paths);
+        let mut tp = TpGreed::with_paths(&n, cfg, paths);
+        tp.establish_ready_paths();
+        tp.run_incremental().unwrap();
+        assert!(!tp.test_points.is_empty(), "the run must exercise re-evaluation");
+        let lists = tp.path_watchers.iter().chain(&tp.net_watchers).chain(&tp.gate_watchers);
+        for list in lists {
+            let mut live: Vec<u32> = Vec::new();
+            for e in list {
+                match *e {
+                    WatchEntry::Cand(cand, epoch) => {
+                        if tp.watch_epoch[cand as usize] == epoch {
+                            live.push(cand);
+                        }
+                    }
+                    WatchEntry::Group(gid, mask) => {
+                        let lanes = &tp.watch_groups[gid as usize];
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let (cand, epoch) = lanes[lane];
+                            if tp.watch_epoch[cand as usize] == epoch {
+                                live.push(cand);
+                            }
+                        }
+                    }
+                }
+            }
+            let before = live.len();
+            live.sort_unstable();
+            live.dedup();
+            assert_eq!(live.len(), before, "duplicate live watcher entries");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1124,6 +1937,53 @@ mod config_tests {
                         par.iterations, base.iterations,
                         "seed {seed} {update:?} threads {threads}"
                     );
+                }
+            }
+        }
+    }
+
+    /// The sweep engine must never change the outcome: Scalar, Lanes and
+    /// Auto select identical test points and scan paths for both gain
+    /// strategies, sequentially and with all hardware threads.
+    #[test]
+    fn sweep_engines_select_identically() {
+        for seed in [7, 8, 9] {
+            let n = workload(seed);
+            for update in [GainUpdate::Full, GainUpdate::Incremental] {
+                let base = TpGreed::new(
+                    &n,
+                    TpGreedConfig {
+                        gain_update: update,
+                        sweep_engine: SweepEngine::Scalar,
+                        ..TpGreedConfig::default()
+                    },
+                )
+                .run();
+                for engine in [SweepEngine::Lanes, SweepEngine::Auto] {
+                    for threads in [1, 0] {
+                        let alt = TpGreed::new(
+                            &n,
+                            TpGreedConfig {
+                                gain_update: update,
+                                sweep_engine: engine,
+                                threads,
+                                ..TpGreedConfig::default()
+                            },
+                        )
+                        .run();
+                        assert_eq!(
+                            alt.test_points, base.test_points,
+                            "seed {seed} {update:?} {engine:?} threads {threads}"
+                        );
+                        assert_eq!(
+                            alt.scan_paths, base.scan_paths,
+                            "seed {seed} {update:?} {engine:?} threads {threads}"
+                        );
+                        assert_eq!(
+                            alt.iterations, base.iterations,
+                            "seed {seed} {update:?} {engine:?} threads {threads}"
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,179 @@
+//! Equivalence suite for the word-parallel lane engine (PR6).
+//!
+//! Three layers of evidence that the 64-lane bit-plane engine is an
+//! exact drop-in for 64 scalar `preview_force` round trips:
+//!
+//! 1. a property test comparing a full 64-lane batch against 64 scalar
+//!    previews net-for-net — changes, `frontier()`, per-net values, and
+//!    the post-undo state — on randomly generated circuits;
+//! 2. a midsize debug-build check that TPGREED selections are identical
+//!    across gain-update modes (Full/Incremental), sweep engines
+//!    (scalar/lanes) and thread counts;
+//! 3. an `#[ignore]`d ≥10k-gate version of (2) that CI runs in release
+//!    (see `ci.sh`).
+
+use proptest::prelude::*;
+use tpi_core::{GainUpdate, SweepEngine, TpGreed, TpGreedConfig};
+use tpi_netlist::{GateId, Netlist};
+use tpi_sim::{Implication, LaneEngine, Trit, LANES};
+use tpi_workloads::{generate, CircuitSpec, StructureClass};
+
+/// A generated mixed-structure circuit for the property test.
+fn prop_circuit(gates: usize, seed: u64) -> Netlist {
+    generate(&CircuitSpec {
+        name: "lane-equiv".into(),
+        inputs: 8,
+        outputs: 6,
+        ffs: 24,
+        target_gates: gates,
+        structure: StructureClass::mixed(0.5, 4, 6, 2),
+        seed,
+    })
+}
+
+/// Up to [`LANES`] preview roots: X-valued combinational nets spread
+/// across the circuit with an rng-chosen offset, values alternating.
+fn pick_roots(n: &Netlist, imp: &Implication<'_>, offset: usize) -> Vec<(GateId, Trit)> {
+    let cands: Vec<GateId> =
+        n.gate_ids().filter(|&g| n.kind(g).is_combinational() && imp.value(g) == Trit::X).collect();
+    if cands.is_empty() {
+        return Vec::new();
+    }
+    let stride = (cands.len() / LANES).max(1);
+    (0..LANES.min(cands.len()))
+        .map(|lane| {
+            let g = cands[(offset + lane * stride) % cands.len()];
+            (g, if lane % 2 == 0 { Trit::Zero } else { Trit::One })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One 64-lane batch must match 64 independent scalar previews:
+    /// same change set, same values net for net, same `frontier()`,
+    /// and an undo that restores the exact committed mirror.
+    #[test]
+    fn lane_batch_matches_64_scalar_previews(
+        gates in 150usize..600,
+        seed in 0u64..500,
+        offset in 0usize..4096,
+    ) {
+        let n = prop_circuit(gates, seed);
+        let mut imp = Implication::new(&n);
+        let roots = pick_roots(&n, &imp, offset);
+        prop_assert!(!roots.is_empty());
+
+        let mut lanes = LaneEngine::mirror(&imp);
+        lanes.preview_batch(&roots);
+
+        for (lane, &(net, value)) in roots.iter().enumerate() {
+            let pv = imp.preview_force(net, value);
+
+            // Net-for-net: every scalar change is visible in the lane's
+            // planes with the same value.
+            for a in pv.changes() {
+                prop_assert_eq!(
+                    lanes.lane_value(lane, a.net), a.value,
+                    "lane {} net {:?}", lane, a.net
+                );
+            }
+            let mut got = lanes.lane_changes(lane);
+            got.sort_unstable_by_key(|a| a.net.index());
+            let mut want = pv.changes().to_vec();
+            want.sort_unstable_by_key(|a| a.net.index());
+            prop_assert_eq!(got, want, "lane {} change set", lane);
+
+            let mut got_f: Vec<usize> =
+                lanes.lane_frontier(lane).iter().map(|g| g.index()).collect();
+            got_f.sort_unstable();
+            let mut want_f: Vec<usize> = pv.frontier().iter().map(|g| g.index()).collect();
+            want_f.sort_unstable();
+            prop_assert_eq!(got_f, want_f, "lane {} frontier", lane);
+
+            imp.undo_preview(pv);
+        }
+
+        // Undo restores the committed mirror on every net and lane.
+        lanes.undo_batch();
+        for g in n.gate_ids() {
+            for lane in [0, 31, 63] {
+                prop_assert_eq!(lanes.lane_value(lane, g), imp.value(g));
+            }
+        }
+    }
+}
+
+/// Deterministic selection fingerprint of one TPGREED run: test points
+/// in insertion order, scan-path endpoints in establishment order, and
+/// the iteration count.
+type Fingerprint = (Vec<(GateId, Trit)>, Vec<(GateId, GateId)>, usize);
+
+/// Runs TPGREED on `n` under the given mode/engine/threads and returns
+/// the deterministic selection fingerprint.
+fn selections(
+    n: &Netlist,
+    gain_update: GainUpdate,
+    engine: SweepEngine,
+    threads: usize,
+) -> Fingerprint {
+    let cfg =
+        TpGreedConfig { gain_update, sweep_engine: engine, threads, ..TpGreedConfig::default() };
+    let (outcome, paths) = TpGreed::new(n, cfg).run_with_paths();
+    (outcome.test_points.clone(), outcome.scan_path_endpoints(&paths), outcome.iterations)
+}
+
+/// Every (mode, engine, threads) combination must select byte-identical
+/// test points and scan paths in the same order.
+fn assert_all_agree(n: &Netlist) {
+    let reference = selections(n, GainUpdate::Full, SweepEngine::Scalar, 1);
+    let variants = [
+        (GainUpdate::Incremental, SweepEngine::Scalar, 1),
+        (GainUpdate::Full, SweepEngine::Lanes, 1),
+        (GainUpdate::Incremental, SweepEngine::Lanes, 1),
+        (GainUpdate::Incremental, SweepEngine::Lanes, 2),
+        (GainUpdate::Incremental, SweepEngine::Lanes, 0),
+        (GainUpdate::Incremental, SweepEngine::Auto, 0),
+    ];
+    for (mode, engine, threads) in variants {
+        assert_eq!(
+            selections(n, mode, engine, threads),
+            reference,
+            "{mode:?}/{engine:?}/threads={threads} diverged from Full/Scalar/1"
+        );
+    }
+}
+
+#[test]
+fn engines_and_modes_select_identically_midsize() {
+    let n = generate(&CircuitSpec {
+        name: "midsize".into(),
+        inputs: 12,
+        outputs: 10,
+        ffs: 120,
+        target_gates: 2_000,
+        structure: StructureClass::mixed(0.55, 4, 12, 4),
+        seed: 17,
+    });
+    assert_all_agree(&n);
+}
+
+/// Release-build version of the equivalence check on a ≥10k-gate
+/// deep-cone circuit (the lane engine's target regime). Too slow for
+/// the debug tier — `ci.sh` runs it with `--release -- --include-ignored`.
+#[test]
+#[ignore = "release-only: run via ci.sh or --include-ignored"]
+fn engines_and_modes_select_identically_10k() {
+    let n = generate(&CircuitSpec {
+        name: "deep10k".into(),
+        inputs: 40,
+        outputs: 40,
+        ffs: 250,
+        target_gates: 8_000,
+        structure: StructureClass::deep_logic(0.5, 4, 25, 6, 24, 0.55),
+        seed: 606,
+    });
+    assert!(n.gate_count() >= 10_000, "workload shrank below 10k gates: {}", n.gate_count());
+    assert_all_agree(&n);
+}

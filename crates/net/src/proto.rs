@@ -526,6 +526,7 @@ mod tests {
             gain_update: GainUpdate::Incremental,
             max_paths: 999,
             threads: 8, // must NOT survive: worker sizing is the server's
+            ..TpGreedConfig::default()
         };
         let req =
             WireRequest { flow: FlowKind::FullScan(cfg), deadline: None, blif: String::new() };

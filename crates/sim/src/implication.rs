@@ -8,8 +8,10 @@
 //! Values never propagate *through* flip-flops: in test mode the FFs carry
 //! the shifted scan data, so their outputs remain unknown unless forced.
 
-use crate::trit::{eval_gate, Trit};
+use crate::trit::Trit;
+use crate::view::{eval_indexed, NetView};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use tpi_netlist::{GateId, Netlist};
 
 /// Undo token for [`Implication::preview_force`].
@@ -84,10 +86,11 @@ pub struct Assignment {
 #[derive(Debug, Clone)]
 pub struct Implication<'a> {
     netlist: &'a Netlist,
+    /// Contiguous structure snapshot (kinds, fanin/fanout CSR, topo
+    /// order); shared with sibling engines and per-worker clones.
+    view: Arc<NetView>,
     values: Vec<Trit>,
     forced: Vec<bool>,
-    /// Topological position of each gate, for ordered propagation.
-    topo_pos: Vec<u32>,
 }
 
 impl<'a> Implication<'a> {
@@ -97,22 +100,30 @@ impl<'a> Implication<'a> {
     /// # Panics
     /// Panics if the netlist has a combinational cycle.
     pub fn new(netlist: &'a Netlist) -> Self {
-        let order = netlist.topo_order().expect("netlist must be acyclic");
-        let mut topo_pos = vec![0u32; netlist.gate_count()];
-        for (i, g) in order.iter().enumerate() {
-            topo_pos[g.index()] = i as u32;
-        }
+        let view = NetView::shared(netlist);
+        Self::with_view(netlist, view)
+    }
+
+    /// Like [`Implication::new`] but reuses an existing [`NetView`]
+    /// snapshot of `netlist` (the lane engine and the scalar engine of
+    /// one analysis run share a single view).
+    ///
+    /// # Panics
+    /// Panics if `view` was not built from a netlist of the same size.
+    pub fn with_view(netlist: &'a Netlist, view: Arc<NetView>) -> Self {
+        assert_eq!(view.gate_count(), netlist.gate_count(), "view/netlist mismatch");
         let values = vec![Trit::X; netlist.gate_count()];
         let mut engine =
-            Implication { netlist, values, forced: vec![false; netlist.gate_count()], topo_pos };
+            Implication { netlist, values, forced: vec![false; netlist.gate_count()], view };
         // Initial sweep in topological order: constants self-evaluate and
         // propagate; everything else derives to X.
-        for &g in &order {
-            let k = netlist.kind(g);
+        for pos in 0..engine.view.gate_count() {
+            let i = engine.view.topo()[pos] as usize;
+            let k = engine.view.kind(i);
             if matches!(k, tpi_netlist::GateKind::Input | tpi_netlist::GateKind::Dff) {
                 continue;
             }
-            engine.values[g.index()] = engine.derive(g);
+            engine.values[i] = engine.derive(GateId::from_index(i));
         }
         engine
     }
@@ -121,6 +132,12 @@ impl<'a> Implication<'a> {
     #[inline]
     pub fn netlist(&self) -> &'a Netlist {
         self.netlist
+    }
+
+    /// The shared structure snapshot this engine walks.
+    #[inline]
+    pub fn view(&self) -> &Arc<NetView> {
+        &self.view
     }
 
     /// Current value of a net.
@@ -165,11 +182,10 @@ impl<'a> Implication<'a> {
     }
 
     /// What `net` would evaluate to from its fanins (ignoring a force).
+    /// Allocation-free: folds directly over the view's fanin CSR slice.
     fn derive(&self, net: GateId) -> Trit {
-        let kind = self.netlist.kind(net);
-        let ins: Vec<Trit> =
-            self.netlist.fanin(net).iter().map(|&f| self.values[f.index()]).collect();
-        eval_gate(kind, &ins)
+        let i = net.index();
+        eval_indexed(self.view.kind(i), self.view.fanin(i), &self.values)
     }
 
     fn set_and_propagate(&mut self, net: GateId, value: Trit) -> Vec<Assignment> {
@@ -192,10 +208,8 @@ impl<'a> Implication<'a> {
         // re-evaluated after all its updated fanins, so every gate is
         // processed at most once per wave.
         let mut work: BTreeSet<(u32, GateId)> = BTreeSet::new();
-        for &(sink, _) in self.netlist.fanout(net) {
-            if self.netlist.kind(sink).is_combinational() {
-                work.insert((self.topo_pos[sink.index()], sink));
-            }
+        for &sink in self.view.comb_fanouts(net.index()) {
+            work.insert((self.view.topo_pos(sink as usize), GateId::from_index(sink as usize)));
         }
         while let Some((_, g)) = work.pop_first() {
             if self.forced[g.index()] {
@@ -212,10 +226,8 @@ impl<'a> Implication<'a> {
             }
             self.values[g.index()] = new;
             delta.push(Assignment { net: g, value: new });
-            for &(sink, _) in self.netlist.fanout(g) {
-                if self.netlist.kind(sink).is_combinational() {
-                    work.insert((self.topo_pos[sink.index()], sink));
-                }
+            for &sink in self.view.comb_fanouts(g.index()) {
+                work.insert((self.view.topo_pos(sink as usize), GateId::from_index(sink as usize)));
             }
         }
         delta
@@ -251,7 +263,7 @@ impl<'a> Implication<'a> {
             .changes
             .iter()
             .filter(|a| a.net != preview.net)
-            .map(|a| (self.topo_pos[a.net.index()], a.net))
+            .map(|a| (self.view.topo_pos(a.net.index()), a.net))
             .collect();
         touched.sort_unstable();
         for (_, g) in touched {

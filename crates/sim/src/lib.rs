@@ -11,6 +11,13 @@
 //!   *override* previously implied ones, which is exactly the paper's
 //!   "side-effect constants may be changed by subsequent insertions"
 //!   semantics (§IV.A, Fig. 6);
+//! * [`NetView`] — a contiguous structure-of-arrays snapshot of the
+//!   netlist (CSR fanin/fanout index arrays plus the topological order)
+//!   shared by the engines so cone walks stay allocation-free;
+//! * [`LaneEngine`] — the word-parallel twin of [`Implication`]: two
+//!   `u64` bit-planes per net encode [`LANES`] independent trit lanes,
+//!   so one ordered pass previews 64 candidate forces at once (the
+//!   engine behind TPGREED's batched gain sweep);
 //! * [`Simulator`] — a ternary cycle-based sequential simulator used to
 //!   verify established scan chains by shifting patterns through them
 //!   (the paper's §V flush test);
@@ -20,10 +27,14 @@
 
 mod equiv;
 mod implication;
+mod lanes;
 mod simulator;
 mod trit;
+mod view;
 
 pub use equiv::{mission_equivalent, Mismatch};
 pub use implication::{Assignment, Implication, Preview};
+pub use lanes::{LaneEngine, LANES};
 pub use simulator::Simulator;
 pub use trit::{eval_gate, Trit};
+pub use view::NetView;

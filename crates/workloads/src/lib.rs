@@ -17,4 +17,6 @@ pub mod figures;
 pub mod iscas;
 pub mod synth;
 
-pub use synth::{generate, smoke_suite, suite, table1_workloads, CircuitSpec, StructureClass};
+pub use synth::{
+    generate, large_suite, smoke_suite, suite, table1_workloads, CircuitSpec, StructureClass,
+};

@@ -53,6 +53,13 @@ pub struct StructureClass {
     /// Give each critical ring one shallow (timing-safe) hop, so TD-CB
     /// can break it without degradation; without it only TPTIME can.
     pub critical_ring_shallow: bool,
+    /// Fraction of filler-cone levels that are single-input rail links
+    /// (Inv/Buf), modeling the buffer/inverter rails of mapped netlists.
+    /// Rails always propagate implications, so filler built with a high
+    /// fraction has deep forward-implication cones. `0.0` (all legacy
+    /// classes) keeps the original 4-level 3-input filler and draws no
+    /// extra RNG values, so existing suite circuits are bit-identical.
+    pub rail_fraction: f64,
 }
 
 impl StructureClass {
@@ -74,6 +81,7 @@ impl StructureClass {
             critical_rings: 1,
             critical_ring_len: 4,
             critical_ring_shallow: true,
+            rail_fraction: 0.0,
         }
     }
 
@@ -94,6 +102,7 @@ impl StructureClass {
             critical_rings: 2,
             critical_ring_len: 4,
             critical_ring_shallow: true,
+            rail_fraction: 0.0,
         }
     }
 
@@ -111,6 +120,35 @@ impl StructureClass {
             critical_rings: 1,
             critical_ring_len: 3,
             critical_ring_shallow: false,
+            rail_fraction: 0.0,
+        }
+    }
+
+    /// Mixed control + deep mapped-logic filler: like
+    /// [`StructureClass::mixed`], but the filler cones are `cone_depth`
+    /// levels deep and `rail_fraction` of the levels are inverter/buffer
+    /// rail links. Forcing a net inside such filler implies a long
+    /// forward cascade — the regime where per-candidate implication
+    /// previews dominate TPGREED's gain sweep.
+    pub fn deep_logic(
+        chain_fraction: f64,
+        chain_len: usize,
+        enable_groups: usize,
+        free_enables: usize,
+        cone_depth: usize,
+        rail_fraction: f64,
+    ) -> Self {
+        StructureClass {
+            chain_fraction,
+            chain_len,
+            enable_groups,
+            free_enables,
+            ring_fraction: 0.15,
+            cone_depth,
+            critical_rings: 2,
+            critical_ring_len: 4,
+            critical_ring_shallow: true,
+            rail_fraction,
         }
     }
 
@@ -212,15 +250,26 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
     let mut filler_roots: Vec<GateId> = Vec::new();
     let mut comb_count = n.comb_gates().len();
     let mut salt = 100_000;
+    let filler_depth = if st.rail_fraction > 0.0 { st.cone_depth.max(1) } else { 4 };
     while comb_count + 4 * (rest - chain_ffs) < spec.target_gates {
         let root = if salt % 4 == 0 {
             let limit = pure_pool.len();
-            build_cone(&mut n, &mut rng, &pis, &[], &mut pure_pool, 4, salt, limit)
+            build_cone(&mut n, &mut rng, &pis, &[], &mut pure_pool, filler_depth, salt, limit, 0.0)
         } else {
             let limit = pool.len();
-            build_cone(&mut n, &mut rng, &pis, &ffs, &mut pool, 4, salt, limit)
+            build_cone(
+                &mut n,
+                &mut rng,
+                &pis,
+                &ffs,
+                &mut pool,
+                filler_depth,
+                salt,
+                limit,
+                st.rail_fraction,
+            )
         };
-        comb_count += 4;
+        comb_count += filler_depth;
         filler_roots.push(root);
         salt += 1;
         if filler_roots.len() > spec.target_gates {
@@ -302,8 +351,17 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
         if driven[i] {
             continue;
         }
-        let cone =
-            build_cone(&mut n, &mut rng, &pis, &ffs, &mut pool, st.cone_depth, i, ff_pool_limit);
+        let cone = build_cone(
+            &mut n,
+            &mut rng,
+            &pis,
+            &ffs,
+            &mut pool,
+            st.cone_depth,
+            i,
+            ff_pool_limit,
+            0.0,
+        );
         n.connect(cone, ffs[i]).expect("dff takes one fanin");
         driven[i] = true;
     }
@@ -426,6 +484,7 @@ fn build_cone(
     depth: usize,
     salt: usize,
     pool_limit: usize,
+    rail_fraction: f64,
 ) -> GateId {
     let mut last = if !ffs.is_empty() && rng.gen_bool(0.7) {
         ffs[rng.gen_range(0..ffs.len())]
@@ -433,6 +492,17 @@ fn build_cone(
         pis[rng.gen_range(0..pis.len())]
     };
     for d in 0..depth.max(1) {
+        // Rail link: a single-input Inv/Buf stage (mapped-netlist
+        // buffer/inverter rails). Guarded so legacy classes
+        // (`rail_fraction == 0`) draw no extra RNG values.
+        if rail_fraction > 0.0 && rng.gen_bool(rail_fraction) {
+            let kind = if rng.gen_bool(0.5) { GateKind::Inv } else { GateKind::Buf };
+            let g = n.add_gate(kind, format!("rail{salt}_{d}"));
+            n.connect(last, g).expect("rail takes one fanin");
+            pool.push(g);
+            last = g;
+            continue;
+        }
         let kind = match rng.gen_range(0..5) {
             0 => GateKind::Nand,
             1 => GateKind::Nor,
@@ -564,6 +634,26 @@ pub fn smoke_suite() -> Vec<CircuitSpec> {
             seed: 102,
         },
     ]
+}
+
+/// One ~50k-gate circuit for performance validation: the scale where the
+/// TPGREED gain sweep dominates wall time and the word-parallel lane
+/// engine's advantage is measured (see `tpi-bench --large` and
+/// EXPERIMENTS.md). Deep-cone, rail-heavy structure (~52k gates as
+/// generated): forcing a net implies a long forward cascade, so a
+/// scalar gain sweep re-propagates tens of thousands of nets per
+/// candidate — the regime the word-parallel lane engine compresses by
+/// batching 64 cone-mate candidates into one wave.
+pub fn large_suite() -> Vec<CircuitSpec> {
+    vec![CircuitSpec {
+        name: "gen50k".into(),
+        inputs: 40,
+        outputs: 40,
+        ffs: 484,
+        target_gates: 15_500,
+        structure: StructureClass::deep_logic(0.5, 4, 48, 6, 128, 0.7),
+        seed: 606,
+    }]
 }
 
 #[cfg(test)]
