@@ -49,6 +49,24 @@ grep -q "drained and stopped" "$SMOKE/netd.log"
 "$BATCH" --jobs 4 --out "$SMOKE/net" "$SMOKE/work"
 diff -r "$SMOKE/net" "$SMOKE/cold"
 
+echo "== tpi-gateway smoke (3 backends: cold, warm, kill-one — all byte-identical) =="
+# Cold run through a 3-backend gateway must match the direct run byte
+# for byte, and the warm rerun must ride each owner's cache.
+"$BATCH" --gateway 3 --cache-dir "$SMOKE/gwcache" --out "$SMOKE/gw-cold" "$SMOKE/work" \
+    > "$SMOKE/gw-cold.log"
+diff -r "$SMOKE/gw-cold" "$SMOKE/cold"
+"$BATCH" --gateway 3 --cache-dir "$SMOKE/gwcache" --out "$SMOKE/gw-warm" "$SMOKE/work" \
+    > "$SMOKE/gw-warm.log"
+diff -r "$SMOKE/gw-warm" "$SMOKE/cold"
+grep -q '"schema":"tpi-gateway-metrics/v1"' "$SMOKE/gw-warm.log"
+# Warm affinity: the rerun is all cache hits, none cold.
+grep -Eq 'done in [0-9.]+s: 6 completed \(0 cold' "$SMOKE/gw-warm.log"
+# Kill a backend mid-batch: the failover path must still produce the
+# exact same report set.
+"$BATCH" --gateway 3 --kill-one --cache-dir "$SMOKE/gwkill" --out "$SMOKE/gw-kill" \
+    "$SMOKE/work" > "$SMOKE/gw-kill.log"
+diff -r "$SMOKE/gw-kill" "$SMOKE/cold"
+
 echo "== tpi-lint over generated workloads (deny errors; JSON byte-stable) =="
 cargo build -q -p tpi-lint --bin tpi-lint
 LINT=target/debug/tpi-lint

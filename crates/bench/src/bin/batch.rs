@@ -25,6 +25,17 @@
 //! server would take. Results and summary lines are the same either
 //! way; so are the payload bytes (that is the protocol's contract).
 //!
+//! Gateway mode (`--gateway N`): starts `N` in-process `tpi-netd`
+//! backends (each with its own service; `--cache-dir DIR` gives each a
+//! `DIR/b<i>` subdirectory) behind an in-process `tpi-gatewayd`, and
+//! submits every job through the gateway. Jobs route by their
+//! content-addressed cache key over the consistent-hash ring, so a
+//! warm rerun hits the backend that computed each result. With
+//! `--kill-one` (requires `N ≥ 2`), backend 0 is shut down after the
+//! first report lands, forcing the failover path mid-batch; the report
+//! set must come out identical anyway. A `gateway-metrics` line with
+//! the `tpi-gateway-metrics/v1` JSON is printed after the batch.
+//!
 //! Generate mode (to make a workload directory in the first place):
 //!
 //! ```text
@@ -40,15 +51,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tpi_bench::{ArgCursor, Cli};
 use tpi_core::PartialScanMethod;
-use tpi_net::{Client, ClientConfig, NetServer, ServerConfig, WireRequest};
+use tpi_gateway::{Gateway, GatewayConfig, GatewayHandler};
+use tpi_net::{Client, ClientConfig, NetServer, ServerConfig, ServerHandle, WireRequest};
 use tpi_netlist::write_blif;
-use tpi_serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
+use tpi_serve::{JobService, JobSpec, JobStatus, MetricsSnapshot, NetlistSource, ServiceConfig};
 use tpi_workloads::{generate, iscas, smoke_suite, suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpi-batch [--threads N] [--jobs N] [--cache-dir DIR] [--out DIR] \
-         [--deadline-ms M] DIR"
+        "usage: tpi-batch [--threads N] [--jobs N] [--gateway N [--kill-one]] \
+         [--cache-dir DIR] [--out DIR] [--deadline-ms M] DIR"
     );
     eprintln!("       tpi-batch --generate DIR [--small]");
     exit(2);
@@ -63,6 +75,8 @@ fn main() {
     let mut generate_dir: Option<PathBuf> = None;
     let mut small = false;
     let mut jobs: Option<usize> = None;
+    let mut gateway_backends: Option<usize> = None;
+    let mut kill_one = false;
     let mut workload_dir: Option<PathBuf> = None;
 
     let mut it = ArgCursor::new(cli.args);
@@ -77,6 +91,15 @@ fn main() {
                 }
                 jobs = Some(n);
             }
+            "--gateway" => {
+                let n: usize = it.parsed_value("--gateway", "a positive integer");
+                if n == 0 {
+                    eprintln!("--gateway needs at least 1 backend");
+                    exit(2);
+                }
+                gateway_backends = Some(n);
+            }
+            "--kill-one" => kill_one = true,
             "--out" => out_dir = Some(PathBuf::from(it.value("--out"))),
             "--deadline-ms" => {
                 let ms: u64 = it.parsed_value("--deadline-ms", "a non-negative integer");
@@ -100,6 +123,10 @@ fn main() {
     if let Some(dir) = generate_dir {
         generate_workloads(&dir, small);
         return;
+    }
+    if kill_one && gateway_backends.is_none_or(|n| n < 2) {
+        eprintln!("--kill-one needs --gateway N with N >= 2 (someone must survive)");
+        exit(2);
     }
     let Some(dir) = workload_dir else { usage() };
 
@@ -129,26 +156,39 @@ fn main() {
         }
     }
 
-    let service = Arc::new(JobService::new(ServiceConfig {
-        threads,
-        cache_dir,
-        default_deadline: deadline,
-        ..ServiceConfig::default()
-    }));
-    match jobs {
-        Some(n) => println!(
+    // Gateway mode builds one service *per backend*; the other modes
+    // share this single one.
+    let service: Option<Arc<JobService>> = match gateway_backends {
+        Some(_) => None,
+        None => Some(Arc::new(JobService::new(ServiceConfig {
+            threads,
+            cache_dir: cache_dir.clone(),
+            default_deadline: deadline,
+            ..ServiceConfig::default()
+        }))),
+    };
+    let connections = jobs.unwrap_or(4);
+    match (gateway_backends, jobs, &service) {
+        (Some(b), _, _) => println!(
+            "tpi-batch: {} files x 2 flows over {connections} connection(s) to an in-process \
+             gateway fronting {b} backend(s){}",
+            files.len(),
+            if kill_one { ", killing backend 0 mid-batch" } else { "" }
+        ),
+        (None, Some(n), Some(service)) => println!(
             "tpi-batch: {} files x 2 flows over {n} connection(s) to an in-process tpi-netd \
              ({} worker(s))",
             files.len(),
             service.workers()
         ),
-        None => {
+        (None, _, Some(service)) => {
             println!(
                 "tpi-batch: {} files x 2 flows on {} worker(s)",
                 files.len(),
                 service.workers()
             )
         }
+        (None, _, None) => unreachable!("non-gateway modes build the shared service"),
     }
 
     let t0 = Instant::now();
@@ -169,9 +209,19 @@ fn main() {
         names.push((stem, "tptime"));
     }
 
-    let rows = match jobs {
-        Some(n) => run_over_network(&service, texts, deadline, n),
-        None => run_in_process(&service, texts),
+    let (rows, m) = match (gateway_backends, &service) {
+        (Some(b), _) => {
+            run_over_gateway(texts, deadline, threads, &cache_dir, b, connections, kill_one)
+        }
+        (None, Some(service)) => {
+            let rows = match jobs {
+                Some(n) => run_over_network(service, texts, deadline, n),
+                None => run_in_process(service, texts),
+            };
+            let m = service.metrics();
+            (rows, m)
+        }
+        (None, None) => unreachable!("non-gateway modes build the shared service"),
     };
     let total = t0.elapsed();
 
@@ -206,7 +256,6 @@ fn main() {
         }
     }
 
-    let m = service.metrics();
     println!(
         "done in {:.2}s: {} completed ({} cold, {} memory, {} disk), {} timed out, \
          {} canceled, {} failed",
@@ -236,6 +285,39 @@ struct Row {
     wall_ms: f64,
     payload: Option<String>,
     diagnostics: Vec<String>,
+}
+
+impl Row {
+    /// A row from a report that crossed the wire.
+    fn from_wire(r: tpi_net::WireReport) -> Row {
+        Row {
+            status: r.status.label().to_string(),
+            failure: match &r.status {
+                JobStatus::Failed(msg) => Some(msg.clone()),
+                _ => None,
+            },
+            cache: r.cache.label().to_string(),
+            verified: r.verified,
+            key: r.key.map(|k| format!("{k:016x}")).unwrap_or_else(|| "-".repeat(16)),
+            wall_ms: r.wall_micros as f64 / 1e3,
+            payload: r.payload,
+            diagnostics: r.diagnostics,
+        }
+    }
+
+    /// A row for a submission that never produced a report.
+    fn from_net_error(e: &tpi_net::ClientError) -> Row {
+        Row {
+            status: "net-error".to_string(),
+            failure: Some(e.to_string()),
+            cache: "-".to_string(),
+            verified: false,
+            key: "-".repeat(16),
+            wall_ms: 0.0,
+            payload: None,
+            diagnostics: Vec::new(),
+        }
+    }
 }
 
 /// Even indices run full scan, odd run TPTIME — the order
@@ -297,8 +379,94 @@ fn run_over_network(
     let addr = server.local_addr().to_string();
     let (handle, server_thread) = server.spawn();
 
-    let total = texts.len();
-    let requests: Vec<WireRequest> = texts
+    let rows = drive_clients(&addr, build_requests(texts, deadline), jobs, None);
+    handle.shutdown();
+    let _ = server_thread.join();
+    rows
+}
+
+/// Starts `backends` in-process `tpi-netd`s behind an in-process
+/// gateway, submits every job through the gateway over `jobs` client
+/// connections, and returns the rows plus the backend services'
+/// aggregated metrics. With `kill_one`, backend 0 is shut down right
+/// after the first report lands, so the rest of the batch runs the
+/// failover path.
+fn run_over_gateway(
+    texts: Vec<String>,
+    deadline: Option<Duration>,
+    threads: usize,
+    cache_dir: &Option<PathBuf>,
+    backends: usize,
+    jobs: usize,
+    kill_one: bool,
+) -> (Vec<Row>, MetricsSnapshot) {
+    let mut services = Vec::new();
+    let mut handles = Vec::new();
+    let mut threads_joined = Vec::new();
+    let mut addrs = Vec::new();
+    for b in 0..backends {
+        let service = Arc::new(JobService::new(ServiceConfig {
+            threads,
+            cache_dir: cache_dir.as_ref().map(|d| d.join(format!("b{b}"))),
+            default_deadline: deadline,
+            ..ServiceConfig::default()
+        }));
+        let server =
+            NetServer::bind(ServerConfig::default(), Arc::clone(&service)).unwrap_or_else(|e| {
+                eprintln!("cannot start in-process backend {b}: {e}");
+                exit(2);
+            });
+        addrs.push(server.local_addr().to_string());
+        let (handle, join) = server.spawn();
+        services.push(service);
+        handles.push(handle);
+        threads_joined.push(join);
+    }
+
+    let gateway =
+        Arc::new(Gateway::new(GatewayConfig { backends: addrs, ..GatewayConfig::default() }));
+    let gw_server = NetServer::bind_with(
+        ServerConfig { max_connections: jobs.div_ceil(2).max(1), ..ServerConfig::default() },
+        GatewayHandler::new(Arc::clone(&gateway)),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start in-process gateway: {e}");
+        exit(2);
+    });
+    let gw_addr = gw_server.local_addr().to_string();
+    let (gw_handle, gw_thread) = gw_server.spawn();
+
+    let kill = kill_one.then(|| handles[0].clone());
+    let rows = drive_clients(&gw_addr, build_requests(texts, deadline), jobs, kill);
+
+    gw_handle.shutdown();
+    let _ = gw_thread.join();
+    println!("gateway-metrics {}", gateway.metrics_json());
+
+    let mut total = MetricsSnapshot::default();
+    for ((service, handle), join) in services.into_iter().zip(handles).zip(threads_joined) {
+        handle.shutdown();
+        let _ = join.join();
+        let m = match Arc::try_unwrap(service) {
+            Ok(service) => service.shutdown(),
+            Err(service) => service.metrics(),
+        };
+        total.submitted += m.submitted;
+        total.completed += m.completed;
+        total.cache_hits_memory += m.cache_hits_memory;
+        total.cache_hits_disk += m.cache_hits_disk;
+        total.cache_misses += m.cache_misses;
+        total.timed_out += m.timed_out;
+        total.canceled += m.canceled;
+        total.failed += m.failed;
+        total.peer_seeds += m.peer_seeds;
+    }
+    (rows, total)
+}
+
+/// Builds the wire requests in `main`'s `texts` order.
+fn build_requests(texts: Vec<String>, deadline: Option<Duration>) -> Vec<WireRequest> {
+    texts
         .into_iter()
         .enumerate()
         .map(|(i, text)| {
@@ -311,16 +479,30 @@ fn run_over_network(
             }
             req
         })
-        .collect();
+        .collect()
+}
+
+/// Pulls requests off a shared index and submits them to `addr` over
+/// `jobs` concurrent connections; rows come back in request order.
+/// When `kill` carries a server handle, it is shut down once, right
+/// after the first report lands.
+fn drive_clients(
+    addr: &str,
+    requests: Vec<WireRequest>,
+    jobs: usize,
+    kill: Option<ServerHandle>,
+) -> Vec<Row> {
+    let total = requests.len();
     let requests = Arc::new(requests);
     let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let rows = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let kill = Arc::new(std::sync::Mutex::new(kill));
 
     let workers: Vec<_> = (0..jobs)
         .map(|w| {
-            let (requests, next, rows) =
-                (Arc::clone(&requests), Arc::clone(&next), Arc::clone(&rows));
-            let addr = addr.clone();
+            let (requests, next, rows, kill) =
+                (Arc::clone(&requests), Arc::clone(&next), Arc::clone(&rows), Arc::clone(&kill));
+            let addr = addr.to_string();
             std::thread::spawn(move || {
                 let client = Client::with_config(
                     addr,
@@ -332,34 +514,13 @@ fn run_over_network(
                         return;
                     }
                     let row = match client.submit(&requests[i]) {
-                        Ok(r) => Row {
-                            status: r.status.label().to_string(),
-                            failure: match &r.status {
-                                JobStatus::Failed(msg) => Some(msg.clone()),
-                                _ => None,
-                            },
-                            cache: r.cache.label().to_string(),
-                            verified: r.verified,
-                            key: r
-                                .key
-                                .map(|k| format!("{k:016x}"))
-                                .unwrap_or_else(|| "-".repeat(16)),
-                            wall_ms: r.wall_micros as f64 / 1e3,
-                            payload: r.payload,
-                            diagnostics: r.diagnostics,
-                        },
-                        Err(e) => Row {
-                            status: "net-error".to_string(),
-                            failure: Some(e.to_string()),
-                            cache: "-".to_string(),
-                            verified: false,
-                            key: "-".repeat(16),
-                            wall_ms: 0.0,
-                            payload: None,
-                            diagnostics: Vec::new(),
-                        },
+                        Ok(r) => Row::from_wire(r),
+                        Err(e) => Row::from_net_error(&e),
                     };
                     rows.lock().expect("rows lock never poisoned").push((i, row));
+                    if let Some(victim) = kill.lock().expect("kill lock never poisoned").take() {
+                        victim.shutdown();
+                    }
                 }
             })
         })
@@ -367,8 +528,6 @@ fn run_over_network(
     for wkr in workers {
         let _ = wkr.join();
     }
-    handle.shutdown();
-    let _ = server_thread.join();
 
     let mut indexed = Arc::try_unwrap(rows)
         .unwrap_or_else(|_| unreachable!("workers joined"))

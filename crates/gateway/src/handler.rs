@@ -1,0 +1,51 @@
+//! The [`FrameHandler`] that makes a [`Gateway`] servable: plug it
+//! into [`tpi_net::NetServer::bind_with`] and the gateway speaks the
+//! same `tpi-net/v1` protocol as a backend — clients cannot tell (and
+//! must not need to tell) whether `--addr` points at a `tpi-netd` or a
+//! `tpi-gatewayd`.
+
+use crate::gateway::{Gateway, GatewayError};
+use std::sync::Arc;
+use tpi_net::{CacheAnswer, CacheLookup, ErrorCode, ErrorInfo, FrameHandler, Verb, WireRequest};
+
+/// Serves the gateway over the standard accept loop. Submits forward
+/// through [`Gateway::submit`] (ring routing + failover); peer fetches
+/// forward to the key's ring owner; metrics embed the
+/// `tpi-gateway-metrics/v1` snapshot.
+pub struct GatewayHandler {
+    gateway: Arc<Gateway>,
+}
+
+impl GatewayHandler {
+    /// Wraps a shared gateway (the health-probe thread keeps its own
+    /// clone).
+    pub fn new(gateway: Arc<Gateway>) -> GatewayHandler {
+        GatewayHandler { gateway }
+    }
+}
+
+impl FrameHandler for GatewayHandler {
+    fn submit(&self, req: WireRequest) -> (Verb, Vec<u8>) {
+        match self.gateway.submit(&req) {
+            Ok(report) => (Verb::Report, report.encode()),
+            // A backend's own verdict crosses back verbatim; gateway
+            // failures (no backends, all dead) become Internal — the
+            // *caller's* request was fine.
+            Err(GatewayError::Remote(info)) => (Verb::Error, info.encode()),
+            Err(e) => (Verb::Error, ErrorInfo::new(ErrorCode::Internal, e.to_string()).encode()),
+        }
+    }
+
+    fn peer_fetch(&self, lookup: CacheLookup) -> (Verb, Vec<u8>) {
+        let payload = self.gateway.peer_fetch(lookup.key);
+        (Verb::CachePayload, CacheAnswer { payload }.encode())
+    }
+
+    fn metrics_schema(&self) -> &'static str {
+        "tpi-gatewayd-metrics/v1"
+    }
+
+    fn snapshot(&self) -> (&'static str, String) {
+        ("gateway", self.gateway.metrics_json())
+    }
+}

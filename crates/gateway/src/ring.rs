@@ -1,0 +1,188 @@
+//! The consistent-hash ring that gives the gateway cache affinity.
+//!
+//! Each backend owns [`HashRing::replicas`] *virtual nodes* — points on
+//! a `u64` circle, each the FNV-64 of `(backend address, vnode index)`.
+//! A job's content-addressed cache key is rehashed onto the same circle
+//! and routed to the first vnode clockwise. Two properties follow:
+//!
+//! * **Affinity** — the same key always lands on the same backend while
+//!   the backend set is unchanged, so its cached payload is warm there.
+//! * **Minimal disruption** — adding or removing one backend moves only
+//!   the keys in the arcs its vnodes owned (~1/N of the space), not a
+//!   full reshuffle; the moved keys are exactly the ones
+//!   [`Verb::PeerFetch`](tpi_net::Verb::PeerFetch) then recovers from
+//!   the previous owner instead of recomputing.
+//!
+//! Vnode points hash the backend *address*, not its list index, so the
+//! ring is invariant under reordering the `--backend` flags.
+
+use tpi_serve::Fnv64;
+
+/// 64-bit avalanche finalizer (the murmur3/splitmix tail). FNV-1a is a
+/// fine identity hash but a poor *circle* hash: nearby inputs land on
+/// nearby points, which clumps vnode arcs and starves backends. One
+/// mix round spreads both vnode points and key points uniformly.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// A consistent-hash ring over backend indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, backend index)`, sorted by point (ties broken by
+    /// index, deterministically).
+    points: Vec<(u64, usize)>,
+    backends: usize,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Builds the ring: `replicas` vnodes per backend address.
+    pub fn new(addrs: &[String], replicas: usize) -> HashRing {
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(addrs.len() * replicas);
+        for (index, addr) in addrs.iter().enumerate() {
+            for vnode in 0..replicas {
+                let mut h = Fnv64::new();
+                h.write_str("tpi-ring-v1");
+                h.write_str(addr);
+                h.write_u64(vnode as u64);
+                points.push((mix(h.finish()), index));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, backends: addrs.len(), replicas }
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Virtual nodes per backend.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Places a cache key on the circle. The key is rehashed first:
+    /// raw cache keys are already FNV outputs, but flows differing only
+    /// in config produce *related* preimages, and one more mix keeps
+    /// vnode arcs uncorrelated with key structure.
+    fn point_of(key: u64) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("tpi-ring-key");
+        h.write_u64(key);
+        mix(h.finish())
+    }
+
+    /// The backend that owns `key`: first vnode clockwise from the
+    /// key's point, wrapping at the top of the circle.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        self.successors(key).next()
+    }
+
+    /// Every backend in failover order for `key`: the owner first, then
+    /// each *distinct* backend encountered walking the ring clockwise.
+    /// Yields every backend exactly once.
+    pub fn successors(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let start = match self.points.is_empty() {
+            true => 0,
+            false => {
+                let p = Self::point_of(key);
+                self.points.partition_point(|&(pt, _)| pt < p) % self.points.len()
+            }
+        };
+        let mut seen = vec![false; self.backends];
+        let n = self.points.len();
+        (0..n).filter_map(move |i| {
+            let (_, b) = self.points[(start + i) % n];
+            if seen[b] {
+                None
+            } else {
+                seen[b] = true;
+                Some(b)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_backends() {
+        let ring = HashRing::new(&addrs(3), 32);
+        let again = HashRing::new(&addrs(3), 32);
+        let mut owners = [0u32; 3];
+        for key in 0..3000u64 {
+            let o = ring.route(key).unwrap();
+            assert_eq!(Some(o), again.route(key), "same ring, same routing");
+            owners[o] += 1;
+        }
+        for (b, &count) in owners.iter().enumerate() {
+            assert!(count > 300, "backend {b} owns a reasonable share, got {count}/3000");
+        }
+    }
+
+    #[test]
+    fn successors_yield_every_backend_once_owner_first() {
+        let ring = HashRing::new(&addrs(4), 16);
+        for key in 0..200u64 {
+            let order: Vec<usize> = ring.successors(key).collect();
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "a permutation, no repeats: {order:?}");
+            assert_eq!(order[0], ring.route(key).unwrap(), "owner comes first");
+        }
+    }
+
+    #[test]
+    fn ring_is_invariant_under_backend_list_order() {
+        let fwd = addrs(3);
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let a = HashRing::new(&fwd, 32);
+        let b = HashRing::new(&rev, 32);
+        for key in 0..500u64 {
+            // Compare by address, not index: indices follow list order.
+            assert_eq!(fwd[a.route(key).unwrap()], rev[b.route(key).unwrap()]);
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_moves_only_its_keys() {
+        let three = HashRing::new(&addrs(3), 64);
+        let two = HashRing::new(&addrs(2), 64);
+        let mut moved = 0u32;
+        let total = 3000u64;
+        for key in 0..total {
+            let before = three.route(key).unwrap();
+            let after = two.route(key).unwrap();
+            if before < 2 {
+                assert_eq!(before, after, "keys not owned by the removed backend stay put");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the removed backend owned something");
+        assert!(moved < total as u32 / 2, "only ~1/3 of keys moved, got {moved}/{total}");
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(&[], 32);
+        assert_eq!(ring.route(42), None);
+        assert_eq!(ring.successors(42).count(), 0);
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! tpi-cli --addr HOST:PORT [--flow full-scan|cb|td-cb|tptime]
-//!         [--deadline-ms N] [--retry-budget-ms N] FILE.blif
+//!         [--deadline-ms N] [--retry-budget-ms N] [--retries N] FILE.blif
 //! tpi-cli --addr HOST:PORT --metrics | --ping | --shutdown
 //! ```
+//!
+//! `--retries N` hard-caps connect/busy retries regardless of the time
+//! budget; `--retries 0` makes the first refusal final, which is what
+//! scripts probing for a live server want.
 //!
 //! On a completed job, the report's `tpi-serve/v1` JSON payload is
 //! printed to stdout exactly as the service produced it (the bytes are
@@ -16,7 +20,7 @@ use std::process::exit;
 use std::time::Duration;
 use tpi_core::PartialScanMethod;
 use tpi_net::cli::{ArgCursor, Cli};
-use tpi_net::{Client, ClientConfig, WireRequest};
+use tpi_net::{Client, ClientConfig, ClientError, WireRequest};
 use tpi_serve::JobStatus;
 
 enum Action {
@@ -52,6 +56,9 @@ fn main() {
                 config.retry_budget =
                     Duration::from_millis(args.parsed_value("--retry-budget-ms", "milliseconds"));
             }
+            "--retries" => {
+                config.max_retries = Some(args.parsed_value("--retries", "a retry count"));
+            }
             "--metrics" => action = Action::Metrics,
             "--ping" => action = Action::Ping,
             "--shutdown" => action = Action::Shutdown,
@@ -61,7 +68,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other:?}\n\
-                     usage: tpi-cli --addr HOST:PORT [--flow NAME] [--deadline-ms N] FILE.blif\n\
+                     usage: tpi-cli --addr HOST:PORT [--flow NAME] [--deadline-ms N] \
+                     [--retries N] FILE.blif\n\
                      \u{20}      tpi-cli --addr HOST:PORT --metrics | --ping | --shutdown"
                 );
                 exit(2);
@@ -73,20 +81,20 @@ fn main() {
         eprintln!("--addr is required (tpi-netd prints its address on startup)");
         exit(2);
     };
-    let client = Client::with_config(addr, config);
+    let client = Client::with_config(addr.clone(), config);
 
     match action {
         Action::Ping => match client.ping() {
             Ok(()) => println!("pong"),
-            Err(e) => fail(&e),
+            Err(e) => fail(&addr, &e),
         },
         Action::Shutdown => match client.shutdown_server() {
             Ok(()) => println!("shutdown acknowledged"),
-            Err(e) => fail(&e),
+            Err(e) => fail(&addr, &e),
         },
         Action::Metrics => match client.metrics_json() {
             Ok(json) => println!("{json}"),
-            Err(e) => fail(&e),
+            Err(e) => fail(&addr, &e),
         },
         Action::Submit => {
             let Some(path) = blif_path else {
@@ -112,7 +120,7 @@ fn main() {
             }
             let report = match client.submit(&request) {
                 Ok(r) => r,
-                Err(e) => fail(&e),
+                Err(e) => fail(&addr, &e),
             };
             match (&report.status, &report.payload) {
                 (JobStatus::Completed, Some(payload)) => println!("{payload}"),
@@ -128,7 +136,23 @@ fn main() {
     }
 }
 
-fn fail(e: &dyn std::fmt::Display) -> ! {
-    eprintln!("tpi-cli: {e}");
+/// Prints the error and exits 1. Connection failures — by far the most
+/// common scripting mistake — get a typed, actionable line instead of
+/// the raw error chain.
+fn fail(addr: &str, e: &ClientError) -> ! {
+    match e {
+        ClientError::Connect { attempts, last }
+            if last.kind() == std::io::ErrorKind::ConnectionRefused =>
+        {
+            eprintln!(
+                "tpi-cli: connection refused at {addr} after {attempts} attempt(s) \
+                 (is tpi-netd running there?)"
+            );
+        }
+        ClientError::Connect { attempts, last } => {
+            eprintln!("tpi-cli: cannot connect to {addr} after {attempts} attempt(s): {last}");
+        }
+        other => eprintln!("tpi-cli: {other}"),
+    }
     exit(1)
 }

@@ -14,7 +14,7 @@
 use std::process::exit;
 use std::sync::Arc;
 use tpi_net::cli::{ArgCursor, Cli};
-use tpi_net::{NetServer, ServerConfig};
+use tpi_net::{write_addr_file, NetServer, ServerConfig};
 use tpi_serve::{JobService, ServiceConfig};
 
 fn main() {
@@ -63,7 +63,9 @@ fn main() {
     let addr = server.local_addr();
     println!("tpi-netd listening on {addr}");
     if let Some(path) = addr_file {
-        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+        // Atomic publish (tmp + fsync + rename): a script polling the
+        // file sees a complete address or nothing, never a torn write.
+        if let Err(e) = write_addr_file(&path, addr) {
             eprintln!("tpi-netd: cannot write {path:?}: {e}");
             exit(1);
         }

@@ -17,7 +17,7 @@
 //! (idempotent thanks to the content-addressed cache) is worth it.
 
 use crate::frame::{read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME};
-use crate::proto::{ErrorInfo, ProtoError, WireReport, WireRequest};
+use crate::proto::{CacheAnswer, CacheLookup, ErrorInfo, ProtoError, WireReport, WireRequest};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -35,6 +35,10 @@ pub struct ClientConfig {
     /// `Busy` answers before giving up ([`Duration::ZERO`] disables
     /// retries entirely — the first refusal is final).
     pub retry_budget: Duration,
+    /// Hard cap on retries regardless of the time budget: `Some(0)`
+    /// makes the first refusal final (the scriptable `--retries 0`
+    /// path), `None` leaves the budget in charge.
+    pub max_retries: Option<u32>,
     /// First backoff step (doubles each retry).
     pub backoff_base: Duration,
     /// Backoff ceiling.
@@ -51,6 +55,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             io_timeout: Duration::from_secs(120),
             retry_budget: Duration::from_secs(30),
+            max_retries: None,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(500),
             seed: 0x0709_15EE_DD06_F00D,
@@ -192,6 +197,18 @@ impl Client {
         }
     }
 
+    /// Looks a cached payload up on the server by its content-addressed
+    /// key ([`crate::frame::Verb::PeerFetch`]). `Ok(None)` is a miss —
+    /// a valid answer, not an error. This is what a backend calls on a
+    /// sibling before recomputing a result it lost in a ring rebalance.
+    pub fn peer_fetch(&self, key: u64) -> Result<Option<String>, ClientError> {
+        let (verb, payload) = self.call(Verb::PeerFetch, &CacheLookup { key }.encode())?;
+        match verb {
+            Verb::CachePayload => Ok(CacheAnswer::decode(&payload)?.payload),
+            other => Err(self.classify(other, &payload)),
+        }
+    }
+
     /// Turns a non-success response into the matching error.
     fn classify(&self, verb: Verb, payload: &[u8]) -> ClientError {
         match verb {
@@ -201,6 +218,12 @@ impl Client {
             },
             other => ClientError::UnexpectedVerb(other),
         }
+    }
+
+    /// Whether a retry is still allowed after `attempt` tries: inside
+    /// the time budget *and* under the hard retry cap (when set).
+    fn may_retry(&self, attempt: u32, give_up: Instant) -> bool {
+        Instant::now() < give_up && self.config.max_retries.is_none_or(|m| attempt <= m)
     }
 
     /// One request/response exchange with connect + `Busy` retry.
@@ -213,7 +236,7 @@ impl Client {
             let stream = match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
                 Ok(s) => s,
                 Err(last) => {
-                    if retriable_connect(&last) && Instant::now() < give_up {
+                    if retriable_connect(&last) && self.may_retry(attempt, give_up) {
                         std::thread::sleep(self.backoff(attempt));
                         continue;
                     }
@@ -229,7 +252,7 @@ impl Client {
             write_frame(&mut writer, verb, payload).map_err(ClientError::Io)?;
             let (rverb, rpayload) = read_frame(&mut reader, self.config.max_frame)?;
             if rverb == Verb::Busy {
-                if Instant::now() < give_up {
+                if self.may_retry(attempt, give_up) {
                     std::thread::sleep(self.backoff(attempt));
                     continue;
                 }
@@ -313,6 +336,27 @@ mod tests {
     fn zero_seed_is_replaced() {
         let c = Client::with_config("x:1", ClientConfig { seed: 0, ..Default::default() });
         assert_ne!(c.next_rand(), 0, "xorshift state must never be zero");
+    }
+
+    #[test]
+    fn zero_max_retries_makes_the_first_refusal_final() {
+        // Port 1 refuses on any sane loopback; with a hard cap of zero
+        // retries the refusal must surface as one attempt even though
+        // the time budget would allow thirty seconds of backoff.
+        let c = Client::with_config(
+            "127.0.0.1:1",
+            ClientConfig {
+                max_retries: Some(0),
+                retry_budget: Duration::from_secs(30),
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        match c.ping() {
+            Err(ClientError::Connect { attempts: 1, .. }) => {}
+            other => panic!("expected a single-attempt Connect error, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "no backoff loop may run");
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub enum Verb {
     /// Request: begin graceful shutdown — stop accepting, drain
     /// in-flight jobs, exit (empty payload; acknowledged with `Pong`).
     Shutdown = 9,
+    /// Request: look a cached payload up by its content-addressed key
+    /// ([`crate::proto::CacheLookup`] payload) — how a backend pulls a
+    /// result from a sibling instead of recomputing it after a gateway
+    /// ring rebalance.
+    PeerFetch = 10,
+    /// Response: the peer-fetch answer
+    /// ([`crate::proto::CacheAnswer`] payload; a miss is a valid answer).
+    CachePayload = 11,
 }
 
 impl Verb {
@@ -83,6 +91,8 @@ impl Verb {
             7 => Verb::Ping,
             8 => Verb::Pong,
             9 => Verb::Shutdown,
+            10 => Verb::PeerFetch,
+            11 => Verb::CachePayload,
             _ => return None,
         })
     }
@@ -99,6 +109,8 @@ impl Verb {
             Verb::Ping => "ping",
             Verb::Pong => "pong",
             Verb::Shutdown => "shutdown",
+            Verb::PeerFetch => "peer-fetch",
+            Verb::CachePayload => "cache-payload",
         }
     }
 }
@@ -288,6 +300,8 @@ mod tests {
             Verb::Ping,
             Verb::Pong,
             Verb::Shutdown,
+            Verb::PeerFetch,
+            Verb::CachePayload,
         ] {
             assert_eq!(Verb::from_u8(verb as u8), Some(verb));
             roundtrip(verb, b"");

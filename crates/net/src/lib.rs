@@ -51,5 +51,9 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use frame::{
     encode_frame, payload_checksum, read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME,
 };
-pub use proto::{ErrorCode, ErrorInfo, ProtoError, WireReport, WireRequest};
-pub use server::{NetServer, ServerConfig, ServerHandle};
+pub use proto::{
+    CacheAnswer, CacheLookup, ErrorCode, ErrorInfo, ProtoError, WireReport, WireRequest,
+};
+pub use server::{
+    write_addr_file, FrameHandler, JobHandler, NetServer, ServerConfig, ServerHandle,
+};

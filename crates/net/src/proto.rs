@@ -143,6 +143,12 @@ pub struct WireRequest {
     /// The circuit, as BLIF text (parsed on a server worker, so a
     /// malformed file fails that job, not the connection).
     pub blif: String,
+    /// Sibling backend addresses the serving node may
+    /// [`crate::frame::Verb::PeerFetch`] a cached payload from before
+    /// recomputing. Empty for direct submissions; a gateway fills it
+    /// when forwarding so a ring rebalance turns into one cheap peer
+    /// round-trip instead of a cold flow run.
+    pub peers: Vec<String>,
 }
 
 impl WireRequest {
@@ -152,17 +158,29 @@ impl WireRequest {
             flow: FlowKind::FullScan(TpGreedConfig::default()),
             deadline: None,
             blif: blif.into(),
+            peers: Vec::new(),
         }
     }
 
     /// A partial-scan request.
     pub fn partial(blif: impl Into<String>, method: PartialScanMethod) -> Self {
-        WireRequest { flow: FlowKind::Partial(method), deadline: None, blif: blif.into() }
+        WireRequest {
+            flow: FlowKind::Partial(method),
+            deadline: None,
+            blif: blif.into(),
+            peers: Vec::new(),
+        }
     }
 
     /// Sets the wire deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the sibling-backend addresses for peer fetching.
+    pub fn with_peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = peers;
         self
     }
 
@@ -194,6 +212,12 @@ impl WireRequest {
             None => out.push(0),
         }
         put_string(&mut out, &self.blif);
+        out.extend_from_slice(
+            &u32::try_from(self.peers.len()).expect("peer count fits u32").to_le_bytes(),
+        );
+        for p in &self.peers {
+            put_string(&mut out, p);
+        }
         out
     }
 
@@ -229,8 +253,13 @@ impl WireRequest {
             tag => return Err(ProtoError::BadTag { field: "deadline flag", tag }),
         };
         let blif = r.string("blif")?;
+        let n_peers = r.u32("peer count")? as usize;
+        let mut peers = Vec::new();
+        for _ in 0..n_peers {
+            peers.push(r.string("peer address")?);
+        }
         r.finish()?;
-        Ok(WireRequest { flow, deadline, blif })
+        Ok(WireRequest { flow, deadline, blif, peers })
     }
 
     /// Builds the server-side [`JobSpec`]: BLIF source, the decoded
@@ -394,6 +423,75 @@ impl WireReport {
 }
 
 // ---------------------------------------------------------------------
+// Peer fetch (cache lookup by key)
+// ---------------------------------------------------------------------
+
+/// The payload of a [`Verb::PeerFetch`](crate::frame::Verb::PeerFetch)
+/// request: a content-addressed cache key, exactly as
+/// [`tpi_serve::cache_key`] computed it. No netlist rides along — the
+/// key *is* the job's identity, which is what makes peer fetching
+/// cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLookup {
+    /// The [`tpi_serve::CacheKey`] value being looked up.
+    pub key: u64,
+}
+
+impl CacheLookup {
+    /// Renders the PeerFetch payload.
+    pub fn encode(&self) -> Vec<u8> {
+        self.key.to_le_bytes().to_vec()
+    }
+
+    /// Parses a PeerFetch payload.
+    pub fn decode(bytes: &[u8]) -> Result<CacheLookup, ProtoError> {
+        let mut r = Reader::new(bytes);
+        let key = r.u64("cache key")?;
+        r.finish()?;
+        Ok(CacheLookup { key })
+    }
+}
+
+/// The payload of a
+/// [`Verb::CachePayload`](crate::frame::Verb::CachePayload) response: a
+/// hit carries the `tpi-serve/v1` payload bytes verbatim, a miss is
+/// `None` — a perfectly valid answer, not an error (the asker simply
+/// computes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheAnswer {
+    /// The cached payload, byte-for-byte as the owning service stored
+    /// it; `None` on a miss.
+    pub payload: Option<String>,
+}
+
+impl CacheAnswer {
+    /// Renders the CachePayload payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.as_deref().map_or(0, str::len));
+        match &self.payload {
+            Some(p) => {
+                out.push(1);
+                put_string(&mut out, p);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parses a CachePayload payload.
+    pub fn decode(bytes: &[u8]) -> Result<CacheAnswer, ProtoError> {
+        let mut r = Reader::new(bytes);
+        let payload = match r.u8("hit flag")? {
+            0 => None,
+            1 => Some(r.string("cached payload")?),
+            tag => return Err(ProtoError::BadTag { field: "hit flag", tag }),
+        };
+        r.finish()?;
+        Ok(CacheAnswer { payload })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Error response
 // ---------------------------------------------------------------------
 
@@ -502,10 +600,12 @@ mod tests {
                 flow,
                 deadline: Some(Duration::from_millis(1234)),
                 blif: ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n".into(),
+                peers: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
             };
             let back = WireRequest::decode(&req.encode()).unwrap();
             assert_eq!(back.blif, req.blif);
             assert_eq!(back.deadline, req.deadline);
+            assert_eq!(back.peers, req.peers);
             assert_eq!(back.to_spec().flow.label(), req.flow.label());
         }
     }
@@ -528,8 +628,12 @@ mod tests {
             threads: 8, // must NOT survive: worker sizing is the server's
             ..TpGreedConfig::default()
         };
-        let req =
-            WireRequest { flow: FlowKind::FullScan(cfg), deadline: None, blif: String::new() };
+        let req = WireRequest {
+            flow: FlowKind::FullScan(cfg),
+            deadline: None,
+            blif: String::new(),
+            peers: Vec::new(),
+        };
         let back = WireRequest::decode(&req.encode()).unwrap();
         match back.flow {
             FlowKind::FullScan(c) => {
@@ -627,5 +731,43 @@ mod tests {
         use crate::frame::Verb;
         assert_eq!(Verb::Submit.label(), "submit");
         assert_eq!(Verb::MetricsReport.label(), "metrics-report");
+        assert_eq!(Verb::PeerFetch.label(), "peer-fetch");
+        assert_eq!(Verb::CachePayload.label(), "cache-payload");
+    }
+
+    #[test]
+    fn cache_lookup_roundtrips_and_rejects_garbage() {
+        let l = CacheLookup { key: 0x29b3_c0a6_4a7b_22ef };
+        assert_eq!(CacheLookup::decode(&l.encode()).unwrap(), l);
+        assert_eq!(
+            CacheLookup::decode(&[1, 2, 3]),
+            Err(ProtoError::Truncated { field: "cache key" })
+        );
+        let mut long = l.encode();
+        long.push(0);
+        assert_eq!(CacheLookup::decode(&long), Err(ProtoError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn cache_answer_roundtrips_hit_and_miss() {
+        let hit = CacheAnswer { payload: Some(r#"{"schema":"tpi-serve/v1"}"#.into()) };
+        assert_eq!(CacheAnswer::decode(&hit.encode()).unwrap(), hit);
+        let miss = CacheAnswer { payload: None };
+        assert_eq!(CacheAnswer::decode(&miss.encode()).unwrap(), miss);
+        assert_eq!(
+            CacheAnswer::decode(&[9]),
+            Err(ProtoError::BadTag { field: "hit flag", tag: 9 })
+        );
+    }
+
+    #[test]
+    fn request_peers_survive_the_wire_and_default_empty() {
+        let req = WireRequest::full_scan(".model m\n.end\n");
+        assert!(req.peers.is_empty());
+        let back = WireRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        let with = req.with_peers(vec!["10.0.0.1:4000".into()]);
+        let back = WireRequest::decode(&with.encode()).unwrap();
+        assert_eq!(back.peers, vec!["10.0.0.1:4000".to_string()]);
     }
 }

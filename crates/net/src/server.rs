@@ -1,5 +1,5 @@
 //! The network front-end: a bounded-concurrency TCP server wrapping a
-//! shared [`JobService`].
+//! [`FrameHandler`].
 //!
 //! Design constraints, in order:
 //!
@@ -17,22 +17,32 @@
 //!   connections — and therefore their in-flight jobs — run to
 //!   completion before [`NetServer::serve`] returns.
 //!
+//! The accept loop, framing, backpressure, and shutdown logic are
+//! verb-agnostic; what a `Submit` or `PeerFetch` *means* is the
+//! [`FrameHandler`]'s business. [`JobHandler`] is the handler behind
+//! `tpi-netd` (decode → [`tpi_serve::JobService`] → encode, with
+//! peer-fetch seeding of forwarded jobs); `tpi-gatewayd` plugs in its
+//! own handler that forwards instead of executing.
+//!
 //! Observability rides on a [`Recorder`]: connection/frame/byte
 //! counters (all [`Recorder::add_nd`] — traffic is wall-clock data, not
 //! part of any determinism contract) plus a `frame_latency` histogram,
 //! served over the wire by the [`Verb::Metrics`] verb next to the
-//! embedded [`JobService`] snapshot.
+//! handler's embedded snapshot.
 
+use crate::client::{Client, ClientConfig};
 use crate::frame::{read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME};
-use crate::proto::{ErrorCode, ErrorInfo, WireReport, WireRequest};
-use std::io::{self, BufReader};
+use crate::proto::{CacheAnswer, CacheLookup, ErrorCode, ErrorInfo, WireReport, WireRequest};
+use std::fs::{self, File};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tpi_obs::{JsonObject, Recorder};
-use tpi_serve::JobService;
+use tpi_serve::{cache_key, netlist_fingerprint, CacheKey, JobService, NetlistSource};
 
 /// Tuning for one [`NetServer`].
 #[derive(Debug, Clone)]
@@ -60,6 +70,116 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(30),
             max_frame: DEFAULT_MAX_FRAME,
         }
+    }
+}
+
+/// What a server *does* with the request verbs; the accept loop,
+/// framing, backpressure, and shutdown are [`NetServer`]'s.
+///
+/// Implementations answer with `(response verb, payload bytes)` — the
+/// loop writes the frame and keeps the connection open unless the verb
+/// is [`Verb::Error`] (a failed request desynchronizes nothing, but
+/// matching the pre-existing one-strike contract keeps client retry
+/// logic uniform).
+pub trait FrameHandler: Send + Sync + 'static {
+    /// Answers a decoded Submit request with [`Verb::Report`] or
+    /// [`Verb::Error`].
+    fn submit(&self, req: WireRequest) -> (Verb, Vec<u8>);
+
+    /// Answers a decoded PeerFetch request with [`Verb::CachePayload`]
+    /// or [`Verb::Error`]. A cache miss is a `CachePayload` carrying
+    /// `None`, not an error.
+    fn peer_fetch(&self, lookup: CacheLookup) -> (Verb, Vec<u8>);
+
+    /// Schema string of this server's metrics JSON
+    /// (`tpi-netd-metrics/v1` for [`JobHandler`]).
+    fn metrics_schema(&self) -> &'static str;
+
+    /// The handler-specific snapshot embedded in the metrics JSON:
+    /// a field name plus already-rendered, byte-stable JSON.
+    fn snapshot(&self) -> (&'static str, String);
+}
+
+/// The `tpi-netd` handler: decode, run on the shared
+/// [`JobService`], encode. When a forwarded request names sibling
+/// backends ([`WireRequest::peers`]), a locally-missing result is
+/// peer-fetched and seeded before the job runs, so a gateway ring
+/// rebalance costs one small round-trip instead of a cold flow run.
+pub struct JobHandler {
+    service: Arc<JobService>,
+    peer_config: ClientConfig,
+}
+
+impl JobHandler {
+    /// Wraps a service. The service stays shared — the caller may keep
+    /// submitting in-process jobs through its own handle; cache and
+    /// metrics are one pool either way.
+    pub fn new(service: Arc<JobService>) -> JobHandler {
+        JobHandler {
+            service,
+            // Peer fetches are an optimization, never worth waiting
+            // for: no retries, short timeouts, fall back to computing.
+            peer_config: ClientConfig {
+                connect_timeout: Duration::from_millis(500),
+                io_timeout: Duration::from_secs(10),
+                retry_budget: Duration::ZERO,
+                max_retries: Some(0),
+                ..ClientConfig::default()
+            },
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<JobService> {
+        &self.service
+    }
+
+    /// Tries to satisfy `req` from its named sibling backends: compute
+    /// the content-addressed key, and if this service does not hold it,
+    /// ask each peer once. The first hit is seeded into the local
+    /// cache; the submission that follows then completes as a memory
+    /// hit. Returns whether a payload was seeded. Every failure mode
+    /// (unparsable BLIF, dead peer, miss) just means "compute locally".
+    fn seed_from_peers(&self, req: &WireRequest) -> bool {
+        if req.peers.is_empty() {
+            return false;
+        }
+        let Ok(netlist) = NetlistSource::Blif(req.blif.clone()).resolve() else {
+            return false;
+        };
+        let key = cache_key(netlist_fingerprint(&netlist), &req.flow);
+        if self.service.lookup(key).is_some() {
+            return false;
+        }
+        for peer in &req.peers {
+            let client = Client::with_config(peer.clone(), self.peer_config.clone());
+            if let Ok(Some(payload)) = client.peer_fetch(key.0) {
+                self.service.seed(key, payload.into());
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl FrameHandler for JobHandler {
+    fn submit(&self, req: WireRequest) -> (Verb, Vec<u8>) {
+        self.seed_from_peers(&req);
+        let report = self.service.submit(req.to_spec()).wait();
+        (Verb::Report, WireReport::from_report(&report).encode())
+    }
+
+    fn peer_fetch(&self, lookup: CacheLookup) -> (Verb, Vec<u8>) {
+        let payload = self.service.lookup(CacheKey(lookup.key)).map(|(p, _)| p.to_string());
+        (Verb::CachePayload, CacheAnswer { payload }.encode())
+    }
+
+    fn metrics_schema(&self) -> &'static str {
+        "tpi-netd-metrics/v1"
+    }
+
+    fn snapshot(&self) -> (&'static str, String) {
+        ("service", self.service.metrics_json())
     }
 }
 
@@ -100,23 +220,30 @@ impl ServerHandle {
     }
 }
 
-/// The server: a bound listener plus the shared [`JobService`] it
-/// fronts. Construct with [`NetServer::bind`], then either call
-/// [`NetServer::serve`] on the current thread or [`NetServer::spawn`]
-/// to run it on its own.
-pub struct NetServer {
+/// The server: a bound listener plus the [`FrameHandler`] it drives.
+/// `tpi-netd` constructs one with [`NetServer::bind`] (a [`JobHandler`]
+/// over a shared service); `tpi-gatewayd` brings its own handler via
+/// [`NetServer::bind_with`]. Then either call [`NetServer::serve`] on
+/// the current thread or [`NetServer::spawn`] to run it on its own.
+pub struct NetServer<H: FrameHandler = JobHandler> {
     listener: TcpListener,
-    service: Arc<JobService>,
+    handler: Arc<H>,
     config: ServerConfig,
     state: Arc<ServerState>,
     addr: SocketAddr,
 }
 
-impl NetServer {
-    /// Binds the listener and wires it to `service`. The service is
-    /// shared — the caller may keep submitting in-process jobs through
-    /// its own handle; cache and metrics are one pool either way.
+impl NetServer<JobHandler> {
+    /// Binds the listener and wires it to `service` through a
+    /// [`JobHandler`].
     pub fn bind(config: ServerConfig, service: Arc<JobService>) -> io::Result<NetServer> {
+        NetServer::bind_with(config, JobHandler::new(service))
+    }
+}
+
+impl<H: FrameHandler> NetServer<H> {
+    /// Binds the listener and wires it to an arbitrary handler.
+    pub fn bind_with(config: ServerConfig, handler: H) -> io::Result<NetServer<H>> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
@@ -124,7 +251,7 @@ impl NetServer {
             active: AtomicUsize::new(0),
             obs: Recorder::new(),
         });
-        Ok(NetServer { listener, service, config, state, addr })
+        Ok(NetServer { listener, handler: Arc::new(handler), config, state, addr })
     }
 
     /// The bound address.
@@ -137,18 +264,20 @@ impl NetServer {
         ServerHandle { addr: self.addr, state: Arc::clone(&self.state) }
     }
 
-    /// The `tpi-netd-metrics/v1` JSON: net counters, the frame-latency
-    /// histogram, and the embedded service snapshot.
+    /// The metrics JSON: net counters, the frame-latency histogram,
+    /// and the handler's embedded snapshot, under the handler's schema.
     pub fn metrics_json(&self) -> String {
-        metrics_json(&self.state, &self.service)
+        metrics_json(&self.state, &*self.handler)
     }
 
     /// Runs the accept loop until shutdown, then drains: every live
     /// connection thread (and therefore every in-flight job) finishes
-    /// before this returns. The listener closes on return, so new
-    /// connection attempts are refused from then on.
+    /// before this returns. The listener closes on return, and the
+    /// handler (with every `Arc` the connection threads held) is
+    /// dropped, so an `Arc<JobService>` shared with the caller is
+    /// uniquely theirs again.
     pub fn serve(self) -> io::Result<()> {
-        let NetServer { listener, service, config, state, addr: _ } = self;
+        let NetServer { listener, handler, config, state, addr: _ } = self;
         let mut threads: Vec<JoinHandle<()>> = Vec::new();
         loop {
             let (stream, _peer) = match listener.accept() {
@@ -173,7 +302,7 @@ impl NetServer {
             }
             state.active.fetch_add(1, Ordering::SeqCst);
             state.obs.add_nd("connections_accepted", 1);
-            let service = Arc::clone(&service);
+            let handler = Arc::clone(&handler);
             let state = Arc::clone(&state);
             let config = config.clone();
             threads.push(std::thread::spawn(move || {
@@ -185,7 +314,7 @@ impl NetServer {
                     }
                 }
                 let _slot = Slot(&state);
-                handle_connection(stream, &service, &state, &config);
+                handle_connection(stream, &*handler, &state, &config);
             }));
         }
         for t in threads {
@@ -200,11 +329,38 @@ impl NetServer {
     pub fn spawn(self) -> (ServerHandle, JoinHandle<io::Result<()>>) {
         let handle = self.handle();
         let join = std::thread::Builder::new()
-            .name("tpi-netd-accept".into())
+            .name("tpi-net-accept".into())
             .spawn(move || self.serve())
             .expect("spawning the accept thread succeeds");
         (handle, join)
     }
+}
+
+/// Atomically publishes a server's bound address to `path`: write to a
+/// sibling temp file, `fsync`, rename into place, then `fsync` the
+/// directory. A reader polling the path therefore sees either nothing
+/// or a complete `HOST:PORT\n` — never a partial write — which is what
+/// lets scripts race `tpi-netd --addr-file` safely.
+pub fn write_addr_file(path: impl AsRef<Path>, addr: SocketAddr) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(format!("{addr}\n").as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself. Best-effort: some filesystems refuse
+    // directory fsync, and durability of the *name* is not what the
+    // race fix depends on (the atomic rename is).
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 fn shutting_down_payload() -> Vec<u8> {
@@ -222,9 +378,9 @@ fn refuse(stream: TcpStream, config: &ServerConfig, verb: Verb, payload: &[u8]) 
 /// One connection's request loop. Never panics, never propagates: any
 /// protocol fault answers with an error frame and closes this
 /// connection only.
-fn handle_connection(
+fn handle_connection<H: FrameHandler>(
     stream: TcpStream,
-    service: &JobService,
+    handler: &H,
     state: &ServerState,
     config: &ServerConfig,
 ) {
@@ -266,7 +422,7 @@ fn handle_connection(
         let keep_going = match verb {
             Verb::Ping => send(state, &mut writer, Verb::Pong, &[]),
             Verb::Metrics => {
-                let json = metrics_json(state, service);
+                let json = metrics_json(state, handler);
                 send(state, &mut writer, Verb::MetricsReport, json.as_bytes())
             }
             Verb::Shutdown => {
@@ -281,9 +437,30 @@ fn handle_connection(
             }
             Verb::Submit => match WireRequest::decode(&payload) {
                 Ok(req) => {
-                    let report = service.submit(req.to_spec()).wait();
-                    let wire = WireReport::from_report(&report).encode();
-                    send(state, &mut writer, Verb::Report, &wire)
+                    let (rverb, rpayload) = handler.submit(req);
+                    if rverb == Verb::Error {
+                        state.obs.add_nd("bad_requests", 1);
+                    }
+                    send(state, &mut writer, rverb, &rpayload) && rverb != Verb::Error
+                }
+                Err(e) => {
+                    state.obs.add_nd("bad_requests", 1);
+                    send(
+                        state,
+                        &mut writer,
+                        Verb::Error,
+                        &ErrorInfo::new(ErrorCode::BadRequest, e.to_string()).encode(),
+                    );
+                    false
+                }
+            },
+            Verb::PeerFetch => match CacheLookup::decode(&payload) {
+                Ok(lookup) => {
+                    let (rverb, rpayload) = handler.peer_fetch(lookup);
+                    if rverb == Verb::Error {
+                        state.obs.add_nd("bad_requests", 1);
+                    }
+                    send(state, &mut writer, rverb, &rpayload) && rverb != Verb::Error
                 }
                 Err(e) => {
                     state.obs.add_nd("bad_requests", 1);
@@ -297,7 +474,12 @@ fn handle_connection(
                 }
             },
             // A response verb has no meaning as a request.
-            Verb::Report | Verb::Error | Verb::Busy | Verb::MetricsReport | Verb::Pong => {
+            Verb::Report
+            | Verb::Error
+            | Verb::Busy
+            | Verb::MetricsReport
+            | Verb::Pong
+            | Verb::CachePayload => {
                 send(
                     state,
                     &mut writer,
@@ -336,8 +518,8 @@ fn send(state: &ServerState, w: &mut TcpStream, verb: Verb, payload: &[u8]) -> b
     }
 }
 
-/// Renders the `tpi-netd-metrics/v1` snapshot.
-fn metrics_json(state: &ServerState, service: &JobService) -> String {
+/// Renders the metrics snapshot under the handler's schema.
+fn metrics_json<H: FrameHandler>(state: &ServerState, handler: &H) -> String {
     let counters = [
         "connections_accepted",
         "connections_busy",
@@ -351,7 +533,7 @@ fn metrics_json(state: &ServerState, service: &JobService) -> String {
         "write_failures",
     ];
     let mut o = JsonObject::new();
-    o.field_str("schema", "tpi-netd-metrics/v1");
+    o.field_str("schema", handler.metrics_schema());
     for name in counters {
         o.field_u64(name, state.obs.nd_counter(name));
     }
@@ -360,8 +542,9 @@ fn metrics_json(state: &ServerState, service: &JobService) -> String {
         "frame_latency",
         state.obs.histogram("frame_latency").unwrap_or_default().to_json_object(),
     );
-    // The service snapshot is already rendered byte-stable JSON; embed
+    // The handler snapshot is already rendered byte-stable JSON; embed
     // it verbatim rather than re-serializing.
-    o.field_raw("service", &service.metrics_json());
+    let (name, json) = handler.snapshot();
+    o.field_raw(name, &json);
     o.finish()
 }

@@ -153,6 +153,7 @@ struct Metrics {
     timed_out: AtomicU64,
     canceled: AtomicU64,
     failed: AtomicU64,
+    peer_seeds: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -174,6 +175,10 @@ pub struct MetricsSnapshot {
     pub canceled: u64,
     /// Bad jobs (parse errors, flow panics, flush failures).
     pub failed: u64,
+    /// Payloads seeded into the cache from a sibling backend via
+    /// [`JobService::seed`] (the PeerFetch protocol) rather than a
+    /// local run.
+    pub peer_seeds: u64,
     /// Time jobs spent queued before a worker picked them up (log₂-µs
     /// buckets).
     pub queue_latency: HistogramSnapshot,
@@ -207,6 +212,7 @@ impl MetricsSnapshot {
             .field_u64("timed_out", self.timed_out)
             .field_u64("canceled", self.canceled)
             .field_u64("failed", self.failed)
+            .field_u64("peer_seeds", self.peer_seeds)
             .field_f64("cache_hit_rate", self.cache_hit_rate())
             .field_object("queue_latency", self.queue_latency.to_json_object());
         o.finish()
@@ -310,6 +316,26 @@ impl JobService {
         handles.into_iter().map(JobHandle::wait).collect()
     }
 
+    /// Looks up a cached payload by content-addressed key without
+    /// running anything: the serving half of the PeerFetch protocol.
+    /// Disk hits are promoted into the in-memory LRU exactly as a
+    /// submitted job's lookup would, but no job counters move — a peer
+    /// asking is not a job.
+    pub fn lookup(&self, key: CacheKey) -> Option<(Arc<str>, CacheSource)> {
+        self.shared.cache.lock().expect("cache lock never poisoned").get(key)
+    }
+
+    /// Seeds the cache with a payload fetched from a sibling backend,
+    /// so the next submission of that job is a memory hit instead of a
+    /// cold run. Only ever call this with payloads that came out of
+    /// another service's cache — insertion implies "verified", and that
+    /// promise is kept transitively because siblings only cache checked
+    /// runs.
+    pub fn seed(&self, key: CacheKey, payload: Arc<str>) {
+        self.shared.metrics.peer_seeds.fetch_add(1, Ordering::Relaxed);
+        self.shared.cache.lock().expect("cache lock never poisoned").insert(key, payload);
+    }
+
     /// Current counters (plus the queue-latency histogram).
     pub fn metrics(&self) -> MetricsSnapshot {
         metrics_snapshot(&self.shared)
@@ -346,6 +372,7 @@ fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
         timed_out: m.timed_out.load(Ordering::Relaxed),
         canceled: m.canceled.load(Ordering::Relaxed),
         failed: m.failed.load(Ordering::Relaxed),
+        peer_seeds: m.peer_seeds.load(Ordering::Relaxed),
         queue_latency: shared.obs.histogram("queue_latency").unwrap_or_default(),
     }
 }
@@ -697,6 +724,27 @@ mod tests {
         let j = s.metrics_json();
         assert!(j.starts_with(r#"{"schema":"tpi-serve-metrics/v1""#), "{j}");
         assert!(j.contains(r#""cache_hit_rate":0.5"#), "{j}");
+    }
+
+    #[test]
+    fn seed_makes_the_next_submission_a_memory_hit() {
+        let a = JobService::new(ServiceConfig::default());
+        let cold = a.submit(JobSpec::full_scan(ring())).wait();
+        let key = cold.key.expect("completed jobs carry keys");
+        let payload = cold.payload.clone().expect("completed jobs carry payloads");
+        assert_eq!(a.lookup(key).map(|(p, _)| p), Some(Arc::clone(&payload)));
+        assert!(a.lookup(CacheKey(key.0 ^ 1)).is_none(), "lookup is exact, not fuzzy");
+
+        // A second service that never ran the job serves it from memory
+        // after being seeded with the first service's payload.
+        let b = JobService::new(ServiceConfig::default());
+        b.seed(key, Arc::clone(&payload));
+        let warm = b.submit(JobSpec::full_scan(ring())).wait();
+        assert_eq!(warm.cache, CacheSource::Memory);
+        assert_eq!(warm.payload, Some(payload));
+        let m = b.metrics();
+        assert_eq!((m.peer_seeds, m.cache_hits_memory, m.cache_misses), (1, 1, 0));
+        assert!(b.metrics_json().contains(r#""peer_seeds":1"#));
     }
 
     #[test]

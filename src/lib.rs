@@ -19,6 +19,9 @@
 //!   frame protocol, the `tpi-netd` server (bounded concurrency,
 //!   Busy backpressure, graceful drain) and the retrying client behind
 //!   `tpi-cli`;
+//! * [`gateway`] — cache-affinity sharding across `tpi-netd` backends:
+//!   consistent-hash routing on the content-addressed job key,
+//!   peer-fetch cache seeding, health-checked failover, `tpi-gatewayd`;
 //! * [`lint`] — static analysis: structural netlist lints and an
 //!   independent re-verification of every DFT claim the flows make;
 //! * [`obs`] — deterministic tracing and metrics: span trees, counters,
@@ -30,6 +33,7 @@
 
 pub use tpi_atpg as atpg;
 pub use tpi_core as tpi;
+pub use tpi_gateway as gateway;
 pub use tpi_lint as lint;
 pub use tpi_net as net;
 pub use tpi_netlist as netlist;

@@ -1,0 +1,201 @@
+//! End-to-end tests for the `tpi-gateway` subsystem: byte-identity of
+//! reports across every topology (direct `netd`, one-backend gateway,
+//! three-backend gateway, and a gateway that loses a backend
+//! mid-batch), cache-affinity on warm reruns, and the golden routing
+//! key that pins gateway-side and backend-side key computation
+//! together.
+
+use scanpath::gateway::{Gateway, GatewayConfig, GatewayHandler, HashRing};
+use scanpath::net::{Client, NetServer, ServerConfig, ServerHandle, WireRequest};
+use scanpath::netlist::write_blif;
+use scanpath::serve::{JobService, JobStatus, ServiceConfig};
+use scanpath::tpi::PartialScanMethod;
+use scanpath::workloads::{generate, iscas, smoke_suite};
+use std::sync::Arc;
+
+/// The pinned wire-form s27 full-scan cache key (s27 submitted as BLIF
+/// text, the way every client sends it). `tests/serve.rs` pins the
+/// same constant; if a key change is intentional, both move.
+const S27_FULL_SCAN_KEY: &str = "6e8c6b667f8f3913";
+
+struct Backend {
+    service: Arc<JobService>,
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// `n` in-process netd backends plus a gateway fronting them.
+struct Topology {
+    backends: Vec<Backend>,
+    addrs: Vec<String>,
+    gateway: Arc<Gateway>,
+    gw_handle: ServerHandle,
+    gw_join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Topology {
+    fn start(n: usize) -> Topology {
+        let mut backends = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..n {
+            let service =
+                Arc::new(JobService::new(ServiceConfig { threads: 1, ..ServiceConfig::default() }));
+            let server = NetServer::bind(ServerConfig::default(), Arc::clone(&service))
+                .expect("bind backend");
+            addrs.push(server.local_addr().to_string());
+            let (handle, join) = server.spawn();
+            backends.push(Backend { service, handle, join });
+        }
+        let gateway = Arc::new(Gateway::new(GatewayConfig {
+            backends: addrs.clone(),
+            ..GatewayConfig::default()
+        }));
+        let gw =
+            NetServer::bind_with(ServerConfig::default(), GatewayHandler::new(gateway.clone()))
+                .expect("bind gateway");
+        let (gw_handle, gw_join) = gw.spawn();
+        Topology { backends, addrs, gateway, gw_handle, gw_join }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.gw_handle.addr().to_string())
+    }
+
+    fn stop(self) {
+        self.gw_handle.shutdown();
+        self.gw_join.join().unwrap().unwrap();
+        for b in self.backends {
+            b.handle.shutdown();
+            let _ = b.join.join();
+        }
+    }
+}
+
+/// A mixed workload: two circuits through both flows.
+fn workload() -> Vec<WireRequest> {
+    let s27 = write_blif(&iscas::s27());
+    let lion = write_blif(&generate(&smoke_suite()[1]));
+    vec![
+        WireRequest::full_scan(s27.clone()),
+        WireRequest::partial(s27, PartialScanMethod::TpTime),
+        WireRequest::full_scan(lion.clone()),
+        WireRequest::partial(lion, PartialScanMethod::TpTime),
+    ]
+}
+
+/// Reference payloads from a plain in-process netd, no gateway.
+fn direct_payloads() -> Vec<String> {
+    let service =
+        Arc::new(JobService::new(ServiceConfig { threads: 1, ..ServiceConfig::default() }));
+    let server = NetServer::bind(ServerConfig::default(), Arc::clone(&service)).expect("bind");
+    let client = Client::new(server.local_addr().to_string());
+    let (handle, join) = server.spawn();
+    let payloads = workload()
+        .iter()
+        .map(|req| {
+            let wire = client.submit(req).expect("direct submit");
+            assert_eq!(wire.status, JobStatus::Completed);
+            wire.payload.expect("completed jobs carry a payload")
+        })
+        .collect();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    payloads
+}
+
+fn gateway_payloads(n: usize) -> Vec<String> {
+    let topo = Topology::start(n);
+    let client = topo.client();
+    let payloads = workload()
+        .iter()
+        .map(|req| {
+            let wire = client.submit(req).expect("gateway submit");
+            assert_eq!(wire.status, JobStatus::Completed);
+            wire.payload.expect("completed jobs carry a payload")
+        })
+        .collect();
+    topo.stop();
+    payloads
+}
+
+/// The headline contract: the gateway is invisible in the bytes. One
+/// backend or three, every payload matches a direct netd run.
+#[test]
+fn reports_are_byte_identical_across_topologies() {
+    let direct = direct_payloads();
+    assert_eq!(direct, gateway_payloads(1), "1-backend gateway matches direct");
+    assert_eq!(direct, gateway_payloads(3), "3-backend gateway matches direct");
+}
+
+/// Kill a backend after the first report — specifically the backend
+/// the ring routes the *second* job to, so a later job is guaranteed
+/// to hit a dead owner. Failover must serve it from the next ring
+/// successor and the report set comes out unchanged.
+#[test]
+fn killing_a_backend_mid_batch_changes_nothing_in_the_reports() {
+    let direct = direct_payloads();
+    let topo = Topology::start(3);
+    let client = topo.client();
+
+    // Rebuild the gateway's routing decision from the outside: same
+    // addresses, same replica count, same key function.
+    let reqs = workload();
+    let ring = HashRing::new(&topo.addrs, GatewayConfig::default().replicas);
+    let victim = ring.route(Gateway::routing_key(&reqs[1])).expect("three backends on the ring");
+
+    let mut payloads = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let wire = client.submit(req).expect("gateway submit survives the kill");
+        assert_eq!(wire.status, JobStatus::Completed, "job {i}");
+        payloads.push(wire.payload.expect("completed jobs carry a payload"));
+        if i == 0 {
+            topo.backends[victim].handle.shutdown();
+        }
+    }
+    assert_eq!(direct, payloads, "failover must not change a byte");
+    // The gateway noticed: the victim is marked unhealthy, at least one
+    // forward failed over, and nothing was lost.
+    let json = topo.gateway.metrics_json();
+    assert!(json.contains("\"healthy\":false"), "the killed backend is marked down: {json}");
+    assert!(!json.contains("\"forward_failures\":0"), "the dead owner was tried first: {json}");
+    assert!(json.contains("\"jobs_answered\":4"), "all four jobs answered: {json}");
+    topo.stop();
+}
+
+/// Warm affinity: resubmitting the same workload routes every job to
+/// the backend that already holds its result, so the second pass is
+/// pure cache hits — and every hit is a memory hit on exactly the
+/// backend the ring owns the key to.
+#[test]
+fn warm_rerun_hits_the_owning_backend_cache() {
+    let topo = Topology::start(3);
+    let client = topo.client();
+    for pass in 0..2 {
+        for req in &workload() {
+            let wire = client.submit(req).expect("gateway submit");
+            assert_eq!(wire.status, JobStatus::Completed, "pass {pass}");
+            if pass == 1 {
+                assert_eq!(wire.cache.label(), "memory", "warm pass rides the owner's cache");
+            }
+        }
+    }
+    let total_hits: u64 = topo.backends.iter().map(|b| b.service.metrics().cache_hits_memory).sum();
+    assert_eq!(total_hits, 4, "each of the 4 jobs hit exactly once on its owner");
+    topo.stop();
+}
+
+/// The golden key: the gateway's routing key for s27 full scan equals
+/// the key the backend stamps into the report, and both equal the
+/// pinned constant shared with `serve::key`'s own golden test.
+#[test]
+fn gateway_routing_key_matches_backend_report_key_and_the_golden_constant() {
+    let req = WireRequest::full_scan(write_blif(&iscas::s27()));
+    let routed = format!("{:016x}", Gateway::routing_key(&req));
+    assert_eq!(routed, S27_FULL_SCAN_KEY, "gateway-side key matches the pinned golden key");
+
+    let topo = Topology::start(2);
+    let wire = topo.client().submit(&req).expect("gateway submit");
+    let stamped = format!("{:016x}", wire.key.expect("completed jobs carry a cache key"));
+    assert_eq!(stamped, routed, "backend-side key agrees with the gateway's routing key");
+    topo.stop();
+}

@@ -5,14 +5,14 @@
 
 use proptest::prelude::*;
 use scanpath::net::{
-    encode_frame, read_frame, write_frame, Client, ClientConfig, ErrorCode, FrameError, NetServer,
-    ServerConfig, Verb, WireRequest,
+    encode_frame, read_frame, write_addr_file, write_frame, CacheAnswer, CacheLookup, Client,
+    ClientConfig, ErrorCode, FrameError, NetServer, ProtoError, ServerConfig, Verb, WireRequest,
 };
 use scanpath::netlist::write_blif;
 use scanpath::serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
 use scanpath::workloads::iscas;
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -204,6 +204,67 @@ fn metrics_verb_serves_both_snapshots() {
     join.join().unwrap().unwrap();
 }
 
+/// The peer-fetch path end to end: after a job completes, a
+/// `PeerFetch` for its content-addressed key returns the exact cached
+/// payload, and an unknown key answers a clean miss.
+#[test]
+fn peer_fetch_round_trips_the_cached_payload() {
+    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("submit");
+    assert_eq!(wire.status, JobStatus::Completed);
+    let key = wire.key.expect("completed jobs carry a cache key");
+    let payload = wire.payload.expect("completed jobs carry a payload");
+
+    let fetched = client.peer_fetch(key).expect("peer-fetch over the wire");
+    assert_eq!(fetched.as_deref(), Some(payload.as_str()), "hit returns the exact cached bytes");
+    assert_eq!(client.peer_fetch(!key).expect("miss still answers"), None, "unknown key misses");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `write_addr_file` vs. a polling reader: the reader may see nothing,
+/// but every byte it does see must parse as a complete `HOST:PORT`
+/// line. This is the regression test for the torn-read race the
+/// write-to-temp + fsync + rename publish fixes.
+#[test]
+fn addr_file_readers_never_observe_a_partial_write() {
+    let dir = std::env::temp_dir().join(format!("tpi-addr-race-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("make scratch dir");
+    let path = dir.join("netd.addr");
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let (path, stop) = (path.clone(), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut reads = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    reads += 1;
+                    assert!(text.ends_with('\n'), "file is complete, got {text:?}");
+                    text.trim()
+                        .parse::<SocketAddr>()
+                        .unwrap_or_else(|e| panic!("torn read {text:?}: {e}"));
+                }
+            }
+            reads
+        })
+    };
+
+    // Republish many times with addresses of different lengths, so a
+    // torn read would also show up as a mixed-length mangle.
+    for i in 0..400u32 {
+        let addr: SocketAddr = match i % 2 {
+            0 => format!("127.0.0.1:{}", 1 + i % 9).parse().unwrap(),
+            _ => format!("10.200.100.50:{}", 60_000 + i % 5000).parse().unwrap(),
+        };
+        write_addr_file(&path, addr).expect("publish address");
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let reads = reader.join().expect("reader thread saw only complete addresses");
+    assert!(reads > 0, "the reader raced at least one publish");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Deterministic pseudo-random payload bytes: the proptest shim has no
 /// byte-vector strategy, so payloads are derived from `(len, seed)`
 /// via an LCG inside `prop_map`.
@@ -294,5 +355,55 @@ proptest! {
         bytes[6..10].copy_from_slice(&(cap + extra).to_le_bytes());
         let err = read_frame(&mut bytes.as_slice(), cap).unwrap_err();
         prop_assert!(matches!(err, FrameError::Oversize { .. }), "got {}", err);
+    }
+
+    /// Every cache key survives `CacheLookup` encode → decode, and the
+    /// truncated/padded forms are typed errors, mirroring the frame
+    /// corruption property for the peer-fetch verbs.
+    #[test]
+    fn cache_lookup_roundtrip_and_resize_are_typed(key in 0u64..u64::MAX, cut in 0usize..8) {
+        let bytes = CacheLookup { key }.encode();
+        prop_assert_eq!(CacheLookup::decode(&bytes).expect("well-formed lookups decode").key, key);
+
+        let err = CacheLookup::decode(&bytes[..cut]).unwrap_err();
+        prop_assert!(matches!(err, ProtoError::Truncated { .. }), "short: {}", err);
+
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = CacheLookup::decode(&padded).unwrap_err();
+        prop_assert!(matches!(err, ProtoError::TrailingBytes { .. }), "long: {}", err);
+    }
+
+    /// `CacheAnswer` round-trips hits and misses, and a single
+    /// corrupted byte decodes to a typed error or some valid answer —
+    /// never a panic. (Byte-level integrity is the frame trailer's job,
+    /// one layer down.)
+    #[test]
+    fn cache_answer_corruption_is_typed_never_panics(
+        len in 0usize..512,
+        seed in 0u64..u64::MAX,
+        hit_pick in 0usize..2,
+        corrupt_at_fraction in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let payload = (hit_pick == 1).then(|| {
+            payload_bytes(len, seed).iter().map(|b| char::from(b'a' + b % 26)).collect::<String>()
+        });
+        let bytes = CacheAnswer { payload: payload.clone() }.encode();
+        let back = CacheAnswer::decode(&bytes).expect("well-formed answers decode");
+        prop_assert_eq!(back.payload, payload);
+
+        let mut torn = bytes.clone();
+        let idx = corrupt_at_fraction * torn.len() / 10_000;
+        torn[idx] ^= flip;
+        match CacheAnswer::decode(&torn) {
+            Ok(_) => {}
+            Err(
+                ProtoError::Truncated { .. }
+                | ProtoError::BadTag { .. }
+                | ProtoError::BadUtf8 { .. }
+                | ProtoError::TrailingBytes { .. },
+            ) => {}
+        }
     }
 }
