@@ -10,6 +10,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy pedantic gate (tpi-dfa opts in via crate attributes) =="
+# crates/dfa carries #![warn(clippy::pedantic)] with a two-lint
+# allowlist; this explicit pass keeps the gate visible even if the
+# workspace invocation above ever changes shape.
+cargo clippy -p tpi-dfa --all-targets -- -D warnings
+
 echo "== tier-1 tests (root package) =="
 cargo test -q
 
@@ -78,6 +84,12 @@ LINT=target/debug/tpi-lint
 "$LINT" --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint1.json"
 "$LINT" --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint2.json"
 cmp "$SMOKE/lint1.json" "$SMOKE/lint2.json"
+# --analysis adds the TPI200-series findings plus one tpi-dfa/v1 line
+# per parseable input; the whole stream must stay byte-stable too.
+"$LINT" --analysis --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint-dfa1.json"
+"$LINT" --analysis --format json "$SMOKE/suite" "$SMOKE/work" > "$SMOKE/lint-dfa2.json"
+cmp "$SMOKE/lint-dfa1.json" "$SMOKE/lint-dfa2.json"
+grep -q '"schema":"tpi-dfa/v1"' "$SMOKE/lint-dfa1.json"
 
 echo "== tpi-bench metrics gate (deterministic section byte-stable across threads) =="
 cargo build -q --release -p tpi-bench --bin tpi-bench
@@ -85,6 +97,9 @@ BENCH=target/release/tpi-bench
 "$BENCH" --threads 1 --det-out "$SMOKE/det1.txt" >/dev/null
 "$BENCH" --threads 0 --det-out "$SMOKE/det0.txt" >/dev/null
 cmp "$SMOKE/det1.txt" "$SMOKE/det0.txt"
+
+echo "== tpi-bench --gain-model scoap (byte-identical across threads 1/2/0 and engines) =="
+"$BENCH" --gain-model scoap
 
 echo "== tpi-bench sweep (emits BENCH_PR4.json) =="
 "$BENCH" --emit-bench BENCH_PR4.json

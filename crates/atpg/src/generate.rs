@@ -88,6 +88,21 @@ pub fn generate_tests(
     random_patterns: usize,
     seed: u64,
 ) -> TestSet {
+    generate_tests_with(n, view, faults, random_patterns, seed, PodemConfig::default())
+}
+
+/// [`generate_tests`] with an explicit PODEM budget. PODEM's per-fault
+/// cost scales with circuit size × `max_backtracks`, so large-circuit
+/// sweeps cap the budget and accept more `Aborted` verdicts — those
+/// count as undetected, making the reported coverage a lower bound.
+pub fn generate_tests_with(
+    n: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    random_patterns: usize,
+    seed: u64,
+    podem_config: PodemConfig,
+) -> TestSet {
     let sim = FaultSim::new(n, view);
     let mut remaining: Vec<Fault> = faults.to_vec();
     let mut cubes: Vec<TestCube> = Vec::new();
@@ -116,7 +131,7 @@ pub fn generate_tests(
     }
 
     // --- Phase 2: deterministic top-up. ---
-    let mut podem = Podem::new(n, view, PodemConfig::default());
+    let mut podem = Podem::new(n, view, podem_config);
     let mut untestable = 0usize;
     let mut aborted = 0usize;
     let mut deterministic_cubes = 0usize;

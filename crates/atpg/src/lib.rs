@@ -37,7 +37,7 @@ mod view;
 
 pub use compaction::{compact_tests, compatible, merge};
 pub use fault::{fault_list, Fault, StuckAt};
-pub use generate::{generate_tests, CoverageReport, TestSet};
+pub use generate::{generate_tests, generate_tests_with, CoverageReport, TestSet};
 pub use podem::{Podem, PodemConfig, PodemResult};
 pub use scan_apply::{scan_apply, ScanApplyOutcome};
 pub use seq::{sequential_random_coverage, SeqCoverage};

@@ -9,7 +9,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N] [--large]
+//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N] [--large] [--gain-model path-count|scoap]
 //! ```
 //!
 //! * `--emit-bench PATH` — also write the machine-readable bench file
@@ -27,6 +27,10 @@
 //!   than 15% (the TPGREED parallel-slowdown regression, gated forever).
 //!   With `--emit-bench`, writes the `suite: "large"` bench file
 //!   (`BENCH_PR6.json`).
+//! * `--gain-model path-count|scoap` — run the smoke circuits through
+//!   full-scan under the named TPGREED gain model, across `--threads
+//!   1/2/0` on the lane engine plus a scalar-engine baseline, and fail
+//!   unless every deterministic section is byte-identical.
 //!
 //! Exit status: `1` if any flow fails, any deterministic section
 //! differs across thread counts, or a `--large` gate trips.
@@ -35,8 +39,8 @@ use std::process::exit;
 use std::time::Instant;
 use tpi_bench::{ArgCursor, Cli};
 use tpi_core::{
-    FlowMetrics, FlowOptions, FullScanFlow, PartialScanFlow, PartialScanMethod, SweepEngine,
-    TpGreedConfig,
+    FlowMetrics, FlowOptions, FullScanFlow, GainModel, PartialScanFlow, PartialScanMethod,
+    SweepEngine, TpGreedConfig,
 };
 use tpi_netlist::Netlist;
 use tpi_obs::{JsonArray, JsonObject, SpanSnapshot};
@@ -135,6 +139,64 @@ fn run_large(n: &Netlist, engine: SweepEngine, threads: usize) -> Run {
         exit(1);
     });
     Run { threads, wall_micros: t0.elapsed().as_micros() as u64, metrics }
+}
+
+/// One full-scan run of `n` under an explicit gain model and engine.
+fn run_gain_model(n: &Netlist, model: GainModel, engine: SweepEngine, threads: usize) -> Run {
+    let flow = FullScanFlow {
+        config: TpGreedConfig {
+            gain_model: model,
+            sweep_engine: engine,
+            ..TpGreedConfig::default()
+        },
+        ..FullScanFlow::default()
+    };
+    let opts = FlowOptions::new().with_threads(threads);
+    let t0 = Instant::now();
+    let metrics = flow.run_with(n, &opts).map(|r| r.metrics).unwrap_or_else(|e| {
+        eprintln!("[full-scan {}] {engine:?} --threads {threads}: {e}", model.label());
+        exit(1);
+    });
+    Run { threads, wall_micros: t0.elapsed().as_micros() as u64, metrics }
+}
+
+/// `--gain-model MODEL` mode: every smoke circuit through full-scan
+/// under the given TPGREED gain model, across `--threads 1/2/0` on the
+/// lane engine plus a scalar baseline. The deterministic sections must
+/// be byte-identical across all four runs — the gain model changes
+/// *which* test points are picked, never determinism.
+fn gain_model_mode(model: GainModel) {
+    println!(
+        "tpi-bench --gain-model {}: smoke full-scan, threads {THREAD_SETTINGS:?} + scalar",
+        model.label()
+    );
+    let mut ok = true;
+    for spec in smoke_suite() {
+        let n = generate(&spec);
+        let runs: Vec<Run> = THREAD_SETTINGS
+            .iter()
+            .map(|&t| run_gain_model(&n, model, SweepEngine::Lanes, t))
+            .chain(std::iter::once(run_gain_model(&n, model, SweepEngine::Scalar, 1)))
+            .collect();
+        let det = runs[0].metrics.deterministic_json();
+        let identical = runs.iter().all(|r| r.metrics.deterministic_json() == det);
+        let placed = runs[0].metrics.counter("test_points_placed");
+        println!(
+            "{:<14} | {:>4} test point(s) | {}",
+            spec.name,
+            placed,
+            if identical { "byte-identical (lanes × 1/2/0 + scalar)" } else { "MISMATCH" },
+        );
+        if !identical {
+            eprintln!("{}: deterministic sections DIFFER under {}", spec.name, model.label());
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("FAIL: gain model {} is not thread/engine deterministic", model.label());
+        exit(1);
+    }
+    println!("OK: {} deterministic sections byte-identical", model.label());
 }
 
 /// `--large` mode: the 50k-gate performance validation (see module docs).
@@ -244,15 +306,27 @@ fn main() {
     let mut emit_bench: Option<String> = None;
     let mut det_out: Option<String> = None;
     let mut large = false;
+    let mut gain_model: Option<GainModel> = None;
     let mut cur = ArgCursor::new(cli.args.clone());
     while let Some(a) = cur.next_arg() {
         match a.as_str() {
             "--emit-bench" => emit_bench = Some(cur.value("--emit-bench")),
             "--det-out" => det_out = Some(cur.value("--det-out")),
             "--large" => large = true,
+            "--gain-model" => {
+                gain_model = Some(match cur.value("--gain-model").as_str() {
+                    "path-count" => GainModel::PathCount,
+                    "scoap" => GainModel::Scoap,
+                    other => {
+                        eprintln!("unknown gain model: {other} (expected path-count|scoap)");
+                        exit(2);
+                    }
+                });
+            }
             other => {
                 eprintln!(
-                    "unknown argument: {other} (expected --emit-bench/--det-out/--threads/--large)"
+                    "unknown argument: {other} (expected \
+                     --emit-bench/--det-out/--threads/--large/--gain-model)"
                 );
                 exit(2);
             }
@@ -261,6 +335,11 @@ fn main() {
 
     if large {
         large_mode(emit_bench);
+        return;
+    }
+
+    if let Some(model) = gain_model {
+        gain_model_mode(model);
         return;
     }
 

@@ -14,7 +14,7 @@ use crate::paths::enumerate_paths_with;
 use crate::phases;
 use crate::progress::{CancelKind, Canceled, CounterSnapshot, Progress};
 use crate::report::{Table1Row, Table3Row};
-use crate::tpgreed::{verify_outcome, TpGreed, TpGreedConfig};
+use crate::tpgreed::{verify_outcome, GainModel, TpGreed, TpGreedConfig};
 use crate::tptime::{ScanPlan, ScanPlanner};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -210,8 +210,14 @@ impl FullScanFlow {
     /// verification of the produced scan structure fails — both indicate
     /// bugs, not user errors.
     pub fn run(&self, n: &Netlist) -> FullScanResult {
-        self.run_impl(n, &Arc::new(Progress::new()), &Recorder::new(), self.config.threads)
-            .expect("a fresh Progress never cancels")
+        self.run_impl(
+            n,
+            &Arc::new(Progress::new()),
+            &Recorder::new(),
+            self.config.threads,
+            self.config.gain_model,
+        )
+        .expect("a fresh Progress never cancels")
     }
 
     /// The canonical fallible entry point: runs the flow under `opts`.
@@ -227,10 +233,11 @@ impl FullScanFlow {
         let progress = opts.resolve_progress();
         let rec = opts.resolve_recorder();
         let threads = opts.threads_or(self.config.threads);
+        let gain_model = opts.gain_model().unwrap_or(self.config.gain_model);
         let before = progress.snapshot();
         let outcome = (|| -> Result<FullScanResult, FlowError> {
             let _root = rec.span(phases::FULL_SCAN);
-            let r = self.run_impl(n, &progress, &rec, threads)?;
+            let r = self.run_impl(n, &progress, &rec, threads, gain_model)?;
             let _v = rec.span(phases::VERIFY);
             check_flush(&r.netlist, &r.flush)?;
             check_claims(n, &r.netlist, &r.claims)?;
@@ -258,7 +265,16 @@ impl FullScanFlow {
         progress: &Arc<Progress>,
         rec: &Recorder,
         threads: usize,
+        gain_model: GainModel,
     ) -> Result<FullScanResult, Canceled> {
+        progress.checkpoint()?;
+        {
+            let _s = rec.span(phases::ANALYSIS);
+            let analysis = tpi_dfa::NetlistAnalysis::run(&tpi_sim::NetView::new(n));
+            for (k, v) in analysis.metrics() {
+                rec.add_analysis(k, v);
+            }
+        }
         progress.checkpoint()?;
         let paths = {
             let _s = rec.span(phases::ENUMERATE_PATHS);
@@ -273,6 +289,7 @@ impl FullScanFlow {
             let _s = rec.span(phases::TPGREED);
             let mut cfg = self.config.clone();
             cfg.threads = threads;
+            cfg.gain_model = gain_model;
             TpGreed::with_paths(n, cfg, paths)
                 .with_progress(Arc::clone(progress))
                 .try_run_with_paths()?
@@ -954,6 +971,36 @@ mod tests {
             .expect("flow succeeds")
             .metrics;
         assert_eq!(tp.span_names(), crate::phases::partial_scan());
+    }
+
+    #[test]
+    fn full_scan_metrics_carry_a_deterministic_analysis_section() {
+        let n = mixed_circuit();
+        let a = FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new())
+            .expect("flow succeeds")
+            .metrics;
+        assert!(a.analysis_value("scoap_cc_max") > 0, "SCOAP ran on the base netlist");
+        assert!(a.analysis_value("xreach_sources") > 0, "the circuit has flip-flops");
+        assert!(a.deterministic_json().contains(r#""analysis":{"#));
+        let b = FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new().with_threads(2))
+            .expect("flow succeeds")
+            .metrics;
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn gain_model_override_reaches_tpgreed_and_stays_deterministic() {
+        let n = mixed_circuit();
+        let scoap_opts = FlowOptions::new().with_gain_model(GainModel::Scoap);
+        let a = FullScanFlow::default().run_with(&n, &scoap_opts).expect("flow succeeds");
+        assert!(a.flush.passed());
+        let b = FullScanFlow::default()
+            .run_with(&n, &FlowOptions::new().with_gain_model(GainModel::Scoap).with_threads(2))
+            .expect("flow succeeds");
+        assert_eq!(a.row.insertions, b.row.insertions);
+        assert_eq!(a.metrics.deterministic_json(), b.metrics.deterministic_json());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! ```
 
 use crate::progress::Progress;
+use crate::tpgreed::GainModel;
 use std::sync::Arc;
 use std::time::Duration;
 use tpi_obs::Recorder;
@@ -46,6 +47,7 @@ pub struct FlowOptions {
     progress: Option<Arc<Progress>>,
     deadline: Option<Duration>,
     metrics: Option<Arc<Recorder>>,
+    gain_model: Option<GainModel>,
 }
 
 impl FlowOptions {
@@ -87,9 +89,23 @@ impl FlowOptions {
         self
     }
 
+    /// Overrides the flow's TPGREED destination weight model. Unlike
+    /// [`FlowOptions::with_threads`] this changes *selections* (it is
+    /// part of the flow semantics, and of the service cache key);
+    /// unset, the flow configuration's model applies.
+    pub fn with_gain_model(mut self, model: GainModel) -> Self {
+        self.gain_model = Some(model);
+        self
+    }
+
     /// The thread override, if one was set.
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The gain-model override, if one was set.
+    pub fn gain_model(&self) -> Option<GainModel> {
+        self.gain_model
     }
 
     /// The thread override, or `default` (normally the flow's own
@@ -142,6 +158,7 @@ mod tests {
         assert!(o.progress().is_none());
         assert!(o.deadline().is_none());
         assert!(o.metrics().is_none());
+        assert!(o.gain_model().is_none());
         assert!(o.resolve_progress().checkpoint().is_ok());
     }
 
@@ -170,5 +187,11 @@ mod tests {
     #[test]
     fn threads_override() {
         assert_eq!(FlowOptions::new().with_threads(0).threads_or(1), 0);
+    }
+
+    #[test]
+    fn gain_model_override() {
+        let o = FlowOptions::new().with_gain_model(GainModel::Scoap);
+        assert_eq!(o.gain_model(), Some(GainModel::Scoap));
     }
 }

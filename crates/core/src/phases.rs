@@ -9,6 +9,9 @@
 
 /// Root span of a `FullScanFlow` run.
 pub const FULL_SCAN: &str = "full_scan";
+/// Static dataflow analysis of the base netlist (`tpi-dfa`: SCOAP,
+/// dominators, X reach) feeding the metrics' analysis section.
+pub const ANALYSIS: &str = "analysis";
 /// FF-to-FF candidate path enumeration (§III.A).
 pub const ENUMERATE_PATHS: &str = "enumerate_paths";
 /// The TPGREED greedy insertion loop (§III.A/C).
@@ -38,6 +41,7 @@ pub const FINAL_ANALYSIS: &str = "final_analysis";
 pub fn full_scan() -> &'static [&'static str] {
     &[
         FULL_SCAN,
+        ANALYSIS,
         ENUMERATE_PATHS,
         TPGREED,
         INPUT_ASSIGN,

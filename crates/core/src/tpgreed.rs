@@ -67,6 +67,44 @@ pub enum SweepEngine {
     Lanes,
 }
 
+/// Weight model for Equation 1's per-destination contributions.
+///
+/// Both models rank candidates by the same max-per-destination sum; the
+/// difference is what one destination is worth. The weights are a pure
+/// function of the *base* netlist (computed once before the greedy
+/// loop), so selections stay byte-identical across thread counts and
+/// sweep engines for either model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GainModel {
+    /// The paper's Equation 1: every destination flip-flop weighs 1,
+    /// so a candidate's gain counts reachable scan paths.
+    #[default]
+    PathCount,
+    /// SCOAP-weighted (ROADMAP item 4a): a destination weighs
+    /// `1 + min(burden, cap) / 1024` where `burden` is the
+    /// CC0+CC1+CO testability burden of its capture flip-flop's Q net
+    /// per `tpi-dfa` — establishing a path into a hard-to-test
+    /// register reduces CO·(CC0+CC1) where it matters most. The weight
+    /// is an integer-derived rational (no transcendental math), so it
+    /// is bit-exact across platforms.
+    Scoap,
+}
+
+impl GainModel {
+    /// Stable label, used by the cache key and the wire protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            GainModel::PathCount => "path-count",
+            GainModel::Scoap => "scoap",
+        }
+    }
+}
+
+/// Saturation cap on the SCOAP burden entering a destination weight:
+/// everything above (including unobservable/uncontrollable nets at
+/// `tpi_dfa::SAT`) is "maximally hard" with weight `1 + cap/1024`.
+const SCOAP_BURDEN_CAP: u32 = 1 << 20;
+
 /// Configuration for [`TpGreed`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TpGreedConfig {
@@ -92,6 +130,10 @@ pub struct TpGreedConfig {
     /// Candidate-gain sweep implementation; selections are identical for
     /// every choice.
     pub sweep_engine: SweepEngine,
+    /// Destination weight model for candidate gains. Unlike the knobs
+    /// above, this *changes selections* — it is part of the flow
+    /// semantics and of the `tpi-serve` cache key.
+    pub gain_model: GainModel,
 }
 
 impl Default for TpGreedConfig {
@@ -104,6 +146,7 @@ impl Default for TpGreedConfig {
             max_paths: 1 << 22,
             threads: 1,
             sweep_engine: SweepEngine::Auto,
+            gain_model: GainModel::PathCount,
         }
     }
 }
@@ -232,6 +275,11 @@ pub struct TpGreed<'a> {
     /// union change as an O(1) transition `committed class -> trial
     /// class` instead of re-walking path status.
     committed: Vec<Trit>,
+    /// Per-gate destination weight under the configured [`GainModel`]:
+    /// all 1.0 for [`GainModel::PathCount`] (reproducing Equation 1
+    /// bit for bit), SCOAP-derived for [`GainModel::Scoap`]. Computed
+    /// once from the base netlist, shared read-only by every worker.
+    dest_weight: Vec<f64>,
     // --- outcome accumulators ---
     test_points: Vec<(GateId, Trit)>,
     established: Vec<PathId>,
@@ -432,6 +480,15 @@ impl<'a> TpGreed<'a> {
         let candidate_count = n.gate_count() * 2;
         let committed = (0..n.gate_count()).map(|i| imp.value(GateId::from_index(i))).collect();
         let cone_order = imp.view().cone_order();
+        let dest_weight = match cfg.gain_model {
+            GainModel::PathCount => vec![1.0; n.gate_count()],
+            GainModel::Scoap => {
+                let scoap = tpi_dfa::Scoap::analyze(imp.view());
+                (0..n.gate_count())
+                    .map(|g| 1.0 + f64::from(scoap.burden(g).min(SCOAP_BURDEN_CAP)) / 1024.0)
+                    .collect()
+            }
+        };
         TpGreed {
             n,
             cfg,
@@ -445,6 +502,7 @@ impl<'a> TpGreed<'a> {
             protected: vec![Trit::X; n.gate_count()],
             established_net: vec![false; n.gate_count()],
             committed,
+            dest_weight,
             test_points: Vec::new(),
             established: Vec::new(),
             iterations: 0,
@@ -641,6 +699,7 @@ impl<'a> TpGreed<'a> {
             protected: &self.protected,
             established_net: &self.established_net,
             committed: &self.committed,
+            dest_weight: &self.dest_weight,
         };
         // Classify: trivial candidates are answered in place, the rest
         // become preview jobs `(output slot, candidate)`.
@@ -1152,6 +1211,8 @@ struct EvalCtx<'s, 'a> {
     /// Committed trit per net (see [`TpGreed::committed`]); the lane
     /// scorer's baseline for O(1) pin class transitions.
     committed: &'s [Trit],
+    /// Per-gate destination weight (see [`TpGreed::dest_weight`]).
+    dest_weight: &'s [f64],
 }
 
 impl EvalCtx<'_, '_> {
@@ -1220,8 +1281,9 @@ impl EvalCtx<'_, '_> {
     /// nets where its trial valuation differs from the committed one, and
     /// an alive path's unchanged pins keep their committed class. The
     /// per-lane gain then runs the same max-per-destination sum, in the
-    /// same ascending destination order, over the same `1/st.w`
-    /// contributions as [`EvalCtx::score_preview`] — so gains are
+    /// same ascending destination order, over the same
+    /// `dest_weight/st.w` contributions as [`EvalCtx::score_preview`] —
+    /// so gains are
     /// byte-identical to the scalar engine's (the equivalence tests pin
     /// this); only the registration *representation* differs (batched
     /// union records instead of per-candidate lists, marking the same
@@ -1336,7 +1398,7 @@ impl EvalCtx<'_, '_> {
                 if acc.dw[lane] >= 0 {
                     continue; // no progress under this preview
                 }
-                sc.lane_contrib[lane].push((di, 1.0 / st.w as f64));
+                sc.lane_contrib[lane].push((di, self.dest_weight[di as usize] / st.w as f64));
             }
         }
 
@@ -1462,8 +1524,8 @@ impl EvalCtx<'_, '_> {
                     if new_w >= st.w {
                         continue; // no progress under this preview
                     }
-                    let contribution = 1.0 / st.w as f64;
                     let di = self.arena.to_gate(id).index();
+                    let contribution = self.dest_weight[di] / st.w as f64;
                     if sc.dest_stamp[di] != stamp {
                         sc.dest_stamp[di] = stamp;
                         sc.dest_best[di] = contribution;

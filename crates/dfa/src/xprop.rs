@@ -1,0 +1,127 @@
+//! X-propagation reach: which nets can carry an unknown value from an
+//! uninitialized flip-flop.
+//!
+//! The netlist model has no reset values, so at power-up every
+//! flip-flop holds X. During a scan flush those Xs ride the established
+//! paths through the combinational logic; a capture from an X-reachable
+//! net is unpredictable until the sources are flushed out. This
+//! analysis computes the *structural* (conservative) reach: a net is
+//! flagged if any fanin cone path connects it to a flip-flop Q,
+//! ignoring controlling-value masking — the same over-approximation the
+//! ternary simulator would confirm case by case.
+//!
+//! The propagation is word-parallel in the PR 6 style: flip-flops are
+//! assigned bits of 64-wide planes, chunk by chunk, and one forward
+//! topo pass ORs each gate's plane into its sinks. Sequential
+//! boundaries stop the wave (a D pin's reach is its driver net's
+//! reach); `Output` ports are transparent. The per-net source count is
+//! exact for distinct flip-flops because each source owns one bit.
+
+use tpi_netlist::GateKind;
+use tpi_sim::NetView;
+
+/// Per-net X reach from uninitialized flip-flops.
+#[derive(Debug, Clone)]
+pub struct XReach {
+    /// Number of distinct flip-flops whose X can reach each net.
+    pub source_counts: Vec<u32>,
+    /// Total flip-flops in the snapshot.
+    pub ff_count: usize,
+}
+
+impl XReach {
+    /// Runs the bit-plane propagation over the snapshot.
+    pub fn analyze(view: &NetView) -> XReach {
+        let n = view.gate_count();
+        let ffs: Vec<u32> =
+            (0..n as u32).filter(|&g| view.kind(g as usize) == GateKind::Dff).collect();
+        let mut source_counts = vec![0u32; n];
+        let mut plane = vec![0u64; n];
+        for chunk in ffs.chunks(64) {
+            plane.fill(0);
+            for (bit, &ff) in chunk.iter().enumerate() {
+                plane[ff as usize] |= 1u64 << bit;
+            }
+            for &gi in view.topo() {
+                let g = gi as usize;
+                let p = plane[g];
+                if p == 0 {
+                    continue;
+                }
+                for &s in view.fanouts(g) {
+                    // The flush wave stops at the next register; the D
+                    // driver net itself already carries the flag.
+                    if view.kind(s as usize) != GateKind::Dff {
+                        plane[s as usize] |= p;
+                    }
+                }
+            }
+            for (count, p) in source_counts.iter_mut().zip(&plane) {
+                *count += p.count_ones();
+            }
+        }
+        XReach { source_counts, ff_count: ffs.len() }
+    }
+
+    /// Whether any flip-flop X can reach net `g`.
+    #[inline]
+    pub fn reachable(&self, g: usize) -> bool {
+        self.source_counts[g] > 0
+    }
+
+    /// Number of X-reachable nets in the snapshot.
+    pub fn reachable_nets(&self) -> usize {
+        self.source_counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::Netlist;
+
+    #[test]
+    fn reach_counts_distinct_sources() {
+        // Two FFs converge on one AND; a pure-PI net stays clean.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        n.connect(a, f1).unwrap();
+        let f2 = n.add_gate(GateKind::Dff, "f2");
+        n.connect(a, f2).unwrap();
+        let g = n.add_gate(GateKind::And, "g");
+        n.connect(f1, g).unwrap();
+        n.connect(f2, g).unwrap();
+        let clean = n.add_gate(GateKind::Inv, "clean");
+        n.connect(a, clean).unwrap();
+        n.add_output("y", g).unwrap();
+        n.add_output("z", clean).unwrap();
+        let x = XReach::analyze(&NetView::new(&n));
+        assert_eq!(x.ff_count, 2);
+        assert_eq!(x.source_counts[g.index()], 2);
+        assert_eq!(x.source_counts[f1.index()], 1);
+        assert_eq!(x.source_counts[clean.index()], 0);
+        assert!(!x.reachable(a.index()));
+        assert!(x.reachable(g.index()));
+        // The Output port is transparent: y carries g's reach.
+        assert_eq!(x.source_counts[n.outputs()[0].index()], 2);
+        assert_eq!(x.reachable_nets(), 4); // f1, f2, g, y
+    }
+
+    #[test]
+    fn wave_stops_at_the_next_register() {
+        let mut n = Netlist::new("t");
+        let f1 = n.add_gate(GateKind::Dff, "f1");
+        let inv = n.add_gate(GateKind::Inv, "inv");
+        n.connect(f1, inv).unwrap();
+        let f2 = n.add_gate(GateKind::Dff, "f2");
+        n.connect(inv, f2).unwrap();
+        n.connect(f2, f1).unwrap();
+        n.add_output("y", f2).unwrap();
+        let x = XReach::analyze(&NetView::new(&n));
+        // inv sees f1's X only; f2's own plane is just itself (the
+        // boundary stops f1's wave at f2's D pin).
+        assert_eq!(x.source_counts[inv.index()], 1);
+        assert_eq!(x.source_counts[f2.index()], 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! Testability lints (`TPI200`–`TPI202`) and the `--analysis` report,
+//! both fed by the `tpi-dfa` dataflow analyses.
+//!
+//! Unlike the structural pass, these findings are about *testability*,
+//! not well-formedness: a circuit can be perfectly legal and still have
+//! nets no input assignment can control ([SCOAP](tpi_dfa::Scoap)
+//! controllability saturates, `TPI200`), nets no capture point ever
+//! observes (`TPI201`), or a single gate through which a large cone's
+//! only route to observation passes (`TPI202`) — exactly the places the
+//! paper's test points pay off.
+//!
+//! The [`AnalysisReport`] behind `tpi-lint --analysis` ranks the worst
+//! nets by SCOAP burden. Its JSON rendering (`tpi-dfa/v1`) is
+//! hand-rolled like the diagnostics': fixed field order, RFC 8259
+//! escaping, no floats — byte-stable so CI can `cmp` two runs.
+
+use crate::diag::{escape_into, Diagnostic, LintCode};
+use tpi_dfa::{NetlistAnalysis, SAT};
+use tpi_netlist::{find_comb_cycle, GateKind, Netlist};
+use tpi_sim::NetView;
+
+/// Knobs for the testability pass and the `--analysis` report.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// How many worst-burden nets [`AnalysisReport`] lists.
+    pub top: usize,
+    /// `TPI202` fires when a single gate dominates the observation of
+    /// at least this many other gates.
+    pub bottleneck_threshold: usize,
+    /// Cap on `TPI200`/`TPI201` findings per circuit (one per net would
+    /// drown a pathological input; the summary still counts them all).
+    pub max_findings: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig { top: 10, bottleneck_threshold: 8, max_findings: 20 }
+    }
+}
+
+/// One row of the worst-burden table. [`SAT`] components render as
+/// their saturated numeric value (`4294967295` — unattainable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisRow {
+    /// Gate (net) name.
+    pub gate: String,
+    /// SCOAP 0-controllability.
+    pub cc0: u32,
+    /// SCOAP 1-controllability.
+    pub cc1: u32,
+    /// SCOAP observability.
+    pub co: u32,
+    /// `cc0 + cc1 + co`, saturating.
+    pub burden: u32,
+}
+
+/// The `--analysis` deliverable: deterministic summary numbers plus the
+/// top-N worst-burden nets.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// The same `(key, value)` summary the flows record into their
+    /// metrics' analysis section, in key order.
+    pub summary: Vec<(&'static str, u64)>,
+    /// Worst nets by `(burden, name)` — highest burden first, name
+    /// breaking ties, so the table is byte-stable.
+    pub top: Vec<AnalysisRow>,
+}
+
+/// Runs the `tpi-dfa` analyses over `n` and returns the testability
+/// findings in canonical order. Returns an empty set on combinationally
+/// cyclic netlists — the structural pass (`TPI001`) owns that failure,
+/// and no topo-order analysis is defined on it.
+pub fn analyze(n: &Netlist, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
+    let Some((analysis, names)) = run_analyses(n) else {
+        return Vec::new();
+    };
+    let circuit = n.name().to_string();
+    let scoap = &analysis.scoap;
+    let sizes = analysis.dominators.dominated_sizes();
+    let mut diags = Vec::new();
+
+    for (i, name) in names.iter().enumerate() {
+        let kind = n.kind(tpi_netlist::GateId::from_index(i));
+        // Constants saturate one polarity by definition; ports carry no
+        // logic of their own.
+        if !(kind.is_combinational() || kind == GateKind::Dff) {
+            continue;
+        }
+        let c0 = scoap.cc0[i];
+        let c1 = scoap.cc1[i];
+        if (c0 == SAT || c1 == SAT) && diags.len() < cfg.max_findings {
+            let polarity = if c0 == SAT && c1 == SAT {
+                "either value"
+            } else if c0 == SAT {
+                "0"
+            } else {
+                "1"
+            };
+            diags.push(Diagnostic::new(
+                LintCode::Uncontrollable,
+                &circuit,
+                format!("no input assignment can set net {name} to {polarity}"),
+                vec![name.clone()],
+            ));
+        }
+    }
+
+    let mut observ = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let kind = n.kind(tpi_netlist::GateId::from_index(i));
+        if !(kind.is_combinational() || kind == GateKind::Dff || kind == GateKind::Input) {
+            continue;
+        }
+        if scoap.co[i] == SAT && observ.len() < cfg.max_findings {
+            observ.push(Diagnostic::new(
+                LintCode::Unobservable,
+                &circuit,
+                format!("no output or flip-flop ever observes net {name}"),
+                vec![name.clone()],
+            ));
+        }
+    }
+    diags.extend(observ);
+
+    for (i, name) in names.iter().enumerate() {
+        let kind = n.kind(tpi_netlist::GateId::from_index(i));
+        if !kind.is_combinational() {
+            continue; // capture points funnel by design
+        }
+        let cone = sizes[i] as usize;
+        if analysis.dominators.idom(i).is_some() && cone >= cfg.bottleneck_threshold {
+            diags.push(Diagnostic::new(
+                LintCode::ObservationBottleneck,
+                &circuit,
+                format!("all observation of {cone} gate(s) passes through net {name}"),
+                vec![name.clone()],
+            ));
+        }
+    }
+
+    crate::diag::sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Builds the [`AnalysisReport`] for `n`, or `None` on combinationally
+/// cyclic netlists (lint those with the structural pass first).
+pub fn analysis_report(n: &Netlist, cfg: &AnalysisConfig) -> Option<AnalysisReport> {
+    let (analysis, names) = run_analyses(n)?;
+    let scoap = &analysis.scoap;
+    let mut ranked: Vec<usize> = (0..names.len())
+        .filter(|&i| {
+            let kind = n.kind(tpi_netlist::GateId::from_index(i));
+            kind.is_combinational() || kind == GateKind::Dff || kind == GateKind::Input
+        })
+        .collect();
+    ranked.sort_by(|&a, &b| {
+        scoap.burden(b).cmp(&scoap.burden(a)).then_with(|| names[a].cmp(&names[b]))
+    });
+    ranked.truncate(cfg.top);
+    let top = ranked
+        .into_iter()
+        .map(|i| AnalysisRow {
+            gate: names[i].clone(),
+            cc0: scoap.cc0[i],
+            cc1: scoap.cc1[i],
+            co: scoap.co[i],
+            burden: scoap.burden(i),
+        })
+        .collect();
+    Some(AnalysisReport { circuit: n.name().to_string(), summary: analysis.metrics(), top })
+}
+
+impl AnalysisReport {
+    /// Multi-line human rendering: one summary line, then the table.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("analysis {}:", self.circuit);
+        for (k, v) in &self.summary {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        out.push_str("  gate cc0 cc1 co burden\n");
+        for r in &self.top {
+            out.push_str(&format!(
+                "  {} {} {} {} {}\n",
+                r.gate,
+                sat_text(r.cc0),
+                sat_text(r.cc1),
+                sat_text(r.co),
+                sat_text(r.burden)
+            ));
+        }
+        out
+    }
+
+    /// One byte-stable `tpi-dfa/v1` JSON line (fixed field order, RFC
+    /// 8259 escaping, integers only).
+    pub fn render_json(&self, source: &str) -> String {
+        let mut out = String::with_capacity(192 + self.top.len() * 64);
+        out.push_str("{\"schema\":\"tpi-dfa/v1\",\"source\":");
+        escape_into(&mut out, source);
+        out.push_str(",\"circuit\":");
+        escape_into(&mut out, &self.circuit);
+        out.push_str(",\"summary\":{");
+        for (i, (k, v)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"top\":[");
+        for (i, r) in self.top.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"gate\":");
+            escape_into(&mut out, &r.gate);
+            out.push_str(&format!(
+                ",\"cc0\":{},\"cc1\":{},\"co\":{},\"burden\":{}}}",
+                r.cc0, r.cc1, r.co, r.burden
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// `SAT` prints as `sat` in the text table (the JSON keeps the raw
+/// saturated integer so the schema stays number-typed).
+fn sat_text(v: u32) -> String {
+    if v == SAT {
+        "sat".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Shared front half: refuse cyclic netlists (no topo order exists),
+/// else snapshot and run all three analyses. Also returns the gate
+/// names indexed like the view.
+fn run_analyses(n: &Netlist) -> Option<(NetlistAnalysis, Vec<String>)> {
+    if find_comb_cycle(n).is_some() {
+        return None;
+    }
+    let names: Vec<String> = n.gate_ids().map(|g| n.gate_name(g).to_string()).collect();
+    Some((NetlistAnalysis::run(&NetView::new(n)), names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::NetlistBuilder;
+
+    /// An AND funnel: eight inputs through a chain into one output —
+    /// the chain's last gate dominates everything upstream.
+    fn funnel() -> Netlist {
+        let mut b = NetlistBuilder::new("funnel");
+        for i in 0..8 {
+            b.input(format!("a{i}"));
+        }
+        b.gate(GateKind::And, "g0", &["a0", "a1"]);
+        for i in 1..7 {
+            let prev = format!("g{}", i - 1);
+            b.gate(GateKind::And, format!("g{i}"), &[prev.as_str(), &format!("a{}", i + 1)]);
+        }
+        b.output("y", "g6");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_circuit_yields_no_testability_findings() {
+        let mut b = NetlistBuilder::new("clean");
+        b.input("a");
+        b.input("b");
+        b.gate(GateKind::And, "g", &["a", "b"]);
+        b.output("y", "g");
+        let n = b.finish().unwrap();
+        assert!(analyze(&n, &AnalysisConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn constant_fed_logic_is_uncontrollable() {
+        let mut n = Netlist::new("stuck");
+        let a = n.add_input("a");
+        let c = n.add_gate(GateKind::Const0, "zero");
+        let g = n.add_gate(GateKind::And, "g");
+        n.connect(a, g).unwrap();
+        n.connect(c, g).unwrap();
+        n.add_output("y", g).unwrap();
+        let diags = analyze(&n, &AnalysisConfig::default());
+        let un: Vec<_> = diags.iter().filter(|d| d.code == LintCode::Uncontrollable).collect();
+        assert_eq!(un.len(), 1, "{diags:?}");
+        assert_eq!(un[0].gates, vec!["g".to_string()]);
+        assert!(un[0].message.contains("to 1"), "AND of const-0 can never be 1");
+    }
+
+    #[test]
+    fn dead_cone_is_unobservable() {
+        let mut n = Netlist::new("dead");
+        let a = n.add_input("a");
+        let g = n.add_gate(GateKind::Inv, "lonely");
+        n.connect(a, g).unwrap();
+        n.add_output("y", a).unwrap();
+        let diags = analyze(&n, &AnalysisConfig::default());
+        assert!(
+            diags.iter().any(|d| d.code == LintCode::Unobservable && d.gates == ["lonely"]),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn funnel_reports_its_bottleneck() {
+        let diags =
+            analyze(&funnel(), &AnalysisConfig { bottleneck_threshold: 5, ..Default::default() });
+        let b: Vec<_> =
+            diags.iter().filter(|d| d.code == LintCode::ObservationBottleneck).collect();
+        assert!(!b.is_empty(), "{diags:?}");
+        assert!(b.iter().any(|d| d.gates == ["g6"]), "the funnel tip dominates: {b:?}");
+    }
+
+    #[test]
+    fn findings_are_capped_but_deterministic() {
+        let mut n = Netlist::new("wide");
+        let a = n.add_input("a");
+        let c = n.add_gate(GateKind::Const1, "one");
+        for i in 0..30 {
+            let g = n.add_gate(GateKind::Or, format!("g{i}"));
+            n.connect(a, g).unwrap();
+            n.connect(c, g).unwrap();
+            n.add_output(format!("y{i}"), g).unwrap();
+        }
+        let cfg = AnalysisConfig { max_findings: 5, ..Default::default() };
+        let diags = analyze(&n, &cfg);
+        let un = diags.iter().filter(|d| d.code == LintCode::Uncontrollable).count();
+        assert_eq!(un, 5, "capped: {diags:?}");
+        assert_eq!(analyze(&n, &cfg), diags, "deterministic under the cap");
+    }
+
+    #[test]
+    fn cyclic_netlists_are_refused_not_paniced() {
+        let mut n = Netlist::new("cyc");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::And, "g1");
+        let g2 = n.add_gate(GateKind::Or, "g2");
+        n.connect(a, g1).unwrap();
+        n.connect(g2, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.add_output("o", g2).unwrap();
+        assert!(analyze(&n, &AnalysisConfig::default()).is_empty());
+        assert!(analysis_report(&n, &AnalysisConfig::default()).is_none());
+    }
+
+    #[test]
+    fn report_ranks_by_burden_and_renders_byte_stably() {
+        let n = funnel();
+        let cfg = AnalysisConfig { top: 3, ..Default::default() };
+        let rep = analysis_report(&n, &cfg).expect("acyclic");
+        assert_eq!(rep.top.len(), 3);
+        assert!(rep.top[0].burden >= rep.top[1].burden);
+        // Deep chain inputs carry the worst observability+controllability
+        // products; the very first AND sits under the whole chain.
+        let j1 = rep.render_json("funnel.blif");
+        let j2 = analysis_report(&n, &cfg).unwrap().render_json("funnel.blif");
+        assert_eq!(j1, j2, "byte-stable");
+        assert!(j1.starts_with("{\"schema\":\"tpi-dfa/v1\",\"source\":\"funnel.blif\""), "{j1}");
+        assert!(j1.contains("\"summary\":{\"dom_bottleneck_nets\":"), "{j1}");
+        let text = rep.render_text();
+        assert!(text.starts_with("analysis funnel:"), "{text}");
+        assert!(text.contains("gate cc0 cc1 co burden"), "{text}");
+    }
+
+    #[test]
+    fn summary_matches_the_flow_metrics_keys() {
+        let rep = analysis_report(&funnel(), &AnalysisConfig::default()).unwrap();
+        let keys: Vec<&str> = rep.summary.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "dom_bottleneck_nets",
+                "dom_max_cone",
+                "scoap_cc_max",
+                "scoap_co_max",
+                "scoap_unobservable_nets",
+                "xreach_nets",
+                "xreach_sources",
+            ]
+        );
+    }
+}

@@ -47,7 +47,9 @@ impl fmt::Display for Severity {
 /// (parse or validation failures). `TPI001`–`TPI006` are structural,
 /// `TPI101`–`TPI107` verify a DFT flow result against the paper's own
 /// claims (sensitization, test-point legality, chain shape, s-graph
-/// acyclicity, placement regions, Equation 1 accounting).
+/// acyclicity, placement regions, Equation 1 accounting), and
+/// `TPI200`–`TPI202` are testability findings from the `tpi-dfa`
+/// dataflow analyses (SCOAP, structural dominators, X reach).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// `TPI000` — the input could not be parsed or validated.
@@ -87,12 +89,21 @@ pub enum LintCode {
     /// `TPI107` — the reported Equation 1 accounting does not match a
     /// recount from the claims.
     AccountingMismatch,
+    /// `TPI200` — a net whose SCOAP controllability saturates: no input
+    /// assignment can set it to one of its polarities.
+    Uncontrollable,
+    /// `TPI201` — a net whose SCOAP observability saturates: no output
+    /// or flip-flop ever sees a change on it.
+    Unobservable,
+    /// `TPI202` — a structural observation bottleneck: a single gate
+    /// through which a large cone's only route to capture passes.
+    ObservationBottleneck,
 }
 
 impl LintCode {
     /// Every code, in code order. Useful for exhaustive tests and for
     /// `--deny` validation in the binary.
-    pub const ALL: [LintCode; 14] = [
+    pub const ALL: [LintCode; 17] = [
         LintCode::ParseError,
         LintCode::CombCycle,
         LintCode::Undriven,
@@ -107,6 +118,9 @@ impl LintCode {
         LintCode::SGraphCyclic,
         LintCode::PlacementOutsideRegion,
         LintCode::AccountingMismatch,
+        LintCode::Uncontrollable,
+        LintCode::Unobservable,
+        LintCode::ObservationBottleneck,
     ];
 
     /// The stable code string, e.g. `"TPI101"`.
@@ -126,6 +140,9 @@ impl LintCode {
             LintCode::SGraphCyclic => "TPI105",
             LintCode::PlacementOutsideRegion => "TPI106",
             LintCode::AccountingMismatch => "TPI107",
+            LintCode::Uncontrollable => "TPI200",
+            LintCode::Unobservable => "TPI201",
+            LintCode::ObservationBottleneck => "TPI202",
         }
     }
 
@@ -152,7 +169,10 @@ impl LintCode {
             LintCode::Dangling
             | LintCode::UnreachableCone
             | LintCode::DegenerateDff
-            | LintCode::WideFanout => Severity::Warn,
+            | LintCode::WideFanout
+            | LintCode::Uncontrollable
+            | LintCode::Unobservable => Severity::Warn,
+            LintCode::ObservationBottleneck => Severity::Info,
         }
     }
 
@@ -174,6 +194,9 @@ impl LintCode {
             LintCode::SGraphCyclic => "s-graph cyclic after scan selection",
             LintCode::PlacementOutsideRegion => "insertion outside non-reconvergent region",
             LintCode::AccountingMismatch => "Equation 1 accounting mismatch",
+            LintCode::Uncontrollable => "SCOAP controllability saturates",
+            LintCode::Unobservable => "SCOAP observability saturates",
+            LintCode::ObservationBottleneck => "single-gate observation bottleneck",
         }
     }
 }
@@ -309,7 +332,7 @@ pub fn render_json(source: &str, diags: &[Diagnostic]) -> String {
 }
 
 /// Appends `s` as a JSON string literal (RFC 8259 escaping).
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -11,7 +11,11 @@
 //!   (`TPI101`–`TPI107`): scan-path sensitization replayed on a fresh
 //!   three-valued implication engine, test-point rail legality, chain
 //!   shape, s-graph acyclicity, non-reconvergent-region placement, and
-//!   the Equation 1 accounting of the paper.
+//!   the Equation 1 accounting of the paper;
+//! * [`analyze`] — testability findings from the `tpi-dfa` dataflow
+//!   analyses (`TPI200`–`TPI202`): SCOAP-saturated nets and structural
+//!   observation bottlenecks, plus the [`analysis_report`] table behind
+//!   `tpi-lint --analysis`.
 //!
 //! The crate depends only on `tpi-netlist`, `tpi-sim` and `tpi-scan` —
 //! *not* on `tpi-core` — so the verifier cannot accidentally trust the
@@ -37,10 +41,12 @@
 //! assert_eq!(diags[0].code, LintCode::Dangling);
 //! ```
 
+pub mod analysis;
 pub mod dft;
 pub mod diag;
 pub mod structural;
 
+pub use analysis::{analysis_report, analyze, AnalysisConfig, AnalysisReport, AnalysisRow};
 pub use dft::{verify_flow, ClaimedPath, DftClaims, Placement, ReportedCounts};
 pub use diag::{
     apply_deny, has_errors, render_json, sort_diagnostics, Diagnostic, LintCode, Severity,

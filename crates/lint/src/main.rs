@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! tpi-lint [--format text|json] [--deny CODE|warnings]...
-//!          [--fanout-threshold N] PATH...
+//!          [--fanout-threshold N] [--analysis] [--analysis-top N] PATH...
 //! ```
 //!
 //! Each `PATH` is a `.blif` file or a directory (its `*.blif` entries
-//! are linted in name order). Inputs that fail to parse or validate are
-//! reported as `TPI000` rather than aborting the run. The process exits
-//! with status 1 when any `Error`-severity diagnostic was emitted
-//! (`--deny` promotes the named code — or every warning, with
-//! `--deny warnings` — to `Error` first).
+//! are linted in name order; duplicate inputs are linted once). Inputs
+//! that fail to parse or validate are reported as `TPI000` rather than
+//! aborting the run. The process exits with status 1 when any
+//! `Error`-severity diagnostic was emitted (`--deny` promotes the named
+//! code — or every warning, with `--deny warnings` — to `Error` first).
+//!
+//! `--analysis` additionally runs the `tpi-dfa` testability pass: its
+//! `TPI200`-series findings join the diagnostic stream (so `--deny
+//! TPI201` works like any other code), and each parseable input gets a
+//! worst-SCOAP-burden table — human-readable in text mode, one
+//! byte-stable `tpi-dfa/v1` line in JSON mode.
 //!
 //! Text mode prints one line per finding plus a trailing summary; JSON
 //! mode prints one byte-stable `tpi-lint/v1` line per input file, so CI
@@ -19,9 +25,10 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tpi_lint::{
-    apply_deny, has_errors, lint_netlist, render_json, Diagnostic, LintCode, LintConfig, Severity,
+    analysis_report, analyze, apply_deny, has_errors, lint_netlist, render_json, AnalysisConfig,
+    Diagnostic, LintCode, LintConfig, Severity,
 };
-use tpi_netlist::parse_blif;
+use tpi_netlist::{parse_blif, Netlist};
 
 /// Output flavor.
 #[derive(PartialEq)]
@@ -35,13 +42,14 @@ struct Options {
     deny: Vec<LintCode>,
     deny_warnings: bool,
     config: LintConfig,
+    analysis: Option<AnalysisConfig>,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tpi-lint [--format text|json] [--deny CODE|warnings]... \
-         [--fanout-threshold N] PATH..."
+         [--fanout-threshold N] [--analysis] [--analysis-top N] PATH..."
     );
     eprintln!("codes:");
     for c in LintCode::ALL {
@@ -56,6 +64,7 @@ fn parse_args() -> Options {
         deny: Vec::new(),
         deny_warnings: false,
         config: LintConfig::default(),
+        analysis: None,
         paths: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -81,6 +90,13 @@ fn parse_args() -> Options {
                 Some(n) => opts.config.fanout_threshold = n,
                 None => usage(),
             },
+            "--analysis" => {
+                opts.analysis.get_or_insert_with(AnalysisConfig::default);
+            }
+            "--analysis-top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.analysis.get_or_insert_with(AnalysisConfig::default).top = n,
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => usage(),
             _ => opts.paths.push(PathBuf::from(arg)),
@@ -92,7 +108,10 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Expands files/directories into the sorted list of `.blif` inputs.
+/// Expands files/directories into the list of `.blif` inputs: directory
+/// entries in name order (`read_dir` order is filesystem-dependent, and
+/// the JSON stream must be byte-stable across machines), duplicates
+/// linted once (first occurrence wins, so explicit file order is kept).
 fn collect_inputs(paths: &[PathBuf]) -> Vec<PathBuf> {
     let mut files = Vec::new();
     for p in paths {
@@ -111,26 +130,35 @@ fn collect_inputs(paths: &[PathBuf]) -> Vec<PathBuf> {
             files.push(p.clone());
         }
     }
+    let mut seen = std::collections::HashSet::new();
+    files.retain(|f| seen.insert(f.clone()));
     files
 }
 
-/// Lints one file; parse failures become a `TPI000` diagnostic.
-fn lint_file(path: &Path, config: &LintConfig) -> Vec<Diagnostic> {
+/// Lints one file; parse failures become a `TPI000` diagnostic. Also
+/// returns the parsed netlist so `--analysis` can reuse it.
+fn lint_file(path: &Path, config: &LintConfig) -> (Option<Netlist>, Vec<Diagnostic>) {
     let label = path.file_name().and_then(|s| s.to_str()).unwrap_or("<input>").to_string();
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            return vec![Diagnostic::new(
-                LintCode::ParseError,
-                label,
-                format!("cannot read file: {e}"),
-                vec![],
-            )]
+            return (
+                None,
+                vec![Diagnostic::new(
+                    LintCode::ParseError,
+                    label,
+                    format!("cannot read file: {e}"),
+                    vec![],
+                )],
+            )
         }
     };
     match parse_blif(&text) {
-        Ok(n) => lint_netlist(&n, config),
-        Err(e) => vec![Diagnostic::new(LintCode::ParseError, label, e.to_string(), vec![])],
+        Ok(n) => {
+            let diags = lint_netlist(&n, config);
+            (Some(n), diags)
+        }
+        Err(e) => (None, vec![Diagnostic::new(LintCode::ParseError, label, e.to_string(), vec![])]),
     }
 }
 
@@ -144,7 +172,14 @@ fn main() -> ExitCode {
     let mut any_errors = false;
     let mut totals = (0usize, 0usize); // (errors, warnings)
     for file in &files {
-        let mut diags = lint_file(file, &opts.config);
+        let (netlist, mut diags) = lint_file(file, &opts.config);
+        let report = match (&opts.analysis, &netlist) {
+            (Some(cfg), Some(n)) => {
+                diags.extend(analyze(n, cfg));
+                analysis_report(n, cfg)
+            }
+            _ => None,
+        };
         apply_deny(&mut diags, &opts.deny);
         if opts.deny_warnings {
             for d in diags.iter_mut() {
@@ -159,10 +194,18 @@ fn main() -> ExitCode {
         totals.1 += diags.iter().filter(|d| d.severity == Severity::Warn).count();
         let label = file.file_name().and_then(|s| s.to_str()).unwrap_or("<input>");
         match opts.format {
-            Format::Json => println!("{}", render_json(label, &diags)),
+            Format::Json => {
+                println!("{}", render_json(label, &diags));
+                if let Some(rep) = &report {
+                    println!("{}", rep.render_json(label));
+                }
+            }
             Format::Text => {
                 for d in &diags {
                     println!("{label}: {}", d.render_text());
+                }
+                if let Some(rep) = &report {
+                    print!("{}", rep.render_text());
                 }
             }
         }
@@ -179,5 +222,55 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory unique to this test process.
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tpi-lint-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn collect_inputs_sorts_directories_and_dedups() {
+        let d = scratch("collect");
+        for name in ["b.blif", "a.blif", "c.txt"] {
+            std::fs::write(d.join(name), ".model m\n.end\n").unwrap();
+        }
+        let expanded = collect_inputs(&[d.clone(), d.join("a.blif"), d.join("a.blif")]);
+        assert_eq!(
+            expanded,
+            vec![d.join("a.blif"), d.join("b.blif")],
+            "name order, non-blif skipped, duplicates linted once"
+        );
+        let explicit_first = collect_inputs(&[d.join("b.blif"), d.clone()]);
+        assert_eq!(
+            explicit_first,
+            vec![d.join("b.blif"), d.join("a.blif")],
+            "explicit file order wins over the directory expansion"
+        );
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn lint_file_returns_the_netlist_for_analysis() {
+        let d = scratch("parse");
+        let f = d.join("ok.blif");
+        std::fs::write(&f, ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n").unwrap();
+        let (n, diags) = lint_file(&f, &LintConfig::default());
+        assert!(n.is_some());
+        assert!(diags.iter().all(|d| d.code != LintCode::ParseError));
+        let bad = d.join("bad.blif");
+        std::fs::write(&bad, ".model m\n.nonsense\n").unwrap();
+        let (n, diags) = lint_file(&bad, &LintConfig::default());
+        assert!(n.is_none());
+        assert_eq!(diags[0].code, LintCode::ParseError);
+        std::fs::remove_dir_all(&d).unwrap();
     }
 }

@@ -10,7 +10,7 @@
 
 use std::fmt;
 use std::time::Duration;
-use tpi_core::tpgreed::GainUpdate;
+use tpi_core::tpgreed::{GainModel, GainUpdate};
 use tpi_core::{FlowOptions, PartialScanMethod, TpGreedConfig};
 use tpi_serve::{CacheSource, FlowKind, JobReport, JobSpec, JobStatus, NetlistSource};
 
@@ -197,6 +197,10 @@ impl WireRequest {
                     GainUpdate::Incremental => 1,
                 });
                 out.extend_from_slice(&(cfg.max_paths as u64).to_le_bytes());
+                out.push(match cfg.gain_model {
+                    GainModel::PathCount => 0,
+                    GainModel::Scoap => 1,
+                });
             }
             FlowKind::Partial(PartialScanMethod::Cb) => out.push(1),
             FlowKind::Partial(PartialScanMethod::TdCb) => out.push(2),
@@ -234,11 +238,17 @@ impl WireRequest {
                     tag => return Err(ProtoError::BadTag { field: "gain_update", tag }),
                 };
                 let max_paths = r.u64("max_paths")? as usize;
+                let gain_model = match r.u8("gain_model")? {
+                    0 => GainModel::PathCount,
+                    1 => GainModel::Scoap,
+                    tag => return Err(ProtoError::BadTag { field: "gain_model", tag }),
+                };
                 FlowKind::FullScan(TpGreedConfig {
                     k_bound,
                     gain_bound,
                     gain_update,
                     max_paths,
+                    gain_model,
                     ..TpGreedConfig::default()
                 })
             }
@@ -625,6 +635,7 @@ mod tests {
             gain_bound: 1.5,
             gain_update: GainUpdate::Incremental,
             max_paths: 999,
+            gain_model: GainModel::Scoap,
             threads: 8, // must NOT survive: worker sizing is the server's
             ..TpGreedConfig::default()
         };
@@ -641,6 +652,7 @@ mod tests {
                 assert_eq!(c.gain_bound, 1.5);
                 assert_eq!(c.gain_update, GainUpdate::Incremental);
                 assert_eq!(c.max_paths, 999);
+                assert_eq!(c.gain_model, GainModel::Scoap);
                 assert_eq!(c.threads, TpGreedConfig::default().threads);
             }
             _ => panic!("flow kind changed on the wire"),

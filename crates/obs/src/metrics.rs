@@ -6,11 +6,13 @@
 //! Everything a [`Recorder`] collects falls on one of two sides of a
 //! hard line:
 //!
-//! * **Deterministic** — the span *structure* (names, nesting, order)
-//!   and the named counters. These must be pure functions of the input
-//!   and configuration: byte-identical at every `threads` setting, on
-//!   every machine, on every run. [`FlowMetrics::deterministic_json`]
-//!   renders exactly this side and nothing else.
+//! * **Deterministic** — the span *structure* (names, nesting, order),
+//!   the named counters, and the static-analysis values recorded via
+//!   [`Recorder::add_analysis`]. These must be pure functions of the
+//!   input and configuration: byte-identical at every `threads`
+//!   setting, on every machine, on every run.
+//!   [`FlowMetrics::deterministic_json`] renders exactly this side and
+//!   nothing else.
 //! * **Non-deterministic** — span durations, histograms, and counters
 //!   recorded through [`Recorder::add_nd`] (e.g. speculative work that
 //!   grows with the worker count). These live in the quarantined
@@ -124,6 +126,7 @@ struct Inner {
     /// Open-span stack (indices into `nodes`).
     stack: Vec<usize>,
     counters: BTreeMap<String, u64>,
+    analysis: BTreeMap<String, u64>,
     nd_counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -186,6 +189,17 @@ impl Recorder {
         *g.counters.entry(name.to_string()).or_insert(0) += n;
     }
 
+    /// Sets the **deterministic** static-analysis value `name`. These
+    /// live in their own `analysis` section of the deterministic
+    /// rendering (rendered only when at least one value was recorded)
+    /// and carry the same contract as deterministic counters:
+    /// thread-count-independent pure functions of the input. Last write
+    /// wins — analysis values are facts about a snapshot, not tallies.
+    pub fn add_analysis(&self, name: &str, value: u64) {
+        let mut g = self.inner.lock().expect("recorder lock never poisoned");
+        g.analysis.insert(name.to_string(), value);
+    }
+
     /// Adds `n` to the **non-deterministic** counter `name` (quarantined
     /// into the timings section — use for anything that may vary with
     /// the worker count, like speculative planning attempts).
@@ -242,6 +256,7 @@ impl Recorder {
         FlowMetrics {
             spans: g.roots.iter().map(|&r| build(&g.nodes, r)).collect(),
             counters: g.counters.clone(),
+            analysis: g.analysis.clone(),
             nd_counters: g.nd_counters.clone(),
             histograms: g.histograms.clone(),
         }
@@ -257,6 +272,9 @@ pub struct FlowMetrics {
     pub spans: Vec<SpanSnapshot>,
     /// Deterministic counters (thread-count-independent by contract).
     pub counters: BTreeMap<String, u64>,
+    /// Static-analysis values ([`Recorder::add_analysis`]) — facts
+    /// about the input netlist, deterministic by contract.
+    pub analysis: BTreeMap<String, u64>,
     /// Non-deterministic counters (may vary with worker count).
     pub nd_counters: BTreeMap<String, u64>,
     /// Latency histograms (always non-deterministic).
@@ -271,6 +289,9 @@ impl FlowMetrics {
         let mut o = JsonObject::new();
         o.field_array("spans", spans_structure(&self.spans));
         o.field_object("counters", counters_object(&self.counters));
+        if !self.analysis.is_empty() {
+            o.field_object("analysis", counters_object(&self.analysis));
+        }
         o.finish()
     }
 
@@ -324,6 +345,11 @@ impl FlowMetrics {
     /// Value of deterministic counter `name` (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of static-analysis entry `name` (0 if absent).
+    pub fn analysis_value(&self, name: &str) -> u64 {
+        self.analysis.get(name).copied().unwrap_or(0)
     }
 }
 
@@ -407,6 +433,25 @@ mod tests {
         assert_eq!(det, r#"{"spans":[{"name":"phase"}],"counters":{"n":1}}"#);
         assert!(!det.contains("micros"));
         assert!(!det.contains("spec"));
+    }
+
+    #[test]
+    fn analysis_values_render_deterministically_and_last_write_wins() {
+        let rec = Recorder::new();
+        {
+            let _s = rec.span("phase");
+            rec.add("n", 1);
+        }
+        rec.add_analysis("scoap_cc_max", 7);
+        rec.add_analysis("dom_max_cone", 3);
+        rec.add_analysis("scoap_cc_max", 9); // re-analysis overwrites
+        let m = rec.finish();
+        assert_eq!(
+            m.deterministic_json(),
+            r#"{"spans":[{"name":"phase"}],"counters":{"n":1},"analysis":{"dom_max_cone":3,"scoap_cc_max":9}}"#
+        );
+        assert_eq!(m.analysis_value("scoap_cc_max"), 9);
+        assert_eq!(m.analysis_value("absent"), 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::job::FlowKind;
 use std::fmt;
-use tpi_core::tpgreed::GainUpdate;
+use tpi_core::tpgreed::{GainModel, GainUpdate};
 use tpi_core::PartialScanMethod;
 use tpi_netlist::{GateId, GateKind, Netlist};
 
@@ -252,6 +252,13 @@ pub fn cache_key(fingerprint: u64, flow: &FlowKind) -> CacheKey {
                 GainUpdate::Incremental => "incremental",
             });
             h.write_u64(cfg.max_paths as u64);
+            // The gain model changes selections, so it must split the
+            // cache. Hashed as a marker only for non-default models:
+            // every key minted before the knob existed stays valid.
+            if cfg.gain_model != GainModel::PathCount {
+                h.write_str("gain-model");
+                h.write_str(cfg.gain_model.label());
+            }
             // cfg.threads intentionally not hashed.
         }
         FlowKind::Partial(method) => {
@@ -377,6 +384,24 @@ mod tests {
             cache_key(fp, &FlowKind::Partial(PartialScanMethod::Cb)),
             cache_key(fp, &FlowKind::Partial(PartialScanMethod::TpTime))
         );
+    }
+
+    #[test]
+    fn gain_model_splits_the_cache_without_moving_path_count_keys() {
+        let fp = netlist_fingerprint(&sample());
+        let base = TpGreedConfig::default();
+        let mut scoap = base.clone();
+        scoap.gain_model = tpi_core::GainModel::Scoap;
+        assert_ne!(
+            cache_key(fp, &FlowKind::FullScan(base.clone())),
+            cache_key(fp, &FlowKind::FullScan(scoap)),
+            "different selections must not share a cache slot"
+        );
+        // Golden key: the default (PathCount) config hashes exactly as
+        // it did before the gain-model knob existed, so deployed caches
+        // survive the upgrade. Recompute only for deliberate schema
+        // bumps.
+        assert_eq!(cache_key(fp, &FlowKind::FullScan(base)).to_string(), "d9840c82b0d2cdb8");
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub struct NetView {
     fanin: Vec<u32>,
     comb_fanout_off: Vec<u32>,
     comb_fanout: Vec<u32>,
+    fanout_off: Vec<u32>,
+    fanout: Vec<u32>,
     /// Gate indices in topological order.
     topo: Vec<u32>,
     /// Inverse of `topo`: position of each gate in the order.
@@ -53,8 +55,11 @@ impl NetView {
         let mut fanin = Vec::new();
         let mut comb_fanout_off = Vec::with_capacity(n + 1);
         let mut comb_fanout = Vec::new();
+        let mut fanout_off = Vec::with_capacity(n + 1);
+        let mut fanout = Vec::new();
         fanin_off.push(0);
         comb_fanout_off.push(0);
+        fanout_off.push(0);
         for g in netlist.gate_ids() {
             kinds.push(netlist.kind(g));
             fanin.extend(netlist.fanin(g).iter().map(|f| f.index() as u32));
@@ -67,8 +72,20 @@ impl NetView {
                     .map(|&(sink, _)| sink.index() as u32),
             );
             comb_fanout_off.push(comb_fanout.len() as u32);
+            fanout.extend(netlist.fanout(g).iter().map(|&(sink, _)| sink.index() as u32));
+            fanout_off.push(fanout.len() as u32);
         }
-        NetView { kinds, fanin_off, fanin, comb_fanout_off, comb_fanout, topo, topo_pos }
+        NetView {
+            kinds,
+            fanin_off,
+            fanin,
+            comb_fanout_off,
+            comb_fanout,
+            fanout_off,
+            fanout,
+            topo,
+            topo_pos,
+        }
     }
 
     /// Convenience: build and wrap in an [`Arc`] for sharing.
@@ -99,6 +116,14 @@ impl NetView {
     #[inline]
     pub fn comb_fanouts(&self, i: usize) -> &[u32] {
         &self.comb_fanout[self.comb_fanout_off[i] as usize..self.comb_fanout_off[i + 1] as usize]
+    }
+
+    /// All fanout sinks of gate `i`, including ports, flip-flops and
+    /// constants. Backward analyses (observability, dominators) need the
+    /// capture sinks that [`NetView::comb_fanouts`] filters out.
+    #[inline]
+    pub fn fanouts(&self, i: usize) -> &[u32] {
+        &self.fanout[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
     }
 
     /// Topological position of gate `i`.
@@ -243,8 +268,10 @@ mod tests {
         assert_eq!(view.gate_count(), n.gate_count());
         assert_eq!(view.kind(g.index()), GateKind::And);
         assert_eq!(view.fanin(g.index()), &[a.index() as u32, b.index() as u32]);
-        // The DFF sink is filtered from the combinational fanouts.
+        // The DFF sink is filtered from the combinational fanouts but
+        // present in the full fanouts.
         assert_eq!(view.comb_fanouts(g.index()), &[i.index() as u32]);
+        assert_eq!(view.fanouts(g.index()), &[ff.index() as u32, i.index() as u32]);
         // Topo order respects fanin-before-sink.
         assert!(view.topo_pos(a.index()) < view.topo_pos(g.index()));
         assert!(view.topo_pos(g.index()) < view.topo_pos(i.index()));

@@ -22,8 +22,11 @@
 //! * [`gateway`] — cache-affinity sharding across `tpi-netd` backends:
 //!   consistent-hash routing on the content-addressed job key,
 //!   peer-fetch cache seeding, health-checked failover, `tpi-gatewayd`;
-//! * [`lint`] — static analysis: structural netlist lints and an
-//!   independent re-verification of every DFT claim the flows make;
+//! * [`lint`] — static analysis: structural netlist lints, an
+//!   independent re-verification of every DFT claim the flows make, and
+//!   the `tpi-dfa` testability findings;
+//! * [`dfa`] — netlist dataflow analyses: SCOAP testability, structural
+//!   observation dominators, X-propagation reach;
 //! * [`obs`] — deterministic tracing and metrics: span trees, counters,
 //!   histograms, and the byte-stable JSON writer every crate shares;
 //! * [`workloads`] — the figure circuits, `s27`, and the synthetic
@@ -33,6 +36,7 @@
 
 pub use tpi_atpg as atpg;
 pub use tpi_core as tpi;
+pub use tpi_dfa as dfa;
 pub use tpi_gateway as gateway;
 pub use tpi_lint as lint;
 pub use tpi_net as net;
