@@ -50,10 +50,18 @@ cmp "$SMOKE/over-wire.trimmed" "$SMOKE/cold/s27.full-scan.json"
 "$NETCLI" --addr "$ADDR" --shutdown
 wait "$NETD_PID"
 grep -q "drained and stopped" "$SMOKE/netd.log"
-# Network batch mode: 4 connections against a capped in-process server,
-# byte-identical to the cold in-process payloads.
+# Network batch mode: 4 clients against a capped in-process server,
+# byte-identical to the cold in-process payloads. The default drive is
+# v2 sequential sessions; --wire-v1 and --pipeline cover the legacy
+# client path and the many-in-flight v2 path, and all three must agree
+# byte for byte (each run keeps the in-flight cap low enough to
+# exercise its Busy/backpressure path).
 "$BATCH" --jobs 4 --out "$SMOKE/net" "$SMOKE/work"
 diff -r "$SMOKE/net" "$SMOKE/cold"
+"$BATCH" --jobs 4 --wire-v1 --out "$SMOKE/net-v1" "$SMOKE/work"
+diff -r "$SMOKE/net-v1" "$SMOKE/net"
+"$BATCH" --jobs 4 --pipeline --out "$SMOKE/net-pipe" "$SMOKE/work"
+diff -r "$SMOKE/net-pipe" "$SMOKE/net"
 
 echo "== tpi-gateway smoke (3 backends: cold, warm, kill-one — all byte-identical) =="
 # Cold run through a 3-backend gateway must match the direct run byte
@@ -113,5 +121,10 @@ echo "== tpi-bench --large: gen50k lane-engine gates (emits BENCH_PR6.json) =="
 # --threads 0 is >15% slower than --threads 1 (the parallel-slowdown
 # regression this PR fixes).
 "$BENCH" --large --emit-bench BENCH_PR6.json
+
+echo "== tpi-bench --net: v1 vs v2 loopback throughput (emits BENCH_PR9.json) =="
+# The 1k-connection thread-bound + Busy/backpressure test itself runs in
+# the tier-1 suite above (tests/net.rs); this produces the req/s numbers.
+"$BENCH" --net --emit-bench BENCH_PR9.json
 
 echo "CI green."

@@ -18,12 +18,16 @@
 //!
 //! Network mode (`--jobs N`): instead of calling the service
 //! in-process, `tpi-batch` starts an in-process `tpi-netd`, then
-//! submits every job through `N` concurrent client connections. The
-//! server's connection cap is deliberately set *below* `N` (to
-//! `max(1, ⌈N/2⌉)`), so the run exercises the `Busy` → seeded-backoff
+//! submits every job through `N` concurrent `tpi-net/v2` sessions
+//! (one request in flight per session; add `--pipeline` to submit
+//! every request up front and collect completions out of order with
+//! `wait_any`; add `--wire-v1` for the legacy one-connection-per-call
+//! v1 client instead). The server's caps are deliberately set *below*
+//! the offered load (`max(1, ⌈N/2⌉)` v1 connections and v2 in-flight
+//! requests), so every variant exercises its `Busy` → seeded-backoff
 //! retry loop — the same backpressure path a saturated production
-//! server would take. Results and summary lines are the same either
-//! way; so are the payload bytes (that is the protocol's contract).
+//! server would take. Results and summary lines are the same in every
+//! mode; so are the payload bytes (that is the protocol's contract).
 //!
 //! Gateway mode (`--gateway N`): starts `N` in-process `tpi-netd`
 //! backends (each with its own service; `--cache-dir DIR` gives each a
@@ -52,18 +56,37 @@ use std::time::{Duration, Instant};
 use tpi_bench::{ArgCursor, Cli};
 use tpi_core::PartialScanMethod;
 use tpi_gateway::{Gateway, GatewayConfig, GatewayHandler};
-use tpi_net::{Client, ClientConfig, NetServer, ServerConfig, ServerHandle, WireRequest};
+use tpi_net::{
+    Client, ClientConfig, Connection, NetServer, Pending, ServerConfig, ServerHandle, WireRequest,
+    WireVersion,
+};
 use tpi_netlist::write_blif;
 use tpi_serve::{JobService, JobSpec, JobStatus, MetricsSnapshot, NetlistSource, ServiceConfig};
 use tpi_workloads::{generate, iscas, smoke_suite, suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpi-batch [--threads N] [--jobs N] [--gateway N [--kill-one]] \
+        "usage: tpi-batch [--threads N] [--jobs N [--pipeline | --wire-v1]] \
+         [--gateway N [--kill-one]] \
          [--cache-dir DIR] [--out DIR] [--deadline-ms M] DIR"
     );
     eprintln!("       tpi-batch --generate DIR [--small]");
     exit(2);
+}
+
+/// How the network modes put requests on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetMode {
+    /// Legacy v1 client: one connection per call, strict
+    /// request/response (the byte-identity reference).
+    V1,
+    /// One persistent v2 session per worker, one request in flight at
+    /// a time.
+    V2,
+    /// One persistent v2 session per worker, every request submitted
+    /// up front, completions collected with `wait_any` in whatever
+    /// order the server finishes them.
+    V2Pipelined,
 }
 
 fn main() {
@@ -75,6 +98,7 @@ fn main() {
     let mut generate_dir: Option<PathBuf> = None;
     let mut small = false;
     let mut jobs: Option<usize> = None;
+    let mut mode = NetMode::V2;
     let mut gateway_backends: Option<usize> = None;
     let mut kill_one = false;
     let mut workload_dir: Option<PathBuf> = None;
@@ -100,6 +124,8 @@ fn main() {
                 gateway_backends = Some(n);
             }
             "--kill-one" => kill_one = true,
+            "--pipeline" => mode = NetMode::V2Pipelined,
+            "--wire-v1" => mode = NetMode::V1,
             "--out" => out_dir = Some(PathBuf::from(it.value("--out"))),
             "--deadline-ms" => {
                 let ms: u64 = it.parsed_value("--deadline-ms", "a non-negative integer");
@@ -168,16 +194,21 @@ fn main() {
         }))),
     };
     let connections = jobs.unwrap_or(4);
+    let mode_label = match mode {
+        NetMode::V1 => " [wire v1]",
+        NetMode::V2 => "",
+        NetMode::V2Pipelined => " [pipelined]",
+    };
     match (gateway_backends, jobs, &service) {
         (Some(b), _, _) => println!(
-            "tpi-batch: {} files x 2 flows over {connections} connection(s) to an in-process \
-             gateway fronting {b} backend(s){}",
+            "tpi-batch: {} files x 2 flows over {connections} connection(s){mode_label} to an \
+             in-process gateway fronting {b} backend(s){}",
             files.len(),
             if kill_one { ", killing backend 0 mid-batch" } else { "" }
         ),
         (None, Some(n), Some(service)) => println!(
-            "tpi-batch: {} files x 2 flows over {n} connection(s) to an in-process tpi-netd \
-             ({} worker(s))",
+            "tpi-batch: {} files x 2 flows over {n} connection(s){mode_label} to an in-process \
+             tpi-netd ({} worker(s))",
             files.len(),
             service.workers()
         ),
@@ -211,11 +242,11 @@ fn main() {
 
     let (rows, m) = match (gateway_backends, &service) {
         (Some(b), _) => {
-            run_over_gateway(texts, deadline, threads, &cache_dir, b, connections, kill_one)
+            run_over_gateway(texts, deadline, threads, &cache_dir, b, connections, kill_one, mode)
         }
         (None, Some(service)) => {
             let rows = match jobs {
-                Some(n) => run_over_network(service, texts, deadline, n),
+                Some(n) => run_over_network(service, texts, deadline, n, mode),
                 None => run_in_process(service, texts),
             };
             let m = service.metrics();
@@ -358,18 +389,21 @@ fn run_in_process(service: &JobService, texts: Vec<String>) -> Vec<Row> {
         .collect()
 }
 
-/// Submits every job through `jobs` concurrent client connections
-/// against an in-process `tpi-netd`. The server's connection cap is
-/// `max(1, ⌈jobs/2⌉)`, so with more than one connection the `Busy` →
-/// retry backpressure path genuinely runs.
+/// Submits every job through `jobs` concurrent sessions (or v1
+/// clients) against an in-process `tpi-netd`. The server's caps are
+/// `max(1, ⌈jobs/2⌉)` — v1 connections and v2 in-flight requests
+/// alike — so with more than one worker the mode's `Busy` → retry
+/// backpressure path genuinely runs.
 fn run_over_network(
     service: &Arc<JobService>,
     texts: Vec<String>,
     deadline: Option<Duration>,
     jobs: usize,
+    mode: NetMode,
 ) -> Vec<Row> {
+    let cap = jobs.div_ceil(2).max(1);
     let server = NetServer::bind(
-        ServerConfig { max_connections: jobs.div_ceil(2).max(1), ..ServerConfig::default() },
+        ServerConfig { max_connections: cap, max_inflight: cap, ..ServerConfig::default() },
         Arc::clone(service),
     )
     .unwrap_or_else(|e| {
@@ -379,7 +413,7 @@ fn run_over_network(
     let addr = server.local_addr().to_string();
     let (handle, server_thread) = server.spawn();
 
-    let rows = drive_clients(&addr, build_requests(texts, deadline), jobs, None);
+    let rows = drive_clients(&addr, build_requests(texts, deadline), jobs, None, mode);
     handle.shutdown();
     let _ = server_thread.join();
     rows
@@ -391,6 +425,7 @@ fn run_over_network(
 /// aggregated metrics. With `kill_one`, backend 0 is shut down right
 /// after the first report lands, so the rest of the batch runs the
 /// failover path.
+#[allow(clippy::too_many_arguments)]
 fn run_over_gateway(
     texts: Vec<String>,
     deadline: Option<Duration>,
@@ -399,6 +434,7 @@ fn run_over_gateway(
     backends: usize,
     jobs: usize,
     kill_one: bool,
+    mode: NetMode,
 ) -> (Vec<Row>, MetricsSnapshot) {
     let mut services = Vec::new();
     let mut handles = Vec::new();
@@ -425,8 +461,9 @@ fn run_over_gateway(
 
     let gateway =
         Arc::new(Gateway::new(GatewayConfig { backends: addrs, ..GatewayConfig::default() }));
+    let gw_cap = jobs.div_ceil(2).max(1);
     let gw_server = NetServer::bind_with(
-        ServerConfig { max_connections: jobs.div_ceil(2).max(1), ..ServerConfig::default() },
+        ServerConfig { max_connections: gw_cap, max_inflight: gw_cap, ..ServerConfig::default() },
         GatewayHandler::new(Arc::clone(&gateway)),
     )
     .unwrap_or_else(|e| {
@@ -437,7 +474,7 @@ fn run_over_gateway(
     let (gw_handle, gw_thread) = gw_server.spawn();
 
     let kill = kill_one.then(|| handles[0].clone());
-    let rows = drive_clients(&gw_addr, build_requests(texts, deadline), jobs, kill);
+    let rows = drive_clients(&gw_addr, build_requests(texts, deadline), jobs, kill, mode);
 
     gw_handle.shutdown();
     let _ = gw_thread.join();
@@ -483,14 +520,15 @@ fn build_requests(texts: Vec<String>, deadline: Option<Duration>) -> Vec<WireReq
 }
 
 /// Pulls requests off a shared index and submits them to `addr` over
-/// `jobs` concurrent connections; rows come back in request order.
-/// When `kill` carries a server handle, it is shut down once, right
-/// after the first report lands.
+/// `jobs` concurrent workers; rows come back in request order
+/// regardless of completion order. When `kill` carries a server
+/// handle, it is shut down once, right after the first report lands.
 fn drive_clients(
     addr: &str,
     requests: Vec<WireRequest>,
     jobs: usize,
     kill: Option<ServerHandle>,
+    mode: NetMode,
 ) -> Vec<Row> {
     let total = requests.len();
     let requests = Arc::new(requests);
@@ -504,23 +542,24 @@ fn drive_clients(
                 (Arc::clone(&requests), Arc::clone(&next), Arc::clone(&rows), Arc::clone(&kill));
             let addr = addr.to_string();
             std::thread::spawn(move || {
-                let client = Client::with_config(
-                    addr,
-                    ClientConfig { seed: w as u64 + 1, ..ClientConfig::default() },
-                );
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= total {
-                        return;
-                    }
-                    let row = match client.submit(&requests[i]) {
-                        Ok(r) => Row::from_wire(r),
-                        Err(e) => Row::from_net_error(&e),
-                    };
+                let config = ClientConfig {
+                    seed: w as u64 + 1,
+                    wire: match mode {
+                        NetMode::V1 => WireVersion::V1,
+                        _ => WireVersion::V2,
+                    },
+                    ..ClientConfig::default()
+                };
+                let push = |i: usize, row: Row| {
                     rows.lock().expect("rows lock never poisoned").push((i, row));
                     if let Some(victim) = kill.lock().expect("kill lock never poisoned").take() {
                         victim.shutdown();
                     }
+                };
+                match mode {
+                    NetMode::V1 => drive_v1(&addr, config, &requests, &next, push),
+                    NetMode::V2 => drive_sequential(&addr, config, &requests, &next, push),
+                    NetMode::V2Pipelined => drive_pipelined(&addr, config, &requests, &next, push),
                 }
             })
         })
@@ -533,8 +572,116 @@ fn drive_clients(
         .unwrap_or_else(|_| unreachable!("workers joined"))
         .into_inner()
         .expect("rows lock never poisoned");
+    assert_eq!(indexed.len(), total, "every request must produce exactly one row");
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, row)| row).collect()
+}
+
+/// Claims the next request index, or `None` when the batch is drained.
+fn claim(next: &std::sync::atomic::AtomicUsize, total: usize) -> Option<usize> {
+    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    (i < total).then_some(i)
+}
+
+/// The legacy path: one `tpi-net/v1` connection per call via the
+/// deprecated one-shot client — kept runnable so the CI byte-identity
+/// gate can diff its outputs against the v2 sessions.
+fn drive_v1(
+    addr: &str,
+    config: ClientConfig,
+    requests: &[WireRequest],
+    next: &std::sync::atomic::AtomicUsize,
+    push: impl Fn(usize, Row),
+) {
+    let client = Client::with_config(addr.to_string(), config);
+    while let Some(i) = claim(next, requests.len()) {
+        #[allow(deprecated)]
+        let row = match client.submit(&requests[i]) {
+            Ok(r) => Row::from_wire(r),
+            Err(e) => Row::from_net_error(&e),
+        };
+        push(i, row);
+    }
+}
+
+/// One persistent v2 session, one request in flight at a time.
+fn drive_sequential(
+    addr: &str,
+    config: ClientConfig,
+    requests: &[WireRequest],
+    next: &std::sync::atomic::AtomicUsize,
+    push: impl Fn(usize, Row),
+) {
+    let conn = match Connection::open_with(addr, config) {
+        Ok(c) => c,
+        Err(e) => {
+            // No session, no reports: every request this worker would
+            // have claimed fails with the connect error.
+            while let Some(i) = claim(next, requests.len()) {
+                push(i, Row::from_net_error(&e));
+            }
+            return;
+        }
+    };
+    while let Some(i) = claim(next, requests.len()) {
+        let row = match conn.submit(&requests[i]).and_then(|ticket| conn.wait(ticket)) {
+            Ok(r) => Row::from_wire(r),
+            Err(e) => Row::from_net_error(&e),
+        };
+        push(i, row);
+    }
+}
+
+/// One persistent v2 session, every claimed request submitted before
+/// any report is collected; `wait_any` then drains completions in
+/// whatever order the server finishes them.
+fn drive_pipelined(
+    addr: &str,
+    config: ClientConfig,
+    requests: &[WireRequest],
+    next: &std::sync::atomic::AtomicUsize,
+    push: impl Fn(usize, Row),
+) {
+    let conn = match Connection::open_with(addr, config) {
+        Ok(c) => c,
+        Err(e) => {
+            while let Some(i) = claim(next, requests.len()) {
+                push(i, Row::from_net_error(&e));
+            }
+            return;
+        }
+    };
+    // Submit phase: claim and send everything, remembering which
+    // request index each ticket redeems.
+    let mut tickets: Vec<Pending> = Vec::new();
+    let mut index_of = std::collections::HashMap::new();
+    while let Some(i) = claim(next, requests.len()) {
+        match conn.submit(&requests[i]) {
+            Ok(ticket) => {
+                index_of.insert(ticket.id(), i);
+                tickets.push(ticket);
+            }
+            Err(e) => push(i, Row::from_net_error(&e)),
+        }
+    }
+    // Collect phase: completion order, not submission order.
+    while !tickets.is_empty() {
+        match conn.wait_any(&mut tickets) {
+            Ok((ticket, report)) => {
+                let i = index_of.remove(&ticket.id()).expect("every ticket was indexed");
+                push(i, Row::from_wire(report));
+            }
+            Err(e) => {
+                // A wait error (lost connection, spent Busy budget) is
+                // not attributable to one ticket; everything still
+                // outstanding failed with it.
+                for ticket in tickets.drain(..) {
+                    let i = index_of.remove(&ticket.id()).expect("every ticket was indexed");
+                    push(i, Row::from_net_error(&e));
+                }
+            }
+        }
+    }
 }
 
 /// Writes the workload directory: `s27` plus the chosen synthetic suite.

@@ -9,7 +9,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N] [--large] [--gain-model path-count|scoap]
+//! cargo run --release -p tpi-bench --bin tpi-bench -- [--emit-bench PATH] [--det-out PATH] [--threads N] [--large] [--gain-model path-count|scoap] [--net]
 //! ```
 //!
 //! * `--emit-bench PATH` — also write the machine-readable bench file
@@ -31,6 +31,13 @@
 //!   full-scan under the named TPGREED gain model, across `--threads
 //!   1/2/0` on the lane engine plus a scalar-engine baseline, and fail
 //!   unless every deterministic section is byte-identical.
+//! * `--net` — the `tpi-net/v2` loopback throughput benchmark: an
+//!   in-process `tpi-netd` serving cache-warm `s27` jobs, driven by
+//!   the legacy v1 one-connection-per-call client, a v2 session one
+//!   request at a time, and a v2 session fully pipelined. Prints req/s
+//!   for each plus p50/p99 ping frame latency; with `--emit-bench`,
+//!   writes the `tpi-bench-net/v1` JSON (this is what produces
+//!   `BENCH_PR9.json`).
 //!
 //! Exit status: `1` if any flow fails, any deterministic section
 //! differs across thread counts, or a `--large` gate trips.
@@ -301,11 +308,136 @@ fn large_mode(emit_bench: Option<String>) {
     }
 }
 
+/// `--net` mode: warm-loopback throughput of the three wire paths plus
+/// ping frame latency. Everything is in-process: one `tpi-netd` poll
+/// loop, one single-worker service, `s27` submitted repeatedly so all
+/// but the first job is a memory cache hit — the numbers measure the
+/// *protocol*, not TPGREED.
+fn net_mode(emit_bench: Option<String>) {
+    use std::sync::Arc;
+    use tpi_net::{Client, ClientConfig, Connection, ServerConfig, WireRequest, WireVersion};
+    use tpi_serve::{JobService, JobStatus, ServiceConfig};
+
+    let service = Arc::new(JobService::new(ServiceConfig { threads: 1, ..Default::default() }));
+    let server = tpi_net::NetServer::bind(
+        // The point is pipe throughput, not backpressure: set the
+        // in-flight cap out of the way.
+        ServerConfig { max_inflight: 1 << 20, ..Default::default() },
+        Arc::clone(&service),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start in-process tpi-netd: {e}");
+        exit(1);
+    });
+    let addr = server.local_addr().to_string();
+    let (handle, server_thread) = server.spawn();
+
+    let blif = tpi_netlist::write_blif(&tpi_workloads::iscas::s27());
+    let req = WireRequest::full_scan(blif);
+    let die = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("tpi-bench --net: {what}: {e}");
+        exit(1);
+    };
+
+    let conn = Connection::open(&addr).unwrap_or_else(|e| die("open", &e));
+    // Warm the cache: every request after this one is a memory hit.
+    match conn.submit(&req).and_then(|t| conn.wait(t)) {
+        Ok(r) if matches!(r.status, JobStatus::Completed) => {}
+        Ok(r) => die("warmup", &format!("job ended {}", r.status.label())),
+        Err(e) => die("warmup", &e),
+    }
+
+    // Path 1: legacy v1 — TCP connect + one frame exchange per request.
+    let v1_n: usize = 300;
+    let client = Client::with_config(
+        addr.clone(),
+        ClientConfig { wire: WireVersion::V1, ..ClientConfig::default() },
+    );
+    let t0 = Instant::now();
+    for _ in 0..v1_n {
+        #[allow(deprecated)]
+        if let Err(e) = client.submit(&req) {
+            die("v1 submit", &e);
+        }
+    }
+    let v1_rate = v1_n as f64 / t0.elapsed().as_secs_f64();
+
+    // Path 2: one v2 session, one request in flight at a time.
+    let v2_n: usize = 2000;
+    let t0 = Instant::now();
+    for _ in 0..v2_n {
+        if let Err(e) = conn.submit(&req).and_then(|t| conn.wait(t)) {
+            die("v2 submit", &e);
+        }
+    }
+    let v2_rate = v2_n as f64 / t0.elapsed().as_secs_f64();
+
+    // Path 3: one v2 session, everything submitted before anything is
+    // collected — the pipelining the request IDs exist for.
+    let pipe_n: usize = 4000;
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(pipe_n);
+    for _ in 0..pipe_n {
+        tickets.push(conn.submit(&req).unwrap_or_else(|e| die("pipelined submit", &e)));
+    }
+    while !tickets.is_empty() {
+        if let Err(e) = conn.wait_any(&mut tickets) {
+            die("pipelined wait", &e);
+        }
+    }
+    let pipe_rate = pipe_n as f64 / t0.elapsed().as_secs_f64();
+
+    // Frame latency: ping round trips on the (now idle) session.
+    let ping_n: usize = 2000;
+    let mut lat = Vec::with_capacity(ping_n);
+    for _ in 0..ping_n {
+        let t = Instant::now();
+        if let Err(e) = conn.ping() {
+            die("ping", &e);
+        }
+        lat.push(t.elapsed().as_micros() as u64);
+    }
+    lat.sort_unstable();
+    let p50 = lat[ping_n / 2];
+    let p99 = lat[ping_n * 99 / 100];
+
+    println!("tpi-bench --net: warm s27 over loopback, single-worker service");
+    println!("{:<26} | {:>12} | {:>8}", "path", "requests", "req/s");
+    println!("{}", "-".repeat(52));
+    println!("{:<26} | {:>12} | {:>8.0}", "v1 connection-per-call", v1_n, v1_rate);
+    println!("{:<26} | {:>12} | {:>8.0}", "v2 session, sequential", v2_n, v2_rate);
+    println!("{:<26} | {:>12} | {:>8.0}", "v2 session, pipelined", pipe_n, pipe_rate);
+    println!("ping frame latency: p50 {p50} µs, p99 {p99} µs");
+
+    if let Some(path) = emit_bench {
+        let mut root = JsonObject::new();
+        root.field_str("schema", "tpi-bench-net/v1")
+            .field_str("workload", "s27 full-scan, memory-warm")
+            .field_u64("v1_requests", v1_n as u64)
+            .field_str("v1_req_per_s", &format!("{v1_rate:.0}"))
+            .field_u64("v2_sequential_requests", v2_n as u64)
+            .field_str("v2_sequential_req_per_s", &format!("{v2_rate:.0}"))
+            .field_u64("v2_pipelined_requests", pipe_n as u64)
+            .field_str("v2_pipelined_req_per_s", &format!("{pipe_rate:.0}"))
+            .field_u64("ping_p50_micros", p50)
+            .field_u64("ping_p99_micros", p99);
+        let mut text = root.finish();
+        text.push('\n');
+        write_or_die(&path, &text);
+        println!("wrote bench file to {path}");
+    }
+
+    drop(conn);
+    handle.shutdown();
+    let _ = server_thread.join();
+}
+
 fn main() {
     let cli = Cli::parse();
     let mut emit_bench: Option<String> = None;
     let mut det_out: Option<String> = None;
     let mut large = false;
+    let mut net = false;
     let mut gain_model: Option<GainModel> = None;
     let mut cur = ArgCursor::new(cli.args.clone());
     while let Some(a) = cur.next_arg() {
@@ -313,6 +445,7 @@ fn main() {
             "--emit-bench" => emit_bench = Some(cur.value("--emit-bench")),
             "--det-out" => det_out = Some(cur.value("--det-out")),
             "--large" => large = true,
+            "--net" => net = true,
             "--gain-model" => {
                 gain_model = Some(match cur.value("--gain-model").as_str() {
                     "path-count" => GainModel::PathCount,
@@ -326,11 +459,16 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other} (expected \
-                     --emit-bench/--det-out/--threads/--large/--gain-model)"
+                     --emit-bench/--det-out/--threads/--large/--gain-model/--net)"
                 );
                 exit(2);
             }
         }
+    }
+
+    if net {
+        net_mode(emit_bench);
+        return;
     }
 
     if large {

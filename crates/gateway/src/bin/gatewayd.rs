@@ -21,7 +21,7 @@
 use std::process::exit;
 use std::sync::Arc;
 use tpi_gateway::{Gateway, GatewayConfig, GatewayHandler};
-use tpi_net::cli::{ArgCursor, Cli};
+use tpi_net::cli::{ArgCursor, Cli, NetCliOpts};
 use tpi_net::{write_addr_file, NetServer, ServerConfig};
 
 fn main() {
@@ -32,13 +32,14 @@ fn main() {
     }
     let mut net = ServerConfig::default();
     let mut gw = GatewayConfig::default();
-    let mut addr_file: Option<String> = None;
+    let mut opts = NetCliOpts::default();
 
     let mut args = ArgCursor::new(cli.args);
     while let Some(arg) = args.next_arg() {
+        if opts.try_flag(&arg, &mut args) {
+            continue;
+        }
         match arg.as_str() {
-            "--addr" => net.addr = args.value("--addr"),
-            "--addr-file" => addr_file = Some(args.value("--addr-file")),
             "--backend" => gw.backends.push(args.value("--backend")),
             "--backends" => {
                 let list = args.value("--backends");
@@ -81,6 +82,10 @@ fn main() {
         eprintln!("at least one --backend is required (the address a tpi-netd printed)");
         exit(2);
     }
+    if let Some(addr) = opts.addr.clone() {
+        net.addr = addr;
+    }
+    let addr_file = opts.addr_file.clone();
 
     let health_interval = gw.health_interval;
     let n_backends = gw.backends.len();

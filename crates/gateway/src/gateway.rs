@@ -37,9 +37,11 @@
 
 use crate::ring::HashRing;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tpi_net::{Client, ClientConfig, ClientError, ErrorCode, ErrorInfo, WireReport, WireRequest};
+use tpi_net::{
+    ClientConfig, ClientError, Connection, ErrorCode, ErrorInfo, WireReport, WireRequest,
+};
 use tpi_obs::{JsonArray, JsonObject};
 use tpi_serve::{cache_key, netlist_fingerprint, CacheSource, Fnv64, NetlistSource};
 
@@ -108,11 +110,18 @@ impl std::fmt::Display for GatewayError {
 
 impl std::error::Error for GatewayError {}
 
-/// One backend's slot: its forward client, health flag, probe-backoff
-/// state, and counters.
+/// One backend's slot: its persistent forward session, health flag,
+/// probe-backoff state, and counters.
 struct Backend {
     addr: String,
-    client: Client,
+    /// Config for (re)opening the session; seeded per backend.
+    config: ClientConfig,
+    /// The persistent `tpi-net/v2` session. Opened on first use,
+    /// shared by forwards and health probes, and torn down only when
+    /// an exchange on it fails — reconnect happens on the *next* use,
+    /// not eagerly, so a dead backend costs one failed open per
+    /// attempt, not a spin.
+    conn: Mutex<Option<Arc<Connection>>>,
     healthy: AtomicBool,
     /// Consecutive failed probes (drives the probe backoff).
     probe_failures: AtomicU64,
@@ -135,8 +144,9 @@ impl Backend {
         // Distinct per-backend jitter streams, deterministically.
         let config = ClientConfig { seed: seed ^ (index as u64 + 1), ..template.clone() };
         Backend {
-            client: Client::with_config(addr.clone(), config),
             addr,
+            config,
+            conn: Mutex::new(None),
             healthy: AtomicBool::new(true),
             probe_failures: AtomicU64::new(0),
             probe_skip: AtomicU64::new(0),
@@ -147,6 +157,28 @@ impl Backend {
             served_memory: AtomicU64::new(0),
             served_disk: AtomicU64::new(0),
         }
+    }
+
+    /// The persistent session, opened on first use and reopened only
+    /// after [`Backend::disconnect`] (or a server-side close) tore the
+    /// previous one down. The lock is held across the open so
+    /// concurrent forwards share one session instead of racing to
+    /// build several.
+    fn connection(&self) -> Result<Arc<Connection>, ClientError> {
+        let mut slot = self.conn.lock().expect("conn lock never poisoned");
+        if let Some(conn) = slot.as_ref() {
+            if !conn.is_dead() {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let conn = Arc::new(Connection::open_with(&self.addr, self.config.clone())?);
+        *slot = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Drops the session; the next use reconnects.
+    fn disconnect(&self) {
+        *self.conn.lock().expect("conn lock never poisoned") = None;
     }
 
     fn hit_rate(&self) -> f64 {
@@ -240,7 +272,11 @@ impl Gateway {
             let backend = &self.backends[b];
             attempts += 1;
             let forwarded = self.prepare(req, b, t0);
-            match backend.client.submit(&forwarded) {
+            let outcome = backend.connection().and_then(|conn| {
+                let ticket = conn.submit(&forwarded)?;
+                conn.wait(ticket)
+            });
+            match outcome {
                 Ok(report) => {
                     backend.forwarded.fetch_add(1, Ordering::Relaxed);
                     match report.cache {
@@ -259,6 +295,7 @@ impl Gateway {
                     return Err(GatewayError::Remote(info));
                 }
                 Err(e) => {
+                    backend.disconnect();
                     backend.failed.fetch_add(1, Ordering::Relaxed);
                     self.mark_down(b);
                     last = Some(e);
@@ -277,11 +314,15 @@ impl Gateway {
     /// error.
     pub fn peer_fetch(&self, key: u64) -> Option<String> {
         for b in self.ring.successors(key) {
-            if let Ok(found) = self.backends[b].client.peer_fetch(key) {
-                if found.is_some() {
-                    self.mark_up(b);
-                    return found;
+            let backend = &self.backends[b];
+            match backend.connection().and_then(|conn| conn.peer_fetch(key)) {
+                Ok(found) => {
+                    if found.is_some() {
+                        self.mark_up(b);
+                        return found;
+                    }
                 }
+                Err(_) => backend.disconnect(),
             }
         }
         None
@@ -322,7 +363,10 @@ impl Gateway {
         self.backends[b].healthy.store(false, Ordering::Relaxed);
     }
 
-    /// One health-probe tick: pings every backend that is due. Healthy
+    /// One health-probe tick: pings every backend that is due, over
+    /// the backend's *persistent* session — a probe costs one v2 frame
+    /// round trip, not a fresh TCP connect (a failed probe tears the
+    /// session down; the next due probe reconnects). Healthy
     /// backends are probed every tick; a down backend's probes back off
     /// exponentially in *ticks* — after `f` consecutive failures it
     /// skips `min(2^f, 64) - 1 + jitter` ticks, jitter drawn from the
@@ -338,9 +382,10 @@ impl Gateway {
                 backend.probe_skip.store(skip - 1, Ordering::Relaxed);
                 continue;
             }
-            match backend.client.ping() {
+            match backend.connection().and_then(|conn| conn.ping()) {
                 Ok(()) => self.mark_up(b),
                 Err(_) => {
+                    backend.disconnect();
                     let f = backend.probe_failures.fetch_add(1, Ordering::Relaxed) + 1;
                     let base = 1u64 << f.min(6);
                     let jitter = self.next_rand() % base.max(1);
@@ -355,7 +400,15 @@ impl Gateway {
     /// `--shutdown-backends` teardown and the bench harness). Returns
     /// how many acknowledged.
     pub fn shutdown_backends(&self) -> usize {
-        self.backends.iter().filter(|b| b.client.shutdown_server().is_ok()).count()
+        self.backends
+            .iter()
+            .filter(|b| {
+                let acked = b.connection().and_then(|conn| conn.shutdown_server()).is_ok();
+                // Acked or not, the server side of this session is gone.
+                b.disconnect();
+                acked
+            })
+            .count()
     }
 
     /// xorshift64*: the same tiny generator the client uses for retry

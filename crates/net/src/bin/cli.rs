@@ -8,7 +8,10 @@
 //!
 //! `--retries N` hard-caps connect/busy retries regardless of the time
 //! budget; `--retries 0` makes the first refusal final, which is what
-//! scripts probing for a live server want.
+//! scripts probing for a live server want. Every action runs over a
+//! single-use `tpi-net/v2` session ([`Connection`]); the shared flags
+//! are parsed by [`NetCliOpts`], so they spell the same here as in
+//! `tpi-batch` and `tpi-gatewayd`.
 //!
 //! On a completed job, the report's `tpi-serve/v1` JSON payload is
 //! printed to stdout exactly as the service produced it (the bytes are
@@ -17,10 +20,9 @@
 //! diagnostics to stderr and exit 1.
 
 use std::process::exit;
-use std::time::Duration;
 use tpi_core::PartialScanMethod;
-use tpi_net::cli::{ArgCursor, Cli};
-use tpi_net::{Client, ClientConfig, ClientError, WireRequest};
+use tpi_net::cli::{ArgCursor, Cli, NetCliOpts};
+use tpi_net::{ClientError, Connection, WireRequest};
 use tpi_serve::JobStatus;
 
 enum Action {
@@ -36,29 +38,18 @@ fn main() {
         eprintln!("--threads is a server-side knob; pass it to tpi-netd");
         exit(2);
     }
-    let mut addr: Option<String> = None;
+    let mut opts = NetCliOpts::default();
     let mut flow = "full-scan".to_string();
-    let mut deadline: Option<Duration> = None;
-    let mut config = ClientConfig::default();
     let mut action = Action::Submit;
     let mut blif_path: Option<String> = None;
 
     let mut args = ArgCursor::new(cli.args);
     while let Some(arg) = args.next_arg() {
+        if opts.try_flag(&arg, &mut args) {
+            continue;
+        }
         match arg.as_str() {
-            "--addr" => addr = Some(args.value("--addr")),
             "--flow" => flow = args.value("--flow"),
-            "--deadline-ms" => {
-                deadline =
-                    Some(Duration::from_millis(args.parsed_value("--deadline-ms", "milliseconds")));
-            }
-            "--retry-budget-ms" => {
-                config.retry_budget =
-                    Duration::from_millis(args.parsed_value("--retry-budget-ms", "milliseconds"));
-            }
-            "--retries" => {
-                config.max_retries = Some(args.parsed_value("--retries", "a retry count"));
-            }
             "--metrics" => action = Action::Metrics,
             "--ping" => action = Action::Ping,
             "--shutdown" => action = Action::Shutdown,
@@ -77,22 +68,23 @@ fn main() {
         }
     }
 
-    let Some(addr) = addr else {
-        eprintln!("--addr is required (tpi-netd prints its address on startup)");
-        exit(2);
+    let addr = opts.require_addr("tpi-netd prints its address on startup");
+    let deadline = opts.deadline;
+    let conn = match Connection::open_with(&addr, opts.client_config()) {
+        Ok(c) => c,
+        Err(e) => fail(&addr, &e),
     };
-    let client = Client::with_config(addr.clone(), config);
 
     match action {
-        Action::Ping => match client.ping() {
+        Action::Ping => match conn.ping() {
             Ok(()) => println!("pong"),
             Err(e) => fail(&addr, &e),
         },
-        Action::Shutdown => match client.shutdown_server() {
+        Action::Shutdown => match conn.shutdown_server() {
             Ok(()) => println!("shutdown acknowledged"),
             Err(e) => fail(&addr, &e),
         },
-        Action::Metrics => match client.metrics_json() {
+        Action::Metrics => match conn.metrics_json() {
             Ok(json) => println!("{json}"),
             Err(e) => fail(&addr, &e),
         },
@@ -118,7 +110,7 @@ fn main() {
             if let Some(d) = deadline {
                 request = request.with_deadline(d);
             }
-            let report = match client.submit(&request) {
+            let report = match conn.submit(&request).and_then(|ticket| conn.wait(ticket)) {
                 Ok(r) => r,
                 Err(e) => fail(&addr, &e),
             };

@@ -2,36 +2,47 @@
 //!
 //! ```text
 //! tpi-netd [--addr HOST:PORT] [--addr-file PATH] [--threads N]
-//!          [--max-connections N] [--cache-dir DIR]
+//!          [--max-connections N] [--max-inflight N] [--cache-dir DIR]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
 //! address is printed to stdout and, with `--addr-file`, written to a
-//! file so scripts can discover the port without parsing logs. The
-//! process exits after a client sends the `Shutdown` verb (`tpi-cli
-//! --shutdown`), draining in-flight jobs first.
+//! file so scripts can discover the port without parsing logs.
+//! `--max-connections` caps concurrent `tpi-net/v1` connections;
+//! `--max-inflight` caps admitted-but-unfinished v2 requests (past it
+//! the server answers per-request `Busy`). The process exits after a
+//! client sends the `Shutdown` verb (`tpi-cli --shutdown`), draining
+//! in-flight jobs first.
 
 use std::process::exit;
 use std::sync::Arc;
-use tpi_net::cli::{ArgCursor, Cli};
+use tpi_net::cli::{ArgCursor, Cli, NetCliOpts};
 use tpi_net::{write_addr_file, NetServer, ServerConfig};
 use tpi_serve::{JobService, ServiceConfig};
 
 fn main() {
     let cli = Cli::parse();
     let mut net = ServerConfig::default();
-    let mut addr_file: Option<String> = None;
+    let mut opts = NetCliOpts::default();
     let mut cache_dir: Option<String> = None;
 
     let mut args = ArgCursor::new(cli.args);
     while let Some(arg) = args.next_arg() {
+        if opts.try_flag(&arg, &mut args) {
+            continue;
+        }
         match arg.as_str() {
-            "--addr" => net.addr = args.value("--addr"),
-            "--addr-file" => addr_file = Some(args.value("--addr-file")),
             "--max-connections" => {
                 net.max_connections = args.parsed_value("--max-connections", "a positive integer");
                 if net.max_connections == 0 {
                     eprintln!("--max-connections must be at least 1");
+                    exit(2);
+                }
+            }
+            "--max-inflight" => {
+                net.max_inflight = args.parsed_value("--max-inflight", "a positive integer");
+                if net.max_inflight == 0 {
+                    eprintln!("--max-inflight must be at least 1");
                     exit(2);
                 }
             }
@@ -40,12 +51,16 @@ fn main() {
                 eprintln!(
                     "unknown argument {other:?}\n\
                      usage: tpi-netd [--addr HOST:PORT] [--addr-file PATH] [--threads N] \
-                     [--max-connections N] [--cache-dir DIR]"
+                     [--max-connections N] [--max-inflight N] [--cache-dir DIR]"
                 );
                 exit(2);
             }
         }
     }
+    if let Some(addr) = opts.addr.clone() {
+        net.addr = addr;
+    }
+    let addr_file = opts.addr_file.clone();
 
     let service = Arc::new(JobService::new(ServiceConfig {
         threads: cli.threads,

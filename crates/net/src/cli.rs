@@ -8,7 +8,9 @@
 //! lowest crate with binaries) and is re-exported by `tpi-bench` for
 //! its historical `tpi_bench::cli` path.
 
+use crate::client::ClientConfig;
 use std::process::exit;
+use std::time::Duration;
 
 /// The parsed common command line: the `--threads` knob plus whatever
 /// arguments remain (positional selectors and binary-specific flags).
@@ -108,6 +110,79 @@ impl ArgCursor {
     }
 }
 
+/// The network flags every client-facing binary shares, parsed once
+/// here so `tpi-cli`, `tpi-batch` and `tpi-gatewayd` cannot drift:
+///
+/// | flag | meaning |
+/// |------|---------|
+/// | `--addr HOST:PORT` | server (or bind) address |
+/// | `--addr-file PATH` | where a daemon writes its bound address |
+/// | `--deadline-ms N` | per-job compute deadline |
+/// | `--retry-budget-ms N` | wall-clock budget for connect/busy retries |
+/// | `--retries N` | hard cap on retries (`0` = first refusal is final) |
+///
+/// Binaries keep their own `match` over [`ArgCursor`] for their
+/// specific flags and call [`NetCliOpts::try_flag`] first; `false`
+/// means "not one of mine, yours to handle".
+#[derive(Debug, Clone, Default)]
+pub struct NetCliOpts {
+    /// `--addr`: the server address to dial (clients) or bind (daemons).
+    pub addr: Option<String>,
+    /// `--addr-file`: path a daemon writes its bound address to.
+    pub addr_file: Option<String>,
+    /// `--deadline-ms`: per-job compute deadline.
+    pub deadline: Option<Duration>,
+    /// `--retry-budget-ms`: wall-clock retry budget.
+    pub retry_budget: Option<Duration>,
+    /// `--retries`: hard retry cap.
+    pub retries: Option<u32>,
+}
+
+impl NetCliOpts {
+    /// Consumes `arg` if it is one of the shared flags (pulling its
+    /// value off `args` with the usual exit-2-on-missing handling);
+    /// returns `false` for anything binary-specific.
+    pub fn try_flag(&mut self, arg: &str, args: &mut ArgCursor) -> bool {
+        match arg {
+            "--addr" => self.addr = Some(args.value("--addr")),
+            "--addr-file" => self.addr_file = Some(args.value("--addr-file")),
+            "--deadline-ms" => {
+                self.deadline =
+                    Some(Duration::from_millis(args.parsed_value("--deadline-ms", "milliseconds")));
+            }
+            "--retry-budget-ms" => {
+                self.retry_budget = Some(Duration::from_millis(
+                    args.parsed_value("--retry-budget-ms", "milliseconds"),
+                ));
+            }
+            "--retries" => self.retries = Some(args.parsed_value("--retries", "a retry count")),
+            _ => return false,
+        }
+        true
+    }
+
+    /// A [`ClientConfig`] with the parsed retry knobs folded in;
+    /// untouched flags keep the defaults.
+    pub fn client_config(&self) -> ClientConfig {
+        let mut config = ClientConfig::default();
+        if let Some(budget) = self.retry_budget {
+            config.retry_budget = budget;
+        }
+        if let Some(cap) = self.retries {
+            config.max_retries = Some(cap);
+        }
+        config
+    }
+
+    /// The `--addr` value, or exit(2) printing `hint`.
+    pub fn require_addr(&self, hint: &str) -> String {
+        self.addr.clone().unwrap_or_else(|| {
+            eprintln!("--addr is required ({hint})");
+            exit(2);
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +215,25 @@ mod tests {
         assert_eq!(c.value("--out"), "dir");
         assert_eq!(c.next_arg().as_deref(), Some("pos"));
         assert_eq!(c.next_arg(), None);
+    }
+
+    #[test]
+    fn net_cli_opts_claims_shared_flags_and_leaves_the_rest() {
+        let mut opts = NetCliOpts::default();
+        let raw = ["--addr", "127.0.0.1:9", "--deadline-ms", "250", "--retries", "3", "--flow"];
+        let mut c = ArgCursor::new(raw.iter().map(|s| s.to_string()).collect());
+        let mut leftover = Vec::new();
+        while let Some(a) = c.next_arg() {
+            if !opts.try_flag(&a, &mut c) {
+                leftover.push(a);
+            }
+        }
+        assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(opts.retries, Some(3));
+        assert_eq!(leftover, vec!["--flow".to_string()]);
+        let config = opts.client_config();
+        assert_eq!(config.max_retries, Some(3));
+        assert_eq!(config.retry_budget, ClientConfig::default().retry_budget);
     }
 }

@@ -18,11 +18,29 @@
 
 use crate::frame::{read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME};
 use crate::proto::{CacheAnswer, CacheLookup, ErrorInfo, ProtoError, WireReport, WireRequest};
+use crate::session::Connection;
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Which frame protocol a [`Client`] speaks on the wire.
+///
+/// The session API ([`crate::session::Connection`]) is v2-only; this
+/// selector exists for the deprecated one-shot [`Client`] calls, whose
+/// v2 default forwards each call over a single-use session. Pin
+/// [`WireVersion::V1`] to hold a client on the legacy one-connection-
+/// per-call protocol — the byte-identity gates in CI do exactly that
+/// to prove v1 and v2 answers agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireVersion {
+    /// Legacy `tpi-net/v1`: one connection, one request, one response.
+    V1,
+    /// `tpi-net/v2`: request IDs, pipelining, streaming batches.
+    #[default]
+    V2,
+}
 
 /// Tuning for one [`Client`].
 #[derive(Debug, Clone)]
@@ -47,6 +65,9 @@ pub struct ClientConfig {
     pub seed: u64,
     /// Largest accepted response payload, in bytes.
     pub max_frame: u32,
+    /// Which frame protocol to speak (deprecated one-shot calls only;
+    /// sessions are v2 by construction).
+    pub wire: WireVersion,
 }
 
 impl Default for ClientConfig {
@@ -60,6 +81,7 @@ impl Default for ClientConfig {
             backoff_cap: Duration::from_millis(500),
             seed: 0x0709_15EE_DD06_F00D,
             max_frame: DEFAULT_MAX_FRAME,
+            wire: WireVersion::default(),
         }
     }
 }
@@ -91,6 +113,12 @@ pub enum ClientError {
     Remote(ErrorInfo),
     /// The server answered with a verb this call cannot use.
     UnexpectedVerb(Verb),
+    /// The session's transport died; outstanding and future calls on
+    /// that [`crate::session::Connection`] fail with the stored reason
+    /// until the caller reopens.
+    ConnectionLost(String),
+    /// `wait_any` was handed an empty ticket set.
+    NoPending,
 }
 
 impl fmt::Display for ClientError {
@@ -110,6 +138,10 @@ impl fmt::Display for ClientError {
             ClientError::UnexpectedVerb(v) => {
                 write!(f, "unexpected response verb {:?}", v.label())
             }
+            ClientError::ConnectionLost(reason) => {
+                write!(f, "connection lost: {reason}")
+            }
+            ClientError::NoPending => write!(f, "wait_any on an empty ticket set"),
         }
     }
 }
@@ -160,8 +192,23 @@ impl Client {
         &self.addr
     }
 
+    /// Opens the single-use session a v2-mode one-shot call rides on.
+    fn single_use(&self) -> Result<Connection, ClientError> {
+        Connection::open_with(&self.addr, self.config.clone())
+    }
+
     /// Submits a job and waits for its report.
+    #[deprecated(
+        since = "0.9.0",
+        note = "open a session once with Connection::open, then submit()/wait(); \
+                see the migration table in README.md"
+    )]
     pub fn submit(&self, request: &WireRequest) -> Result<WireReport, ClientError> {
+        if self.config.wire == WireVersion::V2 {
+            let conn = self.single_use()?;
+            let ticket = conn.submit(request)?;
+            return conn.wait(ticket);
+        }
         let (verb, payload) = self.call(Verb::Submit, &request.encode())?;
         match verb {
             Verb::Report => Ok(WireReport::decode(&payload)?),
@@ -170,7 +217,15 @@ impl Client {
     }
 
     /// Fetches the server's `tpi-netd-metrics/v1` JSON.
+    #[deprecated(
+        since = "0.9.0",
+        note = "open a session once with Connection::open, then metrics_json(); \
+                see the migration table in README.md"
+    )]
     pub fn metrics_json(&self) -> Result<String, ClientError> {
+        if self.config.wire == WireVersion::V2 {
+            return self.single_use()?.metrics_json();
+        }
         let (verb, payload) = self.call(Verb::Metrics, &[])?;
         match verb {
             Verb::MetricsReport => String::from_utf8(payload)
@@ -180,7 +235,15 @@ impl Client {
     }
 
     /// Liveness probe.
+    #[deprecated(
+        since = "0.9.0",
+        note = "open a session once with Connection::open, then ping(); \
+                see the migration table in README.md"
+    )]
     pub fn ping(&self) -> Result<(), ClientError> {
+        if self.config.wire == WireVersion::V2 {
+            return self.single_use()?.ping();
+        }
         let (verb, payload) = self.call(Verb::Ping, &[])?;
         match verb {
             Verb::Pong => Ok(()),
@@ -189,7 +252,11 @@ impl Client {
     }
 
     /// Asks the server to drain and exit; returns once acknowledged.
+    /// Not deprecated: a drain request is one-shot by nature.
     pub fn shutdown_server(&self) -> Result<(), ClientError> {
+        if self.config.wire == WireVersion::V2 {
+            return self.single_use()?.shutdown_server();
+        }
         let (verb, payload) = self.call(Verb::Shutdown, &[])?;
         match verb {
             Verb::Pong => Ok(()),
@@ -201,7 +268,15 @@ impl Client {
     /// key ([`crate::frame::Verb::PeerFetch`]). `Ok(None)` is a miss —
     /// a valid answer, not an error. This is what a backend calls on a
     /// sibling before recomputing a result it lost in a ring rebalance.
+    #[deprecated(
+        since = "0.9.0",
+        note = "open a session once with Connection::open, then peer_fetch(); \
+                see the migration table in README.md"
+    )]
     pub fn peer_fetch(&self, key: u64) -> Result<Option<String>, ClientError> {
+        if self.config.wire == WireVersion::V2 {
+            return self.single_use()?.peer_fetch(key);
+        }
         let (verb, payload) = self.call(Verb::PeerFetch, &CacheLookup { key }.encode())?;
         match verb {
             Verb::CachePayload => Ok(CacheAnswer::decode(&payload)?.payload),
@@ -284,7 +359,7 @@ impl Client {
     }
 }
 
-fn resolve(addr: &str) -> Result<SocketAddr, ClientError> {
+pub(crate) fn resolve(addr: &str) -> Result<SocketAddr, ClientError> {
     addr.to_socket_addrs()
         .ok()
         .and_then(|mut it| it.next())
@@ -293,7 +368,7 @@ fn resolve(addr: &str) -> Result<SocketAddr, ClientError> {
 
 /// Connect-phase errors worth retrying: the server may be starting, at
 /// its accept backlog, or mid-restart.
-fn retriable_connect(e: &io::Error) -> bool {
+pub(crate) fn retriable_connect(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::ConnectionRefused
@@ -339,6 +414,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn zero_max_retries_makes_the_first_refusal_final() {
         // Port 1 refuses on any sane loopback; with a hard cap of zero
         // retries the refusal must surface as one attempt even though
@@ -360,6 +436,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn unresolvable_addr_is_typed() {
         let c = Client::new("definitely-not-a-host-name-7f3a:99999");
         match c.ping() {

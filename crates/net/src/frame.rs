@@ -1,6 +1,6 @@
-//! The `tpi-net/v1` frame codec.
+//! The `tpi-net/v1` and `tpi-net/v2` frame codecs.
 //!
-//! Every message on the wire is one frame:
+//! A v1 message on the wire is one frame:
 //!
 //! ```text
 //! +-------+---------+------+-----------+---------+------------+
@@ -8,6 +8,22 @@
 //! | TPIN  |   0x01  | u8   | LE        | len B   | LE trailer |
 //! +-------+---------+------+-----------+---------+------------+
 //! ```
+//!
+//! A v2 frame inserts a `u32` request ID between the verb and the
+//! length, so one connection can carry many in-flight requests and
+//! match each response to its request without ordering assumptions:
+//!
+//! ```text
+//! +-------+---------+------+--------------+-----------+---------+------------+
+//! | magic | version | verb | req_id (u32) | len (u32) | payload | fnv (u64)  |
+//! | TPIN  |   0x02  | u8   | LE           | LE        | len B   | LE trailer |
+//! +-------+---------+------+--------------+-----------+---------+------------+
+//! ```
+//!
+//! Both versions share the magic and the version byte at offset 4 —
+//! that byte is the whole negotiation: a server sniffs it on the first
+//! frame of a connection and commits the connection to the blocking v1
+//! path or the pipelined v2 path (see [`crate::server`]).
 //!
 //! The trailer is the FNV-64 hash of the payload bytes (the same
 //! [`Fnv64`] the cache keys use) — not a security boundary, but enough
@@ -20,7 +36,9 @@
 //! Decoding never panics: every way a frame can be malformed maps to a
 //! [`FrameError`] variant, and the server answers those with a
 //! structured error frame and closes the connection (the stream is
-//! desynchronized past the first bad byte).
+//! desynchronized past the first bad byte). The non-blocking server
+//! loop uses [`FrameAssembler`] — the same validation order over an
+//! incrementally-fed buffer — so partial reads never block a thread.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -29,15 +47,22 @@ use tpi_serve::Fnv64;
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"TPIN";
 
-/// Protocol version this codec speaks.
+/// The original (blocking, one-request-at-a-time) protocol version.
 pub const VERSION: u8 = 1;
+
+/// The pipelined protocol version: every frame carries a request ID.
+pub const VERSION_V2: u8 = 2;
 
 /// Default cap on payload length (16 MiB — a BLIF netlist of several
 /// million gates fits with room to spare).
 pub const DEFAULT_MAX_FRAME: u32 = 16 << 20;
 
-/// Fixed bytes before the payload: magic + version + verb + length.
+/// Fixed v1 bytes before the payload: magic + version + verb + length.
 pub const HEADER_LEN: usize = 4 + 1 + 1 + 4;
+
+/// Fixed v2 bytes before the payload: magic + version + verb +
+/// request ID + length.
+pub const HEADER_LEN_V2: usize = 4 + 1 + 1 + 4 + 4;
 
 /// Fixed bytes after the payload: the FNV-64 trailer.
 pub const TRAILER_LEN: usize = 8;
@@ -76,6 +101,15 @@ pub enum Verb {
     /// Response: the peer-fetch answer
     /// ([`crate::proto::CacheAnswer`] payload; a miss is a valid answer).
     CachePayload = 11,
+    /// Request (v2 only): a streaming batch of jobs
+    /// ([`crate::proto::SubmitMany`] payload). The server answers with
+    /// one [`Verb::ReportOne`] frame per job, in *completion* order,
+    /// all carrying the batch frame's request ID.
+    SubmitMany = 12,
+    /// Response (v2 only): one finished job out of a [`Verb::SubmitMany`]
+    /// batch ([`crate::proto::ReportOne`] payload, which names the
+    /// batch index the report belongs to).
+    ReportOne = 13,
 }
 
 impl Verb {
@@ -93,6 +127,8 @@ impl Verb {
             9 => Verb::Shutdown,
             10 => Verb::PeerFetch,
             11 => Verb::CachePayload,
+            12 => Verb::SubmitMany,
+            13 => Verb::ReportOne,
             _ => return None,
         })
     }
@@ -111,6 +147,8 @@ impl Verb {
             Verb::Shutdown => "shutdown",
             Verb::PeerFetch => "peer-fetch",
             Verb::CachePayload => "cache-payload",
+            Verb::SubmitMany => "submit-many",
+            Verb::ReportOne => "report-one",
         }
     }
 }
@@ -163,7 +201,11 @@ impl fmt::Display for FrameError {
             }
             FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
             FrameError::BadVersion(v) => {
-                write!(f, "unsupported protocol version {v} (this side speaks {VERSION})")
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this side speaks v{VERSION} and \
+                     v{VERSION_V2})"
+                )
             }
             FrameError::Oversize { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
@@ -277,6 +319,152 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<(Verb, Vec<u8>), 
     Ok((verb, payload))
 }
 
+/// Renders one complete v2 frame (header + payload + trailer).
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes (no realistic payload
+/// does; the read side additionally enforces its own cap).
+pub fn encode_frame_v2(verb: Verb, req_id: u32, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("payload fits in a u32 length field");
+    let mut buf = Vec::with_capacity(HEADER_LEN_V2 + payload.len() + TRAILER_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION_V2);
+    buf.push(verb as u8);
+    buf.extend_from_slice(&req_id.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&payload_checksum(payload).to_le_bytes());
+    buf
+}
+
+/// Writes one v2 frame in a single `write_all`. Returns the number of
+/// bytes put on the wire.
+pub fn write_frame_v2(
+    w: &mut impl Write,
+    verb: Verb,
+    req_id: u32,
+    payload: &[u8],
+) -> io::Result<usize> {
+    let buf = encode_frame_v2(verb, req_id, payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len())
+}
+
+/// Validates a complete v2 header, returning `(verb, req_id, len)`.
+///
+/// Validation order matches [`read_frame`]: magic, version, length cap,
+/// verb — the cheapest rejections first, all before any allocation.
+fn parse_header_v2(
+    header: &[u8; HEADER_LEN_V2],
+    max_frame: u32,
+) -> Result<(Verb, u32, u32), FrameError> {
+    let magic: [u8; 4] = header[0..4].try_into().expect("slice length matches");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if header[4] != VERSION_V2 {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let req_id = u32::from_le_bytes(header[6..10].try_into().expect("slice length matches"));
+    let len = u32::from_le_bytes(header[10..14].try_into().expect("slice length matches"));
+    if len > max_frame {
+        return Err(FrameError::Oversize { len, max: max_frame });
+    }
+    let verb = Verb::from_u8(header[5]).ok_or(FrameError::UnknownVerb(header[5]))?;
+    Ok((verb, req_id, len))
+}
+
+/// Reads one v2 frame from a blocking stream, returning its verb,
+/// request ID, and payload. This is the client-side reader; the server
+/// side uses [`FrameAssembler`] so partial reads never pin a thread.
+pub fn read_frame_v2(
+    r: &mut impl Read,
+    max_frame: u32,
+) -> Result<(Verb, u32, Vec<u8>), FrameError> {
+    let mut header = [0u8; HEADER_LEN_V2];
+    read_section(r, &mut header, true)?;
+    let (verb, req_id, len) = parse_header_v2(&header, max_frame)?;
+
+    let mut payload = vec![0u8; len as usize];
+    read_section(r, &mut payload, false)?;
+
+    let mut trailer = [0u8; TRAILER_LEN];
+    read_section(r, &mut trailer, false)?;
+    let observed = u64::from_le_bytes(trailer);
+    let expected = payload_checksum(&payload);
+    if observed != expected {
+        return Err(FrameError::BadTrailer { expected, observed });
+    }
+    Ok((verb, req_id, payload))
+}
+
+/// Incremental v2 frame parser for the non-blocking server loop: feed
+/// it whatever bytes a readiness pass produced, pull complete frames
+/// out. Validation is identical to [`read_frame_v2`] (same order, same
+/// typed errors) — the only difference is that "not enough bytes yet"
+/// is `Ok(None)` instead of a blocked thread.
+///
+/// An error is terminal for the stream: past the first bad byte the
+/// frame boundary is gone, so the caller must close the connection
+/// (exactly the v1 one-strike contract).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames. Compacted
+    /// lazily so a burst of small frames does not memmove per frame.
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing, once the dead prefix dominates.
+        if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pulls the next complete frame, if the buffer holds one.
+    pub fn next_frame(
+        &mut self,
+        max_frame: u32,
+    ) -> Result<Option<(Verb, u32, Vec<u8>)>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN_V2 {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN_V2] =
+            avail[..HEADER_LEN_V2].try_into().expect("slice length matches");
+        let (verb, req_id, len) = parse_header_v2(&header, max_frame)?;
+        let total = HEADER_LEN_V2 + len as usize + TRAILER_LEN;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[HEADER_LEN_V2..HEADER_LEN_V2 + len as usize].to_vec();
+        let observed = u64::from_le_bytes(
+            avail[HEADER_LEN_V2 + len as usize..total].try_into().expect("slice length matches"),
+        );
+        let expected = payload_checksum(&payload);
+        if observed != expected {
+            return Err(FrameError::BadTrailer { expected, observed });
+        }
+        self.pos += total;
+        Ok(Some((verb, req_id, payload)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +563,74 @@ mod tests {
         let n = write_frame(&mut sink, Verb::Pong, b"abc").unwrap();
         assert_eq!(n, sink.len());
         assert_eq!(n, HEADER_LEN + 3 + TRAILER_LEN);
+    }
+
+    #[test]
+    fn v2_roundtrips_all_verbs_and_ids() {
+        for verb in [Verb::Submit, Verb::Report, Verb::SubmitMany, Verb::ReportOne, Verb::Busy] {
+            for req_id in [0u32, 1, 7, u32::MAX] {
+                let bytes = encode_frame_v2(verb, req_id, b"v2 \x00 payload");
+                let (v, id, p) = read_frame_v2(&mut bytes.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+                assert_eq!((v, id, p.as_slice()), (verb, req_id, b"v2 \x00 payload".as_slice()));
+            }
+        }
+    }
+
+    #[test]
+    fn v2_reader_rejects_v1_frames_and_vice_versa() {
+        let v1 = encode_frame(Verb::Ping, b"");
+        assert!(matches!(
+            read_frame_v2(&mut v1.as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadVersion(1))
+        ));
+        let v2 = encode_frame_v2(Verb::Ping, 9, b"");
+        assert!(matches!(
+            read_frame(&mut v2.as_slice(), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadVersion(2))
+        ));
+    }
+
+    #[test]
+    fn assembler_yields_frames_across_arbitrary_chunking() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame_v2(Verb::Submit, 1, b"first"));
+        wire.extend_from_slice(&encode_frame_v2(Verb::Ping, 2, b""));
+        wire.extend_from_slice(&encode_frame_v2(Verb::SubmitMany, 3, b"third payload"));
+        // Feed one byte at a time: the assembler must never yield a
+        // frame early, and must yield all three in order.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            asm.feed(std::slice::from_ref(b));
+            while let Some(f) = asm.next_frame(DEFAULT_MAX_FRAME).unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(asm.pending(), 0);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (Verb::Submit, 1, b"first".to_vec()));
+        assert_eq!(got[1], (Verb::Ping, 2, Vec::new()));
+        assert_eq!(got[2], (Verb::SubmitMany, 3, b"third payload".to_vec()));
+    }
+
+    #[test]
+    fn assembler_errors_match_the_blocking_reader() {
+        // Oversize rejected on the header alone, before the payload
+        // arrives.
+        let mut bytes = encode_frame_v2(Verb::Submit, 1, b"");
+        bytes[10..14].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        asm.feed(&bytes[..HEADER_LEN_V2]);
+        assert!(matches!(
+            asm.next_frame(1024),
+            Err(FrameError::Oversize { len, max: 1024 }) if len == 1 << 30
+        ));
+
+        // Corrupt payload fails the trailer.
+        let mut bytes = encode_frame_v2(Verb::Submit, 1, b"payload");
+        bytes[HEADER_LEN_V2] ^= 0x01;
+        let mut asm = FrameAssembler::new();
+        asm.feed(&bytes);
+        assert!(matches!(asm.next_frame(DEFAULT_MAX_FRAME), Err(FrameError::BadTrailer { .. })));
     }
 }

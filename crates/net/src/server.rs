@@ -1,4 +1,4 @@
-//! The network front-end: a bounded-concurrency TCP server wrapping a
+//! The network front-end: a poll-based readiness loop wrapping a
 //! [`FrameHandler`].
 //!
 //! Design constraints, in order:
@@ -6,15 +6,32 @@
 //! * **A bad peer must never take the listener down.** Every malformed
 //!   frame becomes a structured [`Verb::Error`] response followed by a
 //!   connection close (the stream is desynchronized past the first bad
-//!   byte); accept errors are counted and skipped.
-//! * **Backpressure, not queues.** The accept→worker handoff is bounded
-//!   by [`ServerConfig::max_connections`]; at the cap, a fresh
-//!   connection gets a [`Verb::Busy`] frame and is closed immediately.
-//!   The client's seeded backoff (see [`crate::client`]) turns that
-//!   into a retry, so overload degrades to latency instead of memory.
+//!   byte); accept errors are counted and skipped. A v2 request that
+//!   *frames* correctly but *decodes* badly is cheaper to survive: the
+//!   error answer carries the request ID and the connection stays open,
+//!   because nothing about the stream is desynchronized.
+//! * **Idle connections cost no threads.** One poll thread owns every
+//!   v2 connection: reads are non-blocking, frames are reassembled by
+//!   a [`FrameAssembler`], and job execution lands on the `tpi-par`
+//!   worker pool via [`FrameHandler::submit_async`] — the poll thread
+//!   never blocks on a job. A thousand idle sessions are a thousand
+//!   entries in a `poll(2)` set, not a thousand parked threads.
+//! * **Backpressure, not queues.** v2 requests are admitted against
+//!   [`ServerConfig::max_inflight`]; past the cap a request is answered
+//!   with a [`Verb::Busy`] frame carrying its request ID, and the
+//!   connection stays open. The client's seeded backoff (see
+//!   [`crate::client`]) re-submits the same ID, so overload degrades to
+//!   latency instead of memory. v1 connections keep the historical
+//!   contract: refusal (a Busy frame, then close) past
+//!   [`ServerConfig::max_connections`].
+//! * **v1 peers must not notice.** The first five bytes of every
+//!   connection are sniffed for the version byte; a v1 peer is handed
+//!   to a dedicated blocking thread running the exact v1 request loop,
+//!   timeouts and all. Negotiation costs nothing on the wire — the
+//!   sniffed bytes are replayed to the v1 reader.
 //! * **Graceful shutdown drains.** [`ServerHandle::shutdown`] (or a
 //!   [`Verb::Shutdown`] frame) stops the accept loop; in-flight
-//!   connections — and therefore their in-flight jobs — run to
+//!   requests — v2 completions and v1 connections alike — run to
 //!   completion before [`NetServer::serve`] returns.
 //!
 //! The accept loop, framing, backpressure, and shutdown logic are
@@ -30,15 +47,22 @@
 //! served over the wire by the [`Verb::Metrics`] verb next to the
 //! handler's embedded snapshot.
 
-use crate::client::{Client, ClientConfig};
-use crate::frame::{read_frame, write_frame, FrameError, Verb, DEFAULT_MAX_FRAME};
-use crate::proto::{CacheAnswer, CacheLookup, ErrorCode, ErrorInfo, WireReport, WireRequest};
+use crate::client::ClientConfig;
+use crate::frame::{
+    encode_frame, encode_frame_v2, read_frame, write_frame, FrameAssembler, FrameError, Verb,
+    DEFAULT_MAX_FRAME, MAGIC, VERSION, VERSION_V2,
+};
+use crate::proto::{
+    CacheAnswer, CacheLookup, ErrorCode, ErrorInfo, SubmitMany, WireReport, WireRequest,
+};
+use crate::session::Connection;
+use std::collections::VecDeque;
 use std::fs::{self, File};
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tpi_obs::{JsonObject, Recorder};
@@ -49,16 +73,26 @@ use tpi_serve::{cache_key, netlist_fingerprint, CacheKey, JobService, NetlistSou
 pub struct ServerConfig {
     /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port).
     pub addr: String,
-    /// Concurrent-connection cap; connection number `max + 1` is
-    /// answered with a [`Verb::Busy`] frame and closed.
+    /// Concurrent *v1* connection cap; v1 connection number `max + 1`
+    /// is answered with a [`Verb::Busy`] frame and closed. v2
+    /// connections are not counted — an idle session is nearly free,
+    /// so the scarce resource is in-flight work, capped by
+    /// [`ServerConfig::max_inflight`].
     pub max_connections: usize,
-    /// Per-connection read timeout (an idle or wedged peer frees its
-    /// slot after this long).
+    /// Per-connection read timeout for *v1* connections (an idle or
+    /// wedged v1 peer frees its thread after this long). v2 sessions
+    /// may idle indefinitely; they hold no thread.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Per-connection write timeout (v1 connections; also bounds the
+    /// final v2 drain on shutdown).
     pub write_timeout: Duration,
     /// Largest accepted frame payload, in bytes.
     pub max_frame: u32,
+    /// Server-wide cap on v2 requests dispatched but not yet answered.
+    /// A Submit past the cap gets a per-request [`Verb::Busy`]; a
+    /// SubmitMany that does not fit *whole* is refused whole (partial
+    /// admission would make "which jobs ran?" ambiguous under retry).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +103,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 256,
         }
     }
 }
@@ -77,18 +112,31 @@ impl Default for ServerConfig {
 /// framing, backpressure, and shutdown are [`NetServer`]'s.
 ///
 /// Implementations answer with `(response verb, payload bytes)` — the
-/// loop writes the frame and keeps the connection open unless the verb
-/// is [`Verb::Error`] (a failed request desynchronizes nothing, but
-/// matching the pre-existing one-strike contract keeps client retry
-/// logic uniform).
+/// loop writes the frame. On the v1 path the connection closes after a
+/// [`Verb::Error`] answer (the pre-existing one-strike contract keeps
+/// old client retry logic uniform); on the v2 path an error answer
+/// keeps the connection open, because the frame layer stayed in sync.
 pub trait FrameHandler: Send + Sync + 'static {
     /// Answers a decoded Submit request with [`Verb::Report`] or
-    /// [`Verb::Error`].
+    /// [`Verb::Error`]. Blocking is fine here: this entry point is only
+    /// called from v1 connection threads (and from the default
+    /// [`FrameHandler::submit_async`]).
     fn submit(&self, req: WireRequest) -> (Verb, Vec<u8>);
+
+    /// Answers a Submit without blocking the caller: `done` fires on
+    /// whatever thread finishes the job. The poll loop calls this for
+    /// every v2 Submit, so an implementation that executes inline
+    /// (the default, which wraps [`FrameHandler::submit`]) serializes
+    /// the whole server — real handlers hand the work to a pool.
+    fn submit_async(&self, req: WireRequest, done: Box<dyn FnOnce(Verb, Vec<u8>) + Send>) {
+        let (verb, payload) = self.submit(req);
+        done(verb, payload);
+    }
 
     /// Answers a decoded PeerFetch request with [`Verb::CachePayload`]
     /// or [`Verb::Error`]. A cache miss is a `CachePayload` carrying
-    /// `None`, not an error.
+    /// `None`, not an error. Must be fast — the poll loop calls it
+    /// inline (for [`JobHandler`] it is a local cache probe).
     fn peer_fetch(&self, lookup: CacheLookup) -> (Verb, Vec<u8>);
 
     /// Schema string of this server's metrics JSON
@@ -152,8 +200,10 @@ impl JobHandler {
             return false;
         }
         for peer in &req.peers {
-            let client = Client::with_config(peer.clone(), self.peer_config.clone());
-            if let Ok(Some(payload)) = client.peer_fetch(key.0) {
+            let Ok(conn) = Connection::open_with(peer, self.peer_config.clone()) else {
+                continue;
+            };
+            if let Ok(Some(payload)) = conn.peer_fetch(key.0) {
                 self.service.seed(key, payload.into());
                 return true;
             }
@@ -167,6 +217,33 @@ impl FrameHandler for JobHandler {
         self.seed_from_peers(&req);
         let report = self.service.submit(req.to_spec()).wait();
         (Verb::Report, WireReport::from_report(&report).encode())
+    }
+
+    fn submit_async(&self, req: WireRequest, done: Box<dyn FnOnce(Verb, Vec<u8>) + Send>) {
+        if req.peers.is_empty() {
+            // The common case: straight onto the worker pool, report
+            // encoded on the worker that ran the job.
+            self.service.submit_with(req.to_spec(), move |report| {
+                done(Verb::Report, WireReport::from_report(&report).encode());
+            });
+            return;
+        }
+        // Forwarded jobs name sibling caches, and probing them is
+        // blocking network I/O that must not run on the poll thread.
+        // Rebalances are rare (a gateway ring change), so a short-lived
+        // thread per such request is cheaper than a dedicated pool.
+        let service = Arc::clone(&self.service);
+        let peer_config = self.peer_config.clone();
+        std::thread::Builder::new()
+            .name("tpi-net-seed".into())
+            .spawn(move || {
+                let seeder = JobHandler { service: Arc::clone(&service), peer_config };
+                seeder.seed_from_peers(&req);
+                service.submit_with(req.to_spec(), move |report| {
+                    done(Verb::Report, WireReport::from_report(&report).encode());
+                });
+            })
+            .expect("spawning a peer-seed thread succeeds");
     }
 
     fn peer_fetch(&self, lookup: CacheLookup) -> (Verb, Vec<u8>) {
@@ -183,10 +260,15 @@ impl FrameHandler for JobHandler {
     }
 }
 
-/// State shared by the accept loop, connection threads, and handles.
+/// State shared by the poll loop, v1 connection threads, and handles.
 struct ServerState {
     shutdown: AtomicBool,
+    /// Live v1 connection threads.
     active: AtomicUsize,
+    /// Open v2 (and still-sniffing) connections owned by the poll loop.
+    v2_conns: AtomicUsize,
+    /// v2 requests dispatched to the handler, completion pending.
+    inflight: AtomicUsize,
     obs: Recorder,
 }
 
@@ -204,13 +286,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests graceful shutdown: the accept loop stops taking
+    /// Requests graceful shutdown: the poll loop stops taking
     /// connections and [`NetServer::serve`] returns once in-flight
-    /// connections drain. Idempotent.
+    /// requests drain. Idempotent.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Wake a blocking `accept` with a throwaway connection; the
-        // loop re-checks the flag before handling anything.
+        // Wake the poll loop with a throwaway connection (the listener
+        // turning readable is a wakeup); the loop re-checks the flag
+        // before handling anything.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
     }
 
@@ -249,6 +332,8 @@ impl<H: FrameHandler> NetServer<H> {
         let state = Arc::new(ServerState {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            v2_conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             obs: Recorder::new(),
         });
         Ok(NetServer { listener, handler: Arc::new(handler), config, state, addr })
@@ -270,57 +355,15 @@ impl<H: FrameHandler> NetServer<H> {
         metrics_json(&self.state, &*self.handler)
     }
 
-    /// Runs the accept loop until shutdown, then drains: every live
-    /// connection thread (and therefore every in-flight job) finishes
-    /// before this returns. The listener closes on return, and the
-    /// handler (with every `Arc` the connection threads held) is
-    /// dropped, so an `Arc<JobService>` shared with the caller is
-    /// uniquely theirs again.
+    /// Runs the readiness loop until shutdown, then drains: every
+    /// in-flight v2 request and every live v1 connection thread (and
+    /// therefore every in-flight job) finishes before this returns. The
+    /// listener closes on return, and the handler (with every `Arc` the
+    /// connection threads held) is dropped, so an `Arc<JobService>`
+    /// shared with the caller is uniquely theirs again.
     pub fn serve(self) -> io::Result<()> {
         let NetServer { listener, handler, config, state, addr: _ } = self;
-        let mut threads: Vec<JoinHandle<()>> = Vec::new();
-        loop {
-            let (stream, _peer) = match listener.accept() {
-                Ok(conn) => conn,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    state.obs.add_nd("accept_errors", 1);
-                    continue;
-                }
-            };
-            if state.shutdown.load(Ordering::SeqCst) {
-                // The stream that woke us (or raced the flag) gets a
-                // best-effort notice and the loop ends.
-                refuse(stream, &config, Verb::Error, &shutting_down_payload());
-                break;
-            }
-            threads.retain(|t| !t.is_finished());
-            if state.active.load(Ordering::SeqCst) >= config.max_connections {
-                state.obs.add_nd("connections_busy", 1);
-                refuse(stream, &config, Verb::Busy, &[]);
-                continue;
-            }
-            state.active.fetch_add(1, Ordering::SeqCst);
-            state.obs.add_nd("connections_accepted", 1);
-            let handler = Arc::clone(&handler);
-            let state = Arc::clone(&state);
-            let config = config.clone();
-            threads.push(std::thread::spawn(move || {
-                // Frees the slot even if the handler somehow panicked.
-                struct Slot<'a>(&'a ServerState);
-                impl Drop for Slot<'_> {
-                    fn drop(&mut self) {
-                        self.0.active.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-                let _slot = Slot(&state);
-                handle_connection(stream, &*handler, &state, &config);
-            }));
-        }
-        for t in threads {
-            let _ = t.join();
-        }
-        Ok(())
+        PollLoop::new(listener, handler, config, state)?.run()
     }
 
     /// Runs [`NetServer::serve`] on a new thread, returning the handle
@@ -333,6 +376,783 @@ impl<H: FrameHandler> NetServer<H> {
             .spawn(move || self.serve())
             .expect("spawning the accept thread succeeds");
         (handle, join)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Readiness: a minimal poll(2) registry
+// ---------------------------------------------------------------------
+
+/// The std-only readiness primitive: `poll(2)` through the libc that
+/// std already links. One entry per descriptor of interest; the loop
+/// rebuilds the set each iteration (hundreds of entries rebuild in
+/// microseconds, and it keeps the registry trivially consistent with
+/// the connection slab).
+#[cfg(unix)]
+mod readiness {
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    /// Error/hangup conditions: never requested, always reportable.
+    /// Treated as readable so the subsequent `read` surfaces the fault
+    /// instead of the loop spinning on an eternally-"ready" socket.
+    pub const POLLFAULT: i16 = 0x008 | 0x010 | 0x020; // ERR | HUP | NVAL
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Waits until a descriptor is ready or `timeout` passes. Readiness
+    /// lands in each entry's `revents`. `Interrupted` is reported as
+    /// zero ready descriptors — the caller's loop re-polls anyway.
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+}
+
+/// Fallback for platforms without `poll(2)`: a fixed short sleep. The
+/// loop then runs level-triggered against non-blocking sockets, which
+/// is correct but burns a wakeup per tick; only the Unix path is
+/// exercised by CI.
+#[cfg(not(unix))]
+mod readiness {
+    use std::io;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLFAULT: i16 = 0x008 | 0x010 | 0x020;
+
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        std::thread::sleep(std::time::Duration::from_millis(timeout_ms.clamp(1, 10) as u64));
+        for f in fds.iter_mut() {
+            f.revents = f.events;
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Wakes the poll loop from worker threads: a loopback stream pair
+/// standing in for a pipe (std has no `pipe(2)`). The `pending` flag
+/// coalesces bursts — one byte in flight is enough, the loop drains
+/// the completion queue wholesale.
+struct Waker {
+    tx: TcpStream,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
+/// Builds the waker pair: `rx` joins the poll set, `tx` goes to worker
+/// threads. Bound to loopback on an ephemeral port that closes again
+/// immediately after the one accept.
+fn waker_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let tx = TcpStream::connect(addr)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    Ok((rx, tx))
+}
+
+// ---------------------------------------------------------------------
+// The poll loop
+// ---------------------------------------------------------------------
+
+/// One finished v2 request, traveling from the worker that ran it back
+/// to the poll thread that owns the connection.
+struct Completion {
+    token: usize,
+    gen: u64,
+    verb: Verb,
+    req_id: u32,
+    payload: Vec<u8>,
+    t0: Instant,
+}
+
+/// What phase a poll-owned connection is in.
+enum Phase {
+    /// Waiting for the first five bytes to learn the protocol version.
+    Sniff,
+    /// Speaking v2: frames reassembled from non-blocking reads.
+    V2,
+}
+
+/// One connection owned by the poll loop.
+struct Conn {
+    stream: TcpStream,
+    phase: Phase,
+    sniff: Vec<u8>,
+    asm: FrameAssembler,
+    out: VecDeque<u8>,
+    /// Requests dispatched from this connection, completion pending.
+    inflight: usize,
+    /// Set when the connection should close once `out` drains (frame
+    /// errors, peer hangup with responses still buffered).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            phase: Phase::Sniff,
+            sniff: Vec::with_capacity(5),
+            asm: FrameAssembler::new(),
+            out: VecDeque::new(),
+            inflight: 0,
+            closing: false,
+        }
+    }
+}
+
+struct PollLoop<H: FrameHandler> {
+    listener: TcpListener,
+    handler: Arc<H>,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    /// Connection slab: token = index. `gens[token]` bumps on every
+    /// reuse so a completion for a dead connection can never write
+    /// into its successor.
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u64>,
+    free: Vec<usize>,
+    completions_tx: mpsc::Sender<Completion>,
+    completions_rx: mpsc::Receiver<Completion>,
+    waker: Arc<Waker>,
+    wake_rx: TcpStream,
+    /// v2 requests dispatched, completion not yet received (mirrors
+    /// `state.inflight`, but owned — no racing decrements).
+    inflight_total: usize,
+    /// Live v1 connection threads, joined on exit.
+    v1_threads: Vec<JoinHandle<()>>,
+}
+
+impl<H: FrameHandler> PollLoop<H> {
+    fn new(
+        listener: TcpListener,
+        handler: Arc<H>,
+        config: ServerConfig,
+        state: Arc<ServerState>,
+    ) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (wake_rx, wake_tx) = waker_pair()?;
+        let (completions_tx, completions_rx) = mpsc::channel();
+        Ok(PollLoop {
+            listener,
+            handler,
+            config,
+            state,
+            addr,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            completions_tx,
+            completions_rx,
+            waker: Arc::new(Waker { tx: wake_tx, pending: AtomicBool::new(false) }),
+            wake_rx,
+            inflight_total: 0,
+            v1_threads: Vec::new(),
+        })
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        use readiness::{wait, PollFd, POLLFAULT, POLLIN, POLLOUT};
+        #[cfg(unix)]
+        use std::os::unix::io::AsRawFd;
+
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<usize> = Vec::new();
+        let mut drain_started: Option<Instant> = None;
+
+        loop {
+            let shutting = self.state.shutdown.load(Ordering::SeqCst);
+            if shutting {
+                let drained = self.inflight_total == 0
+                    && self.conns.iter().flatten().all(|c| c.out.is_empty());
+                let deadline_passed = *drain_started.get_or_insert_with(Instant::now)
+                    + self.config.write_timeout
+                    < Instant::now();
+                if drained || deadline_passed {
+                    break;
+                }
+            }
+
+            // Rebuild the poll set: listener, waker, then every live
+            // connection (write interest only when bytes are buffered).
+            fds.clear();
+            tokens.clear();
+            #[cfg(unix)]
+            {
+                fds.push(PollFd { fd: self.listener.as_raw_fd(), events: POLLIN, revents: 0 });
+                fds.push(PollFd { fd: self.wake_rx.as_raw_fd(), events: POLLIN, revents: 0 });
+                for (token, slot) in self.conns.iter().enumerate() {
+                    if let Some(conn) = slot {
+                        // A closing connection stops reading; if its
+                        // output is drained too it is parked entirely
+                        // (a completion or the reap will advance it) —
+                        // registering it would spin on POLLHUP.
+                        let mut events = 0;
+                        if !conn.closing {
+                            events |= POLLIN;
+                        }
+                        if !conn.out.is_empty() {
+                            events |= POLLOUT;
+                        }
+                        if events == 0 {
+                            continue;
+                        }
+                        fds.push(PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
+                        tokens.push(token);
+                    }
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                fds.push(PollFd { fd: 0, events: POLLIN, revents: 0 });
+                fds.push(PollFd { fd: 0, events: POLLIN, revents: 0 });
+                for (token, slot) in self.conns.iter().enumerate() {
+                    if slot.is_some() {
+                        fds.push(PollFd { fd: 0, events: POLLIN | POLLOUT, revents: 0 });
+                        tokens.push(token);
+                    }
+                }
+            }
+
+            // A finite timeout backstops every wakeup path (flag set
+            // without a connect, a drain deadline approaching).
+            wait(&mut fds, 100)?;
+
+            if fds[0].revents & POLLIN != 0 {
+                self.accept_ready();
+            }
+            if fds[1].revents & POLLIN != 0 {
+                self.drain_waker();
+            }
+            self.drain_completions();
+
+            for (i, fd) in fds.iter().enumerate().skip(2) {
+                let token = tokens[i - 2];
+                if fd.revents & (POLLIN | POLLFAULT) != 0 {
+                    self.conn_readable(token);
+                }
+                if fd.revents & POLLOUT != 0 {
+                    self.conn_writable(token);
+                }
+                self.reap_if_done(token);
+            }
+        }
+
+        // Shutdown: close every poll-owned connection, then wait for
+        // the v1 threads (their read timeout bounds the wait).
+        for (token, slot) in self.conns.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                self.gens[token] += 1;
+                self.state.v2_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        for t in self.v1_threads.drain(..) {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// Accepts every pending connection. During shutdown each one gets
+    /// a best-effort "draining" notice and closes.
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.state.obs.add_nd("accept_errors", 1);
+                    continue;
+                }
+            };
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                refuse(stream, &self.config, Verb::Error, &shutting_down_payload());
+                continue;
+            }
+            self.state.obs.add_nd("connections_accepted", 1);
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
+            }
+            let token = match self.free.pop() {
+                Some(t) => t,
+                None => {
+                    self.conns.push(None);
+                    self.gens.push(0);
+                    self.conns.len() - 1
+                }
+            };
+            self.gens[token] += 1;
+            self.conns[token] = Some(Conn::new(stream));
+            self.state.v2_conns.fetch_add(1, Ordering::SeqCst);
+            // The five version bytes may already be on the wire.
+            self.conn_readable(token);
+            self.reap_if_done(token);
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        self.waker.pending.store(false, Ordering::SeqCst);
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return, // waker closed; completions still drain via timeout
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Moves every finished request's response into its connection's
+    /// write buffer (if the connection still exists — a peer that hung
+    /// up mid-job just forfeits the bytes; the job ran and its result
+    /// is cached).
+    fn drain_completions(&mut self) {
+        while let Ok(c) = self.completions_rx.try_recv() {
+            self.inflight_total -= 1;
+            self.state.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.state.obs.observe("frame_latency", c.t0.elapsed());
+            let live = self.gens[c.token] == c.gen;
+            if let Some(conn) = self.conns.get_mut(c.token).and_then(Option::as_mut) {
+                if live {
+                    conn.inflight -= 1;
+                    if c.verb == Verb::Error {
+                        self.state.obs.add_nd("bad_requests", 1);
+                    }
+                    let frame = encode_frame_v2(c.verb, c.req_id, &c.payload);
+                    self.state.obs.add_nd("frames_written", 1);
+                    self.state.obs.add_nd("bytes_written", frame.len() as u64);
+                    conn.out.extend(frame);
+                    // Opportunistic flush: the socket is almost always
+                    // writable, and skipping a poll round-trip is what
+                    // keeps sequential request latency low.
+                    self.conn_writable(c.token);
+                    self.reap_if_done(c.token);
+                }
+            }
+        }
+    }
+
+    /// Reads everything available on a connection and processes it.
+    fn conn_readable(&mut self, token: usize) {
+        let mut scratch = [0u8; 16384];
+        loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            if conn.closing {
+                return;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    // Peer closed its half; anything buffered is
+                    // undeliverable enough to stop reading for.
+                    conn.closing = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.state.obs.add_nd("bytes_read", n as u64);
+                    self.ingest(token, &scratch[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Feeds freshly-read bytes through the sniff/v2 state machine.
+    fn ingest(&mut self, token: usize, mut bytes: &[u8]) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+        if let Phase::Sniff = conn.phase {
+            let need = 5 - conn.sniff.len();
+            let take = need.min(bytes.len());
+            conn.sniff.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if conn.sniff.len() < 5 {
+                return;
+            }
+            let magic_ok = conn.sniff[..4] == MAGIC;
+            let version = conn.sniff[4];
+            match (magic_ok, version) {
+                (true, VERSION_V2) => {
+                    conn.phase = Phase::V2;
+                    let sniffed = std::mem::take(&mut conn.sniff);
+                    conn.asm.feed(&sniffed);
+                }
+                (true, VERSION) => {
+                    self.handoff_v1(token, bytes.to_vec());
+                    return;
+                }
+                _ => {
+                    // Neither protocol. Answer in v1 framing (the one
+                    // an old peer could conceivably parse) and close.
+                    self.state.obs.add_nd("malformed_frames", 1);
+                    let err = if magic_ok {
+                        FrameError::BadVersion(version)
+                    } else {
+                        let mut m = [0u8; 4];
+                        m.copy_from_slice(&conn.sniff[..4]);
+                        FrameError::BadMagic(m)
+                    };
+                    let info = ErrorInfo::new(ErrorCode::MalformedFrame, err.to_string());
+                    let frame = encode_frame(Verb::Error, &info.encode());
+                    self.state.obs.add_nd("frames_written", 1);
+                    self.state.obs.add_nd("bytes_written", frame.len() as u64);
+                    conn.out.extend(frame);
+                    conn.closing = true;
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+        conn.asm.feed(bytes);
+        self.pump_frames(token);
+    }
+
+    /// Decodes and dispatches every complete frame buffered on a v2
+    /// connection.
+    fn pump_frames(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            if conn.closing {
+                return;
+            }
+            match conn.asm.next_frame(self.config.max_frame) {
+                Ok(Some((verb, req_id, payload))) => {
+                    self.state.obs.add_nd("frames_read", 1);
+                    self.dispatch(token, verb, req_id, payload);
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    // Frame-level faults desynchronize the stream:
+                    // answer once (request ID 0 — there is no trustable
+                    // ID in a broken frame) and close after the flush.
+                    self.state.obs.add_nd("malformed_frames", 1);
+                    let code = match e {
+                        FrameError::UnknownVerb(_) => ErrorCode::UnknownVerb,
+                        _ => ErrorCode::MalformedFrame,
+                    };
+                    let info = ErrorInfo::new(code, e.to_string());
+                    self.enqueue(token, Verb::Error, 0, &info.encode());
+                    if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+                        conn.closing = true;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One v2 request. Fast verbs answer inline; Submits go to the
+    /// handler's pool and come back through the completion channel.
+    fn dispatch(&mut self, token: usize, verb: Verb, req_id: u32, payload: Vec<u8>) {
+        let t0 = Instant::now();
+        let shutting = self.state.shutdown.load(Ordering::SeqCst);
+        match verb {
+            Verb::Ping => {
+                self.enqueue(token, Verb::Pong, req_id, &[]);
+                self.state.obs.observe("frame_latency", t0.elapsed());
+            }
+            Verb::Metrics => {
+                let json = metrics_json(&self.state, &*self.handler);
+                self.enqueue(token, Verb::MetricsReport, req_id, json.as_bytes());
+                self.state.obs.observe("frame_latency", t0.elapsed());
+            }
+            Verb::Shutdown => {
+                // Acknowledge first (the requester should not hang),
+                // then start the drain.
+                self.enqueue(token, Verb::Pong, req_id, &[]);
+                self.state.shutdown.store(true, Ordering::SeqCst);
+                self.state.obs.observe("frame_latency", t0.elapsed());
+            }
+            Verb::PeerFetch => match CacheLookup::decode(&payload) {
+                Ok(lookup) => {
+                    let (rverb, rpayload) = self.handler.peer_fetch(lookup);
+                    if rverb == Verb::Error {
+                        self.state.obs.add_nd("bad_requests", 1);
+                    }
+                    self.enqueue(token, rverb, req_id, &rpayload);
+                    self.state.obs.observe("frame_latency", t0.elapsed());
+                }
+                Err(e) => self.bad_request(token, req_id, &e.to_string()),
+            },
+            Verb::Submit => {
+                if shutting {
+                    self.enqueue(token, Verb::Error, req_id, &shutting_down_payload());
+                    return;
+                }
+                if self.inflight_total >= self.config.max_inflight {
+                    self.state.obs.add_nd("requests_busy", 1);
+                    self.enqueue(token, Verb::Busy, req_id, &[]);
+                    return;
+                }
+                match WireRequest::decode(&payload) {
+                    Ok(req) => {
+                        let done = self.completion_sender(token, req_id, t0, None);
+                        self.note_dispatch(token);
+                        self.handler.submit_async(req, done);
+                    }
+                    Err(e) => self.bad_request(token, req_id, &e.to_string()),
+                }
+            }
+            Verb::SubmitMany => {
+                if shutting {
+                    self.enqueue(token, Verb::Error, req_id, &shutting_down_payload());
+                    return;
+                }
+                let batch = match SubmitMany::decode(&payload) {
+                    Ok(batch) => batch,
+                    Err(e) => return self.bad_request(token, req_id, &e.to_string()),
+                };
+                // All-or-nothing admission, so a Busy answer means
+                // "nothing from this frame ran" — retry the frame.
+                if self.inflight_total + batch.requests.len() > self.config.max_inflight {
+                    self.state.obs.add_nd("requests_busy", 1);
+                    self.enqueue(token, Verb::Busy, req_id, &[]);
+                    return;
+                }
+                for (index, req) in batch.requests.into_iter().enumerate() {
+                    let done = self.completion_sender(token, req_id, t0, Some(index as u32));
+                    self.note_dispatch(token);
+                    self.handler.submit_async(req, done);
+                }
+            }
+            // A response verb has no meaning as a request. The frame
+            // layer stayed in sync, so unlike v1 this answers and
+            // keeps the connection.
+            Verb::Report
+            | Verb::ReportOne
+            | Verb::Error
+            | Verb::Busy
+            | Verb::MetricsReport
+            | Verb::Pong
+            | Verb::CachePayload => {
+                self.state.obs.add_nd("bad_requests", 1);
+                let info = ErrorInfo::new(
+                    ErrorCode::UnexpectedVerb,
+                    format!("{} is a response verb", verb.label()),
+                );
+                self.enqueue(token, Verb::Error, req_id, &info.encode());
+            }
+        }
+    }
+
+    /// Builds the `done` callback for one dispatched request. For a
+    /// batch member (`index` set), the handler's Report payload is
+    /// re-enveloped as a [`Verb::ReportOne`] — an index prefix spliced
+    /// onto the report bytes — and a handler *error* is folded into a
+    /// failed report, so every batch member answers exactly once with
+    /// the batch's request ID.
+    fn completion_sender(
+        &self,
+        token: usize,
+        req_id: u32,
+        t0: Instant,
+        index: Option<u32>,
+    ) -> Box<dyn FnOnce(Verb, Vec<u8>) + Send> {
+        let gen = self.gens[token];
+        let tx = self.completions_tx.clone();
+        let waker = Arc::clone(&self.waker);
+        Box::new(move |verb, payload| {
+            let (verb, payload) = match index {
+                None => (verb, payload),
+                Some(index) => {
+                    let report = if verb == Verb::Report {
+                        payload
+                    } else {
+                        synthesized_failure(&payload).encode()
+                    };
+                    let mut enveloped = Vec::with_capacity(4 + report.len());
+                    enveloped.extend_from_slice(&index.to_le_bytes());
+                    enveloped.extend_from_slice(&report);
+                    (Verb::ReportOne, enveloped)
+                }
+            };
+            let _ = tx.send(Completion { token, gen, verb, req_id, payload, t0 });
+            waker.wake();
+        })
+    }
+
+    fn note_dispatch(&mut self, token: usize) {
+        self.inflight_total += 1;
+        self.state.inflight.fetch_add(1, Ordering::SeqCst);
+        if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+            conn.inflight += 1;
+        }
+    }
+
+    /// Answers a request that framed correctly but decoded badly. The
+    /// connection stays open: the stream is still in sync.
+    fn bad_request(&mut self, token: usize, req_id: u32, msg: &str) {
+        self.state.obs.add_nd("bad_requests", 1);
+        let info = ErrorInfo::new(ErrorCode::BadRequest, msg);
+        self.enqueue(token, Verb::Error, req_id, &info.encode());
+    }
+
+    /// Appends one v2 frame to a connection's write buffer and tries to
+    /// flush it immediately.
+    fn enqueue(&mut self, token: usize, verb: Verb, req_id: u32, payload: &[u8]) {
+        let frame = encode_frame_v2(verb, req_id, payload);
+        self.state.obs.add_nd("frames_written", 1);
+        self.state.obs.add_nd("bytes_written", frame.len() as u64);
+        if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+            conn.out.extend(frame);
+        }
+        self.conn_writable(token);
+    }
+
+    /// Writes as much buffered output as the socket will take.
+    fn conn_writable(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+        while !conn.out.is_empty() {
+            let (front, _) = conn.out.as_slices();
+            match conn.stream.write(front) {
+                Ok(0) => {
+                    self.state.obs.add_nd("write_failures", 1);
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.out.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.state.obs.add_nd("write_failures", 1);
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Closes a connection marked `closing` once its output drained and
+    /// no completions are owed to it.
+    fn reap_if_done(&mut self, token: usize) {
+        let done = match self.conns.get(token).and_then(Option::as_ref) {
+            Some(conn) => conn.closing && conn.out.is_empty() && conn.inflight == 0,
+            None => false,
+        };
+        if done {
+            self.close_conn(token);
+        }
+    }
+
+    /// Frees a connection slot. In-flight completions for it will miss
+    /// the generation check and be dropped.
+    fn close_conn(&mut self, token: usize) {
+        if self.conns[token].take().is_some() {
+            self.gens[token] += 1;
+            self.free.push(token);
+            self.state.v2_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Hands a sniffed v1 connection to a dedicated blocking thread
+    /// running the historical request loop (with the sniffed bytes and
+    /// anything read past them replayed in front of the socket).
+    fn handoff_v1(&mut self, token: usize, extra: Vec<u8>) {
+        let Some(mut conn) = self.conns[token].take() else { return };
+        self.gens[token] += 1;
+        self.free.push(token);
+        self.state.v2_conns.fetch_sub(1, Ordering::SeqCst);
+
+        let mut prefix = std::mem::take(&mut conn.sniff);
+        prefix.extend_from_slice(&extra);
+        let stream = conn.stream;
+        if stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        // v1 keeps its historical connection-level backpressure.
+        self.v1_threads.retain(|t| !t.is_finished());
+        if self.state.active.load(Ordering::SeqCst) >= self.config.max_connections {
+            self.state.obs.add_nd("connections_busy", 1);
+            refuse(stream, &self.config, Verb::Busy, &[]);
+            return;
+        }
+        self.state.active.fetch_add(1, Ordering::SeqCst);
+        let handler = Arc::clone(&self.handler);
+        let state = Arc::clone(&self.state);
+        let config = self.config.clone();
+        let addr = self.addr;
+        let thread = std::thread::Builder::new()
+            .name("tpi-net-v1".into())
+            .spawn(move || {
+                // Frees the slot even if the handler somehow panicked.
+                struct Slot<'a>(&'a ServerState);
+                impl Drop for Slot<'_> {
+                    fn drop(&mut self) {
+                        self.0.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let _slot = Slot(&state);
+                handle_v1_connection(stream, prefix, &*handler, &state, &config, addr);
+            })
+            .expect("spawning a v1 connection thread succeeds");
+        self.v1_threads.push(thread);
+    }
+}
+
+/// Folds a handler error payload into a failed [`WireReport`], so a
+/// batch member that errored still answers as a ReportOne (the batch
+/// protocol promises exactly one report per index).
+fn synthesized_failure(error_payload: &[u8]) -> WireReport {
+    let message = match ErrorInfo::decode(error_payload) {
+        Ok(info) => info.message,
+        Err(_) => "request failed".into(),
+    };
+    WireReport {
+        id: 0,
+        flow: "error".into(),
+        status: tpi_serve::JobStatus::Failed(message),
+        key: None,
+        verified: false,
+        cache: tpi_serve::CacheSource::Cold,
+        wall_micros: 0,
+        payload: None,
+        diagnostics: Vec::new(),
     }
 }
 
@@ -368,21 +1188,44 @@ fn shutting_down_payload() -> Vec<u8> {
 }
 
 /// Best-effort single-frame answer to a connection the server will not
-/// serve (over the cap, or arriving during shutdown).
+/// serve (over the v1 cap, or arriving during shutdown).
 fn refuse(stream: TcpStream, config: &ServerConfig, verb: Verb, payload: &[u8]) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut stream = stream;
     let _ = write_frame(&mut stream, verb, payload);
 }
 
-/// One connection's request loop. Never panics, never propagates: any
-/// protocol fault answers with an error frame and closes this
-/// connection only.
-fn handle_connection<H: FrameHandler>(
+/// Replays sniffed bytes in front of the socket so the v1 reader sees
+/// an untouched stream.
+struct Prefixed {
+    prefix: Vec<u8>,
+    pos: usize,
     stream: TcpStream,
+}
+
+impl Read for Prefixed {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos < self.prefix.len() {
+            let n = (self.prefix.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        self.stream.read(buf)
+    }
+}
+
+/// One v1 connection's request loop: the historical blocking protocol,
+/// byte for byte. Never panics, never propagates: any protocol fault
+/// answers with an error frame and closes this connection only.
+fn handle_v1_connection<H: FrameHandler>(
+    stream: TcpStream,
+    prefix: Vec<u8>,
     handler: &H,
     state: &ServerState,
     config: &ServerConfig,
+    addr: SocketAddr,
 ) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
@@ -391,7 +1234,7 @@ fn handle_connection<H: FrameHandler>(
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(Prefixed { prefix, pos: 0, stream });
 
     loop {
         let (verb, payload) = match read_frame(&mut reader, config.max_frame) {
@@ -427,12 +1270,10 @@ fn handle_connection<H: FrameHandler>(
             }
             Verb::Shutdown => {
                 // Acknowledge first (the requester should not hang),
-                // then stop the accept loop; in-flight work drains.
+                // then stop the poll loop; in-flight work drains.
                 send(state, &mut writer, Verb::Pong, &[]);
                 state.shutdown.store(true, Ordering::SeqCst);
-                if let Ok(addr) = reader.get_ref().local_addr() {
-                    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
-                }
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
                 false
             }
             Verb::Submit => match WireRequest::decode(&payload) {
@@ -473,8 +1314,11 @@ fn handle_connection<H: FrameHandler>(
                     false
                 }
             },
-            // A response verb has no meaning as a request.
+            // A response verb has no meaning as a request. SubmitMany
+            // is v2-only; on a v1 stream it is equally unexpected.
             Verb::Report
+            | Verb::ReportOne
+            | Verb::SubmitMany
             | Verb::Error
             | Verb::Busy
             | Verb::MetricsReport
@@ -530,6 +1374,7 @@ fn metrics_json<H: FrameHandler>(state: &ServerState, handler: &H) -> String {
         "bytes_written",
         "malformed_frames",
         "bad_requests",
+        "requests_busy",
         "write_failures",
     ];
     let mut o = JsonObject::new();
@@ -537,7 +1382,9 @@ fn metrics_json<H: FrameHandler>(state: &ServerState, handler: &H) -> String {
     for name in counters {
         o.field_u64(name, state.obs.nd_counter(name));
     }
-    o.field_u64("active_connections", state.active.load(Ordering::SeqCst) as u64);
+    let active = state.active.load(Ordering::SeqCst) + state.v2_conns.load(Ordering::SeqCst);
+    o.field_u64("active_connections", active as u64);
+    o.field_u64("inflight_requests", state.inflight.load(Ordering::SeqCst) as u64);
     o.field_object(
         "frame_latency",
         state.obs.histogram("frame_latency").unwrap_or_default().to_json_object(),

@@ -43,5 +43,7 @@ pub mod service;
 pub use cache::{CacheSource, ResultCache};
 pub use job::{FlowKind, JobSpec, NetlistSource};
 pub use key::{cache_key, netlist_fingerprint, CacheKey, Fnv64};
-pub use service::{JobHandle, JobReport, JobService, JobStatus, MetricsSnapshot, ServiceConfig};
+pub use service::{
+    JobHandle, JobReport, JobService, JobStatus, JobTicket, MetricsSnapshot, ServiceConfig,
+};
 pub use tpi_core::FlowOptions;

@@ -142,6 +142,28 @@ impl JobHandle {
     }
 }
 
+/// A lightweight receipt for a job submitted with
+/// [`JobService::submit_with`]: enough to identify and cancel the job,
+/// but no channel — the completion callback is how the report comes
+/// back. Dropping the ticket does not cancel anything.
+pub struct JobTicket {
+    id: u64,
+    progress: Arc<Progress>,
+}
+
+impl JobTicket {
+    /// The job's id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cancellation; the flow stops at its next checkpoint.
+    /// Idempotent, and a no-op once the job finished.
+    pub fn cancel(&self) {
+        self.progress.cancel();
+    }
+}
+
 /// Monotonic service counters.
 #[derive(Debug, Default)]
 struct Metrics {
@@ -285,6 +307,26 @@ impl JobService {
     /// Enqueues a job. The deadline clock starts *now* (queue time
     /// counts — a deadline is a promise to the caller, not to the CPU).
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let (tx, rx) = mpsc::channel();
+        let ticket = self.submit_with(spec, move |report| {
+            let _ = tx.send(report); // receiver may have been dropped
+        });
+        let JobTicket { id, progress } = ticket;
+        JobHandle { id, rx, progress }
+    }
+
+    /// Enqueues a job and delivers its report through `notify` instead
+    /// of a handle: the callback runs on the worker thread the moment
+    /// the job finishes, which is what lets a poll-loop server keep
+    /// zero threads parked per in-flight request. `notify` must not
+    /// block for long — it runs on a `tpi-par` worker, and every
+    /// millisecond it holds is a millisecond no other job runs there.
+    /// [`JobService::submit`] is this plus a channel.
+    pub fn submit_with(
+        &self,
+        spec: JobSpec,
+        notify: impl FnOnce(JobReport) + Send + 'static,
+    ) -> JobTicket {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         // An explicit progress token in the job's options wins (its own
@@ -299,14 +341,13 @@ impl JobService {
             }),
         };
         let submitted_at = Instant::now();
-        let (tx, rx) = mpsc::channel();
         let shared = Arc::clone(&self.shared);
         let worker_progress = Arc::clone(&progress);
         self.pool.spawn(move || {
             let report = execute(&shared, id, spec, &worker_progress, submitted_at);
-            let _ = tx.send(report); // receiver may have been dropped
+            notify(report);
         });
-        JobHandle { id, rx, progress }
+        JobTicket { id, progress }
     }
 
     /// Submits every spec, then waits for all of them; reports come

@@ -6,7 +6,7 @@
 //! together.
 
 use scanpath::gateway::{Gateway, GatewayConfig, GatewayHandler, HashRing};
-use scanpath::net::{Client, NetServer, ServerConfig, ServerHandle, WireRequest};
+use scanpath::net::{Connection, NetServer, ServerConfig, ServerHandle, WireRequest};
 use scanpath::netlist::write_blif;
 use scanpath::serve::{JobService, JobStatus, ServiceConfig};
 use scanpath::tpi::PartialScanMethod;
@@ -57,8 +57,8 @@ impl Topology {
         Topology { backends, addrs, gateway, gw_handle, gw_join }
     }
 
-    fn client(&self) -> Client {
-        Client::new(self.gw_handle.addr().to_string())
+    fn client(&self) -> Connection {
+        Connection::open(self.gw_handle.addr().to_string()).expect("open gateway session")
     }
 
     fn stop(self) {
@@ -69,6 +69,11 @@ impl Topology {
             let _ = b.join.join();
         }
     }
+}
+
+/// Submit-and-wait over a session.
+fn run(conn: &Connection, req: &WireRequest) -> scanpath::net::WireReport {
+    conn.submit(req).and_then(|ticket| conn.wait(ticket)).expect("submit over a session")
 }
 
 /// A mixed workload: two circuits through both flows.
@@ -88,12 +93,13 @@ fn direct_payloads() -> Vec<String> {
     let service =
         Arc::new(JobService::new(ServiceConfig { threads: 1, ..ServiceConfig::default() }));
     let server = NetServer::bind(ServerConfig::default(), Arc::clone(&service)).expect("bind");
-    let client = Client::new(server.local_addr().to_string());
+    let addr = server.local_addr().to_string();
     let (handle, join) = server.spawn();
+    let client = Connection::open(addr).expect("open direct session");
     let payloads = workload()
         .iter()
         .map(|req| {
-            let wire = client.submit(req).expect("direct submit");
+            let wire = run(&client, req);
             assert_eq!(wire.status, JobStatus::Completed);
             wire.payload.expect("completed jobs carry a payload")
         })
@@ -109,7 +115,7 @@ fn gateway_payloads(n: usize) -> Vec<String> {
     let payloads = workload()
         .iter()
         .map(|req| {
-            let wire = client.submit(req).expect("gateway submit");
+            let wire = run(&client, req);
             assert_eq!(wire.status, JobStatus::Completed);
             wire.payload.expect("completed jobs carry a payload")
         })
@@ -145,7 +151,7 @@ fn killing_a_backend_mid_batch_changes_nothing_in_the_reports() {
 
     let mut payloads = Vec::new();
     for (i, req) in reqs.iter().enumerate() {
-        let wire = client.submit(req).expect("gateway submit survives the kill");
+        let wire = run(&client, req);
         assert_eq!(wire.status, JobStatus::Completed, "job {i}");
         payloads.push(wire.payload.expect("completed jobs carry a payload"));
         if i == 0 {
@@ -172,7 +178,7 @@ fn warm_rerun_hits_the_owning_backend_cache() {
     let client = topo.client();
     for pass in 0..2 {
         for req in &workload() {
-            let wire = client.submit(req).expect("gateway submit");
+            let wire = run(&client, req);
             assert_eq!(wire.status, JobStatus::Completed, "pass {pass}");
             if pass == 1 {
                 assert_eq!(wire.cache.label(), "memory", "warm pass rides the owner's cache");
@@ -194,7 +200,8 @@ fn gateway_routing_key_matches_backend_report_key_and_the_golden_constant() {
     assert_eq!(routed, S27_FULL_SCAN_KEY, "gateway-side key matches the pinned golden key");
 
     let topo = Topology::start(2);
-    let wire = topo.client().submit(&req).expect("gateway submit");
+    let conn = topo.client();
+    let wire = run(&conn, &req);
     let stamped = format!("{:016x}", wire.key.expect("completed jobs carry a cache key"));
     assert_eq!(stamped, routed, "backend-side key agrees with the gateway's routing key");
     topo.stop();

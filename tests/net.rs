@@ -1,19 +1,23 @@
 //! Loopback integration tests for the `tpi-net` subsystem: the
 //! byte-identity contract, deadline propagation over the wire, `Busy`
-//! backpressure, malformed-frame survival, mid-job disconnects, drain
-//! on shutdown — plus property tests for the frame codec.
+//! backpressure (connection-cap for v1, per-request for v2),
+//! out-of-order pipelined completions, the 1k-idle-connections thread
+//! bound, malformed-frame survival, mid-job disconnects, drain on
+//! shutdown — plus property tests for both frame codecs.
 
 use proptest::prelude::*;
 use scanpath::net::{
-    encode_frame, read_frame, write_addr_file, write_frame, CacheAnswer, CacheLookup, Client,
-    ClientConfig, ErrorCode, FrameError, NetServer, ProtoError, ServerConfig, Verb, WireRequest,
+    encode_frame, encode_frame_v2, read_frame, read_frame_v2, write_addr_file, write_frame,
+    CacheAnswer, CacheLookup, Client, ClientConfig, ClientError, Connection, ErrorCode, ErrorInfo,
+    FrameAssembler, FrameError, FrameHandler, NetServer, ProtoError, ServerConfig, Verb,
+    WireRequest, WireVersion,
 };
 use scanpath::netlist::write_blif;
 use scanpath::serve::{JobService, JobSpec, JobStatus, NetlistSource, ServiceConfig};
 use scanpath::workloads::iscas;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 fn s27_blif() -> String {
@@ -21,12 +25,12 @@ fn s27_blif() -> String {
 }
 
 /// Starts a loopback server over a fresh service and returns
-/// `(client, handle, join, service)`.
+/// `(session, handle, join, service)`.
 fn loopback(
     threads: usize,
     config: ServerConfig,
 ) -> (
-    Client,
+    Connection,
     scanpath::net::ServerHandle,
     std::thread::JoinHandle<std::io::Result<()>>,
     Arc<JobService>,
@@ -35,14 +39,19 @@ fn loopback(
     let server = NetServer::bind(config, Arc::clone(&service)).expect("bind loopback");
     let addr = server.local_addr().to_string();
     let (handle, join) = server.spawn();
-    (Client::new(addr), handle, join, service)
+    (Connection::open(addr).expect("open session"), handle, join, service)
+}
+
+/// Submit-and-wait over a session: the sequential idiom.
+fn run(conn: &Connection, req: &WireRequest) -> Result<scanpath::net::WireReport, ClientError> {
+    conn.submit(req).and_then(|ticket| conn.wait(ticket))
 }
 
 /// The headline contract: a report fetched over TCP carries the exact
 /// payload bytes an in-process service produces for the same spec.
 fn assert_loopback_byte_identical(threads: usize) {
-    let (client, handle, join, _service) = loopback(threads, ServerConfig::default());
-    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("network submit");
+    let (conn, handle, join, _service) = loopback(threads, ServerConfig::default());
+    let wire = run(&conn, &WireRequest::full_scan(s27_blif())).expect("network submit");
     assert_eq!(wire.status, JobStatus::Completed);
     let over_the_wire = wire.payload.expect("completed jobs carry a payload");
 
@@ -71,34 +80,145 @@ fn loopback_byte_identical_at_all_threads() {
     assert_loopback_byte_identical(0);
 }
 
+/// Every wire path — a v1 client, the deprecated `Client` forwarders
+/// (which open a one-shot v2 session), and a long-lived session —
+/// returns the same report bytes for the same spec.
 #[test]
-fn deadline_crosses_the_wire() {
-    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
-    let req = WireRequest::full_scan(s27_blif()).with_deadline(Duration::ZERO);
-    let wire = client.submit(&req).expect("submit with an expired deadline still reports");
-    assert_eq!(wire.status, JobStatus::TimedOut, "a zero deadline must time out server-side");
+#[allow(deprecated)] // the forwarders under test are the deprecated compatibility layer
+fn v1_and_v2_paths_return_byte_identical_reports() {
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
+    let addr = handle.addr().to_string();
+    let req = WireRequest::full_scan(s27_blif());
+
+    let via_session = run(&conn, &req).expect("session submit");
+    let payload = via_session.payload.clone().expect("completed jobs carry a payload");
+
+    let v1 = Client::with_config(
+        addr.clone(),
+        ClientConfig { wire: WireVersion::V1, ..ClientConfig::default() },
+    );
+    let via_v1 = v1.submit(&req).expect("v1 submit");
+    assert_eq!(via_v1.payload.as_deref(), Some(payload.as_str()), "v1 bytes match the session");
+
+    let forwarder = Client::new(addr);
+    let via_forwarder = forwarder.submit(&req).expect("forwarder submit");
+    assert_eq!(
+        via_forwarder.payload.as_deref(),
+        Some(payload.as_str()),
+        "deprecated forwarder bytes match the session"
+    );
+
+    // The remaining forwarders answer over one-shot sessions too.
+    forwarder.ping().expect("forwarder ping");
+    let json = forwarder.metrics_json().expect("forwarder metrics");
+    assert!(json.starts_with("{\"schema\":\"tpi-netd-metrics/v1\""), "schema first: {json}");
+    let key = via_session.key.expect("completed jobs carry a cache key");
+    let fetched = forwarder.peer_fetch(key).expect("forwarder peer-fetch");
+    assert_eq!(fetched.as_deref(), Some(payload.as_str()));
+
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
 
 #[test]
+fn deadline_crosses_the_wire() {
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
+    let req = WireRequest::full_scan(s27_blif()).with_deadline(Duration::ZERO);
+    let wire = run(&conn, &req).expect("submit with an expired deadline still reports");
+    assert_eq!(wire.status, JobStatus::TimedOut, "a zero deadline must time out server-side");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// One worker means server-side completion order equals submission
+/// order — so redeeming the *second* ticket first forces the session
+/// reader to park the first report in its slot and route purely by
+/// request ID. Then `wait_any` drains a mixed set in completion order.
+#[test]
+fn pipelined_completions_route_out_of_order() {
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
+
+    let first = conn.submit(&WireRequest::full_scan(s27_blif())).expect("submit first");
+    let second = conn
+        .submit(&WireRequest::full_scan(s27_blif()).with_deadline(Duration::ZERO))
+        .expect("submit second");
+    let late = conn.wait(second).expect("the second report redeems first");
+    assert_eq!(late.status, JobStatus::TimedOut);
+    let early = conn.wait(first).expect("the first report was parked in its slot");
+    assert_eq!(early.status, JobStatus::Completed);
+    assert!(early.payload.is_some());
+
+    let a = conn.submit(&WireRequest::full_scan(s27_blif())).expect("submit a");
+    let b = conn
+        .submit(&WireRequest::full_scan(s27_blif()).with_deadline(Duration::ZERO))
+        .expect("submit b");
+    let (a_id, b_id) = (a.id(), b.id());
+    assert_ne!(a_id, b_id, "in-flight request IDs never alias");
+    let mut set = vec![a, b];
+    let (t1, r1) = conn.wait_any(&mut set).expect("first completion");
+    let (t2, r2) = conn.wait_any(&mut set).expect("second completion");
+    assert!(set.is_empty(), "wait_any removes redeemed tickets");
+    assert_eq!((t1.id(), r1.status), (a_id, JobStatus::Completed));
+    assert_eq!((t2.id(), r2.status), (b_id, JobStatus::TimedOut));
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `SubmitMany` streams one report per job; `wait_batch` returns them
+/// in batch index order regardless of completion order.
+#[test]
+fn submit_many_streams_a_report_per_job() {
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
+    let reqs = vec![
+        WireRequest::full_scan(s27_blif()),
+        WireRequest::full_scan(s27_blif()).with_deadline(Duration::ZERO),
+        WireRequest::full_scan(s27_blif()),
+    ];
+    let batch = conn.submit_many(&reqs).expect("batch admitted whole");
+    let reports = conn.wait_batch(batch).expect("every report comes back");
+    assert_eq!(reports.len(), 3);
+    assert_eq!(reports[0].status, JobStatus::Completed);
+    assert_eq!(reports[1].status, JobStatus::TimedOut);
+    assert_eq!(reports[2].status, JobStatus::Completed);
+    assert!(reports[0].payload.is_some());
+    assert_eq!(reports[0].payload, reports[2].payload, "same spec, same bytes");
+
+    let empty = conn.submit_many(&[]).expect("empty batch self-completes");
+    assert!(conn.wait_batch(empty).expect("no frames needed").is_empty());
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// The v1 `Busy` contract: refusal at the *connection* cap. The v2
+/// per-request contract lives in
+/// `a_thousand_idle_connections_bounded_threads_with_busy_backpressure`.
+#[test]
+#[allow(deprecated)] // asserts the legacy v1 client path on purpose
 fn busy_under_saturation_then_retry_succeeds() {
-    let (client, handle, join, _service) =
+    let (conn, handle, join, _service) =
         loopback(1, ServerConfig { max_connections: 1, ..ServerConfig::default() });
     let addr = handle.addr();
 
-    // Occupy the single slot with an idle connection; give the accept
-    // thread a moment to take it.
-    let hog = TcpStream::connect(addr).expect("hog connects");
+    // Occupy the single v1 slot with an idle connection. The server
+    // learns a connection's protocol from its first five bytes, so the
+    // hog must announce itself as v1 before it counts against the cap.
+    let mut hog = TcpStream::connect(addr).expect("hog connects");
+    hog.write_all(b"TPIN\x01").expect("hog announces v1");
     std::thread::sleep(Duration::from_millis(100));
 
     // No retry budget: the Busy answer surfaces as an error.
     let impatient = Client::with_config(
         addr.to_string(),
-        ClientConfig { retry_budget: Duration::ZERO, ..ClientConfig::default() },
+        ClientConfig {
+            retry_budget: Duration::ZERO,
+            wire: WireVersion::V1,
+            ..ClientConfig::default()
+        },
     );
     match impatient.ping() {
-        Err(scanpath::net::ClientError::Busy { .. }) => {}
+        Err(ClientError::Busy { .. }) => {}
         other => panic!("expected Busy at the connection cap, got {other:?}"),
     }
 
@@ -110,19 +230,167 @@ fn busy_under_saturation_then_retry_succeeds() {
     });
     let patient = Client::with_config(
         addr.to_string(),
-        ClientConfig { retry_budget: Duration::from_secs(10), ..ClientConfig::default() },
+        ClientConfig {
+            retry_budget: Duration::from_secs(10),
+            wire: WireVersion::V1,
+            ..ClientConfig::default()
+        },
     );
     patient.ping().expect("retry succeeds once the slot frees");
     freer.join().unwrap();
 
-    drop(client);
+    drop(conn);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// A handler whose submits park until the test opens the gate — the
+/// deterministic way to hold a request in flight.
+#[derive(Clone)]
+struct Gate(Arc<(Mutex<bool>, Condvar)>);
+
+impl Gate {
+    fn new() -> Gate {
+        Gate(Arc::new((Mutex::new(false), Condvar::new())))
+    }
+
+    fn open(&self) {
+        let (lock, cv) = &*self.0;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let (lock, cv) = &*self.0;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+    }
+}
+
+struct GateHandler {
+    gate: Gate,
+}
+
+impl FrameHandler for GateHandler {
+    fn submit(&self, _req: WireRequest) -> (Verb, Vec<u8>) {
+        self.gate.wait();
+        (Verb::Error, ErrorInfo::new(ErrorCode::Internal, "gated handler").encode())
+    }
+
+    fn submit_async(&self, _req: WireRequest, done: Box<dyn FnOnce(Verb, Vec<u8>) + Send>) {
+        // Parked on a thread, never on the poll loop.
+        let gate = self.gate.clone();
+        std::thread::spawn(move || {
+            gate.wait();
+            done(Verb::Error, ErrorInfo::new(ErrorCode::Internal, "gated handler").encode());
+        });
+    }
+
+    fn peer_fetch(&self, _lookup: CacheLookup) -> (Verb, Vec<u8>) {
+        (Verb::CachePayload, CacheAnswer { payload: None }.encode())
+    }
+
+    fn metrics_schema(&self) -> &'static str {
+        "test-gate-metrics/v1"
+    }
+
+    fn snapshot(&self) -> (&'static str, String) {
+        ("gate", "{}".to_string())
+    }
+}
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map(|d| d.count()).unwrap_or(0)
+}
+
+/// The two headline v2 server properties at once: a thousand idle
+/// sessions cost no server threads (the readiness loop, not
+/// thread-per-connection), and with them all open, `Busy` is
+/// *per-request* backpressure — an over-cap submit is turned away and
+/// retried without touching the other in-flight request or any of the
+/// idle connections.
+#[test]
+fn a_thousand_idle_connections_bounded_threads_with_busy_backpressure() {
+    let gate = Gate::new();
+    let server = NetServer::bind_with(
+        ServerConfig { max_inflight: 1, ..ServerConfig::default() },
+        GateHandler { gate: gate.clone() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let (handle, join) = server.spawn();
+
+    let before = thread_count();
+    let mut idle = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        let mut s = TcpStream::connect(&addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}"));
+        s.write_all(b"TPIN\x02").expect("announce v2");
+        idle.push(s);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let during = thread_count();
+    if before > 0 {
+        // /proc is available: the readiness loop must not have grown
+        // the process by even a fraction of the connection count.
+        assert!(
+            during.saturating_sub(before) <= 8,
+            "1000 idle v2 connections grew the process from {before} to {during} threads"
+        );
+    }
+
+    // Per-request Busy while all thousand sessions are open: the gated
+    // occupier fills the single in-flight slot, so the next submit is
+    // answered Busy — on its own request ID, on the same connection.
+    let impatient = Connection::open_with(
+        &addr,
+        ClientConfig {
+            retry_budget: Duration::ZERO,
+            max_retries: Some(0),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("open impatient session");
+    let req = WireRequest::full_scan(s27_blif());
+    let occupier = impatient.submit(&req).expect("occupier submit");
+    let crowded = impatient.submit(&req).expect("over-cap submit still goes out");
+    match impatient.wait(crowded) {
+        Err(ClientError::Busy { .. }) => {}
+        other => panic!("expected per-request Busy past max_inflight, got {other:?}"),
+    }
+
+    // A patient session rides the Busy out: open the gate shortly and
+    // its retry is admitted once the occupier's slot frees.
+    let patient = Connection::open(&addr).expect("open patient session");
+    let queued = patient.submit(&req).expect("patient submit");
+    let opener = {
+        let gate = gate.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            gate.open();
+        })
+    };
+    match patient.wait(queued) {
+        Err(ClientError::Remote(info)) => assert_eq!(info.message, "gated handler"),
+        other => panic!("expected the gated handler's answer, got {other:?}"),
+    }
+    match impatient.wait(occupier) {
+        Err(ClientError::Remote(info)) => assert_eq!(info.message, "gated handler"),
+        other => panic!("expected the gated handler's answer, got {other:?}"),
+    }
+    opener.join().unwrap();
+
+    // The server is still fully responsive under the idle thousand.
+    patient.ping().expect("ping under 1k idle connections");
+    drop(idle);
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
 
 #[test]
 fn malformed_frame_gets_an_error_and_the_listener_survives() {
-    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
     let addr = handle.addr();
 
     // Garbage that is not even a header.
@@ -130,7 +398,7 @@ fn malformed_frame_gets_an_error_and_the_listener_survives() {
     bad.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
     let (verb, payload) = read_frame(&mut &bad, u32::MAX).expect("server answers a frame");
     assert_eq!(verb, Verb::Error);
-    let info = scanpath::net::ErrorInfo::decode(&payload).expect("typed error payload");
+    let info = ErrorInfo::decode(&payload).expect("typed error payload");
     assert_eq!(info.code, ErrorCode::MalformedFrame);
     drop(bad);
 
@@ -145,7 +413,7 @@ fn malformed_frame_gets_an_error_and_the_listener_survives() {
     drop(torn);
 
     // The listener is untouched: real work on a fresh connection runs.
-    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("submit after garbage");
+    let wire = run(&conn, &WireRequest::full_scan(s27_blif())).expect("submit after garbage");
     assert_eq!(wire.status, JobStatus::Completed);
     handle.shutdown();
     join.join().unwrap().unwrap();
@@ -153,7 +421,7 @@ fn malformed_frame_gets_an_error_and_the_listener_survives() {
 
 #[test]
 fn mid_job_disconnect_does_not_poison_the_server() {
-    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
     let addr = handle.addr();
 
     // Submit a real job and hang up before reading the response.
@@ -163,25 +431,26 @@ fn mid_job_disconnect_does_not_poison_the_server() {
     drop(rude);
 
     // Follow-up requests on fresh connections must succeed.
-    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("submit after hangup");
+    let wire = run(&conn, &WireRequest::full_scan(s27_blif())).expect("submit after hangup");
     assert_eq!(wire.status, JobStatus::Completed);
-    client.ping().expect("ping after hangup");
+    conn.ping().expect("ping after hangup");
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
 
 #[test]
 fn shutdown_drains_in_flight_jobs() {
-    let (client, handle, join, service) = loopback(1, ServerConfig::default());
+    let (conn, handle, join, service) = loopback(1, ServerConfig::default());
     let addr = handle.addr();
 
     // An in-flight submission racing the shutdown.
     let racer = std::thread::spawn(move || {
-        let c = Client::new(addr.to_string());
-        c.submit(&WireRequest::full_scan(write_blif(&iscas::s27())))
+        let c = Connection::open(addr.to_string())?;
+        let ticket = c.submit(&WireRequest::full_scan(write_blif(&iscas::s27())))?;
+        c.wait(ticket)
     });
     std::thread::sleep(Duration::from_millis(30));
-    client.shutdown_server().expect("shutdown acknowledged");
+    conn.shutdown_server().expect("shutdown acknowledged");
     join.join().unwrap().unwrap();
 
     // The drain guarantee: the in-flight job completed and its report
@@ -194,9 +463,9 @@ fn shutdown_drains_in_flight_jobs() {
 
 #[test]
 fn metrics_verb_serves_both_snapshots() {
-    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
-    client.submit(&WireRequest::full_scan(s27_blif())).expect("seed some traffic");
-    let json = client.metrics_json().expect("metrics over the wire");
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
+    run(&conn, &WireRequest::full_scan(s27_blif())).expect("seed some traffic");
+    let json = conn.metrics_json().expect("metrics over the wire");
     assert!(json.starts_with("{\"schema\":\"tpi-netd-metrics/v1\""), "netd schema first: {json}");
     assert!(json.contains("\"tpi-serve-metrics/v1\""), "service snapshot embedded: {json}");
     assert!(json.contains("\"frames_read\""), "traffic counters present: {json}");
@@ -209,15 +478,15 @@ fn metrics_verb_serves_both_snapshots() {
 /// payload, and an unknown key answers a clean miss.
 #[test]
 fn peer_fetch_round_trips_the_cached_payload() {
-    let (client, handle, join, _service) = loopback(1, ServerConfig::default());
-    let wire = client.submit(&WireRequest::full_scan(s27_blif())).expect("submit");
+    let (conn, handle, join, _service) = loopback(1, ServerConfig::default());
+    let wire = run(&conn, &WireRequest::full_scan(s27_blif())).expect("submit");
     assert_eq!(wire.status, JobStatus::Completed);
     let key = wire.key.expect("completed jobs carry a cache key");
     let payload = wire.payload.expect("completed jobs carry a payload");
 
-    let fetched = client.peer_fetch(key).expect("peer-fetch over the wire");
+    let fetched = conn.peer_fetch(key).expect("peer-fetch over the wire");
     assert_eq!(fetched.as_deref(), Some(payload.as_str()), "hit returns the exact cached bytes");
-    assert_eq!(client.peer_fetch(!key).expect("miss still answers"), None, "unknown key misses");
+    assert_eq!(conn.peer_fetch(!key).expect("miss still answers"), None, "unknown key misses");
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
@@ -330,6 +599,110 @@ proptest! {
             ) => {}
             Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
         }
+    }
+
+    /// Every `(verb, req_id, payload)` triple — including the v2-only
+    /// batch verbs and the extreme request IDs — survives the v2
+    /// encode → decode exactly.
+    #[test]
+    fn frame_v2_roundtrip_identity(
+        len in 0usize..2048,
+        seed in 0u64..u64::MAX,
+        verb_pick in 0usize..13,
+        req_id in 0u32..=u32::MAX,
+    ) {
+        let verbs = [
+            Verb::Submit, Verb::Report, Verb::Error, Verb::Busy, Verb::Metrics,
+            Verb::MetricsReport, Verb::Ping, Verb::Pong, Verb::Shutdown,
+            Verb::PeerFetch, Verb::CachePayload, Verb::SubmitMany, Verb::ReportOne,
+        ];
+        let verb = verbs[verb_pick];
+        let payload = payload_bytes(len, seed);
+        let bytes = encode_frame_v2(verb, req_id, &payload);
+        let (got_verb, got_id, got_payload) = read_frame_v2(&mut bytes.as_slice(), u32::MAX)
+            .expect("well-formed v2 frames decode");
+        prop_assert_eq!(got_verb, verb);
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got_payload, payload);
+    }
+
+    /// Single-byte corruption of a v2 frame never *aliases* request
+    /// IDs: a decode can only surface a different ID when the flipped
+    /// byte is inside the ID field itself (bytes 6..10) — corruption
+    /// anywhere else either is a typed error or leaves the ID intact.
+    /// Likewise a changed verb pins the flip to the verb byte, and any
+    /// successful decode returns the true payload (the trailer's job).
+    #[test]
+    fn frame_v2_corruption_never_aliases_request_ids(
+        len in 1usize..256,
+        seed in 0u64..u64::MAX,
+        req_id in 0u32..=u32::MAX,
+        corrupt_at_fraction in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let payload = payload_bytes(len, seed);
+        let mut bytes = encode_frame_v2(Verb::Report, req_id, &payload);
+        let idx = corrupt_at_fraction * bytes.len() / 10_000;
+        bytes[idx] ^= flip;
+        match read_frame_v2(&mut bytes.as_slice(), u32::MAX) {
+            Ok((verb, got_id, got)) => {
+                prop_assert_eq!(got, payload, "a successful decode must return the true payload");
+                if got_id != req_id {
+                    prop_assert!(
+                        (6..10).contains(&idx),
+                        "request ID changed from a flip at byte {} — IDs aliased", idx
+                    );
+                }
+                if verb != Verb::Report {
+                    prop_assert_eq!(idx, 5, "verb changed from a flip outside the verb byte");
+                }
+            }
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::UnknownVerb(_)
+                | FrameError::Oversize { .. }
+                | FrameError::BadTrailer { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::Closed,
+            ) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
+        }
+    }
+
+    /// The incremental assembler agrees with the blocking reader no
+    /// matter how the byte stream is chunked: a burst of frames fed in
+    /// arbitrary slices comes back out as exactly the frames that went
+    /// in, in order.
+    #[test]
+    fn frame_assembler_survives_arbitrary_chunking(
+        frames in 1usize..5,
+        len in 0usize..96,
+        seed in 0u64..u64::MAX,
+        chunk in 1usize..48,
+    ) {
+        let mut wire = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..frames {
+            let payload = payload_bytes(len + i, seed.wrapping_add(i as u64));
+            let id = (seed as u32).wrapping_add(i as u32);
+            wire.extend_from_slice(&encode_frame_v2(Verb::Report, id, &payload));
+            expect.push((Verb::Report, id, payload));
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            asm.feed(piece);
+            loop {
+                match asm.next_frame(u32::MAX) {
+                    Ok(Some(frame)) => got.push(frame),
+                    Ok(None) => break,
+                    Err(e) => return Err(TestCaseError::fail(format!("assembler error: {e}"))),
+                }
+            }
+        }
+        prop_assert_eq!(asm.pending(), 0, "no bytes left over after whole frames");
+        prop_assert_eq!(got, expect);
     }
 
     /// A corrupted trailer specifically reports `BadTrailer`.
