@@ -127,4 +127,17 @@ echo "== tpi-bench --net: v1 vs v2 loopback throughput (emits BENCH_PR9.json) ==
 # the tier-1 suite above (tests/net.rs); this produces the req/s numbers.
 "$BENCH" --net --emit-bench BENCH_PR9.json
 
+echo "== tpi-bench --gen-scale: industrial generator linearity gate =="
+# Fails if the 500k-gate design costs >4x the ns/gate of the 125k one
+# (superlinear generation) or any design misses its gate target by >20%.
+"$BENCH" --gen-scale
+
+echo "== tpi-soak --smoke: soak/fuzz gate (direct + 2-backend gateway) =="
+# ~25 seconds of mixed-lane traffic per cluster shape: cold submits,
+# warm repeats (byte-compared), pipelined batches, fuzzed frames,
+# 1 ms deadlines, mid-job disconnects. Fails on any panic, unverified
+# report, warm mismatch, dead server after a mutant, or RSS above cap.
+cargo build -q --release -p tpi-soak --bin tpi-soak
+target/release/tpi-soak --smoke
+
 echo "CI green."

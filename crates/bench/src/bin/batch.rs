@@ -47,7 +47,11 @@
 //! ```
 //!
 //! writes the embedded `s27` plus the synthetic suite (`--small`: the
-//! two-circuit smoke suite) as BLIF files.
+//! two-circuit smoke suite) as BLIF files, and the same circuits in
+//! `.bench` syntax under a `bench/` subdirectory (the batch drive reads
+//! the `.blif` set; the `.bench` set feeds
+//! `tpi_workloads::iscas::load_bench_dir` consumers like `tpi-soak
+//! --bench-dir` and lints through `tpi-lint`'s `.bench` path).
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -60,7 +64,7 @@ use tpi_net::{
     Client, ClientConfig, Connection, NetServer, Pending, ServerConfig, ServerHandle, WireRequest,
     WireVersion,
 };
-use tpi_netlist::write_blif;
+use tpi_netlist::{write_bench, write_blif};
 use tpi_serve::{JobService, JobSpec, JobStatus, MetricsSnapshot, NetlistSource, ServiceConfig};
 use tpi_workloads::{generate, iscas, smoke_suite, suite};
 
@@ -690,6 +694,11 @@ fn generate_workloads(dir: &PathBuf, small: bool) {
         eprintln!("cannot create {}: {e}", dir.display());
         exit(2);
     }
+    let bench_dir = dir.join("bench");
+    if let Err(e) = std::fs::create_dir_all(&bench_dir) {
+        eprintln!("cannot create {}: {e}", bench_dir.display());
+        exit(2);
+    }
     let mut netlists = vec![iscas::s27()];
     let specs = if small { smoke_suite() } else { suite() };
     netlists.extend(specs.iter().map(generate));
@@ -700,5 +709,11 @@ fn generate_workloads(dir: &PathBuf, small: bool) {
             exit(2);
         }
         println!("wrote {}", path.display());
+        let bench_path = bench_dir.join(format!("{}.bench", n.name()));
+        if let Err(e) = std::fs::write(&bench_path, write_bench(n)) {
+            eprintln!("cannot write {}: {e}", bench_path.display());
+            exit(2);
+        }
+        println!("wrote {}", bench_path.display());
     }
 }

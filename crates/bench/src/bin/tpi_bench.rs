@@ -31,6 +31,12 @@
 //!   full-scan under the named TPGREED gain model, across `--threads
 //!   1/2/0` on the lane engine plus a scalar-engine baseline, and fail
 //!   unless every deterministic section is byte-identical.
+//! * `--gen-scale` — the industrial-generator scaling gate: build
+//!   125k/250k/500k-gate designs with `IndustrialSpec::sized`, print
+//!   ns/gate for each, and fail if the slowest per-gate cost exceeds
+//!   the fastest by more than 4× (a superlinear generator would make
+//!   `tpi-soak`'s cold lane and the 1M-gate workloads unusable) or if
+//!   any design misses its gate target by more than 20%.
 //! * `--net` — the `tpi-net/v2` loopback throughput benchmark: an
 //!   in-process `tpi-netd` serving cache-warm `s27` jobs, driven by
 //!   the legacy v1 one-connection-per-call client, a v2 session one
@@ -432,12 +438,67 @@ fn net_mode(emit_bench: Option<String>) {
     let _ = server_thread.join();
 }
 
+/// `--gen-scale`: assert the industrial workload generator stays linear
+/// in the gate target and lands near it.
+fn gen_scale_mode() {
+    use tpi_workloads::industrial::{generate_industrial, IndustrialSpec};
+    const TARGETS: [usize; 3] = [125_000, 250_000, 500_000];
+    const MAX_NS_PER_GATE_SPREAD: f64 = 4.0;
+    const GATE_TOLERANCE: f64 = 0.20;
+
+    println!("tpi-bench --gen-scale — industrial generator linearity");
+    println!(
+        "{:>10} | {:>10} {:>8} | {:>10} {:>9}",
+        "target", "gates", "ffs", "wall ms", "ns/gate"
+    );
+    println!("{}", "-".repeat(58));
+    let mut per_gate: Vec<f64> = Vec::new();
+    let mut failed = false;
+    for target in TARGETS {
+        let spec = IndustrialSpec::sized(format!("scale{target}"), target, 0xD_AC96);
+        let t0 = Instant::now();
+        let n = generate_industrial(&spec);
+        let wall = t0.elapsed();
+        let gates = n.gate_count();
+        let ns = wall.as_nanos() as f64 / gates as f64;
+        per_gate.push(ns);
+        println!(
+            "{:>10} | {:>10} {:>8} | {:>10.1} {:>9.0}",
+            target,
+            gates,
+            n.dffs().len(),
+            wall.as_secs_f64() * 1e3,
+            ns
+        );
+        let miss = (gates as f64 - target as f64).abs() / target as f64;
+        if miss > GATE_TOLERANCE {
+            eprintln!(
+                "gen-scale: {target}-gate spec produced {gates} gates ({:.0}% off)",
+                miss * 100.0
+            );
+            failed = true;
+        }
+    }
+    let (min, max) =
+        per_gate.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let spread = max / min;
+    println!("ns/gate spread: {spread:.2}x (gate: <= {MAX_NS_PER_GATE_SPREAD:.0}x)");
+    if spread > MAX_NS_PER_GATE_SPREAD {
+        eprintln!("gen-scale: per-gate cost grows {spread:.2}x from 125k to 500k — generator is superlinear");
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let mut emit_bench: Option<String> = None;
     let mut det_out: Option<String> = None;
     let mut large = false;
     let mut net = false;
+    let mut gen_scale = false;
     let mut gain_model: Option<GainModel> = None;
     let mut cur = ArgCursor::new(cli.args.clone());
     while let Some(a) = cur.next_arg() {
@@ -446,6 +507,7 @@ fn main() {
             "--det-out" => det_out = Some(cur.value("--det-out")),
             "--large" => large = true,
             "--net" => net = true,
+            "--gen-scale" => gen_scale = true,
             "--gain-model" => {
                 gain_model = Some(match cur.value("--gain-model").as_str() {
                     "path-count" => GainModel::PathCount,
@@ -459,11 +521,16 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other} (expected \
-                     --emit-bench/--det-out/--threads/--large/--gain-model/--net)"
+                     --emit-bench/--det-out/--threads/--large/--gain-model/--net/--gen-scale)"
                 );
                 exit(2);
             }
         }
+    }
+
+    if gen_scale {
+        gen_scale_mode();
+        return;
     }
 
     if net {

@@ -24,7 +24,8 @@ use tpi_netlist::{GateId, Netlist, NetlistStats, TechLibrary};
 use tpi_obs::{FlowMetrics, Recorder};
 use tpi_par::Threads;
 use tpi_scan::{
-    break_cycles, flush_test, ChainLink, CycleBreakOptions, FlushReport, SGraph, ScanChain,
+    break_cycles, flush_test_inductive, ChainLink, CycleBreakOptions, FlushReport, SGraph,
+    ScanChain,
 };
 use tpi_sim::Trit;
 use tpi_sta::{ClockConstraint, Sta};
@@ -74,6 +75,10 @@ pub enum FlowError {
     /// points, malformed chain, …). Carries every diagnostic the
     /// verifier emitted, warnings included.
     Verification(Vec<Diagnostic>),
+    /// The netlist has no flip-flops: a scan chain needs at least one
+    /// sequential element to thread, so a combinational-only design has
+    /// nothing to scan. A user error, not a flow bug.
+    NoFlipFlops,
 }
 
 impl fmt::Display for FlowError {
@@ -92,6 +97,9 @@ impl fmt::Display for FlowError {
                     write!(f, ": {}", first.render_text())?;
                 }
                 Ok(())
+            }
+            FlowError::NoFlipFlops => {
+                write!(f, "netlist has no flip-flops: nothing to thread a scan chain through")
             }
         }
     }
@@ -206,10 +214,16 @@ impl FullScanFlow {
     /// Runs the flow on (a copy of) `n`.
     ///
     /// # Panics
-    /// Panics if the netlist is invalid (validate first) or if internal
-    /// verification of the produced scan structure fails — both indicate
-    /// bugs, not user errors.
+    /// Panics if the netlist has no flip-flops (a user error — the
+    /// fallible [`run_with`](Self::run_with) reports it as
+    /// [`FlowError::NoFlipFlops`]), if the netlist is invalid (validate
+    /// first), or if internal verification of the produced scan
+    /// structure fails — the latter two indicate bugs.
     pub fn run(&self, n: &Netlist) -> FullScanResult {
+        assert!(
+            !n.dffs().is_empty(),
+            "full-scan flow needs at least one flip-flop; use run_with for a fallible check"
+        );
         self.run_impl(
             n,
             &Arc::new(Progress::new()),
@@ -230,6 +244,9 @@ impl FullScanFlow {
     /// flush test and the independent `tpi-lint` check — and attaches
     /// the finished [`FlowMetrics`] to the result.
     pub fn run_with(&self, n: &Netlist, opts: &FlowOptions) -> Result<FullScanResult, FlowError> {
+        if n.dffs().is_empty() {
+            return Err(FlowError::NoFlipFlops);
+        }
         let progress = opts.resolve_progress();
         let rec = opts.resolve_recorder();
         let threads = opts.threads_or(self.config.threads);
@@ -360,7 +377,7 @@ impl FullScanFlow {
         let pi_values = assignment.pi_values.clone();
         let flush = {
             let _s = rec.span(phases::FLUSH_CHECK);
-            flush_test(&work, &chain, &pi_values).expect("test input exists")
+            flush_test_inductive(&work, &chain, &pi_values).expect("test input exists")
         };
 
         // Timing is the caller's concern (bins wrap the run in their own
@@ -677,7 +694,9 @@ impl PartialScanFlow {
         };
         let flush = {
             let _s = rec.span(phases::FLUSH_CHECK);
-            chain.as_ref().map(|c| flush_test(&netlist, c, &pi_values).expect("test input exists"))
+            chain
+                .as_ref()
+                .map(|c| flush_test_inductive(&netlist, c, &pi_values).expect("test input exists"))
         };
         netlist.validate().expect("transformed netlist must stay valid");
 
@@ -1009,6 +1028,24 @@ mod tests {
         let r = FullScanFlow::default()
             .run_with(&n, &FlowOptions::new().with_deadline(std::time::Duration::ZERO));
         assert!(matches!(r, Err(FlowError::Canceled(CancelKind::DeadlineExceeded))));
+    }
+
+    #[test]
+    fn combinational_only_design_is_a_typed_error() {
+        // No flip-flops means no scan chain to build: the fallible entry
+        // reports it instead of panicking in the stitcher (found by the
+        // soak fuzzer submitting a pure-combinational BLIF).
+        let mut b = NetlistBuilder::new("comb");
+        b.input("a");
+        b.gate(GateKind::Buf, "y", &["a"]);
+        b.output("o", "y");
+        let n = b.finish().unwrap();
+        let r = FullScanFlow::default().run_with(&n, &FlowOptions::new());
+        assert!(matches!(r, Err(FlowError::NoFlipFlops)));
+        assert_eq!(
+            FlowError::NoFlipFlops.to_string(),
+            "netlist has no flip-flops: nothing to thread a scan chain through"
+        );
     }
 
     #[test]

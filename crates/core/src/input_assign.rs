@@ -135,47 +135,49 @@ fn justify(
 pub fn assign_inputs(n: &Netlist, paths: &PathSet, outcome: &TpGreedOutcome) -> InputAssignment {
     let mut fixed: HashMap<GateId, Trit> = HashMap::new();
     let mut free: Vec<usize> = Vec::new();
-
-    // The evolving engine: physical test points forced, plus accepted PI
-    // values. Rebuilt per acceptance for simplicity and correctness.
-    let rebuild = |physical: &[(GateId, Trit)], fixed: &HashMap<GateId, Trit>| {
-        let mut imp = Implication::new(n);
-        for &(net, v) in physical {
-            imp.force(net, v);
-        }
-        for (&pi, &v) in fixed {
-            imp.force(pi, v);
-        }
-        imp
-    };
-
     let mut physical: Vec<(GateId, Trit)> = outcome.test_points.clone();
+
+    // One evolving engine: every still-physical test point forced, plus
+    // the accepted PI values. Hypotheses are applied and rolled back
+    // incrementally with `unforce` — the propagation fixpoint depends
+    // only on the forced set, not on force order, so this matches the
+    // from-scratch rebuild exactly. (Rebuilding per hypothesis is
+    // O(test_points²) propagation and dominated the flow on 200k-gate
+    // designs where TPGREED places thousands of points.)
+    let mut imp = Implication::new(n);
+    for &(net, v) in &physical {
+        imp.force(net, v);
+    }
+
     for (idx, &(net, want)) in outcome.test_points.iter().enumerate() {
-        // Hypothesis: drop this physical point, justify through PIs.
-        let mut candidate_physical = physical.clone();
-        let Some(pos) = candidate_physical.iter().position(|&(g, v)| (g, v) == (net, want)) else {
+        let Some(pos) = physical.iter().position(|&(g, v)| (g, v) == (net, want)) else {
             continue;
         };
-        candidate_physical.remove(pos);
-        let imp = rebuild(&candidate_physical, &fixed);
+        // Hypothesis: drop this physical point, justify through PIs.
+        let dropped = physical.remove(pos);
+        imp.unforce(net);
         let mut acc = HashMap::new();
         let mut budget = 512;
-        if !justify(n, &imp, net, want, &fixed, &mut acc, &mut budget) {
-            continue;
+        let mut applied: Vec<GateId> = Vec::new();
+        let mut ok = justify(n, &imp, net, want, &fixed, &mut acc, &mut budget);
+        if ok {
+            for (&pi, &v) in &acc {
+                imp.force(pi, v);
+                applied.push(pi);
+            }
+            // Validate the full consequence set.
+            ok = imp.value(net) == want && consistent(n, paths, outcome, &physical, &imp);
         }
-        // Validate the full consequence set.
-        let mut trial_fixed = fixed.clone();
-        trial_fixed.extend(acc.iter().map(|(&k, &v)| (k, v)));
-        let trial = rebuild(&candidate_physical, &trial_fixed);
-        if trial.value(net) != want {
-            continue;
+        if ok {
+            fixed.extend(acc);
+            free.push(idx);
+        } else {
+            for pi in applied {
+                imp.unforce(pi);
+            }
+            imp.force(net, want);
+            physical.insert(pos, dropped);
         }
-        if !consistent(n, paths, outcome, &candidate_physical, &trial) {
-            continue;
-        }
-        physical = candidate_physical;
-        fixed = trial_fixed;
-        free.push(idx);
     }
 
     InputAssignment { pi_values: fixed.into_iter().collect(), free, physical }

@@ -5,8 +5,9 @@
 //!          [--fanout-threshold N] [--analysis] [--analysis-top N] PATH...
 //! ```
 //!
-//! Each `PATH` is a `.blif` file or a directory (its `*.blif` entries
-//! are linted in name order; duplicate inputs are linted once). Inputs
+//! Each `PATH` is a `.blif` or `.bench` file, or a directory (its
+//! `*.blif` and `*.bench` entries are linted in name order; duplicate
+//! inputs are linted once). Inputs
 //! that fail to parse or validate are reported as `TPI000` rather than
 //! aborting the run. The process exits with status 1 when any
 //! `Error`-severity diagnostic was emitted (`--deny` promotes the named
@@ -28,7 +29,7 @@ use tpi_lint::{
     analysis_report, analyze, apply_deny, has_errors, lint_netlist, render_json, AnalysisConfig,
     Diagnostic, LintCode, LintConfig, Severity,
 };
-use tpi_netlist::{parse_blif, Netlist};
+use tpi_netlist::{parse_bench, parse_blif, Netlist};
 
 /// Output flavor.
 #[derive(PartialEq)]
@@ -108,10 +109,11 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Expands files/directories into the list of `.blif` inputs: directory
-/// entries in name order (`read_dir` order is filesystem-dependent, and
-/// the JSON stream must be byte-stable across machines), duplicates
-/// linted once (first occurrence wins, so explicit file order is kept).
+/// Expands files/directories into the list of `.blif`/`.bench` inputs:
+/// directory entries in name order (`read_dir` order is
+/// filesystem-dependent, and the JSON stream must be byte-stable across
+/// machines), duplicates linted once (first occurrence wins, so
+/// explicit file order is kept).
 fn collect_inputs(paths: &[PathBuf]) -> Vec<PathBuf> {
     let mut files = Vec::new();
     for p in paths {
@@ -120,7 +122,7 @@ fn collect_inputs(paths: &[PathBuf]) -> Vec<PathBuf> {
                 .map(|rd| {
                     rd.filter_map(Result::ok)
                         .map(|e| e.path())
-                        .filter(|f| f.extension().is_some_and(|x| x == "blif"))
+                        .filter(|f| f.extension().is_some_and(|x| x == "blif" || x == "bench"))
                         .collect()
                 })
                 .unwrap_or_default();
@@ -153,12 +155,18 @@ fn lint_file(path: &Path, config: &LintConfig) -> (Option<Netlist>, Vec<Diagnost
             )
         }
     };
-    match parse_blif(&text) {
+    let parsed = if path.extension().is_some_and(|x| x == "bench") {
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
+        parse_bench(name, &text).map_err(|e| e.to_string())
+    } else {
+        parse_blif(&text).map_err(|e| e.to_string())
+    };
+    match parsed {
         Ok(n) => {
             let diags = lint_netlist(&n, config);
             (Some(n), diags)
         }
-        Err(e) => (None, vec![Diagnostic::new(LintCode::ParseError, label, e.to_string(), vec![])]),
+        Err(e) => (None, vec![Diagnostic::new(LintCode::ParseError, label, e, vec![])]),
     }
 }
 
@@ -166,7 +174,7 @@ fn main() -> ExitCode {
     let opts = parse_args();
     let files = collect_inputs(&opts.paths);
     if files.is_empty() {
-        eprintln!("tpi-lint: no .blif inputs found");
+        eprintln!("tpi-lint: no .blif or .bench inputs found");
         return ExitCode::from(2);
     }
     let mut any_errors = false;
@@ -271,6 +279,25 @@ mod tests {
         let (n, diags) = lint_file(&bad, &LintConfig::default());
         assert!(n.is_none());
         assert_eq!(diags[0].code, LintCode::ParseError);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn bench_files_lint_through_the_bench_parser() {
+        let d = scratch("bench");
+        let f = d.join("s27.bench");
+        std::fs::write(&f, tpi_workloads::iscas::S27_BENCH).unwrap();
+        let (n, diags) = lint_file(&f, &LintConfig::default());
+        assert_eq!(n.unwrap().dffs().len(), 3);
+        assert!(diags.iter().all(|d| d.code != LintCode::ParseError));
+        let bad = d.join("bad.bench");
+        std::fs::write(&bad, "INPUT(x)\ng = FROB(x)\n").unwrap();
+        let (n, diags) = lint_file(&bad, &LintConfig::default());
+        assert!(n.is_none());
+        assert_eq!(diags[0].code, LintCode::ParseError);
+        // Directory expansion picks the .bench entries up too.
+        let expanded = collect_inputs(std::slice::from_ref(&d));
+        assert_eq!(expanded, vec![bad, f]);
         std::fs::remove_dir_all(&d).unwrap();
     }
 }

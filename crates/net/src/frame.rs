@@ -613,6 +613,75 @@ mod tests {
         assert_eq!(got[2], (Verb::SubmitMany, 3, b"third payload".to_vec()));
     }
 
+    /// Every split point of a v2 frame — including each header-internal
+    /// boundary (magic / version / verb / req-id / length) — must yield
+    /// nothing before the final byte and exactly one frame after it.
+    #[test]
+    fn assembler_is_immune_to_header_boundary_splits() {
+        let frame = encode_frame_v2(Verb::Submit, 0xDEAD_BEEF, b"split me");
+        for cut in 0..frame.len() {
+            let mut asm = FrameAssembler::new();
+            asm.feed(&frame[..cut]);
+            assert!(
+                asm.next_frame(DEFAULT_MAX_FRAME).unwrap().is_none(),
+                "cut at {cut}: no early frame"
+            );
+            asm.feed(&frame[cut..]);
+            let got = asm.next_frame(DEFAULT_MAX_FRAME).unwrap().expect("complete after cut");
+            assert_eq!(got, (Verb::Submit, 0xDEAD_BEEF, b"split me".to_vec()));
+            assert!(asm.next_frame(DEFAULT_MAX_FRAME).unwrap().is_none());
+            assert_eq!(asm.pending(), 0);
+        }
+    }
+
+    /// Many connections, each with its own assembler, fed round-robin
+    /// in adversarial chunk sizes (connection `c` always feeds
+    /// `c + 1` bytes at a time, so connection 0 is a pure 1-byte drip).
+    /// Interleaving must not leak bytes or frames between assemblers.
+    #[test]
+    fn assembler_interleaved_across_many_connections() {
+        const CONNS: usize = 8;
+        let streams: Vec<Vec<(Verb, u32, Vec<u8>)>> = (0..CONNS as u32)
+            .map(|c| {
+                vec![
+                    (Verb::Submit, c * 100 + 1, vec![c as u8; (c as usize) * 37 + 1]),
+                    (Verb::Ping, c * 100 + 2, Vec::new()),
+                    (Verb::SubmitMany, c * 100 + 3, format!("conn-{c}-batch").into_bytes()),
+                ]
+            })
+            .collect();
+        let wires: Vec<Vec<u8>> = streams
+            .iter()
+            .map(|frames| {
+                frames
+                    .iter()
+                    .flat_map(|(v, id, p)| encode_frame_v2(*v, *id, p))
+                    .collect::<Vec<u8>>()
+            })
+            .collect();
+        let mut asms: Vec<FrameAssembler> = (0..CONNS).map(|_| FrameAssembler::new()).collect();
+        let mut offsets = [0usize; CONNS];
+        let mut got: Vec<Vec<(Verb, u32, Vec<u8>)>> = vec![Vec::new(); CONNS];
+        // Round-robin until every wire is fully fed and drained.
+        while (0..CONNS).any(|c| offsets[c] < wires[c].len()) {
+            for c in 0..CONNS {
+                let chunk = (c + 1).min(wires[c].len() - offsets[c]);
+                if chunk == 0 {
+                    continue;
+                }
+                asms[c].feed(&wires[c][offsets[c]..offsets[c] + chunk]);
+                offsets[c] += chunk;
+                while let Some(f) = asms[c].next_frame(DEFAULT_MAX_FRAME).unwrap() {
+                    got[c].push(f);
+                }
+            }
+        }
+        for c in 0..CONNS {
+            assert_eq!(got[c], streams[c], "connection {c} frames in order, nothing leaked");
+            assert_eq!(asms[c].pending(), 0);
+        }
+    }
+
     #[test]
     fn assembler_errors_match_the_blocking_reader() {
         // Oversize rejected on the header alone, before the payload

@@ -317,6 +317,47 @@ fn decompose_cover(
             return Ok(());
         }
     }
+    // Canonical covers (the exact shapes `write_blif` emits) map back to
+    // single primitive gates, so a write→parse round trip preserves
+    // structure gate-for-gate. Without this, NAND/NOR/XOR/XNOR/MUX
+    // covers decompose into INV/AND/OR trees and a 250k-gate design
+    // inflates ~2.4× every time it crosses the wire.
+    if cover.on_set {
+        let w = cover.inputs.len();
+        let single = |lit: u8| cover.cubes.len() == 1 && cover.cubes[0].iter().all(|&c| c == lit);
+        let one_hot = |hot: u8| {
+            w >= 2
+                && cover.cubes.len() == w
+                && cover.cubes.iter().enumerate().all(|(k, cube)| {
+                    cube.iter().enumerate().all(|(i, &c)| c == if i == k { hot } else { b'-' })
+                })
+        };
+        let pair = |a: &[u8], b: &[u8]| {
+            cover.cubes.len() == 2 && cover.cubes[0] == a && cover.cubes[1] == b
+        };
+        let kind = if w >= 2 && single(b'1') {
+            Some(GateKind::And)
+        } else if w >= 2 && single(b'0') {
+            Some(GateKind::Nor)
+        } else if one_hot(b'1') {
+            Some(GateKind::Or)
+        } else if one_hot(b'0') {
+            Some(GateKind::Nand)
+        } else if w == 2 && pair(b"10", b"01") {
+            Some(GateKind::Xor)
+        } else if w == 2 && pair(b"11", b"00") {
+            Some(GateKind::Xnor)
+        } else if w == 3 && pair(b"01-", b"1-1") {
+            Some(GateKind::Mux)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            let refs: Vec<&str> = cover.inputs.iter().map(String::as_str).collect();
+            b.gate(kind, cover.output.clone(), &refs);
+            return Ok(());
+        }
+    }
     // Literal factory: returns the signal name for var / var'. Inverters
     // are shared per variable and named with a global counter, so they
     // can never collide with re-parsed gate names.

@@ -22,5 +22,5 @@ pub mod sgraph;
 
 pub use chain::{ChainLink, ScanChain, StitchError};
 pub use cycle_break::{break_cycles, CycleBreakOptions, CycleBreakResult};
-pub use flush::{flush_test, FlushError, FlushMismatch, FlushReport};
+pub use flush::{flush_test, flush_test_inductive, FlushError, FlushMismatch, FlushReport};
 pub use sgraph::SGraph;

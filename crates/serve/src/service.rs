@@ -549,7 +549,7 @@ fn execute(
             all.append(&mut diags);
             return report(JobStatus::Failed(msg), Some(key), None, CacheSource::Cold, false, all);
         }
-        Ok(Err(e @ FlowError::FlushFailed(_))) => {
+        Ok(Err(e @ (FlowError::FlushFailed(_) | FlowError::NoFlipFlops))) => {
             return report(
                 JobStatus::Failed(e.to_string()),
                 Some(key),
@@ -676,6 +676,20 @@ mod tests {
         b.output("o", "f0");
         b.output("o2", "f2");
         b.finish().unwrap()
+    }
+
+    #[test]
+    fn combinational_only_design_fails_cleanly() {
+        let mut b = NetlistBuilder::new("comb");
+        b.input("a");
+        b.gate(tpi_netlist::GateKind::Buf, "y", &["a"]);
+        b.output("o", "y");
+        let s = JobService::new(ServiceConfig { threads: 1, ..ServiceConfig::default() });
+        let r = s.submit(JobSpec::full_scan(b.finish().unwrap())).wait();
+        match &r.status {
+            JobStatus::Failed(msg) => assert!(msg.contains("no flip-flops"), "{msg}"),
+            other => panic!("expected a clean failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct Simulator<'a> {
     values: Vec<Trit>,
     inputs: HashMap<GateId, Trit>,
     order: Vec<GateId>,
+    dffs: Vec<GateId>,
+    scratch: Vec<Trit>,
+    next_states: Vec<Trit>,
     cycle: u64,
 }
 
@@ -50,11 +53,15 @@ impl<'a> Simulator<'a> {
     /// Panics if the netlist has a combinational cycle.
     pub fn new(netlist: &'a Netlist) -> Self {
         let order = netlist.topo_order().expect("netlist must be acyclic");
+        let dffs = netlist.dffs();
         let mut sim = Simulator {
             netlist,
             values: vec![Trit::X; netlist.gate_count()],
             inputs: HashMap::new(),
             order,
+            dffs,
+            scratch: Vec::new(),
+            next_states: Vec::new(),
             cycle: 0,
         };
         sim.settle();
@@ -82,6 +89,28 @@ impl<'a> Simulator<'a> {
         self.settle();
     }
 
+    /// Drives many primary inputs at once, settling the combinational
+    /// network a single time. `set_input` in a loop settles per call —
+    /// O(assignments × gates), which is what made pre-loading a scan
+    /// chain quadratic on 100k-gate designs.
+    pub fn set_inputs(&mut self, assignments: impl IntoIterator<Item = (GateId, Trit)>) {
+        for (input, value) in assignments {
+            debug_assert_eq!(self.netlist.kind(input), GateKind::Input);
+            self.inputs.insert(input, value);
+        }
+        self.settle();
+    }
+
+    /// Sets many flip-flop states at once, settling a single time (see
+    /// [`Simulator::set_inputs`]).
+    pub fn set_states(&mut self, assignments: impl IntoIterator<Item = (GateId, Trit)>) {
+        for (ff, value) in assignments {
+            debug_assert_eq!(self.netlist.kind(ff), GateKind::Dff);
+            self.values[ff.index()] = value;
+        }
+        self.settle();
+    }
+
     /// The settled value of any net in the current cycle.
     #[inline]
     pub fn value(&self, net: GateId) -> Trit {
@@ -96,6 +125,9 @@ impl<'a> Simulator<'a> {
 
     /// Evaluates the combinational network with current inputs/states.
     fn settle(&mut self) {
+        // `scratch` is reused across gates and settles: a fresh `Vec`
+        // per gate was the simulator's dominant allocation on large nets.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for &g in &self.order {
             let kind = self.netlist.kind(g);
             match kind {
@@ -107,26 +139,27 @@ impl<'a> Simulator<'a> {
                     self.values[g.index()] = self.values[self.netlist.fanin(g)[0].index()];
                 }
                 _ => {
-                    let ins: Vec<Trit> =
-                        self.netlist.fanin(g).iter().map(|&f| self.values[f.index()]).collect();
-                    self.values[g.index()] = eval_gate(kind, &ins);
+                    scratch.clear();
+                    scratch.extend(self.netlist.fanin(g).iter().map(|&f| self.values[f.index()]));
+                    self.values[g.index()] = eval_gate(kind, &scratch);
                 }
             }
         }
+        self.scratch = scratch;
     }
 
     /// Clocks the circuit once: flip-flops capture their D values, then
     /// the combinational network settles again.
     pub fn step(&mut self) {
-        let next: Vec<(GateId, Trit)> = self
-            .netlist
-            .gate_ids()
-            .filter(|&g| self.netlist.kind(g) == GateKind::Dff)
-            .map(|g| (g, self.values[self.netlist.fanin(g)[0].index()]))
-            .collect();
-        for (g, v) in next {
-            self.values[g.index()] = v;
+        // Two-phase capture: sample every D before writing any Q, so
+        // directly chained flip-flops shift rather than ripple.
+        let mut next = std::mem::take(&mut self.next_states);
+        next.clear();
+        next.extend(self.dffs.iter().map(|&g| self.values[self.netlist.fanin(g)[0].index()]));
+        for (i, &g) in self.dffs.iter().enumerate() {
+            self.values[g.index()] = next[i];
         }
+        self.next_states = next;
         self.cycle += 1;
         self.settle();
     }

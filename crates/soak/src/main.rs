@@ -1,0 +1,139 @@
+//! `tpi-soak` — soak and fuzz the netd cluster under a mixed workload.
+//!
+//! ```text
+//! tpi-soak [--smoke | --seconds N | --minutes N]
+//!          [--backends N | --direct | --addr HOST:PORT]
+//!          [--gates N] [--seed S] [--workers N] [--threads N]
+//!          [--rss-cap MIB] [--no-fuzz] [--bench-dir DIR]
+//! ```
+//!
+//! Modes:
+//! * `--smoke` — the CI gate: a fixed-seed ~30 second pass split across
+//!   a direct cluster and a 2-backend gateway, small headline design,
+//!   fuzz lane on. Exits 1 on any violation.
+//! * `--seconds N` / `--minutes N` — one soak of that duration against
+//!   the configured cluster (default: 3-backend gateway, 250k-gate
+//!   headline design).
+//! * `--addr` — attach to an already-running `tpi-netd`/gateway
+//!   instead of standing one up (RSS bounding then covers only this
+//!   process).
+//!
+//! Every run prints one `tpi-soak/v1` summary line (per phase for
+//! `--smoke`) and any violations to stderr.
+
+use std::process::exit;
+use std::time::Duration;
+use tpi_soak::{run, ClusterSpec, SoakConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpi-soak [--smoke | --seconds N | --minutes N] \
+         [--backends N | --direct | --addr HOST:PORT] [--gates N] [--seed S] \
+         [--workers N] [--threads N] [--rss-cap MIB] [--no-fuzz] [--bench-dir DIR]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|v| v.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("tpi-soak: {flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut duration: Option<Duration> = None;
+    let mut cluster: Option<ClusterSpec> = None;
+    let mut gates: Option<usize> = None;
+    let mut seed: u64 = 0xDAC9_6501;
+    let mut workers: usize = 4;
+    let mut threads: usize = 0;
+    let mut rss_cap_mib: u64 = 8192;
+    let mut fuzz = true;
+    let mut bench_dir = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seconds" => duration = Some(Duration::from_secs(parse("--seconds", args.next()))),
+            "--minutes" => {
+                duration = Some(Duration::from_secs(60 * parse::<u64>("--minutes", args.next())))
+            }
+            "--backends" => cluster = Some(ClusterSpec::Gateway(parse("--backends", args.next()))),
+            "--direct" => cluster = Some(ClusterSpec::Direct),
+            "--addr" => match args.next() {
+                Some(a) => cluster = Some(ClusterSpec::Attach(a)),
+                None => usage(),
+            },
+            "--gates" => gates = Some(parse("--gates", args.next())),
+            "--seed" => seed = parse("--seed", args.next()),
+            "--workers" => workers = parse("--workers", args.next()),
+            "--threads" => threads = parse("--threads", args.next()),
+            "--rss-cap" => rss_cap_mib = parse("--rss-cap", args.next()),
+            "--no-fuzz" => fuzz = false,
+            "--bench-dir" => match args.next() {
+                Some(d) => bench_dir = Some(std::path::PathBuf::from(d)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("tpi-soak: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+
+    let phases: Vec<(ClusterSpec, Duration, usize)> = if smoke {
+        if duration.is_some() || cluster.is_some() {
+            eprintln!("tpi-soak: --smoke fixes the duration and cluster shape");
+            usage();
+        }
+        // The CI gate: ~30 seconds total, both cluster shapes, a small
+        // headline design so the cold flow fits the budget.
+        vec![
+            (ClusterSpec::Direct, Duration::from_secs(12), gates.unwrap_or(20_000)),
+            (ClusterSpec::Gateway(2), Duration::from_secs(12), gates.unwrap_or(20_000)),
+        ]
+    } else {
+        let d = duration.unwrap_or_else(|| {
+            eprintln!("tpi-soak: pick --smoke, --seconds N or --minutes N");
+            usage();
+        });
+        vec![(cluster.unwrap_or(ClusterSpec::Gateway(3)), d, gates.unwrap_or(250_000))]
+    };
+
+    let mut failed = false;
+    for (cluster, duration, gates) in phases {
+        let config = SoakConfig {
+            duration,
+            seed,
+            cluster: cluster.clone(),
+            gates,
+            workers,
+            threads,
+            rss_cap_mib,
+            fuzz,
+            bench_dir: bench_dir.clone(),
+        };
+        eprintln!(
+            "tpi-soak: {} for {:.0}s, headline {gates} gates, seed {seed:#x}, fuzz {}",
+            cluster.label(),
+            duration.as_secs_f64(),
+            if fuzz { "on" } else { "off" },
+        );
+        let summary = run(&config);
+        println!("{}", summary.json);
+        for v in &summary.violations {
+            eprintln!("tpi-soak: VIOLATION: {v}");
+        }
+        failed |= !summary.passed();
+    }
+    if failed {
+        exit(1);
+    }
+}

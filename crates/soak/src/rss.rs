@@ -1,0 +1,100 @@
+//! Self-measured memory bounding via `/proc/self/status`.
+//!
+//! The soak asserts its peak resident set stays under a configured cap.
+//! Everything — driver threads, every in-process backend, the gateway,
+//! the caches — lives in this one process, so `VmRSS` is the whole
+//! cluster's footprint (attach mode is the exception and says so in the
+//! summary). Sampling is a thread on a short period; `VmHWM` at the end
+//! catches any spike the sampler slept through.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Extracts a `kB` field like `VmRSS:    123456 kB` from
+/// `/proc/self/status` text, returning mebibytes (rounded up).
+pub fn parse_status_mib(status: &str, field: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb.div_ceil(1024))
+}
+
+/// Current resident set in MiB, or `None` off Linux.
+pub fn vm_rss_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_mib(&status, "VmRSS:")
+}
+
+/// Peak resident set (`VmHWM`, kernel-tracked high-water mark) in MiB.
+pub fn vm_hwm_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_mib(&status, "VmHWM:")
+}
+
+/// A sampling thread that tracks peak RSS until stopped.
+pub struct RssSampler {
+    stop: Arc<AtomicBool>,
+    peak: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RssSampler {
+    /// Starts sampling on `period`.
+    pub fn start(period: Duration) -> RssSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let peak = Arc::new(AtomicU64::new(vm_rss_mib().unwrap_or(0)));
+        let thread = {
+            let (stop, peak) = (Arc::clone(&stop), Arc::clone(&peak));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(mib) = vm_rss_mib() {
+                        peak.fetch_max(mib, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(period);
+                }
+            })
+        };
+        RssSampler { stop, peak, thread: Some(thread) }
+    }
+
+    /// Stops the sampler and returns the peak MiB observed — the larger
+    /// of the sampled maximum and the kernel's `VmHWM`.
+    pub fn finish(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.peak.load(Ordering::Relaxed).max(vm_hwm_mib().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_fields() {
+        let status = "Name:\ttpi-soak\nVmHWM:\t  2048 kB\nVmRSS:\t   1537 kB\n";
+        assert_eq!(parse_status_mib(status, "VmRSS:"), Some(2), "1537 kB rounds up to 2 MiB");
+        assert_eq!(parse_status_mib(status, "VmHWM:"), Some(2));
+        assert_eq!(parse_status_mib(status, "VmPeak:"), None);
+    }
+
+    #[test]
+    fn live_rss_is_positive_on_linux() {
+        if let Some(mib) = vm_rss_mib() {
+            assert!(mib > 0, "a running process has resident pages");
+            assert!(vm_hwm_mib().unwrap_or(0) >= mib.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn sampler_tracks_a_peak() {
+        let sampler = RssSampler::start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        let peak = sampler.finish();
+        if vm_rss_mib().is_some() {
+            assert!(peak > 0);
+        }
+    }
+}

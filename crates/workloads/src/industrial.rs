@@ -1,0 +1,318 @@
+//! Industrial-scale synthetic workloads: 100k–1M-gate sequential designs.
+//!
+//! The calibrated generators in [`crate::synth`] reproduce the *paper's*
+//! circuits — a few thousand gates each. Everything the service layer
+//! claims (sharded caching, pipelined sessions, the 64-lane implication
+//! engine) only means something on circuits two to three orders of
+//! magnitude larger. This module builds them.
+//!
+//! ## Structure
+//!
+//! An [`IndustrialSpec`] describes a **pipelined datapath** — `stages`
+//! register ranks of `width` bits with a small combinational cloud per
+//! bit between ranks — steered by a shared **control FSM** whose decoded
+//! enables fan out across the datapath. Each cloud mixes a bit with its
+//! lane neighbours (XOR/NAND), gates the result through stage enables,
+//! and reconverges the two arms (the classic reconvergent-fanout shape
+//! that makes testability analysis non-trivial); a seeded fraction of
+//! bits get a hold mux (`MUX(en, next, prev)`), the dominant register
+//! idiom in real RTL. A parity reduction tree over the last rank gives
+//! the outputs wide observation cones.
+//!
+//! ## Why not reuse `synth::generate`?
+//!
+//! The calibrated generator runs an STA pass *per critical ring* during
+//! construction and validates against per-circuit interface statistics —
+//! super-linear work that is pointless at 1M gates. This generator is
+//! **streaming**: gates are appended in one forward pass, every
+//! `connect` is O(1), names are pre-sized, and the only whole-netlist
+//! work is the final linear [`Netlist::validate`]. Generation time
+//! scales linearly in `target_gates` (gated by `tpi-bench --gen-scale`).
+//!
+//! ```
+//! use tpi_workloads::industrial::{generate_industrial, IndustrialSpec};
+//! let n = generate_industrial(&IndustrialSpec::sized("tiny", 2_000, 7));
+//! assert!(n.gate_count() >= 2_000);
+//! n.validate().unwrap();
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpi_netlist::{GateId, GateKind, Netlist};
+
+/// Parameters for one industrial-scale design.
+///
+/// `target_gates` counts *all* gates (ports, FFs, combinational); the
+/// generated circuit lands within a few percent above the target, never
+/// below. Auto-sized fields (`0`) are derived from `target_gates`.
+#[derive(Debug, Clone)]
+pub struct IndustrialSpec {
+    /// Design name.
+    pub name: String,
+    /// Total gate budget (ports + FFs + combinational). Minimum ~500.
+    pub target_gates: usize,
+    /// Datapath width in bits (`0` = auto: 64 below 200k gates, 128
+    /// below 600k, 256 at or above).
+    pub width: usize,
+    /// Pipeline depth in register ranks (`0` = auto from the budget).
+    pub stages: usize,
+    /// Control-FSM state bits (`0` = auto: 16).
+    pub control_ffs: usize,
+    /// Fraction of datapath bits (per mille) that get a hold mux.
+    /// Default presets use 300 (≈30%).
+    pub hold_per_mille: u32,
+    /// RNG seed; the netlist is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl IndustrialSpec {
+    /// A spec with every structural knob on auto.
+    pub fn sized(name: impl Into<String>, target_gates: usize, seed: u64) -> Self {
+        IndustrialSpec {
+            name: name.into(),
+            target_gates,
+            width: 0,
+            stages: 0,
+            control_ffs: 0,
+            hold_per_mille: 300,
+            seed,
+        }
+    }
+
+    fn resolved_width(&self) -> usize {
+        if self.width != 0 {
+            return self.width.max(4);
+        }
+        if self.target_gates < 200_000 {
+            64
+        } else if self.target_gates < 600_000 {
+            128
+        } else {
+            256
+        }
+    }
+
+    fn resolved_control_ffs(&self) -> usize {
+        if self.control_ffs != 0 {
+            self.control_ffs.max(2)
+        } else {
+            16
+        }
+    }
+}
+
+/// The ~100k-gate preset.
+pub fn gen100k() -> IndustrialSpec {
+    IndustrialSpec::sized("ind100k", 100_000, 0xDAC96)
+}
+
+/// The ~250k-gate preset (the soak acceptance design).
+pub fn gen250k() -> IndustrialSpec {
+    IndustrialSpec::sized("ind250k", 250_000, 0xDAC96 + 1)
+}
+
+/// The ~1M-gate preset.
+pub fn gen1m() -> IndustrialSpec {
+    IndustrialSpec::sized("ind1m", 1_000_000, 0xDAC96 + 2)
+}
+
+/// Gates appended per datapath bit per stage, in thousandths: the
+/// mixing pair (XOR + NAND), two enable gates, the reconvergence gate,
+/// the FF — six — plus the expected hold-mux share.
+fn milli_gates_per_bit_stage(hold_per_mille: u32) -> usize {
+    6_000 + hold_per_mille.min(1000) as usize
+}
+
+/// Builds the design described by `spec`. Deterministic: equal specs
+/// yield byte-identical netlists.
+///
+/// # Panics
+/// Panics if the constructed netlist fails validation — that is a bug in
+/// the generator, not an input error.
+pub fn generate_industrial(spec: &IndustrialSpec) -> Netlist {
+    let width = spec.resolved_width();
+    let ctrl_bits = spec.resolved_control_ffs();
+    let target = spec.target_gates.max(500);
+    let n_enables = (width / 8).max(4);
+    let stages = if spec.stages != 0 {
+        spec.stages.max(2)
+    } else {
+        // Everything outside the pipeline loop is a fixed overhead:
+        // ports, the control FSM and decode, and the parity tree.
+        let fixed = (width + 4)                      // inputs
+            + ctrl_bits * 4                          // FSM state + next-state
+            + n_enables * 2                          // enable decode
+            + (width + 2)                            // output ports
+            + width.saturating_sub(1); // parity tree
+        let per_stage = width * milli_gates_per_bit_stage(spec.hold_per_mille) / 1000;
+        (target.saturating_sub(fixed)).div_ceil(per_stage).max(2)
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x1D0_57A6E5);
+
+    let mut n = Netlist::new(spec.name.clone());
+    n.reserve(target + target / 8);
+
+    // Primary inputs: one data bit per lane plus a few control pins.
+    let data_in: Vec<GateId> = (0..width).map(|i| n.add_input(format!("di{i}"))).collect();
+    let ctrl_in: Vec<GateId> = (0..4).map(|i| n.add_input(format!("ci{i}"))).collect();
+
+    // Control FSM: `ctrl_bits` state FFs with reconvergent next-state
+    // logic over (state, control inputs), then `n_enables` decoded
+    // enable nets shared across the datapath.
+    let mut state: Vec<GateId> = Vec::with_capacity(ctrl_bits);
+    for i in 0..ctrl_bits {
+        state.push(n.add_gate(GateKind::Dff, format!("st{i}")));
+    }
+    for i in 0..ctrl_bits {
+        let a = state[(i + 1) % ctrl_bits];
+        let b = state[(i + ctrl_bits - 1) % ctrl_bits];
+        let c = ctrl_in[i % ctrl_in.len()];
+        let g1 = n.add_gate(GateKind::And, format!("cna{i}"));
+        n.connect(a, g1).unwrap();
+        n.connect(c, g1).unwrap();
+        let g2 = n.add_gate(GateKind::Or, format!("cno{i}"));
+        n.connect(b, g2).unwrap();
+        n.connect(state[i], g2).unwrap();
+        let nx = n.add_gate(GateKind::Xor, format!("cnx{i}"));
+        n.connect(g1, nx).unwrap();
+        n.connect(g2, nx).unwrap();
+        n.connect(nx, state[i]).unwrap();
+    }
+    let mut enables: Vec<GateId> = Vec::with_capacity(n_enables);
+    for e in 0..n_enables {
+        let a = state[(2 * e) % ctrl_bits];
+        let b = state[(2 * e + 3) % ctrl_bits];
+        let c = ctrl_in[e % ctrl_in.len()];
+        let g1 = n.add_gate(GateKind::Nand, format!("ed{e}"));
+        n.connect(a, g1).unwrap();
+        n.connect(b, g1).unwrap();
+        let en = n.add_gate(GateKind::Or, format!("en{e}"));
+        n.connect(g1, en).unwrap();
+        n.connect(c, en).unwrap();
+        enables.push(en);
+    }
+
+    // Pipeline: per stage, per bit, a reconvergent cloud into a rank FF.
+    let hold = u64::from(spec.hold_per_mille.min(1000));
+    let mut prev: Vec<GateId> = data_in.clone();
+    let mut cur: Vec<GateId> = Vec::with_capacity(width);
+    for s in 0..stages {
+        cur.clear();
+        for i in 0..width {
+            let left = prev[(i + 1) % width];
+            let right = prev[(i + width - 1) % width];
+            let ea = enables[(s + i) % n_enables];
+            let eb = enables[(s + i + 1) % n_enables];
+            // Two arms from the same source bit…
+            let mix = n.add_gate(GateKind::Xor, format!("s{s}x{i}"));
+            n.connect(prev[i], mix).unwrap();
+            n.connect(left, mix).unwrap();
+            let carry = n.add_gate(GateKind::Nand, format!("s{s}c{i}"));
+            n.connect(prev[i], carry).unwrap();
+            n.connect(right, carry).unwrap();
+            // …gated by shared enables…
+            let ga = n.add_gate(GateKind::And, format!("s{s}a{i}"));
+            n.connect(mix, ga).unwrap();
+            n.connect(ea, ga).unwrap();
+            let gb = n.add_gate(GateKind::Or, format!("s{s}o{i}"));
+            n.connect(carry, gb).unwrap();
+            n.connect(eb, gb).unwrap();
+            // …and reconverged.
+            let next = n.add_gate(GateKind::Xor, format!("s{s}r{i}"));
+            n.connect(ga, next).unwrap();
+            n.connect(gb, next).unwrap();
+            let ff = n.add_gate(GateKind::Dff, format!("s{s}q{i}"));
+            let d = if rng.gen_range(0..1000u64) < hold {
+                // Hold register: MUX(sel=en, a, b) keeps the old value
+                // unless the stage enable fires.
+                let m = n.add_gate(GateKind::Mux, format!("s{s}m{i}"));
+                n.connect(enables[(s + 2 * i) % n_enables], m).unwrap();
+                n.connect(next, m).unwrap();
+                n.connect(ff, m).unwrap();
+                m
+            } else {
+                next
+            };
+            n.connect(d, ff).unwrap();
+            cur.push(ff);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    // Outputs: every last-rank bit, plus a parity reduction tree (wide
+    // observation cone) and one FSM state bit for observability.
+    for (i, &ff) in prev.iter().enumerate() {
+        n.add_output(format!("do{i}"), ff).unwrap();
+    }
+    let mut layer: Vec<GateId> = prev.clone();
+    let mut depth = 0usize;
+    while layer.len() > 1 {
+        let mut nextl = Vec::with_capacity(layer.len().div_ceil(2));
+        for (j, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let x = n.add_gate(GateKind::Xor, format!("p{depth}_{j}"));
+                n.connect(pair[0], x).unwrap();
+                n.connect(pair[1], x).unwrap();
+                nextl.push(x);
+            } else {
+                nextl.push(pair[0]);
+            }
+        }
+        layer = nextl;
+        depth += 1;
+    }
+    n.add_output("parity", layer[0]).unwrap();
+    n.add_output("state0", state[0]).unwrap();
+
+    n.validate().unwrap_or_else(|e| panic!("industrial generator bug: {e}"));
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_budget() {
+        let spec = IndustrialSpec::sized("d", 5_000, 11);
+        let a = generate_industrial(&spec);
+        let b = generate_industrial(&spec);
+        assert_eq!(a, b, "equal specs must give identical netlists");
+        assert!(a.gate_count() >= 5_000, "got {}", a.gate_count());
+        assert!(a.gate_count() < 5_000 + 5_000 / 4, "got {}", a.gate_count());
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate_industrial(&IndustrialSpec::sized("d", 3_000, 1));
+        let b = generate_industrial(&IndustrialSpec::sized("d", 3_000, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn realistic_ff_ratio() {
+        let n = generate_industrial(&IndustrialSpec::sized("r", 20_000, 3));
+        let ffs = n.dffs().len();
+        let total = n.gate_count();
+        let ratio = total as f64 / ffs as f64;
+        assert!((4.0..=14.0).contains(&ratio), "FF:gate 1:{ratio:.1}");
+    }
+
+    #[test]
+    fn has_reconvergence_and_validates() {
+        let n = generate_industrial(&IndustrialSpec::sized("v", 2_000, 4));
+        n.validate().unwrap();
+        // Every datapath source bit fans out to at least two sinks
+        // (mix + carry arms), the signature of reconvergent fanout.
+        let di = n.find("di0").unwrap();
+        assert!(n.fanout(di).len() >= 2);
+    }
+
+    #[test]
+    fn presets_scale() {
+        // Presets themselves are exercised at full size by
+        // `tpi-bench --gen-scale`; here just check the sizing math.
+        assert!(gen100k().target_gates < gen250k().target_gates);
+        assert!(gen250k().target_gates < gen1m().target_gates);
+    }
+}

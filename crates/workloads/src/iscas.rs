@@ -5,7 +5,8 @@
 //! `DESIGN.md` §3); `s27` is small enough to embed verbatim and anchors
 //! the `.bench` parser and the flows against a real, well-known circuit.
 
-use tpi_netlist::{parse_bench, Netlist};
+use std::path::{Path, PathBuf};
+use tpi_netlist::{parse_bench, Netlist, ParseBenchError};
 
 /// The canonical ISCAS89 `s27.bench` text: 4 inputs, 1 output, 3 D
 /// flip-flops, 10 gates.
@@ -42,9 +43,105 @@ pub fn s27() -> Netlist {
     parse_bench("s27", S27_BENCH).expect("embedded s27 is valid")
 }
 
+/// Why a `.bench` directory load failed. Every variant names the file,
+/// so a bad entry in a 300-circuit suite is a one-line diagnosis.
+#[derive(Debug)]
+pub enum BenchDirError {
+    /// The directory itself (or one file in it) could not be read.
+    Io {
+        /// The directory or file the operation failed on.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A `.bench` file did not parse or validate.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The parser's diagnosis.
+        error: ParseBenchError,
+    },
+}
+
+impl std::fmt::Display for BenchDirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchDirError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            BenchDirError::Parse { path, error } => write!(f, "{}: {error}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for BenchDirError {}
+
+/// Loads every `*.bench` file in `dir` (non-recursive), in sorted
+/// file-name order so suites iterate identically on every filesystem.
+/// Each netlist is named after its file stem. The first unreadable or
+/// unparseable file aborts the load with a [`BenchDirError`] naming it.
+///
+/// ```no_run
+/// let suite = tpi_workloads::iscas::load_bench_dir("bench/iscas89").unwrap();
+/// for n in &suite {
+///     println!("{}: {} gates", n.name(), n.gate_count());
+/// }
+/// ```
+pub fn load_bench_dir(dir: impl AsRef<Path>) -> Result<Vec<Netlist>, BenchDirError> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|error| BenchDirError::Io { path: dir.to_path_buf(), error })?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bench"))
+        .collect();
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|error| BenchDirError::Io { path: path.clone(), error })?;
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench").to_string();
+        let n = parse_bench(&name, &text).map_err(|error| BenchDirError::Parse { path, error })?;
+        out.push(n);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tpi-bench-dir-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn load_bench_dir_sorted_and_named() {
+        let d = scratch("ok");
+        std::fs::write(d.join("b.bench"), S27_BENCH).unwrap();
+        std::fs::write(d.join("a.bench"), "INPUT(x)\ng = NOT(x)\nOUTPUT(g)\n").unwrap();
+        std::fs::write(d.join("ignored.blif"), ".model no\n.end\n").unwrap();
+        let suite = load_bench_dir(&d).unwrap();
+        let names: Vec<&str> = suite.iter().map(|n| n.name()).collect();
+        assert_eq!(names, ["a", "b"], "file-stem names in sorted order, non-bench skipped");
+        assert_eq!(suite[1].dffs().len(), 3, "b is s27");
+    }
+
+    #[test]
+    fn load_bench_dir_errors_name_the_file() {
+        let d = scratch("bad");
+        std::fs::write(d.join("broken.bench"), "INPUT(x)\ng = FROB(x)\n").unwrap();
+        let err = load_bench_dir(&d).unwrap_err();
+        assert!(
+            matches!(&err, BenchDirError::Parse { path, .. } if path.ends_with("broken.bench"))
+        );
+        assert!(err.to_string().contains("broken.bench"), "{err}");
+
+        let missing = load_bench_dir(d.join("nope")).unwrap_err();
+        assert!(matches!(missing, BenchDirError::Io { .. }));
+    }
 
     #[test]
     fn s27_structure_matches_the_published_circuit() {

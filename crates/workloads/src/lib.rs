@@ -14,6 +14,7 @@
 //!   `DESIGN.md` §3 for the substitution argument.
 
 pub mod figures;
+pub mod industrial;
 pub mod iscas;
 pub mod synth;
 

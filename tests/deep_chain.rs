@@ -1,21 +1,30 @@
 //! Deep-recursion regressions: a ~50k-gate inverter chain between two
 //! flip-flops used to overflow the stack in the recursive path-DFS
 //! (`enumerate_paths`) and, with enough flip-flops, in the union-find
-//! `find`. Both are iterative now; this test locks that in.
+//! `find`. Both are iterative now; this test locks that in, and the
+//! 500k-gate test below holds every other whole-net traversal —
+//! `topo_order`, `NetView::cone_order`, the lint cycle walk, ternary
+//! simulation — to the same standard at industrial depth (a default
+//! 8 MiB stack dies near ~100k recursive frames).
 
+use scanpath::lint::{lint_netlist, LintConfig};
 use scanpath::netlist::{GateKind, Netlist};
-use scanpath::sim::{Implication, Trit};
+use scanpath::sim::{Implication, NetView, Simulator, Trit};
 use scanpath::tpi::paths::{enumerate_paths, enumerate_paths_with, Threads};
 
 const CHAIN: usize = 50_000;
+const DEEP_CHAIN: usize = 500_000;
 
-fn inverter_chain() -> (Netlist, scanpath::netlist::GateId, scanpath::netlist::GateId) {
+fn inverter_chain_of(
+    len: usize,
+) -> (Netlist, scanpath::netlist::GateId, scanpath::netlist::GateId) {
     let mut n = Netlist::new("deep");
+    n.reserve(len + 4);
     let d = n.add_input("d");
     let f0 = n.add_gate(GateKind::Dff, "f0");
     n.connect(d, f0).unwrap();
     let mut prev = f0;
-    for i in 0..CHAIN {
+    for i in 0..len {
         let inv = n.add_gate(GateKind::Inv, format!("i{i}"));
         n.connect(prev, inv).unwrap();
         prev = inv;
@@ -23,6 +32,10 @@ fn inverter_chain() -> (Netlist, scanpath::netlist::GateId, scanpath::netlist::G
     let f1 = n.add_gate(GateKind::Dff, "f1");
     n.connect(prev, f1).unwrap();
     (n, f0, f1)
+}
+
+fn inverter_chain() -> (Netlist, scanpath::netlist::GateId, scanpath::netlist::GateId) {
+    inverter_chain_of(CHAIN)
 }
 
 #[test]
@@ -50,4 +63,48 @@ fn enumeration_survives_a_50k_gate_chain() {
     let delta = imp.force(f0, Trit::One);
     assert!(delta.len() > CHAIN / 2, "the constant must ripple the whole chain");
     assert_eq!(imp.value(p.gates[CHAIN - 1]), if CHAIN % 2 == 1 { Trit::Zero } else { Trit::One });
+}
+
+#[test]
+fn whole_net_traversals_survive_a_500k_gate_chain() {
+    let (n, f0, f1) = inverter_chain_of(DEEP_CHAIN);
+    n.validate().unwrap();
+
+    // Kahn layering over a maximally deep DAG.
+    let order = n.topo_order().unwrap();
+    assert_eq!(order.len(), n.gate_count());
+
+    // The lint pass walks the whole net (cycle check, dead-cone and
+    // reachability sweeps) — it must come back clean and stack-safe.
+    let diags = lint_netlist(&n, &LintConfig::default());
+    assert!(
+        diags.iter().all(|d| d.severity != scanpath::lint::Severity::Error),
+        "clean chain must lint clean: {diags:?}"
+    );
+
+    // Path enumeration and constant propagation at 10x the old depth.
+    let ps = enumerate_paths(&n, 10, usize::MAX);
+    assert_eq!(ps.len(), 1);
+    let p = ps.path(ps.ids().next().unwrap());
+    assert_eq!(p.gates.len(), DEEP_CHAIN);
+
+    // The SoA snapshot's DFS preorder follows the single cone end to
+    // end: positions along the chain must be strictly consecutive.
+    let view = NetView::new(&n);
+    let pos = view.cone_order();
+    assert_eq!(pos.len(), n.gate_count());
+    for pair in p.gates.windows(2) {
+        assert_eq!(pos[pair[1].index()], pos[pair[0].index()] + 1, "cone order left the chain");
+    }
+    let mut imp = Implication::new(&n);
+    imp.force(f0, Trit::Zero);
+    assert_eq!(
+        imp.value(p.gates[DEEP_CHAIN - 1]),
+        if DEEP_CHAIN % 2 == 1 { Trit::One } else { Trit::Zero }
+    );
+
+    // One settled simulation pass over the full depth.
+    let mut sim = Simulator::new(&n);
+    sim.set_state(f0, Trit::One);
+    assert_eq!(sim.value(n.fanin(f1)[0]), if DEEP_CHAIN % 2 == 1 { Trit::Zero } else { Trit::One });
 }

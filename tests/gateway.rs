@@ -14,9 +14,11 @@ use scanpath::workloads::{generate, iscas, smoke_suite};
 use std::sync::Arc;
 
 /// The pinned wire-form s27 full-scan cache key (s27 submitted as BLIF
-/// text, the way every client sends it). `tests/serve.rs` pins the
-/// same constant; if a key change is intentional, both move.
-const S27_FULL_SCAN_KEY: &str = "6e8c6b667f8f3913";
+/// text, the way every client sends it). Equal to the in-memory pin
+/// since the BLIF writer/parser round-trips canonical covers
+/// losslessly. `tests/serve.rs` pins the same constant; if a key
+/// change is intentional, both move.
+const S27_FULL_SCAN_KEY: &str = "29b3c0a64a7b22ef";
 
 struct Backend {
     service: Arc<JobService>,

@@ -108,14 +108,16 @@ fn s27_cache_key_is_pinned() {
 #[test]
 fn s27_blif_cache_key_is_pinned_and_matches_the_gateway() {
     // The *wire-form* golden key: what a client submitting s27 as BLIF
-    // text is cached (and gateway-routed) under. It differs from the
-    // in-memory pin above because the first write/parse roundtrip
-    // restructures covers (see blif_roundtrip_fingerprint_reaches_a_
-    // fixed_point); both pins must move together with any key change.
+    // text is cached (and gateway-routed) under. Equal to the
+    // in-memory pin above: the writer emits canonical on-set covers
+    // and the parser recognizes them back into the same primitive
+    // gates, so the round trip is fingerprint-lossless and wire and
+    // in-memory submissions share one cache entry. Both pins must
+    // move together with any key change.
     let blif = write_blif(&s27());
     let fp = netlist_fingerprint(&parse_blif(&blif).expect("own BLIF output parses"));
     let key = cache_key(fp, &FlowKind::FullScan(TpGreedConfig::default()));
-    assert_eq!(key.to_string(), "6e8c6b667f8f3913");
+    assert_eq!(key.to_string(), "29b3c0a64a7b22ef");
 
     // The gateway must route by exactly this key, or affinity breaks:
     // jobs would land on a backend whose cache is keyed differently.
